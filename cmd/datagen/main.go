@@ -1,0 +1,74 @@
+// Command datagen emits the library's synthetic datasets as CSV, for use
+// with cmd/rbt and external tools.
+//
+// Usage:
+//
+//	datagen -kind patients -m 300 -k 3 -seed 7 -out patients.csv
+//
+// Kinds: blobs, rings, moons, uniform, patients, customers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+
+	"ppclust/internal/dataset"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("datagen", flag.ContinueOnError)
+	kind := fs.String("kind", "blobs", "dataset kind: blobs, rings, moons, uniform, patients, customers")
+	m := fs.Int("m", 200, "number of objects")
+	k := fs.Int("k", 3, "number of clusters/groups (blobs, rings, patients, customers)")
+	dim := fs.Int("dim", 4, "dimensionality (blobs, uniform)")
+	sep := fs.Float64("sep", 10, "cluster separation (blobs)")
+	noise := fs.Float64("noise", 0.05, "noise level (rings, moons)")
+	seed := fs.Int64("seed", 1, "random seed")
+	out := fs.String("out", "", "output CSV path (default: stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	rng := rand.New(rand.NewSource(*seed))
+	var (
+		ds  *dataset.Dataset
+		err error
+	)
+	switch *kind {
+	case "blobs":
+		ds, err = dataset.WellSeparatedBlobs(*m, *k, *dim, *sep, rng)
+	case "rings":
+		ds, err = dataset.Rings(*m, *k, *noise, rng)
+	case "moons":
+		ds, err = dataset.TwoMoons(*m, *noise, rng)
+	case "uniform":
+		ds, err = dataset.UniformHypercube(*m, *dim, 0, 1, rng)
+	case "patients":
+		ds, err = dataset.SyntheticPatients(*m, *k, rng)
+	case "customers":
+		ds, err = dataset.SyntheticCustomers(*m, *k, rng)
+	default:
+		return fmt.Errorf("unknown kind %q", *kind)
+	}
+	if err != nil {
+		return err
+	}
+	if *out == "" {
+		return dataset.WriteCSV(stdout, ds)
+	}
+	if err := dataset.WriteCSVFile(*out, ds); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d objects x %d attributes to %s\n", ds.Rows(), ds.Cols(), *out)
+	return nil
+}

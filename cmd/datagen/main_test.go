@@ -1,0 +1,69 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ppclust/internal/dataset"
+)
+
+func TestRunAllKindsToStdout(t *testing.T) {
+	for _, kind := range []string{"blobs", "rings", "moons", "uniform", "patients", "customers"} {
+		var buf strings.Builder
+		err := run([]string{"-kind", kind, "-m", "20", "-k", "2", "-seed", "3"}, &buf)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		lines := strings.Count(buf.String(), "\n")
+		if lines != 21 { // header + 20 rows
+			t.Fatalf("%s: %d lines, want 21", kind, lines)
+		}
+	}
+}
+
+func TestRunWritesFile(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "blobs.csv")
+	var buf strings.Builder
+	if err := run([]string{"-kind", "blobs", "-m", "10", "-out", out}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	opts := dataset.DefaultCSVOptions()
+	opts.LabelColumn = 4
+	ds, err := dataset.ReadCSVFile(out, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Rows() != 10 || ds.Cols() != 4 {
+		t.Fatalf("round trip %dx%d", ds.Rows(), ds.Cols())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-kind", "bogus"}, &buf); err == nil {
+		t.Fatal("unknown kind should error")
+	}
+	if err := run([]string{"-kind", "blobs", "-m", "0"}, &buf); err == nil {
+		t.Fatal("m=0 should error")
+	}
+	if err := run([]string{"-badflag"}, &buf); err == nil {
+		t.Fatal("bad flag should error")
+	}
+	if err := run([]string{"-kind", "blobs", "-out", "/nonexistent-dir/x.csv"}, &buf); err == nil {
+		t.Fatal("unwritable path should error")
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	var a, b strings.Builder
+	if err := run([]string{"-kind", "patients", "-m", "15", "-seed", "9"}, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-kind", "patients", "-m", "15", "-seed", "9"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("same seed should give identical output")
+	}
+}

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunSingleExperiment(t *testing.T) {
+	var buf strings.Builder
+	failed, err := run([]string{"-id", "T3"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed != 0 {
+		t.Fatalf("T3 failed %d checks:\n%s", failed, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{"[T3]", "Table 3", "[ok]", "all checks passed"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	var buf strings.Builder
+	if _, err := run([]string{"-id", "ZZZ"}, &buf); err == nil {
+		t.Fatal("unknown ID should error")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var buf strings.Builder
+	if _, err := run([]string{"-bogus"}, &buf); err == nil {
+		t.Fatal("bad flag should error")
+	}
+}
+
+func TestRunQuickFigureExperiments(t *testing.T) {
+	// The figure experiments render ASCII plots; they must pass and
+	// include the plot legend.
+	for _, id := range []string{"F2", "F3"} {
+		var buf strings.Builder
+		failed, err := run([]string{"-id", id}, &buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if failed != 0 {
+			t.Fatalf("%s failed:\n%s", id, buf.String())
+		}
+		if !strings.Contains(buf.String(), "legend:") || !strings.Contains(buf.String(), "security range:") {
+			t.Fatalf("%s output missing plot artifacts:\n%s", id, buf.String())
+		}
+	}
+}
+
+func TestRunQuickTheorem1(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing sweep skipped in -short mode")
+	}
+	var buf strings.Builder
+	failed, err := run([]string{"-quick", "-id", "TH1"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed != 0 {
+		t.Fatalf("TH1 -quick failed:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"ppclust/internal/attack"
+	"ppclust/internal/dataset"
+	"ppclust/internal/dist"
+)
+
+// cmdAttack mounts the adversary models of internal/attack against a
+// released CSV, so the trade-offs in EXPERIMENTS.md §EXT4 can be
+// reproduced on arbitrary files.
+func cmdAttack(args []string) error {
+	fs := flag.NewFlagSet("attack", flag.ContinueOnError)
+	var cf csvFlags
+	cf.register(fs)
+	mode := fs.String("mode", "renorm", "attack: renorm (re-normalize, Section 5.2) or knownio (known input-output records)")
+	knownPath := fs.String("known", "", "knownio: CSV of known original records (same columns as the release, normalized space)")
+	rowsSpec := fs.String("rows", "", "knownio: released-row indices of the known records, e.g. \"0,5,9\"")
+	out := fs.String("out", "", "knownio: output CSV for the recovered data")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	released, err := cf.load()
+	if err != nil {
+		return err
+	}
+	switch *mode {
+	case "renorm":
+		renorm, err := attack.Renormalize(released.Data)
+		if err != nil {
+			return err
+		}
+		before := dist.NewDissimMatrix(released.Data, dist.Euclidean{})
+		after := dist.NewDissimMatrix(renorm, dist.Euclidean{})
+		d, err := before.MaxAbsDiff(after)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("re-normalization changes pairwise distances by up to %.4f\n", d)
+		fmt.Println("per the paper's Section 5.2, the re-normalized data no longer matches the original geometry;")
+		fmt.Println("this attack recovers nothing (compare Table 5 vs Table 6).")
+		return nil
+	case "knownio":
+		if *knownPath == "" || *rowsSpec == "" || *out == "" {
+			return fmt.Errorf("attack knownio: -known, -rows and -out are required")
+		}
+		knownOpts := dataset.DefaultCSVOptions()
+		known, err := dataset.ReadCSVFile(*knownPath, knownOpts)
+		if err != nil {
+			return err
+		}
+		var rows []int
+		for _, part := range strings.Split(*rowsSpec, ",") {
+			r, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				return fmt.Errorf("attack knownio: bad row %q: %v", part, err)
+			}
+			if r < 0 || r >= released.Rows() {
+				return fmt.Errorf("attack knownio: row %d out of range for %d released rows", r, released.Rows())
+			}
+			rows = append(rows, r)
+		}
+		if len(rows) != known.Rows() {
+			return fmt.Errorf("attack knownio: %d rows given for %d known records", len(rows), known.Rows())
+		}
+		q, err := attack.KnownIO(known.Data, released.Data.SelectRows(rows))
+		if err != nil {
+			return err
+		}
+		recovered, err := attack.RecoverWithQ(released.Data, q)
+		if err != nil {
+			return err
+		}
+		recoveredDS, err := released.WithData(recovered)
+		if err != nil {
+			return err
+		}
+		if err := dataset.WriteCSVFile(*out, recoveredDS); err != nil {
+			return err
+		}
+		fmt.Printf("estimated the %dx%d rotation from %d known records and wrote the recovered data to %s\n",
+			released.Cols(), released.Cols(), len(rows), *out)
+		fmt.Println("values are in the normalized space; only the normalization parameters remain unknown to the attacker.")
+		return nil
+	default:
+		return fmt.Errorf("attack: unknown mode %q", *mode)
+	}
+}

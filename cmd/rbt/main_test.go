@@ -1,0 +1,293 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ppclust/internal/dataset"
+	"ppclust/internal/matrix"
+)
+
+// writeSampleCSV writes the paper's cardiac sample (with IDs) to a temp
+// file and returns its path.
+func writeSampleCSV(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "cardiac.csv")
+	if err := dataset.WriteCSVFile(path, dataset.CardiacSample()); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunNoArgsAndUnknown(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Fatal("missing subcommand should error")
+	}
+	if err := run([]string{"bogus"}); err == nil {
+		t.Fatal("unknown subcommand should error")
+	}
+	if err := run([]string{"help"}); err != nil {
+		t.Fatalf("help should succeed: %v", err)
+	}
+}
+
+func TestTransformRecoverRoundTripCLI(t *testing.T) {
+	in := writeSampleCSV(t)
+	dir := t.TempDir()
+	released := filepath.Join(dir, "released.csv")
+	secret := filepath.Join(dir, "secret.json")
+	recovered := filepath.Join(dir, "recovered.csv")
+
+	err := run([]string{"transform",
+		"-in", in, "-id-col", "0",
+		"-out", released, "-secret", secret,
+		"-pairs", "0:2,1:0",
+		"-thresholds", "0.3:0.55,2.3:2.3",
+		"-angles", "312.47,147.29",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The released file must reproduce Table 3.
+	rel, err := dataset.ReadCSVFile(released, dataset.DefaultCSVOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matrix.EqualApprox(rel.Data, dataset.CardiacTransformed().Data, 5e-5) {
+		t.Fatalf("CLI release does not match Table 3:\n%v", rel.Data)
+	}
+	// And the secret must invert it back to the raw sample.
+	err = run([]string{"recover", "-in", released, "-out", recovered, "-secret", secret})
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := dataset.ReadCSVFile(recovered, dataset.DefaultCSVOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matrix.EqualApprox(back.Data, dataset.CardiacSample().Data, 1e-8) {
+		t.Fatal("CLI recovery did not restore the raw sample")
+	}
+}
+
+func TestTransformCLIErrors(t *testing.T) {
+	in := writeSampleCSV(t)
+	dir := t.TempDir()
+	cases := [][]string{
+		{"transform", "-in", in},                   // missing -out/-secret
+		{"transform", "-out", "x", "-secret", "y"}, // missing -in
+		{"transform", "-in", "/nope.csv", "-out", "x", "-secret", "y"},
+		{"transform", "-in", in, "-out", filepath.Join(dir, "o.csv"), "-secret", filepath.Join(dir, "s.json"), "-pairs", "0-2"},
+		{"transform", "-in", in, "-out", filepath.Join(dir, "o.csv"), "-secret", filepath.Join(dir, "s.json"), "-thresholds", "abc"},
+		{"transform", "-in", in, "-out", filepath.Join(dir, "o.csv"), "-secret", filepath.Join(dir, "s.json"), "-thresholds", "0.3:0.3", "-angles", "zz"},
+		{"transform", "-in", in, "-out", filepath.Join(dir, "o.csv"), "-secret", filepath.Join(dir, "s.json"), "-thresholds", ""},
+		{"recover", "-in", in},
+		{"recover", "-in", in, "-out", "x", "-secret", "/nope.json"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Fatalf("expected error for %v", args)
+		}
+	}
+}
+
+func TestClusterCLI(t *testing.T) {
+	dir := t.TempDir()
+	// Two clear blobs with labels.
+	in := filepath.Join(dir, "blobs.csv")
+	blobs := mustBlobs(t)
+	if err := dataset.WriteCSVFile(in, blobs); err != nil {
+		t.Fatal(err)
+	}
+	for _, algo := range []string{"kmeans", "kmedoids", "single", "complete", "average", "ward"} {
+		err := run([]string{"cluster", "-in", in, "-label-col", "4", "-algo", algo, "-k", "2"})
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+	}
+	if err := run([]string{"cluster", "-in", in, "-label-col", "4", "-algo", "dbscan", "-eps", "3", "-min-pts", "3"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"cluster", "-in", in, "-algo", "bogus"}); err == nil {
+		t.Fatal("unknown algorithm should error")
+	}
+	if err := run([]string{"cluster", "-in", in, "-label-col", "4", "-algo", "kmeans", "-k", "2", "-assignments"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mustBlobs(t *testing.T) *dataset.Dataset {
+	t.Helper()
+	data := matrix.FromRows([][]float64{
+		{0, 0, 0, 0}, {0.5, 0.2, 0, 0.1}, {0.1, 0.4, 0.2, 0}, {0.3, 0.1, 0.1, 0.3},
+		{9, 9, 9, 9}, {9.5, 9.2, 9, 9.1}, {9.1, 9.4, 9.2, 9}, {9.3, 9.1, 9.1, 9.3},
+	})
+	ds := &dataset.Dataset{
+		Names:  []string{"a", "b", "c", "d"},
+		Data:   data,
+		Labels: []int{0, 0, 0, 0, 1, 1, 1, 1},
+	}
+	if err := ds.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestInspectAndDissimCLI(t *testing.T) {
+	in := writeSampleCSV(t)
+	if err := run([]string{"inspect", "-in", in, "-id-col", "0"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"dissim", "-in", in, "-id-col", "0"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"dissim", "-in", in, "-id-col", "0", "-metric", "bogus"}); err == nil {
+		t.Fatal("unknown metric should error")
+	}
+	if err := run([]string{"dissim", "-in", in, "-id-col", "0", "-limit", "2"}); err == nil {
+		t.Fatal("limit below row count should refuse to print")
+	}
+}
+
+func TestAttackCLI(t *testing.T) {
+	in := writeSampleCSV(t)
+	dir := t.TempDir()
+	released := filepath.Join(dir, "released.csv")
+	secret := filepath.Join(dir, "secret.json")
+	err := run([]string{"transform", "-in", in, "-id-col", "0",
+		"-out", released, "-secret", secret, "-thresholds", "0.2:0.2", "-seed", "5"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Re-normalization attack runs and reports.
+	if err := run([]string{"attack", "-in", released, "-mode", "renorm"}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Known-IO attack: the attacker knows rows 0,1,2 in normalized space.
+	// Build the known file from the true normalization (the attacker's
+	// out-of-band knowledge).
+	normalizedKnown := knownRecordsCSV(t, dir)
+	recovered := filepath.Join(dir, "recovered.csv")
+	err = run([]string{"attack", "-in", released, "-mode", "knownio",
+		"-known", normalizedKnown, "-rows", "0,1,2", "-out", recovered})
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := dataset.ReadCSVFile(recovered, dataset.DefaultCSVOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matrix.EqualApprox(back.Data, dataset.CardiacNormalized().Data, 1e-3) {
+		t.Fatal("known-IO CLI attack should recover the normalized data")
+	}
+
+	// Error paths.
+	if err := run([]string{"attack", "-in", released, "-mode", "bogus"}); err == nil {
+		t.Fatal("unknown mode should error")
+	}
+	if err := run([]string{"attack", "-in", released, "-mode", "knownio"}); err == nil {
+		t.Fatal("missing knownio flags should error")
+	}
+	if err := run([]string{"attack", "-in", released, "-mode", "knownio",
+		"-known", normalizedKnown, "-rows", "0,1", "-out", recovered}); err == nil {
+		t.Fatal("row/record count mismatch should error")
+	}
+	if err := run([]string{"attack", "-in", released, "-mode", "knownio",
+		"-known", normalizedKnown, "-rows", "0,1,99", "-out", recovered}); err == nil {
+		t.Fatal("out-of-range row should error")
+	}
+}
+
+func knownRecordsCSV(t *testing.T, dir string) string {
+	t.Helper()
+	nd := dataset.CardiacNormalized()
+	known := &dataset.Dataset{
+		Names: nd.Names,
+		Data:  nd.Data.SelectRows([]int{0, 1, 2}),
+	}
+	path := filepath.Join(dir, "known.csv")
+	if err := dataset.WriteCSVFile(path, known); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestMainExitPath(t *testing.T) {
+	// main() calls os.Exit on error, so only the success path is exercised
+	// directly: run help through the real entry arguments.
+	oldArgs := os.Args
+	defer func() { os.Args = oldArgs }()
+	os.Args = []string{"rbt", "help"}
+	main()
+}
+
+func TestUsageMentionsAllSubcommands(t *testing.T) {
+	// usage writes to stderr; capture via pipe.
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldStderr := os.Stderr
+	os.Stderr = w
+	usage()
+	os.Stderr = oldStderr
+	w.Close()
+	buf := make([]byte, 4096)
+	n, _ := r.Read(buf)
+	out := string(buf[:n])
+	for _, cmd := range []string{"transform", "recover", "cluster", "inspect", "dissim", "attack", "keyspace", "choosek"} {
+		if !strings.Contains(out, cmd) {
+			t.Fatalf("usage missing %q:\n%s", cmd, out)
+		}
+	}
+}
+
+func TestKeyspaceCLI(t *testing.T) {
+	if err := run([]string{"keyspace", "-n", "6"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"keyspace", "-n", "1"}); err == nil {
+		t.Fatal("n < 2 should error")
+	}
+	if err := run([]string{"keyspace"}); err == nil {
+		t.Fatal("missing -n should error")
+	}
+}
+
+func TestChooseKCLI(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "blobs.csv")
+	if err := dataset.WriteCSVFile(in, mustBlobs(t)); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"choosek", "-in", in, "-label-col", "4", "-kmin", "2", "-kmax", "4"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"choosek", "-in", in, "-label-col", "4", "-kmin", "1", "-kmax", "3"}); err == nil {
+		t.Fatal("kmin=1 should error")
+	}
+}
+
+func TestClusterDendrogramAndSpectralCLI(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "blobs.csv")
+	if err := dataset.WriteCSVFile(in, mustBlobs(t)); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"cluster", "-in", in, "-label-col", "4", "-algo", "average", "-k", "2", "-dendrogram"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"cluster", "-in", in, "-label-col", "4", "-algo", "kmeans", "-k", "2", "-dendrogram"}); err == nil {
+		t.Fatal("dendrogram with kmeans should error")
+	}
+	if err := run([]string{"cluster", "-in", in, "-label-col", "4", "-algo", "spectral", "-k", "2"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"cluster", "-in", in, "-label-col", "4", "-algo", "kmeans", "-k", "2", "-restarts", "4"}); err != nil {
+		t.Fatal(err)
+	}
+}

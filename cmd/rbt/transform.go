@@ -1,0 +1,212 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"ppclust"
+	"ppclust/internal/dataset"
+	"ppclust/internal/report"
+)
+
+// csvFlags collects the CSV parsing options shared by every subcommand.
+type csvFlags struct {
+	in       string
+	noHeader bool
+	idCol    int
+	labelCol int
+}
+
+func (c *csvFlags) register(fs *flag.FlagSet) {
+	fs.StringVar(&c.in, "in", "", "input CSV path (required)")
+	fs.BoolVar(&c.noHeader, "no-header", false, "input has no header row")
+	fs.IntVar(&c.idCol, "id-col", -1, "column index holding object IDs (-1: none)")
+	fs.IntVar(&c.labelCol, "label-col", -1, "column index holding integer labels (-1: none)")
+}
+
+func (c *csvFlags) load() (*dataset.Dataset, error) {
+	if c.in == "" {
+		return nil, fmt.Errorf("-in is required")
+	}
+	opts := dataset.CSVOptions{
+		Comma:       ',',
+		HasHeader:   !c.noHeader,
+		IDColumn:    c.idCol,
+		LabelColumn: c.labelCol,
+	}
+	return dataset.ReadCSVFile(c.in, opts)
+}
+
+func cmdTransform(args []string) error {
+	fs := flag.NewFlagSet("transform", flag.ContinueOnError)
+	var cf csvFlags
+	cf.register(fs)
+	out := fs.String("out", "", "output CSV path for the released data (required)")
+	secretPath := fs.String("secret", "", "output path for the owner's secret JSON (required)")
+	normMethod := fs.String("norm", "zscore", "normalization: zscore or minmax")
+	pairsSpec := fs.String("pairs", "", "attribute pairs, e.g. \"0:2,1:0\" (default: round-robin)")
+	thresholdSpec := fs.String("thresholds", "0.2:0.2", "PSTs per pair, e.g. \"0.3:0.55,2.3:2.3\" (one entry broadcasts)")
+	anglesSpec := fs.String("angles", "", "fixed angles in degrees, e.g. \"312.47,147.29\" (default: random)")
+	seed := fs.Int64("seed", 0, "angle randomness seed (0: fixed default)")
+	keepIDs := fs.Bool("keep-ids", false, "retain object IDs in the release")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *out == "" || *secretPath == "" {
+		return fmt.Errorf("transform: -out and -secret are required")
+	}
+	ds, err := cf.load()
+	if err != nil {
+		return err
+	}
+	pairs, err := parsePairs(*pairsSpec)
+	if err != nil {
+		return err
+	}
+	thresholds, err := parseThresholds(*thresholdSpec)
+	if err != nil {
+		return err
+	}
+	angles, err := parseFloats(*anglesSpec)
+	if err != nil {
+		return err
+	}
+	protected, err := ppclust.Protect(ds, ppclust.ProtectOptions{
+		Normalization: ppclust.Normalization(*normMethod),
+		Pairs:         pairs,
+		Thresholds:    thresholds,
+		Seed:          *seed,
+		FixedAngles:   angles,
+		KeepIDs:       *keepIDs,
+	})
+	if err != nil {
+		return err
+	}
+	if err := dataset.WriteCSVFile(*out, protected.Released); err != nil {
+		return err
+	}
+	blob, err := protected.Secret().Marshal()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*secretPath, blob, 0o600); err != nil {
+		return err
+	}
+	tb := report.NewTable("pair", "PST", "security range", "θ (deg)", "Var(Ai-Ai')", "Var(Aj-Aj')")
+	for _, r := range protected.Reports {
+		var ranges []string
+		for _, iv := range r.SecurityRange {
+			ranges = append(ranges, iv.String())
+		}
+		tb.AddRow(
+			fmt.Sprintf("(%s,%s)", ds.Names[r.Pair.I], ds.Names[r.Pair.J]),
+			fmt.Sprintf("(%g,%g)", r.PST.Rho1, r.PST.Rho2),
+			strings.Join(ranges, " ∪ "),
+			fmt.Sprintf("%.4f", r.ThetaDeg),
+			fmt.Sprintf("%.4f", r.VarI),
+			fmt.Sprintf("%.4f", r.VarJ),
+		)
+	}
+	fmt.Printf("released %d objects x %d attributes to %s\nsecret written to %s (keep it private)\n\n%s",
+		ds.Rows(), ds.Cols(), *out, *secretPath, tb.String())
+	return nil
+}
+
+func cmdRecover(args []string) error {
+	fs := flag.NewFlagSet("recover", flag.ContinueOnError)
+	var cf csvFlags
+	cf.register(fs)
+	out := fs.String("out", "", "output CSV path for recovered data (required)")
+	secretPath := fs.String("secret", "", "owner's secret JSON path (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *out == "" || *secretPath == "" {
+		return fmt.Errorf("recover: -out and -secret are required")
+	}
+	ds, err := cf.load()
+	if err != nil {
+		return err
+	}
+	blob, err := os.ReadFile(*secretPath)
+	if err != nil {
+		return err
+	}
+	secret, err := ppclust.ParseSecret(blob)
+	if err != nil {
+		return err
+	}
+	recovered, err := ppclust.Recover(ds, secret)
+	if err != nil {
+		return err
+	}
+	if err := dataset.WriteCSVFile(*out, recovered); err != nil {
+		return err
+	}
+	fmt.Printf("recovered %d objects x %d attributes to %s\n", recovered.Rows(), recovered.Cols(), *out)
+	return nil
+}
+
+func parsePairs(spec string) ([]ppclust.Pair, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var pairs []ppclust.Pair
+	for _, part := range strings.Split(spec, ",") {
+		ij := strings.Split(part, ":")
+		if len(ij) != 2 {
+			return nil, fmt.Errorf("bad pair %q, want i:j", part)
+		}
+		i, err := strconv.Atoi(strings.TrimSpace(ij[0]))
+		if err != nil {
+			return nil, fmt.Errorf("bad pair %q: %v", part, err)
+		}
+		j, err := strconv.Atoi(strings.TrimSpace(ij[1]))
+		if err != nil {
+			return nil, fmt.Errorf("bad pair %q: %v", part, err)
+		}
+		pairs = append(pairs, ppclust.Pair{I: i, J: j})
+	}
+	return pairs, nil
+}
+
+func parseThresholds(spec string) ([]ppclust.PST, error) {
+	if spec == "" {
+		return nil, fmt.Errorf("thresholds are required (Definition 2: ρ1, ρ2 > 0)")
+	}
+	var out []ppclust.PST
+	for _, part := range strings.Split(spec, ",") {
+		rhos := strings.Split(part, ":")
+		if len(rhos) != 2 {
+			return nil, fmt.Errorf("bad threshold %q, want rho1:rho2", part)
+		}
+		r1, err := strconv.ParseFloat(strings.TrimSpace(rhos[0]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad threshold %q: %v", part, err)
+		}
+		r2, err := strconv.ParseFloat(strings.TrimSpace(rhos[1]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad threshold %q: %v", part, err)
+		}
+		out = append(out, ppclust.PST{Rho1: r1, Rho2: r2})
+	}
+	return out, nil
+}
+
+func parseFloats(spec string) ([]float64, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var out []float64
+	for _, part := range strings.Split(spec, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad number %q: %v", part, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

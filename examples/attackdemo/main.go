@@ -1,0 +1,126 @@
+// The attackdemo example shows both sides of RBT's security story.
+//
+// First the defense the paper demonstrates: an attacker who re-normalizes
+// the released data only destroys its geometry (Section 5.2 / Table 5).
+// Then the attacks published after the paper: with a handful of known
+// records — or with nothing but distributional knowledge of the population
+// — the rotation is recovered and every record decrypted. This is why
+// rotation perturbation is no longer considered a privacy mechanism, and
+// why the soundness caveat in DESIGN.md exists.
+//
+// Run with:
+//
+//	go run ./examples/attackdemo
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"ppclust"
+	"ppclust/internal/attack"
+	"ppclust/internal/dataset"
+	"ppclust/internal/dist"
+	"ppclust/internal/norm"
+	"ppclust/internal/stats"
+)
+
+func main() {
+	// A realistic-sized release: 2000 patients, five vitals.
+	rng := rand.New(rand.NewSource(5))
+	patients, err := dataset.SyntheticPatients(2000, 3, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	protected, err := ppclust.Protect(patients, ppclust.ProtectOptions{
+		Thresholds: []ppclust.PST{{Rho1: 0.4, Rho2: 0.4}},
+		Seed:       17,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	released := protected.Released.Data
+
+	// The defender's reference point: the normalized original.
+	z := &norm.ZScore{Denominator: stats.Sample}
+	normalized, err := norm.FitTransform(z, patients.Data)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("=== attack 1: re-normalization (the paper's Section 5.2 adversary) ===")
+	renorm, err := attack.Renormalize(released)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sample := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	before := dist.NewDissimMatrix(normalized.SelectRows(sample), dist.Euclidean{})
+	after := dist.NewDissimMatrix(renorm.SelectRows(sample), dist.Euclidean{})
+	drift, err := before.MaxAbsDiff(after)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("distances drift by up to %.3f after re-normalizing — geometry destroyed, attack FAILS\n", drift)
+	fmt.Println("(this is the paper's Table 5 phenomenon, and its claim holds)")
+
+	fmt.Println("\n=== attack 2: known input-output records ===")
+	// The adversary re-identified 5 patients out of band (say, themselves
+	// and four acquaintances) and knows their normalized vitals.
+	rows := []int{3, 77, 500, 1200, 1999}
+	qhat, err := attack.KnownIO(normalized.SelectRows(rows), released.SelectRows(rows))
+	if err != nil {
+		log.Fatal(err)
+	}
+	recovered, err := attack.RecoverWithQ(released, qhat)
+	if err != nil {
+		log.Fatal(err)
+	}
+	met, err := attack.Measure(normalized, recovered, 1e-6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("with %d known records: %.1f%% of ALL %d×%d cells recovered exactly (RMSE %.1e)\n",
+		len(rows), met.WithinTol*100, normalized.Rows(), normalized.Cols(), met.RMSE)
+	fmt.Println("the rotation key offers no protection against known plaintext — attack SUCCEEDS")
+
+	fmt.Println("\n=== attack 3: PCA eigen-alignment (distributional knowledge only) ===")
+	// The adversary has no released-row correspondence at all — only a
+	// public dataset drawn from the same population (e.g. published
+	// hospital statistics), from which they estimate covariance and
+	// skewness.
+	publicSample, err := dataset.SyntheticPatients(2000, 3, rand.New(rand.NewSource(1234)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	publicNorm, err := norm.FitTransform(&norm.ZScore{Denominator: stats.Sample}, publicSample.Data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	refCov := stats.CovarianceMatrix(publicNorm, stats.Sample)
+	refSkew := make([]float64, publicNorm.Cols())
+	for j := range refSkew {
+		refSkew[j] = attack.Skewness(publicNorm.Col(j))
+	}
+	pcaOut, err := attack.PCA(released, refCov, refSkew)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pcaMet, err := attack.Measure(normalized, pcaOut.Recovered, 0.25)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("with population statistics only: %.1f%% of cells within 0.25 std (RMSE %.3f), %d sign candidates tried\n",
+		pcaMet.WithinTol*100, pcaMet.RMSE, pcaOut.CandidatesTried)
+	if pcaMet.WithinTol > 0.5 {
+		fmt.Println("distributional knowledge alone largely breaks the scheme — attack SUCCEEDS")
+	} else {
+		fmt.Println("this population's structure resisted eigen-alignment (near-tied eigenvalues or symmetric marginals)")
+	}
+
+	// Show what "recovered" means concretely for one patient.
+	fmt.Println("\nfirst patient, normalized truth vs known-IO recovery:")
+	for j, name := range patients.Names {
+		fmt.Printf("  %-12s true %9.4f   recovered %9.4f\n", name, normalized.At(0, j), recovered.At(0, j))
+	}
+}

@@ -1,0 +1,223 @@
+package ppclust
+
+// Integration tests exercising complete workflows across the facade and
+// the internal packages together: owner → analyst → owner round trips,
+// Corollary 1 through the public API, and the full adversary story.
+
+import (
+	"math/rand"
+	"testing"
+
+	"ppclust/internal/attack"
+	"ppclust/internal/cluster"
+	"ppclust/internal/dataset"
+	"ppclust/internal/dist"
+	"ppclust/internal/matrix"
+	"ppclust/internal/norm"
+	"ppclust/internal/quality"
+	"ppclust/internal/stats"
+)
+
+// TestIntegrationHospitalWorkflow is the paper's first scenario end to end:
+// protect patient data, cluster the release with three different algorithm
+// families, verify all partitions match the original's, then recover.
+func TestIntegrationHospitalWorkflow(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	patients, err := dataset.SyntheticPatients(200, 3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	protected, err := Protect(patients, ProtectOptions{
+		Thresholds: []PST{{Rho1: 0.35, Rho2: 0.35}},
+		Seed:       41,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every report must meet its PST.
+	for _, r := range protected.Reports {
+		if r.VarI < r.PST.Rho1 || r.VarJ < r.PST.Rho2 {
+			t.Fatalf("PST violated in release: %+v", r)
+		}
+	}
+
+	z := &norm.ZScore{Denominator: stats.Sample}
+	normalized, err := norm.FitTransform(z, patients.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	algs := []func() cluster.Clusterer{
+		func() cluster.Clusterer { return &cluster.KMeans{K: 3, Rand: rand.New(rand.NewSource(1))} },
+		func() cluster.Clusterer { return &cluster.KMedoids{K: 3} },
+		func() cluster.Clusterer { return &cluster.Hierarchical{K: 3, Linkage: cluster.WardLinkage} },
+	}
+	for _, mk := range algs {
+		orig, err := mk().Cluster(normalized)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rel, err := mk().Cluster(protected.Released.Data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		same, err := quality.SameClustering(orig.Assignments, rel.Assignments)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !same {
+			t.Fatalf("%s partitions differ between original and release", mk().Name())
+		}
+	}
+
+	back, err := Recover(protected.Released, protected.Secret())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matrix.EqualApprox(back.Data, patients.Data, 1e-7) {
+		t.Fatal("owner-side recovery failed")
+	}
+}
+
+// TestIntegrationModelSelectionSurvivesRelease verifies that even choosing
+// K by silhouette gives the same answer on the release as on the original.
+func TestIntegrationModelSelectionSurvivesRelease(t *testing.T) {
+	rng := rand.New(rand.NewSource(102))
+	blobs, err := dataset.WellSeparatedBlobs(120, 4, 5, 14, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := dataset.New(blobs.Names, blobs.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	protected, err := Protect(ds, ProtectOptions{Thresholds: []PST{{Rho1: 0.2, Rho2: 0.2}}, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	z := &norm.ZScore{Denominator: stats.Sample}
+	normalized, err := norm.FitTransform(z, ds.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	onOriginal, err := cluster.ChooseKBySilhouette(normalized, 2, 6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	onRelease, err := cluster.ChooseKBySilhouette(protected.Released.Data, 2, 6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if onOriginal.K != onRelease.K {
+		t.Fatalf("model selection diverged: %d vs %d", onOriginal.K, onRelease.K)
+	}
+	// The release is isometric to the normalized original and the sweep is
+	// seeded, so every candidate's silhouette must agree to float precision
+	// — a stronger invariance than just the winning K.
+	for k, score := range onOriginal.Scores {
+		if diff := score - onRelease.Scores[k]; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("silhouette at k=%d diverged: %v vs %v", k, score, onRelease.Scores[k])
+		}
+	}
+}
+
+// TestIntegrationAttackStory verifies the full security narrative on one
+// release: renormalization fails; known records break everything.
+func TestIntegrationAttackStory(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	customers, err := dataset.SyntheticCustomers(300, 4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	protected, err := Protect(customers, ProtectOptions{Thresholds: []PST{{Rho1: 0.3, Rho2: 0.3}}, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	z := &norm.ZScore{Denominator: stats.Sample}
+	normalized, err := norm.FitTransform(z, customers.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Attack A: renormalization changes geometry, recovers nothing.
+	renorm, err := attack.Renormalize(protected.Released.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sample := []int{0, 10, 20, 30, 40, 50}
+	dOrig := dist.NewDissimMatrix(normalized.SelectRows(sample), dist.Euclidean{})
+	dAtk := dist.NewDissimMatrix(renorm.SelectRows(sample), dist.Euclidean{})
+	drift, err := dOrig.MaxAbsDiff(dAtk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if drift < 0.05 {
+		t.Fatalf("renormalization should distort geometry, drift %v", drift)
+	}
+
+	// Attack B: five known records decrypt the whole release.
+	rows := []int{7, 70, 140, 210, 280}
+	q, err := attack.KnownIO(normalized.SelectRows(rows), protected.Released.Data.SelectRows(rows))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recovered, err := attack.RecoverWithQ(protected.Released.Data, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	met, err := attack.Measure(normalized, recovered, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if met.WithinTol < 1 {
+		t.Fatalf("known-IO should fully decrypt: %.3f", met.WithinTol)
+	}
+}
+
+// TestIntegrationCSVPipeline pushes a dataset through CSV serialization at
+// every stage: write raw, read, protect, write release, read, recover.
+func TestIntegrationCSVPipeline(t *testing.T) {
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(104))
+	blobs, err := dataset.WellSeparatedBlobs(60, 2, 3, 10, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rawPath := dir + "/raw.csv"
+	if err := dataset.WriteCSVFile(rawPath, blobs); err != nil {
+		t.Fatal(err)
+	}
+	opts := dataset.DefaultCSVOptions()
+	opts.LabelColumn = 3
+	loaded, err := dataset.ReadCSVFile(rawPath, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	protected, err := Protect(loaded, ProtectOptions{Thresholds: []PST{{Rho1: 0.1, Rho2: 0.1}}, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	relPath := dir + "/released.csv"
+	if err := dataset.WriteCSVFile(relPath, protected.Released); err != nil {
+		t.Fatal(err)
+	}
+	released, err := dataset.ReadCSVFile(relPath, dataset.DefaultCSVOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	secretBlob, err := protected.Secret().Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	secret, err := ParseSecret(secretBlob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Recover(released, secret)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matrix.EqualApprox(back.Data, loaded.Data, 1e-7) {
+		t.Fatal("CSV round-trip recovery failed")
+	}
+}

@@ -1,0 +1,222 @@
+// Package attack implements adversary models against RBT-released data.
+//
+// Two of them come straight from the paper: the re-normalization attempt of
+// Section 5.2 (shown there — and here, as Table 5 — to destroy distances
+// rather than recover data) and the brute-force angle search the paper's
+// "computational security" argument appeals to. The other two are the
+// attacks later shown to break rotation perturbation (cf. Liu, Giannella &
+// Kargupta 2006): exact recovery from a few known input-output record
+// pairs, and PCA eigenstructure alignment using only distributional
+// knowledge. Their success here is the quantitative form of the paper's
+// soundness caveat recorded in DESIGN.md.
+package attack
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"ppclust/internal/matrix"
+	"ppclust/internal/norm"
+	"ppclust/internal/rotate"
+	"ppclust/internal/stats"
+)
+
+// ErrAttack is wrapped by attack precondition failures.
+var ErrAttack = errors.New("attack: invalid input")
+
+// RecoveryMetrics quantifies how well an attack reconstructed the original
+// (normalized) data.
+type RecoveryMetrics struct {
+	// RMSE is the root mean squared error over all cells.
+	RMSE float64
+	// MaxAbs is the worst single-cell absolute error.
+	MaxAbs float64
+	// WithinTol is the fraction of cells recovered within the tolerance
+	// passed to Measure.
+	WithinTol float64
+}
+
+// Measure compares recovered data against the truth.
+func Measure(truth, recovered *matrix.Dense, tol float64) (RecoveryMetrics, error) {
+	tr, tc := truth.Dims()
+	rr, rc := recovered.Dims()
+	if tr != rr || tc != rc {
+		return RecoveryMetrics{}, fmt.Errorf("%w: %dx%d vs %dx%d", ErrAttack, tr, tc, rr, rc)
+	}
+	var sq, maxAbs float64
+	var within int
+	for i := 0; i < tr; i++ {
+		a, b := truth.RawRow(i), recovered.RawRow(i)
+		for j := range a {
+			d := math.Abs(a[j] - b[j])
+			sq += d * d
+			if d > maxAbs {
+				maxAbs = d
+			}
+			if d <= tol {
+				within++
+			}
+		}
+	}
+	n := float64(tr * tc)
+	return RecoveryMetrics{
+		RMSE:      math.Sqrt(sq / n),
+		MaxAbs:    maxAbs,
+		WithinTol: float64(within) / n,
+	}, nil
+}
+
+// Renormalize re-standardizes released data exactly as the Section 5.2
+// attacker does: fit a z-score on the released matrix and transform it.
+// The paper's defense argument is that this changes the dissimilarity
+// matrix (Table 5 vs Table 6), making the result useless; the experiments
+// verify that claim.
+func Renormalize(released *matrix.Dense) (*matrix.Dense, error) {
+	z := &norm.ZScore{Denominator: stats.Sample}
+	out, err := norm.FitTransform(z, released)
+	if err != nil {
+		return nil, fmt.Errorf("attack: renormalize: %w", err)
+	}
+	return out, nil
+}
+
+// KnownRecord is one record the attacker knows in the original
+// (normalized) space, along with its row index in the released data.
+// Row correspondence is the standard known input-output attack assumption:
+// the adversary re-identified a few released rows out of band (e.g. a
+// patient knowing their own record).
+type KnownRecord struct {
+	Row    int
+	Values []float64
+}
+
+// BruteForceAngle recovers the rotation angle of a single attribute pair by
+// scanning [0, 360) at stepDeg resolution and refining around the best
+// candidate, minimizing the squared error between the rotated known
+// originals and the released values on columns (i, j). It assumes those two
+// columns were distorted by one rotation (true for any RBT pair whose
+// attributes are not reused by a later pair).
+//
+// It returns the best angle and its root mean squared error on the known
+// records. The paper argues this search is hard because θ is a continuous
+// value; the experiment shows a coarse-to-fine scan needs only a few
+// thousand probes per pair.
+func BruteForceAngle(released *matrix.Dense, i, j int, known []KnownRecord, stepDeg float64) (theta float64, rmse float64, err error) {
+	if len(known) == 0 {
+		return 0, 0, fmt.Errorf("%w: no known records", ErrAttack)
+	}
+	if stepDeg <= 0 {
+		stepDeg = 0.1
+	}
+	m, n := released.Dims()
+	if i < 0 || i >= n || j < 0 || j >= n || i == j {
+		return 0, 0, fmt.Errorf("%w: bad pair (%d,%d) for %d attributes", ErrAttack, i, j, n)
+	}
+	for _, k := range known {
+		if k.Row < 0 || k.Row >= m {
+			return 0, 0, fmt.Errorf("%w: known row %d out of range", ErrAttack, k.Row)
+		}
+		if len(k.Values) != n {
+			return 0, 0, fmt.Errorf("%w: known record has %d values, want %d", ErrAttack, len(k.Values), n)
+		}
+	}
+	cost := func(t float64) float64 {
+		rad := rotate.Degrees(t)
+		c, s := math.Cos(rad), math.Sin(rad)
+		var sq float64
+		for _, k := range known {
+			xi, xj := k.Values[i], k.Values[j]
+			pi := c*xi + s*xj
+			pj := -s*xi + c*xj
+			di := pi - released.At(k.Row, i)
+			dj := pj - released.At(k.Row, j)
+			sq += di*di + dj*dj
+		}
+		return sq
+	}
+	best, bestCost := 0.0, math.Inf(1)
+	for t := 0.0; t < 360; t += stepDeg {
+		if c := cost(t); c < bestCost {
+			best, bestCost = t, c
+		}
+	}
+	// Golden-section refinement around the best grid point.
+	lo, hi := best-stepDeg, best+stepDeg
+	for it := 0; it < 80 && hi-lo > 1e-10; it++ {
+		m1 := lo + (hi-lo)/3
+		m2 := hi - (hi-lo)/3
+		if cost(m1) < cost(m2) {
+			hi = m2
+		} else {
+			lo = m1
+		}
+	}
+	theta = rotate.NormalizeDegrees((lo + hi) / 2)
+	rmse = math.Sqrt(cost(theta) / float64(2*len(known)))
+	return theta, rmse, nil
+}
+
+// KnownIO recovers the full orthogonal transform Q (where each released row
+// is y = Q·x) from k known (original, released) record pairs. It solves the
+// least-squares system Xᵀ·Qᵀ ≈ Yᵀ via the normal equations and then
+// projects the estimate onto the orthogonal group with a polar
+// decomposition, which both denoises and enforces Q's known structure.
+//
+// With n linearly independent known records the recovery is exact: this is
+// the classic result that rotation perturbation offers no protection
+// against an adversary who knows a handful of records.
+func KnownIO(knownOriginal, knownReleased *matrix.Dense) (*matrix.Dense, error) {
+	kr, n := knownOriginal.Dims()
+	kr2, n2 := knownReleased.Dims()
+	if kr != kr2 || n != n2 {
+		return nil, fmt.Errorf("%w: known pairs %dx%d vs %dx%d", ErrAttack, kr, n, kr2, n2)
+	}
+	if kr < n {
+		return nil, fmt.Errorf("%w: need at least %d known records for %d attributes, got %d", ErrAttack, n, n, kr)
+	}
+	// Normal equations: (XᵀX)·Qᵀ = Xᵀ·Y.
+	xt := knownOriginal.T()
+	xtx := matrix.MustMul(xt, knownOriginal)
+	xty := matrix.MustMul(xt, knownReleased)
+	lu, err := matrix.NewLU(xtx)
+	if err != nil {
+		return nil, err
+	}
+	qt, err := lu.SolveMatrix(xty)
+	if err != nil {
+		return nil, fmt.Errorf("%w: known records are linearly dependent: %v", ErrAttack, err)
+	}
+	q := qt.T()
+	return NearestOrthogonal(q)
+}
+
+// NearestOrthogonal projects a square matrix onto the orthogonal group via
+// the polar decomposition M = Q·(MᵀM)^½, computed with the symmetric
+// eigensolver.
+func NearestOrthogonal(m *matrix.Dense) (*matrix.Dense, error) {
+	r, c := m.Dims()
+	if r != c {
+		return nil, fmt.Errorf("%w: non-square %dx%d", ErrAttack, r, c)
+	}
+	mtm := matrix.MustMul(m.T(), m)
+	eig, err := matrix.SymEigen(mtm)
+	if err != nil {
+		return nil, err
+	}
+	invSqrt := make([]float64, r)
+	for i, v := range eig.Values {
+		if v <= 1e-12 {
+			return nil, fmt.Errorf("%w: rank-deficient estimate (eigenvalue %g)", ErrAttack, v)
+		}
+		invSqrt[i] = 1 / math.Sqrt(v)
+	}
+	s := matrix.MustMul(matrix.MustMul(eig.Vectors, matrix.Diagonal(invSqrt)), eig.Vectors.T())
+	return matrix.Mul(m, s)
+}
+
+// RecoverWithQ inverts the release given an estimated Q: since y = Q·x per
+// row, X̂ = Y·Q (row-major convention, Qᵀ inverse of Q).
+func RecoverWithQ(released, q *matrix.Dense) (*matrix.Dense, error) {
+	return matrix.Mul(released, q)
+}

@@ -1,0 +1,251 @@
+package attack
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ppclust/internal/core"
+	"ppclust/internal/dataset"
+	"ppclust/internal/dist"
+	"ppclust/internal/matrix"
+	"ppclust/internal/norm"
+	"ppclust/internal/stats"
+)
+
+// paperRelease reproduces the paper's released cardiac data (Table 3) along
+// with the normalized original (Table 2 values, computed).
+func paperRelease(t *testing.T) (normalized, released *matrix.Dense, key core.Key) {
+	t.Helper()
+	z := &norm.ZScore{Denominator: stats.Sample}
+	nd, err := norm.FitTransform(z, dataset.CardiacSample().Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Transform(nd, core.Options{
+		Pairs:       []core.Pair{{I: 0, J: 2}, {I: 1, J: 0}},
+		Thresholds:  []core.PST{{Rho1: 0.30, Rho2: 0.55}, {Rho1: 2.30, Rho2: 2.30}},
+		FixedAngles: []float64{312.47, 147.29},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nd, res.DPrime, res.Key
+}
+
+// Table 5: re-normalizing the released data yields exactly the paper's
+// distorted dissimilarity matrix — the attack fails to restore geometry.
+func TestRenormalizeReproducesTable5(t *testing.T) {
+	_, released, _ := paperRelease(t)
+	renorm, err := Renormalize(released)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dm := dist.NewDissimMatrix(renorm, dist.Euclidean{})
+	want := dataset.PaperTable5()
+	got := dm.LowerTriangle()
+	for i, row := range want {
+		for j, v := range row {
+			if math.Abs(got[i][j]-v) > 5e-4 {
+				t.Fatalf("renormalized d(%d,%d) = %.4f, Table 5 says %.4f", i+1, j, got[i][j], v)
+			}
+		}
+	}
+}
+
+func TestRenormalizeChangesDistances(t *testing.T) {
+	nd, released, _ := paperRelease(t)
+	renorm, err := Renormalize(released)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := dist.NewDissimMatrix(nd, dist.Euclidean{})
+	attacked := dist.NewDissimMatrix(renorm, dist.Euclidean{})
+	d, err := orig.MaxAbsDiff(attacked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d < 0.5 {
+		t.Fatalf("paper claims renormalization distorts distances; max diff only %v", d)
+	}
+}
+
+func TestRenormalizeDegenerate(t *testing.T) {
+	constant := matrix.FromRows([][]float64{{1, 2}, {1, 3}})
+	if _, err := Renormalize(constant); err == nil {
+		t.Fatal("constant column should fail renormalization")
+	}
+}
+
+func TestMeasure(t *testing.T) {
+	a := matrix.FromRows([][]float64{{0, 0}, {1, 1}})
+	b := matrix.FromRows([][]float64{{0.1, 0}, {1, 1}})
+	m, err := Measure(a, b, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.MaxAbs-0.1) > 1e-12 {
+		t.Fatalf("MaxAbs = %v", m.MaxAbs)
+	}
+	if math.Abs(m.WithinTol-0.75) > 1e-12 {
+		t.Fatalf("WithinTol = %v", m.WithinTol)
+	}
+	if math.Abs(m.RMSE-math.Sqrt(0.01/4)) > 1e-12 {
+		t.Fatalf("RMSE = %v", m.RMSE)
+	}
+	if _, err := Measure(a, matrix.NewDense(1, 2, nil), 0.1); !errors.Is(err, ErrAttack) {
+		t.Fatal("shape mismatch should fail")
+	}
+}
+
+// A single known record pins down the rotation angle of a pair: the paper's
+// continuous-angle argument does not survive known plaintext.
+func TestBruteForceAngleRecoversTheta(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	data := matrix.RandomDense(30, 4, rng)
+	const trueTheta = 123.456
+	res, err := core.Transform(data, core.Options{
+		Pairs:       []core.Pair{{I: 0, J: 1}, {I: 2, J: 3}},
+		Thresholds:  []core.PST{{Rho1: 1e-9, Rho2: 1e-9}},
+		FixedAngles: []float64{trueTheta, 77},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	known := []KnownRecord{{Row: 4, Values: data.Row(4)}, {Row: 9, Values: data.Row(9)}}
+	theta, rmse, err := BruteForceAngle(res.DPrime, 0, 1, known, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(theta-trueTheta) > 0.01 {
+		t.Fatalf("recovered θ = %v, want %v", theta, trueTheta)
+	}
+	if rmse > 1e-6 {
+		t.Fatalf("rmse = %v, want ~0", rmse)
+	}
+}
+
+func TestBruteForceAngleErrors(t *testing.T) {
+	released := matrix.NewDense(5, 3, nil)
+	known := []KnownRecord{{Row: 0, Values: []float64{0, 0, 0}}}
+	if _, _, err := BruteForceAngle(released, 0, 0, known, 0.1); !errors.Is(err, ErrAttack) {
+		t.Fatal("bad pair should fail")
+	}
+	if _, _, err := BruteForceAngle(released, 0, 1, nil, 0.1); !errors.Is(err, ErrAttack) {
+		t.Fatal("no known records should fail")
+	}
+	if _, _, err := BruteForceAngle(released, 0, 1, []KnownRecord{{Row: 9, Values: []float64{0, 0, 0}}}, 0.1); !errors.Is(err, ErrAttack) {
+		t.Fatal("row out of range should fail")
+	}
+	if _, _, err := BruteForceAngle(released, 0, 1, []KnownRecord{{Row: 0, Values: []float64{0}}}, 0.1); !errors.Is(err, ErrAttack) {
+		t.Fatal("short record should fail")
+	}
+}
+
+// With n linearly independent known records the full RBT key matrix is
+// recovered exactly and every record is decrypted.
+func TestKnownIORecoversEverything(t *testing.T) {
+	nd, released, key := paperRelease(t)
+	// Attacker knows 3 of the 5 records (n = 3 attributes).
+	knownOrig := nd.SelectRows([]int{0, 2, 4})
+	knownRel := released.SelectRows([]int{0, 2, 4})
+	qhat, err := KnownIO(knownOrig, knownRel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qtrue, err := key.AsOrthogonal(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matrix.EqualApprox(qhat, qtrue, 1e-8) {
+		t.Fatalf("Q estimate wrong:\n%v\nwant\n%v", qhat, qtrue)
+	}
+	recovered, err := RecoverWithQ(released, qhat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Measure(nd, recovered, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.WithinTol < 1 {
+		t.Fatalf("known-IO attack should recover all cells, got %v", m.WithinTol)
+	}
+}
+
+func TestKnownIOErrors(t *testing.T) {
+	if _, err := KnownIO(matrix.NewDense(2, 3, nil), matrix.NewDense(2, 3, nil)); !errors.Is(err, ErrAttack) {
+		t.Fatal("too few records should fail")
+	}
+	if _, err := KnownIO(matrix.NewDense(3, 3, nil), matrix.NewDense(2, 3, nil)); !errors.Is(err, ErrAttack) {
+		t.Fatal("shape mismatch should fail")
+	}
+	// Linearly dependent known records.
+	dep := matrix.FromRows([][]float64{{1, 0}, {2, 0}, {3, 0}})
+	if _, err := KnownIO(dep, dep); !errors.Is(err, ErrAttack) {
+		t.Fatal("dependent records should fail")
+	}
+}
+
+func TestNearestOrthogonal(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	q := matrix.RandomOrthogonal(4, rng)
+	// Perturb slightly; projection should return near q.
+	noisy := q.Clone()
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			noisy.SetAt(i, j, noisy.At(i, j)+0.01*rng.NormFloat64())
+		}
+	}
+	proj, err := NearestOrthogonal(noisy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matrix.IsOrthogonal(proj, 1e-9) {
+		t.Fatal("projection must be orthogonal")
+	}
+	if d, _ := matrix.MaxAbsDiff(proj, q); d > 0.05 {
+		t.Fatalf("projection drifted from truth by %v", d)
+	}
+	if _, err := NearestOrthogonal(matrix.NewDense(2, 3, nil)); !errors.Is(err, ErrAttack) {
+		t.Fatal("non-square should fail")
+	}
+	if _, err := NearestOrthogonal(matrix.NewDense(2, 2, nil)); !errors.Is(err, ErrAttack) {
+		t.Fatal("rank-deficient should fail")
+	}
+}
+
+// Property: known-IO with exactly n random independent records recovers a
+// random RBT key's matrix.
+func TestQuickKnownIOExactRecovery(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(5)
+		m := n + 5 + rng.Intn(20)
+		data := matrix.RandomDense(m, n, rng)
+		res, err := core.Transform(data, core.Options{
+			Pairs:      core.RandomPairs(n, rng),
+			Thresholds: []core.PST{{Rho1: 1e-9, Rho2: 1e-9}},
+			Rand:       rng,
+		})
+		if err != nil {
+			return false
+		}
+		rows := rng.Perm(m)[:n]
+		qhat, err := KnownIO(data.SelectRows(rows), res.DPrime.SelectRows(rows))
+		if err != nil {
+			return false
+		}
+		recovered, err := RecoverWithQ(res.DPrime, qhat)
+		if err != nil {
+			return false
+		}
+		met, err := Measure(data, recovered, 1e-6)
+		return err == nil && met.WithinTol == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

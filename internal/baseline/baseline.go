@@ -1,0 +1,247 @@
+// Package baseline implements the prior-art perturbation methods RBT is
+// compared against — the geometric transforms of the authors' earlier work
+// [Oliveira & Zaïane 2003] (translation, scaling, un-normalized rotation)
+// and the additive-noise distortion family from the statistical-database
+// literature [Adam & Worthmann 1989; Muralidhar et al. 1999] — plus value
+// swapping and a full n-dimensional random orthogonal transform as the
+// natural modern extension of RBT.
+//
+// All methods implement a single Perturber interface so the comparison
+// experiments (EXT-3) can sweep them uniformly.
+package baseline
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"ppclust/internal/matrix"
+	"ppclust/internal/rotate"
+)
+
+// ErrConfig is wrapped by invalid perturbation configurations.
+var ErrConfig = errors.New("baseline: invalid configuration")
+
+// Perturber distorts a data matrix for privacy. Implementations never
+// mutate the input.
+type Perturber interface {
+	// Perturb returns the distorted copy of data.
+	Perturb(data *matrix.Dense) (*matrix.Dense, error)
+	// Name identifies the method in experiment reports.
+	Name() string
+}
+
+// AdditiveNoise adds independent noise to every cell: the classic data
+// distortion that [10] found to "exacerbate the problem of
+// misclassification" when the perturbed attributes are viewed as points in
+// n-dimensional space.
+type AdditiveNoise struct {
+	// Sigma is the noise scale: the standard deviation for Gaussian noise,
+	// or the half-width for Uniform noise.
+	Sigma float64
+	// Uniform selects U(-Sigma, +Sigma) noise instead of N(0, Sigma²).
+	Uniform bool
+	// Rand supplies randomness; nil means a fixed-seed source.
+	Rand *rand.Rand
+}
+
+// Name implements Perturber.
+func (a *AdditiveNoise) Name() string {
+	if a.Uniform {
+		return fmt.Sprintf("additive-uniform(%g)", a.Sigma)
+	}
+	return fmt.Sprintf("additive-gaussian(%g)", a.Sigma)
+}
+
+// Perturb implements Perturber.
+func (a *AdditiveNoise) Perturb(data *matrix.Dense) (*matrix.Dense, error) {
+	if a.Sigma <= 0 {
+		return nil, fmt.Errorf("%w: sigma = %g, need > 0", ErrConfig, a.Sigma)
+	}
+	rng := a.Rand
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	out := data.Clone()
+	r, c := out.Dims()
+	for i := 0; i < r; i++ {
+		row := out.RawRow(i)
+		for j := 0; j < c; j++ {
+			if a.Uniform {
+				row[j] += (2*rng.Float64() - 1) * a.Sigma
+			} else {
+				row[j] += rng.NormFloat64() * a.Sigma
+			}
+		}
+	}
+	return out, nil
+}
+
+// Translation shifts each attribute by a constant — the TDP family of the
+// authors' earlier work. Distances are preserved (it is an isometry), but
+// unlike rotation a translation of a single attribute is trivially
+// reversible once any one original value leaks.
+type Translation struct {
+	// Offsets holds one shift per attribute; a single-element slice is
+	// broadcast to all attributes.
+	Offsets []float64
+}
+
+// Name implements Perturber.
+func (t *Translation) Name() string { return "translation" }
+
+// Perturb implements Perturber.
+func (t *Translation) Perturb(data *matrix.Dense) (*matrix.Dense, error) {
+	_, c := data.Dims()
+	offsets, err := broadcast(t.Offsets, c)
+	if err != nil {
+		return nil, err
+	}
+	out := data.Clone()
+	for i := 0; i < out.Rows(); i++ {
+		row := out.RawRow(i)
+		for j := range row {
+			row[j] += offsets[j]
+		}
+	}
+	return out, nil
+}
+
+// Scaling multiplies each attribute by a constant — the SDP family. It is
+// NOT an isometry: inter-point distances change, which is exactly why [10]
+// found it breaks clustering without careful normalization.
+type Scaling struct {
+	// Factors holds one multiplier per attribute; a single-element slice is
+	// broadcast. Factors must be non-zero.
+	Factors []float64
+}
+
+// Name implements Perturber.
+func (s *Scaling) Name() string { return "scaling" }
+
+// Perturb implements Perturber.
+func (s *Scaling) Perturb(data *matrix.Dense) (*matrix.Dense, error) {
+	_, c := data.Dims()
+	factors, err := broadcast(s.Factors, c)
+	if err != nil {
+		return nil, err
+	}
+	for j, f := range factors {
+		if f == 0 {
+			return nil, fmt.Errorf("%w: zero scaling factor for attribute %d", ErrConfig, j)
+		}
+	}
+	out := data.Clone()
+	for i := 0; i < out.Rows(); i++ {
+		row := out.RawRow(i)
+		for j := range row {
+			row[j] *= factors[j]
+		}
+	}
+	return out, nil
+}
+
+// SimpleRotation applies a single pairwise rotation to raw, un-normalized
+// data — the configuration the prior work [10] showed to be unsafe for
+// clustering when attribute scales differ, because without normalization
+// attributes with large ranges dominate and the privacy of the small-range
+// attribute is illusory. Included as the negative baseline.
+type SimpleRotation struct {
+	// I, J is the ordered attribute pair.
+	I, J int
+	// ThetaDeg is the clockwise rotation angle in degrees.
+	ThetaDeg float64
+}
+
+// Name implements Perturber.
+func (s *SimpleRotation) Name() string { return fmt.Sprintf("simple-rotation(%g°)", s.ThetaDeg) }
+
+// Perturb implements Perturber.
+func (s *SimpleRotation) Perturb(data *matrix.Dense) (*matrix.Dense, error) {
+	out, err := rotate.PairCopy(data, s.I, s.J, s.ThetaDeg)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrConfig, err)
+	}
+	return out, nil
+}
+
+// Swapping randomly permutes the values within each attribute
+// independently. Marginal distributions are preserved exactly, but the
+// joint structure — and with it any clustering — is destroyed; it anchors
+// the "maximum privacy, zero utility" end of the comparison.
+type Swapping struct {
+	// Rand supplies the permutation randomness; nil means a fixed-seed
+	// source.
+	Rand *rand.Rand
+}
+
+// Name implements Perturber.
+func (s *Swapping) Name() string { return "swapping" }
+
+// Perturb implements Perturber.
+func (s *Swapping) Perturb(data *matrix.Dense) (*matrix.Dense, error) {
+	rng := s.Rand
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	out := data.Clone()
+	r, c := out.Dims()
+	for j := 0; j < c; j++ {
+		perm := rng.Perm(r)
+		col := out.Col(j)
+		for i := 0; i < r; i++ {
+			out.SetAt(i, j, col[perm[i]])
+		}
+	}
+	return out, nil
+}
+
+// RandomOrthogonal applies one Haar-random n-dimensional orthogonal matrix
+// to every row. It is the natural generalization of RBT (every RBT key is a
+// product of Givens rotations, hence orthogonal) with a much larger key
+// space; distances are preserved exactly.
+type RandomOrthogonal struct {
+	// Rand supplies the matrix randomness; nil means a fixed-seed source.
+	Rand *rand.Rand
+	// Q, when non-nil, fixes the transform instead of sampling one; used by
+	// the attack experiments that need the ground-truth matrix.
+	Q *matrix.Dense
+}
+
+// Name implements Perturber.
+func (r *RandomOrthogonal) Name() string { return "random-orthogonal" }
+
+// Perturb implements Perturber.
+func (r *RandomOrthogonal) Perturb(data *matrix.Dense) (*matrix.Dense, error) {
+	_, c := data.Dims()
+	q := r.Q
+	if q == nil {
+		rng := r.Rand
+		if rng == nil {
+			rng = rand.New(rand.NewSource(1))
+		}
+		q = matrix.RandomOrthogonal(c, rng)
+	}
+	out, err := rotate.ApplyOrthogonal(data, q)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrConfig, err)
+	}
+	return out, nil
+}
+
+func broadcast(vals []float64, c int) ([]float64, error) {
+	switch len(vals) {
+	case 0:
+		return nil, fmt.Errorf("%w: no per-attribute parameters", ErrConfig)
+	case 1:
+		out := make([]float64, c)
+		for i := range out {
+			out[i] = vals[0]
+		}
+		return out, nil
+	case c:
+		return vals, nil
+	default:
+		return nil, fmt.Errorf("%w: %d parameters for %d attributes", ErrConfig, len(vals), c)
+	}
+}

@@ -1,0 +1,265 @@
+package baseline
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"ppclust/internal/dist"
+	"ppclust/internal/matrix"
+	"ppclust/internal/stats"
+)
+
+func testData(seed int64, m, n int) *matrix.Dense {
+	return matrix.RandomDense(m, n, rand.New(rand.NewSource(seed)))
+}
+
+func TestAdditiveNoiseDistorts(t *testing.T) {
+	data := testData(1, 50, 3)
+	for _, uniform := range []bool{false, true} {
+		p := &AdditiveNoise{Sigma: 0.5, Uniform: uniform, Rand: rand.New(rand.NewSource(2))}
+		out, err := p.Perturb(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if matrix.EqualApprox(out, data, 1e-9) {
+			t.Fatalf("%s did not perturb", p.Name())
+		}
+		d, err := matrix.MaxAbsDiff(out, data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if uniform && d > 0.5+1e-9 {
+			t.Fatalf("uniform noise exceeded its half-width: %v", d)
+		}
+	}
+}
+
+func TestAdditiveNoiseBreaksDistances(t *testing.T) {
+	// The core claim of [10]: additive noise changes inter-point distances.
+	data := testData(3, 30, 2)
+	p := &AdditiveNoise{Sigma: 1, Rand: rand.New(rand.NewSource(4))}
+	out, err := p.Perturb(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := dist.NewDissimMatrix(data, dist.Euclidean{})
+	after := dist.NewDissimMatrix(out, dist.Euclidean{})
+	maxDiff, err := before.MaxAbsDiff(after)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maxDiff < 0.1 {
+		t.Fatalf("additive noise should distort distances, max diff %v", maxDiff)
+	}
+}
+
+func TestAdditiveNoiseConfig(t *testing.T) {
+	if _, err := (&AdditiveNoise{Sigma: 0}).Perturb(testData(5, 3, 2)); !errors.Is(err, ErrConfig) {
+		t.Fatal("sigma=0 should fail")
+	}
+	// Nil Rand must be deterministic.
+	a, err := (&AdditiveNoise{Sigma: 1}).Perturb(testData(6, 5, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := (&AdditiveNoise{Sigma: 1}).Perturb(testData(6, 5, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matrix.Equal(a, b) {
+		t.Fatal("nil Rand should be reproducible")
+	}
+}
+
+func TestTranslationIsometryAndBroadcast(t *testing.T) {
+	data := testData(7, 20, 3)
+	p := &Translation{Offsets: []float64{5}}
+	out, err := p.Perturb(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := dist.NewDissimMatrix(data, dist.Euclidean{})
+	after := dist.NewDissimMatrix(out, dist.Euclidean{})
+	if d, _ := before.MaxAbsDiff(after); d > 1e-9 {
+		t.Fatalf("translation must preserve distances, diff %v", d)
+	}
+	if math.Abs(out.At(0, 0)-data.At(0, 0)-5) > 1e-12 {
+		t.Fatal("offset not applied")
+	}
+	perAttr := &Translation{Offsets: []float64{1, 2, 3}}
+	out2, err := perAttr.Perturb(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(out2.At(0, 2)-data.At(0, 2)-3) > 1e-12 {
+		t.Fatal("per-attribute offsets not applied")
+	}
+	if _, err := (&Translation{}).Perturb(data); !errors.Is(err, ErrConfig) {
+		t.Fatal("no offsets should fail")
+	}
+	if _, err := (&Translation{Offsets: []float64{1, 2}}).Perturb(data); !errors.Is(err, ErrConfig) {
+		t.Fatal("wrong offset count should fail")
+	}
+}
+
+func TestScalingBreaksDistances(t *testing.T) {
+	data := testData(8, 20, 2)
+	p := &Scaling{Factors: []float64{3, 0.5}}
+	out, err := p.Perturb(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := dist.NewDissimMatrix(data, dist.Euclidean{})
+	after := dist.NewDissimMatrix(out, dist.Euclidean{})
+	if d, _ := before.MaxAbsDiff(after); d < 1e-3 {
+		t.Fatal("anisotropic scaling should change distances")
+	}
+	if _, err := (&Scaling{Factors: []float64{0}}).Perturb(data); !errors.Is(err, ErrConfig) {
+		t.Fatal("zero factor should fail")
+	}
+}
+
+func TestSimpleRotation(t *testing.T) {
+	data := testData(9, 15, 3)
+	p := &SimpleRotation{I: 0, J: 2, ThetaDeg: 65}
+	out, err := p.Perturb(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rotation is an isometry even without normalization; the weakness is
+	// in privacy, not geometry.
+	before := dist.NewDissimMatrix(data, dist.Euclidean{})
+	after := dist.NewDissimMatrix(out, dist.Euclidean{})
+	if d, _ := before.MaxAbsDiff(after); d > 1e-9 {
+		t.Fatalf("rotation must preserve distances, diff %v", d)
+	}
+	// Untouched column stays intact.
+	if !matrix.EqualApprox(matrix.NewDense(15, 1, out.Col(1)), matrix.NewDense(15, 1, data.Col(1)), 1e-12) {
+		t.Fatal("column 1 should be untouched")
+	}
+	if _, err := (&SimpleRotation{I: 0, J: 0, ThetaDeg: 10}).Perturb(data); !errors.Is(err, ErrConfig) {
+		t.Fatal("bad pair should fail")
+	}
+}
+
+func TestSwappingPreservesMarginals(t *testing.T) {
+	data := testData(10, 40, 3)
+	p := &Swapping{Rand: rand.New(rand.NewSource(11))}
+	out, err := p.Perturb(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 3; j++ {
+		a := data.Col(j)
+		b := out.Col(j)
+		sort.Float64s(a)
+		sort.Float64s(b)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("column %d marginal changed", j)
+			}
+		}
+	}
+	if matrix.EqualApprox(out, data, 1e-12) {
+		t.Fatal("swapping left data unchanged (astronomically unlikely)")
+	}
+}
+
+func TestRandomOrthogonalIsometry(t *testing.T) {
+	data := testData(12, 25, 4)
+	p := &RandomOrthogonal{Rand: rand.New(rand.NewSource(13))}
+	out, err := p.Perturb(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := dist.NewDissimMatrix(data, dist.Euclidean{})
+	after := dist.NewDissimMatrix(out, dist.Euclidean{})
+	if d, _ := before.MaxAbsDiff(after); d > 1e-9 {
+		t.Fatalf("orthogonal transform must preserve distances, diff %v", d)
+	}
+}
+
+func TestRandomOrthogonalFixedQ(t *testing.T) {
+	data := testData(14, 10, 3)
+	q := matrix.RandomOrthogonal(3, rand.New(rand.NewSource(15)))
+	p := &RandomOrthogonal{Q: q}
+	out, err := p.Perturb(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := matrix.MustMul(data, q.T())
+	if !matrix.EqualApprox(out, want, 1e-12) {
+		t.Fatal("fixed Q not applied as documented")
+	}
+	bad := &RandomOrthogonal{Q: matrix.Identity(2)}
+	if _, err := bad.Perturb(data); !errors.Is(err, ErrConfig) {
+		t.Fatal("wrong-size Q should fail")
+	}
+}
+
+func TestNamesNonEmpty(t *testing.T) {
+	ps := []Perturber{
+		&AdditiveNoise{Sigma: 1}, &AdditiveNoise{Sigma: 1, Uniform: true},
+		&Translation{}, &Scaling{}, &SimpleRotation{}, &Swapping{}, &RandomOrthogonal{},
+	}
+	for _, p := range ps {
+		if p.Name() == "" {
+			t.Fatal("empty perturber name")
+		}
+	}
+}
+
+// Property: no perturber mutates its input.
+func TestQuickPerturbersDoNotMutate(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		data := matrix.RandomDense(5+rng.Intn(20), 3, rng)
+		snapshot := data.Clone()
+		ps := []Perturber{
+			&AdditiveNoise{Sigma: 0.5, Rand: rng},
+			&Translation{Offsets: []float64{1}},
+			&Scaling{Factors: []float64{2}},
+			&SimpleRotation{I: 0, J: 2, ThetaDeg: 30},
+			&Swapping{Rand: rng},
+			&RandomOrthogonal{Rand: rng},
+		}
+		for _, p := range ps {
+			if _, err := p.Perturb(data); err != nil {
+				return false
+			}
+			if !matrix.Equal(data, snapshot) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: additive noise security variance grows with sigma.
+func TestQuickNoiseSecurityMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		data := matrix.RandomDense(200, 2, rng)
+		small, err := (&AdditiveNoise{Sigma: 0.1, Rand: rand.New(rand.NewSource(seed))}).Perturb(data)
+		if err != nil {
+			return false
+		}
+		large, err := (&AdditiveNoise{Sigma: 2, Rand: rand.New(rand.NewSource(seed))}).Perturb(data)
+		if err != nil {
+			return false
+		}
+		vs := stats.Variance(matrix.SubVec(data.Col(0), small.Col(0)), stats.Sample)
+		vl := stats.Variance(matrix.SubVec(data.Col(0), large.Col(0)), stats.Sample)
+		return vl > vs
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

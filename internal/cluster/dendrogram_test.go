@@ -1,0 +1,78 @@
+package cluster
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"ppclust/internal/matrix"
+)
+
+func TestDendrogramRender(t *testing.T) {
+	data := matrix.FromRows([][]float64{{0}, {1}, {10}, {11}})
+	h := &Hierarchical{K: 2, Linkage: AverageLinkage}
+	dend, err := h.Dendrogram(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := dend.Render([]string{"a", "b", "c", "d"}, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"a", "b", "c", "d", "merge heights:", "1.0000"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	// Leaves merged first (a-b, c-d) must have shorter bars than the final
+	// cross-cluster merge height printed at the margin.
+	lines := strings.Split(out, "\n")
+	if len(lines) < 6 {
+		t.Fatalf("too few lines:\n%s", out)
+	}
+}
+
+func TestDendrogramRenderDefaultsAndErrors(t *testing.T) {
+	data := matrix.FromRows([][]float64{{0}, {3}})
+	dend, err := (&Hierarchical{K: 1}).Dendrogram(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := dend.Render(nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "#0") || !strings.Contains(out, "#1") {
+		t.Fatalf("default labels missing:\n%s", out)
+	}
+	if _, err := dend.Render([]string{"only-one"}, 40); !errors.Is(err, ErrConfig) {
+		t.Fatal("label count mismatch should fail")
+	}
+}
+
+func TestDendrogramRenderSingleLeaf(t *testing.T) {
+	dend, err := (&Hierarchical{K: 1}).Dendrogram(matrix.FromRows([][]float64{{5}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := dend.Render([]string{"solo"}, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "solo") {
+		t.Fatalf("single leaf render: %q", out)
+	}
+}
+
+func TestDendrogramRenderZeroHeights(t *testing.T) {
+	// Coincident points merge at distance 0; rendering must not divide by
+	// zero.
+	data := matrix.FromRows([][]float64{{1}, {1}, {1}})
+	dend, err := (&Hierarchical{K: 1}).Dendrogram(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dend.Render(nil, 30); err != nil {
+		t.Fatal(err)
+	}
+}

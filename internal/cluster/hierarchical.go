@@ -1,0 +1,243 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"ppclust/internal/dist"
+	"ppclust/internal/matrix"
+)
+
+// Linkage selects the inter-cluster distance rule for agglomerative
+// clustering.
+type Linkage int
+
+const (
+	// SingleLinkage merges on the minimum pairwise distance.
+	SingleLinkage Linkage = iota
+	// CompleteLinkage merges on the maximum pairwise distance.
+	CompleteLinkage
+	// AverageLinkage (UPGMA) merges on the mean pairwise distance.
+	AverageLinkage
+	// WardLinkage minimizes the within-cluster variance increase; distances
+	// are interpreted as Euclidean and squared internally.
+	WardLinkage
+)
+
+// String implements fmt.Stringer.
+func (l Linkage) String() string {
+	switch l {
+	case SingleLinkage:
+		return "single"
+	case CompleteLinkage:
+		return "complete"
+	case AverageLinkage:
+		return "average"
+	case WardLinkage:
+		return "ward"
+	default:
+		return fmt.Sprintf("Linkage(%d)", int(l))
+	}
+}
+
+// Merge records one agglomeration step: clusters A and B (indices into the
+// dendrogram numbering: leaves are 0..m-1, internal nodes m, m+1, ...)
+// merged at the given linkage distance into a cluster of Size leaves.
+type Merge struct {
+	A, B int
+	Dist float64
+	Size int
+}
+
+// Dendrogram is the full merge history of an agglomerative run.
+type Dendrogram struct {
+	// Merges has m-1 entries for m leaves, in merge order.
+	Merges []Merge
+	// Leaves is the number of original objects.
+	Leaves int
+}
+
+// Cut returns the k-cluster partition obtained by undoing the last k-1
+// merges, with cluster indices relabelled to 0..k-1 in order of first
+// appearance.
+func (d *Dendrogram) Cut(k int) ([]int, error) {
+	m := d.Leaves
+	if k < 1 || k > m {
+		return nil, fmt.Errorf("%w: cut k = %d for %d leaves", ErrConfig, k, m)
+	}
+	// Union-find over leaves, replaying all but the last k-1 merges.
+	parent := make([]int, 2*m-1)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	node := m
+	for _, mg := range d.Merges[:m-k] {
+		ra, rb := find(mg.A), find(mg.B)
+		parent[ra] = node
+		parent[rb] = node
+		node++
+	}
+	labels := make([]int, m)
+	next := 0
+	seen := map[int]int{}
+	for i := 0; i < m; i++ {
+		root := find(i)
+		lab, ok := seen[root]
+		if !ok {
+			lab = next
+			seen[root] = lab
+			next++
+		}
+		labels[i] = lab
+	}
+	return labels, nil
+}
+
+// Hierarchical is agglomerative clustering via the Lance-Williams update.
+// The full dendrogram is built (O(m³) time, O(m²) space) and then cut at K
+// clusters.
+type Hierarchical struct {
+	// K is the number of clusters to cut the dendrogram at.
+	K int
+	// Linkage selects the merge rule.
+	Linkage Linkage
+	// Metric defaults to Euclidean when nil. Ward requires Euclidean.
+	Metric dist.Metric
+}
+
+// Name implements Clusterer.
+func (h *Hierarchical) Name() string {
+	return fmt.Sprintf("hierarchical(%s,k=%d)", h.Linkage, h.K)
+}
+
+// Cluster implements Clusterer.
+func (h *Hierarchical) Cluster(data *matrix.Dense) (*Result, error) {
+	dend, err := h.Dendrogram(data)
+	if err != nil {
+		return nil, err
+	}
+	labels, err := dend.Cut(h.K)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Assignments: labels, K: h.K, Converged: true, Iterations: len(dend.Merges)}, nil
+}
+
+// Dendrogram runs the full agglomeration and returns the merge tree.
+func (h *Hierarchical) Dendrogram(data *matrix.Dense) (*Dendrogram, error) {
+	if err := validateData(data, max(h.K, 1)); err != nil {
+		return nil, err
+	}
+	if h.Linkage < SingleLinkage || h.Linkage > WardLinkage {
+		return nil, fmt.Errorf("%w: unknown linkage %d", ErrConfig, int(h.Linkage))
+	}
+	metric := h.Metric
+	if metric == nil {
+		metric = dist.Euclidean{}
+	}
+	if h.Linkage == WardLinkage {
+		if _, ok := metric.(dist.Euclidean); !ok {
+			return nil, fmt.Errorf("%w: ward linkage requires the euclidean metric", ErrConfig)
+		}
+	}
+	m := data.Rows()
+	if m == 1 {
+		return &Dendrogram{Leaves: 1}, nil
+	}
+
+	// Working distance matrix; Ward operates on squared distances.
+	d := make([][]float64, m)
+	for i := range d {
+		d[i] = make([]float64, m)
+	}
+	for i := 0; i < m; i++ {
+		for j := i + 1; j < m; j++ {
+			v := metric.Distance(data.RawRow(i), data.RawRow(j))
+			if h.Linkage == WardLinkage {
+				v = v * v
+			}
+			d[i][j] = v
+			d[j][i] = v
+		}
+	}
+
+	active := make([]bool, m)
+	size := make([]int, m)
+	nodeID := make([]int, m)
+	for i := range active {
+		active[i] = true
+		size[i] = 1
+		nodeID[i] = i
+	}
+	dend := &Dendrogram{Leaves: m}
+	nextNode := m
+	for step := 0; step < m-1; step++ {
+		// Find the closest active pair.
+		bi, bj, bd := -1, -1, math.Inf(1)
+		for i := 0; i < m; i++ {
+			if !active[i] {
+				continue
+			}
+			for j := i + 1; j < m; j++ {
+				if active[j] && d[i][j] < bd {
+					bi, bj, bd = i, j, d[i][j]
+				}
+			}
+		}
+		mergeDist := bd
+		if h.Linkage == WardLinkage {
+			mergeDist = math.Sqrt(bd)
+		}
+		dend.Merges = append(dend.Merges, Merge{
+			A: nodeID[bi], B: nodeID[bj], Dist: mergeDist, Size: size[bi] + size[bj],
+		})
+		// Lance-Williams update into slot bi; deactivate bj.
+		ni, nj := float64(size[bi]), float64(size[bj])
+		for k := 0; k < m; k++ {
+			if !active[k] || k == bi || k == bj {
+				continue
+			}
+			dik, djk := d[bi][k], d[bj][k]
+			var nd float64
+			switch h.Linkage {
+			case SingleLinkage:
+				nd = math.Min(dik, djk)
+			case CompleteLinkage:
+				nd = math.Max(dik, djk)
+			case AverageLinkage:
+				nd = (ni*dik + nj*djk) / (ni + nj)
+			case WardLinkage:
+				nk := float64(size[k])
+				nd = ((ni+nk)*dik + (nj+nk)*djk - nk*d[bi][bj]) / (ni + nj + nk)
+			}
+			d[bi][k] = nd
+			d[k][bi] = nd
+		}
+		size[bi] += size[bj]
+		active[bj] = false
+		nodeID[bi] = nextNode
+		nextNode++
+	}
+	return dend, nil
+}
+
+// MergeHeights returns the sorted sequence of merge distances — a
+// representation-independent fingerprint of the tree used by the isometry
+// tests (labels may permute under isometry, heights may not).
+func (d *Dendrogram) MergeHeights() []float64 {
+	hs := make([]float64, len(d.Merges))
+	for i, m := range d.Merges {
+		hs[i] = m.Dist
+	}
+	sort.Float64s(hs)
+	return hs
+}

@@ -1,0 +1,179 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"ppclust/internal/matrix"
+)
+
+// KMeans is Lloyd's algorithm with k-means++ initialization.
+type KMeans struct {
+	// K is the number of clusters.
+	K int
+	// MaxIter caps the Lloyd iterations; 0 means 300.
+	MaxIter int
+	// Tol stops iteration when the summed squared centroid movement falls
+	// below it; 0 means 1e-10.
+	Tol float64
+	// Rand seeds the k-means++ initialization. When nil a fixed-seed source
+	// is used, making runs reproducible by default.
+	Rand *rand.Rand
+	// RandomInit selects uniform random seeding instead of k-means++.
+	RandomInit bool
+	// Restarts runs Lloyd this many times with different initializations
+	// and keeps the lowest-inertia solution; 0 means 1. Restarts guard
+	// against bad local optima in model-selection sweeps.
+	Restarts int
+}
+
+// Name implements Clusterer.
+func (k *KMeans) Name() string { return fmt.Sprintf("kmeans(k=%d)", k.K) }
+
+// Cluster implements Clusterer.
+func (k *KMeans) Cluster(data *matrix.Dense) (*Result, error) {
+	if err := validateData(data, k.K); err != nil {
+		return nil, err
+	}
+	restarts := k.Restarts
+	if restarts <= 0 {
+		restarts = 1
+	}
+	rng := k.Rand
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	var best *Result
+	for r := 0; r < restarts; r++ {
+		res, err := k.clusterOnce(data, rng)
+		if err != nil {
+			return nil, err
+		}
+		if best == nil || res.Inertia < best.Inertia {
+			best = res
+		}
+	}
+	return best, nil
+}
+
+// clusterOnce is one Lloyd run from one initialization.
+func (k *KMeans) clusterOnce(data *matrix.Dense, rng *rand.Rand) (*Result, error) {
+	m, n := data.Dims()
+	maxIter := k.MaxIter
+	if maxIter <= 0 {
+		maxIter = 300
+	}
+	tol := k.Tol
+	if tol <= 0 {
+		tol = 1e-10
+	}
+
+	var centroids *matrix.Dense
+	if k.RandomInit {
+		centroids = data.SelectRows(rng.Perm(m)[:k.K])
+	} else {
+		centroids = kmeansPlusPlus(data, k.K, rng)
+	}
+
+	assignments := make([]int, m)
+	counts := make([]int, k.K)
+	next := matrix.NewDense(k.K, n, nil)
+	result := &Result{K: k.K}
+	for iter := 1; iter <= maxIter; iter++ {
+		result.Iterations = iter
+		// Assignment step.
+		inertia := 0.0
+		for i := 0; i < m; i++ {
+			row := data.RawRow(i)
+			best, bestD := 0, math.Inf(1)
+			for c := 0; c < k.K; c++ {
+				if d := matrix.SquaredDistance(row, centroids.RawRow(c)); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			assignments[i] = best
+			inertia += bestD
+		}
+		result.Inertia = inertia
+		// Update step.
+		for c := range counts {
+			counts[c] = 0
+		}
+		for c := 0; c < k.K; c++ {
+			row := next.RawRow(c)
+			for j := range row {
+				row[j] = 0
+			}
+		}
+		for i := 0; i < m; i++ {
+			c := assignments[i]
+			counts[c]++
+			matrix.AXPY(1, data.RawRow(i), next.RawRow(c))
+		}
+		shift := 0.0
+		for c := 0; c < k.K; c++ {
+			row := next.RawRow(c)
+			if counts[c] == 0 {
+				// Empty cluster: reseed at the point farthest from its
+				// centroid, a standard Lloyd repair.
+				far, farD := 0, -1.0
+				for i := 0; i < m; i++ {
+					if d := matrix.SquaredDistance(data.RawRow(i), centroids.RawRow(assignments[i])); d > farD {
+						far, farD = i, d
+					}
+				}
+				copy(row, data.RawRow(far))
+			} else {
+				matrix.ScaleVec(1/float64(counts[c]), row)
+			}
+			shift += matrix.SquaredDistance(row, centroids.RawRow(c))
+			copy(centroids.RawRow(c), row)
+		}
+		if shift < tol {
+			result.Converged = true
+			break
+		}
+	}
+	result.Assignments = assignments
+	result.Centroids = centroids
+	return result, nil
+}
+
+// kmeansPlusPlus implements Arthur & Vassilvitskii's D² seeding.
+func kmeansPlusPlus(data *matrix.Dense, k int, rng *rand.Rand) *matrix.Dense {
+	m, n := data.Dims()
+	centroids := matrix.NewDense(k, n, nil)
+	first := rng.Intn(m)
+	copy(centroids.RawRow(0), data.RawRow(first))
+	d2 := make([]float64, m)
+	for i := 0; i < m; i++ {
+		d2[i] = matrix.SquaredDistance(data.RawRow(i), centroids.RawRow(0))
+	}
+	for c := 1; c < k; c++ {
+		var total float64
+		for _, d := range d2 {
+			total += d
+		}
+		var pick int
+		if total == 0 {
+			pick = rng.Intn(m) // all points coincide with a centroid
+		} else {
+			u := rng.Float64() * total
+			for i, d := range d2 {
+				u -= d
+				if u <= 0 {
+					pick = i
+					break
+				}
+			}
+		}
+		copy(centroids.RawRow(c), data.RawRow(pick))
+		for i := 0; i < m; i++ {
+			if d := matrix.SquaredDistance(data.RawRow(i), centroids.RawRow(c)); d < d2[i] {
+				d2[i] = d
+			}
+		}
+	}
+	return centroids
+}

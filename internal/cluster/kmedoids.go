@@ -1,0 +1,144 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"ppclust/internal/dist"
+	"ppclust/internal/matrix"
+)
+
+// KMedoids implements PAM (Partitioning Around Medoids): a greedy BUILD
+// phase followed by SWAP refinement. Unlike k-means it only consumes the
+// dissimilarity matrix, so it works for any metric.
+type KMedoids struct {
+	// K is the number of clusters.
+	K int
+	// MaxIter caps SWAP passes; 0 means 100.
+	MaxIter int
+	// Metric defaults to Euclidean when nil.
+	Metric dist.Metric
+	// Rand breaks ties during BUILD when multiple equally good medoids
+	// exist; nil means a fixed-seed source.
+	Rand *rand.Rand
+}
+
+// Name implements Clusterer.
+func (k *KMedoids) Name() string { return fmt.Sprintf("kmedoids(k=%d)", k.K) }
+
+// Cluster implements Clusterer.
+func (k *KMedoids) Cluster(data *matrix.Dense) (*Result, error) {
+	if err := validateData(data, k.K); err != nil {
+		return nil, err
+	}
+	metric := k.Metric
+	if metric == nil {
+		metric = dist.Euclidean{}
+	}
+	maxIter := k.MaxIter
+	if maxIter <= 0 {
+		maxIter = 100
+	}
+	m := data.Rows()
+	dm := dist.NewDissimMatrix(data, metric)
+
+	// BUILD: first medoid minimizes total distance; each next medoid
+	// maximizes the total reduction in assignment cost.
+	medoids := make([]int, 0, k.K)
+	isMedoid := make([]bool, m)
+	best, bestCost := -1, math.Inf(1)
+	for i := 0; i < m; i++ {
+		var cost float64
+		for j := 0; j < m; j++ {
+			cost += dm.At(i, j)
+		}
+		if cost < bestCost {
+			best, bestCost = i, cost
+		}
+	}
+	medoids = append(medoids, best)
+	isMedoid[best] = true
+	nearest := make([]float64, m) // distance to the closest chosen medoid
+	for j := 0; j < m; j++ {
+		nearest[j] = dm.At(best, j)
+	}
+	for len(medoids) < k.K {
+		bestGain := math.Inf(-1)
+		bestIdx := -1
+		for c := 0; c < m; c++ {
+			if isMedoid[c] {
+				continue
+			}
+			var gain float64
+			for j := 0; j < m; j++ {
+				if d := dm.At(c, j); d < nearest[j] {
+					gain += nearest[j] - d
+				}
+			}
+			if gain > bestGain {
+				bestGain, bestIdx = gain, c
+			}
+		}
+		medoids = append(medoids, bestIdx)
+		isMedoid[bestIdx] = true
+		for j := 0; j < m; j++ {
+			if d := dm.At(bestIdx, j); d < nearest[j] {
+				nearest[j] = d
+			}
+		}
+	}
+
+	assign := func() ([]int, float64) {
+		a := make([]int, m)
+		var total float64
+		for j := 0; j < m; j++ {
+			bi, bd := 0, math.Inf(1)
+			for ci, med := range medoids {
+				if d := dm.At(med, j); d < bd {
+					bi, bd = ci, d
+				}
+			}
+			a[j] = bi
+			total += bd
+		}
+		return a, total
+	}
+
+	// SWAP: try replacing each medoid with each non-medoid while any swap
+	// improves the total cost.
+	result := &Result{K: k.K}
+	_, cost := assign()
+	for iter := 1; iter <= maxIter; iter++ {
+		result.Iterations = iter
+		improved := false
+		for ci := range medoids {
+			old := medoids[ci]
+			for cand := 0; cand < m; cand++ {
+				if isMedoid[cand] {
+					continue
+				}
+				medoids[ci] = cand
+				_, newCost := assign()
+				if newCost < cost-1e-12 {
+					cost = newCost
+					isMedoid[old] = false
+					isMedoid[cand] = true
+					old = cand
+					improved = true
+				} else {
+					medoids[ci] = old
+				}
+			}
+		}
+		if !improved {
+			result.Converged = true
+			break
+		}
+	}
+	assignments, total := assign()
+	result.Assignments = assignments
+	result.Medoids = append([]int(nil), medoids...)
+	result.Inertia = total
+	return result, nil
+}

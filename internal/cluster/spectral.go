@@ -1,0 +1,137 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"ppclust/internal/matrix"
+)
+
+// Spectral implements normalized spectral clustering (Ng, Jordan & Weiss
+// 2002): build a Gaussian affinity matrix from pairwise Euclidean
+// distances, form the symmetric normalized Laplacian, embed the points in
+// the top-K eigenvector space (rows renormalized to unit length) and
+// cluster the embedding with k-means.
+//
+// Because the affinity depends on the data only through Euclidean
+// distances, spectral clustering is yet another algorithm family covered by
+// Corollary 1: it produces identical partitions on D and RBT(D).
+type Spectral struct {
+	// K is the number of clusters.
+	K int
+	// Sigma is the Gaussian affinity bandwidth; 0 selects the median
+	// pairwise distance heuristic.
+	Sigma float64
+	// Rand seeds the k-means stage; nil means a fixed-seed source.
+	Rand *rand.Rand
+}
+
+// Name implements Clusterer.
+func (s *Spectral) Name() string { return fmt.Sprintf("spectral(k=%d)", s.K) }
+
+// Cluster implements Clusterer.
+func (s *Spectral) Cluster(data *matrix.Dense) (*Result, error) {
+	if err := validateData(data, s.K); err != nil {
+		return nil, err
+	}
+	m := data.Rows()
+	if s.K == 1 {
+		return &Result{Assignments: make([]int, m), K: 1, Converged: true}, nil
+	}
+
+	// Pairwise distances, reused for the bandwidth heuristic.
+	d := make([][]float64, m)
+	var all []float64
+	for i := range d {
+		d[i] = make([]float64, m)
+	}
+	for i := 0; i < m; i++ {
+		for j := i + 1; j < m; j++ {
+			v := matrix.Distance(data.RawRow(i), data.RawRow(j))
+			d[i][j] = v
+			d[j][i] = v
+			all = append(all, v)
+		}
+	}
+	sigma := s.Sigma
+	if sigma <= 0 {
+		sigma = median(all)
+		if sigma == 0 {
+			sigma = 1 // all points coincide; affinity saturates either way
+		}
+	}
+
+	// Affinity W and degree D; A = D^-1/2 W D^-1/2.
+	w := matrix.NewDense(m, m, nil)
+	deg := make([]float64, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < m; j++ {
+			if i == j {
+				continue // zero diagonal per NJW
+			}
+			a := math.Exp(-d[i][j] * d[i][j] / (2 * sigma * sigma))
+			w.SetAt(i, j, a)
+			deg[i] += a
+		}
+	}
+	for i := range deg {
+		if deg[i] <= 0 {
+			deg[i] = 1e-300 // isolated point; keeps the scaling finite
+		}
+		deg[i] = 1 / math.Sqrt(deg[i])
+	}
+	a := matrix.NewDense(m, m, nil)
+	for i := 0; i < m; i++ {
+		for j := 0; j < m; j++ {
+			a.SetAt(i, j, deg[i]*w.At(i, j)*deg[j])
+		}
+	}
+
+	eig, err := matrix.SymEigen(a)
+	if err != nil {
+		return nil, err
+	}
+	// Embedding: top-K eigenvectors as columns, rows renormalized.
+	embed := matrix.NewDense(m, s.K, nil)
+	for i := 0; i < m; i++ {
+		var norm float64
+		for k := 0; k < s.K; k++ {
+			v := eig.Vectors.At(i, k)
+			embed.SetAt(i, k, v)
+			norm += v * v
+		}
+		norm = math.Sqrt(norm)
+		if norm == 0 {
+			continue
+		}
+		for k := 0; k < s.K; k++ {
+			embed.SetAt(i, k, embed.At(i, k)/norm)
+		}
+	}
+	rng := s.Rand
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	km := &KMeans{K: s.K, Rand: rng}
+	res, err := km.Cluster(embed)
+	if err != nil {
+		return nil, err
+	}
+	res.Centroids = nil // centroids live in embedding space; not meaningful to callers
+	return res, nil
+}
+
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	n := len(cp)
+	if n%2 == 1 {
+		return cp[n/2]
+	}
+	return (cp[n/2-1] + cp[n/2]) / 2
+}

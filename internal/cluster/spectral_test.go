@@ -1,0 +1,172 @@
+package cluster
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ppclust/internal/dataset"
+	"ppclust/internal/matrix"
+	"ppclust/internal/quality"
+)
+
+func TestSpectralRecoversBlobs(t *testing.T) {
+	ds := twoBlobs(t, 80, 21)
+	assertPerfectRecovery(t, &Spectral{K: 2}, ds)
+}
+
+func TestSpectralRecoversRings(t *testing.T) {
+	// The canonical spectral win: concentric rings defeat k-means but not
+	// spectral clustering with a local bandwidth.
+	rng := rand.New(rand.NewSource(22))
+	ds, err := dataset.Rings(200, 2, 0.05, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := (&Spectral{K: 2, Sigma: 0.5}).Cluster(ds.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same, err := quality.SameClustering(res.Assignments, ds.Labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !same {
+		t.Fatal("spectral clustering should separate concentric rings")
+	}
+	// Contrast: plain k-means cannot separate them.
+	km, err := (&KMeans{K: 2}).Cluster(ds.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kmSame, err := quality.SameClustering(km.Assignments, ds.Labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kmSame {
+		t.Fatal("k-means separating rings would make this test vacuous")
+	}
+}
+
+func TestSpectralK1AndErrors(t *testing.T) {
+	data := matrix.FromRows([][]float64{{0}, {1}, {2}})
+	res, err := (&Spectral{K: 1}).Cluster(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range res.Assignments {
+		if a != 0 {
+			t.Fatal("K=1 should assign everything to cluster 0")
+		}
+	}
+	if _, err := (&Spectral{K: 0}).Cluster(data); !errors.Is(err, ErrConfig) {
+		t.Fatal("K=0 should fail")
+	}
+	if _, err := (&Spectral{K: 5}).Cluster(data); !errors.Is(err, ErrConfig) {
+		t.Fatal("K>m should fail")
+	}
+}
+
+func TestSpectralCoincidentPoints(t *testing.T) {
+	// All points identical: degenerate but must not panic or NaN.
+	data := matrix.FromRows([][]float64{{1, 1}, {1, 1}, {1, 1}})
+	res, err := (&Spectral{K: 2}).Cluster(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Assignments) != 3 {
+		t.Fatal("assignments missing")
+	}
+}
+
+func TestSpectralName(t *testing.T) {
+	if (&Spectral{K: 4}).Name() == "" {
+		t.Fatal("empty name")
+	}
+}
+
+// Property (Corollary 1 for the spectral family): identical partitions on
+// isometrically transformed data with matched seeds.
+func TestQuickSpectralIsometryInvariance(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ds, err := dataset.WellSeparatedBlobs(50, 2, 3, 14, rng)
+		if err != nil {
+			return false
+		}
+		q := matrix.RandomOrthogonal(3, rng)
+		rotated, err := matrix.Mul(ds.Data, q.T())
+		if err != nil {
+			return false
+		}
+		a, err := (&Spectral{K: 2, Rand: rand.New(rand.NewSource(1))}).Cluster(ds.Data)
+		if err != nil {
+			return false
+		}
+		b, err := (&Spectral{K: 2, Rand: rand.New(rand.NewSource(1))}).Cluster(rotated)
+		if err != nil {
+			return false
+		}
+		same, err := quality.SameClustering(a.Assignments, b.Assignments)
+		return err == nil && same
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChooseKBySilhouette(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	ds, err := dataset.WellSeparatedBlobs(120, 3, 4, 15, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err := ChooseKBySilhouette(ds.Data, 2, 6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.K != 3 {
+		t.Fatalf("ChooseK picked %d on 3 well-separated blobs (scores %v)", sel.K, sel.Scores)
+	}
+	if len(sel.Scores) != 5 {
+		t.Fatalf("scores = %v", sel.Scores)
+	}
+}
+
+func TestChooseKSurvivesRBTStyleRotation(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	ds, err := dataset.WellSeparatedBlobs(90, 3, 4, 15, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := matrix.RandomOrthogonal(4, rng)
+	rotated, err := matrix.Mul(ds.Data, q.T())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := ChooseKBySilhouette(ds.Data, 2, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ChooseKBySilhouette(rotated, 2, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.K != b.K {
+		t.Fatalf("model selection changed under isometry: %d vs %d", a.K, b.K)
+	}
+}
+
+func TestChooseKErrors(t *testing.T) {
+	data := matrix.FromRows([][]float64{{0}, {1}, {2}})
+	if _, err := ChooseKBySilhouette(data, 1, 3, 1); !errors.Is(err, ErrConfig) {
+		t.Fatal("kmin < 2 should fail")
+	}
+	if _, err := ChooseKBySilhouette(data, 3, 2, 1); !errors.Is(err, ErrConfig) {
+		t.Fatal("kmax < kmin should fail")
+	}
+	if _, err := ChooseKBySilhouette(data, 2, 9, 1); !errors.Is(err, ErrConfig) {
+		t.Fatal("kmax > m should fail")
+	}
+}

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"ppclust/internal/matrix"
+	"ppclust/internal/rotate"
+)
+
+// Key is the secret of an RBT transformation: the ordered attribute pairs
+// and the rotation angle applied to each. Section 5.2 frames exactly these
+// choices (pair combination, pair order, thresholds, angles) as the
+// scheme's security parameters. Whoever holds the key can invert the
+// released data; Recover does so.
+type Key struct {
+	// Version tags the serialization format.
+	Version int `json:"version"`
+	// Pairs lists the ordered attribute pairs in application order.
+	Pairs []Pair `json:"pairs"`
+	// AnglesDeg lists the clockwise rotation angle (degrees) per pair.
+	AnglesDeg []float64 `json:"angles_deg"`
+}
+
+const keyVersion = 1
+
+// Validate checks structural consistency of the key against an n-column
+// matrix.
+func (k Key) Validate(n int) error {
+	if len(k.Pairs) == 0 {
+		return fmt.Errorf("%w: key has no pairs", ErrBadInput)
+	}
+	if len(k.Pairs) != len(k.AnglesDeg) {
+		return fmt.Errorf("%w: key has %d pairs but %d angles", ErrBadInput, len(k.Pairs), len(k.AnglesDeg))
+	}
+	for i, p := range k.Pairs {
+		if err := p.Valid(n); err != nil {
+			return fmt.Errorf("key pair %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// MarshalJSON implements json.Marshaler, stamping the format version.
+func (k Key) MarshalJSON() ([]byte, error) {
+	type wire Key
+	w := wire(k)
+	w.Version = keyVersion
+	return json.Marshal(w)
+}
+
+// ParseKey decodes a key serialized by MarshalJSON.
+func ParseKey(data []byte) (Key, error) {
+	var k Key
+	if err := json.Unmarshal(data, &k); err != nil {
+		return Key{}, fmt.Errorf("core: parsing key: %w", err)
+	}
+	if k.Version != keyVersion {
+		return Key{}, fmt.Errorf("%w: unsupported key version %d", ErrBadInput, k.Version)
+	}
+	if len(k.Pairs) != len(k.AnglesDeg) {
+		return Key{}, fmt.Errorf("%w: key has %d pairs but %d angles", ErrBadInput, len(k.Pairs), len(k.AnglesDeg))
+	}
+	return k, nil
+}
+
+// Recover inverts an RBT transformation: it applies the inverse rotations
+// in reverse order, restoring the normalized data matrix the transformation
+// started from. The input is not modified.
+func Recover(dprime *matrix.Dense, key Key) (*matrix.Dense, error) {
+	if err := key.Validate(dprime.Cols()); err != nil {
+		return nil, err
+	}
+	out := dprime.Clone()
+	for k := len(key.Pairs) - 1; k >= 0; k-- {
+		p := key.Pairs[k]
+		if err := rotate.InversePair(out, p.I, p.J, key.AnglesDeg[k]); err != nil {
+			return nil, fmt.Errorf("key pair %d: %w", k, err)
+		}
+	}
+	return out, nil
+}
+
+// AsOrthogonal expresses the whole key as a single n x n orthogonal matrix
+// Q such that each released row is Q applied to the corresponding original
+// row (x' = Q·x). Useful for analysis and for the known input-output attack
+// experiments, which recover exactly this matrix.
+func (k Key) AsOrthogonal(n int) (*matrix.Dense, error) {
+	if err := k.Validate(n); err != nil {
+		return nil, err
+	}
+	q := matrix.Identity(n)
+	for i, p := range k.Pairs {
+		g, err := rotate.Givens(n, p.I, p.J, k.AnglesDeg[i])
+		if err != nil {
+			return nil, err
+		}
+		// Later rotations compose on the left: x' = G_k ... G_1 x.
+		q = matrix.MustMul(g, q)
+	}
+	return q, nil
+}

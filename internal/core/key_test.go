@@ -1,0 +1,166 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ppclust/internal/matrix"
+	"ppclust/internal/rotate"
+)
+
+func TestKeyJSONRoundTrip(t *testing.T) {
+	key := Key{
+		Pairs:     []Pair{{I: 0, J: 2}, {I: 1, J: 0}},
+		AnglesDeg: []float64{312.47, 147.29},
+	}
+	blob, err := key.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseKey(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Pairs) != 2 || back.Pairs[0] != key.Pairs[0] || back.AnglesDeg[1] != 147.29 {
+		t.Fatalf("round trip mismatch: %+v", back)
+	}
+	if back.Version != 1 {
+		t.Fatalf("version = %d", back.Version)
+	}
+}
+
+func TestParseKeyErrors(t *testing.T) {
+	if _, err := ParseKey([]byte("{")); err == nil {
+		t.Fatal("malformed json should fail")
+	}
+	if _, err := ParseKey([]byte(`{"version":99,"pairs":[],"angles_deg":[]}`)); !errors.Is(err, ErrBadInput) {
+		t.Fatal("unknown version should fail")
+	}
+	if _, err := ParseKey([]byte(`{"version":1,"pairs":[{"i":0,"j":1}],"angles_deg":[]}`)); !errors.Is(err, ErrBadInput) {
+		t.Fatal("pair/angle count mismatch should fail")
+	}
+}
+
+func TestKeyValidate(t *testing.T) {
+	good := Key{Pairs: []Pair{{I: 0, J: 1}}, AnglesDeg: []float64{45}}
+	if err := good.Validate(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Key{}).Validate(2); !errors.Is(err, ErrBadInput) {
+		t.Fatal("empty key should fail")
+	}
+	bad := Key{Pairs: []Pair{{I: 0, J: 1}}, AnglesDeg: []float64{1, 2}}
+	if err := bad.Validate(2); !errors.Is(err, ErrBadInput) {
+		t.Fatal("count mismatch should fail")
+	}
+	oob := Key{Pairs: []Pair{{I: 0, J: 9}}, AnglesDeg: []float64{1}}
+	if err := oob.Validate(2); !errors.Is(err, ErrBadPair) {
+		t.Fatal("out-of-range pair should fail")
+	}
+}
+
+func TestRecoverInvertsTransform(t *testing.T) {
+	data := normalizedCardiac(t)
+	res, err := Transform(data, paperOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Recover(res.DPrime, res.Key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matrix.EqualApprox(back, data, 1e-10) {
+		t.Fatal("Recover must restore the normalized data exactly")
+	}
+}
+
+func TestRecoverBadKey(t *testing.T) {
+	data := matrix.NewDense(3, 2, nil)
+	if _, err := Recover(data, Key{}); !errors.Is(err, ErrBadInput) {
+		t.Fatal("empty key should fail")
+	}
+}
+
+func TestAsOrthogonal(t *testing.T) {
+	data := normalizedCardiac(t)
+	res, err := Transform(data, paperOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := res.Key.AsOrthogonal(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matrix.IsOrthogonal(q, 1e-10) {
+		t.Fatal("key matrix must be orthogonal")
+	}
+	// Applying Q to every original row must reproduce D'.
+	viaQ, err := rotate.ApplyOrthogonal(data, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matrix.EqualApprox(viaQ, res.DPrime, 1e-10) {
+		t.Fatal("key-as-matrix must reproduce the transformation")
+	}
+	if _, err := res.Key.AsOrthogonal(2); err == nil {
+		t.Fatal("wrong dimension should fail")
+	}
+}
+
+// Property: Recover(Transform(D)) == D for random inputs and random keys.
+func TestQuickRecoverRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 4 + rng.Intn(30)
+		n := 2 + rng.Intn(7)
+		data := matrix.RandomDense(m, n, rng)
+		res, err := Transform(data, Options{
+			Pairs:      RandomPairs(n, rng),
+			Thresholds: []PST{{Rho1: 1e-9, Rho2: 1e-9}},
+			Rand:       rng,
+		})
+		if err != nil {
+			return false
+		}
+		back, err := Recover(res.DPrime, res.Key)
+		if err != nil {
+			return false
+		}
+		return matrix.EqualApprox(back, data, 1e-8)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the composed orthogonal matrix agrees with the sequential
+// per-pair application for multi-pair keys.
+func TestQuickAsOrthogonalAgreesWithSequential(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(5)
+		data := matrix.RandomDense(6, n, rng)
+		res, err := Transform(data, Options{
+			Pairs:      RandomPairs(n, rng),
+			Thresholds: []PST{{Rho1: 1e-9, Rho2: 1e-9}},
+			Rand:       rng,
+		})
+		if err != nil {
+			return false
+		}
+		q, err := res.Key.AsOrthogonal(n)
+		if err != nil {
+			return false
+		}
+		viaQ, err := rotate.ApplyOrthogonal(data, q)
+		if err != nil {
+			return false
+		}
+		return matrix.EqualApprox(viaQ, res.DPrime, 1e-8)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,47 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+)
+
+// KeyStructures counts the distinct pair-structure keys for n attributes —
+// the combinatorial part of Section 5.2's security argument ("the
+// computational difficulty becomes progressively harder as the number of
+// attributes in a database increases"). A structure fixes the ordered
+// attribute pairs and their application order; each pair's continuous angle
+// multiplies this count by the size of its security range, which is why the
+// paper calls exhaustive search impractical (and why the known-plaintext
+// attacks in internal/attack sidestep the count entirely).
+//
+// For even n the structures are exactly the arrangements of the n
+// attributes in a row read as consecutive ordered pairs: n! of them.
+// For odd n, the algorithm's Step 1 rule (the leftover attribute is
+// distorted last, paired with any already-distorted attribute) gives
+// n · (n-1)! · (n-1) = n! · (n-1) structures.
+func KeyStructures(n int) (*big.Int, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("%w: need at least 2 attributes, got %d", ErrBadInput, n)
+	}
+	count := new(big.Int).MulRange(1, int64(n)) // n!
+	if n%2 == 1 {
+		count.Mul(count, big.NewInt(int64(n-1)))
+	}
+	return count, nil
+}
+
+// KeyStructureBits returns log2 of KeyStructures(n) — the structural key
+// entropy in bits, before the per-pair continuous angle is even considered.
+func KeyStructureBits(n int) (float64, error) {
+	count, err := KeyStructures(n)
+	if err != nil {
+		return 0, err
+	}
+	// big.Float gives enough precision for a log2 at any realistic n.
+	f := new(big.Float).SetInt(count)
+	mant := new(big.Float)
+	exp := f.MantExp(mant)
+	m, _ := mant.Float64()
+	return float64(exp) + math.Log2(m), nil
+}

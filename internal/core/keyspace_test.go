@@ -1,0 +1,109 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// bruteForceStructures enumerates every pair-structure key the RBT
+// algorithm of Section 4.3 can produce for n attributes: sequences of
+// ordered pairs where even n partitions the attributes and odd n appends a
+// final pair (leftover, any earlier attribute).
+func bruteForceStructures(n int) int {
+	if n%2 == 0 {
+		return countEvenSequences(make([]bool, n), n/2)
+	}
+	// Odd: choose the leftover attribute, enumerate even sequences over the
+	// rest, then pick any of the n-1 partners for the final pair.
+	total := 0
+	for leftover := 0; leftover < n; leftover++ {
+		used := make([]bool, n)
+		used[leftover] = true
+		total += countEvenSequences(used, (n-1)/2) * (n - 1)
+	}
+	return total
+}
+
+func countEvenSequences(used []bool, pairsLeft int) int {
+	if pairsLeft == 0 {
+		return 1
+	}
+	n := len(used)
+	total := 0
+	for i := 0; i < n; i++ {
+		if used[i] {
+			continue
+		}
+		for j := 0; j < n; j++ {
+			if used[j] || i == j {
+				continue
+			}
+			used[i], used[j] = true, true
+			total += countEvenSequences(used, pairsLeft-1)
+			used[i], used[j] = false, false
+		}
+	}
+	return total
+}
+
+func TestKeyStructuresMatchesBruteForce(t *testing.T) {
+	for n := 2; n <= 7; n++ {
+		want := bruteForceStructures(n)
+		got, err := KeyStructures(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Int64() != int64(want) {
+			t.Fatalf("KeyStructures(%d) = %v, brute force says %d", n, got, want)
+		}
+	}
+}
+
+func TestKeyStructuresKnownValues(t *testing.T) {
+	cases := []struct {
+		n    int
+		want int64
+	}{
+		{2, 2},        // (0,1), (1,0)
+		{3, 12},       // 3! * 2
+		{4, 24},       // 4!
+		{5, 480},      // 5! * 4
+		{6, 720},      // 6!
+		{10, 3628800}, // 10!
+	}
+	for _, tc := range cases {
+		got, err := KeyStructures(tc.n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Int64() != tc.want {
+			t.Fatalf("KeyStructures(%d) = %v, want %d", tc.n, got, tc.want)
+		}
+	}
+	if _, err := KeyStructures(1); !errors.Is(err, ErrBadInput) {
+		t.Fatal("n < 2 should fail")
+	}
+}
+
+func TestKeyStructureBits(t *testing.T) {
+	bits, err := KeyStructureBits(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(bits-math.Log2(24)) > 1e-9 {
+		t.Fatalf("bits(4) = %v, want log2(24)", bits)
+	}
+	// Growth check backing Section 5.2's hardness claim: 100 attributes
+	// give ~525 structural bits.
+	bits100, err := KeyStructureBits(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bits100 < 500 || bits100 > 550 {
+		t.Fatalf("bits(100) = %v, want ~525", bits100)
+	}
+	if _, err := KeyStructureBits(0); !errors.Is(err, ErrBadInput) {
+		t.Fatal("n < 2 should fail")
+	}
+}

@@ -1,0 +1,178 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"ppclust/internal/matrix"
+	"ppclust/internal/rotate"
+	"ppclust/internal/stats"
+)
+
+// VarianceCurve evaluates the security variances of a candidate rotation
+// analytically, as closed-form functions of the angle. For the ordered pair
+// (X, Y) rotated by Eq. (1):
+//
+//	X' =  X·cosθ + Y·sinθ      =>  X - X' = (1-cosθ)·X - sinθ·Y
+//	Y' = -X·sinθ + Y·cosθ      =>  Y - Y' = sinθ·X + (1-cosθ)·Y
+//
+// so with column variances σx², σy² and covariance σxy:
+//
+//	Var(X-X') = (1-cosθ)²σx² + sin²θ·σy² - 2(1-cosθ)sinθ·σxy
+//	Var(Y-Y') = sin²θ·σx² + (1-cosθ)²σy² + 2(1-cosθ)sinθ·σxy
+//
+// Evaluating the curve is O(1) per angle after an O(m) statistics pass,
+// which is what keeps the RBT algorithm inside Theorem 1's O(m·n) bound.
+type VarianceCurve struct {
+	VarX, VarY, Cov float64
+}
+
+// NewVarianceCurve computes the column statistics of the ordered pair
+// (p.I, p.J) of data under denominator d.
+func NewVarianceCurve(data *matrix.Dense, p Pair, d stats.Denominator) (*VarianceCurve, error) {
+	if err := p.Valid(data.Cols()); err != nil {
+		return nil, err
+	}
+	if data.Rows() < 2 {
+		return nil, fmt.Errorf("%w: need at least 2 rows, got %d", ErrBadInput, data.Rows())
+	}
+	x, y := data.Col(p.I), data.Col(p.J)
+	return &VarianceCurve{
+		VarX: stats.Variance(x, d),
+		VarY: stats.Variance(y, d),
+		Cov:  stats.Covariance(x, y, d),
+	}, nil
+}
+
+// At returns (Var(X-X'), Var(Y-Y')) at θ degrees.
+func (c *VarianceCurve) At(thetaDeg float64) (varX, varY float64) {
+	rad := rotate.Degrees(thetaDeg)
+	cos, sin := math.Cos(rad), math.Sin(rad)
+	omc := 1 - cos
+	varX = omc*omc*c.VarX + sin*sin*c.VarY - 2*omc*sin*c.Cov
+	varY = sin*sin*c.VarX + omc*omc*c.VarY + 2*omc*sin*c.Cov
+	return varX, varY
+}
+
+// Margin returns min(Var(X-X') - ρ1, Var(Y-Y') - ρ2) at θ: nonnegative
+// exactly when θ satisfies the PST.
+func (c *VarianceCurve) Margin(thetaDeg float64, t PST) float64 {
+	vx, vy := c.At(thetaDeg)
+	return math.Min(vx-t.Rho1, vy-t.Rho2)
+}
+
+// Sample evaluates the two curves at evenly spaced angles over [0, 360),
+// for plotting Figures 2-3. It returns the angles and the two series.
+func (c *VarianceCurve) Sample(points int) (thetas, varX, varY []float64) {
+	if points < 2 {
+		points = 2
+	}
+	thetas = make([]float64, points)
+	varX = make([]float64, points)
+	varY = make([]float64, points)
+	step := 360.0 / float64(points-1)
+	for k := range thetas {
+		thetas[k] = float64(k) * step
+		varX[k], varY[k] = c.At(thetas[k])
+	}
+	return thetas, varX, varY
+}
+
+// Interval is a closed angle interval [Lo, Hi] in degrees within [0, 360].
+type Interval struct {
+	Lo, Hi float64
+}
+
+// Width returns the interval length in degrees.
+func (iv Interval) Width() float64 { return iv.Hi - iv.Lo }
+
+// Contains reports whether θ (already in [0,360]) lies in the interval.
+func (iv Interval) Contains(theta float64) bool { return theta >= iv.Lo && theta <= iv.Hi }
+
+// String renders the interval as the paper does ("48.03 to 314.97 degrees").
+func (iv Interval) String() string { return fmt.Sprintf("[%.2f°, %.2f°]", iv.Lo, iv.Hi) }
+
+// SecurityRange computes the set of angles in [0, 360] whose rotation
+// satisfies the PST — the "security range" of Section 4.3 Step 2(c) — as a
+// union of disjoint intervals. The margin function is scanned on a gridStep
+// grid and each sign change is refined by bisection.
+func (c *VarianceCurve) SecurityRange(t PST, gridStep float64) ([]Interval, error) {
+	if err := t.Valid(); err != nil {
+		return nil, err
+	}
+	if gridStep <= 0 {
+		gridStep = 0.01
+	}
+	margin := func(theta float64) float64 { return c.Margin(theta, t) }
+
+	var intervals []Interval
+	var openLo float64
+	inside := margin(0) >= 0
+	if inside {
+		openLo = 0
+	}
+	steps := int(math.Ceil(360 / gridStep))
+	prevTheta := 0.0
+	prevVal := margin(0)
+	for k := 1; k <= steps; k++ {
+		theta := math.Min(float64(k)*gridStep, 360)
+		val := margin(theta)
+		if (val >= 0) != inside {
+			// Sign change in (prevTheta, theta]: bisect to the boundary.
+			root := bisect(margin, prevTheta, theta, prevVal)
+			if inside {
+				intervals = append(intervals, Interval{Lo: openLo, Hi: root})
+			} else {
+				openLo = root
+			}
+			inside = !inside
+		}
+		prevTheta, prevVal = theta, val
+	}
+	if inside {
+		intervals = append(intervals, Interval{Lo: openLo, Hi: 360})
+	}
+	if len(intervals) == 0 {
+		return nil, ErrEmptySecurityRange
+	}
+	return intervals, nil
+}
+
+// bisect refines a sign change of f within (lo, hi], where f(lo) has the
+// sign recorded in flo, to ~1e-9 degree precision.
+func bisect(f func(float64) float64, lo, hi, flo float64) float64 {
+	loNeg := flo < 0
+	for i := 0; i < 60 && hi-lo > 1e-9; i++ {
+		mid := (lo + hi) / 2
+		if (f(mid) < 0) == loNeg {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// TotalWidth sums the widths of a set of intervals.
+func TotalWidth(ivs []Interval) float64 {
+	var w float64
+	for _, iv := range ivs {
+		w += iv.Width()
+	}
+	return w
+}
+
+// PickAngle draws an angle uniformly at random from the union of intervals,
+// implementing Step 2(c)'s "randomly select a real number in this range".
+func PickAngle(ivs []Interval, rng *rand.Rand) float64 {
+	total := TotalWidth(ivs)
+	u := rng.Float64() * total
+	for _, iv := range ivs {
+		if u <= iv.Width() {
+			return iv.Lo + u
+		}
+		u -= iv.Width()
+	}
+	return ivs[len(ivs)-1].Hi
+}

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ppclust/internal/matrix"
+)
+
+// With very asymmetric column variances the feasible set splits into two
+// disjoint intervals: Var(Y-Y') ≈ sin²θ·σx² needs |sinθ| large, which holds
+// on two separate arcs. SecurityRange must return both.
+func TestSecurityRangeDisjointIntervals(t *testing.T) {
+	curve := &VarianceCurve{VarX: 1, VarY: 0.05, Cov: 0}
+	ivs, err := curve.SecurityRange(PST{Rho1: 0.05, Rho2: 0.5}, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ivs) != 2 {
+		t.Fatalf("expected 2 disjoint intervals, got %v", ivs)
+	}
+	// Sanity: a point inside each interval satisfies the PST, the gap
+	// between them does not.
+	mid0 := (ivs[0].Lo + ivs[0].Hi) / 2
+	mid1 := (ivs[1].Lo + ivs[1].Hi) / 2
+	gap := (ivs[0].Hi + ivs[1].Lo) / 2
+	pst := PST{Rho1: 0.05, Rho2: 0.5}
+	if curve.Margin(mid0, pst) < 0 || curve.Margin(mid1, pst) < 0 {
+		t.Fatal("interval midpoints must be feasible")
+	}
+	if curve.Margin(gap, pst) >= 0 {
+		t.Fatal("the gap between intervals must be infeasible")
+	}
+}
+
+func TestPickAngleDisjointIntervals(t *testing.T) {
+	curve := &VarianceCurve{VarX: 1, VarY: 0.05, Cov: 0}
+	pst := PST{Rho1: 0.05, Rho2: 0.5}
+	ivs, err := curve.SecurityRange(pst, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	hit := make([]bool, len(ivs))
+	for i := 0; i < 500; i++ {
+		theta := PickAngle(ivs, rng)
+		found := false
+		for k, iv := range ivs {
+			if iv.Contains(theta) {
+				hit[k] = true
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("picked %v outside all intervals %v", theta, ivs)
+		}
+	}
+	for k, h := range hit {
+		if !h {
+			t.Fatalf("interval %d never sampled in 500 draws (weights broken?)", k)
+		}
+	}
+}
+
+// Zero rotation gives zero distortion, so θ = 0 and θ = 360 are never
+// feasible for a positive PST: the range must exclude both boundary points.
+func TestSecurityRangeExcludesBoundary(t *testing.T) {
+	curves := []*VarianceCurve{
+		{VarX: 1, VarY: 1, Cov: 0},
+		{VarX: 2, VarY: 0.3, Cov: 0.5},
+		{VarX: 1, VarY: 1, Cov: -0.69},
+	}
+	for _, c := range curves {
+		ivs, err := c.SecurityRange(PST{Rho1: 0.01, Rho2: 0.01}, 0.01)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ivs[0].Lo <= 0 {
+			t.Fatalf("range %v should not start at 0", ivs)
+		}
+		if ivs[len(ivs)-1].Hi >= 360 {
+			t.Fatalf("range %v should not reach 360", ivs)
+		}
+	}
+}
+
+// Property: for random curve parameters and random probe angles, interval
+// membership agrees with the sign of the margin function (away from the
+// boundary).
+func TestQuickSecurityRangeMatchesMargin(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		vx := 0.2 + rng.Float64()*2
+		vy := 0.2 + rng.Float64()*2
+		maxCov := math.Sqrt(vx*vy) * 0.95
+		curve := &VarianceCurve{VarX: vx, VarY: vy, Cov: (2*rng.Float64() - 1) * maxCov}
+		pst := PST{Rho1: 0.05 + rng.Float64()*0.5, Rho2: 0.05 + rng.Float64()*0.5}
+		ivs, err := curve.SecurityRange(pst, 0.01)
+		if errors.Is(err, ErrEmptySecurityRange) {
+			// Verify emptiness on a probe grid.
+			for theta := 0.0; theta < 360; theta += 1 {
+				if curve.Margin(theta, pst) > 1e-9 {
+					return false
+				}
+			}
+			return true
+		}
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 200; i++ {
+			theta := rng.Float64() * 360
+			margin := curve.Margin(theta, pst)
+			if math.Abs(margin) < 1e-4 {
+				continue // too close to a boundary to classify reliably
+			}
+			inside := false
+			for _, iv := range ivs {
+				if iv.Contains(theta) {
+					inside = true
+					break
+				}
+			}
+			if inside != (margin > 0) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the achieved variances reported by Transform equal the curve
+// evaluation at the chosen angle, and the angle lies in the reported range.
+func TestQuickReportsConsistent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		data := matrix.RandomDense(10+rng.Intn(30), 4, rng)
+		res, err := Transform(data, Options{
+			Thresholds: []PST{{Rho1: 0.05, Rho2: 0.05}},
+			Rand:       rng,
+		})
+		if err != nil {
+			return errors.Is(err, ErrEmptySecurityRange)
+		}
+		for _, r := range res.Reports {
+			inRange := false
+			for _, iv := range r.SecurityRange {
+				if iv.Contains(r.ThetaDeg) {
+					inRange = true
+					break
+				}
+			}
+			if !inRange {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ppclust/internal/matrix"
+)
+
+// Transform must behave sanely on extreme-magnitude inputs: either succeed
+// with a finite result and invertible key, or return a clean error — never
+// panic, never emit NaN.
+func TestQuickTransformExtremeMagnitudes(t *testing.T) {
+	scales := []float64{1e-12, 1e-6, 1, 1e6, 1e12}
+	f := func(seed int64) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Logf("panic on seed %d: %v", seed, r)
+				ok = false
+			}
+		}()
+		rng := rand.New(rand.NewSource(seed))
+		scale := scales[rng.Intn(len(scales))]
+		data := matrix.RandomDense(5+rng.Intn(20), 2+rng.Intn(4), rng)
+		data.ScaleInPlace(scale)
+		res, err := Transform(data, Options{
+			// Threshold proportional to the variance scale keeps the PST
+			// satisfiable at any magnitude.
+			Thresholds: []PST{{Rho1: 1e-3 * scale * scale, Rho2: 1e-3 * scale * scale}},
+			Rand:       rng,
+		})
+		if err != nil {
+			return true // clean refusal is acceptable
+		}
+		if res.DPrime.HasNaN() {
+			t.Logf("seed %d scale %g: NaN in output", seed, scale)
+			return false
+		}
+		back, err := Recover(res.DPrime, res.Key)
+		if err != nil {
+			t.Logf("seed %d: recover failed: %v", seed, err)
+			return false
+		}
+		// Relative accuracy must hold at any magnitude.
+		diff, err := matrix.MaxAbsDiff(back, data)
+		if err != nil {
+			return false
+		}
+		return diff <= 1e-9*scale*10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Angles outside [0, 360) in FixedAngles must be normalized, not rejected
+// or misapplied: θ and θ+360 produce identical transforms.
+func TestFixedAngleNormalization(t *testing.T) {
+	data := matrix.RandomDense(10, 2, rand.New(rand.NewSource(1)))
+	opts := func(theta float64) Options {
+		return Options{
+			Thresholds:  []PST{{Rho1: 1e-9, Rho2: 1e-9}},
+			FixedAngles: []float64{theta},
+		}
+	}
+	a, err := Transform(data, opts(123.4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Transform(data, opts(123.4+360))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Transform(data, opts(123.4-360))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matrix.EqualApprox(a.DPrime, b.DPrime, 1e-9) || !matrix.EqualApprox(a.DPrime, c.DPrime, 1e-9) {
+		t.Fatal("θ, θ+360 and θ-360 must transform identically")
+	}
+	if math.Abs(a.Key.AnglesDeg[0]-b.Key.AnglesDeg[0]) > 1e-9 {
+		t.Fatal("stored key angles must be normalized to [0, 360)")
+	}
+}

@@ -1,0 +1,168 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+
+	"ppclust/internal/matrix"
+)
+
+// CSVOptions controls CSV parsing and serialization.
+type CSVOptions struct {
+	// Comma is the field delimiter; 0 means ','.
+	Comma rune
+	// HasHeader indicates the first row holds attribute names.
+	HasHeader bool
+	// IDColumn, when non-negative, names the column index holding object
+	// IDs; that column is parsed as strings, not data. Use -1 for none.
+	IDColumn int
+	// LabelColumn, when non-negative, names the column index holding
+	// integer ground-truth labels. Use -1 for none.
+	LabelColumn int
+}
+
+// DefaultCSVOptions parses comma-separated files with a header row and no
+// ID or label columns.
+func DefaultCSVOptions() CSVOptions {
+	return CSVOptions{Comma: ',', HasHeader: true, IDColumn: -1, LabelColumn: -1}
+}
+
+// ReadCSV parses a dataset from r according to opts.
+func ReadCSV(r io.Reader, opts CSVOptions) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	if opts.Comma != 0 {
+		cr.Comma = opts.Comma
+	}
+	cr.TrimLeadingSpace = true
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading csv: %w", err)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("%w: empty csv", ErrBadDataset)
+	}
+	var header []string
+	if opts.HasHeader {
+		header = records[0]
+		records = records[1:]
+		if len(records) == 0 {
+			return nil, fmt.Errorf("%w: csv has a header but no data rows", ErrBadDataset)
+		}
+	}
+	width := len(records[0])
+	if opts.IDColumn >= width || opts.LabelColumn >= width {
+		return nil, fmt.Errorf("%w: ID/label column out of range for %d fields", ErrBadDataset, width)
+	}
+	var dataCols []int
+	for j := 0; j < width; j++ {
+		if j != opts.IDColumn && j != opts.LabelColumn {
+			dataCols = append(dataCols, j)
+		}
+	}
+	ds := &Dataset{Data: matrix.NewDense(len(records), len(dataCols), nil)}
+	if opts.IDColumn >= 0 {
+		ds.IDs = make([]string, len(records))
+	}
+	if opts.LabelColumn >= 0 {
+		ds.Labels = make([]int, len(records))
+	}
+	for i, rec := range records {
+		if len(rec) != width {
+			return nil, fmt.Errorf("%w: row %d has %d fields, want %d", ErrBadDataset, i+1, len(rec), width)
+		}
+		if opts.IDColumn >= 0 {
+			ds.IDs[i] = rec[opts.IDColumn]
+		}
+		if opts.LabelColumn >= 0 {
+			lab, err := strconv.Atoi(rec[opts.LabelColumn])
+			if err != nil {
+				return nil, fmt.Errorf("%w: row %d label %q: %v", ErrBadDataset, i+1, rec[opts.LabelColumn], err)
+			}
+			ds.Labels[i] = lab
+		}
+		for k, j := range dataCols {
+			v, err := strconv.ParseFloat(rec[j], 64)
+			if err != nil {
+				return nil, fmt.Errorf("%w: row %d column %d value %q: %v", ErrBadDataset, i+1, j, rec[j], err)
+			}
+			ds.Data.SetAt(i, k, v)
+		}
+	}
+	if header != nil {
+		for _, j := range dataCols {
+			ds.Names = append(ds.Names, header[j])
+		}
+	} else {
+		for k := range dataCols {
+			ds.Names = append(ds.Names, fmt.Sprintf("attr%d", k))
+		}
+	}
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	return ds, nil
+}
+
+// ReadCSVFile opens path and parses it with ReadCSV.
+func ReadCSVFile(path string, opts CSVOptions) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: %w", err)
+	}
+	defer f.Close()
+	return ReadCSV(f, opts)
+}
+
+// WriteCSV serializes d to w. The header is always written; IDs and labels
+// are included when present, as leading "id" and trailing "label" columns.
+func WriteCSV(w io.Writer, d *Dataset) error {
+	if err := d.Validate(); err != nil {
+		return err
+	}
+	cw := csv.NewWriter(w)
+	header := make([]string, 0, d.Cols()+2)
+	if d.IDs != nil {
+		header = append(header, "id")
+	}
+	header = append(header, d.Names...)
+	if d.Labels != nil {
+		header = append(header, "label")
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("dataset: writing csv: %w", err)
+	}
+	rec := make([]string, 0, len(header))
+	for i := 0; i < d.Rows(); i++ {
+		rec = rec[:0]
+		if d.IDs != nil {
+			rec = append(rec, d.IDs[i])
+		}
+		for j := 0; j < d.Cols(); j++ {
+			rec = append(rec, strconv.FormatFloat(d.Data.At(i, j), 'g', -1, 64))
+		}
+		if d.Labels != nil {
+			rec = append(rec, strconv.Itoa(d.Labels[i]))
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("dataset: writing csv: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSVFile writes d to path, creating or truncating it.
+func WriteCSVFile(path string, d *Dataset) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("dataset: %w", err)
+	}
+	defer f.Close()
+	if err := WriteCSV(f, d); err != nil {
+		return err
+	}
+	return f.Close()
+}

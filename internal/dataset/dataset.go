@@ -1,0 +1,133 @@
+// Package dataset defines the Dataset container shared by the whole
+// repository — a named, optionally labelled numeric data matrix — together
+// with CSV input/output, the paper's embedded cardiac-arrhythmia sample and
+// seeded synthetic data generators.
+package dataset
+
+import (
+	"errors"
+	"fmt"
+
+	"ppclust/internal/matrix"
+)
+
+// ErrBadDataset is wrapped by validation failures.
+var ErrBadDataset = errors.New("dataset: invalid dataset")
+
+// Dataset is a data matrix D (Section 3.2 of the paper): m rows (objects)
+// by n columns (numerical attributes), plus optional object IDs and
+// ground-truth cluster labels used only for evaluation.
+type Dataset struct {
+	// Names holds one attribute name per column.
+	Names []string
+	// IDs optionally identifies each object; may be nil. Per Section 4.1,
+	// IDs may be revealed or suppressed — they are never part of Data.
+	IDs []string
+	// Data is the m x n attribute matrix.
+	Data *matrix.Dense
+	// Labels optionally holds a ground-truth cluster index per row; nil when
+	// unknown. Labels are never released; they exist for evaluating
+	// clustering agreement in experiments.
+	Labels []int
+}
+
+// New constructs a Dataset from attribute names and a data matrix, checking
+// consistency.
+func New(names []string, data *matrix.Dense) (*Dataset, error) {
+	d := &Dataset{Names: names, Data: data}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// Validate checks internal consistency: name count matches columns, ID and
+// label counts (when present) match rows, and all values are finite.
+func (d *Dataset) Validate() error {
+	if d.Data == nil {
+		return fmt.Errorf("%w: nil data matrix", ErrBadDataset)
+	}
+	r, c := d.Data.Dims()
+	if len(d.Names) != c {
+		return fmt.Errorf("%w: %d attribute names for %d columns", ErrBadDataset, len(d.Names), c)
+	}
+	if d.IDs != nil && len(d.IDs) != r {
+		return fmt.Errorf("%w: %d IDs for %d rows", ErrBadDataset, len(d.IDs), r)
+	}
+	if d.Labels != nil && len(d.Labels) != r {
+		return fmt.Errorf("%w: %d labels for %d rows", ErrBadDataset, len(d.Labels), r)
+	}
+	if d.Data.HasNaN() {
+		return fmt.Errorf("%w: data contains NaN or Inf", ErrBadDataset)
+	}
+	return nil
+}
+
+// Rows returns the number of objects.
+func (d *Dataset) Rows() int { return d.Data.Rows() }
+
+// Cols returns the number of attributes.
+func (d *Dataset) Cols() int { return d.Data.Cols() }
+
+// Clone returns a deep copy of the dataset.
+func (d *Dataset) Clone() *Dataset {
+	out := &Dataset{Data: d.Data.Clone()}
+	out.Names = append([]string(nil), d.Names...)
+	if d.IDs != nil {
+		out.IDs = append([]string(nil), d.IDs...)
+	}
+	if d.Labels != nil {
+		out.Labels = append([]int(nil), d.Labels...)
+	}
+	return out
+}
+
+// WithData returns a copy of the dataset metadata (names, IDs, labels)
+// around a new data matrix with the same shape. It is how transformations
+// produce D' while keeping object identity.
+func (d *Dataset) WithData(data *matrix.Dense) (*Dataset, error) {
+	r, c := data.Dims()
+	if r != d.Rows() || c != d.Cols() {
+		return nil, fmt.Errorf("%w: replacement data %dx%d for %dx%d dataset",
+			ErrBadDataset, r, c, d.Rows(), d.Cols())
+	}
+	out := d.Clone()
+	out.Data = data.Clone()
+	return out, nil
+}
+
+// Column returns a copy of the values of attribute j.
+func (d *Dataset) Column(j int) []float64 { return d.Data.Col(j) }
+
+// ColumnByName returns a copy of the named attribute's values.
+func (d *Dataset) ColumnByName(name string) ([]float64, error) {
+	for j, n := range d.Names {
+		if n == name {
+			return d.Data.Col(j), nil
+		}
+	}
+	return nil, fmt.Errorf("%w: no attribute %q", ErrBadDataset, name)
+}
+
+// ColumnIndex returns the index of the named attribute.
+func (d *Dataset) ColumnIndex(name string) (int, error) {
+	for j, n := range d.Names {
+		if n == name {
+			return j, nil
+		}
+	}
+	return -1, fmt.Errorf("%w: no attribute %q", ErrBadDataset, name)
+}
+
+// DropIDs returns a copy with object identifiers suppressed (the
+// anonymization step of Section 5.3).
+func (d *Dataset) DropIDs() *Dataset {
+	out := d.Clone()
+	out.IDs = nil
+	return out
+}
+
+// String renders a short human-readable header plus the data matrix.
+func (d *Dataset) String() string {
+	return fmt.Sprintf("Dataset %dx%d %v\n%v", d.Rows(), d.Cols(), d.Names, d.Data)
+}

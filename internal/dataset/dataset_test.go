@@ -1,0 +1,263 @@
+package dataset
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"ppclust/internal/matrix"
+	"ppclust/internal/stats"
+)
+
+func TestNewValidates(t *testing.T) {
+	data := matrix.FromRows([][]float64{{1, 2}, {3, 4}})
+	ds, err := New([]string{"a", "b"}, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Rows() != 2 || ds.Cols() != 2 {
+		t.Fatalf("dims %dx%d", ds.Rows(), ds.Cols())
+	}
+	if _, err := New([]string{"a"}, data); !errors.Is(err, ErrBadDataset) {
+		t.Fatal("name count mismatch should fail")
+	}
+	bad := matrix.FromRows([][]float64{{math.NaN(), 1}})
+	if _, err := New([]string{"a", "b"}, bad); !errors.Is(err, ErrBadDataset) {
+		t.Fatal("NaN data should fail validation")
+	}
+}
+
+func TestValidateIDsLabels(t *testing.T) {
+	data := matrix.FromRows([][]float64{{1}, {2}})
+	ds := &Dataset{Names: []string{"a"}, Data: data, IDs: []string{"x"}}
+	if err := ds.Validate(); !errors.Is(err, ErrBadDataset) {
+		t.Fatal("short IDs should fail")
+	}
+	ds = &Dataset{Names: []string{"a"}, Data: data, Labels: []int{1, 2, 3}}
+	if err := ds.Validate(); !errors.Is(err, ErrBadDataset) {
+		t.Fatal("long labels should fail")
+	}
+	ds = &Dataset{Names: []string{"a"}}
+	if err := ds.Validate(); !errors.Is(err, ErrBadDataset) {
+		t.Fatal("nil data should fail")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	ds := CardiacSample()
+	ds.Labels = []int{0, 0, 1, 1, 0}
+	c := ds.Clone()
+	c.Data.SetAt(0, 0, -1)
+	c.Names[0] = "mutated"
+	c.IDs[0] = "mutated"
+	c.Labels[0] = 9
+	if ds.Data.At(0, 0) == -1 || ds.Names[0] == "mutated" || ds.IDs[0] == "mutated" || ds.Labels[0] == 9 {
+		t.Fatal("Clone must deep-copy all fields")
+	}
+}
+
+func TestWithData(t *testing.T) {
+	ds := CardiacSample()
+	repl := matrix.NewDense(5, 3, nil)
+	nd, err := ds.WithData(repl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nd.Data.At(0, 0) != 0 || nd.IDs[0] != "1237" {
+		t.Fatal("WithData should replace data and keep metadata")
+	}
+	repl.SetAt(0, 0, 5)
+	if nd.Data.At(0, 0) == 5 {
+		t.Fatal("WithData must copy the provided matrix")
+	}
+	if _, err := ds.WithData(matrix.NewDense(2, 3, nil)); !errors.Is(err, ErrBadDataset) {
+		t.Fatal("shape mismatch should fail")
+	}
+}
+
+func TestColumnAccess(t *testing.T) {
+	ds := CardiacSample()
+	age, err := ds.ColumnByName("age")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if age[0] != 75 || age[4] != 44 {
+		t.Fatalf("age = %v", age)
+	}
+	if _, err := ds.ColumnByName("nope"); !errors.Is(err, ErrBadDataset) {
+		t.Fatal("missing column should error")
+	}
+	idx, err := ds.ColumnIndex("heart_rate")
+	if err != nil || idx != 2 {
+		t.Fatalf("ColumnIndex = %d, %v", idx, err)
+	}
+	if _, err := ds.ColumnIndex("nope"); err == nil {
+		t.Fatal("missing index should error")
+	}
+	col := ds.Column(1)
+	col[0] = -999
+	if ds.Data.At(0, 1) == -999 {
+		t.Fatal("Column must copy")
+	}
+}
+
+func TestDropIDs(t *testing.T) {
+	ds := CardiacSample()
+	anon := ds.DropIDs()
+	if anon.IDs != nil {
+		t.Fatal("DropIDs should remove IDs")
+	}
+	if ds.IDs == nil {
+		t.Fatal("DropIDs must not mutate the receiver")
+	}
+}
+
+func TestStringNonEmpty(t *testing.T) {
+	if !strings.Contains(CardiacSample().String(), "age") {
+		t.Fatal("String should mention attribute names")
+	}
+}
+
+// The embedded sample must reproduce the paper's Table 1 exactly.
+func TestCardiacSampleMatchesTable1(t *testing.T) {
+	ds := CardiacSample()
+	want := [][]float64{
+		{75, 80, 63}, {56, 64, 53}, {40, 52, 70}, {28, 58, 76}, {44, 90, 68},
+	}
+	for i, row := range want {
+		for j, v := range row {
+			if ds.Data.At(i, j) != v {
+				t.Fatalf("Table1[%d][%d] = %v, want %v", i, j, ds.Data.At(i, j), v)
+			}
+		}
+	}
+	wantIDs := []string{"1237", "3420", "2543", "4461", "2863"}
+	for i, id := range wantIDs {
+		if ds.IDs[i] != id {
+			t.Fatalf("ID[%d] = %q, want %q", i, ds.IDs[i], id)
+		}
+	}
+}
+
+// CardiacNormalized must be the z-score (sample std) of CardiacSample, to
+// the paper's printed precision.
+func TestCardiacNormalizedConsistent(t *testing.T) {
+	raw := CardiacSample()
+	norm := CardiacNormalized()
+	for j := 0; j < raw.Cols(); j++ {
+		col := raw.Column(j)
+		mean := stats.Mean(col)
+		std := stats.StdDev(col, stats.Sample)
+		for i := 0; i < raw.Rows(); i++ {
+			z := (raw.Data.At(i, j) - mean) / std
+			if math.Abs(z-norm.Data.At(i, j)) > 5e-5 {
+				t.Fatalf("z[%d][%d] = %v, table 2 says %v", i, j, z, norm.Data.At(i, j))
+			}
+		}
+	}
+}
+
+func TestPaperTables(t *testing.T) {
+	t4 := PaperTable4()
+	if len(t4) != 4 || len(t4[3]) != 4 {
+		t.Fatalf("Table4 shape wrong: %v", t4)
+	}
+	t5 := PaperTable5()
+	if len(t5) != 4 || t5[0][0] != 3.0121 {
+		t.Fatalf("Table5 wrong: %v", t5)
+	}
+	tr := CardiacTransformed()
+	if tr.Rows() != 5 || tr.Cols() != 3 {
+		t.Fatal("Table3 shape wrong")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	ds := CardiacSample()
+	ds.Labels = []int{0, 0, 1, 1, 0}
+	var buf strings.Builder
+	if err := WriteCSV(&buf, ds); err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultCSVOptions()
+	opts.IDColumn = 0
+	opts.LabelColumn = 4
+	back, err := ReadCSV(strings.NewReader(buf.String()), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matrix.EqualApprox(back.Data, ds.Data, 1e-12) {
+		t.Fatal("round trip data mismatch")
+	}
+	if back.IDs[2] != "2543" || back.Labels[3] != 1 {
+		t.Fatalf("round trip metadata mismatch: %v %v", back.IDs, back.Labels)
+	}
+	if back.Names[0] != "age" {
+		t.Fatalf("names = %v", back.Names)
+	}
+}
+
+func TestReadCSVNoHeader(t *testing.T) {
+	opts := CSVOptions{HasHeader: false, IDColumn: -1, LabelColumn: -1}
+	ds, err := ReadCSV(strings.NewReader("1,2\n3,4\n"), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Names[0] != "attr0" || ds.Data.At(1, 1) != 4 {
+		t.Fatalf("parsed %v %v", ds.Names, ds.Data)
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	opts := DefaultCSVOptions()
+	cases := []struct {
+		name, in string
+		opts     CSVOptions
+	}{
+		{"empty", "", opts},
+		{"header only", "a,b\n", opts},
+		{"non numeric", "a,b\n1,x\n", opts},
+		{"bad label", "a,b\n1,zz\n", CSVOptions{HasHeader: true, IDColumn: -1, LabelColumn: 1}},
+		{"id column out of range", "a\n1\n", CSVOptions{HasHeader: true, IDColumn: 7, LabelColumn: -1}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ReadCSV(strings.NewReader(tc.in), tc.opts); err == nil {
+				t.Fatalf("expected error for %q", tc.in)
+			}
+		})
+	}
+}
+
+func TestReadCSVFileMissing(t *testing.T) {
+	if _, err := ReadCSVFile("/nonexistent/path.csv", DefaultCSVOptions()); err == nil {
+		t.Fatal("missing file should error")
+	}
+}
+
+func TestWriteCSVFileAndReadBack(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/out.csv"
+	ds := CardiacSample()
+	if err := WriteCSVFile(path, ds); err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultCSVOptions()
+	opts.IDColumn = 0
+	back, err := ReadCSVFile(path, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matrix.EqualApprox(back.Data, ds.Data, 1e-12) {
+		t.Fatal("file round trip mismatch")
+	}
+}
+
+func TestWriteCSVInvalidDataset(t *testing.T) {
+	bad := &Dataset{Names: []string{"a"}, Data: matrix.NewDense(1, 2, nil)}
+	var buf strings.Builder
+	if err := WriteCSV(&buf, bad); !errors.Is(err, ErrBadDataset) {
+		t.Fatal("invalid dataset should be rejected on write")
+	}
+}

@@ -1,0 +1,47 @@
+package dataset
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// ReadCSV must never panic, whatever bytes arrive: it either parses or
+// returns an error. This property-based test feeds it structured garbage
+// (random printable bytes with CSV-ish separators mixed in).
+func TestQuickReadCSVNeverPanics(t *testing.T) {
+	alphabet := []byte("abc,;\"'\n\r\t 0123456789.-+eE∞")
+	f := func(seed int64) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Logf("panic on seed %d: %v", seed, r)
+				ok = false
+			}
+		}()
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(200)
+		buf := make([]byte, n)
+		for i := range buf {
+			buf[i] = alphabet[rng.Intn(len(alphabet))]
+		}
+		for _, opts := range []CSVOptions{
+			DefaultCSVOptions(),
+			{HasHeader: false, IDColumn: -1, LabelColumn: -1},
+			{HasHeader: true, IDColumn: 0, LabelColumn: 1},
+		} {
+			ds, err := ReadCSV(strings.NewReader(string(buf)), opts)
+			if err == nil {
+				// Whatever parsed must at least be internally consistent.
+				if vErr := ds.Validate(); vErr != nil {
+					t.Logf("seed %d: parsed dataset fails validation: %v", seed, vErr)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

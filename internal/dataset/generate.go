@@ -1,0 +1,282 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"ppclust/internal/matrix"
+)
+
+// GaussianBlob describes one mixture component for GaussianMixture.
+type GaussianBlob struct {
+	// Center is the component mean; its length fixes the dimensionality.
+	Center []float64
+	// Std is the isotropic standard deviation, used when Stds is nil.
+	Std float64
+	// Stds optionally gives a per-dimension standard deviation (axis-
+	// aligned anisotropic blob); when set it must match Center's length.
+	Stds []float64
+	// Weight is the relative share of points drawn from this component.
+	// Zero weights are treated as 1.
+	Weight float64
+}
+
+// stdAt returns the standard deviation of dimension j.
+func (b GaussianBlob) stdAt(j int) float64 {
+	if b.Stds != nil {
+		return b.Stds[j]
+	}
+	return b.Std
+}
+
+// GaussianMixture draws m points from a mixture of isotropic Gaussian blobs
+// and labels each point with its component, giving clusterable ground truth
+// for the Corollary 1 experiments. All blobs must share one dimensionality.
+func GaussianMixture(m int, blobs []GaussianBlob, rng *rand.Rand) (*Dataset, error) {
+	if m <= 0 || len(blobs) == 0 {
+		return nil, fmt.Errorf("%w: need m > 0 and at least one blob", ErrBadDataset)
+	}
+	dim := len(blobs[0].Center)
+	total := 0.0
+	for i, b := range blobs {
+		if len(b.Center) != dim {
+			return nil, fmt.Errorf("%w: blob %d has dimension %d, want %d", ErrBadDataset, i, len(b.Center), dim)
+		}
+		if b.Std < 0 {
+			return nil, fmt.Errorf("%w: blob %d has negative std", ErrBadDataset, i)
+		}
+		if b.Stds != nil {
+			if len(b.Stds) != dim {
+				return nil, fmt.Errorf("%w: blob %d has %d stds for dimension %d", ErrBadDataset, i, len(b.Stds), dim)
+			}
+			for _, s := range b.Stds {
+				if s < 0 {
+					return nil, fmt.Errorf("%w: blob %d has negative per-dimension std", ErrBadDataset, i)
+				}
+			}
+		}
+		w := b.Weight
+		if w == 0 {
+			w = 1
+		}
+		total += w
+	}
+	data := matrix.NewDense(m, dim, nil)
+	labels := make([]int, m)
+	for i := 0; i < m; i++ {
+		u := rng.Float64() * total
+		k := 0
+		acc := 0.0
+		for j, b := range blobs {
+			w := b.Weight
+			if w == 0 {
+				w = 1
+			}
+			acc += w
+			if u <= acc {
+				k = j
+				break
+			}
+		}
+		labels[i] = k
+		for j := 0; j < dim; j++ {
+			data.SetAt(i, j, blobs[k].Center[j]+blobs[k].stdAt(j)*rng.NormFloat64())
+		}
+	}
+	names := make([]string, dim)
+	for j := range names {
+		names[j] = fmt.Sprintf("x%d", j)
+	}
+	return &Dataset{Names: names, Data: data, Labels: labels}, nil
+}
+
+// WellSeparatedBlobs returns a convenient k-cluster Gaussian mixture in dim
+// dimensions: unit-std blobs centered sep apart along coordinate axes.
+func WellSeparatedBlobs(m, k, dim int, sep float64, rng *rand.Rand) (*Dataset, error) {
+	if k <= 0 || dim <= 0 {
+		return nil, fmt.Errorf("%w: need k > 0 and dim > 0", ErrBadDataset)
+	}
+	blobs := make([]GaussianBlob, k)
+	for c := range blobs {
+		center := make([]float64, dim)
+		// Spread centers on the vertices of a scaled simplex-ish layout:
+		// each center offsets a distinct coordinate (cycling when k > dim).
+		center[c%dim] = sep * float64(1+c/dim)
+		if c%2 == 1 {
+			center[c%dim] = -center[c%dim]
+		}
+		blobs[c] = GaussianBlob{Center: center, Std: 1}
+	}
+	return GaussianMixture(m, blobs, rng)
+}
+
+// CorrelatedGaussian draws m points from N(mean, cov) using a Cholesky
+// factorization of cov. It is the workload for the PCA attack, which
+// requires anisotropic data. cov must be symmetric positive definite.
+func CorrelatedGaussian(m int, mean []float64, cov *matrix.Dense, rng *rand.Rand) (*Dataset, error) {
+	if m <= 0 {
+		return nil, fmt.Errorf("%w: need m > 0", ErrBadDataset)
+	}
+	n := len(mean)
+	if r, c := cov.Dims(); r != n || c != n {
+		return nil, fmt.Errorf("%w: covariance %dx%d for mean of length %d", ErrBadDataset, r, c, n)
+	}
+	l, err := matrix.Cholesky(cov)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: covariance not positive definite: %w", err)
+	}
+	data := matrix.NewDense(m, n, nil)
+	z := make([]float64, n)
+	for i := 0; i < m; i++ {
+		for j := range z {
+			z[j] = rng.NormFloat64()
+		}
+		lz, err := l.MulVec(z)
+		if err != nil {
+			return nil, err
+		}
+		for j := 0; j < n; j++ {
+			data.SetAt(i, j, mean[j]+lz[j])
+		}
+	}
+	names := make([]string, n)
+	for j := range names {
+		names[j] = fmt.Sprintf("x%d", j)
+	}
+	return &Dataset{Names: names, Data: data}, nil
+}
+
+// UniformHypercube draws m points uniformly from [lo, hi]^dim.
+func UniformHypercube(m, dim int, lo, hi float64, rng *rand.Rand) (*Dataset, error) {
+	if m <= 0 || dim <= 0 {
+		return nil, fmt.Errorf("%w: need m > 0 and dim > 0", ErrBadDataset)
+	}
+	if hi <= lo {
+		return nil, fmt.Errorf("%w: need hi > lo", ErrBadDataset)
+	}
+	data := matrix.NewDense(m, dim, nil)
+	for i := 0; i < m; i++ {
+		for j := 0; j < dim; j++ {
+			data.SetAt(i, j, lo+(hi-lo)*rng.Float64())
+		}
+	}
+	names := make([]string, dim)
+	for j := range names {
+		names[j] = fmt.Sprintf("x%d", j)
+	}
+	return &Dataset{Names: names, Data: data}, nil
+}
+
+// Rings draws m 2-D points from k concentric noisy rings — a dataset where
+// density-based clustering (DBSCAN) succeeds and k-means fails, useful for
+// showing RBT's algorithm independence beyond centroid methods.
+func Rings(m, k int, noise float64, rng *rand.Rand) (*Dataset, error) {
+	if m <= 0 || k <= 0 {
+		return nil, fmt.Errorf("%w: need m > 0 and k > 0", ErrBadDataset)
+	}
+	data := matrix.NewDense(m, 2, nil)
+	labels := make([]int, m)
+	for i := 0; i < m; i++ {
+		ring := i % k
+		radius := float64(ring+1) * 3
+		angle := rng.Float64() * 2 * math.Pi
+		data.SetAt(i, 0, radius*math.Cos(angle)+noise*rng.NormFloat64())
+		data.SetAt(i, 1, radius*math.Sin(angle)+noise*rng.NormFloat64())
+		labels[i] = ring
+	}
+	return &Dataset{Names: []string{"x0", "x1"}, Data: data, Labels: labels}, nil
+}
+
+// TwoMoons draws m 2-D points from the classic interleaved half-moons
+// benchmark with the given Gaussian noise.
+func TwoMoons(m int, noise float64, rng *rand.Rand) (*Dataset, error) {
+	if m <= 0 {
+		return nil, fmt.Errorf("%w: need m > 0", ErrBadDataset)
+	}
+	data := matrix.NewDense(m, 2, nil)
+	labels := make([]int, m)
+	for i := 0; i < m; i++ {
+		t := rng.Float64() * math.Pi
+		if i%2 == 0 {
+			data.SetAt(i, 0, math.Cos(t)+noise*rng.NormFloat64())
+			data.SetAt(i, 1, math.Sin(t)+noise*rng.NormFloat64())
+			labels[i] = 0
+		} else {
+			data.SetAt(i, 0, 1-math.Cos(t)+noise*rng.NormFloat64())
+			data.SetAt(i, 1, 0.5-math.Sin(t)+noise*rng.NormFloat64())
+			labels[i] = 1
+		}
+	}
+	return &Dataset{Names: []string{"x0", "x1"}, Data: data, Labels: labels}, nil
+}
+
+// SyntheticPatients generates a medical-flavoured dataset in the spirit of
+// the paper's hospital scenario: k disease groups over vitals-like
+// attributes (age, weight, heart_rate, systolic_bp, cholesterol), each group
+// a Gaussian blob in that 5-D space with plausible ranges.
+func SyntheticPatients(m, k int, rng *rand.Rand) (*Dataset, error) {
+	if k < 1 || k > 6 {
+		return nil, fmt.Errorf("%w: SyntheticPatients supports 1..6 groups, got %d", ErrBadDataset, k)
+	}
+	// Group centers chosen to be separable but overlapping, roughly shaped
+	// like distinct patient cohorts.
+	centers := [][]float64{
+		{35, 70, 72, 118, 180},
+		{62, 88, 64, 142, 238},
+		{48, 60, 95, 125, 205},
+		{71, 77, 58, 155, 260},
+		{29, 96, 80, 130, 222},
+		{55, 52, 88, 112, 168},
+	}
+	stds := []float64{4, 6, 5, 5, 5, 4}
+	blobs := make([]GaussianBlob, k)
+	for c := 0; c < k; c++ {
+		blobs[c] = GaussianBlob{Center: centers[c], Std: stds[c]}
+	}
+	ds, err := GaussianMixture(m, blobs, rng)
+	if err != nil {
+		return nil, err
+	}
+	ds.Names = []string{"age", "weight", "heart_rate", "systolic_bp", "cholesterol"}
+	ids := make([]string, m)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("P%05d", i+1)
+	}
+	ds.IDs = ids
+	return ds, nil
+}
+
+// SyntheticCustomers generates a marketing-flavoured dataset in the spirit
+// of the paper's retail scenario: k customer segments over spend-like
+// attributes (recency_days, frequency, monetary, basket_size, tenure_years).
+func SyntheticCustomers(m, k int, rng *rand.Rand) (*Dataset, error) {
+	if k < 1 || k > 5 {
+		return nil, fmt.Errorf("%w: SyntheticCustomers supports 1..5 segments, got %d", ErrBadDataset, k)
+	}
+	centers := [][]float64{
+		{12, 40, 2400, 8, 6},   // loyal heavy spenders
+		{90, 6, 300, 3, 1.5},   // lapsed light buyers
+		{30, 18, 900, 5, 3},    // mid-market regulars
+		{5, 60, 5200, 12, 9},   // top-tier enthusiasts
+		{160, 2, 120, 2, 0.75}, // one-off bargain hunters
+	}
+	// Per-attribute spread sized to each attribute's scale so values stay
+	// in plausible (positive) ranges.
+	stds := []float64{4, 4, 150, 1.2, 0.5}
+	blobs := make([]GaussianBlob, k)
+	for c := 0; c < k; c++ {
+		blobs[c] = GaussianBlob{Center: centers[c], Stds: stds}
+	}
+	ds, err := GaussianMixture(m, blobs, rng)
+	if err != nil {
+		return nil, err
+	}
+	ds.Names = []string{"recency_days", "frequency", "monetary", "basket_size", "tenure_years"}
+	ids := make([]string, m)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("C%06d", i+1)
+	}
+	ds.IDs = ids
+	return ds, nil
+}

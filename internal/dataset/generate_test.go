@@ -1,0 +1,223 @@
+package dataset
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ppclust/internal/matrix"
+	"ppclust/internal/stats"
+)
+
+func TestGaussianMixtureShapeAndLabels(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ds, err := GaussianMixture(200, []GaussianBlob{
+		{Center: []float64{0, 0}, Std: 0.5},
+		{Center: []float64{10, 10}, Std: 0.5},
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Rows() != 200 || ds.Cols() != 2 || len(ds.Labels) != 200 {
+		t.Fatalf("shape %dx%d labels %d", ds.Rows(), ds.Cols(), len(ds.Labels))
+	}
+	// Labels must actually partition the data around their centers.
+	for i := 0; i < ds.Rows(); i++ {
+		x := ds.Data.At(i, 0)
+		if ds.Labels[i] == 0 && x > 5 {
+			t.Fatalf("row %d labeled 0 but x=%v", i, x)
+		}
+		if ds.Labels[i] == 1 && x < 5 {
+			t.Fatalf("row %d labeled 1 but x=%v", i, x)
+		}
+	}
+}
+
+func TestGaussianMixtureWeights(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	ds, err := GaussianMixture(3000, []GaussianBlob{
+		{Center: []float64{0}, Std: 0.1, Weight: 9},
+		{Center: []float64{100}, Std: 0.1, Weight: 1},
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count0 := 0
+	for _, l := range ds.Labels {
+		if l == 0 {
+			count0++
+		}
+	}
+	frac := float64(count0) / 3000
+	if frac < 0.85 || frac > 0.95 {
+		t.Fatalf("weight 9:1 should give ~90%% from blob 0, got %.3f", frac)
+	}
+}
+
+func TestGaussianMixtureErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	if _, err := GaussianMixture(0, []GaussianBlob{{Center: []float64{0}}}, rng); err == nil {
+		t.Fatal("m=0 should error")
+	}
+	if _, err := GaussianMixture(10, nil, rng); err == nil {
+		t.Fatal("no blobs should error")
+	}
+	if _, err := GaussianMixture(10, []GaussianBlob{
+		{Center: []float64{0, 0}}, {Center: []float64{0}},
+	}, rng); err == nil {
+		t.Fatal("ragged dimensions should error")
+	}
+	if _, err := GaussianMixture(10, []GaussianBlob{{Center: []float64{0}, Std: -1}}, rng); err == nil {
+		t.Fatal("negative std should error")
+	}
+}
+
+func TestWellSeparatedBlobs(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	ds, err := WellSeparatedBlobs(100, 3, 4, 20, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Rows() != 100 || ds.Cols() != 4 {
+		t.Fatal("shape wrong")
+	}
+	if _, err := WellSeparatedBlobs(10, 0, 2, 5, rng); err == nil {
+		t.Fatal("k=0 should error")
+	}
+}
+
+func TestCorrelatedGaussianCovariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	cov := matrix.FromRows([][]float64{{4, 1.5}, {1.5, 1}})
+	ds, err := CorrelatedGaussian(20000, []float64{3, -2}, cov, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := stats.CovarianceMatrix(ds.Data, stats.Sample)
+	if math.Abs(got.At(0, 0)-4) > 0.2 || math.Abs(got.At(0, 1)-1.5) > 0.15 {
+		t.Fatalf("empirical covariance %v too far from requested", got)
+	}
+	means := stats.ColumnMeans(ds.Data)
+	if math.Abs(means[0]-3) > 0.1 || math.Abs(means[1]+2) > 0.1 {
+		t.Fatalf("means %v", means)
+	}
+}
+
+func TestCorrelatedGaussianErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	if _, err := CorrelatedGaussian(0, []float64{0}, matrix.Identity(1), rng); err == nil {
+		t.Fatal("m=0 should error")
+	}
+	if _, err := CorrelatedGaussian(5, []float64{0, 0}, matrix.Identity(1), rng); err == nil {
+		t.Fatal("shape mismatch should error")
+	}
+	notPD := matrix.FromRows([][]float64{{1, 2}, {2, 1}})
+	if _, err := CorrelatedGaussian(5, []float64{0, 0}, notPD, rng); err == nil {
+		t.Fatal("indefinite covariance should error")
+	}
+}
+
+func TestUniformHypercube(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	ds, err := UniformHypercube(500, 3, -1, 1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < ds.Rows(); i++ {
+		for j := 0; j < 3; j++ {
+			v := ds.Data.At(i, j)
+			if v < -1 || v > 1 {
+				t.Fatalf("value %v outside [-1,1]", v)
+			}
+		}
+	}
+	if _, err := UniformHypercube(5, 2, 1, 0, rng); err == nil {
+		t.Fatal("hi <= lo should error")
+	}
+	if _, err := UniformHypercube(0, 2, 0, 1, rng); err == nil {
+		t.Fatal("m=0 should error")
+	}
+}
+
+func TestRings(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	ds, err := Rings(300, 2, 0.05, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Points labeled 0 should sit near radius 3, labeled 1 near radius 6.
+	for i := 0; i < ds.Rows(); i++ {
+		r := math.Hypot(ds.Data.At(i, 0), ds.Data.At(i, 1))
+		want := float64(ds.Labels[i]+1) * 3
+		if math.Abs(r-want) > 1 {
+			t.Fatalf("row %d radius %v, want near %v", i, r, want)
+		}
+	}
+	if _, err := Rings(0, 1, 0, rng); err == nil {
+		t.Fatal("m=0 should error")
+	}
+	if _, err := Rings(5, 0, 0, rng); err == nil {
+		t.Fatal("k=0 should error")
+	}
+}
+
+func TestTwoMoons(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	ds, err := TwoMoons(200, 0.02, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Rows() != 200 || len(ds.Labels) != 200 {
+		t.Fatal("shape wrong")
+	}
+	if _, err := TwoMoons(0, 0.1, rng); err == nil {
+		t.Fatal("m=0 should error")
+	}
+}
+
+func TestSyntheticPatients(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	ds, err := SyntheticPatients(120, 3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Cols() != 5 || ds.Names[3] != "systolic_bp" || ds.IDs[0] != "P00001" {
+		t.Fatalf("patients dataset malformed: %v", ds.Names)
+	}
+	if err := ds.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SyntheticPatients(10, 7, rng); err == nil {
+		t.Fatal("k=7 should error")
+	}
+}
+
+func TestSyntheticCustomers(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	ds, err := SyntheticCustomers(80, 4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Cols() != 5 || ds.Names[2] != "monetary" {
+		t.Fatalf("customers dataset malformed: %v", ds.Names)
+	}
+	if _, err := SyntheticCustomers(10, 6, rng); err == nil {
+		t.Fatal("k=6 should error")
+	}
+}
+
+// Property: generators are deterministic for a fixed seed.
+func TestQuickGeneratorDeterminism(t *testing.T) {
+	f := func(seed int64) bool {
+		a, err1 := WellSeparatedBlobs(50, 3, 3, 10, rand.New(rand.NewSource(seed)))
+		b, err2 := WellSeparatedBlobs(50, 3, 3, 10, rand.New(rand.NewSource(seed)))
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return matrix.Equal(a.Data, b.Data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

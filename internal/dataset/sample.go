@@ -1,0 +1,85 @@
+package dataset
+
+import "ppclust/internal/matrix"
+
+// CardiacSample returns the 5-object sample of the UCI Cardiac Arrhythmia
+// database printed as Table 1 of the paper: attributes age, weight and
+// heart_rate, with the paper's object IDs. Every number in the paper's
+// worked example (Tables 2-6, Figures 2-3) derives from this sample.
+func CardiacSample() *Dataset {
+	data := matrix.FromRows([][]float64{
+		{75, 80, 63},
+		{56, 64, 53},
+		{40, 52, 70},
+		{28, 58, 76},
+		{44, 90, 68},
+	})
+	return &Dataset{
+		Names: []string{"age", "weight", "heart_rate"},
+		IDs:   []string{"1237", "3420", "2543", "4461", "2863"},
+		Data:  data,
+	}
+}
+
+// CardiacNormalized returns the z-score normalized sample exactly as the
+// paper prints it in Table 2 (four decimal places). Tests compare our
+// computed normalization against these published values; production code
+// should normalize with internal/norm instead of using this constant.
+func CardiacNormalized() *Dataset {
+	data := matrix.FromRows([][]float64{
+		{1.4809, 0.7095, -0.3476},
+		{0.4151, -0.3041, -1.5061},
+		{-0.4824, -1.0642, 0.4634},
+		{-1.1556, -0.6841, 1.1586},
+		{-0.2580, 1.3430, 0.2317},
+	})
+	return &Dataset{
+		Names: []string{"age", "weight", "heart_rate"},
+		IDs:   []string{"1237", "3420", "2543", "4461", "2863"},
+		Data:  data,
+	}
+}
+
+// CardiacTransformed returns Table 3 of the paper: the sample after RBT with
+// pair1 = [age, heart_rate] at θ1 = 312.47° and pair2 = [weight, age′] at
+// θ2 = 147.29°, as published (four decimal places).
+func CardiacTransformed() *Dataset {
+	data := matrix.FromRows([][]float64{
+		{-1.4405, 0.0819, 0.8577},
+		{-1.0063, 1.0077, -0.7108},
+		{1.1368, 0.5347, -0.0429},
+		{1.7453, -0.3078, -0.0701},
+		{-0.4353, -1.3165, -0.0339},
+	})
+	return &Dataset{
+		Names: []string{"age", "weight", "heart_rate"},
+		IDs:   []string{"1237", "3420", "2543", "4461", "2863"},
+		Data:  data,
+	}
+}
+
+// PaperTable4 returns the lower triangle of the dissimilarity matrix the
+// paper prints as Table 4 (and reprints as Table 6): Euclidean distances
+// between the transformed objects, equal to those of the normalized data.
+// Entry [i][j] holds d(i+1, j) in the paper's 1-based numbering, i.e. the
+// strictly-lower-triangular rows.
+func PaperTable4() [][]float64 {
+	return [][]float64{
+		{1.8723},
+		{2.7674, 2.2940},
+		{3.3409, 3.1164, 1.0396},
+		{1.9393, 2.4872, 2.4287, 2.4029},
+	}
+}
+
+// PaperTable5 returns the lower triangle of Table 5: the dissimilarity
+// matrix of the transformed data after an attacker re-normalizes it, showing
+// that the attempt destroys the distances.
+func PaperTable5() [][]float64 {
+	return [][]float64{
+		{3.0121},
+		{2.5196, 2.0314},
+		{2.8778, 2.7384, 1.0499},
+		{2.3604, 2.9205, 2.3811, 1.9492},
+	}
+}

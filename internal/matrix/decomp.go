@@ -1,0 +1,265 @@
+package matrix
+
+import (
+	"fmt"
+	"math"
+)
+
+// LU holds an LU decomposition with partial pivoting: P*A = L*U where L is
+// unit lower triangular and U is upper triangular, both packed into lu.
+type LU struct {
+	lu    *Dense
+	pivot []int
+	sign  float64 // +1 or -1 depending on the permutation parity
+}
+
+// NewLU factorizes the square matrix a. The input is not modified.
+func NewLU(a *Dense) (*LU, error) {
+	n, c := a.Dims()
+	if n != c {
+		return nil, fmt.Errorf("%w: LU of non-square %dx%d", ErrShape, n, c)
+	}
+	lu := a.Clone()
+	pivot := make([]int, n)
+	for i := range pivot {
+		pivot[i] = i
+	}
+	sign := 1.0
+	for k := 0; k < n; k++ {
+		// Partial pivoting: pick the largest magnitude in column k.
+		p := k
+		max := math.Abs(lu.At(k, k))
+		for i := k + 1; i < n; i++ {
+			if v := math.Abs(lu.At(i, k)); v > max {
+				max, p = v, i
+			}
+		}
+		if p != k {
+			rk, rp := lu.RawRow(k), lu.RawRow(p)
+			for j := range rk {
+				rk[j], rp[j] = rp[j], rk[j]
+			}
+			pivot[k], pivot[p] = pivot[p], pivot[k]
+			sign = -sign
+		}
+		pkk := lu.At(k, k)
+		if pkk == 0 {
+			continue // singular; Det will be 0 and Solve will error.
+		}
+		for i := k + 1; i < n; i++ {
+			m := lu.At(i, k) / pkk
+			lu.SetAt(i, k, m)
+			if m == 0 {
+				continue
+			}
+			ri, rk := lu.RawRow(i), lu.RawRow(k)
+			for j := k + 1; j < n; j++ {
+				ri[j] -= m * rk[j]
+			}
+		}
+	}
+	return &LU{lu: lu, pivot: pivot, sign: sign}, nil
+}
+
+// Det returns the determinant of the factorized matrix.
+func (f *LU) Det() float64 {
+	n, _ := f.lu.Dims()
+	det := f.sign
+	for i := 0; i < n; i++ {
+		det *= f.lu.At(i, i)
+	}
+	return det
+}
+
+// Solve solves A*x = b for x. b is not modified.
+func (f *LU) Solve(b []float64) ([]float64, error) {
+	n, _ := f.lu.Dims()
+	if len(b) != n {
+		return nil, fmt.Errorf("%w: Solve rhs length %d, want %d", ErrShape, len(b), n)
+	}
+	for i := 0; i < n; i++ {
+		if f.lu.At(i, i) == 0 {
+			return nil, ErrSingular
+		}
+	}
+	x := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[i] = b[f.pivot[i]]
+	}
+	// Forward substitution with unit lower triangular L.
+	for i := 1; i < n; i++ {
+		row := f.lu.RawRow(i)
+		var s float64
+		for j := 0; j < i; j++ {
+			s += row[j] * x[j]
+		}
+		x[i] -= s
+	}
+	// Back substitution with U.
+	for i := n - 1; i >= 0; i-- {
+		row := f.lu.RawRow(i)
+		var s float64
+		for j := i + 1; j < n; j++ {
+			s += row[j] * x[j]
+		}
+		x[i] = (x[i] - s) / row[i]
+	}
+	return x, nil
+}
+
+// SolveMatrix solves A*X = B column by column.
+func (f *LU) SolveMatrix(b *Dense) (*Dense, error) {
+	n, _ := f.lu.Dims()
+	br, bc := b.Dims()
+	if br != n {
+		return nil, fmt.Errorf("%w: SolveMatrix rhs %dx%d, want %d rows", ErrShape, br, bc, n)
+	}
+	out := NewDense(n, bc, nil)
+	for j := 0; j < bc; j++ {
+		x, err := f.Solve(b.Col(j))
+		if err != nil {
+			return nil, err
+		}
+		out.SetCol(j, x)
+	}
+	return out, nil
+}
+
+// Inverse returns the inverse of the factorized matrix.
+func (f *LU) Inverse() (*Dense, error) {
+	n, _ := f.lu.Dims()
+	return f.SolveMatrix(Identity(n))
+}
+
+// Solve solves the square linear system a*x = b.
+func Solve(a *Dense, b []float64) ([]float64, error) {
+	f, err := NewLU(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(b)
+}
+
+// Det returns the determinant of the square matrix a.
+func Det(a *Dense) (float64, error) {
+	f, err := NewLU(a)
+	if err != nil {
+		return 0, err
+	}
+	return f.Det(), nil
+}
+
+// Cholesky computes the lower-triangular factor L of a symmetric positive
+// definite matrix a, so that a = L*Lᵀ. It returns ErrSingular (wrapped) if a
+// is not positive definite to working precision.
+func Cholesky(a *Dense) (*Dense, error) {
+	n, c := a.Dims()
+	if n != c {
+		return nil, fmt.Errorf("%w: Cholesky of non-square %dx%d", ErrShape, n, c)
+	}
+	l := NewDense(n, n, nil)
+	for j := 0; j < n; j++ {
+		var d float64
+		for k := 0; k < j; k++ {
+			v := l.At(j, k)
+			d += v * v
+		}
+		d = a.At(j, j) - d
+		if d <= 0 {
+			return nil, fmt.Errorf("%w: not positive definite at pivot %d (%g)", ErrSingular, j, d)
+		}
+		ljj := math.Sqrt(d)
+		l.SetAt(j, j, ljj)
+		for i := j + 1; i < n; i++ {
+			var s float64
+			for k := 0; k < j; k++ {
+				s += l.At(i, k) * l.At(j, k)
+			}
+			l.SetAt(i, j, (a.At(i, j)-s)/ljj)
+		}
+	}
+	return l, nil
+}
+
+// QR holds a Householder QR decomposition a = Q*R with Q orthogonal
+// (rows x rows) and R upper trapezoidal.
+type QR struct {
+	q, r *Dense
+}
+
+// NewQR factorizes a (rows >= cols is the intended use). The input is not
+// modified. Q is returned as a full square orthogonal matrix.
+func NewQR(a *Dense) (*QR, error) {
+	m, n := a.Dims()
+	if m < n {
+		return nil, fmt.Errorf("%w: QR needs rows >= cols, got %dx%d", ErrShape, m, n)
+	}
+	r := a.Clone()
+	q := Identity(m)
+	v := make([]float64, m)
+	for k := 0; k < n && k < m-1; k++ {
+		// Build the Householder vector for column k.
+		var norm float64
+		for i := k; i < m; i++ {
+			x := r.At(i, k)
+			norm += x * x
+		}
+		norm = math.Sqrt(norm)
+		if norm == 0 {
+			continue
+		}
+		alpha := -norm
+		if r.At(k, k) < 0 {
+			alpha = norm
+		}
+		var vnorm2 float64
+		for i := k; i < m; i++ {
+			v[i] = r.At(i, k)
+			if i == k {
+				v[i] -= alpha
+			}
+			vnorm2 += v[i] * v[i]
+		}
+		if vnorm2 == 0 {
+			continue
+		}
+		// Apply H = I - 2 v vᵀ / (vᵀv) to R (left) and accumulate into Q.
+		for j := k; j < n; j++ {
+			var s float64
+			for i := k; i < m; i++ {
+				s += v[i] * r.At(i, j)
+			}
+			s = 2 * s / vnorm2
+			for i := k; i < m; i++ {
+				r.SetAt(i, j, r.At(i, j)-s*v[i])
+			}
+		}
+		for j := 0; j < m; j++ {
+			var s float64
+			for i := k; i < m; i++ {
+				s += v[i] * q.At(j, i)
+			}
+			s = 2 * s / vnorm2
+			for i := k; i < m; i++ {
+				q.SetAt(j, i, q.At(j, i)-s*v[i])
+			}
+		}
+	}
+	return &QR{q: q, r: r}, nil
+}
+
+// Q returns the orthogonal factor.
+func (f *QR) Q() *Dense { return f.q.Clone() }
+
+// R returns the upper trapezoidal factor.
+func (f *QR) R() *Dense { return f.r.Clone() }
+
+// IsOrthogonal reports whether qᵀq is within tol of the identity.
+func IsOrthogonal(q *Dense, tol float64) bool {
+	n, c := q.Dims()
+	if n != c {
+		return false
+	}
+	qtq := MustMul(q.T(), q)
+	return EqualApprox(qtq, Identity(n), tol)
+}

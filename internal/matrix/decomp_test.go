@@ -1,0 +1,234 @@
+package matrix
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLUDet(t *testing.T) {
+	tests := []struct {
+		name string
+		m    *Dense
+		det  float64
+	}{
+		{"identity", Identity(3), 1},
+		{"diag", Diagonal([]float64{2, 3, 4}), 24},
+		{"2x2", FromRows([][]float64{{1, 2}, {3, 4}}), -2},
+		{"singular", FromRows([][]float64{{1, 2}, {2, 4}}), 0},
+		{"permutation", FromRows([][]float64{{0, 1}, {1, 0}}), -1},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			d, err := Det(tc.m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(d-tc.det) > 1e-10 {
+				t.Fatalf("Det = %v, want %v", d, tc.det)
+			}
+		})
+	}
+	if _, err := Det(NewDense(2, 3, nil)); !errors.Is(err, ErrShape) {
+		t.Fatal("Det of non-square should be shape error")
+	}
+}
+
+func TestLUSolve(t *testing.T) {
+	a := FromRows([][]float64{{2, 1, -1}, {-3, -1, 2}, {-2, 1, 2}})
+	b := []float64{8, -11, -3}
+	x, err := Solve(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 3, -1}
+	for i := range want {
+		if math.Abs(x[i]-want[i]) > 1e-10 {
+			t.Fatalf("x = %v, want %v", x, want)
+		}
+	}
+}
+
+func TestLUSolveSingular(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := Solve(a, []float64{1, 2}); !errors.Is(err, ErrSingular) {
+		t.Fatalf("Solve singular = %v, want ErrSingular", err)
+	}
+}
+
+func TestLUSolveBadRHS(t *testing.T) {
+	f, err := NewLU(Identity(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Solve([]float64{1, 2, 3}); !errors.Is(err, ErrShape) {
+		t.Fatal("expected shape error")
+	}
+	if _, err := f.SolveMatrix(NewDense(3, 1, nil)); !errors.Is(err, ErrShape) {
+		t.Fatal("expected shape error")
+	}
+}
+
+func TestLUInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := RandomDense(5, 5, rng)
+	f, err := NewLU(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inv, err := f.Inverse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !EqualApprox(MustMul(a, inv), Identity(5), 1e-9) {
+		t.Fatal("a * a^-1 != I")
+	}
+}
+
+func TestCholesky(t *testing.T) {
+	// A = L0 L0ᵀ for a known L0.
+	l0 := FromRows([][]float64{{2, 0, 0}, {1, 3, 0}, {-1, 0.5, 1.5}})
+	a := MustMul(l0, l0.T())
+	l, err := Cholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !EqualApprox(MustMul(l, l.T()), a, 1e-10) {
+		t.Fatal("L*Lᵀ != A")
+	}
+	if !EqualApprox(l, l0, 1e-10) {
+		t.Fatal("Cholesky factor is not unique lower-triangular with positive diagonal")
+	}
+}
+
+func TestCholeskyErrors(t *testing.T) {
+	if _, err := Cholesky(NewDense(2, 3, nil)); !errors.Is(err, ErrShape) {
+		t.Fatal("want shape error")
+	}
+	notPD := FromRows([][]float64{{1, 2}, {2, 1}}) // eigenvalues 3, -1
+	if _, err := Cholesky(notPD); !errors.Is(err, ErrSingular) {
+		t.Fatalf("Cholesky of indefinite = %v, want ErrSingular", err)
+	}
+}
+
+func TestQRReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, dims := range [][2]int{{4, 4}, {6, 3}, {5, 5}} {
+		a := RandomDense(dims[0], dims[1], rng)
+		f, err := NewQR(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q, r := f.Q(), f.R()
+		if !IsOrthogonal(q, 1e-10) {
+			t.Fatalf("Q not orthogonal for %v", dims)
+		}
+		if !EqualApprox(MustMul(q, r), a, 1e-9) {
+			t.Fatalf("Q*R != A for %v", dims)
+		}
+		// R must be upper trapezoidal.
+		for i := 0; i < r.Rows(); i++ {
+			for j := 0; j < r.Cols() && j < i; j++ {
+				if math.Abs(r.At(i, j)) > 1e-9 {
+					t.Fatalf("R not upper triangular at (%d,%d): %v", i, j, r.At(i, j))
+				}
+			}
+		}
+	}
+	if _, err := NewQR(NewDense(2, 3, nil)); !errors.Is(err, ErrShape) {
+		t.Fatal("QR with rows<cols should be a shape error")
+	}
+}
+
+func TestRandomOrthogonal(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{1, 2, 3, 8} {
+		q := RandomOrthogonal(n, rng)
+		if !IsOrthogonal(q, 1e-9) {
+			t.Fatalf("RandomOrthogonal(%d) not orthogonal", n)
+		}
+	}
+	if RandomOrthogonal(0, rng).Rows() != 0 {
+		t.Fatal("n=0 should give empty matrix")
+	}
+}
+
+func TestRandomRotationDeterminant(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for i := 0; i < 10; i++ {
+		q := RandomRotation(3, rng)
+		d, err := Det(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(d-1) > 1e-9 {
+			t.Fatalf("det = %v, want +1", d)
+		}
+	}
+}
+
+func TestIsOrthogonalRejects(t *testing.T) {
+	if IsOrthogonal(NewDense(2, 3, nil), 1e-9) {
+		t.Fatal("non-square can't be orthogonal")
+	}
+	if IsOrthogonal(FromRows([][]float64{{2, 0}, {0, 2}}), 1e-9) {
+		t.Fatal("2*I is not orthogonal")
+	}
+}
+
+// Property: det(Q) == ±1 and Q preserves vector norms for random orthogonal Q.
+func TestQuickOrthogonalPreservesNorm(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(5)
+		q := RandomOrthogonal(n, rng)
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = rng.NormFloat64()
+		}
+		qv, err := q.MulVec(v)
+		if err != nil {
+			return false
+		}
+		return math.Abs(Norm2(qv)-Norm2(v)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: LU solve residual is tiny for well-conditioned random systems.
+func TestQuickSolveResidual(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(6)
+		// Diagonally dominant => well conditioned.
+		a := RandomDense(n, n, rng)
+		for i := 0; i < n; i++ {
+			a.SetAt(i, i, a.At(i, i)+float64(n)+1)
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		x, err := Solve(a, b)
+		if err != nil {
+			return false
+		}
+		ax, err := a.MulVec(x)
+		if err != nil {
+			return false
+		}
+		for i := range b {
+			if math.Abs(ax[i]-b[i]) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,122 @@
+package matrix
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Eigen holds the spectral decomposition of a symmetric matrix:
+// A = V * diag(Values) * Vᵀ, with eigenvalues sorted in descending order and
+// Vectors holding the corresponding eigenvectors as columns.
+type Eigen struct {
+	Values  []float64
+	Vectors *Dense
+}
+
+// SymEigen computes all eigenvalues and eigenvectors of the symmetric matrix
+// a using the cyclic Jacobi method. Symmetry is assumed; only the upper
+// triangle drives convergence but the full matrix is read. The method is
+// O(n^3) per sweep and converges quadratically, which is ample for the
+// covariance matrices (n <= a few hundred) used by the PCA attack.
+func SymEigen(a *Dense) (*Eigen, error) {
+	n, c := a.Dims()
+	if n != c {
+		return nil, fmt.Errorf("%w: SymEigen of non-square %dx%d", ErrShape, n, c)
+	}
+	s := a.Clone()
+	v := Identity(n)
+	const maxSweeps = 100
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := offDiagNorm(s)
+		if off < 1e-14*(1+s.FrobeniusNorm()) {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := s.At(p, q)
+				if math.Abs(apq) < 1e-300 {
+					continue
+				}
+				app, aqq := s.At(p, p), s.At(q, q)
+				// Classic Jacobi rotation parameters.
+				theta := (aqq - app) / (2 * apq)
+				var t float64
+				if theta >= 0 {
+					t = 1 / (theta + math.Sqrt(1+theta*theta))
+				} else {
+					t = -1 / (-theta + math.Sqrt(1+theta*theta))
+				}
+				cth := 1 / math.Sqrt(1+t*t)
+				sth := t * cth
+				rotateSym(s, p, q, cth, sth)
+				rotateCols(v, p, q, cth, sth)
+			}
+		}
+	}
+	eig := &Eigen{Values: make([]float64, n), Vectors: NewDense(n, n, nil)}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	diag := make([]float64, n)
+	for i := 0; i < n; i++ {
+		diag[i] = s.At(i, i)
+	}
+	sort.Slice(order, func(i, j int) bool { return diag[order[i]] > diag[order[j]] })
+	for k, idx := range order {
+		eig.Values[k] = diag[idx]
+		for i := 0; i < n; i++ {
+			eig.Vectors.SetAt(i, k, v.At(i, idx))
+		}
+	}
+	return eig, nil
+}
+
+func offDiagNorm(s *Dense) float64 {
+	n, _ := s.Dims()
+	var sum float64
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			v := s.At(i, j)
+			sum += v * v
+		}
+	}
+	return math.Sqrt(2 * sum)
+}
+
+// rotateSym applies the two-sided Jacobi rotation J(p,q,θ)ᵀ S J(p,q,θ) in
+// place, keeping S symmetric. Row slices avoid per-element bounds checks in
+// this O(n) inner loop, which runs O(n²) times per sweep.
+func rotateSym(s *Dense, p, q int, c, t float64) {
+	n, _ := s.Dims()
+	rp, rq := s.RawRow(p), s.RawRow(q)
+	app, aqq, apq := rp[p], rq[q], rp[q]
+	for i := 0; i < n; i++ {
+		if i == p || i == q {
+			continue
+		}
+		ri := s.RawRow(i)
+		aip, aiq := ri[p], ri[q]
+		nip := c*aip - t*aiq
+		niq := t*aip + c*aiq
+		ri[p], rp[i] = nip, nip
+		ri[q], rq[i] = niq, niq
+	}
+	rp[p] = c*c*app - 2*c*t*apq + t*t*aqq
+	rq[q] = t*t*app + 2*c*t*apq + c*c*aqq
+	rp[q] = 0
+	rq[p] = 0
+}
+
+// rotateCols applies the rotation to columns p and q of v (right
+// multiplication by J).
+func rotateCols(v *Dense, p, q int, c, t float64) {
+	n, _ := v.Dims()
+	for i := 0; i < n; i++ {
+		ri := v.RawRow(i)
+		vip, viq := ri[p], ri[q]
+		ri[p] = c*vip - t*viq
+		ri[q] = t*vip + c*viq
+	}
+}

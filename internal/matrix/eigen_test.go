@@ -1,0 +1,161 @@
+package matrix
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSymEigenDiagonal(t *testing.T) {
+	e, err := SymEigen(Diagonal([]float64{3, 1, 2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{3, 2, 1}
+	for i, v := range want {
+		if math.Abs(e.Values[i]-v) > 1e-12 {
+			t.Fatalf("Values = %v, want %v", e.Values, want)
+		}
+	}
+}
+
+func TestSymEigenKnown2x2(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 3 and 1.
+	e, err := SymEigen(FromRows([][]float64{{2, 1}, {1, 2}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(e.Values[0]-3) > 1e-10 || math.Abs(e.Values[1]-1) > 1e-10 {
+		t.Fatalf("Values = %v", e.Values)
+	}
+	// Eigenvector for 3 is (1,1)/sqrt2 up to sign.
+	v0 := e.Vectors.Col(0)
+	if math.Abs(math.Abs(v0[0])-math.Sqrt2/2) > 1e-9 || math.Abs(v0[0]-v0[1]) > 1e-9 {
+		t.Fatalf("first eigenvector = %v", v0)
+	}
+}
+
+func TestSymEigenNonSquare(t *testing.T) {
+	if _, err := SymEigen(NewDense(2, 3, nil)); !errors.Is(err, ErrShape) {
+		t.Fatal("want shape error")
+	}
+}
+
+func TestSymEigenReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, n := range []int{2, 3, 5, 10} {
+		g := RandomDense(n, n, rng)
+		a := MustMul(g, g.T()) // symmetric PSD
+		e, err := SymEigen(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !IsOrthogonal(e.Vectors, 1e-8) {
+			t.Fatalf("eigenvectors not orthogonal for n=%d", n)
+		}
+		recon := MustMul(MustMul(e.Vectors, Diagonal(e.Values)), e.Vectors.T())
+		if !EqualApprox(recon, a, 1e-8*(1+a.FrobeniusNorm())) {
+			t.Fatalf("V D Vᵀ != A for n=%d", n)
+		}
+		if !sort.IsSorted(sort.Reverse(sort.Float64Slice(e.Values))) {
+			t.Fatalf("eigenvalues not sorted descending: %v", e.Values)
+		}
+	}
+}
+
+// Property: trace(A) equals the sum of eigenvalues, and eigenvalues of a PSD
+// matrix are nonnegative.
+func TestQuickEigenTraceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(5)
+		g := RandomDense(n, n, rng)
+		a := MustMul(g, g.T())
+		e, err := SymEigen(a)
+		if err != nil {
+			return false
+		}
+		var trace, sum float64
+		for i := 0; i < n; i++ {
+			trace += a.At(i, i)
+			sum += e.Values[i]
+			if e.Values[i] < -1e-8 {
+				return false
+			}
+		}
+		return math.Abs(trace-sum) < 1e-8*(1+math.Abs(trace))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: A v_k == lambda_k v_k for every eigenpair.
+func TestQuickEigenPairs(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(4)
+		g := RandomDense(n, n, rng)
+		a := MustMul(g, g.T())
+		e, err := SymEigen(a)
+		if err != nil {
+			return false
+		}
+		for k := 0; k < n; k++ {
+			v := e.Vectors.Col(k)
+			av, err := a.MulVec(v)
+			if err != nil {
+				return false
+			}
+			for i := 0; i < n; i++ {
+				if math.Abs(av[i]-e.Values[k]*v[i]) > 1e-7*(1+a.FrobeniusNorm()) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVectorOps(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{4, 5, 6}
+	if Dot(a, b) != 32 {
+		t.Fatalf("Dot = %v", Dot(a, b))
+	}
+	if math.Abs(Norm2([]float64{3, 4})-5) > 1e-15 {
+		t.Fatal("Norm2 failed")
+	}
+	y := []float64{1, 1, 1}
+	AXPY(2, a, y)
+	if y[2] != 7 {
+		t.Fatalf("AXPY = %v", y)
+	}
+	ScaleVec(0.5, y)
+	if y[2] != 3.5 {
+		t.Fatalf("ScaleVec = %v", y)
+	}
+	if d := SubVec(b, a); d[0] != 3 {
+		t.Fatalf("SubVec = %v", d)
+	}
+	if s := AddVec(a, a); s[1] != 4 {
+		t.Fatalf("AddVec = %v", s)
+	}
+	if SquaredDistance(a, b) != 27 {
+		t.Fatalf("SquaredDistance = %v", SquaredDistance(a, b))
+	}
+	if math.Abs(Distance(a, b)-math.Sqrt(27)) > 1e-15 {
+		t.Fatal("Distance failed")
+	}
+	mustPanic(t, func() { Dot(a, []float64{1}) })
+	mustPanic(t, func() { AXPY(1, a, []float64{1}) })
+	mustPanic(t, func() { SubVec(a, []float64{1}) })
+	mustPanic(t, func() { AddVec(a, []float64{1}) })
+	mustPanic(t, func() { SquaredDistance(a, []float64{1}) })
+}

@@ -1,0 +1,331 @@
+package matrix
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDenseZeroed(t *testing.T) {
+	m := NewDense(2, 3, nil)
+	r, c := m.Dims()
+	if r != 2 || c != 3 {
+		t.Fatalf("Dims = %d,%d, want 2,3", r, c)
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			if m.At(i, j) != 0 {
+				t.Fatalf("At(%d,%d) = %v, want 0", i, j, m.At(i, j))
+			}
+		}
+	}
+}
+
+func TestNewDenseBacking(t *testing.T) {
+	data := []float64{1, 2, 3, 4}
+	m := NewDense(2, 2, data)
+	if m.At(0, 1) != 2 || m.At(1, 0) != 3 {
+		t.Fatalf("row-major layout violated: %v", m)
+	}
+	m.SetAt(0, 0, 9)
+	if data[0] != 9 {
+		t.Fatal("NewDense should alias provided backing slice")
+	}
+}
+
+func TestNewDensePanics(t *testing.T) {
+	mustPanic(t, func() { NewDense(-1, 2, nil) })
+	mustPanic(t, func() { NewDense(2, 2, make([]float64, 3)) })
+	m := NewDense(2, 2, nil)
+	mustPanic(t, func() { m.At(2, 0) })
+	mustPanic(t, func() { m.At(0, -1) })
+	mustPanic(t, func() { m.SetAt(5, 5, 1) })
+	mustPanic(t, func() { m.Row(2) })
+	mustPanic(t, func() { m.Col(2) })
+	mustPanic(t, func() { m.SetRow(0, []float64{1}) })
+	mustPanic(t, func() { m.SetCol(0, []float64{1}) })
+	mustPanic(t, func() { FromRows([][]float64{{1, 2}, {1}}) })
+	mustPanic(t, func() { m.SubMatrix(0, 3, 0, 1) })
+	mustPanic(t, func() { m.SelectCols([]int{5}) })
+	mustPanic(t, func() { m.SelectRows([]int{-1}) })
+}
+
+func mustPanic(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f()
+}
+
+func TestFromRows(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	if m.Rows() != 3 || m.Cols() != 2 {
+		t.Fatalf("dims = %dx%d", m.Rows(), m.Cols())
+	}
+	if m.At(2, 1) != 6 {
+		t.Fatalf("At(2,1) = %v", m.At(2, 1))
+	}
+	empty := FromRows(nil)
+	if empty.Rows() != 0 || empty.Cols() != 0 {
+		t.Fatal("FromRows(nil) should be 0x0")
+	}
+}
+
+func TestIdentityDiagonal(t *testing.T) {
+	i3 := Identity(3)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if i3.At(i, j) != want {
+				t.Fatalf("Identity(3)[%d,%d] = %v", i, j, i3.At(i, j))
+			}
+		}
+	}
+	d := Diagonal([]float64{2, 5})
+	if d.At(0, 0) != 2 || d.At(1, 1) != 5 || d.At(0, 1) != 0 {
+		t.Fatalf("Diagonal wrong: %v", d)
+	}
+}
+
+func TestRowColAccessors(t *testing.T) {
+	m := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	row := m.Row(1)
+	row[0] = 99
+	if m.At(1, 0) != 4 {
+		t.Fatal("Row must copy")
+	}
+	raw := m.RawRow(1)
+	raw[0] = 99
+	if m.At(1, 0) != 99 {
+		t.Fatal("RawRow must alias")
+	}
+	col := m.Col(2)
+	if col[0] != 3 || col[1] != 6 {
+		t.Fatalf("Col(2) = %v", col)
+	}
+	m.SetRow(0, []float64{7, 8, 9})
+	if m.At(0, 2) != 9 {
+		t.Fatal("SetRow failed")
+	}
+	m.SetCol(1, []float64{-1, -2})
+	if m.At(1, 1) != -2 {
+		t.Fatal("SetCol failed")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	c := m.Clone()
+	c.SetAt(0, 0, 42)
+	if m.At(0, 0) != 1 {
+		t.Fatal("Clone must deep-copy")
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	mt := m.T()
+	if mt.Rows() != 3 || mt.Cols() != 2 {
+		t.Fatalf("T dims = %dx%d", mt.Rows(), mt.Cols())
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			if m.At(i, j) != mt.At(j, i) {
+				t.Fatalf("transpose mismatch at %d,%d", i, j)
+			}
+		}
+	}
+}
+
+func TestMul(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}})
+	ab := MustMul(a, b)
+	want := FromRows([][]float64{{19, 22}, {43, 50}})
+	if !Equal(ab, want) {
+		t.Fatalf("a*b =\n%v want\n%v", ab, want)
+	}
+	if _, err := Mul(a, FromRows([][]float64{{1, 2}})); !errors.Is(err, ErrShape) {
+		t.Fatalf("Mul shape error = %v, want ErrShape", err)
+	}
+}
+
+func TestMulIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := RandomDense(4, 4, rng)
+	if !EqualApprox(MustMul(a, Identity(4)), a, 1e-12) {
+		t.Fatal("a*I != a")
+	}
+	if !EqualApprox(MustMul(Identity(4), a), a, 1e-12) {
+		t.Fatal("I*a != a")
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	v, err := a.MulVec([]float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v[0] != 3 || v[1] != 7 {
+		t.Fatalf("MulVec = %v", v)
+	}
+	if _, err := a.MulVec([]float64{1}); !errors.Is(err, ErrShape) {
+		t.Fatal("expected shape error")
+	}
+}
+
+func TestAddSubScale(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{4, 3}, {2, 1}})
+	sum, err := Add(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(sum, FromRows([][]float64{{5, 5}, {5, 5}})) {
+		t.Fatalf("Add = %v", sum)
+	}
+	diff, err := Sub(sum, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(diff, a) {
+		t.Fatal("Sub(Add(a,b),b) != a")
+	}
+	if _, err := Add(a, NewDense(1, 2, nil)); !errors.Is(err, ErrShape) {
+		t.Fatal("Add shape error missing")
+	}
+	if _, err := Sub(a, NewDense(1, 2, nil)); !errors.Is(err, ErrShape) {
+		t.Fatal("Sub shape error missing")
+	}
+	s := a.Scale(2)
+	if !Equal(s, FromRows([][]float64{{2, 4}, {6, 8}})) {
+		t.Fatalf("Scale = %v", s)
+	}
+	if !Equal(a, FromRows([][]float64{{1, 2}, {3, 4}})) {
+		t.Fatal("Scale must not mutate")
+	}
+	a.ScaleInPlace(10)
+	if a.At(1, 1) != 40 {
+		t.Fatal("ScaleInPlace failed")
+	}
+}
+
+func TestEqualApproxAndMaxAbsDiff(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}})
+	b := FromRows([][]float64{{1.0005, 2}})
+	if EqualApprox(a, b, 1e-4) {
+		t.Fatal("should differ at 1e-4")
+	}
+	if !EqualApprox(a, b, 1e-3) {
+		t.Fatal("should match at 1e-3")
+	}
+	if EqualApprox(a, NewDense(2, 1, nil), 1) {
+		t.Fatal("shape mismatch should be unequal")
+	}
+	d, err := MaxAbsDiff(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d-0.0005) > 1e-12 {
+		t.Fatalf("MaxAbsDiff = %v", d)
+	}
+	if _, err := MaxAbsDiff(a, NewDense(2, 1, nil)); !errors.Is(err, ErrShape) {
+		t.Fatal("MaxAbsDiff shape error missing")
+	}
+	nan := FromRows([][]float64{{math.NaN(), 2}})
+	if EqualApprox(a, nan, 100) {
+		t.Fatal("NaN should never be approximately equal")
+	}
+}
+
+func TestFrobeniusNormAndHasNaN(t *testing.T) {
+	m := FromRows([][]float64{{3, 4}})
+	if m.FrobeniusNorm() != 5 {
+		t.Fatalf("Frobenius = %v", m.FrobeniusNorm())
+	}
+	if m.HasNaN() {
+		t.Fatal("no NaN expected")
+	}
+	m.SetAt(0, 0, math.Inf(1))
+	if !m.HasNaN() {
+		t.Fatal("Inf should count as non-finite")
+	}
+}
+
+func TestSubMatrixSelect(t *testing.T) {
+	m := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}})
+	s := m.SubMatrix(1, 3, 0, 2)
+	if !Equal(s, FromRows([][]float64{{4, 5}, {7, 8}})) {
+		t.Fatalf("SubMatrix = %v", s)
+	}
+	c := m.SelectCols([]int{2, 0})
+	if !Equal(c, FromRows([][]float64{{3, 1}, {6, 4}, {9, 7}})) {
+		t.Fatalf("SelectCols = %v", c)
+	}
+	r := m.SelectRows([]int{2})
+	if !Equal(r, FromRows([][]float64{{7, 8, 9}})) {
+		t.Fatalf("SelectRows = %v", r)
+	}
+}
+
+func TestAppendRows(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}})
+	b := FromRows([][]float64{{3, 4}, {5, 6}})
+	ab, err := AppendRows(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(ab, FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})) {
+		t.Fatalf("AppendRows = %v", ab)
+	}
+	if _, err := AppendRows(a, NewDense(1, 3, nil)); !errors.Is(err, ErrShape) {
+		t.Fatal("AppendRows shape error missing")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}})
+	if m.String() == "" {
+		t.Fatal("String should render something")
+	}
+}
+
+// Property: (A*B)ᵀ == Bᵀ*Aᵀ for random matrices.
+func TestQuickMulTransposeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := RandomDense(3+rng.Intn(4), 3+rng.Intn(4), rng)
+		b := RandomDense(a.Cols(), 2+rng.Intn(5), rng)
+		lhs := MustMul(a, b).T()
+		rhs := MustMul(b.T(), a.T())
+		return EqualApprox(lhs, rhs, 1e-10)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: matrix multiplication is associative.
+func TestQuickMulAssociativity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := RandomDense(3, 4, rng)
+		b := RandomDense(4, 5, rng)
+		c := RandomDense(5, 2, rng)
+		lhs := MustMul(MustMul(a, b), c)
+		rhs := MustMul(a, MustMul(b, c))
+		return EqualApprox(lhs, rhs, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

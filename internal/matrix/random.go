@@ -1,0 +1,55 @@
+package matrix
+
+import "math/rand"
+
+// RandomDense returns an r x c matrix with elements drawn from rng's
+// standard normal distribution.
+func RandomDense(r, c int, rng *rand.Rand) *Dense {
+	m := NewDense(r, c, nil)
+	for i := range m.data {
+		m.data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+// RandomOrthogonal returns a uniformly distributed (Haar measure) n x n
+// orthogonal matrix, obtained by QR-decomposing a Gaussian matrix and fixing
+// the signs of R's diagonal. Used by the n-dimensional rotation baseline.
+func RandomOrthogonal(n int, rng *rand.Rand) *Dense {
+	if n == 0 {
+		return NewDense(0, 0, nil)
+	}
+	g := RandomDense(n, n, rng)
+	qr, err := NewQR(g)
+	if err != nil {
+		panic(err) // square input; cannot happen
+	}
+	q, r := qr.Q(), qr.R()
+	// Multiply column j of Q by sign(R[j][j]) so the distribution is Haar
+	// rather than biased by the QR sign convention.
+	for j := 0; j < n; j++ {
+		if r.At(j, j) < 0 {
+			for i := 0; i < n; i++ {
+				q.SetAt(i, j, -q.At(i, j))
+			}
+		}
+	}
+	return q
+}
+
+// RandomRotation returns a random orthogonal matrix with determinant +1
+// (a proper rotation), by flipping one column of a RandomOrthogonal sample
+// when its determinant is negative.
+func RandomRotation(n int, rng *rand.Rand) *Dense {
+	q := RandomOrthogonal(n, rng)
+	d, err := Det(q)
+	if err != nil {
+		panic(err)
+	}
+	if d < 0 {
+		for i := 0; i < n; i++ {
+			q.SetAt(i, 0, -q.At(i, 0))
+		}
+	}
+	return q
+}

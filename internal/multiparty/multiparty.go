@@ -1,0 +1,211 @@
+// Package multiparty extends RBT to the paper's second motivating scenario
+// (Section 1): several organizations hold different attributes for a common
+// set of individuals — a vertical partition — and want to cluster the union
+// of their data without revealing attribute values to each other.
+//
+// The paper defers this setting to the secure-multiparty literature [13];
+// the observation implemented here is that RBT composes across parties for
+// free. If each party applies its own RBT key to its own attribute block,
+// the joint transform on the concatenated data is block-diagonal
+// orthogonal, hence still an isometry of the full space: squared distances
+// add across blocks and each block's distances are preserved. The
+// concatenated release therefore supports any distance-based joint
+// clustering (Corollary 1 carries over verbatim), while each party's raw
+// values stay private from the others and from the analyst, and each party
+// can still invert its own block with its own secret.
+//
+// The same adversarial caveats as single-party RBT apply per block (see
+// internal/attack): this is a reproduction-era protocol, not a modern
+// privacy mechanism.
+package multiparty
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"ppclust/internal/core"
+	"ppclust/internal/dataset"
+	"ppclust/internal/matrix"
+	"ppclust/internal/norm"
+	"ppclust/internal/stats"
+)
+
+// ErrParty is wrapped by party-level validation failures.
+var ErrParty = errors.New("multiparty: invalid party input")
+
+// Party is one organization's private view: a dataset whose rows are the
+// common objects (aligned across parties by position or by IDs) and whose
+// columns are the attributes only this party holds.
+type Party struct {
+	// Name identifies the organization in errors and reports.
+	Name string
+	// Data is the party's private attribute block.
+	Data *dataset.Dataset
+	// Thresholds is the party's own PST policy (broadcast like
+	// core.Options.Thresholds).
+	Thresholds []core.PST
+	// Seed drives this party's angle randomness; each party keeps its seed
+	// (and resulting key) private.
+	Seed int64
+}
+
+// Release is one party's published block.
+type Release struct {
+	PartyName string
+	// Released is the normalized, rotated attribute block.
+	Released *dataset.Dataset
+	// Reports describes the party's rotated pairs.
+	Reports []core.PairReport
+
+	key       core.Key
+	normMeans []float64
+	normStds  []float64
+}
+
+// Protect produces the party's release. Parties with a single attribute are
+// rejected: a lone column cannot form a rotation pair, which is exactly why
+// the protocol requires every participant to hold at least two confidential
+// attributes (or to pad with a synthetic one — the caller's policy choice).
+func (p *Party) Protect() (*Release, error) {
+	if p.Data == nil {
+		return nil, fmt.Errorf("%w: party %q has no data", ErrParty, p.Name)
+	}
+	if err := p.Data.Validate(); err != nil {
+		return nil, fmt.Errorf("party %q: %w", p.Name, err)
+	}
+	if p.Data.Cols() < 2 {
+		return nil, fmt.Errorf("%w: party %q holds %d attribute(s); RBT pairs need at least 2",
+			ErrParty, p.Name, p.Data.Cols())
+	}
+	z := &norm.ZScore{Denominator: stats.Sample}
+	normalized, err := norm.FitTransform(z, p.Data.Data)
+	if err != nil {
+		return nil, fmt.Errorf("party %q: %w", p.Name, err)
+	}
+	var rng *rand.Rand
+	if p.Seed != 0 {
+		rng = rand.New(rand.NewSource(p.Seed))
+	}
+	res, err := core.Transform(normalized, core.Options{
+		Thresholds: p.Thresholds,
+		Rand:       rng,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("party %q: %w", p.Name, err)
+	}
+	released, err := p.Data.WithData(res.DPrime)
+	if err != nil {
+		return nil, err
+	}
+	released.Labels = nil
+	means, stds := z.Params()
+	return &Release{
+		PartyName: p.Name,
+		Released:  released,
+		Reports:   res.Reports,
+		key:       res.Key,
+		normMeans: means,
+		normStds:  stds,
+	}, nil
+}
+
+// Recover inverts the party's own block using its private key and
+// normalization parameters.
+func (r *Release) Recover() (*dataset.Dataset, error) {
+	normalized, err := core.Recover(r.Released.Data, r.key)
+	if err != nil {
+		return nil, err
+	}
+	z, err := norm.NewZScoreWithParams(r.normMeans, r.normStds)
+	if err != nil {
+		return nil, err
+	}
+	raw, err := z.Inverse(normalized)
+	if err != nil {
+		return nil, err
+	}
+	return r.Released.WithData(raw)
+}
+
+// Join concatenates the parties' releases column-wise into the analyst's
+// joint view. All releases must describe the same objects: equal row
+// counts, and when two releases both carry IDs, identical ID sequences.
+func Join(releases ...*Release) (*dataset.Dataset, error) {
+	if len(releases) == 0 {
+		return nil, fmt.Errorf("%w: no releases to join", ErrParty)
+	}
+	rows := releases[0].Released.Rows()
+	var ids []string
+	var names []string
+	totalCols := 0
+	for _, r := range releases {
+		if r.Released.Rows() != rows {
+			return nil, fmt.Errorf("%w: release %q has %d rows, want %d",
+				ErrParty, r.PartyName, r.Released.Rows(), rows)
+		}
+		if r.Released.IDs != nil {
+			if ids == nil {
+				ids = r.Released.IDs
+			} else {
+				for i := range ids {
+					if ids[i] != r.Released.IDs[i] {
+						return nil, fmt.Errorf("%w: releases disagree on object IDs at row %d (%q vs %q)",
+							ErrParty, i, ids[i], r.Released.IDs[i])
+					}
+				}
+			}
+		}
+		for _, n := range r.Released.Names {
+			names = append(names, r.PartyName+"."+n)
+		}
+		totalCols += r.Released.Cols()
+	}
+	joined := matrix.NewDense(rows, totalCols, nil)
+	col := 0
+	for _, r := range releases {
+		for j := 0; j < r.Released.Cols(); j++ {
+			joined.SetCol(col, r.Released.Data.Col(j))
+			col++
+		}
+	}
+	out := &dataset.Dataset{Names: names, Data: joined}
+	if ids != nil {
+		out.IDs = append([]string(nil), ids...)
+	}
+	if err := out.Validate(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// JointKey expresses the combined transform of all releases as one
+// block-diagonal orthogonal matrix over the concatenated attribute space —
+// the object whose orthogonality makes the joint release an isometry.
+// It exists for analysis and tests; no single party ever holds it in the
+// protocol (each party only knows its own block).
+func JointKey(releases ...*Release) (*matrix.Dense, error) {
+	if len(releases) == 0 {
+		return nil, fmt.Errorf("%w: no releases", ErrParty)
+	}
+	total := 0
+	for _, r := range releases {
+		total += r.Released.Cols()
+	}
+	q := matrix.NewDense(total, total, nil)
+	offset := 0
+	for _, r := range releases {
+		n := r.Released.Cols()
+		block, err := r.key.AsOrthogonal(n)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				q.SetAt(offset+i, offset+j, block.At(i, j))
+			}
+		}
+		offset += n
+	}
+	return q, nil
+}

@@ -1,0 +1,281 @@
+package multiparty
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ppclust/internal/cluster"
+	"ppclust/internal/core"
+	"ppclust/internal/dataset"
+	"ppclust/internal/dist"
+	"ppclust/internal/matrix"
+	"ppclust/internal/norm"
+	"ppclust/internal/quality"
+	"ppclust/internal/stats"
+)
+
+// splitVertically cuts a dataset into two disjoint attribute blocks for a
+// common object set, assigning IDs so joins can be verified.
+func splitVertically(t *testing.T, ds *dataset.Dataset, firstCols int) (*dataset.Dataset, *dataset.Dataset) {
+	t.Helper()
+	ids := make([]string, ds.Rows())
+	for i := range ids {
+		ids[i] = string(rune('A' + i%26))
+	}
+	left := &dataset.Dataset{
+		Names: ds.Names[:firstCols],
+		Data:  ds.Data.SubMatrix(0, ds.Rows(), 0, firstCols),
+		IDs:   ids,
+	}
+	right := &dataset.Dataset{
+		Names: ds.Names[firstCols:],
+		Data:  ds.Data.SubMatrix(0, ds.Rows(), firstCols, ds.Cols()),
+		IDs:   append([]string(nil), ids...),
+	}
+	if err := left.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := right.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return left, right
+}
+
+func pstList() []core.PST { return []core.PST{{Rho1: 0.2, Rho2: 0.2}} }
+
+func TestTwoPartyJointClusteringMatchesCentralized(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	blobs, err := dataset.WellSeparatedBlobs(150, 3, 6, 14, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	marketer, retailer := splitVertically(t, blobs, 3)
+
+	relA, err := (&Party{Name: "marketer", Data: marketer, Thresholds: pstList(), Seed: 11}).Protect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	relB, err := (&Party{Name: "retailer", Data: retailer, Thresholds: pstList(), Seed: 22}).Protect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	joint, err := Join(relA, relB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if joint.Cols() != 6 || joint.Rows() != 150 {
+		t.Fatalf("joint shape %dx%d", joint.Rows(), joint.Cols())
+	}
+	if joint.Names[0] != "marketer.x0" || joint.Names[3] != "retailer.x3" {
+		t.Fatalf("joint names %v", joint.Names)
+	}
+
+	// Centralized reference: z-score each block the way the parties do,
+	// concatenate, cluster.
+	zA := &norm.ZScore{Denominator: stats.Sample}
+	normA, err := norm.FitTransform(zA, marketer.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zB := &norm.ZScore{Denominator: stats.Sample}
+	normB, err := norm.FitTransform(zB, retailer.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	central := matrix.NewDense(150, 6, nil)
+	for j := 0; j < 3; j++ {
+		central.SetCol(j, normA.Col(j))
+		central.SetCol(3+j, normB.Col(j))
+	}
+
+	// Isometry of the joint release relative to the centralized view.
+	dCentral := dist.NewDissimMatrix(central, dist.Euclidean{})
+	dJoint := dist.NewDissimMatrix(joint.Data, dist.Euclidean{})
+	if !dCentral.EqualApprox(dJoint, 1e-9) {
+		t.Fatal("joint release must preserve all pairwise distances")
+	}
+
+	// Joint clustering equals centralized clustering.
+	mk := func() cluster.Clusterer { return &cluster.KMeans{K: 3, Rand: rand.New(rand.NewSource(1))} }
+	onCentral, err := mk().Cluster(central)
+	if err != nil {
+		t.Fatal(err)
+	}
+	onJoint, err := mk().Cluster(joint.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same, err := quality.SameClustering(onCentral.Assignments, onJoint.Assignments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !same {
+		t.Fatal("joint clustering must match centralized clustering")
+	}
+	// And it recovers the true groups.
+	ari, err := quality.AdjustedRandIndex(onJoint.Assignments, blobs.Labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ari < 0.99 {
+		t.Fatalf("joint clustering ARI = %v", ari)
+	}
+}
+
+func TestPartyRecoverOwnBlock(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	ds, err := dataset.SyntheticPatients(60, 2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	left, _ := splitVertically(t, ds, 3)
+	rel, err := (&Party{Name: "hospital", Data: left, Thresholds: pstList(), Seed: 9}).Protect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := rel.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matrix.EqualApprox(back.Data, left.Data, 1e-8) {
+		t.Fatal("party must be able to invert its own block")
+	}
+	// The release itself differs from the raw block.
+	if matrix.EqualApprox(rel.Released.Data, left.Data, 0.5) {
+		t.Fatal("release suspiciously close to raw block")
+	}
+}
+
+func TestJointKeyIsBlockDiagonalOrthogonal(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	blobs, err := dataset.WellSeparatedBlobs(40, 2, 5, 10, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	left, right := splitVertically(t, blobs, 2)
+	relA, err := (&Party{Name: "a", Data: left, Thresholds: pstList(), Seed: 4}).Protect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	relB, err := (&Party{Name: "b", Data: right, Thresholds: pstList(), Seed: 5}).Protect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := JointKey(relA, relB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matrix.IsOrthogonal(q, 1e-10) {
+		t.Fatal("joint key must be orthogonal")
+	}
+	// Off-diagonal blocks must be exactly zero.
+	for i := 0; i < 2; i++ {
+		for j := 2; j < 5; j++ {
+			if q.At(i, j) != 0 || q.At(j, i) != 0 {
+				t.Fatal("joint key must be block-diagonal")
+			}
+		}
+	}
+	if _, err := JointKey(); !errors.Is(err, ErrParty) {
+		t.Fatal("no releases should fail")
+	}
+}
+
+func TestPartyErrors(t *testing.T) {
+	if _, err := (&Party{Name: "x"}).Protect(); !errors.Is(err, ErrParty) {
+		t.Fatal("nil data should fail")
+	}
+	one := &dataset.Dataset{Names: []string{"only"}, Data: matrix.NewDense(5, 1, nil)}
+	if _, err := (&Party{Name: "x", Data: one, Thresholds: pstList()}).Protect(); !errors.Is(err, ErrParty) {
+		t.Fatal("single attribute should fail")
+	}
+	bad := &dataset.Dataset{Names: []string{"a"}, Data: matrix.NewDense(2, 2, nil)}
+	if _, err := (&Party{Name: "x", Data: bad, Thresholds: pstList()}).Protect(); err == nil {
+		t.Fatal("invalid dataset should fail")
+	}
+	constant := &dataset.Dataset{
+		Names: []string{"a", "b"},
+		Data:  matrix.FromRows([][]float64{{1, 2}, {1, 3}}),
+	}
+	if _, err := (&Party{Name: "x", Data: constant, Thresholds: pstList()}).Protect(); err == nil {
+		t.Fatal("constant column should fail normalization")
+	}
+}
+
+func TestJoinErrors(t *testing.T) {
+	if _, err := Join(); !errors.Is(err, ErrParty) {
+		t.Fatal("empty join should fail")
+	}
+	mk := func(rows int, ids []string) *Release {
+		ds := &dataset.Dataset{
+			Names: []string{"a", "b"},
+			Data:  matrix.NewDense(rows, 2, nil),
+			IDs:   ids,
+		}
+		return &Release{PartyName: "p", Released: ds}
+	}
+	if _, err := Join(mk(3, nil), mk(4, nil)); !errors.Is(err, ErrParty) {
+		t.Fatal("row mismatch should fail")
+	}
+	if _, err := Join(mk(2, []string{"x", "y"}), mk(2, []string{"x", "z"})); !errors.Is(err, ErrParty) {
+		t.Fatal("ID mismatch should fail")
+	}
+}
+
+// Property: for random vertical splits, the joint release is always an
+// isometry of the per-block normalized concatenation.
+func TestQuickJointIsometry(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 20 + rng.Intn(40)
+		n := 4 + rng.Intn(5)
+		data := matrix.RandomDense(m, n, rng)
+		split := 2 + rng.Intn(n-3)
+		names := make([]string, n)
+		for j := range names {
+			names[j] = string(rune('a' + j))
+		}
+		ds := &dataset.Dataset{Names: names, Data: data}
+		left := &dataset.Dataset{Names: names[:split], Data: data.SubMatrix(0, m, 0, split)}
+		right := &dataset.Dataset{Names: names[split:], Data: data.SubMatrix(0, m, split, n)}
+		_ = ds
+		relA, err := (&Party{Name: "a", Data: left, Thresholds: []core.PST{{Rho1: 1e-6, Rho2: 1e-6}}, Seed: seed + 1}).Protect()
+		if err != nil {
+			return false
+		}
+		relB, err := (&Party{Name: "b", Data: right, Thresholds: []core.PST{{Rho1: 1e-6, Rho2: 1e-6}}, Seed: seed + 2}).Protect()
+		if err != nil {
+			return false
+		}
+		joint, err := Join(relA, relB)
+		if err != nil {
+			return false
+		}
+		// Reference: per-block normalization, concatenated.
+		zl := &norm.ZScore{Denominator: stats.Sample}
+		nl, err := norm.FitTransform(zl, left.Data)
+		if err != nil {
+			return false
+		}
+		zr := &norm.ZScore{Denominator: stats.Sample}
+		nr, err := norm.FitTransform(zr, right.Data)
+		if err != nil {
+			return false
+		}
+		central := matrix.NewDense(m, n, nil)
+		for j := 0; j < split; j++ {
+			central.SetCol(j, nl.Col(j))
+		}
+		for j := split; j < n; j++ {
+			central.SetCol(j, nr.Col(j-split))
+		}
+		before := dist.NewDissimMatrix(central, dist.Euclidean{})
+		after := dist.NewDissimMatrix(joint.Data, dist.Euclidean{})
+		return before.EqualApprox(after, 1e-8)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

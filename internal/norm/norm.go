@@ -1,0 +1,269 @@
+// Package norm implements the attribute normalizations of Section 3.2 of
+// the paper — min-max (Eq. 3) and z-score (Eq. 4) — plus decimal scaling,
+// behind a common fit/transform/inverse interface.
+//
+// Normalization is Step 1 of the RBT pipeline (Figure 1): it gives every
+// attribute equal weight before distortion, and the paper additionally
+// argues it obscures raw values against linkage with public (unnormalized)
+// datasets.
+package norm
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"ppclust/internal/matrix"
+	"ppclust/internal/stats"
+)
+
+// ErrNotFitted is returned when Transform/Inverse is called before Fit.
+var ErrNotFitted = errors.New("norm: normalizer not fitted")
+
+// ErrDegenerate is returned when a column cannot be normalized (constant
+// column for z-score, zero range for min-max).
+var ErrDegenerate = errors.New("norm: degenerate column")
+
+// Normalizer rescales the columns of a data matrix. Implementations are
+// fitted on one matrix and can then transform (and inverse-transform)
+// matrices with the same column count.
+type Normalizer interface {
+	// Fit learns per-column parameters from m.
+	Fit(m *matrix.Dense) error
+	// Transform returns a normalized copy of m using the fitted parameters.
+	Transform(m *matrix.Dense) (*matrix.Dense, error)
+	// Inverse maps a normalized matrix back to the original scale.
+	Inverse(m *matrix.Dense) (*matrix.Dense, error)
+	// Name identifies the method, e.g. for reports.
+	Name() string
+}
+
+// FitTransform fits n on m and transforms m in one call.
+func FitTransform(n Normalizer, m *matrix.Dense) (*matrix.Dense, error) {
+	if err := n.Fit(m); err != nil {
+		return nil, err
+	}
+	return n.Transform(m)
+}
+
+// ZScore implements Eq. (4): v' = (v - mean(A)) / std(A).
+//
+// Denominator selects the standard-deviation convention; the paper's
+// Table 2 uses the sample (N-1) convention, which is the zero value here.
+type ZScore struct {
+	Denominator stats.Denominator
+	means, stds []float64
+}
+
+// Name implements Normalizer.
+func (z *ZScore) Name() string { return "z-score" }
+
+// Fit learns per-column means and standard deviations.
+func (z *ZScore) Fit(m *matrix.Dense) error {
+	r, c := m.Dims()
+	if r == 0 || c == 0 {
+		return fmt.Errorf("%w: empty matrix", ErrDegenerate)
+	}
+	z.means = make([]float64, c)
+	z.stds = make([]float64, c)
+	for j := 0; j < c; j++ {
+		col := m.Col(j)
+		z.means[j] = stats.Mean(col)
+		z.stds[j] = stats.StdDev(col, z.Denominator)
+		if z.stds[j] == 0 || math.IsNaN(z.stds[j]) {
+			return fmt.Errorf("%w: column %d has zero variance", ErrDegenerate, j)
+		}
+	}
+	return nil
+}
+
+// Transform applies the fitted standardization.
+func (z *ZScore) Transform(m *matrix.Dense) (*matrix.Dense, error) {
+	if z.means == nil {
+		return nil, ErrNotFitted
+	}
+	r, c := m.Dims()
+	if c != len(z.means) {
+		return nil, fmt.Errorf("norm: %w: fitted on %d columns, got %d", matrix.ErrShape, len(z.means), c)
+	}
+	out := m.Clone()
+	for i := 0; i < r; i++ {
+		row := out.RawRow(i)
+		for j := range row {
+			row[j] = (row[j] - z.means[j]) / z.stds[j]
+		}
+	}
+	return out, nil
+}
+
+// Inverse undoes the standardization.
+func (z *ZScore) Inverse(m *matrix.Dense) (*matrix.Dense, error) {
+	if z.means == nil {
+		return nil, ErrNotFitted
+	}
+	r, c := m.Dims()
+	if c != len(z.means) {
+		return nil, fmt.Errorf("norm: %w: fitted on %d columns, got %d", matrix.ErrShape, len(z.means), c)
+	}
+	out := m.Clone()
+	for i := 0; i < r; i++ {
+		row := out.RawRow(i)
+		for j := range row {
+			row[j] = row[j]*z.stds[j] + z.means[j]
+		}
+	}
+	return out, nil
+}
+
+// Params exposes the fitted means and standard deviations (copies), or nil
+// if unfitted. Used by reports and by the key serialization.
+func (z *ZScore) Params() (means, stds []float64) {
+	if z.means == nil {
+		return nil, nil
+	}
+	return append([]float64(nil), z.means...), append([]float64(nil), z.stds...)
+}
+
+// MinMax implements Eq. (3): a linear map of each column's [min, max] onto
+// [NewMin, NewMax]. The zero value maps onto [0, 1].
+type MinMax struct {
+	NewMin, NewMax float64
+	mins, maxs     []float64
+	set            bool
+}
+
+// Name implements Normalizer.
+func (m *MinMax) Name() string { return "min-max" }
+
+// Fit learns per-column minima and maxima.
+func (m *MinMax) Fit(d *matrix.Dense) error {
+	r, c := d.Dims()
+	if r == 0 || c == 0 {
+		return fmt.Errorf("%w: empty matrix", ErrDegenerate)
+	}
+	if !m.set && m.NewMin == 0 && m.NewMax == 0 {
+		m.NewMax = 1
+	}
+	if m.NewMax <= m.NewMin {
+		return fmt.Errorf("norm: min-max target range [%v,%v] is empty", m.NewMin, m.NewMax)
+	}
+	m.mins = make([]float64, c)
+	m.maxs = make([]float64, c)
+	for j := 0; j < c; j++ {
+		col := d.Col(j)
+		m.mins[j] = stats.Min(col)
+		m.maxs[j] = stats.Max(col)
+		if m.mins[j] == m.maxs[j] {
+			return fmt.Errorf("%w: column %d is constant", ErrDegenerate, j)
+		}
+	}
+	m.set = true
+	return nil
+}
+
+// Transform applies the fitted linear rescaling.
+func (m *MinMax) Transform(d *matrix.Dense) (*matrix.Dense, error) {
+	if m.mins == nil {
+		return nil, ErrNotFitted
+	}
+	r, c := d.Dims()
+	if c != len(m.mins) {
+		return nil, fmt.Errorf("norm: %w: fitted on %d columns, got %d", matrix.ErrShape, len(m.mins), c)
+	}
+	out := d.Clone()
+	span := m.NewMax - m.NewMin
+	for i := 0; i < r; i++ {
+		row := out.RawRow(i)
+		for j := range row {
+			row[j] = (row[j]-m.mins[j])/(m.maxs[j]-m.mins[j])*span + m.NewMin
+		}
+	}
+	return out, nil
+}
+
+// Inverse undoes the rescaling.
+func (m *MinMax) Inverse(d *matrix.Dense) (*matrix.Dense, error) {
+	if m.mins == nil {
+		return nil, ErrNotFitted
+	}
+	r, c := d.Dims()
+	if c != len(m.mins) {
+		return nil, fmt.Errorf("norm: %w: fitted on %d columns, got %d", matrix.ErrShape, len(m.mins), c)
+	}
+	out := d.Clone()
+	span := m.NewMax - m.NewMin
+	for i := 0; i < r; i++ {
+		row := out.RawRow(i)
+		for j := range row {
+			row[j] = (row[j]-m.NewMin)/span*(m.maxs[j]-m.mins[j]) + m.mins[j]
+		}
+	}
+	return out, nil
+}
+
+// DecimalScaling divides each column by the smallest power of ten that maps
+// all its values into (-1, 1). It is the third textbook method referenced
+// by the paper's normalization discussion (Han & Kamber).
+type DecimalScaling struct {
+	scales []float64
+}
+
+// Name implements Normalizer.
+func (d *DecimalScaling) Name() string { return "decimal-scaling" }
+
+// Fit learns per-column powers of ten.
+func (d *DecimalScaling) Fit(m *matrix.Dense) error {
+	r, c := m.Dims()
+	if r == 0 || c == 0 {
+		return fmt.Errorf("%w: empty matrix", ErrDegenerate)
+	}
+	d.scales = make([]float64, c)
+	for j := 0; j < c; j++ {
+		col := m.Col(j)
+		maxAbs := math.Max(math.Abs(stats.Min(col)), math.Abs(stats.Max(col)))
+		scale := 1.0
+		for maxAbs >= scale {
+			scale *= 10
+		}
+		d.scales[j] = scale
+	}
+	return nil
+}
+
+// Transform divides each column by its fitted power of ten.
+func (d *DecimalScaling) Transform(m *matrix.Dense) (*matrix.Dense, error) {
+	if d.scales == nil {
+		return nil, ErrNotFitted
+	}
+	r, c := m.Dims()
+	if c != len(d.scales) {
+		return nil, fmt.Errorf("norm: %w: fitted on %d columns, got %d", matrix.ErrShape, len(d.scales), c)
+	}
+	out := m.Clone()
+	for i := 0; i < r; i++ {
+		row := out.RawRow(i)
+		for j := range row {
+			row[j] /= d.scales[j]
+		}
+	}
+	return out, nil
+}
+
+// Inverse multiplies each column back by its fitted power of ten.
+func (d *DecimalScaling) Inverse(m *matrix.Dense) (*matrix.Dense, error) {
+	if d.scales == nil {
+		return nil, ErrNotFitted
+	}
+	r, c := m.Dims()
+	if c != len(d.scales) {
+		return nil, fmt.Errorf("norm: %w: fitted on %d columns, got %d", matrix.ErrShape, len(d.scales), c)
+	}
+	out := m.Clone()
+	for i := 0; i < r; i++ {
+		row := out.RawRow(i)
+		for j := range row {
+			row[j] *= d.scales[j]
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,280 @@
+package norm
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ppclust/internal/dataset"
+	"ppclust/internal/matrix"
+	"ppclust/internal/stats"
+)
+
+func TestZScoreReproducesTable2(t *testing.T) {
+	raw := dataset.CardiacSample()
+	want := dataset.CardiacNormalized()
+	z := &ZScore{Denominator: stats.Sample}
+	got, err := FitTransform(z, raw.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matrix.EqualApprox(got, want.Data, 5e-5) {
+		t.Fatalf("z-score does not reproduce Table 2:\n%v\nwant\n%v", got, want.Data)
+	}
+}
+
+func TestZScoreMeanZeroVarOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := matrix.RandomDense(100, 4, rng)
+	z := &ZScore{}
+	out, err := FitTransform(z, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 4; j++ {
+		col := out.Col(j)
+		if math.Abs(stats.Mean(col)) > 1e-12 {
+			t.Fatalf("column %d mean = %v", j, stats.Mean(col))
+		}
+		if math.Abs(stats.Variance(col, stats.Sample)-1) > 1e-12 {
+			t.Fatalf("column %d variance = %v", j, stats.Variance(col, stats.Sample))
+		}
+	}
+}
+
+func TestZScoreInverseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := matrix.RandomDense(50, 3, rng)
+	z := &ZScore{}
+	out, err := FitTransform(z, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := z.Inverse(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matrix.EqualApprox(back, m, 1e-10) {
+		t.Fatal("inverse should restore original data")
+	}
+}
+
+func TestZScoreErrors(t *testing.T) {
+	z := &ZScore{}
+	if _, err := z.Transform(matrix.Identity(2)); !errors.Is(err, ErrNotFitted) {
+		t.Fatal("unfitted transform should fail")
+	}
+	if _, err := z.Inverse(matrix.Identity(2)); !errors.Is(err, ErrNotFitted) {
+		t.Fatal("unfitted inverse should fail")
+	}
+	constant := matrix.FromRows([][]float64{{1, 5}, {1, 6}})
+	if err := z.Fit(constant); !errors.Is(err, ErrDegenerate) {
+		t.Fatal("constant column should be degenerate")
+	}
+	if err := z.Fit(matrix.NewDense(0, 2, nil)); !errors.Is(err, ErrDegenerate) {
+		t.Fatal("empty matrix should be degenerate")
+	}
+	ok := matrix.FromRows([][]float64{{1, 2}, {3, 4}})
+	if err := z.Fit(ok); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := z.Transform(matrix.NewDense(2, 3, nil)); !errors.Is(err, matrix.ErrShape) {
+		t.Fatal("column mismatch should be a shape error")
+	}
+	if _, err := z.Inverse(matrix.NewDense(2, 3, nil)); !errors.Is(err, matrix.ErrShape) {
+		t.Fatal("column mismatch should be a shape error")
+	}
+}
+
+func TestZScoreParams(t *testing.T) {
+	z := &ZScore{}
+	if m, s := z.Params(); m != nil || s != nil {
+		t.Fatal("unfitted Params should be nil")
+	}
+	if err := z.Fit(matrix.FromRows([][]float64{{0, 10}, {2, 30}})); err != nil {
+		t.Fatal(err)
+	}
+	means, stds := z.Params()
+	if means[0] != 1 || means[1] != 20 {
+		t.Fatalf("means = %v", means)
+	}
+	means[0] = 99
+	m2, _ := z.Params()
+	if m2[0] == 99 {
+		t.Fatal("Params must return copies")
+	}
+	if len(stds) != 2 {
+		t.Fatal("stds missing")
+	}
+}
+
+func TestMinMaxUnitRange(t *testing.T) {
+	m := matrix.FromRows([][]float64{{0, 100}, {5, 200}, {10, 300}})
+	mm := &MinMax{}
+	out, err := FitTransform(mm, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := matrix.FromRows([][]float64{{0, 0}, {0.5, 0.5}, {1, 1}})
+	if !matrix.EqualApprox(out, want, 1e-12) {
+		t.Fatalf("min-max = %v", out)
+	}
+}
+
+func TestMinMaxCustomRange(t *testing.T) {
+	m := matrix.FromRows([][]float64{{0}, {10}})
+	mm := &MinMax{NewMin: -1, NewMax: 1}
+	out, err := FitTransform(mm, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.At(0, 0) != -1 || out.At(1, 0) != 1 {
+		t.Fatalf("custom range = %v", out)
+	}
+	back, err := mm.Inverse(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matrix.EqualApprox(back, m, 1e-12) {
+		t.Fatal("inverse failed")
+	}
+}
+
+func TestMinMaxErrors(t *testing.T) {
+	mm := &MinMax{}
+	if _, err := mm.Transform(matrix.Identity(1)); !errors.Is(err, ErrNotFitted) {
+		t.Fatal("unfitted should fail")
+	}
+	if _, err := mm.Inverse(matrix.Identity(1)); !errors.Is(err, ErrNotFitted) {
+		t.Fatal("unfitted should fail")
+	}
+	constant := matrix.FromRows([][]float64{{3}, {3}})
+	if err := mm.Fit(constant); !errors.Is(err, ErrDegenerate) {
+		t.Fatal("constant column should be degenerate")
+	}
+	bad := &MinMax{NewMin: 1, NewMax: 0}
+	if err := bad.Fit(matrix.Identity(2)); err == nil {
+		t.Fatal("empty target range should fail")
+	}
+	if err := mm.Fit(matrix.NewDense(0, 1, nil)); !errors.Is(err, ErrDegenerate) {
+		t.Fatal("empty matrix should be degenerate")
+	}
+	good := &MinMax{}
+	if err := good.Fit(matrix.FromRows([][]float64{{1}, {2}})); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := good.Transform(matrix.NewDense(1, 2, nil)); !errors.Is(err, matrix.ErrShape) {
+		t.Fatal("shape mismatch should fail")
+	}
+	if _, err := good.Inverse(matrix.NewDense(1, 2, nil)); !errors.Is(err, matrix.ErrShape) {
+		t.Fatal("shape mismatch should fail")
+	}
+}
+
+func TestDecimalScaling(t *testing.T) {
+	m := matrix.FromRows([][]float64{{-991, 0.5}, {45, -0.1}})
+	ds := &DecimalScaling{}
+	out, err := FitTransform(ds, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.At(0, 0) != -0.991 || out.At(1, 0) != 0.045 {
+		t.Fatalf("decimal scaling = %v", out)
+	}
+	if out.At(0, 1) != 0.5 {
+		t.Fatalf("already small column should divide by 1, got %v", out.At(0, 1))
+	}
+	back, err := ds.Inverse(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matrix.EqualApprox(back, m, 1e-12) {
+		t.Fatal("inverse failed")
+	}
+}
+
+func TestDecimalScalingErrors(t *testing.T) {
+	ds := &DecimalScaling{}
+	if _, err := ds.Transform(matrix.Identity(1)); !errors.Is(err, ErrNotFitted) {
+		t.Fatal("unfitted should fail")
+	}
+	if _, err := ds.Inverse(matrix.Identity(1)); !errors.Is(err, ErrNotFitted) {
+		t.Fatal("unfitted should fail")
+	}
+	if err := ds.Fit(matrix.NewDense(0, 1, nil)); !errors.Is(err, ErrDegenerate) {
+		t.Fatal("empty should fail")
+	}
+	if err := ds.Fit(matrix.FromRows([][]float64{{12}, {7}})); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ds.Transform(matrix.NewDense(1, 2, nil)); !errors.Is(err, matrix.ErrShape) {
+		t.Fatal("shape mismatch should fail")
+	}
+	if _, err := ds.Inverse(matrix.NewDense(1, 2, nil)); !errors.Is(err, matrix.ErrShape) {
+		t.Fatal("shape mismatch should fail")
+	}
+}
+
+func TestNames(t *testing.T) {
+	if (&ZScore{}).Name() != "z-score" || (&MinMax{}).Name() != "min-max" || (&DecimalScaling{}).Name() != "decimal-scaling" {
+		t.Fatal("names changed")
+	}
+}
+
+// Property: all three normalizers round-trip through Inverse.
+func TestQuickInverseRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := matrix.RandomDense(5+rng.Intn(30), 1+rng.Intn(5), rng)
+		m.ScaleInPlace(10)
+		for _, n := range []Normalizer{&ZScore{}, &MinMax{}, &DecimalScaling{}} {
+			out, err := FitTransform(n, m)
+			if err != nil {
+				return false
+			}
+			back, err := n.Inverse(out)
+			if err != nil {
+				return false
+			}
+			if !matrix.EqualApprox(back, m, 1e-8) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: normalization does not change the number of rows/columns and
+// min-max output is inside the target range.
+func TestQuickMinMaxBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := matrix.RandomDense(5+rng.Intn(30), 1+rng.Intn(4), rng)
+		mm := &MinMax{NewMin: -2, NewMax: 3}
+		out, err := FitTransform(mm, m)
+		if err != nil {
+			return false
+		}
+		r, c := out.Dims()
+		if r != m.Rows() || c != m.Cols() {
+			return false
+		}
+		for i := 0; i < r; i++ {
+			for j := 0; j < c; j++ {
+				v := out.At(i, j)
+				if v < -2-1e-9 || v > 3+1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

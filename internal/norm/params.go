@@ -1,0 +1,52 @@
+package norm
+
+import "fmt"
+
+// NewZScoreWithParams reconstructs a fitted z-score normalizer from saved
+// parameters, e.g. when the data owner reloads a serialized secret to
+// invert a release.
+func NewZScoreWithParams(means, stds []float64) (*ZScore, error) {
+	if len(means) == 0 || len(means) != len(stds) {
+		return nil, fmt.Errorf("norm: %d means for %d stds", len(means), len(stds))
+	}
+	for j, s := range stds {
+		if s == 0 {
+			return nil, fmt.Errorf("%w: zero std for column %d", ErrDegenerate, j)
+		}
+	}
+	return &ZScore{
+		means: append([]float64(nil), means...),
+		stds:  append([]float64(nil), stds...),
+	}, nil
+}
+
+// NewMinMaxWithParams reconstructs a fitted min-max normalizer from saved
+// parameters.
+func NewMinMaxWithParams(mins, maxs []float64, newMin, newMax float64) (*MinMax, error) {
+	if len(mins) == 0 || len(mins) != len(maxs) {
+		return nil, fmt.Errorf("norm: %d mins for %d maxs", len(mins), len(maxs))
+	}
+	if newMax <= newMin {
+		return nil, fmt.Errorf("norm: min-max target range [%v,%v] is empty", newMin, newMax)
+	}
+	for j := range mins {
+		if mins[j] >= maxs[j] {
+			return nil, fmt.Errorf("%w: column %d has empty range [%v,%v]", ErrDegenerate, j, mins[j], maxs[j])
+		}
+	}
+	return &MinMax{
+		NewMin: newMin,
+		NewMax: newMax,
+		mins:   append([]float64(nil), mins...),
+		maxs:   append([]float64(nil), maxs...),
+		set:    true,
+	}, nil
+}
+
+// Params exposes the fitted minima and maxima (copies), or nil if unfitted.
+func (m *MinMax) Params() (mins, maxs []float64) {
+	if m.mins == nil {
+		return nil, nil
+	}
+	return append([]float64(nil), m.mins...), append([]float64(nil), m.maxs...)
+}

@@ -1,0 +1,113 @@
+package norm
+
+import (
+	"errors"
+	"testing"
+
+	"ppclust/internal/matrix"
+	"ppclust/internal/stats"
+)
+
+func TestNewZScoreWithParamsRoundTrip(t *testing.T) {
+	data := matrix.FromRows([][]float64{{10, 100}, {20, 300}, {30, 200}})
+	fitted := &ZScore{Denominator: stats.Sample}
+	out, err := FitTransform(fitted, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	means, stds := fitted.Params()
+	restored, err := NewZScoreWithParams(means, stds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The restored normalizer must produce the identical transform and
+	// inverse without ever seeing the data.
+	out2, err := restored.Transform(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matrix.EqualApprox(out, out2, 1e-12) {
+		t.Fatal("restored z-score transform differs")
+	}
+	back, err := restored.Inverse(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matrix.EqualApprox(back, data, 1e-10) {
+		t.Fatal("restored z-score inverse failed")
+	}
+}
+
+func TestNewZScoreWithParamsErrors(t *testing.T) {
+	if _, err := NewZScoreWithParams(nil, nil); err == nil {
+		t.Fatal("empty params should fail")
+	}
+	if _, err := NewZScoreWithParams([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("length mismatch should fail")
+	}
+	if _, err := NewZScoreWithParams([]float64{1}, []float64{0}); !errors.Is(err, ErrDegenerate) {
+		t.Fatal("zero std should be degenerate")
+	}
+	// Parameters must be copied, not aliased.
+	means := []float64{1}
+	stds := []float64{2}
+	z, err := NewZScoreWithParams(means, stds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	means[0] = 99
+	m2, _ := z.Params()
+	if m2[0] == 99 {
+		t.Fatal("params must be copied")
+	}
+}
+
+func TestNewMinMaxWithParamsRoundTrip(t *testing.T) {
+	data := matrix.FromRows([][]float64{{0, -5}, {10, 5}})
+	fitted := &MinMax{NewMax: 1}
+	out, err := FitTransform(fitted, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mins, maxs := fitted.Params()
+	restored, err := NewMinMaxWithParams(mins, maxs, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out2, err := restored.Transform(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matrix.EqualApprox(out, out2, 1e-12) {
+		t.Fatal("restored min-max transform differs")
+	}
+	back, err := restored.Inverse(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matrix.EqualApprox(back, data, 1e-12) {
+		t.Fatal("restored min-max inverse failed")
+	}
+}
+
+func TestNewMinMaxWithParamsErrors(t *testing.T) {
+	if _, err := NewMinMaxWithParams(nil, nil, 0, 1); err == nil {
+		t.Fatal("empty params should fail")
+	}
+	if _, err := NewMinMaxWithParams([]float64{0}, []float64{1, 2}, 0, 1); err == nil {
+		t.Fatal("length mismatch should fail")
+	}
+	if _, err := NewMinMaxWithParams([]float64{0}, []float64{1}, 1, 0); err == nil {
+		t.Fatal("empty target range should fail")
+	}
+	if _, err := NewMinMaxWithParams([]float64{5}, []float64{5}, 0, 1); !errors.Is(err, ErrDegenerate) {
+		t.Fatal("empty column range should be degenerate")
+	}
+}
+
+func TestMinMaxParamsUnfitted(t *testing.T) {
+	mm := &MinMax{}
+	if mins, maxs := mm.Params(); mins != nil || maxs != nil {
+		t.Fatal("unfitted Params should be nil")
+	}
+}

@@ -1,0 +1,171 @@
+// Package plot renders ASCII line charts. It exists to regenerate the
+// paper's Figures 2 and 3 — variance-versus-angle curves with horizontal
+// threshold lines — in a terminal.
+package plot
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// ErrPlot is wrapped by invalid plot configurations.
+var ErrPlot = errors.New("plot: invalid input")
+
+// Series is one named curve.
+type Series struct {
+	Name string
+	X, Y []float64
+	// Glyph is the character used to draw the curve; 0 picks a default.
+	Glyph rune
+}
+
+// HLine is a horizontal reference line (threshold).
+type HLine struct {
+	Name string
+	Y    float64
+}
+
+// Chart is an ASCII chart definition.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	HLines []HLine
+	// Width and Height are the plot area size in characters; zero values
+	// default to 72x20.
+	Width, Height int
+}
+
+var defaultGlyphs = []rune{'*', 'o', '+', 'x', '#'}
+
+// Render draws the chart.
+func (c *Chart) Render() (string, error) {
+	width := c.Width
+	if width <= 0 {
+		width = 72
+	}
+	height := c.Height
+	if height <= 0 {
+		height = 20
+	}
+	if len(c.Series) == 0 {
+		return "", fmt.Errorf("%w: no series", ErrPlot)
+	}
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range c.Series {
+		if len(s.X) != len(s.Y) {
+			return "", fmt.Errorf("%w: series %q has %d x values and %d y values", ErrPlot, s.Name, len(s.X), len(s.Y))
+		}
+		if len(s.X) == 0 {
+			return "", fmt.Errorf("%w: series %q is empty", ErrPlot, s.Name)
+		}
+		for i := range s.X {
+			xmin = math.Min(xmin, s.X[i])
+			xmax = math.Max(xmax, s.X[i])
+			ymin = math.Min(ymin, s.Y[i])
+			ymax = math.Max(ymax, s.Y[i])
+		}
+	}
+	for _, h := range c.HLines {
+		ymin = math.Min(ymin, h.Y)
+		ymax = math.Max(ymax, h.Y)
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+
+	grid := make([][]rune, height)
+	for i := range grid {
+		grid[i] = []rune(strings.Repeat(" ", width))
+	}
+	toCol := func(x float64) int {
+		col := int(math.Round((x - xmin) / (xmax - xmin) * float64(width-1)))
+		return clamp(col, 0, width-1)
+	}
+	toRow := func(y float64) int {
+		row := int(math.Round((y - ymin) / (ymax - ymin) * float64(height-1)))
+		return clamp(height-1-row, 0, height-1)
+	}
+	for _, h := range c.HLines {
+		r := toRow(h.Y)
+		for col := 0; col < width; col++ {
+			grid[r][col] = '-'
+		}
+	}
+	for si, s := range c.Series {
+		glyph := s.Glyph
+		if glyph == 0 {
+			glyph = defaultGlyphs[si%len(defaultGlyphs)]
+		}
+		for i := range s.X {
+			grid[toRow(s.Y[i])][toCol(s.X[i])] = glyph
+		}
+	}
+
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	for i, row := range grid {
+		// Left axis labels on top, middle and bottom rows.
+		label := "          "
+		switch i {
+		case 0:
+			label = fmt.Sprintf("%9.3f ", ymax)
+		case height / 2:
+			label = fmt.Sprintf("%9.3f ", (ymin+ymax)/2)
+		case height - 1:
+			label = fmt.Sprintf("%9.3f ", ymin)
+		}
+		b.WriteString(label)
+		b.WriteString("|")
+		b.WriteString(string(row))
+		b.WriteByte('\n')
+	}
+	b.WriteString(strings.Repeat(" ", 10))
+	b.WriteString("+")
+	b.WriteString(strings.Repeat("-", width))
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "%10s%-*.6g%*.6g\n", "", width/2, xmin, width-width/2, xmax)
+	if c.XLabel != "" {
+		fmt.Fprintf(&b, "%10s%s\n", "", center(c.XLabel, width))
+	}
+	var legend []string
+	for si, s := range c.Series {
+		glyph := s.Glyph
+		if glyph == 0 {
+			glyph = defaultGlyphs[si%len(defaultGlyphs)]
+		}
+		legend = append(legend, fmt.Sprintf("%c %s", glyph, s.Name))
+	}
+	for _, h := range c.HLines {
+		legend = append(legend, fmt.Sprintf("- %s (y=%g)", h.Name, h.Y))
+	}
+	fmt.Fprintf(&b, "legend: %s\n", strings.Join(legend, " | "))
+	return b.String(), nil
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func center(s string, width int) string {
+	if len(s) >= width {
+		return s
+	}
+	pad := (width - len(s)) / 2
+	return strings.Repeat(" ", pad) + s
+}

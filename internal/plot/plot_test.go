@@ -1,0 +1,91 @@
+package plot
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestRenderBasicChart(t *testing.T) {
+	c := &Chart{
+		Title:  "test",
+		XLabel: "theta",
+		Series: []Series{
+			{Name: "varA", X: []float64{0, 1, 2, 3}, Y: []float64{0, 1, 4, 9}},
+		},
+		HLines: []HLine{{Name: "rho", Y: 2}},
+	}
+	out, err := c.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"test", "theta", "varA", "rho", "legend:", "*", "-"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderMultipleSeriesGlyphs(t *testing.T) {
+	c := &Chart{
+		Series: []Series{
+			{Name: "a", X: []float64{0, 1}, Y: []float64{0, 1}},
+			{Name: "b", X: []float64{0, 1}, Y: []float64{1, 0}},
+			{Name: "c", X: []float64{0, 1}, Y: []float64{0.5, 0.5}, Glyph: '@'},
+		},
+	}
+	out, err := c.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "o b") || !strings.Contains(out, "@ c") {
+		t.Fatalf("legend glyphs wrong:\n%s", out)
+	}
+}
+
+func TestRenderErrors(t *testing.T) {
+	if _, err := (&Chart{}).Render(); !errors.Is(err, ErrPlot) {
+		t.Fatal("no series should fail")
+	}
+	bad := &Chart{Series: []Series{{Name: "x", X: []float64{1}, Y: []float64{1, 2}}}}
+	if _, err := bad.Render(); !errors.Is(err, ErrPlot) {
+		t.Fatal("ragged series should fail")
+	}
+	empty := &Chart{Series: []Series{{Name: "x"}}}
+	if _, err := empty.Render(); !errors.Is(err, ErrPlot) {
+		t.Fatal("empty series should fail")
+	}
+}
+
+func TestRenderDegenerateRanges(t *testing.T) {
+	// Constant series must not divide by zero.
+	c := &Chart{Series: []Series{{Name: "flat", X: []float64{1, 1, 1}, Y: []float64{2, 2, 2}}}}
+	out, err := c.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out == "" {
+		t.Fatal("empty render")
+	}
+}
+
+func TestRenderCustomSize(t *testing.T) {
+	c := &Chart{
+		Width: 30, Height: 8,
+		Series: []Series{{Name: "s", X: []float64{0, 1}, Y: []float64{0, 1}}},
+	}
+	out, err := c.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(out, "\n")
+	count := 0
+	for _, l := range lines {
+		if strings.Contains(l, "|") {
+			count++
+		}
+	}
+	if count != 8 {
+		t.Fatalf("plot rows = %d, want 8", count)
+	}
+}

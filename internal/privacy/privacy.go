@@ -1,0 +1,137 @@
+// Package privacy implements the security measures of Sections 4.2 and 5
+// of the paper: the variance between actual and perturbed values,
+// Var(X - X'), its scale-invariant form Sec = Var(X - X') / Var(X)
+// (Adam & Worthmann's classic statistical-database measure), per-attribute
+// privacy reports, and PST verification on released data.
+package privacy
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+
+	"ppclust/internal/matrix"
+	"ppclust/internal/stats"
+)
+
+// ErrShape is wrapped by dimension mismatches.
+var ErrShape = errors.New("privacy: dimension mismatch")
+
+// SecurityVariance returns Var(X - X') for a single attribute under
+// denominator d — the paper's basic security measure for a perturbed
+// attribute.
+func SecurityVariance(original, perturbed []float64, d stats.Denominator) (float64, error) {
+	if len(original) != len(perturbed) {
+		return 0, fmt.Errorf("%w: %d vs %d values", ErrShape, len(original), len(perturbed))
+	}
+	if len(original) == 0 {
+		return 0, fmt.Errorf("%w: empty attribute", ErrShape)
+	}
+	diff := matrix.SubVec(original, perturbed)
+	return stats.Variance(diff, d), nil
+}
+
+// ScaleInvariantSecurity returns Sec = Var(X - X') / Var(X), the
+// scale-invariant security of Section 4.2. It returns +Inf when the
+// original attribute is constant but the perturbation is not.
+func ScaleInvariantSecurity(original, perturbed []float64, d stats.Denominator) (float64, error) {
+	sv, err := SecurityVariance(original, perturbed, d)
+	if err != nil {
+		return 0, err
+	}
+	vx := stats.Variance(original, d)
+	if vx == 0 {
+		if sv == 0 {
+			return 0, nil
+		}
+		return math.Inf(1), nil
+	}
+	return sv / vx, nil
+}
+
+// AttributeReport summarizes the privacy of one released attribute.
+type AttributeReport struct {
+	Name string
+	// VarOriginal and VarReleased are the attribute variances before and
+	// after transformation; Section 5.2 points out that their mismatch is
+	// what frustrates the naive re-normalization attack.
+	VarOriginal, VarReleased float64
+	// SecurityVariance is Var(X - X').
+	SecurityVariance float64
+	// ScaleInvariant is Var(X - X') / Var(X).
+	ScaleInvariant float64
+	// MeanAbsError is the mean |x - x'|, an interpretable distortion size.
+	MeanAbsError float64
+}
+
+// Report compares an original and a released data matrix column by column.
+// names may be nil, in which case attr0, attr1, ... are used.
+func Report(original, released *matrix.Dense, names []string, d stats.Denominator) ([]AttributeReport, error) {
+	or, oc := original.Dims()
+	rr, rc := released.Dims()
+	if or != rr || oc != rc {
+		return nil, fmt.Errorf("%w: %dx%d vs %dx%d", ErrShape, or, oc, rr, rc)
+	}
+	if names != nil && len(names) != oc {
+		return nil, fmt.Errorf("%w: %d names for %d columns", ErrShape, len(names), oc)
+	}
+	out := make([]AttributeReport, oc)
+	for j := 0; j < oc; j++ {
+		x := original.Col(j)
+		y := released.Col(j)
+		sv, err := SecurityVariance(x, y, d)
+		if err != nil {
+			return nil, err
+		}
+		sec, err := ScaleInvariantSecurity(x, y, d)
+		if err != nil {
+			return nil, err
+		}
+		var mae float64
+		for i := range x {
+			mae += math.Abs(x[i] - y[i])
+		}
+		mae /= float64(len(x))
+		name := fmt.Sprintf("attr%d", j)
+		if names != nil {
+			name = names[j]
+		}
+		out[j] = AttributeReport{
+			Name:             name,
+			VarOriginal:      stats.Variance(x, d),
+			VarReleased:      stats.Variance(y, d),
+			SecurityVariance: sv,
+			ScaleInvariant:   sec,
+			MeanAbsError:     mae,
+		}
+	}
+	return out, nil
+}
+
+// FormatReports renders attribute reports as a fixed-width table.
+func FormatReports(reports []AttributeReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s %12s %12s %12s %10s %10s\n",
+		"attribute", "var(X)", "var(X')", "var(X-X')", "sec", "mae")
+	for _, r := range reports {
+		fmt.Fprintf(&b, "%-14s %12.4f %12.4f %12.4f %10.4f %10.4f\n",
+			r.Name, r.VarOriginal, r.VarReleased, r.SecurityVariance, r.ScaleInvariant, r.MeanAbsError)
+	}
+	return b.String()
+}
+
+// MinimumSecurity returns the smallest scale-invariant security across
+// attributes — the weakest link of the release.
+func MinimumSecurity(reports []AttributeReport) float64 {
+	if len(reports) == 0 {
+		return 0
+	}
+	min := math.Inf(1)
+	for _, r := range reports {
+		if r.ScaleInvariant < min {
+			min = r.ScaleInvariant
+		}
+	}
+	return min
+}

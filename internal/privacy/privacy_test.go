@@ -1,0 +1,133 @@
+package privacy
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"ppclust/internal/core"
+	"ppclust/internal/dataset"
+	"ppclust/internal/matrix"
+	"ppclust/internal/norm"
+	"ppclust/internal/stats"
+)
+
+func TestSecurityVariance(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	// X' = X shifted by a constant: Var(X - X') = 0 (translation leaks
+	// everything up to the constant).
+	y := []float64{2, 3, 4, 5}
+	sv, err := SecurityVariance(x, y, stats.Sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sv != 0 {
+		t.Fatalf("constant shift variance = %v, want 0", sv)
+	}
+	if _, err := SecurityVariance(x, []float64{1}, stats.Sample); !errors.Is(err, ErrShape) {
+		t.Fatal("length mismatch should fail")
+	}
+	if _, err := SecurityVariance(nil, nil, stats.Sample); !errors.Is(err, ErrShape) {
+		t.Fatal("empty should fail")
+	}
+}
+
+func TestScaleInvariantSecurity(t *testing.T) {
+	x := []float64{0, 2, 4, 6}
+	y := []float64{6, 4, 2, 0} // reversed: X - X' = {-6,-2,2,6}
+	sec, err := ScaleInvariantSecurity(x, y, stats.Population)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Var(X) = 5, Var(X-X') = 20, Sec = 4.
+	if math.Abs(sec-4) > 1e-12 {
+		t.Fatalf("sec = %v, want 4", sec)
+	}
+	// Constant original, distorted release: infinite relative security.
+	inf, err := ScaleInvariantSecurity([]float64{1, 1}, []float64{0, 2}, stats.Population)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(inf, 1) {
+		t.Fatalf("sec = %v, want +Inf", inf)
+	}
+	// Constant original, untouched release.
+	zero, err := ScaleInvariantSecurity([]float64{1, 1}, []float64{1, 1}, stats.Population)
+	if err != nil || zero != 0 {
+		t.Fatalf("sec = %v err = %v", zero, err)
+	}
+}
+
+// Section 5.2: the variances of the released cardiac data are
+// [1.9039, 0.7840, 0.3122] while the normalized originals are all ones —
+// the mismatch the paper cites as defeating variance matching.
+func TestReportReproducesPaperVariances(t *testing.T) {
+	z := &norm.ZScore{Denominator: stats.Sample}
+	nd, err := norm.FitTransform(z, dataset.CardiacSample().Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Transform(nd, core.Options{
+		Pairs:       []core.Pair{{I: 0, J: 2}, {I: 1, J: 0}},
+		Thresholds:  []core.PST{{Rho1: 0.30, Rho2: 0.55}, {Rho1: 2.30, Rho2: 2.30}},
+		FixedAngles: []float64{312.47, 147.29},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports, err := Report(nd, res.DPrime, []string{"age", "weight", "heart_rate"}, stats.Sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantReleased := []float64{1.9039, 0.7840, 0.3122}
+	for j, want := range wantReleased {
+		if math.Abs(reports[j].VarOriginal-1) > 1e-9 {
+			t.Fatalf("normalized original variance should be 1, got %v", reports[j].VarOriginal)
+		}
+		if math.Abs(reports[j].VarReleased-want) > 5e-4 {
+			t.Fatalf("released var[%d] = %v, paper says %v", j, reports[j].VarReleased, want)
+		}
+	}
+}
+
+func TestReportErrors(t *testing.T) {
+	a := matrix.NewDense(2, 2, nil)
+	if _, err := Report(a, matrix.NewDense(3, 2, nil), nil, stats.Sample); !errors.Is(err, ErrShape) {
+		t.Fatal("shape mismatch should fail")
+	}
+	if _, err := Report(a, a, []string{"only-one"}, stats.Sample); !errors.Is(err, ErrShape) {
+		t.Fatal("name count mismatch should fail")
+	}
+}
+
+func TestReportDefaultNames(t *testing.T) {
+	a := matrix.FromRows([][]float64{{1, 2}, {3, 4}})
+	reports, err := Report(a, a, nil, stats.Sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reports[1].Name != "attr1" {
+		t.Fatalf("default name = %q", reports[1].Name)
+	}
+	if reports[0].SecurityVariance != 0 || reports[0].MeanAbsError != 0 {
+		t.Fatal("identical release should have zero distortion")
+	}
+}
+
+func TestFormatReportsAndMinimumSecurity(t *testing.T) {
+	reports := []AttributeReport{
+		{Name: "a", ScaleInvariant: 0.5},
+		{Name: "b", ScaleInvariant: 0.2},
+	}
+	s := FormatReports(reports)
+	if !strings.Contains(s, "a") || !strings.Contains(s, "sec") {
+		t.Fatalf("format = %q", s)
+	}
+	if MinimumSecurity(reports) != 0.2 {
+		t.Fatal("minimum security wrong")
+	}
+	if MinimumSecurity(nil) != 0 {
+		t.Fatal("empty minimum should be 0")
+	}
+}

@@ -1,0 +1,91 @@
+package quality
+
+import (
+	"fmt"
+	"math"
+)
+
+// Hungarian solves the square assignment problem: given an n x n cost
+// matrix, it returns the column assigned to each row minimizing the total
+// cost, plus that cost. It implements the O(n³) potentials/augmenting-path
+// variant of the Kuhn-Munkres algorithm.
+//
+// Used by MisclassificationError to find the optimal matching between two
+// clusterings' labels before counting disagreements.
+func Hungarian(cost [][]float64) (assignment []int, total float64, err error) {
+	n := len(cost)
+	if n == 0 {
+		return nil, 0, fmt.Errorf("quality: empty cost matrix")
+	}
+	for i, row := range cost {
+		if len(row) != n {
+			return nil, 0, fmt.Errorf("quality: cost row %d has %d entries, want %d", i, len(row), n)
+		}
+		for j, v := range row {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, 0, fmt.Errorf("quality: non-finite cost at (%d,%d)", i, j)
+			}
+		}
+	}
+	// 1-indexed arrays per the classic formulation.
+	u := make([]float64, n+1)
+	v := make([]float64, n+1)
+	p := make([]int, n+1) // p[j] = row matched to column j
+	way := make([]int, n+1)
+	for i := 1; i <= n; i++ {
+		p[0] = i
+		j0 := 0
+		minv := make([]float64, n+1)
+		used := make([]bool, n+1)
+		for j := range minv {
+			minv[j] = math.Inf(1)
+		}
+		for {
+			used[j0] = true
+			i0 := p[j0]
+			delta := math.Inf(1)
+			j1 := 0
+			for j := 1; j <= n; j++ {
+				if used[j] {
+					continue
+				}
+				cur := cost[i0-1][j-1] - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			for j := 0; j <= n; j++ {
+				if used[j] {
+					u[p[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if p[j0] == 0 {
+				break
+			}
+		}
+		for j0 != 0 {
+			j1 := way[j0]
+			p[j0] = p[j1]
+			j0 = j1
+		}
+	}
+	assignment = make([]int, n)
+	for j := 1; j <= n; j++ {
+		if p[j] > 0 {
+			assignment[p[j]-1] = j - 1
+		}
+	}
+	for i := 0; i < n; i++ {
+		total += cost[i][assignment[i]]
+	}
+	return assignment, total, nil
+}

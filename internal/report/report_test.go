@@ -1,0 +1,73 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("id", "value")
+	tb.AddRow("x", "1.5")
+	tb.AddRow("longer-label", "2")
+	s := tb.String()
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 4 { // header, rule, 2 rows
+		t.Fatalf("lines = %d:\n%s", len(lines), s)
+	}
+	if !strings.HasPrefix(lines[0], "id") || !strings.Contains(lines[0], "value") {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "--") {
+		t.Fatalf("rule missing: %q", lines[1])
+	}
+	// All rows should be padded to the same column start for col 2.
+	col := strings.Index(lines[0], "value")
+	if !strings.Contains(lines[3][col:], "2") {
+		t.Fatalf("misaligned row: %q", lines[3])
+	}
+}
+
+func TestTableShortAndLongRows(t *testing.T) {
+	tb := NewTable("a", "b")
+	tb.AddRow("only-a")
+	tb.AddRow("1", "2", "3") // extends width
+	s := tb.String()
+	if !strings.Contains(s, "only-a") || !strings.Contains(s, "3") {
+		t.Fatalf("table = %q", s)
+	}
+}
+
+func TestAddFloats(t *testing.T) {
+	tb := NewTable("row", "v1", "v2")
+	tb.AddFloats("r1", "%.2f", 1.234, 5.678)
+	s := tb.String()
+	if !strings.Contains(s, "1.23") || !strings.Contains(s, "5.68") {
+		t.Fatalf("AddFloats = %q", s)
+	}
+}
+
+func TestHeaderlessTable(t *testing.T) {
+	tb := NewTable()
+	tb.AddRow("x", "y")
+	s := tb.String()
+	if strings.Contains(s, "--") {
+		t.Fatal("headerless table should have no rule")
+	}
+}
+
+func TestLowerTriangle(t *testing.T) {
+	s := LowerTriangle([][]float64{{1.8723}, {2.7674, 2.294}})
+	if !strings.Contains(s, "1.8723") || !strings.Contains(s, "2.2940") {
+		t.Fatalf("triangle = %q", s)
+	}
+	if !strings.HasPrefix(s, "0\n") {
+		t.Fatal("triangle should start with the diagonal zero")
+	}
+}
+
+func TestSection(t *testing.T) {
+	s := Section("Table 3")
+	if !strings.Contains(s, "Table 3") || !strings.Contains(s, "=======") {
+		t.Fatalf("section = %q", s)
+	}
+}

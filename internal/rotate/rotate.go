@@ -1,0 +1,129 @@
+// Package rotate implements the geometric rotations underlying RBT: the 2-D
+// clockwise rotation matrix of Eq. (1), its application to a pair of data
+// matrix columns, and general n-dimensional Givens rotations used by the
+// extensions and attacks.
+package rotate
+
+import (
+	"fmt"
+	"math"
+
+	"ppclust/internal/matrix"
+)
+
+// Degrees converts an angle in degrees to radians. The paper quotes all
+// angles in degrees (e.g. θ = 312.47), so the public API accepts degrees
+// and converts at the boundary.
+func Degrees(deg float64) float64 { return deg * math.Pi / 180 }
+
+// ToDegrees converts radians to degrees.
+func ToDegrees(rad float64) float64 { return rad * 180 / math.Pi }
+
+// NormalizeDegrees maps an angle to [0, 360).
+func NormalizeDegrees(deg float64) float64 {
+	d := math.Mod(deg, 360)
+	if d < 0 {
+		d += 360
+	}
+	return d
+}
+
+// Matrix2D returns the paper's 2x2 rotation matrix for an angle θ in
+// degrees, measured clockwise (Eq. 1):
+//
+//	R = [ cosθ  sinθ]
+//	    [-sinθ  cosθ]
+func Matrix2D(thetaDeg float64) *matrix.Dense {
+	rad := Degrees(thetaDeg)
+	c, s := math.Cos(rad), math.Sin(rad)
+	return matrix.FromRows([][]float64{{c, s}, {-s, c}})
+}
+
+// Pair applies R(θ) to columns (i, j) of data in place, exactly as
+// Definition 2 prescribes: the column vector V = (Ai, Aj) becomes V' = R·V,
+// so Ai' = Ai·cosθ + Aj·sinθ and Aj' = -Ai·sinθ + Aj·cosθ.
+//
+// The order of (i, j) matters — swapping them rotates in the opposite
+// direction — which is one of the "key" components of the scheme's claimed
+// computational security (Section 5.2).
+func Pair(data *matrix.Dense, i, j int, thetaDeg float64) error {
+	_, c := data.Dims()
+	if i < 0 || i >= c || j < 0 || j >= c {
+		return fmt.Errorf("rotate: %w: pair (%d,%d) for %d columns", matrix.ErrShape, i, j, c)
+	}
+	if i == j {
+		return fmt.Errorf("rotate: %w: pair indices must differ, got (%d,%d)", matrix.ErrShape, i, j)
+	}
+	rad := Degrees(thetaDeg)
+	cth, sth := math.Cos(rad), math.Sin(rad)
+	rows := data.Rows()
+	for r := 0; r < rows; r++ {
+		row := data.RawRow(r)
+		ai, aj := row[i], row[j]
+		row[i] = cth*ai + sth*aj
+		row[j] = -sth*ai + cth*aj
+	}
+	return nil
+}
+
+// PairCopy is Pair on a copy of data, returning the rotated matrix.
+func PairCopy(data *matrix.Dense, i, j int, thetaDeg float64) (*matrix.Dense, error) {
+	out := data.Clone()
+	if err := Pair(out, i, j, thetaDeg); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// InversePair undoes Pair: rotating by -θ on the same ordered pair.
+func InversePair(data *matrix.Dense, i, j int, thetaDeg float64) error {
+	return Pair(data, i, j, -thetaDeg)
+}
+
+// Givens returns the n x n Givens rotation acting on coordinates (i, j)
+// with angle θ in degrees, using the paper's clockwise convention embedded
+// in the larger identity. Multiplying data rows by its transpose is
+// equivalent to Pair.
+func Givens(n, i, j int, thetaDeg float64) (*matrix.Dense, error) {
+	if i < 0 || i >= n || j < 0 || j >= n || i == j {
+		return nil, fmt.Errorf("rotate: %w: givens (%d,%d) in dimension %d", matrix.ErrShape, i, j, n)
+	}
+	rad := Degrees(thetaDeg)
+	c, s := math.Cos(rad), math.Sin(rad)
+	g := matrix.Identity(n)
+	g.SetAt(i, i, c)
+	g.SetAt(i, j, s)
+	g.SetAt(j, i, -s)
+	g.SetAt(j, j, c)
+	return g, nil
+}
+
+// Compose multiplies a sequence of equally sized square matrices left to
+// right: Compose(a, b, c) = a*b*c. Used to express an RBT key as one
+// orthogonal matrix.
+func Compose(ms ...*matrix.Dense) (*matrix.Dense, error) {
+	if len(ms) == 0 {
+		return nil, fmt.Errorf("rotate: %w: empty composition", matrix.ErrShape)
+	}
+	out := ms[0].Clone()
+	for _, m := range ms[1:] {
+		next, err := matrix.Mul(out, m)
+		if err != nil {
+			return nil, err
+		}
+		out = next
+	}
+	return out, nil
+}
+
+// ApplyOrthogonal right-multiplies every row x of data by qᵀ (x' = q·x as
+// column vectors), applying a full n-dimensional orthogonal transform. It
+// generalizes Pair and is used by the random-orthogonal baseline.
+func ApplyOrthogonal(data, q *matrix.Dense) (*matrix.Dense, error) {
+	_, c := data.Dims()
+	qr, qc := q.Dims()
+	if qr != c || qc != c {
+		return nil, fmt.Errorf("rotate: %w: orthogonal %dx%d for %d columns", matrix.ErrShape, qr, qc, c)
+	}
+	return matrix.Mul(data, q.T())
+}

@@ -1,0 +1,232 @@
+package rotate
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ppclust/internal/matrix"
+)
+
+func TestDegreesConversions(t *testing.T) {
+	if math.Abs(Degrees(180)-math.Pi) > 1e-15 {
+		t.Fatal("Degrees(180) != pi")
+	}
+	if math.Abs(ToDegrees(math.Pi)-180) > 1e-12 {
+		t.Fatal("ToDegrees(pi) != 180")
+	}
+	cases := []struct{ in, want float64 }{
+		{0, 0}, {360, 0}, {-90, 270}, {720.5, 0.5}, {312.47, 312.47},
+	}
+	for _, tc := range cases {
+		if got := NormalizeDegrees(tc.in); math.Abs(got-tc.want) > 1e-12 {
+			t.Fatalf("NormalizeDegrees(%v) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestMatrix2DConvention(t *testing.T) {
+	// The paper's clockwise convention: R(90°) maps (1,0) to (0,-1)... as
+	// column vectors R*(1,0)ᵀ = (cos, -sin)ᵀ = (0,-1)ᵀ.
+	r := Matrix2D(90)
+	v, err := r.MulVec([]float64{1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v[0]) > 1e-12 || math.Abs(v[1]+1) > 1e-12 {
+		t.Fatalf("R(90)·e1 = %v, want (0,-1)", v)
+	}
+	if !matrix.IsOrthogonal(r, 1e-12) {
+		t.Fatal("rotation matrix must be orthogonal")
+	}
+	d, err := matrix.Det(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d-1) > 1e-12 {
+		t.Fatalf("det = %v, want 1", d)
+	}
+}
+
+func TestPairMatchesMatrix2D(t *testing.T) {
+	data := matrix.FromRows([][]float64{{1, 2}, {-0.5, 3}})
+	r := Matrix2D(33.5)
+	rotated, err := PairCopy(data, 0, 1, 33.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < data.Rows(); i++ {
+		v, err := r.MulVec(data.Row(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(v[0]-rotated.At(i, 0)) > 1e-12 || math.Abs(v[1]-rotated.At(i, 1)) > 1e-12 {
+			t.Fatalf("row %d: Pair gave (%v,%v), matrix gives %v", i, rotated.At(i, 0), rotated.At(i, 1), v)
+		}
+	}
+}
+
+func TestPairOrderMatters(t *testing.T) {
+	data := matrix.FromRows([][]float64{{1, 2}, {3, 4}})
+	a, err := PairCopy(data, 0, 1, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := PairCopy(data, 1, 0, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if matrix.EqualApprox(a, b, 1e-9) {
+		t.Fatal("swapping the ordered pair must change the result (Section 5.2)")
+	}
+	// (i,j) at θ equals (j,i) at -θ.
+	c, err := PairCopy(data, 1, 0, -30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matrix.EqualApprox(a, c, 1e-12) {
+		t.Fatal("(i,j,θ) should equal (j,i,-θ)")
+	}
+}
+
+func TestPairErrors(t *testing.T) {
+	data := matrix.NewDense(2, 2, nil)
+	if err := Pair(data, 0, 0, 10); !errors.Is(err, matrix.ErrShape) {
+		t.Fatal("equal indices should fail")
+	}
+	if err := Pair(data, 0, 5, 10); !errors.Is(err, matrix.ErrShape) {
+		t.Fatal("out of range should fail")
+	}
+	if _, err := PairCopy(data, -1, 1, 10); err == nil {
+		t.Fatal("negative index should fail")
+	}
+}
+
+func TestInversePairRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	data := matrix.RandomDense(10, 4, rng)
+	orig := data.Clone()
+	if err := Pair(data, 1, 3, 123.456); err != nil {
+		t.Fatal(err)
+	}
+	if matrix.EqualApprox(data, orig, 1e-9) {
+		t.Fatal("rotation should change the data")
+	}
+	if err := InversePair(data, 1, 3, 123.456); err != nil {
+		t.Fatal(err)
+	}
+	if !matrix.EqualApprox(data, orig, 1e-10) {
+		t.Fatal("inverse rotation should restore the data")
+	}
+}
+
+func TestGivens(t *testing.T) {
+	g, err := Givens(4, 1, 3, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matrix.IsOrthogonal(g, 1e-12) {
+		t.Fatal("Givens must be orthogonal")
+	}
+	// Applying the Givens matrix must match Pair.
+	rng := rand.New(rand.NewSource(2))
+	data := matrix.RandomDense(6, 4, rng)
+	viaPair, err := PairCopy(data, 1, 3, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaMatrix, err := ApplyOrthogonal(data, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matrix.EqualApprox(viaPair, viaMatrix, 1e-12) {
+		t.Fatal("Givens application disagrees with Pair")
+	}
+	if _, err := Givens(3, 0, 0, 5); err == nil {
+		t.Fatal("equal indices should fail")
+	}
+	if _, err := Givens(3, 0, 4, 5); err == nil {
+		t.Fatal("out of range should fail")
+	}
+}
+
+func TestCompose(t *testing.T) {
+	a := Matrix2D(30)
+	b := Matrix2D(45)
+	ab, err := Compose(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Successive 2-D rotations add angles.
+	if !matrix.EqualApprox(ab, Matrix2D(75), 1e-12) {
+		t.Fatal("composition of rotations should add angles")
+	}
+	if _, err := Compose(); err == nil {
+		t.Fatal("empty composition should fail")
+	}
+	if _, err := Compose(a, matrix.NewDense(3, 3, nil)); err == nil {
+		t.Fatal("shape mismatch should fail")
+	}
+}
+
+func TestApplyOrthogonalShape(t *testing.T) {
+	data := matrix.NewDense(5, 3, nil)
+	if _, err := ApplyOrthogonal(data, matrix.Identity(2)); !errors.Is(err, matrix.ErrShape) {
+		t.Fatal("wrong-size orthogonal should fail")
+	}
+}
+
+// Property: Pair preserves all pairwise Euclidean distances (it is an
+// isometry — the heart of Theorem 2).
+func TestQuickPairIsometry(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 3 + rng.Intn(10)
+		n := 2 + rng.Intn(5)
+		data := matrix.RandomDense(m, n, rng)
+		i := rng.Intn(n)
+		j := (i + 1 + rng.Intn(n-1)) % n
+		theta := rng.Float64() * 360
+		rotated, err := PairCopy(data, i, j, theta)
+		if err != nil {
+			return false
+		}
+		for a := 0; a < m; a++ {
+			for b := a + 1; b < m; b++ {
+				d0 := matrix.Distance(data.RawRow(a), data.RawRow(b))
+				d1 := matrix.Distance(rotated.RawRow(a), rotated.RawRow(b))
+				if math.Abs(d0-d1) > 1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Pair preserves vector norms about the origin and angles between
+// row vectors (isometries preserve angles, Section 3.1).
+func TestQuickPairPreservesAngles(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(4)
+		data := matrix.RandomDense(2, n, rng)
+		i := rng.Intn(n)
+		j := (i + 1 + rng.Intn(n-1)) % n
+		rotated, err := PairCopy(data, i, j, rng.Float64()*360)
+		if err != nil {
+			return false
+		}
+		dot0 := matrix.Dot(data.RawRow(0), data.RawRow(1))
+		dot1 := matrix.Dot(rotated.RawRow(0), rotated.RawRow(1))
+		return math.Abs(dot0-dot1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

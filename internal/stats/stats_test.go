@@ -1,0 +1,241 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ppclust/internal/matrix"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMean(t *testing.T) {
+	if Mean([]float64{1, 2, 3, 4}) != 2.5 {
+		t.Fatal("mean wrong")
+	}
+	if Mean([]float64{-5}) != -5 {
+		t.Fatal("single element mean wrong")
+	}
+	mustPanic(t, func() { Mean(nil) })
+}
+
+func mustPanic(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f()
+}
+
+func TestVarianceDenominators(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9} // textbook sample: pop var 4
+	if !almostEqual(Variance(xs, Population), 4, 1e-12) {
+		t.Fatalf("pop var = %v", Variance(xs, Population))
+	}
+	if !almostEqual(Variance(xs, Sample), 32.0/7.0, 1e-12) {
+		t.Fatalf("sample var = %v", Variance(xs, Sample))
+	}
+	if !almostEqual(StdDev(xs, Population), 2, 1e-12) {
+		t.Fatal("pop std wrong")
+	}
+	mustPanic(t, func() { Variance(nil, Sample) })
+}
+
+// The paper's Table 1 age column: sample std must reproduce Table 2's
+// normalization denominator (see DESIGN.md faithfulness notes).
+func TestVariancePaperAgeColumn(t *testing.T) {
+	age := []float64{75, 56, 40, 28, 44}
+	if !almostEqual(Mean(age), 48.6, 1e-12) {
+		t.Fatalf("mean = %v", Mean(age))
+	}
+	sampleStd := StdDev(age, Sample)
+	// (75-48.6)/sampleStd must equal Table 2's 1.4809.
+	if !almostEqual((75-48.6)/sampleStd, 1.4809, 5e-5) {
+		t.Fatalf("z-score of 75 = %v, want 1.4809 (paper Table 2)", (75-48.6)/sampleStd)
+	}
+	popStd := StdDev(age, Population)
+	if almostEqual((75-48.6)/popStd, 1.4809, 1e-3) {
+		t.Fatal("population std should NOT reproduce the paper's z-scores")
+	}
+}
+
+func TestDenominatorString(t *testing.T) {
+	if Sample.String() == "" || Population.String() == "" || Denominator(9).String() == "" {
+		t.Fatal("Denominator.String should never be empty")
+	}
+}
+
+func TestCovarianceAndCorrelation(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{2, 4, 6, 8}
+	if !almostEqual(Correlation(xs, ys), 1, 1e-12) {
+		t.Fatal("perfectly correlated should give 1")
+	}
+	neg := []float64{8, 6, 4, 2}
+	if !almostEqual(Correlation(xs, neg), -1, 1e-12) {
+		t.Fatal("perfectly anti-correlated should give -1")
+	}
+	if !math.IsNaN(Correlation(xs, []float64{3, 3, 3, 3})) {
+		t.Fatal("constant column correlation should be NaN")
+	}
+	if !almostEqual(Covariance(xs, ys, Population), 2.5, 1e-12) {
+		t.Fatalf("cov = %v", Covariance(xs, ys, Population))
+	}
+	mustPanic(t, func() { Covariance(xs, []float64{1}, Sample) })
+	mustPanic(t, func() { Covariance(nil, nil, Sample) })
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 0}
+	if Min(xs) != -1 || Max(xs) != 7 {
+		t.Fatal("min/max wrong")
+	}
+	mustPanic(t, func() { Min(nil) })
+	mustPanic(t, func() { Max(nil) })
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	tests := []struct{ q, want float64 }{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5}, {0.1, 1.4},
+	}
+	for _, tc := range tests {
+		if got := Quantile(xs, tc.q); !almostEqual(got, tc.want, 1e-12) {
+			t.Fatalf("Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+	if Median([]float64{1, 2, 3, 100}) != 2.5 {
+		t.Fatal("median of even-length sample wrong")
+	}
+	if Quantile([]float64{42}, 0.3) != 42 {
+		t.Fatal("single-element quantile wrong")
+	}
+	mustPanic(t, func() { Quantile(xs, -0.1) })
+	mustPanic(t, func() { Quantile(xs, 1.1) })
+	mustPanic(t, func() { Quantile(nil, 0.5) })
+	// Input must not be mutated.
+	in := []float64{3, 1, 2}
+	Quantile(in, 0.5)
+	if in[0] != 3 || in[1] != 1 {
+		t.Fatal("Quantile must not sort its input in place")
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	s := Describe([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.Median != 3 {
+		t.Fatalf("Describe = %+v", s)
+	}
+	if s.String() == "" {
+		t.Fatal("String empty")
+	}
+}
+
+func TestColumnMeansVariances(t *testing.T) {
+	m := matrix.FromRows([][]float64{{1, 10}, {3, 30}, {5, 50}})
+	means := ColumnMeans(m)
+	if means[0] != 3 || means[1] != 30 {
+		t.Fatalf("means = %v", means)
+	}
+	vars := ColumnVariances(m, Sample)
+	if !almostEqual(vars[0], 4, 1e-12) || !almostEqual(vars[1], 400, 1e-12) {
+		t.Fatalf("vars = %v", vars)
+	}
+	mustPanic(t, func() { ColumnMeans(matrix.NewDense(0, 2, nil)) })
+	mustPanic(t, func() { ColumnVariances(matrix.NewDense(0, 2, nil), Sample) })
+}
+
+func TestCovarianceMatrix(t *testing.T) {
+	m := matrix.FromRows([][]float64{{1, 2}, {2, 4}, {3, 6}})
+	cov := CovarianceMatrix(m, Population)
+	// Columns perfectly correlated: cov = [[2/3, 4/3],[4/3, 8/3]].
+	if !almostEqual(cov.At(0, 0), 2.0/3.0, 1e-12) || !almostEqual(cov.At(0, 1), 4.0/3.0, 1e-12) {
+		t.Fatalf("cov = %v", cov)
+	}
+	if cov.At(0, 1) != cov.At(1, 0) {
+		t.Fatal("covariance matrix must be symmetric")
+	}
+	mustPanic(t, func() { CovarianceMatrix(matrix.NewDense(0, 2, nil), Sample) })
+}
+
+func TestCorrelationMatrix(t *testing.T) {
+	m := matrix.FromRows([][]float64{{1, 2, 5}, {2, 4, 5}, {3, 6, 5}})
+	corr := CorrelationMatrix(m)
+	if !almostEqual(corr.At(0, 1), 1, 1e-12) {
+		t.Fatalf("corr(0,1) = %v", corr.At(0, 1))
+	}
+	if !almostEqual(corr.At(0, 0), 1, 1e-12) {
+		t.Fatal("diagonal must be 1")
+	}
+	if !math.IsNaN(corr.At(0, 2)) {
+		t.Fatal("constant column should yield NaN correlation")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	edges, counts := Histogram([]float64{0, 0.1, 0.5, 0.9, 1.0}, 2)
+	if len(edges) != 3 || len(counts) != 2 {
+		t.Fatalf("edges=%v counts=%v", edges, counts)
+	}
+	if counts[0]+counts[1] != 5 {
+		t.Fatal("histogram must count every sample")
+	}
+	// Degenerate constant sample.
+	_, c := Histogram([]float64{7, 7, 7}, 3)
+	total := 0
+	for _, v := range c {
+		total += v
+	}
+	if total != 3 {
+		t.Fatal("constant sample should still be fully counted")
+	}
+	mustPanic(t, func() { Histogram(nil, 2) })
+	mustPanic(t, func() { Histogram([]float64{1}, 0) })
+}
+
+// Property: variance is translation invariant and scales quadratically.
+func TestQuickVarianceProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(50)
+		xs := make([]float64, n)
+		shifted := make([]float64, n)
+		scaled := make([]float64, n)
+		shift := rng.NormFloat64() * 10
+		scale := 1 + rng.Float64()*3
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+			shifted[i] = xs[i] + shift
+			scaled[i] = xs[i] * scale
+		}
+		v := Variance(xs, Sample)
+		return almostEqual(Variance(shifted, Sample), v, 1e-9*(1+v)) &&
+			almostEqual(Variance(scaled, Sample), v*scale*scale, 1e-9*(1+v*scale*scale))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: correlation is bounded in [-1, 1].
+func TestQuickCorrelationBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(40)
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+			ys[i] = rng.NormFloat64()
+		}
+		r := Correlation(xs, ys)
+		return r >= -1-1e-12 && r <= 1+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,235 @@
+// Package ppclust is the public facade of the privacy-preserving clustering
+// library: an implementation of the Rotation-Based Transformation (RBT) of
+// Oliveira & Zaïane, "Achieving Privacy Preservation When Sharing Data For
+// Clustering" (Secure Data Management workshop at VLDB, 2004), together
+// with the substrates a practitioner needs around it (normalization,
+// clustering, quality and privacy metrics, baselines and attacks — see the
+// internal packages and DESIGN.md).
+//
+// The two entry points mirror the paper's workflow (Figure 1):
+//
+//	protected, err := ppclust.Protect(ds, ppclust.ProtectOptions{
+//	        Thresholds: []ppclust.PST{{Rho1: 0.3, Rho2: 0.3}},
+//	})
+//	// share protected.Released for clustering; keep protected.Secret()
+//
+//	original, err := ppclust.Recover(protected.Released, secret)
+//
+// Released data preserves all pairwise Euclidean distances, so any
+// distance-based clustering algorithm produces exactly the same clusters it
+// would have produced on the (normalized) original.
+package ppclust
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"ppclust/internal/core"
+	"ppclust/internal/dataset"
+	"ppclust/internal/norm"
+	"ppclust/internal/stats"
+)
+
+// Re-exported types; see the corresponding internal packages for details.
+type (
+	// Dataset is a named numeric data matrix with optional IDs and labels.
+	Dataset = dataset.Dataset
+	// Pair is an ordered attribute pair to rotate.
+	Pair = core.Pair
+	// PST is the pairwise-security threshold (ρ1, ρ2) of Definition 2.
+	PST = core.PST
+	// Key is the secret rotation key (pairs + angles).
+	Key = core.Key
+	// PairReport describes one pair's security range and achieved security.
+	PairReport = core.PairReport
+)
+
+// ErrOptions is wrapped by invalid Protect/Recover configurations.
+var ErrOptions = errors.New("ppclust: invalid options")
+
+// Normalization selects Step 1 of the pipeline.
+type Normalization string
+
+const (
+	// ZScore standardizes each attribute to zero mean and unit sample
+	// variance (Eq. 4) — the paper's choice for the worked example.
+	ZScore Normalization = "zscore"
+	// MinMax rescales each attribute to [0, 1] (Eq. 3).
+	MinMax Normalization = "minmax"
+)
+
+// ProtectOptions configures Protect.
+type ProtectOptions struct {
+	// Normalization defaults to ZScore.
+	Normalization Normalization
+	// Pairs defaults to round-robin grouping; see core.RoundRobinPairs.
+	Pairs []Pair
+	// Thresholds holds one PST per pair (or a single PST broadcast to all).
+	// Required: privacy without a threshold is undefined (Definition 2).
+	Thresholds []PST
+	// Seed seeds the angle randomness; 0 means a fixed default seed, so
+	// runs are reproducible unless a seed is chosen.
+	Seed int64
+	// FixedAngles bypasses random angle selection (still PST-checked).
+	FixedAngles []float64
+	// KeepIDs retains object identifiers in the released dataset. The
+	// default (false) suppresses them, per Step 2 of Section 5.3.
+	KeepIDs bool
+}
+
+// Protected is the result of Protect.
+type Protected struct {
+	// Released is safe to share: normalized, rotated, IDs suppressed
+	// unless KeepIDs was set. Labels are never carried over.
+	Released *Dataset
+	// Reports describes each rotated pair.
+	Reports []PairReport
+
+	key        Key
+	normMethod Normalization
+	paramsA    []float64 // means (zscore) or mins (minmax)
+	paramsB    []float64 // stds (zscore) or maxs (minmax)
+}
+
+// Secret returns everything the data owner must retain (and keep secret)
+// to invert the release.
+func (p *Protected) Secret() OwnerSecret {
+	return OwnerSecret{
+		Key:           p.key,
+		Normalization: p.normMethod,
+		ParamsA:       append([]float64(nil), p.paramsA...),
+		ParamsB:       append([]float64(nil), p.paramsB...),
+	}
+}
+
+// OwnerSecret is the serializable inversion secret: the RBT key plus the
+// normalization parameters. Anyone holding it can reconstruct the original
+// attribute values from the released data.
+type OwnerSecret struct {
+	Key           Key           `json:"key"`
+	Normalization Normalization `json:"normalization"`
+	ParamsA       []float64     `json:"params_a"`
+	ParamsB       []float64     `json:"params_b"`
+}
+
+// Marshal serializes the secret as JSON.
+func (s OwnerSecret) Marshal() ([]byte, error) { return json.MarshalIndent(s, "", "  ") }
+
+// ParseSecret decodes a secret serialized by Marshal.
+func ParseSecret(data []byte) (OwnerSecret, error) {
+	var s OwnerSecret
+	if err := json.Unmarshal(data, &s); err != nil {
+		return OwnerSecret{}, fmt.Errorf("ppclust: parsing secret: %w", err)
+	}
+	if s.Normalization != ZScore && s.Normalization != MinMax {
+		return OwnerSecret{}, fmt.Errorf("%w: unknown normalization %q", ErrOptions, s.Normalization)
+	}
+	return s, nil
+}
+
+// Protect runs the full pipeline of Figure 1 on a dataset: normalize every
+// attribute, then distort attribute pairs by PST-constrained rotations.
+func Protect(ds *Dataset, opts ProtectOptions) (*Protected, error) {
+	if ds == nil {
+		return nil, fmt.Errorf("%w: nil dataset", ErrOptions)
+	}
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	method := opts.Normalization
+	if method == "" {
+		method = ZScore
+	}
+	normalizer, err := newNormalizer(method)
+	if err != nil {
+		return nil, err
+	}
+	normalized, err := norm.FitTransform(normalizer, ds.Data)
+	if err != nil {
+		return nil, fmt.Errorf("ppclust: normalizing: %w", err)
+	}
+	var rng *rand.Rand
+	if opts.Seed != 0 {
+		rng = rand.New(rand.NewSource(opts.Seed))
+	}
+	res, err := core.Transform(normalized, core.Options{
+		Pairs:       opts.Pairs,
+		Thresholds:  opts.Thresholds,
+		Rand:        rng,
+		FixedAngles: opts.FixedAngles,
+		Denominator: stats.Sample,
+	})
+	if err != nil {
+		return nil, err
+	}
+	released, err := ds.WithData(res.DPrime)
+	if err != nil {
+		return nil, err
+	}
+	released.Labels = nil
+	if !opts.KeepIDs {
+		released = released.DropIDs()
+	}
+	p := &Protected{
+		Released:   released,
+		Reports:    res.Reports,
+		key:        res.Key,
+		normMethod: method,
+	}
+	switch n := normalizer.(type) {
+	case *norm.ZScore:
+		p.paramsA, p.paramsB = n.Params()
+	case *norm.MinMax:
+		p.paramsA, p.paramsB = n.Params()
+	}
+	return p, nil
+}
+
+// Recover inverts a release using the owner's secret: it undoes the
+// rotations and then the normalization, restoring the original attribute
+// values (up to float rounding).
+func Recover(released *Dataset, secret OwnerSecret) (*Dataset, error) {
+	if released == nil {
+		return nil, fmt.Errorf("%w: nil dataset", ErrOptions)
+	}
+	if err := released.Validate(); err != nil {
+		return nil, err
+	}
+	normalized, err := core.Recover(released.Data, secret.Key)
+	if err != nil {
+		return nil, err
+	}
+	normalizer, err := restoreNormalizer(secret)
+	if err != nil {
+		return nil, err
+	}
+	raw, err := normalizer.Inverse(normalized)
+	if err != nil {
+		return nil, fmt.Errorf("ppclust: inverting normalization: %w", err)
+	}
+	return released.WithData(raw)
+}
+
+func newNormalizer(method Normalization) (norm.Normalizer, error) {
+	switch method {
+	case ZScore:
+		return &norm.ZScore{Denominator: stats.Sample}, nil
+	case MinMax:
+		return &norm.MinMax{NewMax: 1}, nil
+	default:
+		return nil, fmt.Errorf("%w: unknown normalization %q", ErrOptions, method)
+	}
+}
+
+func restoreNormalizer(secret OwnerSecret) (norm.Normalizer, error) {
+	switch secret.Normalization {
+	case ZScore:
+		return norm.NewZScoreWithParams(secret.ParamsA, secret.ParamsB)
+	case MinMax:
+		return norm.NewMinMaxWithParams(secret.ParamsA, secret.ParamsB, 0, 1)
+	default:
+		return nil, fmt.Errorf("%w: unknown normalization %q", ErrOptions, secret.Normalization)
+	}
+}

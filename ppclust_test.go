@@ -1,0 +1,244 @@
+package ppclust
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ppclust/internal/dataset"
+	"ppclust/internal/dist"
+	"ppclust/internal/matrix"
+)
+
+func cardiac() *Dataset { return dataset.CardiacSample() }
+
+func defaultOpts() ProtectOptions {
+	return ProtectOptions{Thresholds: []PST{{Rho1: 0.2, Rho2: 0.2}}}
+}
+
+func TestProtectBasics(t *testing.T) {
+	p, err := Protect(cardiac(), defaultOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Released.IDs != nil {
+		t.Fatal("IDs should be suppressed by default (Section 5.3 Step 2)")
+	}
+	if p.Released.Labels != nil {
+		t.Fatal("labels must never be released")
+	}
+	if p.Released.Rows() != 5 || p.Released.Cols() != 3 {
+		t.Fatal("released shape wrong")
+	}
+	if len(p.Reports) == 0 {
+		t.Fatal("reports missing")
+	}
+	// The release must differ from the raw data everywhere meaningful.
+	if matrix.EqualApprox(p.Released.Data, cardiac().Data, 0.5) {
+		t.Fatal("release suspiciously close to raw data")
+	}
+}
+
+func TestProtectKeepIDs(t *testing.T) {
+	opts := defaultOpts()
+	opts.KeepIDs = true
+	p, err := Protect(cardiac(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Released.IDs == nil || p.Released.IDs[0] != "1237" {
+		t.Fatal("KeepIDs should retain identifiers")
+	}
+}
+
+func TestProtectPreservesDistancesOfNormalizedData(t *testing.T) {
+	ds := cardiac()
+	p, err := Protect(ds, defaultOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := dataset.CardiacNormalized().Data
+	before := dist.NewDissimMatrix(want, dist.Euclidean{})
+	after := dist.NewDissimMatrix(p.Released.Data, dist.Euclidean{})
+	if !before.EqualApprox(after, 1e-3) {
+		t.Fatal("released distances should equal normalized-data distances")
+	}
+}
+
+func TestProtectRecoverRoundTrip(t *testing.T) {
+	for _, method := range []Normalization{ZScore, MinMax} {
+		opts := defaultOpts()
+		opts.Normalization = method
+		if method == MinMax {
+			// Unit-range data needs smaller thresholds to stay feasible.
+			opts.Thresholds = []PST{{Rho1: 0.01, Rho2: 0.01}}
+		}
+		p, err := Protect(cardiac(), opts)
+		if err != nil {
+			t.Fatalf("%s: %v", method, err)
+		}
+		back, err := Recover(p.Released, p.Secret())
+		if err != nil {
+			t.Fatalf("%s: %v", method, err)
+		}
+		if !matrix.EqualApprox(back.Data, cardiac().Data, 1e-8) {
+			t.Fatalf("%s: recovery did not restore raw values", method)
+		}
+	}
+}
+
+func TestSecretSerializationRoundTrip(t *testing.T) {
+	p, err := Protect(cardiac(), defaultOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := p.Secret().Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	secret, err := ParseSecret(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Recover(p.Released, secret)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matrix.EqualApprox(back.Data, cardiac().Data, 1e-8) {
+		t.Fatal("recovery from serialized secret failed")
+	}
+}
+
+func TestParseSecretErrors(t *testing.T) {
+	if _, err := ParseSecret([]byte("{")); err == nil {
+		t.Fatal("malformed json should fail")
+	}
+	if _, err := ParseSecret([]byte(`{"normalization":"bogus"}`)); !errors.Is(err, ErrOptions) {
+		t.Fatal("unknown normalization should fail")
+	}
+}
+
+func TestProtectErrors(t *testing.T) {
+	if _, err := Protect(nil, defaultOpts()); !errors.Is(err, ErrOptions) {
+		t.Fatal("nil dataset should fail")
+	}
+	bad := &Dataset{Names: []string{"a"}, Data: matrix.NewDense(2, 2, nil)}
+	if _, err := Protect(bad, defaultOpts()); err == nil {
+		t.Fatal("invalid dataset should fail")
+	}
+	opts := defaultOpts()
+	opts.Normalization = "bogus"
+	if _, err := Protect(cardiac(), opts); !errors.Is(err, ErrOptions) {
+		t.Fatal("bad normalization should fail")
+	}
+	if _, err := Protect(cardiac(), ProtectOptions{}); err == nil {
+		t.Fatal("missing thresholds should fail")
+	}
+	// Constant column defeats z-score.
+	constant := &Dataset{
+		Names: []string{"a", "b"},
+		Data:  matrix.FromRows([][]float64{{1, 2}, {1, 3}}),
+	}
+	if _, err := Protect(constant, defaultOpts()); err == nil {
+		t.Fatal("constant column should fail normalization")
+	}
+}
+
+func TestRecoverErrors(t *testing.T) {
+	p, err := Protect(cardiac(), defaultOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Recover(nil, p.Secret()); !errors.Is(err, ErrOptions) {
+		t.Fatal("nil dataset should fail")
+	}
+	secret := p.Secret()
+	secret.Normalization = "bogus"
+	if _, err := Recover(p.Released, secret); !errors.Is(err, ErrOptions) {
+		t.Fatal("bad normalization should fail")
+	}
+	secret = p.Secret()
+	secret.Key = Key{}
+	if _, err := Recover(p.Released, secret); err == nil {
+		t.Fatal("empty key should fail")
+	}
+	secret = p.Secret()
+	secret.ParamsB = []float64{0, 0, 0} // zero stds
+	if _, err := Recover(p.Released, secret); err == nil {
+		t.Fatal("zero stds should fail")
+	}
+}
+
+func TestProtectSeededDeterminism(t *testing.T) {
+	opts := defaultOpts()
+	opts.Seed = 42
+	a, err := Protect(cardiac(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Protect(cardiac(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matrix.Equal(a.Released.Data, b.Released.Data) {
+		t.Fatal("same seed should give identical releases")
+	}
+	opts.Seed = 43
+	c, err := Protect(cardiac(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if matrix.Equal(a.Released.Data, c.Released.Data) {
+		t.Fatal("different seeds should (overwhelmingly) differ")
+	}
+}
+
+func TestProtectPaperConfiguration(t *testing.T) {
+	p, err := Protect(cardiac(), ProtectOptions{
+		Pairs:       []Pair{{I: 0, J: 2}, {I: 1, J: 0}},
+		Thresholds:  []PST{{Rho1: 0.30, Rho2: 0.55}, {Rho1: 2.30, Rho2: 2.30}},
+		FixedAngles: []float64{312.47, 147.29},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matrix.EqualApprox(p.Released.Data, dataset.CardiacTransformed().Data, 5e-5) {
+		t.Fatal("facade does not reproduce Table 3")
+	}
+}
+
+// Property: Protect → Recover is the identity on random datasets for both
+// normalizations.
+func TestQuickProtectRecoverRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 5 + rng.Intn(30)
+		n := 2 + rng.Intn(5)
+		data := matrix.RandomDense(m, n, rng)
+		data.ScaleInPlace(3)
+		names := make([]string, n)
+		for j := range names {
+			names[j] = string(rune('a' + j))
+		}
+		ds, err := dataset.New(names, data)
+		if err != nil {
+			return false
+		}
+		p, err := Protect(ds, ProtectOptions{
+			Thresholds: []PST{{Rho1: 1e-6, Rho2: 1e-6}},
+			Seed:       seed,
+		})
+		if err != nil {
+			return false
+		}
+		back, err := Recover(p.Released, p.Secret())
+		if err != nil {
+			return false
+		}
+		return matrix.EqualApprox(back.Data, data, 1e-7)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
