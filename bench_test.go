@@ -16,6 +16,7 @@ import (
 	"ppclust/internal/core"
 	"ppclust/internal/dataset"
 	"ppclust/internal/dist"
+	"ppclust/internal/engine"
 	"ppclust/internal/matrix"
 	"ppclust/internal/multiparty"
 	"ppclust/internal/norm"
@@ -410,6 +411,96 @@ func BenchmarkMultipartyJoin(b *testing.B) {
 			b.Fatal(err)
 		}
 		if _, err := multiparty.Join(relA, relB); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineProtectParallel measures the ppclustd serving engine on a
+// 100k x 16 workload: the serial facade path first, then the chunked
+// worker-pool engine at 1/2/4/8 workers. The engine's release is identical
+// for every worker count; only wall clock changes.
+func BenchmarkEngineProtectParallel(b *testing.B) {
+	const m, n = 100_000, 16
+	data := matrix.RandomDense(m, n, rand.New(rand.NewSource(40)))
+	names := make([]string, n)
+	for j := range names {
+		names[j] = fmt.Sprintf("a%d", j)
+	}
+	ds, err := dataset.New(names, data)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pst := []PST{{Rho1: 1e-6, Rho2: 1e-6}}
+
+	b.Run("serial", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := Protect(ds, ProtectOptions{Thresholds: pst, Seed: 40}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	eopts := engine.ProtectOptions{Thresholds: []core.PST{{Rho1: 1e-6, Rho2: 1e-6}}, Seed: 40}
+	for _, w := range []int{1, 2, 4, 8} {
+		w := w
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			eng := engine.New(w, 0)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Protect(data, eopts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEngineRecoverParallel measures the fused inverse (rotations +
+// denormalization in one pass) on the same 100k x 16 workload.
+func BenchmarkEngineRecoverParallel(b *testing.B) {
+	data := matrix.RandomDense(100_000, 16, rand.New(rand.NewSource(41)))
+	res, err := engine.Default().Protect(data, engine.ProtectOptions{
+		Thresholds: []core.PST{{Rho1: 1e-6, Rho2: 1e-6}},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sec := res.Secret()
+	for _, w := range []int{1, 4} {
+		w := w
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			eng := engine.New(w, 0)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Recover(res.Released, sec); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkStreamProtector measures incremental batch protection under a
+// frozen key — the ppclustd mode=stream hot path (1024-row batches, 16
+// attributes).
+func BenchmarkStreamProtector(b *testing.B) {
+	seed := matrix.RandomDense(8192, 16, rand.New(rand.NewSource(42)))
+	res, err := engine.Default().Protect(seed, engine.ProtectOptions{
+		Thresholds: []core.PST{{Rho1: 1e-6, Rho2: 1e-6}},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sp, err := engine.Default().NewStreamProtector(res.Secret())
+	if err != nil {
+		b.Fatal(err)
+	}
+	batch := matrix.RandomDense(1024, 16, rand.New(rand.NewSource(43)))
+	b.ReportAllocs()
+	b.SetBytes(int64(1024 * 16 * 8))
+	for i := 0; i < b.N; i++ {
+		if _, err := sp.ProtectBatch(batch); err != nil {
 			b.Fatal(err)
 		}
 	}

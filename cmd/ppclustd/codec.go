@@ -1,0 +1,197 @@
+// Row codecs for ppclustd: incremental readers and writers for the two
+// wire formats the service speaks, CSV (with a header row) and NDJSON (one
+// JSON array of numbers per line). Both sides are streaming — the server
+// never needs a whole dataset in memory to recover or stream-protect.
+package main
+
+import (
+	"bufio"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+const (
+	formatCSV    = "csv"
+	formatNDJSON = "ndjson"
+)
+
+// resolveFormat picks the wire format from an explicit query value or the
+// request Content-Type, defaulting to CSV.
+func resolveFormat(query string, header http.Header) (string, error) {
+	switch query {
+	case formatCSV, formatNDJSON:
+		return query, nil
+	case "":
+	default:
+		return "", fmt.Errorf("unknown format %q (want csv or ndjson)", query)
+	}
+	ct := header.Get("Content-Type")
+	if i := strings.IndexByte(ct, ';'); i >= 0 {
+		ct = ct[:i]
+	}
+	switch strings.TrimSpace(ct) {
+	case "application/x-ndjson", "application/ndjson", "application/jsonl":
+		return formatNDJSON, nil
+	default:
+		return formatCSV, nil
+	}
+}
+
+func contentType(format string) string {
+	if format == formatNDJSON {
+		return "application/x-ndjson"
+	}
+	return "text/csv; charset=utf-8"
+}
+
+// rowReader yields numeric rows one at a time; Read returns io.EOF at the
+// end of the stream.
+type rowReader interface {
+	// Names returns the attribute names, available after the first Read
+	// (CSV yields them from the header; NDJSON synthesizes them).
+	Names() []string
+	Read() ([]float64, error)
+}
+
+// rowWriter emits numeric rows one at a time.
+type rowWriter interface {
+	WriteNames(names []string) error
+	WriteRow(row []float64) error
+	Flush() error
+}
+
+func newRowReader(format string, r io.Reader) rowReader {
+	if format == formatNDJSON {
+		sc := bufio.NewScanner(r)
+		sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+		return &ndjsonReader{sc: sc}
+	}
+	cr := csv.NewReader(r)
+	cr.TrimLeadingSpace = true
+	cr.ReuseRecord = true
+	return &csvReader{cr: cr}
+}
+
+func newRowWriter(format string, w io.Writer) rowWriter {
+	if format == formatNDJSON {
+		return &ndjsonWriter{w: bufio.NewWriter(w)}
+	}
+	return &csvWriter{cw: csv.NewWriter(w)}
+}
+
+// csvReader parses a header row of names followed by numeric records.
+type csvReader struct {
+	cr    *csv.Reader
+	names []string
+}
+
+func (c *csvReader) Names() []string { return c.names }
+
+func (c *csvReader) Read() ([]float64, error) {
+	for {
+		rec, err := c.cr.Read()
+		if err != nil {
+			return nil, err
+		}
+		if c.names == nil {
+			c.names = append([]string(nil), rec...)
+			continue
+		}
+		if len(rec) != len(c.names) {
+			return nil, fmt.Errorf("row has %d fields, header has %d", len(rec), len(c.names))
+		}
+		row := make([]float64, len(rec))
+		for j, field := range rec {
+			v, err := strconv.ParseFloat(strings.TrimSpace(field), 64)
+			if err != nil {
+				return nil, fmt.Errorf("field %d: %w", j, err)
+			}
+			row[j] = v
+		}
+		return row, nil
+	}
+}
+
+// ndjsonReader parses one JSON array of numbers per line, skipping blank
+// lines, and synthesizes c0..c{n-1} names from the first row.
+type ndjsonReader struct {
+	sc    *bufio.Scanner
+	names []string
+}
+
+func (n *ndjsonReader) Names() []string { return n.names }
+
+func (n *ndjsonReader) Read() ([]float64, error) {
+	for n.sc.Scan() {
+		line := strings.TrimSpace(n.sc.Text())
+		if line == "" {
+			continue
+		}
+		var row []float64
+		if err := json.Unmarshal([]byte(line), &row); err != nil {
+			return nil, fmt.Errorf("parsing ndjson row: %w", err)
+		}
+		if n.names == nil {
+			n.names = make([]string, len(row))
+			for j := range n.names {
+				n.names[j] = "c" + strconv.Itoa(j)
+			}
+		}
+		if len(row) != len(n.names) {
+			return nil, fmt.Errorf("row has %d values, stream has %d columns", len(row), len(n.names))
+		}
+		return row, nil
+	}
+	if err := n.sc.Err(); err != nil {
+		return nil, err
+	}
+	return nil, io.EOF
+}
+
+type csvWriter struct {
+	cw      *csv.Writer
+	scratch []string
+}
+
+func (c *csvWriter) WriteNames(names []string) error { return c.cw.Write(names) }
+
+func (c *csvWriter) WriteRow(row []float64) error {
+	if cap(c.scratch) < len(row) {
+		c.scratch = make([]string, len(row))
+	}
+	rec := c.scratch[:len(row)]
+	for j, v := range row {
+		rec[j] = strconv.FormatFloat(v, 'g', -1, 64)
+	}
+	return c.cw.Write(rec)
+}
+
+func (c *csvWriter) Flush() error {
+	c.cw.Flush()
+	return c.cw.Error()
+}
+
+type ndjsonWriter struct {
+	w *bufio.Writer
+}
+
+// WriteNames is a no-op for NDJSON: the format carries bare rows.
+func (n *ndjsonWriter) WriteNames([]string) error { return nil }
+
+func (n *ndjsonWriter) WriteRow(row []float64) error {
+	raw, err := json.Marshal(row)
+	if err != nil {
+		return err
+	}
+	if _, err := n.w.Write(raw); err != nil {
+		return err
+	}
+	return n.w.WriteByte('\n')
+}
+
+func (n *ndjsonWriter) Flush() error { return n.w.Flush() }

@@ -1,0 +1,107 @@
+// Command ppclustd is the streaming protection service: an HTTP daemon
+// around the parallel RBT engine and a versioned keyring, letting many data
+// owners protect, stream-protect and recover datasets over the wire.
+//
+// Quickstart:
+//
+//	ppclustd -addr :8344 -keyring /var/lib/ppclust/keys.json
+//
+//	# protect a CSV (fits a fresh key for owner "alice", streams release)
+//	curl -s --data-binary @patients.csv \
+//	    'localhost:8344/v1/protect?owner=alice&rho1=0.3&rho2=0.3'
+//
+//	# protect more records later under the same frozen key, batch by batch
+//	curl -s --data-binary @more.csv \
+//	    'localhost:8344/v1/protect?owner=alice&mode=stream'
+//
+//	# invert a release (the owner's privilege)
+//	curl -s --data-binary @released.csv 'localhost:8344/v1/recover?owner=alice'
+//
+//	curl -s localhost:8344/v1/keys
+//	curl -s localhost:8344/healthz
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ppclust/internal/engine"
+	"ppclust/internal/keyring"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8344", "listen address")
+		keyringPath = flag.String("keyring", "", "path to the JSON keyring file (empty: in-memory, keys lost on exit)")
+		workers     = flag.Int("workers", 0, "engine worker count (0: GOMAXPROCS)")
+		blockRows   = flag.Int("block-rows", 0, "rows per engine block (0: default)")
+		batchRows   = flag.Int("batch-rows", 4096, "rows per streaming batch")
+		maxBody     = flag.Int64("max-body", 1<<30, "maximum request body bytes")
+	)
+	flag.Parse()
+	if err := run(*addr, *keyringPath, *workers, *blockRows, *batchRows, *maxBody); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(addr, keyringPath string, workers, blockRows, batchRows int, maxBody int64) error {
+	var keys keyring.Store
+	if keyringPath == "" {
+		log.Printf("keyring: in-memory (keys are lost on exit; use -keyring for persistence)")
+		keys = keyring.NewMemory()
+	} else {
+		fileStore, err := keyring.OpenFile(keyringPath)
+		if err != nil {
+			return err
+		}
+		log.Printf("keyring: %s", keyringPath)
+		keys = fileStore
+	}
+
+	eng := engine.New(workers, blockRows)
+	s := newServer(eng, keys)
+	if batchRows > 0 {
+		s.batchRows = batchRows
+	}
+	if maxBody > 0 {
+		s.maxBody = maxBody
+	}
+
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           s.handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("ppclustd listening on %s (%d workers)", addr, eng.Workers())
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		return fmt.Errorf("ppclustd: %w", err)
+	case <-ctx.Done():
+	}
+	log.Printf("ppclustd: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("ppclustd: shutdown: %w", err)
+	}
+	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+		return fmt.Errorf("ppclustd: %w", err)
+	}
+	return nil
+}

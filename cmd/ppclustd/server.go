@@ -1,0 +1,406 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"strconv"
+
+	"ppclust"
+	"ppclust/internal/core"
+	"ppclust/internal/engine"
+	"ppclust/internal/keyring"
+	"ppclust/internal/matrix"
+)
+
+// server wires the parallel RBT engine and the keyring behind the HTTP API:
+//
+//	POST /v1/protect?owner=NAME   protect a dataset, storing the secret
+//	POST /v1/recover?owner=NAME   invert a release using the stored secret
+//	GET  /v1/keys                 list owners (no secret material)
+//	GET  /healthz                 liveness probe
+//
+// Protect has two modes. mode=fit (the default) reads the whole body, fits
+// normalization and a fresh PST-checked rotation key, stores the secret as
+// a new key version for the owner, and streams the release back row by
+// row. mode=stream reuses the owner's stored key to protect the body
+// incrementally in fixed-size batches — constant memory, suitable for
+// unbounded inputs. Recover always streams.
+type server struct {
+	eng       *engine.Engine
+	keys      keyring.Store
+	maxBody   int64
+	batchRows int
+}
+
+func newServer(eng *engine.Engine, keys keyring.Store) *server {
+	return &server{
+		eng:       eng,
+		keys:      keys,
+		maxBody:   1 << 30,
+		batchRows: 4096,
+	}
+}
+
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/keys", s.handleKeys)
+	mux.HandleFunc("POST /v1/protect", s.handleProtect)
+	mux.HandleFunc("POST /v1/recover", s.handleRecover)
+	return mux
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":  "ok",
+		"workers": s.eng.Workers(),
+	})
+}
+
+func (s *server) handleKeys(w http.ResponseWriter, _ *http.Request) {
+	infos, err := s.keys.List()
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, infos)
+}
+
+func (s *server) handleProtect(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	owner := q.Get("owner")
+	if err := keyring.ValidName(owner); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	format, err := resolveFormat(q.Get("format"), r.Header)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, s.maxBody)
+	rr := newRowReader(format, body)
+
+	switch mode := q.Get("mode"); mode {
+	case "", "fit":
+		s.protectFit(w, q, format, rr, owner)
+	case "stream":
+		s.protectStream(w, q, format, rr, owner)
+	default:
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown mode %q (want fit or stream)", mode))
+	}
+}
+
+// protectFit buffers the body, fits a fresh transform, stores the secret
+// as a new key version, and streams the release.
+func (s *server) protectFit(w http.ResponseWriter, q urlValues, format string, rr rowReader, owner string) {
+	opts := engine.ProtectOptions{Normalization: engine.NormZScore}
+	switch norm := q.Get("norm"); norm {
+	case "", "zscore":
+	case "minmax":
+		opts.Normalization = engine.NormMinMax
+	default:
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown norm %q (want zscore or minmax)", norm))
+		return
+	}
+	rho1, err := parseFloat(q.Get("rho1"), 0.3)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	rho2, err := parseFloat(q.Get("rho2"), 0.3)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	opts.Thresholds = []core.PST{{Rho1: rho1, Rho2: rho2}}
+	if seedStr := q.Get("seed"); seedStr != "" {
+		seed, err := strconv.ParseInt(seedStr, 10, 64)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad seed: %w", err))
+			return
+		}
+		opts.Seed = seed
+	}
+
+	data, err := readAll(rr)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	res, err := s.eng.Protect(data, opts)
+	if err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	entry, err := s.keys.Put(owner, fromEngineSecret(res.Secret()))
+	if err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+
+	w.Header().Set("Content-Type", contentType(format))
+	w.Header().Set("X-Ppclust-Owner", owner)
+	w.Header().Set("X-Ppclust-Key-Version", strconv.Itoa(entry.Version))
+	rw := newRowWriter(format, w)
+	if err := rw.WriteNames(rr.Names()); err != nil {
+		log.Printf("protect %s: writing header: %v", owner, err)
+		return
+	}
+	for i := 0; i < res.Released.Rows(); i++ {
+		if err := rw.WriteRow(res.Released.RawRow(i)); err != nil {
+			log.Printf("protect %s: writing row %d: %v", owner, i, err)
+			return
+		}
+		if (i+1)%s.batchRows == 0 {
+			flush(rw, w)
+		}
+	}
+	flush(rw, w)
+}
+
+// protectStream protects the body incrementally under the owner's stored
+// key: constant memory, unbounded input.
+func (s *server) protectStream(w http.ResponseWriter, q urlValues, format string, rr rowReader, owner string) {
+	// The transform is frozen in stream mode; silently dropping fit-only
+	// parameters would mislead callers about the privacy level applied.
+	for _, p := range []string{"norm", "rho1", "rho2", "seed"} {
+		if q.Get(p) != "" {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("parameter %q only applies to mode=fit; the stored key's transform is frozen", p))
+			return
+		}
+	}
+	entry, err := s.lookup(owner, q.Get("version"))
+	if err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	sp, err := s.eng.NewStreamProtector(toEngineSecret(entry.Secret))
+	if err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	s.pump(w, format, rr, owner, entry.Version, sp.ProtectBatch)
+}
+
+func (s *server) handleRecover(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	owner := q.Get("owner")
+	if err := keyring.ValidName(owner); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	format, err := resolveFormat(q.Get("format"), r.Header)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	entry, err := s.lookup(owner, q.Get("version"))
+	if err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	sp, err := s.eng.NewStreamProtector(toEngineSecret(entry.Secret))
+	if err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, s.maxBody)
+	s.pump(w, format, newRowReader(format, body), owner, entry.Version, sp.RecoverBatch)
+}
+
+// pump streams the request body through fn in batches of batchRows,
+// writing transformed rows as they are produced.
+func (s *server) pump(w http.ResponseWriter, format string, rr rowReader, owner string, version int, fn func(*matrix.Dense) (*matrix.Dense, error)) {
+	// Interleaving request-body reads with response writes needs explicit
+	// full-duplex mode on HTTP/1.x; without it the server closes the body
+	// at the first write.
+	_ = http.NewResponseController(w).EnableFullDuplex()
+	started := false
+	start := func() {
+		w.Header().Set("Content-Type", contentType(format))
+		w.Header().Set("X-Ppclust-Owner", owner)
+		w.Header().Set("X-Ppclust-Key-Version", strconv.Itoa(version))
+		started = true
+	}
+	rw := newRowWriter(format, w)
+	// abort kills the connection once the response has started: the
+	// client must see a transport error, never a clean EOF on a
+	// truncated dataset.
+	abort := func(reason string, err error) {
+		log.Printf("stream %s: %s: %v", owner, reason, err)
+		panic(http.ErrAbortHandler)
+	}
+	for {
+		batch, err := readBatch(rr, s.batchRows)
+		if err != nil && !errors.Is(err, io.EOF) {
+			if !started {
+				writeErr(w, http.StatusBadRequest, err)
+				return
+			}
+			abort("reading", err)
+		}
+		done := errors.Is(err, io.EOF)
+		if batch != nil {
+			out, err := fn(batch)
+			if err != nil {
+				if !started {
+					writeErr(w, statusFor(err), err)
+					return
+				}
+				abort("transforming", err)
+			}
+			if !started {
+				start()
+				if err := rw.WriteNames(rr.Names()); err != nil {
+					abort("writing header", err)
+				}
+			}
+			for i := 0; i < out.Rows(); i++ {
+				if err := rw.WriteRow(out.RawRow(i)); err != nil {
+					abort("writing", err)
+				}
+			}
+			flush(rw, w)
+		}
+		if done {
+			if !started {
+				// Empty body: still answer with headers and no rows.
+				start()
+			}
+			flush(rw, w)
+			return
+		}
+	}
+}
+
+// lookup fetches the owner's current or explicitly versioned entry.
+func (s *server) lookup(owner, versionStr string) (keyring.Entry, error) {
+	if versionStr == "" {
+		return s.keys.Get(owner)
+	}
+	version, err := strconv.Atoi(versionStr)
+	if err != nil {
+		return keyring.Entry{}, fmt.Errorf("%w: bad version %q", keyring.ErrBadName, versionStr)
+	}
+	return s.keys.GetVersion(owner, version)
+}
+
+// readAll drains a rowReader into a dense matrix, accumulating directly
+// into the flat backing slice so the largest fit requests are held in
+// memory once, not twice.
+func readAll(rr rowReader) (*matrix.Dense, error) {
+	var flat []float64
+	var cols, rows int
+	for {
+		row, err := rr.Read()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		if rows == 0 {
+			cols = len(row)
+		}
+		flat = append(flat, row...)
+		rows++
+	}
+	if rows == 0 {
+		return nil, fmt.Errorf("empty dataset")
+	}
+	return matrix.NewDense(rows, cols, flat), nil
+}
+
+// readBatch reads up to limit rows. It returns (nil, io.EOF) on a clean
+// end of stream and (batch, io.EOF) when the final batch is short.
+func readBatch(rr rowReader, limit int) (*matrix.Dense, error) {
+	var rows [][]float64
+	for len(rows) < limit {
+		row, err := rr.Read()
+		if errors.Is(err, io.EOF) {
+			if len(rows) == 0 {
+				return nil, io.EOF
+			}
+			return matrix.FromRows(rows), io.EOF
+		}
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return matrix.FromRows(rows), nil
+}
+
+// urlValues is the subset of url.Values the handlers consume.
+type urlValues interface{ Get(string) string }
+
+func parseFloat(s string, def float64) (float64, error) {
+	if s == "" {
+		return def, nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad number %q: %w", s, err)
+	}
+	return v, nil
+}
+
+func flush(rw rowWriter, w http.ResponseWriter) {
+	if err := rw.Flush(); err != nil {
+		return
+	}
+	if f, ok := w.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+// statusFor maps domain errors onto HTTP statuses.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, keyring.ErrNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, keyring.ErrExists):
+		return http.StatusConflict
+	case errors.Is(err, keyring.ErrBadName),
+		errors.Is(err, core.ErrBadInput),
+		errors.Is(err, core.ErrBadPair),
+		errors.Is(err, core.ErrBadThreshold),
+		errors.Is(err, core.ErrEmptySecurityRange):
+		return http.StatusBadRequest
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func toEngineSecret(s ppclust.OwnerSecret) engine.Secret {
+	return engine.Secret{
+		Key:           s.Key,
+		Normalization: string(s.Normalization),
+		ParamsA:       s.ParamsA,
+		ParamsB:       s.ParamsB,
+	}
+}
+
+func fromEngineSecret(s engine.Secret) ppclust.OwnerSecret {
+	return ppclust.OwnerSecret{
+		Key:           s.Key,
+		Normalization: ppclust.Normalization(s.Normalization),
+		ParamsA:       s.ParamsA,
+		ParamsB:       s.ParamsB,
+	}
+}

@@ -1,0 +1,338 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+
+	"ppclust/internal/dataset"
+	"ppclust/internal/engine"
+	"ppclust/internal/keyring"
+	"ppclust/internal/matrix"
+)
+
+func newTestServer(t *testing.T) (*httptest.Server, *server) {
+	t.Helper()
+	s := newServer(engine.New(4, 1024), keyring.NewMemory())
+	s.batchRows = 64 // force multiple batches in stream tests
+	ts := httptest.NewServer(s.handler())
+	t.Cleanup(ts.Close)
+	return ts, s
+}
+
+func testCSV(t *testing.T, rows, seed int) (string, *matrix.Dense) {
+	t.Helper()
+	ds, err := dataset.SyntheticPatients(rows, 3, rand.New(rand.NewSource(int64(seed))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds = ds.DropIDs()
+	ds.Labels = nil
+	var buf bytes.Buffer
+	if err := dataset.WriteCSV(&buf, ds); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String(), ds.Data
+}
+
+func post(t *testing.T, url, body string) (*http.Response, string) {
+	t.Helper()
+	resp, err := http.Post(url, "text/csv", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, string(raw)
+}
+
+func parseCSVBody(t *testing.T, body string) *matrix.Dense {
+	t.Helper()
+	ds, err := dataset.ReadCSV(strings.NewReader(body), dataset.DefaultCSVOptions())
+	if err != nil {
+		t.Fatalf("parsing response csv: %v\n%s", err, body[:min(len(body), 400)])
+	}
+	return ds.Data
+}
+
+// TestProtectRecoverRoundTripHTTP is the acceptance flow: a CSV protected
+// over HTTP and recovered over HTTP must reproduce the original values.
+func TestProtectRecoverRoundTripHTTP(t *testing.T) {
+	ts, _ := newTestServer(t)
+	csvBody, orig := testCSV(t, 500, 1)
+
+	resp, rel := post(t, ts.URL+"/v1/protect?owner=alice&rho1=0.3&rho2=0.3&seed=7", csvBody)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("protect: status %d: %s", resp.StatusCode, rel)
+	}
+	if got := resp.Header.Get("X-Ppclust-Key-Version"); got != "1" {
+		t.Fatalf("key version header = %q, want 1", got)
+	}
+	released := parseCSVBody(t, rel)
+	if matrix.EqualApprox(released, orig, 0.5) {
+		t.Fatal("released data looks like the original")
+	}
+
+	resp, rec := post(t, ts.URL+"/v1/recover?owner=alice", rel)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("recover: status %d: %s", resp.StatusCode, rec)
+	}
+	recovered := parseCSVBody(t, rec)
+	if !matrix.EqualApprox(recovered, orig, 1e-6) {
+		diff, _ := matrix.MaxAbsDiff(recovered, orig)
+		t.Fatalf("recovered data diverges from original (max abs diff %g)", diff)
+	}
+}
+
+// TestProtectStreamMode: after a fit, more records can be protected under
+// the frozen key with constant-memory streaming, and recovered again.
+func TestProtectStreamMode(t *testing.T) {
+	ts, _ := newTestServer(t)
+	seedCSV, _ := testCSV(t, 300, 2)
+	if resp, body := post(t, ts.URL+"/v1/protect?owner=bob", seedCSV); resp.StatusCode != http.StatusOK {
+		t.Fatalf("fit: status %d: %s", resp.StatusCode, body)
+	}
+
+	moreCSV, more := testCSV(t, 450, 3) // spans several 64-row batches
+	resp, rel := post(t, ts.URL+"/v1/protect?owner=bob&mode=stream", moreCSV)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream: status %d: %s", resp.StatusCode, rel)
+	}
+	released := parseCSVBody(t, rel)
+	if released.Rows() != more.Rows() {
+		t.Fatalf("stream released %d rows, want %d", released.Rows(), more.Rows())
+	}
+
+	resp, rec := post(t, ts.URL+"/v1/recover?owner=bob", rel)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("recover: status %d: %s", resp.StatusCode, rec)
+	}
+	if !matrix.EqualApprox(parseCSVBody(t, rec), more, 1e-6) {
+		t.Fatal("stream-protected records did not round-trip")
+	}
+}
+
+// TestKeyRotationAndVersions: re-protecting rotates the key; old releases
+// recover only under their own version.
+func TestKeyRotationAndVersions(t *testing.T) {
+	ts, _ := newTestServer(t)
+	csv1, orig1 := testCSV(t, 120, 4)
+	csv2, _ := testCSV(t, 120, 5)
+
+	if resp, _ := post(t, ts.URL+"/v1/protect?owner=carol&seed=1", csv1); resp.Header.Get("X-Ppclust-Key-Version") != "1" {
+		t.Fatalf("first protect: version %q", resp.Header.Get("X-Ppclust-Key-Version"))
+	}
+	resp, rel1 := post(t, ts.URL+"/v1/protect?owner=carol&seed=1", csv1)
+	if resp.Header.Get("X-Ppclust-Key-Version") != "2" {
+		t.Fatalf("second protect: version %q", resp.Header.Get("X-Ppclust-Key-Version"))
+	}
+	if resp, _ := post(t, ts.URL+"/v1/protect?owner=carol&seed=99", csv2); resp.Header.Get("X-Ppclust-Key-Version") != "3" {
+		t.Fatalf("third protect: version %q", resp.Header.Get("X-Ppclust-Key-Version"))
+	}
+
+	// Version 2's release recovers under version=2 but not under the
+	// current (different-seed) key.
+	resp, rec := post(t, ts.URL+"/v1/recover?owner=carol&version=2", rel1)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("versioned recover: status %d: %s", resp.StatusCode, rec)
+	}
+	if !matrix.EqualApprox(parseCSVBody(t, rec), orig1, 1e-6) {
+		t.Fatal("versioned recover failed")
+	}
+	_, recWrong := post(t, ts.URL+"/v1/recover?owner=carol", rel1)
+	if matrix.EqualApprox(parseCSVBody(t, recWrong), orig1, 1e-3) {
+		t.Fatal("recovering under the wrong key version should not restore the data")
+	}
+}
+
+// TestNDJSONFormat drives protect and recover over the NDJSON codec.
+func TestNDJSONFormat(t *testing.T) {
+	ts, _ := newTestServer(t)
+	rng := rand.New(rand.NewSource(6))
+	var in bytes.Buffer
+	orig := matrix.NewDense(200, 4, nil)
+	for i := 0; i < 200; i++ {
+		row := make([]float64, 4)
+		for j := range row {
+			row[j] = rng.NormFloat64() * float64(j+1)
+			orig.SetAt(i, j, row[j])
+		}
+		raw, _ := json.Marshal(row)
+		in.Write(raw)
+		in.WriteByte('\n')
+	}
+
+	resp, err := http.Post(ts.URL+"/v1/protect?owner=dave&format=ndjson", "application/x-ndjson", bytes.NewReader(in.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("protect ndjson: status %d: %s", resp.StatusCode, rel)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type %q", ct)
+	}
+
+	// Content-Type sniffing should also route to the ndjson reader.
+	resp, err = http.Post(ts.URL+"/v1/recover?owner=dave", "application/x-ndjson", bytes.NewReader(rel))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("recover ndjson: status %d: %s", resp.StatusCode, rec)
+	}
+	var got []float64
+	lines := strings.Split(strings.TrimSpace(string(rec)), "\n")
+	if len(lines) != 200 {
+		t.Fatalf("recovered %d rows, want 200", len(lines))
+	}
+	for i, line := range lines {
+		if err := json.Unmarshal([]byte(line), &got); err != nil {
+			t.Fatalf("row %d: %v", i, err)
+		}
+		for j, v := range got {
+			if math.Abs(v-orig.At(i, j)) > 1e-6 {
+				t.Fatalf("row %d col %d: %g vs %g", i, j, v, orig.At(i, j))
+			}
+		}
+	}
+}
+
+// TestHealthzAndKeys covers the two GET endpoints.
+func TestHealthzAndKeys(t *testing.T) {
+	ts, _ := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if health["status"] != "ok" || health["workers"].(float64) != 4 {
+		t.Fatalf("healthz = %v", health)
+	}
+
+	csvBody, _ := testCSV(t, 100, 7)
+	post(t, ts.URL+"/v1/protect?owner=erin", csvBody)
+	post(t, ts.URL+"/v1/protect?owner=erin", csvBody)
+	post(t, ts.URL+"/v1/protect?owner=frank", csvBody)
+
+	resp, err = http.Get(ts.URL + "/v1/keys")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var infos []keyring.Info
+	if err := json.NewDecoder(resp.Body).Decode(&infos); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(infos) != 2 || infos[0].Owner != "erin" || infos[0].Versions != 2 || infos[1].Owner != "frank" {
+		t.Fatalf("keys = %+v", infos)
+	}
+	// The listing must never leak secret material.
+	raw, _ := json.Marshal(infos)
+	if strings.Contains(string(raw), "angles") || strings.Contains(string(raw), "params") {
+		t.Fatalf("keys listing leaks secrets: %s", raw)
+	}
+}
+
+// TestHTTPErrors covers the failure statuses.
+func TestHTTPErrors(t *testing.T) {
+	ts, _ := newTestServer(t)
+	csvBody, _ := testCSV(t, 50, 8)
+	cases := []struct {
+		name, url, body string
+		want            int
+	}{
+		{"missing owner", "/v1/protect", csvBody, http.StatusBadRequest},
+		{"bad owner", "/v1/protect?owner=a/b", csvBody, http.StatusBadRequest},
+		{"bad format", "/v1/protect?owner=x&format=xml", csvBody, http.StatusBadRequest},
+		{"bad mode", "/v1/protect?owner=x&mode=warp", csvBody, http.StatusBadRequest},
+		{"bad norm", "/v1/protect?owner=x&norm=fourier", csvBody, http.StatusBadRequest},
+		{"bad rho", "/v1/protect?owner=x&rho1=NOPE", csvBody, http.StatusBadRequest},
+		{"zero rho", "/v1/protect?owner=x&rho1=0", csvBody, http.StatusBadRequest},
+		{"bad seed", "/v1/protect?owner=x&seed=NOPE", csvBody, http.StatusBadRequest},
+		{"empty body", "/v1/protect?owner=x", "", http.StatusBadRequest},
+		{"junk csv", "/v1/protect?owner=x", "a,b\nnot,numbers\n", http.StatusBadRequest},
+		{"unknown owner recover", "/v1/recover?owner=ghost", csvBody, http.StatusNotFound},
+		{"unknown owner stream", "/v1/protect?owner=ghost&mode=stream", csvBody, http.StatusNotFound},
+		{"bad version", "/v1/recover?owner=ghost&version=x", csvBody, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, body := post(t, ts.URL+tc.url, tc.body)
+			if resp.StatusCode != tc.want {
+				t.Fatalf("status %d, want %d: %s", resp.StatusCode, tc.want, body)
+			}
+			var e map[string]string
+			if err := json.Unmarshal([]byte(body), &e); err != nil || e["error"] == "" {
+				t.Fatalf("expected JSON error body, got %q", body)
+			}
+		})
+	}
+	// Unknown version of a known owner.
+	post(t, ts.URL+"/v1/protect?owner=zed", csvBody)
+	if resp, _ := post(t, ts.URL+"/v1/recover?owner=zed&version=9", csvBody); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown version: status %d", resp.StatusCode)
+	}
+}
+
+// TestFileKeyringSurvivesRestart: protect with one server process, recover
+// with a fresh one sharing the keyring file.
+func TestFileKeyringSurvivesRestart(t *testing.T) {
+	path := t.TempDir() + "/keys.json"
+	store1, err := keyring.OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := newServer(engine.New(2, 512), store1)
+	ts1 := httptest.NewServer(s1.handler())
+	csvBody, orig := testCSV(t, 150, 9)
+	resp, rel := post(t, ts1.URL+"/v1/protect?owner=alice", csvBody)
+	ts1.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("protect: %d", resp.StatusCode)
+	}
+
+	store2, err := keyring.OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := newServer(engine.New(2, 512), store2)
+	ts2 := httptest.NewServer(s2.handler())
+	defer ts2.Close()
+	resp, rec := post(t, ts2.URL+"/v1/recover?owner=alice", rel)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("recover after restart: %d: %s", resp.StatusCode, rec)
+	}
+	if !matrix.EqualApprox(parseCSVBody(t, rec), orig, 1e-6) {
+		t.Fatal("recover after restart diverged")
+	}
+}
+
+func TestRunRejectsBadKeyringPath(t *testing.T) {
+	dir := t.TempDir()
+	bad := dir + "/bad.json"
+	if err := os.WriteFile(bad, []byte("{broken"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("127.0.0.1:0", bad, 1, 0, 0, 0); err == nil {
+		t.Fatal("expected error for corrupt keyring path")
+	}
+}

@@ -1,0 +1,92 @@
+// Command streaming demonstrates the incremental protection API: fit a
+// Protector once on seed data, protect later record batches under the
+// frozen key (distances preserved across batches), and rebuild the
+// Protector from a serialized secret — the service-restart path that
+// cmd/ppclustd exercises over HTTP.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"ppclust"
+	"ppclust/internal/dataset"
+	"ppclust/internal/dist"
+	"ppclust/internal/matrix"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(1))
+	seed, err := dataset.SyntheticPatients(1000, 3, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Fit once: normalization parameters and the PST-checked rotation key
+	// are frozen here.
+	p, err := ppclust.NewProtector(seed, ppclust.ProtectOptions{
+		Thresholds: []ppclust.PST{{Rho1: 0.3, Rho2: 0.3}},
+		Seed:       7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fitted on %d rows; released %d rows, %d rotated pairs\n",
+		seed.Rows(), p.Released().Rows(), len(p.Reports()))
+
+	// Protect a stream of later arrivals batch by batch.
+	in := make(chan *ppclust.Dataset)
+	go func() {
+		defer close(in)
+		for i := 0; i < 3; i++ {
+			batch, err := dataset.SyntheticPatients(200, 3, rng)
+			if err != nil {
+				log.Fatal(err)
+			}
+			in <- batch
+		}
+	}()
+	var releases []*ppclust.Dataset
+	for res := range p.ProtectStream(in) {
+		if res.Err != nil {
+			log.Fatal(res.Err)
+		}
+		releases = append(releases, res.Released)
+		fmt.Printf("stream batch %d: released %d rows\n", len(releases), res.Released.Rows())
+	}
+
+	// Every batch shares one orthogonal map, so distances are preserved
+	// across batches: stack two releases and check against their originals.
+	joined, err := matrix.AppendRows(releases[0].Data, releases[1].Data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("stacked releases: %d rows, distance matrix %d objects\n",
+		joined.Rows(), dist.NewDissimMatrix(joined, dist.Euclidean{}).Len())
+
+	// The owner's secret round-trips through JSON — the service restart
+	// path — and still inverts every release.
+	raw, err := p.Secret().Marshal()
+	if err != nil {
+		log.Fatal(err)
+	}
+	q, err := ppclust.NewProtectorFromSecret(mustParse(raw))
+	if err != nil {
+		log.Fatal(err)
+	}
+	back, err := q.RecoverBatch(releases[2])
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("recovered batch 3: %d rows restored (secret was %d bytes of JSON)\n",
+		back.Rows(), len(raw))
+}
+
+func mustParse(raw []byte) ppclust.OwnerSecret {
+	s, err := ppclust.ParseSecret(raw)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return s
+}

@@ -1,0 +1,3 @@
+module ppclust
+
+go 1.24

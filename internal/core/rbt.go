@@ -60,7 +60,7 @@ func Transform(data *matrix.Dense, opts Options) (*Result, error) {
 	if err := ValidatePairs(pairs, n); err != nil {
 		return nil, err
 	}
-	thresholds, err := broadcastThresholds(opts.Thresholds, len(pairs))
+	thresholds, err := BroadcastThresholds(opts.Thresholds, len(pairs))
 	if err != nil {
 		return nil, err
 	}
@@ -109,7 +109,9 @@ func Transform(data *matrix.Dense, opts Options) (*Result, error) {
 	return result, nil
 }
 
-func broadcastThresholds(ts []PST, pairs int) ([]PST, error) {
+// BroadcastThresholds validates the PST list and expands a single
+// threshold to one per pair — shared by Transform and the serving engine.
+func BroadcastThresholds(ts []PST, pairs int) ([]PST, error) {
 	if len(ts) == 0 {
 		return nil, fmt.Errorf("%w: no thresholds given", ErrBadThreshold)
 	}

@@ -1,0 +1,147 @@
+// Package dist provides the distance metrics and dissimilarity matrices of
+// Section 3.1 of the paper: the Euclidean metric of Eq. (2), the Manhattan
+// variant referenced by the clustering substrates, and the condensed
+// dissimilarity matrix printed as Tables 4-6.
+package dist
+
+import (
+	"fmt"
+	"math"
+
+	"ppclust/internal/matrix"
+)
+
+// Metric measures the dissimilarity between two equally sized vectors.
+type Metric interface {
+	// Distance returns d(a, b) >= 0. Implementations may assume
+	// len(a) == len(b).
+	Distance(a, b []float64) float64
+	// Name identifies the metric, e.g. for reports and CLI flags.
+	Name() string
+}
+
+// Euclidean is the L2 metric of Eq. (2), the paper's default: rotations are
+// isometries of exactly this metric (Theorem 2).
+type Euclidean struct{}
+
+// Distance implements Metric.
+func (Euclidean) Distance(a, b []float64) float64 {
+	var s float64
+	for i, v := range a {
+		d := v - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// Name implements Metric.
+func (Euclidean) Name() string { return "euclidean" }
+
+// Manhattan is the L1 metric, used by the robustness experiments to show
+// which guarantees do not survive a change of metric.
+type Manhattan struct{}
+
+// Distance implements Metric.
+func (Manhattan) Distance(a, b []float64) float64 {
+	var s float64
+	for i, v := range a {
+		s += math.Abs(v - b[i])
+	}
+	return s
+}
+
+// Name implements Metric.
+func (Manhattan) Name() string { return "manhattan" }
+
+// ByName resolves a metric from its Name string.
+func ByName(name string) (Metric, error) {
+	switch name {
+	case "euclidean", "l2", "":
+		return Euclidean{}, nil
+	case "manhattan", "l1", "cityblock":
+		return Manhattan{}, nil
+	default:
+		return nil, fmt.Errorf("dist: unknown metric %q", name)
+	}
+}
+
+// DissimMatrix is a symmetric m x m dissimilarity matrix with a zero
+// diagonal, stored condensed (strictly lower triangle only).
+type DissimMatrix struct {
+	n int
+	d []float64 // entry (i,j), j < i, at index i*(i-1)/2 + j
+}
+
+// NewDissimMatrix computes all pairwise distances between the rows of data
+// under metric.
+func NewDissimMatrix(data *matrix.Dense, metric Metric) *DissimMatrix {
+	m := data.Rows()
+	dm := &DissimMatrix{n: m, d: make([]float64, m*(m-1)/2)}
+	for i := 1; i < m; i++ {
+		ri := data.RawRow(i)
+		base := i * (i - 1) / 2
+		for j := 0; j < i; j++ {
+			dm.d[base+j] = metric.Distance(ri, data.RawRow(j))
+		}
+	}
+	return dm
+}
+
+// Len returns the number of objects m.
+func (dm *DissimMatrix) Len() int { return dm.n }
+
+// At returns d(i, j); the matrix is symmetric with a zero diagonal.
+func (dm *DissimMatrix) At(i, j int) float64 {
+	if i < 0 || i >= dm.n || j < 0 || j >= dm.n {
+		panic(fmt.Sprintf("dist: index (%d,%d) out of bounds for %d objects", i, j, dm.n))
+	}
+	if i == j {
+		return 0
+	}
+	if i < j {
+		i, j = j, i
+	}
+	return dm.d[i*(i-1)/2+j]
+}
+
+// LowerTriangle returns the strictly lower triangular rows, i.e. row i+1 of
+// the result holds d(i+1, 0..i) — the layout of the paper's Tables 4-6.
+func (dm *DissimMatrix) LowerTriangle() [][]float64 {
+	out := make([][]float64, 0, dm.n-1)
+	for i := 1; i < dm.n; i++ {
+		base := i * (i - 1) / 2
+		row := make([]float64, i)
+		copy(row, dm.d[base:base+i])
+		out = append(out, row)
+	}
+	return out
+}
+
+// EqualApprox reports whether both matrices have the same size and all
+// entries within tol of each other.
+func (dm *DissimMatrix) EqualApprox(o *DissimMatrix, tol float64) bool {
+	if dm.n != o.n {
+		return false
+	}
+	for i, v := range dm.d {
+		if math.Abs(v-o.d[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxAbsDiff returns the largest absolute entrywise difference between the
+// two matrices, or an error on size mismatch.
+func (dm *DissimMatrix) MaxAbsDiff(o *DissimMatrix) (float64, error) {
+	if dm.n != o.n {
+		return 0, fmt.Errorf("dist: %w: %d vs %d objects", matrix.ErrShape, dm.n, o.n)
+	}
+	var max float64
+	for i, v := range dm.d {
+		if d := math.Abs(v - o.d[i]); d > max {
+			max = d
+		}
+	}
+	return max, nil
+}

@@ -1,0 +1,610 @@
+// Package engine is the serving-scale RBT pipeline behind ppclustd and the
+// facade's incremental API: the same normalize → rotate-pairs → release
+// workflow as internal/core, restructured as a chunked, worker-pool
+// computation over row blocks.
+//
+// Determinism is a hard requirement for a protection service — a release
+// must not depend on the machine's core count — so every data-parallel
+// reduction is *blocked*: rows are partitioned into fixed-size blocks,
+// each block is reduced in row order, and block partials are combined in
+// block order. The decomposition depends only on BlockRows, never on the
+// worker count, which makes Protect and Recover bit-for-bit identical for
+// any Workers setting (engine_test.go locks this in).
+package engine
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"ppclust/internal/core"
+	"ppclust/internal/matrix"
+	"ppclust/internal/rotate"
+	"ppclust/internal/stats"
+)
+
+// Normalization names for ProtectOptions; they mirror the facade's values.
+const (
+	// NormZScore standardizes each attribute (Eq. 4); the default.
+	NormZScore = "zscore"
+	// NormMinMax rescales each attribute to [0, 1] (Eq. 3).
+	NormMinMax = "minmax"
+	// NormNone skips Step 1; the input must already be normalized.
+	NormNone = "none"
+)
+
+// DefaultBlockRows is the row-block size used when an Engine is built with
+// blockRows <= 0: 8192 rows keeps a 16-column float64 block around 1 MiB,
+// comfortably inside L2 on current hardware.
+const DefaultBlockRows = 8192
+
+// Engine is a reusable parallel RBT pipeline. It is safe for concurrent
+// use; scratch buffers are pooled per call.
+type Engine struct {
+	workers   int
+	blockRows int
+	// scratch pools per-pass partial-reduction buffers so steady-state
+	// serving does not allocate per request.
+	scratch sync.Pool
+}
+
+// New returns an engine with the given worker count and row-block size.
+// workers <= 0 means GOMAXPROCS; blockRows <= 0 means DefaultBlockRows.
+// Changing workers never changes results; changing blockRows may change
+// the last bits of the computed statistics (and hence of randomly drawn
+// angles), so fix it when reproducibility across configurations matters.
+func New(workers, blockRows int) *Engine {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if blockRows <= 0 {
+		blockRows = DefaultBlockRows
+	}
+	return &Engine{workers: workers, blockRows: blockRows}
+}
+
+// Default returns an engine sized for this process: GOMAXPROCS workers and
+// DefaultBlockRows rows per block.
+func Default() *Engine { return New(0, 0) }
+
+// Workers returns the engine's worker count.
+func (e *Engine) Workers() int { return e.workers }
+
+// ProtectOptions configures Engine.Protect. It mirrors the facade's
+// ProtectOptions at the matrix level.
+type ProtectOptions struct {
+	// Normalization is NormZScore (default when empty), NormMinMax, or
+	// NormNone for pre-normalized input.
+	Normalization string
+	// Pairs defaults to core.RoundRobinPairs.
+	Pairs []core.Pair
+	// Thresholds holds one PST per pair, or a single PST broadcast to all.
+	Thresholds []core.PST
+	// Seed seeds the angle randomness; 0 means the fixed default seed.
+	Seed int64
+	// FixedAngles bypasses random angle selection (still PST-checked).
+	FixedAngles []float64
+	// Denominator selects the variance convention; zero value is Sample.
+	Denominator stats.Denominator
+	// GridStep is the security-range scan resolution; 0 means 0.01°.
+	GridStep float64
+}
+
+// Secret is the frozen inversion state of a protection run: the rotation
+// key plus the normalization kind and parameters. It is structurally the
+// matrix-level twin of the facade's OwnerSecret.
+type Secret struct {
+	Key           core.Key
+	Normalization string
+	// ParamsA holds means (zscore) or mins (minmax); ParamsB holds stds or
+	// maxs. Both are empty for NormNone.
+	ParamsA, ParamsB []float64
+}
+
+// Cols returns the column count the secret applies to.
+func (s Secret) Cols() int {
+	if len(s.ParamsA) > 0 {
+		return len(s.ParamsA)
+	}
+	n := 0
+	for _, p := range s.Key.Pairs {
+		if p.I >= n {
+			n = p.I + 1
+		}
+		if p.J >= n {
+			n = p.J + 1
+		}
+	}
+	return n
+}
+
+func (s Secret) validate() error {
+	switch s.Normalization {
+	case NormZScore, NormMinMax:
+		if len(s.ParamsA) == 0 || len(s.ParamsA) != len(s.ParamsB) {
+			return fmt.Errorf("%w: %d/%d normalization parameters", core.ErrBadInput, len(s.ParamsA), len(s.ParamsB))
+		}
+		for j := range s.ParamsA {
+			if s.Normalization == NormZScore && s.ParamsB[j] == 0 {
+				return fmt.Errorf("%w: zero std for column %d", core.ErrBadInput, j)
+			}
+			if s.Normalization == NormMinMax && s.ParamsB[j] == s.ParamsA[j] {
+				return fmt.Errorf("%w: empty range for column %d", core.ErrBadInput, j)
+			}
+		}
+	case NormNone:
+	default:
+		return fmt.Errorf("%w: unknown normalization %q", core.ErrBadInput, s.Normalization)
+	}
+	return s.Key.Validate(s.Cols())
+}
+
+// ProtectResult is the outcome of Engine.Protect.
+type ProtectResult struct {
+	// Released is the protected matrix, safe to share.
+	Released *matrix.Dense
+	// Key is the secret rotation key.
+	Key core.Key
+	// Reports describes each rotated pair, in application order.
+	Reports []core.PairReport
+	// Normalization, ParamsA and ParamsB record the frozen Step 1 state.
+	Normalization    string
+	ParamsA, ParamsB []float64
+}
+
+// Secret bundles the result's inversion state for Recover and streams.
+func (r *ProtectResult) Secret() Secret {
+	return Secret{
+		Key:           r.Key,
+		Normalization: r.Normalization,
+		ParamsA:       append([]float64(nil), r.ParamsA...),
+		ParamsB:       append([]float64(nil), r.ParamsB...),
+	}
+}
+
+// Protect runs the full pipeline (normalize, then PST-constrained pair
+// rotations) on data using the engine's worker pool. Angle selection is
+// identical in distribution to core.Transform; the released matrix is
+// identical for any worker count given the same options.
+func (e *Engine) Protect(data *matrix.Dense, opts ProtectOptions) (*ProtectResult, error) {
+	m, n := data.Dims()
+	if m < 2 {
+		return nil, fmt.Errorf("%w: need at least 2 rows, got %d", core.ErrBadInput, m)
+	}
+	if n < 2 {
+		return nil, fmt.Errorf("%w: need at least 2 attributes, got %d", core.ErrBadInput, n)
+	}
+	method := opts.Normalization
+	if method == "" {
+		method = NormZScore
+	}
+	pairs := opts.Pairs
+	if pairs == nil {
+		pairs = core.RoundRobinPairs(n)
+	}
+	if err := core.ValidatePairs(pairs, n); err != nil {
+		return nil, err
+	}
+	thresholds, err := core.BroadcastThresholds(opts.Thresholds, len(pairs))
+	if err != nil {
+		return nil, err
+	}
+	if opts.FixedAngles != nil && len(opts.FixedAngles) != len(pairs) {
+		return nil, fmt.Errorf("%w: %d fixed angles for %d pairs", core.ErrBadInput, len(opts.FixedAngles), len(pairs))
+	}
+	gridStep := opts.GridStep
+	if gridStep <= 0 {
+		gridStep = 0.01
+	}
+	seed := opts.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	res := &ProtectResult{Normalization: method}
+	out, err := e.normalize(data, method, res)
+	if err != nil {
+		return nil, err
+	}
+	res.Released = out
+	res.Key = core.Key{Pairs: append([]core.Pair(nil), pairs...), AnglesDeg: make([]float64, len(pairs))}
+	for k, p := range pairs {
+		curve, err := e.pairCurve(out, p, opts.Denominator)
+		if err != nil {
+			return nil, fmt.Errorf("pair %d: %w", k, err)
+		}
+		ivs, err := curve.SecurityRange(thresholds[k], gridStep)
+		if err != nil {
+			return nil, fmt.Errorf("pair %d (%d,%d): %w", k, p.I, p.J, err)
+		}
+		var theta float64
+		if opts.FixedAngles != nil {
+			theta = rotate.NormalizeDegrees(opts.FixedAngles[k])
+			if curve.Margin(theta, thresholds[k]) < 0 {
+				return nil, fmt.Errorf("pair %d (%d,%d): fixed angle %.4f° violates PST (%g,%g): %w",
+					k, p.I, p.J, theta, thresholds[k].Rho1, thresholds[k].Rho2, core.ErrEmptySecurityRange)
+			}
+		} else {
+			theta = core.PickAngle(ivs, rng)
+		}
+		varI, varJ := curve.At(theta)
+		e.rotatePair(out, p, theta)
+		res.Key.AnglesDeg[k] = theta
+		res.Reports = append(res.Reports, core.PairReport{
+			Pair: p, PST: thresholds[k], SecurityRange: ivs,
+			ThetaDeg: theta, VarI: varI, VarJ: varJ,
+		})
+	}
+	return res, nil
+}
+
+// Recover inverts a release in one fused parallel pass: each worker undoes
+// the rotations in reverse order and the normalization for its row blocks.
+// It is bit-for-bit identical for any worker count, and accepts batches of
+// any size >= 1 (unlike Protect, it needs no statistics).
+func (e *Engine) Recover(released *matrix.Dense, s Secret) (*matrix.Dense, error) {
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	m, n := released.Dims()
+	if want := s.Cols(); n != want {
+		return nil, fmt.Errorf("%w: %d columns for a %d-column secret", core.ErrBadInput, n, want)
+	}
+	cths, sths := anglesToCosSin(s.Key.AnglesDeg)
+	out := matrix.NewDense(m, n, nil)
+	e.forBlocks(m, func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			row := out.RawRow(r)
+			copy(row, released.RawRow(r))
+			for k := len(s.Key.Pairs) - 1; k >= 0; k-- {
+				p := s.Key.Pairs[k]
+				// Inverse rotation: R(-θ), i.e. the transpose of Eq. (1).
+				ai, aj := row[p.I], row[p.J]
+				row[p.I] = cths[k]*ai - sths[k]*aj
+				row[p.J] = sths[k]*ai + cths[k]*aj
+			}
+			denormalizeRow(row, s)
+		}
+	})
+	return out, nil
+}
+
+// normalize fits Step 1 on data with blocked parallel reductions and writes
+// the normalized copy into a fresh matrix (fusing fit-apply with the clone
+// core.Transform would otherwise need). It records the fitted parameters
+// in res.
+func (e *Engine) normalize(data *matrix.Dense, method string, res *ProtectResult) (*matrix.Dense, error) {
+	m, n := data.Dims()
+	out := matrix.NewDense(m, n, nil)
+	switch method {
+	case NormNone:
+		finite := e.copyAndCheck(data, out)
+		if !finite {
+			return nil, fmt.Errorf("%w: data contains NaN or Inf", core.ErrBadInput)
+		}
+		return out, nil
+	case NormZScore:
+		means, stds, err := e.columnMeansStds(data, stats.Sample)
+		if err != nil {
+			return nil, err
+		}
+		for j, s := range stds {
+			if s == 0 {
+				return nil, fmt.Errorf("%w: column %d has zero variance", core.ErrBadInput, j)
+			}
+		}
+		e.forBlocks(m, func(lo, hi int) {
+			for r := lo; r < hi; r++ {
+				src, dst := data.RawRow(r), out.RawRow(r)
+				for j, v := range src {
+					dst[j] = (v - means[j]) / stds[j]
+				}
+			}
+		})
+		res.ParamsA, res.ParamsB = means, stds
+		return out, nil
+	case NormMinMax:
+		mins, maxs, err := e.columnMinsMaxs(data)
+		if err != nil {
+			return nil, err
+		}
+		for j := range mins {
+			if mins[j] == maxs[j] {
+				return nil, fmt.Errorf("%w: column %d is constant", core.ErrBadInput, j)
+			}
+		}
+		e.forBlocks(m, func(lo, hi int) {
+			for r := lo; r < hi; r++ {
+				src, dst := data.RawRow(r), out.RawRow(r)
+				for j, v := range src {
+					dst[j] = (v - mins[j]) / (maxs[j] - mins[j])
+				}
+			}
+		})
+		res.ParamsA, res.ParamsB = mins, maxs
+		return out, nil
+	default:
+		return nil, fmt.Errorf("%w: unknown normalization %q", core.ErrBadInput, method)
+	}
+}
+
+// normalizeRow applies the frozen Step 1 parameters to one row in place.
+func normalizeRow(row []float64, s Secret) {
+	switch s.Normalization {
+	case NormZScore:
+		for j, v := range row {
+			row[j] = (v - s.ParamsA[j]) / s.ParamsB[j]
+		}
+	case NormMinMax:
+		for j, v := range row {
+			row[j] = (v - s.ParamsA[j]) / (s.ParamsB[j] - s.ParamsA[j])
+		}
+	}
+}
+
+// denormalizeRow inverts normalizeRow in place.
+func denormalizeRow(row []float64, s Secret) {
+	switch s.Normalization {
+	case NormZScore:
+		for j, v := range row {
+			row[j] = v*s.ParamsB[j] + s.ParamsA[j]
+		}
+	case NormMinMax:
+		for j, v := range row {
+			row[j] = v*(s.ParamsB[j]-s.ParamsA[j]) + s.ParamsA[j]
+		}
+	}
+}
+
+// pairCurve computes the variance curve statistics of the ordered pair p
+// with a two-pass blocked reduction (means, then centered moments).
+func (e *Engine) pairCurve(data *matrix.Dense, p core.Pair, d stats.Denominator) (*core.VarianceCurve, error) {
+	m := data.Rows()
+	if m < 2 {
+		return nil, fmt.Errorf("%w: need at least 2 rows, got %d", core.ErrBadInput, m)
+	}
+	nb := e.numBlocks(m)
+	part := e.getScratch(nb * 3)
+	defer e.putScratch(part)
+
+	e.forBlocks(m, func(lo, hi int) {
+		var sx, sy float64
+		for r := lo; r < hi; r++ {
+			row := data.RawRow(r)
+			sx += row[p.I]
+			sy += row[p.J]
+		}
+		b := lo / e.blockRows
+		part[b*3], part[b*3+1] = sx, sy
+	})
+	var sx, sy float64
+	for b := 0; b < nb; b++ {
+		sx += part[b*3]
+		sy += part[b*3+1]
+	}
+	mx, my := sx/float64(m), sy/float64(m)
+
+	e.forBlocks(m, func(lo, hi int) {
+		var ssx, ssy, sxy float64
+		for r := lo; r < hi; r++ {
+			row := data.RawRow(r)
+			dx, dy := row[p.I]-mx, row[p.J]-my
+			ssx += dx * dx
+			ssy += dy * dy
+			sxy += dx * dy
+		}
+		b := lo / e.blockRows
+		part[b*3], part[b*3+1], part[b*3+2] = ssx, ssy, sxy
+	})
+	var ssx, ssy, sxy float64
+	for b := 0; b < nb; b++ {
+		ssx += part[b*3]
+		ssy += part[b*3+1]
+		sxy += part[b*3+2]
+	}
+	div := float64(m)
+	if d == stats.Sample {
+		div = float64(m - 1)
+	}
+	return &core.VarianceCurve{VarX: ssx / div, VarY: ssy / div, Cov: sxy / div}, nil
+}
+
+// rotatePair applies R(θ) to columns (p.I, p.J) in parallel row blocks,
+// with the exact per-row arithmetic of rotate.Pair.
+func (e *Engine) rotatePair(data *matrix.Dense, p core.Pair, thetaDeg float64) {
+	rad := rotate.Degrees(thetaDeg)
+	cth, sth := math.Cos(rad), math.Sin(rad)
+	e.forBlocks(data.Rows(), func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			row := data.RawRow(r)
+			ai, aj := row[p.I], row[p.J]
+			row[p.I] = cth*ai + sth*aj
+			row[p.J] = -sth*ai + cth*aj
+		}
+	})
+}
+
+// columnMeansStds reduces per-column means and standard deviations in two
+// blocked passes.
+func (e *Engine) columnMeansStds(data *matrix.Dense, d stats.Denominator) (means, stds []float64, err error) {
+	m, n := data.Dims()
+	nb := e.numBlocks(m)
+	part := e.getScratch(nb * n)
+	defer e.putScratch(part)
+
+	e.forBlocks(m, func(lo, hi int) {
+		sums := part[(lo/e.blockRows)*n : (lo/e.blockRows+1)*n]
+		clear(sums)
+		for r := lo; r < hi; r++ {
+			for j, v := range data.RawRow(r) {
+				sums[j] += v
+			}
+		}
+	})
+	means = make([]float64, n)
+	for b := 0; b < nb; b++ {
+		for j := 0; j < n; j++ {
+			means[j] += part[b*n+j]
+		}
+	}
+	for j := range means {
+		means[j] /= float64(m)
+		if math.IsNaN(means[j]) || math.IsInf(means[j], 0) {
+			return nil, nil, fmt.Errorf("%w: data contains NaN or Inf", core.ErrBadInput)
+		}
+	}
+
+	e.forBlocks(m, func(lo, hi int) {
+		ss := part[(lo/e.blockRows)*n : (lo/e.blockRows+1)*n]
+		clear(ss)
+		for r := lo; r < hi; r++ {
+			for j, v := range data.RawRow(r) {
+				dv := v - means[j]
+				ss[j] += dv * dv
+			}
+		}
+	})
+	stds = make([]float64, n)
+	div := float64(m)
+	if d == stats.Sample {
+		div = float64(m - 1)
+	}
+	for b := 0; b < nb; b++ {
+		for j := 0; j < n; j++ {
+			stds[j] += part[b*n+j]
+		}
+	}
+	for j := range stds {
+		stds[j] = math.Sqrt(stds[j] / div)
+	}
+	return means, stds, nil
+}
+
+// columnMinsMaxs reduces per-column minima and maxima in one blocked pass.
+func (e *Engine) columnMinsMaxs(data *matrix.Dense) (mins, maxs []float64, err error) {
+	m, n := data.Dims()
+	nb := e.numBlocks(m)
+	part := e.getScratch(nb * 2 * n)
+	defer e.putScratch(part)
+
+	e.forBlocks(m, func(lo, hi int) {
+		b := lo / e.blockRows
+		bmins := part[b*2*n : b*2*n+n]
+		bmaxs := part[b*2*n+n : (b+1)*2*n]
+		copy(bmins, data.RawRow(lo))
+		copy(bmaxs, data.RawRow(lo))
+		for r := lo + 1; r < hi; r++ {
+			for j, v := range data.RawRow(r) {
+				if v < bmins[j] {
+					bmins[j] = v
+				}
+				if v > bmaxs[j] {
+					bmaxs[j] = v
+				}
+			}
+		}
+	})
+	mins = append([]float64(nil), part[:n]...)
+	maxs = append([]float64(nil), part[n:2*n]...)
+	for b := 1; b < nb; b++ {
+		for j := 0; j < n; j++ {
+			if v := part[b*2*n+j]; v < mins[j] {
+				mins[j] = v
+			}
+			if v := part[b*2*n+n+j]; v > maxs[j] {
+				maxs[j] = v
+			}
+		}
+	}
+	for j := range mins {
+		if math.IsNaN(mins[j]) || math.IsInf(mins[j], 0) || math.IsNaN(maxs[j]) || math.IsInf(maxs[j], 0) {
+			return nil, nil, fmt.Errorf("%w: data contains NaN or Inf", core.ErrBadInput)
+		}
+	}
+	return mins, maxs, nil
+}
+
+// copyAndCheck copies src into dst block-parallel and reports whether every
+// value is finite.
+func (e *Engine) copyAndCheck(src, dst *matrix.Dense) bool {
+	var bad atomic.Bool
+	e.forBlocks(src.Rows(), func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			s, d := src.RawRow(r), dst.RawRow(r)
+			copy(d, s)
+			for _, v := range s {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					bad.Store(true)
+				}
+			}
+		}
+	})
+	return !bad.Load()
+}
+
+// numBlocks returns the number of row blocks for m rows.
+func (e *Engine) numBlocks(m int) int {
+	return (m + e.blockRows - 1) / e.blockRows
+}
+
+// forBlocks runs fn over every row block [lo, hi). Blocks are claimed from
+// an atomic counter by up to Workers goroutines; with one worker (or one
+// block) it degenerates to a plain loop. fn must only touch state owned by
+// its block.
+func (e *Engine) forBlocks(m int, fn func(lo, hi int)) {
+	nb := e.numBlocks(m)
+	w := e.workers
+	if w > nb {
+		w = nb
+	}
+	if w <= 1 {
+		for b := 0; b < nb; b++ {
+			lo := b * e.blockRows
+			fn(lo, min(lo+e.blockRows, m))
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for i := 0; i < w; i++ {
+		go func() {
+			defer wg.Done()
+			for {
+				b := int(next.Add(1)) - 1
+				if b >= nb {
+					return
+				}
+				lo := b * e.blockRows
+				fn(lo, min(lo+e.blockRows, m))
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// getScratch returns a pooled []float64 of at least size elements.
+func (e *Engine) getScratch(size int) []float64 {
+	if v := e.scratch.Get(); v != nil {
+		if buf := v.([]float64); cap(buf) >= size {
+			return buf[:size]
+		}
+	}
+	return make([]float64, size)
+}
+
+func (e *Engine) putScratch(buf []float64) { e.scratch.Put(buf[:cap(buf)]) } //nolint:staticcheck
+
+func anglesToCosSin(anglesDeg []float64) (cths, sths []float64) {
+	cths = make([]float64, len(anglesDeg))
+	sths = make([]float64, len(anglesDeg))
+	for k, a := range anglesDeg {
+		rad := rotate.Degrees(a)
+		cths[k], sths[k] = math.Cos(rad), math.Sin(rad)
+	}
+	return cths, sths
+}

@@ -1,0 +1,107 @@
+package engine
+
+import (
+	"fmt"
+
+	"ppclust/internal/core"
+	"ppclust/internal/matrix"
+)
+
+// StreamProtector protects record batches incrementally under a frozen
+// transform: the normalization parameters and rotation key are fixed once
+// (by a fitting Protect run, or loaded from a stored Secret) and every
+// batch is then mapped through the same normalize+rotate composition in a
+// single fused parallel pass. This is what lets ppclustd protect unbounded
+// streams without re-reading or re-fitting the full dataset — and it keeps
+// the isometry guarantee across batches, because every record ever pushed
+// through the same StreamProtector is rotated by the same orthogonal map.
+//
+// Note the privacy caveat inherited from the paper's model: the PST was
+// verified on the fitting data. If the stream drifts far from the fitted
+// distribution, the achieved variances on later batches may differ from
+// the fitted Reports; re-fit (key rotation) is the remedy.
+type StreamProtector struct {
+	eng  *Engine
+	sec  Secret
+	cols int
+	cths []float64
+	sths []float64
+}
+
+// NewStreamProtector builds a stream protector from a frozen secret. The
+// secret must carry normalization parameters (or NormNone) and a valid key.
+func (e *Engine) NewStreamProtector(s Secret) (*StreamProtector, error) {
+	if s.Normalization == "" {
+		s.Normalization = NormZScore
+	}
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	cths, sths := anglesToCosSin(s.Key.AnglesDeg)
+	return &StreamProtector{eng: e, sec: s, cols: s.Cols(), cths: cths, sths: sths}, nil
+}
+
+// Secret returns a copy of the frozen inversion state.
+func (sp *StreamProtector) Secret() Secret {
+	return Secret{
+		Key:           sp.sec.Key,
+		Normalization: sp.sec.Normalization,
+		ParamsA:       append([]float64(nil), sp.sec.ParamsA...),
+		ParamsB:       append([]float64(nil), sp.sec.ParamsB...),
+	}
+}
+
+// Cols returns the column count batches must have.
+func (sp *StreamProtector) Cols() int { return sp.cols }
+
+// ProtectBatch releases one batch of rows (any count >= 1): each row is
+// normalized with the frozen parameters and rotated by the frozen key in
+// one pass over the engine's row blocks. The input is not modified.
+func (sp *StreamProtector) ProtectBatch(rows *matrix.Dense) (*matrix.Dense, error) {
+	m, n := rows.Dims()
+	if n != sp.cols {
+		return nil, fmt.Errorf("%w: batch has %d columns, stream expects %d", core.ErrBadInput, n, sp.cols)
+	}
+	if m == 0 {
+		return matrix.NewDense(0, n, nil), nil
+	}
+	out := matrix.NewDense(m, n, nil)
+	sp.eng.forBlocks(m, func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			row := out.RawRow(r)
+			copy(row, rows.RawRow(r))
+			normalizeRow(row, sp.sec)
+			for k, p := range sp.sec.Key.Pairs {
+				ai, aj := row[p.I], row[p.J]
+				row[p.I] = sp.cths[k]*ai + sp.sths[k]*aj
+				row[p.J] = -sp.sths[k]*ai + sp.cths[k]*aj
+			}
+		}
+	})
+	return out, nil
+}
+
+// RecoverBatch inverts ProtectBatch for one batch of released rows, using
+// the same fused pass and precomputed rotation tables as ProtectBatch (the
+// secret was validated once at construction).
+func (sp *StreamProtector) RecoverBatch(rows *matrix.Dense) (*matrix.Dense, error) {
+	m, n := rows.Dims()
+	if n != sp.cols {
+		return nil, fmt.Errorf("%w: batch has %d columns, stream expects %d", core.ErrBadInput, n, sp.cols)
+	}
+	out := matrix.NewDense(m, n, nil)
+	sp.eng.forBlocks(m, func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			row := out.RawRow(r)
+			copy(row, rows.RawRow(r))
+			for k := len(sp.sec.Key.Pairs) - 1; k >= 0; k-- {
+				p := sp.sec.Key.Pairs[k]
+				ai, aj := row[p.I], row[p.J]
+				row[p.I] = sp.cths[k]*ai - sp.sths[k]*aj
+				row[p.J] = sp.sths[k]*ai + sp.cths[k]*aj
+			}
+			denormalizeRow(row, sp.sec)
+		}
+	})
+	return out, nil
+}

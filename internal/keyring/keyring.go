@@ -1,0 +1,215 @@
+// Package keyring stores the OwnerSecrets a long-lived protection service
+// manages on behalf of many data owners: named, versioned, rotatable.
+//
+// Every mutation appends a new version rather than overwriting — the
+// paper's inversion guarantee (Section 4.2) only holds while the exact key
+// that produced a release survives, so rotating an owner's key must keep
+// prior versions recoverable for data released under them.
+package keyring
+
+import (
+	"errors"
+	"fmt"
+	"regexp"
+	"sort"
+	"sync"
+	"time"
+
+	"ppclust"
+)
+
+// Errors returned by keyring stores.
+var (
+	// ErrNotFound reports a missing owner or version.
+	ErrNotFound = errors.New("keyring: not found")
+	// ErrExists reports a Create for an owner that already has a key.
+	ErrExists = errors.New("keyring: owner already exists")
+	// ErrBadName reports an invalid owner name.
+	ErrBadName = errors.New("keyring: invalid owner name")
+)
+
+var nameRE = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9._-]{0,127}$`)
+
+// ValidName reports whether name is acceptable as an owner name.
+func ValidName(name string) error {
+	if !nameRE.MatchString(name) {
+		return fmt.Errorf("%w: %q", ErrBadName, name)
+	}
+	return nil
+}
+
+// Entry is one stored secret version.
+type Entry struct {
+	// Owner names the data owner the secret belongs to.
+	Owner string `json:"owner"`
+	// Version counts from 1 and increases on every rotation.
+	Version int `json:"version"`
+	// CreatedAt records when this version was stored (UTC).
+	CreatedAt time.Time `json:"created_at"`
+	// Secret is the owner's inversion secret. Anyone holding it can
+	// reconstruct original attribute values from releases made under it.
+	Secret ppclust.OwnerSecret `json:"secret"`
+}
+
+// Info is the secret-free listing of one owner, safe to expose over an
+// administrative API.
+type Info struct {
+	Owner     string    `json:"owner"`
+	Versions  int       `json:"versions"`
+	Current   int       `json:"current"`
+	CreatedAt time.Time `json:"created_at"`
+	UpdatedAt time.Time `json:"updated_at"`
+}
+
+// Store is a keyring backend.
+type Store interface {
+	// Create stores version 1 for a new owner; ErrExists if known.
+	Create(owner string, secret ppclust.OwnerSecret) (Entry, error)
+	// Get returns the current (highest) version for owner.
+	Get(owner string) (Entry, error)
+	// GetVersion returns a specific version for owner.
+	GetVersion(owner string, version int) (Entry, error)
+	// Rotate appends a new current version for an existing owner.
+	Rotate(owner string, secret ppclust.OwnerSecret) (Entry, error)
+	// Put is Create-or-Rotate: version 1 for a new owner, a rotation
+	// otherwise. It is what a protect endpoint wants.
+	Put(owner string, secret ppclust.OwnerSecret) (Entry, error)
+	// List returns secret-free infos for every owner, sorted by name.
+	List() ([]Info, error)
+}
+
+// Memory is an in-process Store, safe for concurrent use.
+type Memory struct {
+	mu     sync.RWMutex
+	owners map[string][]Entry // versions in ascending order
+	now    func() time.Time
+}
+
+// NewMemory returns an empty in-memory keyring.
+func NewMemory() *Memory {
+	return &Memory{owners: map[string][]Entry{}, now: func() time.Time { return time.Now().UTC() }}
+}
+
+// Create implements Store.
+func (m *Memory) Create(owner string, secret ppclust.OwnerSecret) (Entry, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.createLocked(owner, secret)
+}
+
+// Rotate implements Store.
+func (m *Memory) Rotate(owner string, secret ppclust.OwnerSecret) (Entry, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.rotateLocked(owner, secret)
+}
+
+// Put implements Store.
+func (m *Memory) Put(owner string, secret ppclust.OwnerSecret) (Entry, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.putLocked(owner, secret)
+}
+
+// The *Locked variants require the caller to hold mu; the file store uses
+// them to keep a whole mutate-persist-or-rollback transaction invisible to
+// readers.
+
+func (m *Memory) createLocked(owner string, secret ppclust.OwnerSecret) (Entry, error) {
+	if err := ValidName(owner); err != nil {
+		return Entry{}, err
+	}
+	if len(m.owners[owner]) > 0 {
+		return Entry{}, fmt.Errorf("%w: %q", ErrExists, owner)
+	}
+	return m.append(owner, secret), nil
+}
+
+func (m *Memory) rotateLocked(owner string, secret ppclust.OwnerSecret) (Entry, error) {
+	if err := ValidName(owner); err != nil {
+		return Entry{}, err
+	}
+	if len(m.owners[owner]) == 0 {
+		return Entry{}, fmt.Errorf("%w: owner %q", ErrNotFound, owner)
+	}
+	return m.append(owner, secret), nil
+}
+
+func (m *Memory) putLocked(owner string, secret ppclust.OwnerSecret) (Entry, error) {
+	if err := ValidName(owner); err != nil {
+		return Entry{}, err
+	}
+	return m.append(owner, secret), nil
+}
+
+// append adds the next version for owner; the caller holds mu.
+func (m *Memory) append(owner string, secret ppclust.OwnerSecret) Entry {
+	e := Entry{
+		Owner:     owner,
+		Version:   len(m.owners[owner]) + 1,
+		CreatedAt: m.now(),
+		Secret:    secret,
+	}
+	m.owners[owner] = append(m.owners[owner], e)
+	return e
+}
+
+// dropLastLocked removes version from the tail of owner's history — the
+// rollback hook for a failed persist. The caller holds mu.
+func (m *Memory) dropLastLocked(owner string, version int) {
+	vs := m.owners[owner]
+	if len(vs) == 0 || vs[len(vs)-1].Version != version {
+		return
+	}
+	if len(vs) == 1 {
+		delete(m.owners, owner)
+		return
+	}
+	m.owners[owner] = vs[:len(vs)-1]
+}
+
+// Get implements Store.
+func (m *Memory) Get(owner string) (Entry, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	vs := m.owners[owner]
+	if len(vs) == 0 {
+		return Entry{}, fmt.Errorf("%w: owner %q", ErrNotFound, owner)
+	}
+	return vs[len(vs)-1], nil
+}
+
+// GetVersion implements Store.
+func (m *Memory) GetVersion(owner string, version int) (Entry, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	vs := m.owners[owner]
+	if len(vs) == 0 {
+		return Entry{}, fmt.Errorf("%w: owner %q", ErrNotFound, owner)
+	}
+	if version < 1 || version > len(vs) {
+		return Entry{}, fmt.Errorf("%w: owner %q version %d", ErrNotFound, owner, version)
+	}
+	return vs[version-1], nil
+}
+
+// List implements Store.
+func (m *Memory) List() ([]Info, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]Info, 0, len(m.owners))
+	for owner, vs := range m.owners {
+		if len(vs) == 0 {
+			continue
+		}
+		out = append(out, Info{
+			Owner:     owner,
+			Versions:  len(vs),
+			Current:   vs[len(vs)-1].Version,
+			CreatedAt: vs[0].CreatedAt,
+			UpdatedAt: vs[len(vs)-1].CreatedAt,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Owner < out[j].Owner })
+	return out, nil
+}

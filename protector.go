@@ -1,0 +1,223 @@
+package ppclust
+
+import (
+	"fmt"
+
+	"ppclust/internal/engine"
+)
+
+// Protector is the incremental counterpart of Protect: the normalization
+// parameters and rotation key are frozen once — by fitting on a seed
+// dataset (NewProtector) or by loading a stored secret
+// (NewProtectorFromSecret) — and record batches are then protected or
+// recovered under that fixed transform. All batches share one orthogonal
+// map, so pairwise distances are preserved *across* batches, not just
+// within them; any stream consumer can cluster the union of everything
+// released by one Protector.
+//
+// Batch work runs on a parallel worker-pool engine sized to GOMAXPROCS;
+// results are identical for any worker count.
+type Protector struct {
+	stream *engine.StreamProtector
+	// names holds the fitted attribute names; batches with differing
+	// names are rejected (column order is part of the transform). Empty
+	// for a Protector rebuilt from a secret, which carries no names.
+	names    []string
+	keepIDs  bool
+	released *Dataset
+	reports  []PairReport
+}
+
+// NewProtector runs the full pipeline of Figure 1 on a seed dataset and
+// freezes the fitted transform for subsequent batches. The seed's own
+// release is available via Released.
+func NewProtector(ds *Dataset, opts ProtectOptions) (*Protector, error) {
+	if ds == nil {
+		return nil, fmt.Errorf("%w: nil dataset", ErrOptions)
+	}
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	method := opts.Normalization
+	if method == "" {
+		method = ZScore
+	}
+	if method != ZScore && method != MinMax {
+		return nil, fmt.Errorf("%w: unknown normalization %q", ErrOptions, method)
+	}
+	eng := engine.Default()
+	res, err := eng.Protect(ds.Data, engine.ProtectOptions{
+		Normalization: string(method),
+		Pairs:         opts.Pairs,
+		Thresholds:    opts.Thresholds,
+		Seed:          opts.Seed,
+		FixedAngles:   opts.FixedAngles,
+	})
+	if err != nil {
+		return nil, err
+	}
+	stream, err := eng.NewStreamProtector(res.Secret())
+	if err != nil {
+		return nil, err
+	}
+	released, err := ds.WithData(res.Released)
+	if err != nil {
+		return nil, err
+	}
+	released.Labels = nil
+	if !opts.KeepIDs {
+		released = released.DropIDs()
+	}
+	return &Protector{
+		stream:   stream,
+		names:    append([]string(nil), ds.Names...),
+		keepIDs:  opts.KeepIDs,
+		released: released,
+		reports:  res.Reports,
+	}, nil
+}
+
+// NewProtectorFromSecret rebuilds a Protector from a stored OwnerSecret,
+// e.g. to keep protecting a stream after a service restart, or to recover
+// releases. Reports and Released are unavailable in this mode.
+func NewProtectorFromSecret(secret OwnerSecret) (*Protector, error) {
+	if secret.Normalization == "" {
+		secret.Normalization = ZScore
+	}
+	if secret.Normalization != ZScore && secret.Normalization != MinMax {
+		return nil, fmt.Errorf("%w: unknown normalization %q", ErrOptions, secret.Normalization)
+	}
+	eng := engine.Default()
+	stream, err := eng.NewStreamProtector(engine.Secret{
+		Key:           secret.Key,
+		Normalization: string(secret.Normalization),
+		ParamsA:       secret.ParamsA,
+		ParamsB:       secret.ParamsB,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Protector{stream: stream}, nil
+}
+
+// Released returns the seed dataset's release, or nil for a Protector
+// built from a secret.
+func (p *Protector) Released() *Dataset { return p.released }
+
+// Reports describes each rotated pair of the fitting run, or nil for a
+// Protector built from a secret.
+func (p *Protector) Reports() []PairReport { return p.reports }
+
+// Cols returns the attribute count batches must have.
+func (p *Protector) Cols() int { return p.stream.Cols() }
+
+// Secret returns everything the data owner must retain (and keep secret)
+// to invert releases made by this Protector.
+func (p *Protector) Secret() OwnerSecret {
+	s := p.stream.Secret()
+	return OwnerSecret{
+		Key:           s.Key,
+		Normalization: Normalization(s.Normalization),
+		ParamsA:       s.ParamsA,
+		ParamsB:       s.ParamsB,
+	}
+}
+
+// ProtectBatch releases one batch of records under the frozen transform.
+// Labels are stripped and IDs are suppressed unless the fitting options
+// kept them, exactly as Protect does. Batches must carry the fitted
+// attribute names in the fitted order — the transform is positional, so a
+// reordered batch would be silently mis-protected otherwise.
+func (p *Protector) ProtectBatch(ds *Dataset) (*Dataset, error) {
+	if ds == nil {
+		return nil, fmt.Errorf("%w: nil dataset", ErrOptions)
+	}
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	if err := p.checkNames(ds); err != nil {
+		return nil, err
+	}
+	rel, err := p.stream.ProtectBatch(ds.Data)
+	if err != nil {
+		return nil, err
+	}
+	out, err := ds.WithData(rel)
+	if err != nil {
+		return nil, err
+	}
+	out.Labels = nil
+	if !p.keepIDs {
+		out = out.DropIDs()
+	}
+	return out, nil
+}
+
+// RecoverBatch inverts a batch released by this Protector (or by Protect
+// under the same secret), restoring original attribute values.
+func (p *Protector) RecoverBatch(ds *Dataset) (*Dataset, error) {
+	if ds == nil {
+		return nil, fmt.Errorf("%w: nil dataset", ErrOptions)
+	}
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	raw, err := p.stream.RecoverBatch(ds.Data)
+	if err != nil {
+		return nil, err
+	}
+	return ds.WithData(raw)
+}
+
+// checkNames rejects batches whose attribute names differ from the fitted
+// dataset's. A Protector rebuilt from a secret has no fitted names and
+// accepts any (the secret only fixes the column count).
+func (p *Protector) checkNames(ds *Dataset) error {
+	if p.names == nil {
+		return nil
+	}
+	if len(ds.Names) != len(p.names) {
+		return fmt.Errorf("%w: batch has %d attributes, fitted on %d", ErrOptions, len(ds.Names), len(p.names))
+	}
+	for j, name := range ds.Names {
+		if name != p.names[j] {
+			return fmt.Errorf("%w: batch attribute %d is %q, fitted on %q", ErrOptions, j, name, p.names[j])
+		}
+	}
+	return nil
+}
+
+// StreamResult is one protected batch of ProtectStream, or the error that
+// terminated the stream.
+type StreamResult struct {
+	Released *Dataset
+	Err      error
+}
+
+// ProtectStream protects batches from in until it is closed, emitting one
+// StreamResult per batch on the returned channel, in order. On the first
+// failing batch the error is emitted and no further batches are protected
+// (remaining inputs are drained, so senders on in never block as long as
+// the caller keeps receiving). The returned channel is unbuffered and is
+// closed when the stream ends; the caller must drain it — abandoning it
+// mid-stream leaks the worker goroutine and stalls senders.
+func (p *Protector) ProtectStream(in <-chan *Dataset) <-chan StreamResult {
+	out := make(chan StreamResult)
+	go func() {
+		defer close(out)
+		failed := false
+		for ds := range in {
+			if failed {
+				continue // drain
+			}
+			rel, err := p.ProtectBatch(ds)
+			if err != nil {
+				failed = true
+				out <- StreamResult{Err: err}
+				continue
+			}
+			out <- StreamResult{Released: rel}
+		}
+	}()
+	return out
+}

@@ -1,0 +1,225 @@
+package ppclust
+
+import (
+	"math/rand"
+	"testing"
+
+	"ppclust/internal/dataset"
+	"ppclust/internal/dist"
+	"ppclust/internal/matrix"
+)
+
+func protectorSeed(t *testing.T) *Dataset {
+	t.Helper()
+	ds, err := dataset.SyntheticPatients(800, 3, rand.New(rand.NewSource(31)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestProtectorBatchRoundTrip(t *testing.T) {
+	seed := protectorSeed(t)
+	p, err := NewProtector(seed, ProtectOptions{Thresholds: []PST{{Rho1: 0.3, Rho2: 0.3}}, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Released() == nil || p.Released().Rows() != seed.Rows() {
+		t.Fatal("missing seed release")
+	}
+	if len(p.Reports()) == 0 {
+		t.Fatal("missing pair reports")
+	}
+	batch, err := dataset.SyntheticPatients(57, 3, rand.New(rand.NewSource(32)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := p.ProtectBatch(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if matrix.EqualApprox(rel.Data, batch.Data, 0.5) {
+		t.Fatal("released batch looks like the raw batch")
+	}
+	back, err := p.RecoverBatch(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matrix.EqualApprox(back.Data, batch.Data, 1e-7) {
+		t.Fatal("batch did not round-trip")
+	}
+}
+
+func TestProtectorFromSecretMatches(t *testing.T) {
+	seed := protectorSeed(t)
+	p, err := NewProtector(seed, ProtectOptions{Thresholds: []PST{{Rho1: 0.3, Rho2: 0.3}}, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Serialize the secret and rebuild — the service restart path.
+	raw, err := p.Secret().Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	secret, err := ParseSecret(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := NewProtectorFromSecret(secret)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := dataset.SyntheticPatients(33, 3, rand.New(rand.NewSource(33)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := p.ProtectBatch(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := q.ProtectBatch(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matrix.Equal(a.Data, b.Data) {
+		t.Fatal("rebuilt protector releases differ from the original's")
+	}
+	// And the rebuilt protector can invert a one-shot Protect release too.
+	oneShot, err := Protect(seed, ProtectOptions{Thresholds: []PST{{Rho1: 0.3, Rho2: 0.3}}, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewProtectorFromSecret(oneShot.Secret())
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := r.RecoverBatch(oneShot.Released)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matrix.EqualApprox(back.Data, seed.Data, 1e-7) {
+		t.Fatal("rebuilt protector could not invert a Protect release")
+	}
+}
+
+func TestProtectorCrossBatchDistances(t *testing.T) {
+	seed := protectorSeed(t)
+	p, err := NewProtector(seed, ProtectOptions{Thresholds: []PST{{Rho1: 0.3, Rho2: 0.3}}, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Protect the seed again in two batches; stacking the batch releases
+	// must reproduce the seed release exactly (same frozen transform).
+	half := seed.Rows() / 2
+	first := &Dataset{Names: seed.Names, Data: seed.Data.SubMatrix(0, half, 0, seed.Cols())}
+	second := &Dataset{Names: seed.Names, Data: seed.Data.SubMatrix(half, seed.Rows(), 0, seed.Cols())}
+	relA, err := p.ProtectBatch(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	relB, err := p.ProtectBatch(second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined, err := matrix.AppendRows(relA.Data, relB.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matrix.EqualApprox(joined, p.Released().Data, 1e-12) {
+		t.Fatal("batchwise release differs from the one-shot seed release")
+	}
+	before := dist.NewDissimMatrix(p.Released().Data, dist.Euclidean{})
+	after := dist.NewDissimMatrix(joined, dist.Euclidean{})
+	if !before.EqualApprox(after, 1e-12) {
+		t.Fatal("cross-batch distances drifted")
+	}
+}
+
+func TestProtectStreamChannel(t *testing.T) {
+	seed := protectorSeed(t)
+	p, err := NewProtector(seed, ProtectOptions{Thresholds: []PST{{Rho1: 0.3, Rho2: 0.3}}, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := make(chan *Dataset)
+	out := p.ProtectStream(in)
+	go func() {
+		defer close(in)
+		for i := 0; i < 5; i++ {
+			b, err := dataset.SyntheticPatients(20, 3, rand.New(rand.NewSource(int64(40+i))))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			in <- b
+		}
+	}()
+	got := 0
+	for res := range out {
+		if res.Err != nil {
+			t.Fatal(res.Err)
+		}
+		if res.Released.Rows() != 20 {
+			t.Fatalf("batch %d has %d rows", got, res.Released.Rows())
+		}
+		got++
+	}
+	if got != 5 {
+		t.Fatalf("received %d batches, want 5", got)
+	}
+}
+
+func TestProtectStreamErrorStopsStream(t *testing.T) {
+	seed := protectorSeed(t)
+	p, err := NewProtector(seed, ProtectOptions{Thresholds: []PST{{Rho1: 0.3, Rho2: 0.3}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := make(chan *Dataset, 3)
+	bad := &Dataset{Names: []string{"x"}, Data: matrix.NewDense(2, 1, []float64{1, 2})}
+	good, err := dataset.SyntheticPatients(5, 3, rand.New(rand.NewSource(50)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	in <- bad
+	in <- good
+	in <- good
+	close(in)
+	var results []StreamResult
+	for res := range p.ProtectStream(in) {
+		results = append(results, res)
+	}
+	if len(results) != 1 || results[0].Err == nil {
+		t.Fatalf("expected exactly one error result, got %+v", results)
+	}
+}
+
+func TestProtectorValidation(t *testing.T) {
+	if _, err := NewProtector(nil, ProtectOptions{Thresholds: []PST{{Rho1: 1, Rho2: 1}}}); err == nil {
+		t.Fatal("expected error for nil dataset")
+	}
+	seed := protectorSeed(t)
+	if _, err := NewProtector(seed, ProtectOptions{Normalization: "fourier", Thresholds: []PST{{Rho1: 1, Rho2: 1}}}); err == nil {
+		t.Fatal("expected error for unknown normalization")
+	}
+	if _, err := NewProtectorFromSecret(OwnerSecret{Normalization: "fourier"}); err == nil {
+		t.Fatal("expected error for bad secret normalization")
+	}
+	p, err := NewProtector(seed, ProtectOptions{Thresholds: []PST{{Rho1: 0.3, Rho2: 0.3}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	narrow := &Dataset{Names: []string{"a"}, Data: matrix.NewDense(2, 1, []float64{1, 2})}
+	if _, err := p.ProtectBatch(narrow); err == nil {
+		t.Fatal("expected error for column mismatch")
+	}
+	if _, err := p.ProtectBatch(nil); err == nil {
+		t.Fatal("expected error for nil batch")
+	}
+	// Reordered attributes must be rejected: the transform is positional.
+	reordered := seed.Clone()
+	reordered.Names[0], reordered.Names[1] = reordered.Names[1], reordered.Names[0]
+	if _, err := p.ProtectBatch(reordered); err == nil {
+		t.Fatal("expected error for reordered attribute names")
+	}
+}
