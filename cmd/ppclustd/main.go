@@ -4,21 +4,33 @@
 //
 // Quickstart:
 //
-//	ppclustd -addr :8344 -keyring /var/lib/ppclust/keys.json
+//	ppclustd -keyring /var/lib/ppclust/keys.json
 //
-//	# protect a CSV (fits a fresh key for owner "alice", streams release)
-//	curl -s --data-binary @patients.csv \
+//	# protect a CSV (fits a fresh key for owner "alice", streams release).
+//	# The response's X-Ppclust-Token header carries alice's bearer token —
+//	# shown exactly once, save it: it is required for every later request
+//	# against this owner.
+//	curl -si --data-binary @patients.csv \
 //	    'localhost:8344/v1/protect?owner=alice&rho1=0.3&rho2=0.3'
 //
 //	# protect more records later under the same frozen key, batch by batch
-//	curl -s --data-binary @more.csv \
+//	curl -s -H "Authorization: Bearer $TOKEN" --data-binary @more.csv \
 //	    'localhost:8344/v1/protect?owner=alice&mode=stream'
 //
-//	# invert a release (the owner's privilege)
-//	curl -s --data-binary @released.csv 'localhost:8344/v1/recover?owner=alice'
+//	# invert a release (the owner's privilege — hence the token)
+//	curl -s -H "Authorization: Bearer $TOKEN" --data-binary @released.csv \
+//	    'localhost:8344/v1/recover?owner=alice'
 //
 //	curl -s localhost:8344/v1/keys
 //	curl -s localhost:8344/healthz
+//
+// Threat model: the daemon binds to loopback by default and speaks plain
+// HTTP, so bearer tokens cross the wire unencrypted. To serve non-local
+// clients, put a TLS-terminating proxy in front and bind -addr
+// accordingly; -insecure-no-auth disables token checks entirely and is
+// only safe when that proxy (or a private network) already authenticates
+// callers. GET /v1/keys and GET /healthz expose metadata only (owner
+// names, versions, worker count) — never key material.
 package main
 
 import (
@@ -39,20 +51,21 @@ import (
 
 func main() {
 	var (
-		addr        = flag.String("addr", ":8344", "listen address")
+		addr        = flag.String("addr", "127.0.0.1:8344", "listen address (loopback by default; front with a TLS proxy before exposing)")
 		keyringPath = flag.String("keyring", "", "path to the JSON keyring file (empty: in-memory, keys lost on exit)")
 		workers     = flag.Int("workers", 0, "engine worker count (0: GOMAXPROCS)")
 		blockRows   = flag.Int("block-rows", 0, "rows per engine block (0: default)")
 		batchRows   = flag.Int("batch-rows", 4096, "rows per streaming batch")
 		maxBody     = flag.Int64("max-body", 1<<30, "maximum request body bytes")
+		noAuth      = flag.Bool("insecure-no-auth", false, "disable per-owner bearer-token auth (only behind an authenticating proxy on a trusted network)")
 	)
 	flag.Parse()
-	if err := run(*addr, *keyringPath, *workers, *blockRows, *batchRows, *maxBody); err != nil {
+	if err := run(*addr, *keyringPath, *workers, *blockRows, *batchRows, *maxBody, *noAuth); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(addr, keyringPath string, workers, blockRows, batchRows int, maxBody int64) error {
+func run(addr, keyringPath string, workers, blockRows, batchRows int, maxBody int64, noAuth bool) error {
 	var keys keyring.Store
 	if keyringPath == "" {
 		log.Printf("keyring: in-memory (keys are lost on exit; use -keyring for persistence)")
@@ -73,6 +86,10 @@ func run(addr, keyringPath string, workers, blockRows, batchRows int, maxBody in
 	}
 	if maxBody > 0 {
 		s.maxBody = maxBody
+	}
+	if noAuth {
+		log.Printf("auth: DISABLED (-insecure-no-auth); every client can protect and recover for every owner")
+		s.authDisabled = true
 	}
 
 	srv := &http.Server{

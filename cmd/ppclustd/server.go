@@ -29,11 +29,16 @@ import (
 // row. mode=stream reuses the owner's stored key to protect the body
 // incrementally in fixed-size batches — constant memory, suitable for
 // unbounded inputs. Recover always streams.
+//
+// A fit-protect that creates an owner mints that owner's bearer token (see
+// auth.go); every request against an existing owner must present it unless
+// authDisabled is set.
 type server struct {
-	eng       *engine.Engine
-	keys      keyring.Store
-	maxBody   int64
-	batchRows int
+	eng          *engine.Engine
+	keys         keyring.Store
+	maxBody      int64
+	batchRows    int
+	authDisabled bool
 }
 
 func newServer(eng *engine.Engine, keys keyring.Store) *server {
@@ -82,22 +87,41 @@ func (s *server) handleProtect(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
+	// Fit mode may create the owner; any touch of an existing owner's key
+	// material (rotation included) requires that owner's token. The
+	// existence check races with concurrent creations, but never into an
+	// unauthenticated rotation: creation is an atomic claim
+	// (CreateWithToken) and the loser of a race gets ErrExists.
+	exists := false
+	if _, err := s.keys.Get(owner); err == nil {
+		exists = true
+		if aerr := s.authorize(r, owner); aerr != nil {
+			writeAuthErr(w, aerr)
+			return
+		}
+	} else if !errors.Is(err, keyring.ErrNotFound) {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
 	body := http.MaxBytesReader(w, r.Body, s.maxBody)
 	rr := newRowReader(format, body)
 
 	switch mode := q.Get("mode"); mode {
 	case "", "fit":
-		s.protectFit(w, q, format, rr, owner)
+		s.protectFit(w, q, format, rr, owner, exists)
 	case "stream":
-		s.protectStream(w, q, format, rr, owner)
+		s.protectStream(w, r, q, format, rr, owner)
 	default:
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown mode %q (want fit or stream)", mode))
 	}
 }
 
 // protectFit buffers the body, fits a fresh transform, stores the secret
-// as a new key version, and streams the release.
-func (s *server) protectFit(w http.ResponseWriter, q urlValues, format string, rr rowReader, owner string) {
+// as a new key version, and streams the release. A fit that creates the
+// owner atomically claims the name together with a freshly minted bearer
+// token; a fit for an existing (authorized) owner rotates the key and
+// keeps the credential.
+func (s *server) protectFit(w http.ResponseWriter, q urlValues, format string, rr rowReader, owner string, exists bool) {
 	opts := engine.ProtectOptions{Normalization: engine.NormZScore}
 	switch norm := q.Get("norm"); norm {
 	case "", "zscore":
@@ -137,15 +161,60 @@ func (s *server) protectFit(w http.ResponseWriter, q urlValues, format string, r
 		writeErr(w, statusFor(err), err)
 		return
 	}
-	entry, err := s.keys.Put(owner, fromEngineSecret(res.Secret()))
-	if err != nil {
-		writeErr(w, statusFor(err), err)
-		return
+	var entry keyring.Entry
+	token := ""
+	secret := fromEngineSecret(res.Secret())
+	if exists {
+		// Rotation: the request was authorized against the existing
+		// credential, which stays valid across key versions. When the
+		// owner has no credential yet (created under -insecure-no-auth,
+		// or a keyring predating token auth, reachable only with auth
+		// disabled), mint one now so enabling auth later does not lock
+		// the owner out.
+		if entry, err = s.keys.Rotate(owner, secret); err != nil {
+			writeErr(w, statusFor(err), err)
+			return
+		}
+		if _, terr := s.keys.TokenHash(owner); errors.Is(terr, keyring.ErrNotFound) {
+			tok, hash, err := newToken()
+			if err != nil {
+				writeErr(w, http.StatusInternalServerError, err)
+				return
+			}
+			if err := s.keys.SetToken(owner, hash); err != nil {
+				writeErr(w, http.StatusInternalServerError, err)
+				return
+			}
+			token = tok
+		}
+	} else {
+		// Creation: claim the owner name, key and credential in one
+		// atomic store operation — a failure leaves no half-created
+		// owner behind, and a concurrent claim of the same name loses
+		// cleanly with ErrExists instead of rotating a key it never
+		// authenticated for. The plaintext token crosses the wire
+		// exactly once, in this response; only its hash is stored.
+		tok, hash, err := newToken()
+		if err != nil {
+			writeErr(w, http.StatusInternalServerError, err)
+			return
+		}
+		if entry, err = s.keys.CreateWithToken(owner, secret, hash); err != nil {
+			if errors.Is(err, keyring.ErrExists) {
+				err = fmt.Errorf("owner %q was created concurrently; retry with its bearer token: %w", owner, err)
+			}
+			writeErr(w, statusFor(err), err)
+			return
+		}
+		token = tok
 	}
 
 	w.Header().Set("Content-Type", contentType(format))
 	w.Header().Set("X-Ppclust-Owner", owner)
 	w.Header().Set("X-Ppclust-Key-Version", strconv.Itoa(entry.Version))
+	if token != "" {
+		w.Header().Set("X-Ppclust-Token", token)
+	}
 	rw := newRowWriter(format, w)
 	if err := rw.WriteNames(rr.Names()); err != nil {
 		log.Printf("protect %s: writing header: %v", owner, err)
@@ -165,7 +234,7 @@ func (s *server) protectFit(w http.ResponseWriter, q urlValues, format string, r
 
 // protectStream protects the body incrementally under the owner's stored
 // key: constant memory, unbounded input.
-func (s *server) protectStream(w http.ResponseWriter, q urlValues, format string, rr rowReader, owner string) {
+func (s *server) protectStream(w http.ResponseWriter, r *http.Request, q urlValues, format string, rr rowReader, owner string) {
 	// The transform is frozen in stream mode; silently dropping fit-only
 	// parameters would mislead callers about the privacy level applied.
 	for _, p := range []string{"norm", "rho1", "rho2", "seed"} {
@@ -177,6 +246,14 @@ func (s *server) protectStream(w http.ResponseWriter, q urlValues, format string
 	entry, err := s.lookup(owner, q.Get("version"))
 	if err != nil {
 		writeErr(w, statusFor(err), err)
+		return
+	}
+	// Re-check the credential against the entry the lookup actually found:
+	// handleProtect's existence snapshot can race a concurrent first fit,
+	// and streaming chosen rows under someone else's freshly created key
+	// would hand an attacker a chosen-plaintext oracle for it.
+	if err := s.authorize(r, owner); err != nil {
+		writeAuthErr(w, err)
 		return
 	}
 	sp, err := s.eng.NewStreamProtector(toEngineSecret(entry.Secret))
@@ -202,6 +279,11 @@ func (s *server) handleRecover(w http.ResponseWriter, r *http.Request) {
 	entry, err := s.lookup(owner, q.Get("version"))
 	if err != nil {
 		writeErr(w, statusFor(err), err)
+		return
+	}
+	// Inversion is the owner's privilege: require the owner's token.
+	if err := s.authorize(r, owner); err != nil {
+		writeAuthErr(w, err)
 		return
 	}
 	sp, err := s.eng.NewStreamProtector(toEngineSecret(entry.Secret))
@@ -393,6 +475,7 @@ func toEngineSecret(s ppclust.OwnerSecret) engine.Secret {
 		Normalization: string(s.Normalization),
 		ParamsA:       s.ParamsA,
 		ParamsB:       s.ParamsB,
+		Columns:       s.Columns,
 	}
 }
 
@@ -402,5 +485,6 @@ func fromEngineSecret(s engine.Secret) ppclust.OwnerSecret {
 		Normalization: ppclust.Normalization(s.Normalization),
 		ParamsA:       s.ParamsA,
 		ParamsB:       s.ParamsB,
+		Columns:       s.Columns,
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"strings"
 	"testing"
 
+	"ppclust"
 	"ppclust/internal/dataset"
 	"ppclust/internal/engine"
 	"ppclust/internal/keyring"
@@ -44,7 +45,22 @@ func testCSV(t *testing.T, rows, seed int) (string, *matrix.Dense) {
 
 func post(t *testing.T, url, body string) (*http.Response, string) {
 	t.Helper()
-	resp, err := http.Post(url, "text/csv", strings.NewReader(body))
+	return postAuth(t, url, "", body)
+}
+
+// postAuth posts body, presenting token as a bearer credential when
+// non-empty.
+func postAuth(t *testing.T, url, token, body string) (*http.Response, string) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "text/csv")
+	if token != "" {
+		req.Header.Set("Authorization", "Bearer "+token)
+	}
+	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,6 +70,16 @@ func post(t *testing.T, url, body string) (*http.Response, string) {
 		t.Fatal(err)
 	}
 	return resp, string(raw)
+}
+
+// token extracts the once-only owner credential from a fit response.
+func token(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	tok := resp.Header.Get("X-Ppclust-Token")
+	if tok == "" {
+		t.Fatal("fit response carries no X-Ppclust-Token header")
+	}
+	return tok
 }
 
 func parseCSVBody(t *testing.T, body string) *matrix.Dense {
@@ -78,12 +104,13 @@ func TestProtectRecoverRoundTripHTTP(t *testing.T) {
 	if got := resp.Header.Get("X-Ppclust-Key-Version"); got != "1" {
 		t.Fatalf("key version header = %q, want 1", got)
 	}
+	tok := token(t, resp)
 	released := parseCSVBody(t, rel)
 	if matrix.EqualApprox(released, orig, 0.5) {
 		t.Fatal("released data looks like the original")
 	}
 
-	resp, rec := post(t, ts.URL+"/v1/recover?owner=alice", rel)
+	resp, rec := postAuth(t, ts.URL+"/v1/recover?owner=alice", tok, rel)
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("recover: status %d: %s", resp.StatusCode, rec)
 	}
@@ -99,12 +126,14 @@ func TestProtectRecoverRoundTripHTTP(t *testing.T) {
 func TestProtectStreamMode(t *testing.T) {
 	ts, _ := newTestServer(t)
 	seedCSV, _ := testCSV(t, 300, 2)
-	if resp, body := post(t, ts.URL+"/v1/protect?owner=bob", seedCSV); resp.StatusCode != http.StatusOK {
-		t.Fatalf("fit: status %d: %s", resp.StatusCode, body)
+	fitResp, body := post(t, ts.URL+"/v1/protect?owner=bob", seedCSV)
+	if fitResp.StatusCode != http.StatusOK {
+		t.Fatalf("fit: status %d: %s", fitResp.StatusCode, body)
 	}
+	tok := token(t, fitResp)
 
 	moreCSV, more := testCSV(t, 450, 3) // spans several 64-row batches
-	resp, rel := post(t, ts.URL+"/v1/protect?owner=bob&mode=stream", moreCSV)
+	resp, rel := postAuth(t, ts.URL+"/v1/protect?owner=bob&mode=stream", tok, moreCSV)
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("stream: status %d: %s", resp.StatusCode, rel)
 	}
@@ -113,7 +142,7 @@ func TestProtectStreamMode(t *testing.T) {
 		t.Fatalf("stream released %d rows, want %d", released.Rows(), more.Rows())
 	}
 
-	resp, rec := post(t, ts.URL+"/v1/recover?owner=bob", rel)
+	resp, rec := postAuth(t, ts.URL+"/v1/recover?owner=bob", tok, rel)
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("recover: status %d: %s", resp.StatusCode, rec)
 	}
@@ -129,27 +158,32 @@ func TestKeyRotationAndVersions(t *testing.T) {
 	csv1, orig1 := testCSV(t, 120, 4)
 	csv2, _ := testCSV(t, 120, 5)
 
-	if resp, _ := post(t, ts.URL+"/v1/protect?owner=carol&seed=1", csv1); resp.Header.Get("X-Ppclust-Key-Version") != "1" {
-		t.Fatalf("first protect: version %q", resp.Header.Get("X-Ppclust-Key-Version"))
+	first, _ := post(t, ts.URL+"/v1/protect?owner=carol&seed=1", csv1)
+	if first.Header.Get("X-Ppclust-Key-Version") != "1" {
+		t.Fatalf("first protect: version %q", first.Header.Get("X-Ppclust-Key-Version"))
 	}
-	resp, rel1 := post(t, ts.URL+"/v1/protect?owner=carol&seed=1", csv1)
+	tok := token(t, first)
+	resp, rel1 := postAuth(t, ts.URL+"/v1/protect?owner=carol&seed=1", tok, csv1)
 	if resp.Header.Get("X-Ppclust-Key-Version") != "2" {
 		t.Fatalf("second protect: version %q", resp.Header.Get("X-Ppclust-Key-Version"))
 	}
-	if resp, _ := post(t, ts.URL+"/v1/protect?owner=carol&seed=99", csv2); resp.Header.Get("X-Ppclust-Key-Version") != "3" {
+	if resp.Header.Get("X-Ppclust-Token") != "" {
+		t.Fatal("rotation must not mint a fresh token")
+	}
+	if resp, _ := postAuth(t, ts.URL+"/v1/protect?owner=carol&seed=99", tok, csv2); resp.Header.Get("X-Ppclust-Key-Version") != "3" {
 		t.Fatalf("third protect: version %q", resp.Header.Get("X-Ppclust-Key-Version"))
 	}
 
 	// Version 2's release recovers under version=2 but not under the
 	// current (different-seed) key.
-	resp, rec := post(t, ts.URL+"/v1/recover?owner=carol&version=2", rel1)
+	resp, rec := postAuth(t, ts.URL+"/v1/recover?owner=carol&version=2", tok, rel1)
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("versioned recover: status %d: %s", resp.StatusCode, rec)
 	}
 	if !matrix.EqualApprox(parseCSVBody(t, rec), orig1, 1e-6) {
 		t.Fatal("versioned recover failed")
 	}
-	_, recWrong := post(t, ts.URL+"/v1/recover?owner=carol", rel1)
+	_, recWrong := postAuth(t, ts.URL+"/v1/recover?owner=carol", tok, rel1)
 	if matrix.EqualApprox(parseCSVBody(t, recWrong), orig1, 1e-3) {
 		t.Fatal("recovering under the wrong key version should not restore the data")
 	}
@@ -184,9 +218,16 @@ func TestNDJSONFormat(t *testing.T) {
 	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
 		t.Fatalf("content type %q", ct)
 	}
+	tok := token(t, resp)
 
 	// Content-Type sniffing should also route to the ndjson reader.
-	resp, err = http.Post(ts.URL+"/v1/recover?owner=dave", "application/x-ndjson", bytes.NewReader(rel))
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/recover?owner=dave", bytes.NewReader(rel))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	req.Header.Set("Authorization", "Bearer "+tok)
+	resp, err = http.DefaultClient.Do(req)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -229,8 +270,8 @@ func TestHealthzAndKeys(t *testing.T) {
 	}
 
 	csvBody, _ := testCSV(t, 100, 7)
-	post(t, ts.URL+"/v1/protect?owner=erin", csvBody)
-	post(t, ts.URL+"/v1/protect?owner=erin", csvBody)
+	resp, _ = post(t, ts.URL+"/v1/protect?owner=erin", csvBody)
+	postAuth(t, ts.URL+"/v1/protect?owner=erin", token(t, resp), csvBody)
 	post(t, ts.URL+"/v1/protect?owner=frank", csvBody)
 
 	resp, err = http.Get(ts.URL + "/v1/keys")
@@ -293,6 +334,75 @@ func TestHTTPErrors(t *testing.T) {
 	}
 }
 
+// TestOwnerAuth: the fit that creates an owner mints a bearer token; every
+// later request against that owner must present it. Inversion must never
+// be possible for a client that only holds the released data.
+func TestOwnerAuth(t *testing.T) {
+	ts, srv := newTestServer(t)
+	csvBody, _ := testCSV(t, 200, 10)
+
+	fit, rel := post(t, ts.URL+"/v1/protect?owner=alice", csvBody)
+	if fit.StatusCode != http.StatusOK {
+		t.Fatalf("fit: status %d", fit.StatusCode)
+	}
+	tok := token(t, fit)
+
+	for name, tc := range map[string]struct {
+		url, token string
+		want       int
+	}{
+		"recover without token":    {"/v1/recover?owner=alice", "", http.StatusUnauthorized},
+		"recover with wrong token": {"/v1/recover?owner=alice", "deadbeef", http.StatusUnauthorized},
+		"stream without token":     {"/v1/protect?owner=alice&mode=stream", "", http.StatusUnauthorized},
+		"rotate without token":     {"/v1/protect?owner=alice", "", http.StatusUnauthorized},
+		"recover with token":       {"/v1/recover?owner=alice", tok, http.StatusOK},
+	} {
+		t.Run(name, func(t *testing.T) {
+			resp, body := postAuth(t, ts.URL+tc.url, tc.token, rel)
+			if resp.StatusCode != tc.want {
+				t.Fatalf("status %d, want %d: %s", resp.StatusCode, tc.want, body)
+			}
+			if tc.want == http.StatusUnauthorized && resp.Header.Get("WWW-Authenticate") == "" {
+				t.Fatal("401 without WWW-Authenticate header")
+			}
+		})
+	}
+
+	// An owner stored without a credential (keyring predating token auth)
+	// is refused outright — there is no token that could be presented.
+	if _, err := srv.keys.Put("legacy", ppclust.OwnerSecret{
+		Key:           ppclust.Key{Pairs: []ppclust.Pair{{I: 0, J: 1}}, AnglesDeg: []float64{30}},
+		Normalization: ppclust.ZScore,
+		ParamsA:       []float64{0, 0, 0},
+		ParamsB:       []float64{1, 1, 1},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if resp, body := postAuth(t, ts.URL+"/v1/recover?owner=legacy", tok, rel); resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("credential-less owner: status %d, want 403: %s", resp.StatusCode, body)
+	}
+}
+
+// TestAuthDisabled: -insecure-no-auth turns enforcement off while tokens
+// are still issued (so auth can be enabled later without locking owners
+// out).
+func TestAuthDisabled(t *testing.T) {
+	s := newServer(engine.New(2, 512), keyring.NewMemory())
+	s.authDisabled = true
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+	csvBody, _ := testCSV(t, 100, 11)
+
+	resp, rel := post(t, ts.URL+"/v1/protect?owner=open", csvBody)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("fit: status %d", resp.StatusCode)
+	}
+	token(t, resp) // still minted
+	if resp, body := post(t, ts.URL+"/v1/recover?owner=open", rel); resp.StatusCode != http.StatusOK {
+		t.Fatalf("tokenless recover with auth disabled: status %d: %s", resp.StatusCode, body)
+	}
+}
+
 // TestFileKeyringSurvivesRestart: protect with one server process, recover
 // with a fresh one sharing the keyring file.
 func TestFileKeyringSurvivesRestart(t *testing.T) {
@@ -309,6 +419,7 @@ func TestFileKeyringSurvivesRestart(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("protect: %d", resp.StatusCode)
 	}
+	tok := token(t, resp)
 
 	store2, err := keyring.OpenFile(path)
 	if err != nil {
@@ -317,7 +428,9 @@ func TestFileKeyringSurvivesRestart(t *testing.T) {
 	s2 := newServer(engine.New(2, 512), store2)
 	ts2 := httptest.NewServer(s2.handler())
 	defer ts2.Close()
-	resp, rec := post(t, ts2.URL+"/v1/recover?owner=alice", rel)
+	// The token hash persisted with the keyring, so the credential issued
+	// by the first process must keep working after a restart.
+	resp, rec := postAuth(t, ts2.URL+"/v1/recover?owner=alice", tok, rel)
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("recover after restart: %d: %s", resp.StatusCode, rec)
 	}
@@ -332,7 +445,7 @@ func TestRunRejectsBadKeyringPath(t *testing.T) {
 	if err := os.WriteFile(bad, []byte("{broken"), 0o600); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("127.0.0.1:0", bad, 1, 0, 0, 0); err == nil {
+	if err := run("127.0.0.1:0", bad, 1, 0, 0, 0, false); err == nil {
 		t.Fatal("expected error for corrupt keyring path")
 	}
 }

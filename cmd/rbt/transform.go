@@ -50,7 +50,7 @@ func cmdTransform(args []string) error {
 	pairsSpec := fs.String("pairs", "", "attribute pairs, e.g. \"0:2,1:0\" (default: round-robin)")
 	thresholdSpec := fs.String("thresholds", "0.2:0.2", "PSTs per pair, e.g. \"0.3:0.55,2.3:2.3\" (one entry broadcasts)")
 	anglesSpec := fs.String("angles", "", "fixed angles in degrees, e.g. \"312.47,147.29\" (default: random)")
-	seed := fs.Int64("seed", 0, "angle randomness seed (0: fixed default)")
+	seed := fs.Int64("seed", 0, "angle randomness seed for reproduction runs (0: unpredictable, from crypto/rand)")
 	keepIDs := fs.Bool("keep-ids", false, "retain object IDs in the release")
 	if err := fs.Parse(args); err != nil {
 		return err

@@ -13,6 +13,8 @@
 package engine
 
 import (
+	crand "crypto/rand"
+	"encoding/binary"
 	"fmt"
 	"math"
 	"math/rand"
@@ -83,7 +85,16 @@ type ProtectOptions struct {
 	Pairs []core.Pair
 	// Thresholds holds one PST per pair, or a single PST broadcast to all.
 	Thresholds []core.PST
-	// Seed seeds the angle randomness; 0 means the fixed default seed.
+	// Rand supplies the angle randomness, mirroring core.Options.Rand.
+	// When nil, a source seeded from Seed (if nonzero) or from
+	// crypto/rand is used.
+	Rand *rand.Rand
+	// Seed pins the angle randomness so a run can be reproduced exactly;
+	// it is ignored when Rand is set. 0 (the zero value) draws a fresh
+	// unpredictable seed from crypto/rand — with a fixed default seed the
+	// rotation key would be a deterministic function of the dataset, and
+	// a known-sample attacker could rerun the pipeline and invert the
+	// release.
 	Seed int64
 	// FixedAngles bypasses random angle selection (still PST-checked).
 	FixedAngles []float64
@@ -102,10 +113,19 @@ type Secret struct {
 	// ParamsA holds means (zscore) or mins (minmax); ParamsB holds stds or
 	// maxs. Both are empty for NormNone.
 	ParamsA, ParamsB []float64
+	// Columns is the column count the secret applies to, recorded by
+	// Protect. When 0 (hand-built or legacy secrets) it is inferred from
+	// the normalization parameters or, failing that, the highest pair
+	// index — which under-counts for a NormNone key whose pairs do not
+	// touch the trailing columns, so set it explicitly in that case.
+	Columns int
 }
 
 // Cols returns the column count the secret applies to.
 func (s Secret) Cols() int {
+	if s.Columns > 0 {
+		return s.Columns
+	}
 	if len(s.ParamsA) > 0 {
 		return len(s.ParamsA)
 	}
@@ -122,6 +142,9 @@ func (s Secret) Cols() int {
 }
 
 func (s Secret) validate() error {
+	if s.Columns > 0 && len(s.ParamsA) > 0 && s.Columns != len(s.ParamsA) {
+		return fmt.Errorf("%w: secret declares %d columns but has %d normalization parameters", core.ErrBadInput, s.Columns, len(s.ParamsA))
+	}
 	switch s.Normalization {
 	case NormZScore, NormMinMax:
 		if len(s.ParamsA) == 0 || len(s.ParamsA) != len(s.ParamsB) {
@@ -153,6 +176,8 @@ type ProtectResult struct {
 	// Normalization, ParamsA and ParamsB record the frozen Step 1 state.
 	Normalization    string
 	ParamsA, ParamsB []float64
+	// Columns is the protected matrix's column count.
+	Columns int
 }
 
 // Secret bundles the result's inversion state for Recover and streams.
@@ -162,6 +187,7 @@ func (r *ProtectResult) Secret() Secret {
 		Normalization: r.Normalization,
 		ParamsA:       append([]float64(nil), r.ParamsA...),
 		ParamsB:       append([]float64(nil), r.ParamsB...),
+		Columns:       r.Columns,
 	}
 }
 
@@ -199,13 +225,19 @@ func (e *Engine) Protect(data *matrix.Dense, opts ProtectOptions) (*ProtectResul
 	if gridStep <= 0 {
 		gridStep = 0.01
 	}
-	seed := opts.Seed
-	if seed == 0 {
-		seed = 1
+	rng := opts.Rand
+	if rng == nil {
+		seed := opts.Seed
+		if seed == 0 {
+			var err error
+			if seed, err = CryptoSeed(); err != nil {
+				return nil, err
+			}
+		}
+		rng = rand.New(rand.NewSource(seed))
 	}
-	rng := rand.New(rand.NewSource(seed))
 
-	res := &ProtectResult{Normalization: method}
+	res := &ProtectResult{Normalization: method, Columns: n}
 	out, err := e.normalize(data, method, res)
 	if err != nil {
 		return nil, err
@@ -491,14 +523,23 @@ func (e *Engine) columnMinsMaxs(data *matrix.Dense) (mins, maxs []float64, err e
 	part := e.getScratch(nb * 2 * n)
 	defer e.putScratch(part)
 
+	var bad atomic.Bool
 	e.forBlocks(m, func(lo, hi int) {
 		b := lo / e.blockRows
 		bmins := part[b*2*n : b*2*n+n]
 		bmaxs := part[b*2*n+n : (b+1)*2*n]
-		copy(bmins, data.RawRow(lo))
-		copy(bmaxs, data.RawRow(lo))
-		for r := lo + 1; r < hi; r++ {
+		for j := range bmins {
+			bmins[j] = math.Inf(1)
+			bmaxs[j] = math.Inf(-1)
+		}
+		for r := lo; r < hi; r++ {
 			for j, v := range data.RawRow(r) {
+				// NaN never wins a < / > comparison, so it must be
+				// flagged here or it silently vanishes from the
+				// reduction and resurfaces as NaN in the release.
+				if v != v {
+					bad.Store(true)
+				}
 				if v < bmins[j] {
 					bmins[j] = v
 				}
@@ -508,6 +549,9 @@ func (e *Engine) columnMinsMaxs(data *matrix.Dense) (mins, maxs []float64, err e
 			}
 		}
 	})
+	if bad.Load() {
+		return nil, nil, fmt.Errorf("%w: data contains NaN or Inf", core.ErrBadInput)
+	}
 	mins = append([]float64(nil), part[:n]...)
 	maxs = append([]float64(nil), part[n:2*n]...)
 	for b := 1; b < nb; b++ {
@@ -521,7 +565,7 @@ func (e *Engine) columnMinsMaxs(data *matrix.Dense) (mins, maxs []float64, err e
 		}
 	}
 	for j := range mins {
-		if math.IsNaN(mins[j]) || math.IsInf(mins[j], 0) || math.IsNaN(maxs[j]) || math.IsInf(maxs[j], 0) {
+		if math.IsInf(mins[j], 0) || math.IsInf(maxs[j], 0) {
 			return nil, nil, fmt.Errorf("%w: data contains NaN or Inf", core.ErrBadInput)
 		}
 	}
@@ -598,6 +642,18 @@ func (e *Engine) getScratch(size int) []float64 {
 }
 
 func (e *Engine) putScratch(buf []float64) { e.scratch.Put(buf[:cap(buf)]) } //nolint:staticcheck
+
+// CryptoSeed draws an int64 from the system CSPRNG. Protection keys must
+// be unpredictable unless the caller explicitly pins a seed for a
+// reproduction run; every unseeded pipeline (engine and facade) funnels
+// through this one helper.
+func CryptoSeed() (int64, error) {
+	var b [8]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		return 0, fmt.Errorf("engine: seeding angle randomness: %w", err)
+	}
+	return int64(binary.LittleEndian.Uint64(b[:])), nil
+}
 
 func anglesToCosSin(anglesDeg []float64) (cths, sths []float64) {
 	cths = make([]float64, len(anglesDeg))

@@ -255,3 +255,109 @@ func TestRecoverValidation(t *testing.T) {
 		t.Fatal("expected error for column mismatch")
 	}
 }
+
+// TestUnseededKeysUnpredictable: without an explicit seed the angle
+// randomness comes from crypto/rand, so two fits of the same dataset must
+// draw different keys — a fixed default seed would make the key a
+// deterministic function of the data, which a known-sample attacker could
+// reproduce.
+func TestUnseededKeysUnpredictable(t *testing.T) {
+	eng := New(2, 128)
+	data := randData(300, 4, 21)
+	a, err := eng.Protect(data, ProtectOptions{Thresholds: tinyPST()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := eng.Protect(data, ProtectOptions{Thresholds: tinyPST()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for k := range a.Key.AnglesDeg {
+		if a.Key.AnglesDeg[k] != b.Key.AnglesDeg[k] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("two unseeded fits drew identical keys; default seed is predictable")
+	}
+	// An explicit Rand overrides everything and reproduces exactly.
+	c, err := eng.Protect(data, ProtectOptions{Thresholds: tinyPST(), Rand: rand.New(rand.NewSource(3))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := eng.Protect(data, ProtectOptions{Thresholds: tinyPST(), Rand: rand.New(rand.NewSource(3))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range c.Key.AnglesDeg {
+		if c.Key.AnglesDeg[k] != d.Key.AnglesDeg[k] {
+			t.Fatal("identical Rand sources drew different keys")
+		}
+	}
+}
+
+// TestMinMaxNaNMidBlock: a NaN that is not in a block's first row must
+// still be rejected as bad input under minmax normalization — NaN never
+// wins a </> comparison, so an unflagged one would silently produce a NaN
+// release and surface later as a misleading downstream error.
+func TestMinMaxNaNMidBlock(t *testing.T) {
+	data := randData(8, 3, 22)
+	data.SetAt(2, 1, math.NaN()) // mid-block for blockRows=4
+	_, err := New(1, 4).Protect(data, ProtectOptions{Normalization: NormMinMax, Thresholds: tinyPST()})
+	if !errors.Is(err, core.ErrBadInput) {
+		t.Fatalf("expected ErrBadInput for mid-block NaN, got %v", err)
+	}
+	inf := randData(8, 3, 23)
+	inf.SetAt(5, 0, math.Inf(1))
+	if _, err := New(1, 4).Protect(inf, ProtectOptions{Normalization: NormMinMax, Thresholds: tinyPST()}); !errors.Is(err, core.ErrBadInput) {
+		t.Fatalf("expected ErrBadInput for Inf, got %v", err)
+	}
+}
+
+// TestSecretExplicitColumns: Protect records the column count in the
+// secret, and a hand-built NormNone secret can declare more columns than
+// its pairs touch — the untouched trailing columns pass through rotation
+// unchanged but are still part of the release.
+func TestSecretExplicitColumns(t *testing.T) {
+	eng := New(2, 64)
+	data := randData(100, 5, 24)
+	res, err := eng.Protect(data, ProtectOptions{Thresholds: tinyPST()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Secret().Columns; got != 5 {
+		t.Fatalf("Protect recorded %d columns, want 5", got)
+	}
+
+	s := Secret{
+		Key:           core.Key{Pairs: []core.Pair{{I: 0, J: 1}}, AnglesDeg: []float64{30}},
+		Normalization: NormNone,
+		Columns:       4,
+	}
+	if got := s.Cols(); got != 4 {
+		t.Fatalf("declared Cols() = %d, want 4", got)
+	}
+	sp, err := eng.NewStreamProtector(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sp.ProtectBatch(randData(6, 4, 25)); err != nil {
+		t.Fatalf("4-column batch rejected by 4-column secret: %v", err)
+	}
+	if _, err := eng.Recover(randData(6, 4, 26), s); err != nil {
+		t.Fatalf("4-column recover rejected by 4-column secret: %v", err)
+	}
+	// Without the declaration the legacy pair-index inference kicks in.
+	s.Columns = 0
+	if got := s.Cols(); got != 2 {
+		t.Fatalf("inferred Cols() = %d, want 2", got)
+	}
+	// A declaration inconsistent with the normalization parameters is
+	// rejected rather than trusted.
+	bad := res.Secret()
+	bad.Columns = 3
+	if _, err := eng.Recover(res.Released, bad); !errors.Is(err, core.ErrBadInput) {
+		t.Fatalf("expected ErrBadInput for inconsistent column declaration, got %v", err)
+	}
+}

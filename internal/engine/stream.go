@@ -2,6 +2,8 @@ package engine
 
 import (
 	"fmt"
+	"math"
+	"sync/atomic"
 
 	"ppclust/internal/core"
 	"ppclust/internal/matrix"
@@ -48,6 +50,7 @@ func (sp *StreamProtector) Secret() Secret {
 		Normalization: sp.sec.Normalization,
 		ParamsA:       append([]float64(nil), sp.sec.ParamsA...),
 		ParamsB:       append([]float64(nil), sp.sec.ParamsB...),
+		Columns:       sp.sec.Columns,
 	}
 }
 
@@ -56,7 +59,9 @@ func (sp *StreamProtector) Cols() int { return sp.cols }
 
 // ProtectBatch releases one batch of rows (any count >= 1): each row is
 // normalized with the frozen parameters and rotated by the frozen key in
-// one pass over the engine's row blocks. The input is not modified.
+// one pass over the engine's row blocks. Batches containing NaN or Inf are
+// rejected, matching the fitting path's contract that a release never
+// carries non-finite values. The input is not modified.
 func (sp *StreamProtector) ProtectBatch(rows *matrix.Dense) (*matrix.Dense, error) {
 	m, n := rows.Dims()
 	if n != sp.cols {
@@ -66,10 +71,16 @@ func (sp *StreamProtector) ProtectBatch(rows *matrix.Dense) (*matrix.Dense, erro
 		return matrix.NewDense(0, n, nil), nil
 	}
 	out := matrix.NewDense(m, n, nil)
+	var bad atomic.Bool
 	sp.eng.forBlocks(m, func(lo, hi int) {
 		for r := lo; r < hi; r++ {
 			row := out.RawRow(r)
 			copy(row, rows.RawRow(r))
+			for _, v := range row {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					bad.Store(true)
+				}
+			}
 			normalizeRow(row, sp.sec)
 			for k, p := range sp.sec.Key.Pairs {
 				ai, aj := row[p.I], row[p.J]
@@ -78,22 +89,32 @@ func (sp *StreamProtector) ProtectBatch(rows *matrix.Dense) (*matrix.Dense, erro
 			}
 		}
 	})
+	if bad.Load() {
+		return nil, fmt.Errorf("%w: data contains NaN or Inf", core.ErrBadInput)
+	}
 	return out, nil
 }
 
 // RecoverBatch inverts ProtectBatch for one batch of released rows, using
 // the same fused pass and precomputed rotation tables as ProtectBatch (the
-// secret was validated once at construction).
+// secret was validated once at construction). Like ProtectBatch it rejects
+// non-finite input.
 func (sp *StreamProtector) RecoverBatch(rows *matrix.Dense) (*matrix.Dense, error) {
 	m, n := rows.Dims()
 	if n != sp.cols {
 		return nil, fmt.Errorf("%w: batch has %d columns, stream expects %d", core.ErrBadInput, n, sp.cols)
 	}
 	out := matrix.NewDense(m, n, nil)
+	var bad atomic.Bool
 	sp.eng.forBlocks(m, func(lo, hi int) {
 		for r := lo; r < hi; r++ {
 			row := out.RawRow(r)
 			copy(row, rows.RawRow(r))
+			for _, v := range row {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					bad.Store(true)
+				}
+			}
 			for k := len(sp.sec.Key.Pairs) - 1; k >= 0; k-- {
 				p := sp.sec.Key.Pairs[k]
 				ai, aj := row[p.I], row[p.J]
@@ -103,5 +124,8 @@ func (sp *StreamProtector) RecoverBatch(rows *matrix.Dense) (*matrix.Dense, erro
 			denormalizeRow(row, sp.sec)
 		}
 	})
+	if bad.Load() {
+		return nil, fmt.Errorf("%w: data contains NaN or Inf", core.ErrBadInput)
+	}
 	return out, nil
 }

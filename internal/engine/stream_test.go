@@ -1,8 +1,11 @@
 package engine
 
 import (
+	"errors"
+	"math"
 	"testing"
 
+	"ppclust/internal/core"
 	"ppclust/internal/dist"
 	"ppclust/internal/matrix"
 )
@@ -173,5 +176,34 @@ func TestStreamValidation(t *testing.T) {
 	def.Normalization = ""
 	if _, err := eng.NewStreamProtector(def); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestStreamRejectsNonFinite: stream batches obey the same contract as the
+// fitting path — a release (or recovery) never carries NaN/Inf, the batch
+// is rejected instead.
+func TestStreamRejectsNonFinite(t *testing.T) {
+	eng := New(2, 64)
+	seed := randData(200, 4, 29)
+	res, err := eng.Protect(seed, ProtectOptions{Thresholds: tinyPST()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := eng.NewStreamProtector(res.Secret())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nan := randData(10, 4, 30)
+	nan.SetAt(7, 2, math.NaN())
+	if _, err := sp.ProtectBatch(nan); !errors.Is(err, core.ErrBadInput) {
+		t.Fatalf("ProtectBatch accepted NaN: %v", err)
+	}
+	if _, err := sp.RecoverBatch(nan); !errors.Is(err, core.ErrBadInput) {
+		t.Fatalf("RecoverBatch accepted NaN: %v", err)
+	}
+	inf := randData(10, 4, 31)
+	inf.SetAt(0, 0, math.Inf(-1))
+	if _, err := sp.ProtectBatch(inf); !errors.Is(err, core.ErrBadInput) {
+		t.Fatalf("ProtectBatch accepted Inf: %v", err)
 	}
 }

@@ -23,9 +23,12 @@ type File struct {
 }
 
 // fileDoc is the on-disk schema, versioned for forward compatibility.
+// Tokens holds per-owner credential hashes (never plaintext tokens); it is
+// absent in documents written before credentials existed.
 type fileDoc struct {
 	Version int                `json:"version"`
 	Owners  map[string][]Entry `json:"owners"`
+	Tokens  map[string][]byte  `json:"tokens,omitempty"`
 }
 
 const fileDocVersion = 1
@@ -58,6 +61,12 @@ func OpenFile(path string) (*File, error) {
 		}
 		f.mem.owners[owner] = append([]Entry(nil), vs...)
 	}
+	for owner, h := range doc.Tokens {
+		if err := ValidName(owner); err != nil {
+			return nil, err
+		}
+		f.mem.tokens[owner] = append([]byte(nil), h...)
+	}
 	return f, nil
 }
 
@@ -67,6 +76,26 @@ func (f *File) Path() string { return f.path }
 // Create implements Store.
 func (f *File) Create(owner string, secret ppclust.OwnerSecret) (Entry, error) {
 	return f.mutate(func() (Entry, error) { return f.mem.createLocked(owner, secret) })
+}
+
+// CreateWithToken implements Store: entry and credential land in one
+// persist, and a failed persist rolls both back.
+func (f *File) CreateWithToken(owner string, secret ppclust.OwnerSecret, tokenHash []byte) (Entry, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.mem.mu.Lock()
+	defer f.mem.mu.Unlock()
+	e, err := f.mem.createLocked(owner, secret)
+	if err != nil {
+		return Entry{}, err
+	}
+	f.mem.tokens[owner] = append([]byte(nil), tokenHash...)
+	if err := f.persistLocked(); err != nil {
+		f.mem.dropLastLocked(owner, e.Version)
+		delete(f.mem.tokens, owner)
+		return Entry{}, err
+	}
+	return e, nil
 }
 
 // Rotate implements Store.
@@ -89,6 +118,31 @@ func (f *File) GetVersion(owner string, version int) (Entry, error) {
 
 // List implements Store.
 func (f *File) List() ([]Info, error) { return f.mem.List() }
+
+// SetToken implements Store with the same persist-or-rollback transaction
+// as entry mutations: a credential hash a client was told about is on disk.
+func (f *File) SetToken(owner string, hash []byte) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.mem.mu.Lock()
+	defer f.mem.mu.Unlock()
+	prev, had := f.mem.tokens[owner]
+	if err := f.mem.setTokenLocked(owner, hash); err != nil {
+		return err
+	}
+	if err := f.persistLocked(); err != nil {
+		if had {
+			f.mem.tokens[owner] = prev
+		} else {
+			delete(f.mem.tokens, owner)
+		}
+		return err
+	}
+	return nil
+}
+
+// TokenHash implements Store.
+func (f *File) TokenHash(owner string) ([]byte, error) { return f.mem.TokenHash(owner) }
 
 // mutate runs op-persist-or-rollback as one transaction under the memory
 // store's write lock, so readers never observe a version that is not yet
@@ -116,7 +170,7 @@ func (f *File) mutate(op func() (Entry, error)) (Entry, error) {
 // persistLocked writes the whole keyring atomically with 0600 permissions.
 // The caller holds f.mem.mu.
 func (f *File) persistLocked() error {
-	doc := fileDoc{Version: fileDocVersion, Owners: f.mem.owners}
+	doc := fileDoc{Version: fileDocVersion, Owners: f.mem.owners, Tokens: f.mem.tokens}
 	raw, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		return fmt.Errorf("keyring: encoding: %w", err)

@@ -65,6 +65,12 @@ type Info struct {
 type Store interface {
 	// Create stores version 1 for a new owner; ErrExists if known.
 	Create(owner string, secret ppclust.OwnerSecret) (Entry, error)
+	// CreateWithToken is Create plus the owner's credential hash, stored
+	// atomically: either the owner exists with a credential afterwards or
+	// not at all. This is what claims an owner name — callers racing on
+	// the same name get ErrExists instead of splitting key and credential
+	// between two clients.
+	CreateWithToken(owner string, secret ppclust.OwnerSecret, tokenHash []byte) (Entry, error)
 	// Get returns the current (highest) version for owner.
 	Get(owner string) (Entry, error)
 	// GetVersion returns a specific version for owner.
@@ -76,18 +82,30 @@ type Store interface {
 	Put(owner string, secret ppclust.OwnerSecret) (Entry, error)
 	// List returns secret-free infos for every owner, sorted by name.
 	List() ([]Info, error)
+	// SetToken stores the hash of the owner's API credential, replacing
+	// any previous one. The keyring only ever sees the hash — the
+	// plaintext token is handed to the owner once and never persisted.
+	SetToken(owner string, hash []byte) error
+	// TokenHash returns the owner's stored credential hash; ErrNotFound
+	// when the owner is unknown or has no credential on file.
+	TokenHash(owner string) ([]byte, error)
 }
 
 // Memory is an in-process Store, safe for concurrent use.
 type Memory struct {
 	mu     sync.RWMutex
 	owners map[string][]Entry // versions in ascending order
+	tokens map[string][]byte  // credential hash per owner
 	now    func() time.Time
 }
 
 // NewMemory returns an empty in-memory keyring.
 func NewMemory() *Memory {
-	return &Memory{owners: map[string][]Entry{}, now: func() time.Time { return time.Now().UTC() }}
+	return &Memory{
+		owners: map[string][]Entry{},
+		tokens: map[string][]byte{},
+		now:    func() time.Time { return time.Now().UTC() },
+	}
 }
 
 // Create implements Store.
@@ -95,6 +113,18 @@ func (m *Memory) Create(owner string, secret ppclust.OwnerSecret) (Entry, error)
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.createLocked(owner, secret)
+}
+
+// CreateWithToken implements Store.
+func (m *Memory) CreateWithToken(owner string, secret ppclust.OwnerSecret, tokenHash []byte) (Entry, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e, err := m.createLocked(owner, secret)
+	if err != nil {
+		return Entry{}, err
+	}
+	m.tokens[owner] = append([]byte(nil), tokenHash...)
+	return e, nil
 }
 
 // Rotate implements Store.
@@ -166,6 +196,35 @@ func (m *Memory) dropLastLocked(owner string, version int) {
 		return
 	}
 	m.owners[owner] = vs[:len(vs)-1]
+}
+
+// SetToken implements Store.
+func (m *Memory) SetToken(owner string, hash []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.setTokenLocked(owner, hash)
+}
+
+func (m *Memory) setTokenLocked(owner string, hash []byte) error {
+	if err := ValidName(owner); err != nil {
+		return err
+	}
+	if len(m.owners[owner]) == 0 {
+		return fmt.Errorf("%w: owner %q", ErrNotFound, owner)
+	}
+	m.tokens[owner] = append([]byte(nil), hash...)
+	return nil
+}
+
+// TokenHash implements Store.
+func (m *Memory) TokenHash(owner string) ([]byte, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	h, ok := m.tokens[owner]
+	if !ok {
+		return nil, fmt.Errorf("%w: no credential for owner %q", ErrNotFound, owner)
+	}
+	return append([]byte(nil), h...), nil
 }
 
 // Get implements Store.

@@ -228,3 +228,149 @@ func TestFileRollbackOnPersistFailure(t *testing.T) {
 		t.Fatal("failed create left ErrExists state behind")
 	}
 }
+
+func TestTokens(t *testing.T) {
+	m := NewMemory()
+	hash := []byte{1, 2, 3, 4}
+	// No credential may be attached to an unknown owner.
+	if err := m.SetToken("alice", hash); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("expected ErrNotFound for unknown owner, got %v", err)
+	}
+	if _, err := m.Create("alice", testSecret(10)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.TokenHash("alice"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("expected ErrNotFound before SetToken, got %v", err)
+	}
+	if err := m.SetToken("alice", hash); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.TokenHash("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(hash) {
+		t.Fatalf("TokenHash = %v, want %v", got, hash)
+	}
+	// The returned slice is a copy: mutating it must not corrupt the store.
+	got[0] = 99
+	again, _ := m.TokenHash("alice")
+	if again[0] != 1 {
+		t.Fatal("TokenHash returned the store's backing slice")
+	}
+	// Replacing a credential takes effect.
+	if err := m.SetToken("alice", []byte{9}); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := m.TokenHash("alice"); string(got) != string([]byte{9}) {
+		t.Fatal("SetToken did not replace the stored hash")
+	}
+}
+
+func TestFileTokensPersist(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "keys.json")
+	f, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Create("alice", testSecret(10)); err != nil {
+		t.Fatal(err)
+	}
+	hash := []byte{5, 6, 7}
+	if err := f.SetToken("alice", hash); err != nil {
+		t.Fatal(err)
+	}
+	g, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := g.TokenHash("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(hash) {
+		t.Fatalf("reloaded token hash = %v, want %v", got, hash)
+	}
+	// Keyrings written before tokens existed load fine with no credentials.
+	legacy := filepath.Join(t.TempDir(), "legacy.json")
+	if err := os.WriteFile(legacy, []byte(`{"version":1,"owners":{}}`), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenFile(legacy); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFileTokenRollbackOnPersistFailure(t *testing.T) {
+	f, err := OpenFile(filepath.Join(t.TempDir(), "missing", "keys.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bypass persistence to get an owner in memory, then fail the token
+	// persist: the in-memory credential must be rolled back.
+	f.mem.owners["alice"] = []Entry{{Owner: "alice", Version: 1}}
+	if err := f.SetToken("alice", []byte{1}); err == nil {
+		t.Fatal("expected persist failure")
+	}
+	if _, err := f.TokenHash("alice"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("phantom credential survived failed persist: %v", err)
+	}
+}
+
+func TestCreateWithToken(t *testing.T) {
+	m := NewMemory()
+	hash := []byte{1, 2, 3}
+	e, err := m.CreateWithToken("alice", testSecret(10), hash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Version != 1 {
+		t.Fatalf("version %d, want 1", e.Version)
+	}
+	if got, err := m.TokenHash("alice"); err != nil || string(got) != string(hash) {
+		t.Fatalf("TokenHash after create = %v, %v", got, err)
+	}
+	// A second claim of the same name loses cleanly and must not replace
+	// the winner's credential.
+	if _, err := m.CreateWithToken("alice", testSecret(20), []byte{9}); !errors.Is(err, ErrExists) {
+		t.Fatalf("expected ErrExists, got %v", err)
+	}
+	if got, _ := m.TokenHash("alice"); string(got) != string(hash) {
+		t.Fatal("losing claim replaced the winner's credential")
+	}
+}
+
+func TestFileCreateWithTokenAtomic(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "keys.json")
+	f, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hash := []byte{4, 5, 6}
+	if _, err := f.CreateWithToken("alice", testSecret(10), hash); err != nil {
+		t.Fatal(err)
+	}
+	g, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := g.TokenHash("alice"); err != nil || string(got) != string(hash) {
+		t.Fatalf("reloaded credential = %v, %v", got, err)
+	}
+
+	// A failed persist must leave neither the entry nor the credential:
+	// an owner with a key but no token would be permanently locked out.
+	broken, err := OpenFile(filepath.Join(t.TempDir(), "missing", "keys.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := broken.CreateWithToken("bob", testSecret(1), hash); err == nil {
+		t.Fatal("expected persist failure")
+	}
+	if _, err := broken.Get("bob"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("phantom owner survived failed persist: %v", err)
+	}
+	if _, err := broken.TokenHash("bob"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("phantom credential survived failed persist: %v", err)
+	}
+}

@@ -28,6 +28,7 @@ import (
 
 	"ppclust/internal/core"
 	"ppclust/internal/dataset"
+	"ppclust/internal/engine"
 	"ppclust/internal/norm"
 	"ppclust/internal/stats"
 )
@@ -69,8 +70,12 @@ type ProtectOptions struct {
 	// Thresholds holds one PST per pair (or a single PST broadcast to all).
 	// Required: privacy without a threshold is undefined (Definition 2).
 	Thresholds []PST
-	// Seed seeds the angle randomness; 0 means a fixed default seed, so
-	// runs are reproducible unless a seed is chosen.
+	// Seed pins the angle randomness so a run can be reproduced exactly.
+	// 0 (the default) draws an unpredictable seed from crypto/rand: the
+	// rotation key must not be a deterministic function of the dataset,
+	// or anyone holding a similar sample (the paper's known-sample
+	// attacker) could rerun the pipeline, reproduce the key and invert
+	// the release. Set a seed only for tests and reproduction runs.
 	Seed int64
 	// FixedAngles bypasses random angle selection (still PST-checked).
 	FixedAngles []float64
@@ -101,6 +106,7 @@ func (p *Protected) Secret() OwnerSecret {
 		Normalization: p.normMethod,
 		ParamsA:       append([]float64(nil), p.paramsA...),
 		ParamsB:       append([]float64(nil), p.paramsB...),
+		Columns:       len(p.paramsA),
 	}
 }
 
@@ -112,6 +118,10 @@ type OwnerSecret struct {
 	Normalization Normalization `json:"normalization"`
 	ParamsA       []float64     `json:"params_a"`
 	ParamsB       []float64     `json:"params_b"`
+	// Columns records the attribute count the secret applies to. It is 0
+	// in secrets stored before the field existed; consumers then fall
+	// back to inferring the count from the normalization parameters.
+	Columns int `json:"columns,omitempty"`
 }
 
 // Marshal serializes the secret as JSON.
@@ -150,9 +160,9 @@ func Protect(ds *Dataset, opts ProtectOptions) (*Protected, error) {
 	if err != nil {
 		return nil, fmt.Errorf("ppclust: normalizing: %w", err)
 	}
-	var rng *rand.Rand
-	if opts.Seed != 0 {
-		rng = rand.New(rand.NewSource(opts.Seed))
+	rng, err := newRNG(opts.Seed)
+	if err != nil {
+		return nil, err
 	}
 	res, err := core.Transform(normalized, core.Options{
 		Pairs:       opts.Pairs,
@@ -210,6 +220,19 @@ func Recover(released *Dataset, secret OwnerSecret) (*Dataset, error) {
 		return nil, fmt.Errorf("ppclust: inverting normalization: %w", err)
 	}
 	return released.WithData(raw)
+}
+
+// newRNG builds the angle randomness source: seeded from seed when
+// nonzero (reproduction runs), from crypto/rand otherwise so keys are
+// unpredictable by default.
+func newRNG(seed int64) (*rand.Rand, error) {
+	if seed == 0 {
+		var err error
+		if seed, err = engine.CryptoSeed(); err != nil {
+			return nil, err
+		}
+	}
+	return rand.New(rand.NewSource(seed)), nil
 }
 
 func newNormalizer(method Normalization) (norm.Normalizer, error) {

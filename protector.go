@@ -93,6 +93,7 @@ func NewProtectorFromSecret(secret OwnerSecret) (*Protector, error) {
 		Normalization: string(secret.Normalization),
 		ParamsA:       secret.ParamsA,
 		ParamsB:       secret.ParamsB,
+		Columns:       secret.Columns,
 	})
 	if err != nil {
 		return nil, err
@@ -120,6 +121,7 @@ func (p *Protector) Secret() OwnerSecret {
 		Normalization: Normalization(s.Normalization),
 		ParamsA:       s.ParamsA,
 		ParamsB:       s.ParamsB,
+		Columns:       s.Columns,
 	}
 }
 
