@@ -1,0 +1,59 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: ppclust/cmd/ppclustd
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkJobEndToEnd 	       3	  84932407 ns/op
+BenchmarkEngineProtectParallel/workers=4-8         	       1	  52341000 ns/op	 1024 B/op	       3 allocs/op
+PASS
+ok  	ppclust/cmd/ppclustd	0.364s
+`
+
+func TestParse(t *testing.T) {
+	doc, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.GOOS != "linux" || doc.GOARCH != "amd64" || !strings.Contains(doc.CPU, "Xeon") {
+		t.Fatalf("header = %+v", doc)
+	}
+	if len(doc.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(doc.Benchmarks))
+	}
+	b0 := doc.Benchmarks[0]
+	if b0.Name != "BenchmarkJobEndToEnd" || b0.Iterations != 3 || b0.NsPerOp != 84932407 {
+		t.Fatalf("b0 = %+v", b0)
+	}
+	b1 := doc.Benchmarks[1]
+	if b1.Name != "BenchmarkEngineProtectParallel/workers=4" {
+		t.Fatalf("GOMAXPROCS suffix not stripped: %q", b1.Name)
+	}
+	if b1.NsPerOp != 52341000 || b1.Extra["B/op"] != 1024 || b1.Extra["allocs/op"] != 3 {
+		t.Fatalf("b1 = %+v", b1)
+	}
+}
+
+func TestParseEmptyAndJunk(t *testing.T) {
+	doc, err := parse(strings.NewReader("no benchmarks here\nPASS\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Benchmarks) != 0 {
+		t.Fatalf("benchmarks = %+v", doc.Benchmarks)
+	}
+	// A non-numeric iteration field just fails the line match and is
+	// skipped; a malformed metric tail on a matched line is an error.
+	doc, err = parse(strings.NewReader("BenchmarkBad 	 notanumber	 12 ns/op\n"))
+	if err != nil || len(doc.Benchmarks) != 0 {
+		t.Fatalf("unmatched line: %+v, %v", doc.Benchmarks, err)
+	}
+	if _, err := parse(strings.NewReader("BenchmarkBad 	 5	 12 ns/op trailing\n")); err == nil {
+		t.Fatal("odd metric tail should error")
+	}
+}

@@ -1,11 +1,18 @@
 // Command datagen emits the library's synthetic datasets as CSV, for use
-// with cmd/rbt and external tools.
+// with cmd/rbt, ppclustd dataset uploads and external tools.
 //
 // Usage:
 //
 //	datagen -kind patients -m 300 -k 3 -seed 7 -out patients.csv
+//	datagen -kind blobs -m 500 -labels -out blobs.csv   # + ground truth
 //
 // Kinds: blobs, rings, moons, uniform, patients, customers.
+//
+// By default the output holds only attribute columns — the shape protect
+// and cluster workloads ingest directly. -labels appends the generator's
+// ground-truth cluster index as a trailing "label" column (every kind
+// except uniform has one), which is what an evaluate job needs as its
+// reference partition (upload with labels=last).
 package main
 
 import (
@@ -34,6 +41,7 @@ func run(args []string, stdout io.Writer) error {
 	sep := fs.Float64("sep", 10, "cluster separation (blobs)")
 	noise := fs.Float64("noise", 0.05, "noise level (rings, moons)")
 	seed := fs.Int64("seed", 1, "random seed")
+	labels := fs.Bool("labels", false, "append the ground-truth cluster index as a trailing label column (all kinds except uniform)")
 	out := fs.String("out", "", "output CSV path (default: stdout)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -62,6 +70,13 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if err != nil {
 		return err
+	}
+	if *labels {
+		if ds.Labels == nil {
+			return fmt.Errorf("kind %q has no ground-truth labels", *kind)
+		}
+	} else {
+		ds.Labels = nil
 	}
 	if *out == "" {
 		return dataset.WriteCSV(stdout, ds)

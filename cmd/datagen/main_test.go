@@ -28,14 +28,41 @@ func TestRunWritesFile(t *testing.T) {
 	if err := run([]string{"-kind", "blobs", "-m", "10", "-out", out}, &buf); err != nil {
 		t.Fatal(err)
 	}
+	ds, err := dataset.ReadCSVFile(out, dataset.DefaultCSVOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Rows() != 10 || ds.Cols() != 4 || ds.Labels != nil {
+		t.Fatalf("round trip %dx%d (labels %v)", ds.Rows(), ds.Cols(), ds.Labels)
+	}
+}
+
+// TestLabelsFlag: -labels appends the ground-truth column for kinds that
+// have one and refuses kinds that do not.
+func TestLabelsFlag(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "blobs.csv")
+	var buf strings.Builder
+	if err := run([]string{"-kind", "blobs", "-m", "12", "-k", "3", "-labels", "-out", out}, &buf); err != nil {
+		t.Fatal(err)
+	}
 	opts := dataset.DefaultCSVOptions()
 	opts.LabelColumn = 4
 	ds, err := dataset.ReadCSVFile(out, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if ds.Rows() != 10 || ds.Cols() != 4 {
-		t.Fatalf("round trip %dx%d", ds.Rows(), ds.Cols())
+	if ds.Rows() != 12 || ds.Cols() != 4 || ds.Labels == nil {
+		t.Fatalf("labeled round trip %dx%d (labels %v)", ds.Rows(), ds.Cols(), ds.Labels)
+	}
+	seen := map[int]bool{}
+	for _, l := range ds.Labels {
+		seen[l] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("labels cover %d groups, want 3", len(seen))
+	}
+	if err := run([]string{"-kind", "uniform", "-m", "10", "-labels"}, &buf); err == nil {
+		t.Fatal("-labels on a kind without ground truth should error")
 	}
 }
 

@@ -78,11 +78,14 @@ func bearerToken(r *http.Request) (string, bool) {
 	return auth[len(prefix):], true
 }
 
-// writeAuthErr maps credential failures onto 401 (bad or missing token)
-// or 403 (no credential exists to present).
+// writeAuthErr maps credential failures onto HTTP statuses: 401 when no
+// token was presented (authenticate and retry), 403 when a token was
+// presented but does not match the owner — e.g. another owner's valid
+// credential, which authenticates its holder but grants nothing here —
+// and 403 when the owner has no credential that could ever be presented.
 func writeAuthErr(w http.ResponseWriter, err error) {
 	code := http.StatusForbidden
-	if errors.Is(err, errNoToken) || errors.Is(err, errBadToken) {
+	if errors.Is(err, errNoToken) {
 		code = http.StatusUnauthorized
 		w.Header().Set("WWW-Authenticate", `Bearer realm="ppclust"`)
 	}

@@ -1,0 +1,85 @@
+package main
+
+// BenchmarkJobEndToEnd measures the full served job path — HTTP submit,
+// queue, worker pool, cluster run, HTTP result fetch — the number the CI
+// bench smoke tracks alongside the raw engine protect/recover timings.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"ppclust/internal/dataset"
+	"ppclust/internal/datastore"
+	"ppclust/internal/engine"
+	"ppclust/internal/jobs"
+	"ppclust/internal/keyring"
+)
+
+func BenchmarkJobEndToEnd(b *testing.B) {
+	mgr := jobs.New(jobs.Config{Workers: 2, Retention: 8})
+	defer mgr.Close()
+	s := newServer(engine.New(0, 0), keyring.NewMemory(), datastore.NewMemory(), mgr)
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+
+	ds, err := dataset.WellSeparatedBlobs(2000, 3, 8, 10, rand.New(rand.NewSource(1)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ds.Labels = nil
+	var csvBuf bytes.Buffer
+	if err := dataset.WriteCSV(&csvBuf, ds); err != nil {
+		b.Fatal(err)
+	}
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/datasets?owner=bench&name=d", bytes.NewReader(csvBuf.Bytes()))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		b.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		b.Fatalf("upload: %d", resp.StatusCode)
+	}
+	tok := resp.Header.Get("X-Ppclust-Token")
+
+	spec := []byte(`{"type":"cluster","dataset":"d","algorithm":"kmeans","k":3}`)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/jobs?owner=bench", bytes.NewReader(spec))
+		req.Header.Set("Authorization", "Bearer "+tok)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var st jobs.Status
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			b.Fatalf("submit: %d", resp.StatusCode)
+		}
+		for !st.State.Terminal() {
+			time.Sleep(500 * time.Microsecond)
+			sreq, _ := http.NewRequest(http.MethodGet, fmt.Sprintf("%s/v1/jobs/%s?owner=bench", ts.URL, st.ID), nil)
+			sreq.Header.Set("Authorization", "Bearer "+tok)
+			sresp, err := http.DefaultClient.Do(sreq)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := json.NewDecoder(sresp.Body).Decode(&st); err != nil {
+				b.Fatal(err)
+			}
+			sresp.Body.Close()
+		}
+		if st.State != jobs.StateDone {
+			b.Fatalf("job %s: %s (%s)", st.ID, st.State, st.Error)
+		}
+	}
+}

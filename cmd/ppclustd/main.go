@@ -35,65 +35,130 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"io/fs"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
+	"ppclust/internal/datastore"
 	"ppclust/internal/engine"
+	"ppclust/internal/jobs"
 	"ppclust/internal/keyring"
 )
 
+// options bundles the daemon's flag-configurable knobs.
+type options struct {
+	addr         string
+	keyringPath  string
+	dataDir      string
+	jobsState    string
+	workers      int
+	blockRows    int
+	batchRows    int
+	maxBody      int64
+	jobWorkers   int
+	jobRetention int
+	noAuth       bool
+}
+
 func main() {
-	var (
-		addr        = flag.String("addr", "127.0.0.1:8344", "listen address (loopback by default; front with a TLS proxy before exposing)")
-		keyringPath = flag.String("keyring", "", "path to the JSON keyring file (empty: in-memory, keys lost on exit)")
-		workers     = flag.Int("workers", 0, "engine worker count (0: GOMAXPROCS)")
-		blockRows   = flag.Int("block-rows", 0, "rows per engine block (0: default)")
-		batchRows   = flag.Int("batch-rows", 4096, "rows per streaming batch")
-		maxBody     = flag.Int64("max-body", 1<<30, "maximum request body bytes")
-		noAuth      = flag.Bool("insecure-no-auth", false, "disable per-owner bearer-token auth (only behind an authenticating proxy on a trusted network)")
-	)
+	var o options
+	flag.StringVar(&o.addr, "addr", "127.0.0.1:8344", "listen address (loopback by default; front with a TLS proxy before exposing)")
+	flag.StringVar(&o.keyringPath, "keyring", "", "path to the JSON keyring file (empty: in-memory, keys lost on exit)")
+	flag.StringVar(&o.dataDir, "data-dir", "", "directory for uploaded datasets (empty: in-memory, lost on exit)")
+	flag.StringVar(&o.jobsState, "jobs-state", "", "path for queued-job state persisted across restarts (empty: <data-dir>/queued-jobs.json when -data-dir is set, else none)")
+	flag.IntVar(&o.workers, "workers", 0, "engine worker count (0: GOMAXPROCS)")
+	flag.IntVar(&o.blockRows, "block-rows", 0, "rows per engine block (0: default)")
+	flag.IntVar(&o.batchRows, "batch-rows", 4096, "rows per streaming batch")
+	flag.Int64Var(&o.maxBody, "max-body", 1<<30, "maximum request body bytes")
+	flag.IntVar(&o.jobWorkers, "job-workers", 0, "async job worker pool size (0: max(2, GOMAXPROCS))")
+	flag.IntVar(&o.jobRetention, "job-retention", 0, "finished jobs kept per owner (0: default)")
+	flag.BoolVar(&o.noAuth, "insecure-no-auth", false, "disable per-owner bearer-token auth (only behind an authenticating proxy on a trusted network)")
 	flag.Parse()
-	if err := run(*addr, *keyringPath, *workers, *blockRows, *batchRows, *maxBody, *noAuth); err != nil {
+	if err := run(o); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(addr, keyringPath string, workers, blockRows, batchRows int, maxBody int64, noAuth bool) error {
+func run(o options) error {
 	var keys keyring.Store
-	if keyringPath == "" {
+	if o.keyringPath == "" {
 		log.Printf("keyring: in-memory (keys are lost on exit; use -keyring for persistence)")
 		keys = keyring.NewMemory()
 	} else {
-		fileStore, err := keyring.OpenFile(keyringPath)
+		fileStore, err := keyring.OpenFile(o.keyringPath)
 		if err != nil {
 			return err
 		}
-		log.Printf("keyring: %s", keyringPath)
+		log.Printf("keyring: %s", o.keyringPath)
 		keys = fileStore
 	}
+	var store datastore.Store
+	if o.dataDir == "" {
+		log.Printf("datastore: in-memory (datasets are lost on exit; use -data-dir for persistence)")
+		store = datastore.NewMemory()
+	} else if o.keyringPath == "" {
+		// Datasets outliving credentials would let anyone re-claim an
+		// owner name after a restart and download that owner's persisted
+		// originals — refuse the combination outright.
+		return fmt.Errorf("ppclustd: -data-dir requires -keyring: persistent datasets need persistent owner credentials")
+	} else {
+		dirStore, err := datastore.OpenDir(o.dataDir)
+		if err != nil {
+			return err
+		}
+		log.Printf("datastore: %s", o.dataDir)
+		store = dirStore
+		if o.jobsState == "" {
+			o.jobsState = o.dataDir + "/queued-jobs.json"
+		}
+	}
 
-	eng := engine.New(workers, blockRows)
-	s := newServer(eng, keys)
-	if batchRows > 0 {
-		s.batchRows = batchRows
+	jobWorkers := o.jobWorkers
+	if jobWorkers <= 0 {
+		jobWorkers = max(2, runtime.GOMAXPROCS(0))
 	}
-	if maxBody > 0 {
-		s.maxBody = maxBody
+	mgr := jobs.New(jobs.Config{Workers: jobWorkers, Retention: o.jobRetention})
+
+	eng := engine.New(o.workers, o.blockRows)
+	s := newServer(eng, keys, store, mgr)
+	if o.batchRows > 0 {
+		s.batchRows = o.batchRows
 	}
-	if noAuth {
+	if o.maxBody > 0 {
+		s.maxBody = o.maxBody
+	}
+	if o.noAuth {
 		log.Printf("auth: DISABLED (-insecure-no-auth); every client can protect and recover for every owner")
 		s.authDisabled = true
 	}
+	// The listener is claimed synchronously before the queued-job state
+	// file is consumed: if the port is taken (or any other startup
+	// failure), the persisted jobs must survive for the next attempt.
+	ln, err := net.Listen("tcp", o.addr)
+	if err != nil {
+		mgr.Close()
+		return fmt.Errorf("ppclustd: %w", err)
+	}
+	if o.jobsState != "" {
+		if n, err := restoreQueuedJobs(mgr, o.jobsState); err != nil {
+			ln.Close()
+			return err
+		} else if n > 0 {
+			log.Printf("jobs: resubmitted %d queued jobs from %s", n, o.jobsState)
+		}
+	}
 
 	srv := &http.Server{
-		Addr:              addr,
 		Handler:           s.handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
@@ -102,18 +167,28 @@ func run(addr, keyringPath string, workers, blockRows, batchRows int, maxBody in
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("ppclustd listening on %s (%d workers)", addr, eng.Workers())
-		errc <- srv.ListenAndServe()
+		log.Printf("ppclustd listening on %s (%d engine workers, %d job workers)", o.addr, eng.Workers(), mgr.Workers())
+		errc <- srv.Serve(ln)
 	}()
 
 	select {
 	case err := <-errc:
+		// The server died on its own: drain and persist the queue just
+		// like a signalled shutdown so restored jobs are not lost.
+		drainJobs(mgr, o.jobsState)
 		return fmt.Errorf("ppclustd: %w", err)
 	case <-ctx.Done():
 	}
+	// Graceful drain, in dependency order: first the job subsystem stops
+	// accepting work, cancels running jobs via their contexts and hands
+	// back the queued tail; then that tail is persisted; only then does
+	// the HTTP server finish in-flight requests and stop. A job submitted
+	// in the gap gets 503 from the draining manager rather than being
+	// silently dropped.
 	log.Printf("ppclustd: shutting down")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
+	drainJobs(mgr, o.jobsState)
 	if err := srv.Shutdown(shutdownCtx); err != nil {
 		return fmt.Errorf("ppclustd: shutdown: %w", err)
 	}
@@ -121,4 +196,71 @@ func run(addr, keyringPath string, workers, blockRows, batchRows int, maxBody in
 		return fmt.Errorf("ppclustd: %w", err)
 	}
 	return nil
+}
+
+// drainJobs stops the job subsystem and persists its queued tail (when a
+// state path is configured).
+func drainJobs(mgr *jobs.Manager, statePath string) {
+	drainCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	queued, derr := mgr.Drain(drainCtx)
+	if derr != nil {
+		log.Printf("ppclustd: job drain: %v", derr)
+	}
+	if statePath != "" {
+		if err := persistQueuedJobs(statePath, queued); err != nil {
+			log.Printf("ppclustd: persisting queued jobs: %v", err)
+		} else if len(queued) > 0 {
+			log.Printf("ppclustd: persisted %d queued jobs to %s", len(queued), statePath)
+		}
+	} else if len(queued) > 0 {
+		log.Printf("ppclustd: dropping %d queued jobs (no -jobs-state path)", len(queued))
+	}
+}
+
+// persistQueuedJobs writes the drained queue atomically with 0600
+// permissions (job specs name owners and datasets).
+func persistQueuedJobs(path string, queued []jobs.QueuedJob) error {
+	if len(queued) == 0 {
+		// Nothing pending: remove stale state so a restart does not
+		// resurrect jobs from an older shutdown.
+		if err := os.Remove(path); err != nil && !errors.Is(err, fs.ErrNotExist) {
+			return err
+		}
+		return nil
+	}
+	raw, err := json.MarshalIndent(queued, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, raw, 0o600); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// restoreQueuedJobs resubmits jobs persisted by a previous drain and
+// consumes the state file.
+func restoreQueuedJobs(mgr *jobs.Manager, path string) (int, error) {
+	raw, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("ppclustd: reading %s: %w", path, err)
+	}
+	var queued []jobs.QueuedJob
+	if err := json.Unmarshal(raw, &queued); err != nil {
+		return 0, fmt.Errorf("ppclustd: parsing %s: %w", path, err)
+	}
+	for _, q := range queued {
+		if _, err := mgr.Resubmit(q); err != nil {
+			return 0, fmt.Errorf("ppclustd: resubmitting job %s: %w", q.ID, err)
+		}
+	}
+	if err := os.Remove(path); err != nil {
+		return 0, fmt.Errorf("ppclustd: consuming %s: %w", path, err)
+	}
+	return len(queued), nil
 }

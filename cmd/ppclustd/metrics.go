@@ -1,0 +1,91 @@
+package main
+
+// GET /v1/metrics: expvar-style counters for load observability — requests
+// by route and status, rows flowing through protect/recover/ingest, and
+// the job subsystem's queue and pool numbers. Like /healthz and /v1/keys
+// it exposes aggregate metadata only, never data or key material, so it is
+// unauthenticated.
+
+import (
+	"fmt"
+	"net/http"
+
+	"ppclust/internal/metrics"
+)
+
+// instrument wraps the mux so every request increments a
+// route+status-labelled counter. The pattern is the mux's match (e.g.
+// "POST /v1/jobs"), which keeps cardinality bounded by the route table
+// rather than by client-chosen URLs.
+func (s *server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		// Deferred so that requests a handler kills mid-stream with
+		// panic(http.ErrAbortHandler) — exactly the failures an operator
+		// watches error rates for — are still counted; the panic keeps
+		// unwinding to net/http afterwards.
+		defer func() {
+			route := r.Pattern
+			if route == "" {
+				route = "unmatched"
+			}
+			s.reg.Counter(fmt.Sprintf(`http_requests_total{route=%q,status="%d"}`, route, rec.status)).Inc()
+		}()
+		next.ServeHTTP(rec, r)
+	})
+}
+
+// statusRecorder captures the response status. Unwrap keeps
+// http.ResponseController features (full-duplex streaming, flush) working
+// through the wrapper; Flush covers handlers that type-assert
+// http.Flusher directly.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	wrote  bool
+}
+
+func (s *statusRecorder) WriteHeader(code int) {
+	if !s.wrote {
+		s.status = code
+		s.wrote = true
+	}
+	s.ResponseWriter.WriteHeader(code)
+}
+
+func (s *statusRecorder) Write(p []byte) (int, error) {
+	s.wrote = true
+	return s.ResponseWriter.Write(p)
+}
+
+func (s *statusRecorder) Flush() {
+	if f, ok := s.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+func (s *statusRecorder) Unwrap() http.ResponseWriter { return s.ResponseWriter }
+
+func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	snap := s.reg.Snapshot()
+	// Live gauges from the subsystems that own them, composed at scrape
+	// time rather than double-booked as counters.
+	stats := s.mgr.Stats()
+	snap["jobs_submitted_total"] = stats.Submitted
+	snap["jobs_completed_total"] = stats.Completed
+	snap["jobs_failed_total"] = stats.Failed
+	snap["jobs_cancelled_total"] = stats.Cancelled
+	snap["jobs_queued"] = int64(stats.QueueDepth)
+	snap["jobs_running"] = int64(stats.RunningNow)
+	snap["job_workers"] = int64(stats.Workers)
+	snap["engine_workers"] = int64(s.eng.Workers())
+	writeJSON(w, http.StatusOK, snap)
+}
+
+// newMetricCounters resolves the hot-path counters once at startup.
+func (s *server) initMetrics() {
+	s.reg = metrics.NewRegistry()
+	s.rowsProtected = s.reg.Counter("rows_protected_total")
+	s.rowsRecovered = s.reg.Counter("rows_recovered_total")
+	s.rowsIngested = s.reg.Counter("rows_ingested_total")
+}

@@ -11,17 +11,24 @@ import (
 
 	"ppclust"
 	"ppclust/internal/core"
+	"ppclust/internal/datastore"
 	"ppclust/internal/engine"
+	"ppclust/internal/jobs"
 	"ppclust/internal/keyring"
 	"ppclust/internal/matrix"
+	"ppclust/internal/metrics"
 )
 
-// server wires the parallel RBT engine and the keyring behind the HTTP API:
+// server wires the parallel RBT engine, the keyring, the dataset store and
+// the async job subsystem behind the HTTP API:
 //
 //	POST /v1/protect?owner=NAME   protect a dataset, storing the secret
 //	POST /v1/recover?owner=NAME   invert a release using the stored secret
 //	GET  /v1/keys                 list owners (no secret material)
+//	GET  /v1/metrics              expvar-style counters (metrics.go)
 //	GET  /healthz                 liveness probe
+//	/v1/datasets...               named owner-scoped uploads (datasets.go)
+//	/v1/jobs...                   async analytics jobs (jobs.go)
 //
 // Protect has two modes. mode=fit (the default) reads the whole body, fits
 // normalization and a fresh PST-checked rotation key, stores the secret as
@@ -30,33 +37,54 @@ import (
 // incrementally in fixed-size batches — constant memory, suitable for
 // unbounded inputs. Recover always streams.
 //
-// A fit-protect that creates an owner mints that owner's bearer token (see
-// auth.go); every request against an existing owner must present it unless
-// authDisabled is set.
+// A fit-protect or dataset upload that creates an owner mints that owner's
+// bearer token (see auth.go); every request against an existing owner must
+// present it unless authDisabled is set.
 type server struct {
 	eng          *engine.Engine
 	keys         keyring.Store
+	store        datastore.Store
+	mgr          *jobs.Manager
 	maxBody      int64
 	batchRows    int
 	authDisabled bool
+
+	reg                                        *metrics.Registry
+	rowsProtected, rowsRecovered, rowsIngested *metrics.Counter
 }
 
-func newServer(eng *engine.Engine, keys keyring.Store) *server {
-	return &server{
+func newServer(eng *engine.Engine, keys keyring.Store, store datastore.Store, mgr *jobs.Manager) *server {
+	s := &server{
 		eng:       eng,
 		keys:      keys,
+		store:     store,
+		mgr:       mgr,
 		maxBody:   1 << 30,
 		batchRows: 4096,
 	}
+	s.initMetrics()
+	s.registerJobRunners()
+	return s
 }
 
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /v1/keys", s.handleKeys)
+	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	mux.HandleFunc("POST /v1/protect", s.handleProtect)
 	mux.HandleFunc("POST /v1/recover", s.handleRecover)
-	return mux
+	mux.HandleFunc("POST /v1/datasets", s.handleDatasetUpload)
+	mux.HandleFunc("GET /v1/datasets", s.handleDatasetList)
+	mux.HandleFunc("GET /v1/datasets/{name}", s.handleDatasetGet)
+	mux.HandleFunc("GET /v1/datasets/{name}/rows", s.handleDatasetRows)
+	mux.HandleFunc("DELETE /v1/datasets/{name}", s.handleDatasetDelete)
+	mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleJobList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
+	return s.instrument(mux)
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
@@ -88,27 +116,39 @@ func (s *server) handleProtect(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	// Fit mode may create the owner; any touch of an existing owner's key
-	// material (rotation included) requires that owner's token. The
+	// material (rotation included) requires that owner's token, and an
+	// owner that exists only as a dataset-upload credential claim (no key
+	// yet) must authenticate before its first key is fitted. The
 	// existence check races with concurrent creations, but never into an
 	// unauthenticated rotation: creation is an atomic claim
-	// (CreateWithToken) and the loser of a race gets ErrExists.
+	// (CreateWithToken / ClaimToken) and the loser of a race gets
+	// ErrExists.
 	exists := false
 	if _, err := s.keys.Get(owner); err == nil {
 		exists = true
+	} else if !errors.Is(err, keyring.ErrNotFound) {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	hasCred := false
+	if _, err := s.keys.TokenHash(owner); err == nil {
+		hasCred = true
+	} else if !errors.Is(err, keyring.ErrNotFound) {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	if exists || hasCred {
 		if aerr := s.authorize(r, owner); aerr != nil {
 			writeAuthErr(w, aerr)
 			return
 		}
-	} else if !errors.Is(err, keyring.ErrNotFound) {
-		writeErr(w, http.StatusInternalServerError, err)
-		return
 	}
 	body := http.MaxBytesReader(w, r.Body, s.maxBody)
 	rr := newRowReader(format, body)
 
 	switch mode := q.Get("mode"); mode {
 	case "", "fit":
-		s.protectFit(w, q, format, rr, owner, exists)
+		s.protectFit(w, q, format, rr, owner, exists, hasCred)
 	case "stream":
 		s.protectStream(w, r, q, format, rr, owner)
 	default:
@@ -120,8 +160,10 @@ func (s *server) handleProtect(w http.ResponseWriter, r *http.Request) {
 // as a new key version, and streams the release. A fit that creates the
 // owner atomically claims the name together with a freshly minted bearer
 // token; a fit for an existing (authorized) owner rotates the key and
-// keeps the credential.
-func (s *server) protectFit(w http.ResponseWriter, q urlValues, format string, rr rowReader, owner string, exists bool) {
+// keeps the credential, and a fit for an owner that so far only holds a
+// dataset-upload credential stores its first key version under that
+// credential.
+func (s *server) protectFit(w http.ResponseWriter, q urlValues, format string, rr rowReader, owner string, exists, hasCred bool) {
 	opts := engine.ProtectOptions{Normalization: engine.NormZScore}
 	switch norm := q.Get("norm"); norm {
 	case "", "zscore":
@@ -187,6 +229,14 @@ func (s *server) protectFit(w http.ResponseWriter, q urlValues, format string, r
 			}
 			token = tok
 		}
+	} else if hasCred {
+		// First key for a credential-only owner (created by a dataset
+		// upload): the request was authorized against that credential,
+		// which stays; Create never replaces a stored token.
+		if entry, err = s.keys.Create(owner, secret); err != nil {
+			writeErr(w, statusFor(err), err)
+			return
+		}
 	} else {
 		// Creation: claim the owner name, key and credential in one
 		// atomic store operation — a failure leaves no half-created
@@ -230,6 +280,7 @@ func (s *server) protectFit(w http.ResponseWriter, q urlValues, format string, r
 		}
 	}
 	flush(rw, w)
+	s.rowsProtected.Add(int64(res.Released.Rows()))
 }
 
 // protectStream protects the body incrementally under the owner's stored
@@ -261,7 +312,7 @@ func (s *server) protectStream(w http.ResponseWriter, r *http.Request, q urlValu
 		writeErr(w, statusFor(err), err)
 		return
 	}
-	s.pump(w, format, rr, owner, entry.Version, sp.ProtectBatch)
+	s.pump(w, format, rr, owner, entry.Version, sp.ProtectBatch, s.rowsProtected)
 }
 
 func (s *server) handleRecover(w http.ResponseWriter, r *http.Request) {
@@ -292,12 +343,13 @@ func (s *server) handleRecover(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	body := http.MaxBytesReader(w, r.Body, s.maxBody)
-	s.pump(w, format, newRowReader(format, body), owner, entry.Version, sp.RecoverBatch)
+	s.pump(w, format, newRowReader(format, body), owner, entry.Version, sp.RecoverBatch, s.rowsRecovered)
 }
 
 // pump streams the request body through fn in batches of batchRows,
-// writing transformed rows as they are produced.
-func (s *server) pump(w http.ResponseWriter, format string, rr rowReader, owner string, version int, fn func(*matrix.Dense) (*matrix.Dense, error)) {
+// writing transformed rows as they are produced and counting them into
+// rows.
+func (s *server) pump(w http.ResponseWriter, format string, rr rowReader, owner string, version int, fn func(*matrix.Dense) (*matrix.Dense, error), rows *metrics.Counter) {
 	// Interleaving request-body reads with response writes needs explicit
 	// full-duplex mode on HTTP/1.x; without it the server closes the body
 	// at the first write.
@@ -347,6 +399,7 @@ func (s *server) pump(w http.ResponseWriter, format string, rr rowReader, owner 
 					abort("writing", err)
 				}
 			}
+			rows.Add(int64(out.Rows()))
 			flush(rw, w)
 		}
 		if done {
@@ -454,11 +507,22 @@ func writeErr(w http.ResponseWriter, code int, err error) {
 // statusFor maps domain errors onto HTTP statuses.
 func statusFor(err error) int {
 	switch {
-	case errors.Is(err, keyring.ErrNotFound):
+	case errors.Is(err, keyring.ErrNotFound),
+		errors.Is(err, datastore.ErrNotFound),
+		errors.Is(err, jobs.ErrNotFound):
 		return http.StatusNotFound
-	case errors.Is(err, keyring.ErrExists):
+	case errors.Is(err, keyring.ErrExists),
+		errors.Is(err, datastore.ErrExists),
+		errors.Is(err, jobs.ErrNotTerminal),
+		errors.Is(err, jobs.ErrTerminal):
 		return http.StatusConflict
+	case errors.Is(err, jobs.ErrDraining):
+		return http.StatusServiceUnavailable
 	case errors.Is(err, keyring.ErrBadName),
+		errors.Is(err, datastore.ErrBadName),
+		errors.Is(err, datastore.ErrBadData),
+		errors.Is(err, errBadJob),
+		errors.Is(err, jobs.ErrUnknownType),
 		errors.Is(err, core.ErrBadInput),
 		errors.Is(err, core.ErrBadPair),
 		errors.Is(err, core.ErrBadThreshold),

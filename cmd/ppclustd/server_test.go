@@ -14,14 +14,25 @@ import (
 
 	"ppclust"
 	"ppclust/internal/dataset"
+	"ppclust/internal/datastore"
 	"ppclust/internal/engine"
+	"ppclust/internal/jobs"
 	"ppclust/internal/keyring"
 	"ppclust/internal/matrix"
 )
 
+// newServerWith assembles a server around the given keyring with fresh
+// in-memory stores and a small job pool, cleaned up with the test.
+func newServerWith(t *testing.T, eng *engine.Engine, keys keyring.Store) *server {
+	t.Helper()
+	mgr := jobs.New(jobs.Config{Workers: 2})
+	t.Cleanup(mgr.Close)
+	return newServer(eng, keys, datastore.NewMemory(), mgr)
+}
+
 func newTestServer(t *testing.T) (*httptest.Server, *server) {
 	t.Helper()
-	s := newServer(engine.New(4, 1024), keyring.NewMemory())
+	s := newServerWith(t, engine.New(4, 1024), keyring.NewMemory())
 	s.batchRows = 64 // force multiple batches in stream tests
 	ts := httptest.NewServer(s.handler())
 	t.Cleanup(ts.Close)
@@ -352,7 +363,7 @@ func TestOwnerAuth(t *testing.T) {
 		want       int
 	}{
 		"recover without token":    {"/v1/recover?owner=alice", "", http.StatusUnauthorized},
-		"recover with wrong token": {"/v1/recover?owner=alice", "deadbeef", http.StatusUnauthorized},
+		"recover with wrong token": {"/v1/recover?owner=alice", "deadbeef", http.StatusForbidden},
 		"stream without token":     {"/v1/protect?owner=alice&mode=stream", "", http.StatusUnauthorized},
 		"rotate without token":     {"/v1/protect?owner=alice", "", http.StatusUnauthorized},
 		"recover with token":       {"/v1/recover?owner=alice", tok, http.StatusOK},
@@ -387,7 +398,7 @@ func TestOwnerAuth(t *testing.T) {
 // are still issued (so auth can be enabled later without locking owners
 // out).
 func TestAuthDisabled(t *testing.T) {
-	s := newServer(engine.New(2, 512), keyring.NewMemory())
+	s := newServerWith(t, engine.New(2, 512), keyring.NewMemory())
 	s.authDisabled = true
 	ts := httptest.NewServer(s.handler())
 	defer ts.Close()
@@ -411,7 +422,7 @@ func TestFileKeyringSurvivesRestart(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s1 := newServer(engine.New(2, 512), store1)
+	s1 := newServerWith(t, engine.New(2, 512), store1)
 	ts1 := httptest.NewServer(s1.handler())
 	csvBody, orig := testCSV(t, 150, 9)
 	resp, rel := post(t, ts1.URL+"/v1/protect?owner=alice", csvBody)
@@ -425,7 +436,7 @@ func TestFileKeyringSurvivesRestart(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s2 := newServer(engine.New(2, 512), store2)
+	s2 := newServerWith(t, engine.New(2, 512), store2)
 	ts2 := httptest.NewServer(s2.handler())
 	defer ts2.Close()
 	// The token hash persisted with the keyring, so the credential issued
@@ -445,7 +456,7 @@ func TestRunRejectsBadKeyringPath(t *testing.T) {
 	if err := os.WriteFile(bad, []byte("{broken"), 0o600); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("127.0.0.1:0", bad, 1, 0, 0, 0, false); err == nil {
+	if err := run(options{addr: "127.0.0.1:0", keyringPath: bad, workers: 1}); err == nil {
 		t.Fatal("expected error for corrupt keyring path")
 	}
 }

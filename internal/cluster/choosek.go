@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -25,22 +26,38 @@ type KSelection struct {
 // the same on D and on RBT(D): model selection survives the transformation
 // too.
 func ChooseKBySilhouette(data *matrix.Dense, kmin, kmax int, seed int64) (*KSelection, error) {
+	sel, _, err := SweepKBySilhouette(context.Background(), data, kmin, kmax, seed, nil)
+	return sel, err
+}
+
+// SweepKBySilhouette is ChooseKBySilhouette for a served, long-running
+// workload: it honors ctx between candidates (a cancelled sweep returns
+// ctx.Err()), reports each candidate's score to onStep as it lands (nil to
+// skip), and additionally returns the winning candidate's full clustering
+// so callers do not pay for a recomputation of the chosen K. Candidate
+// seeding is identical to ChooseKBySilhouette, so both select the same K
+// on the same data.
+func SweepKBySilhouette(ctx context.Context, data *matrix.Dense, kmin, kmax int, seed int64, onStep func(k int, score float64)) (*KSelection, *Result, error) {
 	if kmin < 2 {
-		return nil, fmt.Errorf("%w: kmin = %d, need >= 2 (silhouette is undefined below)", ErrConfig, kmin)
+		return nil, nil, fmt.Errorf("%w: kmin = %d, need >= 2 (silhouette is undefined below)", ErrConfig, kmin)
 	}
 	if kmax < kmin {
-		return nil, fmt.Errorf("%w: kmax = %d < kmin = %d", ErrConfig, kmax, kmin)
+		return nil, nil, fmt.Errorf("%w: kmax = %d < kmin = %d", ErrConfig, kmax, kmin)
 	}
 	if kmax > data.Rows() {
-		return nil, fmt.Errorf("%w: kmax = %d exceeds %d objects", ErrConfig, kmax, data.Rows())
+		return nil, nil, fmt.Errorf("%w: kmax = %d exceeds %d objects", ErrConfig, kmax, data.Rows())
 	}
 	sel := &KSelection{Scores: map[int]float64{}}
 	best := -2.0 // silhouettes live in [-1, 1]
+	var bestRes *Result
 	for k := kmin; k <= kmax; k++ {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
 		km := &KMeans{K: k, Rand: rand.New(rand.NewSource(seed)), Restarts: 8}
 		res, err := km.Cluster(data)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		score, err := quality.Silhouette(data, res.Assignments, nil)
 		if err != nil {
@@ -49,10 +66,14 @@ func ChooseKBySilhouette(data *matrix.Dense, kmin, kmax int, seed int64) (*KSele
 			score = -1
 		}
 		sel.Scores[k] = score
+		if onStep != nil {
+			onStep(k, score)
+		}
 		if score > best {
 			best = score
 			sel.K = k
+			bestRes = res
 		}
 	}
-	return sel, nil
+	return sel, bestRes, nil
 }

@@ -1,0 +1,245 @@
+package datastore
+
+import (
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"ppclust/internal/matrix"
+)
+
+func buildDataset(t *testing.T, owner, name string, rows int, labeled bool) *Dataset {
+	t.Helper()
+	b, err := NewBuilder(owner, name, []string{"x", "y", "z"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.SetBlockRows(16)
+	for i := 0; i < rows; i++ {
+		row := []float64{float64(i), float64(i) * 2, float64(i) * 3}
+		if labeled {
+			err = b.AppendLabeled(row, i%2)
+		} else {
+			err = b.Append(row)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	ds, err := b.Finish(time.Unix(1700000000, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestBuilderBlocksAndMatrix(t *testing.T) {
+	ds := buildDataset(t, "alice", "d1", 50, true)
+	if ds.Rows != 50 || ds.Cols != 3 || !ds.Labeled {
+		t.Fatalf("meta = %+v", ds.Meta)
+	}
+	if got := ds.NumBlocks(); got != 4 { // ceil(50/16)
+		t.Fatalf("blocks = %d, want 4", got)
+	}
+	var blockRows []int
+	if err := ds.Blocks(func(b *matrix.Dense) error {
+		blockRows = append(blockRows, b.Rows())
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(blockRows, []int{16, 16, 16, 2}) {
+		t.Fatalf("block rows = %v", blockRows)
+	}
+	m := ds.Matrix()
+	r, c := m.Dims()
+	if r != 50 || c != 3 {
+		t.Fatalf("matrix %dx%d", r, c)
+	}
+	for i := 0; i < 50; i++ {
+		if m.At(i, 1) != float64(i)*2 {
+			t.Fatalf("row %d out of order: %v", i, m.RawRow(i))
+		}
+	}
+	labels := ds.Labels()
+	if len(labels) != 50 || labels[3] != 1 {
+		t.Fatalf("labels = %v...", labels[:4])
+	}
+	labels[0] = 99
+	if ds.Labels()[0] == 99 {
+		t.Fatal("Labels must return a copy")
+	}
+}
+
+func TestBuilderRejectsBadRows(t *testing.T) {
+	b, err := NewBuilder("alice", "d", []string{"x", "y"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Append([]float64{1}); !errors.Is(err, ErrBadData) {
+		t.Fatalf("short row: %v", err)
+	}
+	if err := b.Append([]float64{1, math.NaN()}); !errors.Is(err, ErrBadData) {
+		t.Fatalf("NaN row: %v", err)
+	}
+	if err := b.Append([]float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AppendLabeled([]float64{3, 4}, 1); !errors.Is(err, ErrBadData) {
+		t.Fatalf("mixed labeling: %v", err)
+	}
+	empty, _ := NewBuilder("alice", "e", []string{"x"})
+	if _, err := empty.Finish(time.Now()); !errors.Is(err, ErrBadData) {
+		t.Fatalf("empty finish: %v", err)
+	}
+	if _, err := NewBuilder("a/b", "d", []string{"x"}); !errors.Is(err, ErrBadName) {
+		t.Fatalf("bad owner: %v", err)
+	}
+	if _, err := NewBuilder("a", "../d", []string{"x"}); !errors.Is(err, ErrBadName) {
+		t.Fatalf("bad name: %v", err)
+	}
+}
+
+func TestMemoryStoreCRUD(t *testing.T) {
+	m := NewMemory()
+	ds := buildDataset(t, "alice", "d1", 10, false)
+	if err := m.Put(ds); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Put(ds); !errors.Is(err, ErrExists) {
+		t.Fatalf("duplicate put: %v", err)
+	}
+	if _, err := m.Get("alice", "d1"); err != nil {
+		t.Fatal(err)
+	}
+	// Owner isolation: same name under a different owner is distinct, and
+	// a foreign owner cannot see it.
+	if _, err := m.Get("bob", "d1"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("cross-owner get: %v", err)
+	}
+	if err := m.Put(buildDataset(t, "bob", "d1", 5, false)); err != nil {
+		t.Fatal(err)
+	}
+	metas, err := m.List("alice")
+	if err != nil || len(metas) != 1 || metas[0].Name != "d1" || metas[0].Rows != 10 {
+		t.Fatalf("list = %v, %v", metas, err)
+	}
+	if metas, _ := m.List("nobody"); len(metas) != 0 {
+		t.Fatalf("unknown owner listed %v", metas)
+	}
+	if err := m.Delete("alice", "d1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Delete("alice", "d1"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("double delete: %v", err)
+	}
+	if _, err := m.Get("bob", "d1"); err != nil {
+		t.Fatal("bob's dataset must survive alice's delete")
+	}
+}
+
+func TestDirStoreRoundTripAndReload(t *testing.T) {
+	root := t.TempDir()
+	d, err := OpenDir(filepath.Join(root, "data"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := buildDataset(t, "alice", "d1", 40, true)
+	if err := d.Put(ds); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Put(buildDataset(t, "alice", "d2", 7, false)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Files must be 0600 under a 0700 owner directory.
+	path := filepath.Join(root, "data", "alice", "d1.json")
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Mode().Perm() != 0o600 {
+		t.Fatalf("dataset file mode = %v, want 0600", fi.Mode().Perm())
+	}
+
+	// A fresh open must see both datasets with identical content.
+	d2, err := OpenDir(filepath.Join(root, "data"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := d2.Get("alice", "d1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Rows != 40 || !got.Labeled || len(got.Labels()) != 40 {
+		t.Fatalf("reloaded meta = %+v", got.Meta)
+	}
+	a, b := ds.Matrix(), got.Matrix()
+	for i := 0; i < 40; i++ {
+		for j := 0; j < 3; j++ {
+			if a.At(i, j) != b.At(i, j) {
+				t.Fatalf("value (%d,%d) diverged after reload", i, j)
+			}
+		}
+	}
+
+	// Delete removes the file; a reload no longer sees the dataset.
+	if err := d2.Delete("alice", "d1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("file survives delete: %v", err)
+	}
+	d3, err := OpenDir(filepath.Join(root, "data"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d3.Get("alice", "d1"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("deleted dataset reloaded: %v", err)
+	}
+	if _, err := d3.Get("alice", "d2"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOpenDirSkipsTempFiles: a crash mid-persist can leave a (possibly
+// truncated) dot-prefixed temp file behind; opening the store must ignore
+// it rather than fail or double-load.
+func TestOpenDirSkipsTempFiles(t *testing.T) {
+	root := t.TempDir()
+	d, err := OpenDir(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Put(buildDataset(t, "alice", "d1", 8, false)); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(root, "alice", ".dataset-crash.json"), []byte(`{"version":1,"meta"`), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := OpenDir(root)
+	if err != nil {
+		t.Fatalf("open with leftover temp file: %v", err)
+	}
+	metas, err := d2.List("alice")
+	if err != nil || len(metas) != 1 {
+		t.Fatalf("list = %v, %v", metas, err)
+	}
+}
+
+func TestOpenDirRejectsCorruptDoc(t *testing.T) {
+	root := t.TempDir()
+	if err := os.MkdirAll(filepath.Join(root, "alice"), 0o700); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(root, "alice", "bad.json"), []byte("{broken"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenDir(root); err == nil {
+		t.Fatal("corrupt document must fail open")
+	}
+}

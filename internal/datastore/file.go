@@ -1,0 +1,181 @@
+package datastore
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"ppclust/internal/matrix"
+)
+
+// Dir is a Store persisted as one JSON document per dataset under
+// root/<owner>/<name>.json. Each Put writes its document atomically (temp
+// file + rename) with 0600 permissions — uploaded data may be unprotected
+// originals, so the store is as private as the keyring. Reads are served
+// from memory; the directory is only touched by mutations and at open.
+type Dir struct {
+	root string
+	mu   sync.Mutex
+	mem  *Memory
+}
+
+// dirDoc is the on-disk schema, versioned for forward compatibility. Data
+// is the row-major flattened matrix; blocks are re-chunked at load so the
+// in-memory layout never depends on the block size a file was written
+// under.
+type dirDoc struct {
+	Version int       `json:"version"`
+	Meta    Meta      `json:"meta"`
+	Labels  []int     `json:"labels,omitempty"`
+	Data    []float64 `json:"data"`
+}
+
+const dirDocVersion = 1
+
+// OpenDir opens (or initializes) a directory-backed dataset store.
+func OpenDir(root string) (*Dir, error) {
+	if err := os.MkdirAll(root, 0o700); err != nil {
+		return nil, fmt.Errorf("datastore: creating %s: %w", root, err)
+	}
+	d := &Dir{root: root, mem: NewMemory()}
+	owners, err := os.ReadDir(root)
+	if err != nil {
+		return nil, fmt.Errorf("datastore: reading %s: %w", root, err)
+	}
+	for _, ownerEnt := range owners {
+		if !ownerEnt.IsDir() || ValidName(ownerEnt.Name()) != nil {
+			continue
+		}
+		files, err := os.ReadDir(filepath.Join(root, ownerEnt.Name()))
+		if err != nil {
+			return nil, fmt.Errorf("datastore: reading %s: %w", ownerEnt.Name(), err)
+		}
+		for _, f := range files {
+			// Dot-prefixed files are persist()'s temp files; a crash can
+			// leave one behind (possibly truncated) and it must never be
+			// loaded — or worse, fail the whole open.
+			if f.IsDir() || !strings.HasSuffix(f.Name(), ".json") || strings.HasPrefix(f.Name(), ".") {
+				continue
+			}
+			ds, err := d.load(filepath.Join(root, ownerEnt.Name(), f.Name()))
+			if err != nil {
+				return nil, err
+			}
+			if err := d.mem.Put(ds); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return d, nil
+}
+
+// Root returns the backing directory.
+func (d *Dir) Root() string { return d.root }
+
+func (d *Dir) load(path string) (*Dataset, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("datastore: reading %s: %w", path, err)
+	}
+	var doc dirDoc
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return nil, fmt.Errorf("datastore: parsing %s: %w", path, err)
+	}
+	if doc.Version != dirDocVersion {
+		return nil, fmt.Errorf("datastore: %s has unsupported version %d", path, doc.Version)
+	}
+	m := doc.Meta
+	if m.Rows <= 0 || m.Cols <= 0 || len(doc.Data) != m.Rows*m.Cols {
+		return nil, fmt.Errorf("datastore: %s: %d values for a %dx%d dataset", path, len(doc.Data), m.Rows, m.Cols)
+	}
+	if m.Labeled != (doc.Labels != nil) || (doc.Labels != nil && len(doc.Labels) != m.Rows) {
+		return nil, fmt.Errorf("datastore: %s: inconsistent labels", path)
+	}
+	ds := &Dataset{Meta: m, labels: doc.Labels}
+	for lo := 0; lo < m.Rows; lo += DefaultBlockRows {
+		hi := min(lo+DefaultBlockRows, m.Rows)
+		ds.blocks = append(ds.blocks, matrix.NewDense(hi-lo, m.Cols, doc.Data[lo*m.Cols:hi*m.Cols]))
+	}
+	return ds, nil
+}
+
+// Put implements Store: memory insert, then persist-or-rollback.
+func (d *Dir) Put(ds *Dataset) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.mem.Put(ds); err != nil {
+		return err
+	}
+	if err := d.persist(ds); err != nil {
+		_ = d.mem.Delete(ds.Owner, ds.Name)
+		return err
+	}
+	return nil
+}
+
+// Get implements Store.
+func (d *Dir) Get(owner, name string) (*Dataset, error) { return d.mem.Get(owner, name) }
+
+// List implements Store.
+func (d *Dir) List(owner string) ([]Meta, error) { return d.mem.List(owner) }
+
+// Delete implements Store: the file goes first so a crash can only leave
+// an orphaned file behind, never a memory entry without backing data.
+func (d *Dir) Delete(owner, name string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, err := d.mem.Get(owner, name); err != nil {
+		return err
+	}
+	if err := os.Remove(d.path(owner, name)); err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return fmt.Errorf("datastore: removing %s/%s: %w", owner, name, err)
+	}
+	return d.mem.Delete(owner, name)
+}
+
+func (d *Dir) path(owner, name string) string {
+	return filepath.Join(d.root, owner, name+".json")
+}
+
+func (d *Dir) persist(ds *Dataset) error {
+	doc := dirDoc{Version: dirDocVersion, Meta: ds.Meta, Labels: ds.labels}
+	doc.Data = make([]float64, 0, ds.Rows*ds.Cols)
+	for _, b := range ds.blocks {
+		for i := 0; i < b.Rows(); i++ {
+			doc.Data = append(doc.Data, b.RawRow(i)...)
+		}
+	}
+	raw, err := json.Marshal(doc)
+	if err != nil {
+		return fmt.Errorf("datastore: encoding %s/%s: %w", ds.Owner, ds.Name, err)
+	}
+	dir := filepath.Join(d.root, ds.Owner)
+	if err := os.MkdirAll(dir, 0o700); err != nil {
+		return fmt.Errorf("datastore: creating %s: %w", dir, err)
+	}
+	tmp, err := os.CreateTemp(dir, ".dataset-*.json")
+	if err != nil {
+		return fmt.Errorf("datastore: temp file: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if err := tmp.Chmod(0o600); err != nil {
+		tmp.Close()
+		return fmt.Errorf("datastore: chmod: %w", err)
+	}
+	if _, err := tmp.Write(raw); err != nil {
+		tmp.Close()
+		return fmt.Errorf("datastore: writing: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("datastore: closing: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), d.path(ds.Owner, ds.Name)); err != nil {
+		return fmt.Errorf("datastore: replacing %s: %w", d.path(ds.Owner, ds.Name), err)
+	}
+	return nil
+}

@@ -378,6 +378,13 @@ func normalizeRow(row []float64, s Secret) {
 	}
 }
 
+// NormalizeRow applies the secret's frozen Step 1 normalization to row in
+// place, without any rotation. The paper's utility claims compare
+// clusterings of the normalized original against the released data (the
+// rotation being the only difference) — this is the exported half an
+// evaluate workload needs to reproduce that comparison.
+func (s Secret) NormalizeRow(row []float64) { normalizeRow(row, s) }
+
 // denormalizeRow inverts normalizeRow in place.
 func denormalizeRow(row []float64, s Secret) {
 	switch s.Normalization {

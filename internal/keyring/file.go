@@ -141,6 +141,23 @@ func (f *File) SetToken(owner string, hash []byte) error {
 	return nil
 }
 
+// ClaimToken implements Store with persist-or-rollback: a claimed name is
+// on disk before the claimant learns it won.
+func (f *File) ClaimToken(owner string, hash []byte) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.mem.mu.Lock()
+	defer f.mem.mu.Unlock()
+	if err := f.mem.claimTokenLocked(owner, hash); err != nil {
+		return err
+	}
+	if err := f.persistLocked(); err != nil {
+		delete(f.mem.tokens, owner)
+		return err
+	}
+	return nil
+}
+
 // TokenHash implements Store.
 func (f *File) TokenHash(owner string) ([]byte, error) { return f.mem.TokenHash(owner) }
 

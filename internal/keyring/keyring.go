@@ -86,6 +86,13 @@ type Store interface {
 	// any previous one. The keyring only ever sees the hash — the
 	// plaintext token is handed to the owner once and never persisted.
 	SetToken(owner string, hash []byte) error
+	// ClaimToken atomically claims an owner name with only a credential
+	// hash and no key material yet — the entry point for owners who
+	// upload datasets (and run jobs over them) before their first
+	// protect ever fits a key. ErrExists if the owner already has a key
+	// or a credential, so concurrent claimants race to exactly one
+	// winner.
+	ClaimToken(owner string, hash []byte) error
 	// TokenHash returns the owner's stored credential hash; ErrNotFound
 	// when the owner is unknown or has no credential on file.
 	TokenHash(owner string) ([]byte, error)
@@ -196,6 +203,24 @@ func (m *Memory) dropLastLocked(owner string, version int) {
 		return
 	}
 	m.owners[owner] = vs[:len(vs)-1]
+}
+
+// ClaimToken implements Store.
+func (m *Memory) ClaimToken(owner string, hash []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.claimTokenLocked(owner, hash)
+}
+
+func (m *Memory) claimTokenLocked(owner string, hash []byte) error {
+	if err := ValidName(owner); err != nil {
+		return err
+	}
+	if len(m.owners[owner]) > 0 || m.tokens[owner] != nil {
+		return fmt.Errorf("%w: %q", ErrExists, owner)
+	}
+	m.tokens[owner] = append([]byte(nil), hash...)
+	return nil
 }
 
 // SetToken implements Store.

@@ -374,3 +374,61 @@ func TestFileCreateWithTokenAtomic(t *testing.T) {
 		t.Fatalf("phantom credential survived failed persist: %v", err)
 	}
 }
+
+func TestClaimToken(t *testing.T) {
+	m := NewMemory()
+	hash := []byte{7, 7, 7}
+	if err := m.ClaimToken("", hash); !errors.Is(err, ErrBadName) {
+		t.Fatalf("bad name: %v", err)
+	}
+	if err := m.ClaimToken("alice", hash); err != nil {
+		t.Fatal(err)
+	}
+	// The claim wins the name: a second claim and a claim over an owner
+	// with key material both lose with ErrExists.
+	if err := m.ClaimToken("alice", []byte{8}); !errors.Is(err, ErrExists) {
+		t.Fatalf("second claim: %v", err)
+	}
+	if _, err := m.Create("bob", testSecret(10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.ClaimToken("bob", hash); !errors.Is(err, ErrExists) {
+		t.Fatalf("claim over keyed owner: %v", err)
+	}
+	// The claimed credential is live before any key exists…
+	got, err := m.TokenHash("alice")
+	if err != nil || string(got) != string(hash) {
+		t.Fatalf("TokenHash after claim = %v, %v", got, err)
+	}
+	// …and the first key version keeps it (Create must not mint anew).
+	if _, err := m.Create("alice", testSecret(20)); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := m.TokenHash("alice"); string(got) != string(hash) {
+		t.Fatal("Create replaced a claimed credential")
+	}
+}
+
+func TestFileClaimTokenPersists(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "keys.json")
+	f1, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f1.ClaimToken("alice", []byte{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	// A token-only owner survives a restart with its credential intact.
+	f2, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := f2.TokenHash("alice")
+	if err != nil || string(got) != string([]byte{1, 2}) {
+		t.Fatalf("reloaded claim = %v, %v", got, err)
+	}
+	if err := f2.ClaimToken("alice", []byte{3}); !errors.Is(err, ErrExists) {
+		t.Fatalf("re-claim after reload: %v", err)
+	}
+}

@@ -1,0 +1,88 @@
+// Package metrics is a minimal expvar-style counter registry for the
+// serving daemon: named monotonic counters, created on first touch, safe
+// for concurrent use, snapshotted as a flat name → value map. Names follow
+// the Prometheus text convention (`base_total{label="v"}`) so a scrape
+// adapter stays a string-concatenation away, but the package deliberately
+// stops at counters — gauges that derive from live subsystem state (queue
+// depths, pool occupancy) are composed into the snapshot by the handler
+// that owns those subsystems.
+package metrics
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing int64, safe for concurrent use.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n (n < 0 is ignored: counters only go up).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Registry holds named counters. The zero value is not usable; call
+// NewRegistry.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{counters: map[string]*Counter{}}
+}
+
+// Counter returns the named counter, creating it at zero on first use.
+// Callers that increment on a hot path should hold on to the returned
+// pointer instead of re-resolving the name per event.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[name]; c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Snapshot returns every counter's current value keyed by name.
+func (r *Registry) Snapshot() map[string]int64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[string]int64, len(r.counters))
+	for name, c := range r.counters {
+		out[name] = c.Value()
+	}
+	return out
+}
+
+// Names returns the registered counter names in sorted order, for stable
+// test output and human-readable dumps.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.counters))
+	for name := range r.counters {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

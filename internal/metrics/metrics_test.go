@@ -1,0 +1,58 @@
+package metrics
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func TestCounterBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("rows_protected_total")
+	c.Inc()
+	c.Add(41)
+	c.Add(-5) // ignored: counters are monotonic
+	if got := c.Value(); got != 42 {
+		t.Fatalf("value = %d, want 42", got)
+	}
+	if again := r.Counter("rows_protected_total"); again != c {
+		t.Fatal("same name must resolve to the same counter")
+	}
+}
+
+func TestSnapshotAndNames(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b").Add(2)
+	r.Counter("a").Inc()
+	snap := r.Snapshot()
+	if !reflect.DeepEqual(snap, map[string]int64{"a": 1, "b": 2}) {
+		t.Fatalf("snapshot = %v", snap)
+	}
+	// Snapshot is a copy: mutating it must not touch the registry.
+	snap["a"] = 99
+	if r.Counter("a").Value() != 1 {
+		t.Fatal("snapshot aliased registry state")
+	}
+	if got := r.Names(); !reflect.DeepEqual(got, []string{"a", "b"}) {
+		t.Fatalf("names = %v", got)
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("hits").Inc()
+				r.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("hits").Value(); got != 8000 {
+		t.Fatalf("hits = %d, want 8000", got)
+	}
+}
