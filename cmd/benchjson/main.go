@@ -1,12 +1,16 @@
 // Command benchjson converts `go test -bench` text output into a JSON
 // artifact, so CI can archive per-commit benchmark numbers
-// (BENCH_ppclustd.json) and the performance trajectory of the engine and
-// the job subsystem stays machine-comparable across builds.
+// (BENCH_ppclustd.json, BENCH_ppfed.json) and the performance trajectory
+// of the engine, the job subsystem and the federation workload stays
+// machine-comparable across builds.
 //
 // Usage:
 //
 //	go test -run NONE -bench . -benchtime 1x ./... | benchjson -out BENCH.json
+//	benchjson -match 'Federation' -out BENCH_ppfed.json < bench.txt
 //
+// -match keeps only benchmarks whose name matches the regexp, which lets
+// one bench run be split into several per-subsystem artifacts.
 // Non-benchmark lines (pkg headers, PASS/ok) are skipped; metadata lines
 // (goos, goarch, cpu) are captured into the document header.
 package main
@@ -49,6 +53,7 @@ var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.*)$`)
 
 func main() {
 	out := ""
+	var match *regexp.Regexp
 	args := os.Args[1:]
 	for i := 0; i < len(args); i++ {
 		switch args[i] {
@@ -59,6 +64,17 @@ func main() {
 			}
 			i++
 			out = args[i]
+		case "-match":
+			if i+1 >= len(args) {
+				fmt.Fprintln(os.Stderr, "benchjson: -match needs a regexp")
+				os.Exit(2)
+			}
+			i++
+			var err error
+			if match, err = regexp.Compile(args[i]); err != nil {
+				fmt.Fprintf(os.Stderr, "benchjson: bad -match: %v\n", err)
+				os.Exit(2)
+			}
 		default:
 			fmt.Fprintf(os.Stderr, "benchjson: unknown argument %q\n", args[i])
 			os.Exit(2)
@@ -68,6 +84,9 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
+	}
+	if match != nil {
+		doc.filter(match)
 	}
 	raw, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
@@ -83,6 +102,17 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+}
+
+// filter keeps only the benchmarks whose name matches re.
+func (d *Doc) filter(re *regexp.Regexp) {
+	kept := d.Benchmarks[:0]
+	for _, b := range d.Benchmarks {
+		if re.MatchString(b.Name) {
+			kept = append(kept, b)
+		}
+	}
+	d.Benchmarks = kept
 }
 
 // parse reads `go test -bench` output into a Doc.

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"regexp"
 	"strings"
 	"testing"
 )
@@ -55,5 +56,28 @@ func TestParseEmptyAndJunk(t *testing.T) {
 	}
 	if _, err := parse(strings.NewReader("BenchmarkBad 	 5	 12 ns/op trailing\n")); err == nil {
 		t.Fatal("odd metric tail should error")
+	}
+}
+
+func TestFilter(t *testing.T) {
+	doc, err := parse(strings.NewReader(sample +
+		"BenchmarkFederationEndToEnd/parties=3/rows=500 	       1	 116526507 ns/op	 1500 rows/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(doc.Benchmarks))
+	}
+	doc.filter(regexp.MustCompile("Federation"))
+	if len(doc.Benchmarks) != 1 || doc.Benchmarks[0].Name != "BenchmarkFederationEndToEnd/parties=3/rows=500" {
+		t.Fatalf("filtered = %+v", doc.Benchmarks)
+	}
+	if doc.Benchmarks[0].Extra["rows/op"] != 1500 {
+		t.Fatalf("extra = %+v", doc.Benchmarks[0].Extra)
+	}
+	// Filtering everything away leaves an empty (not nil-confusing) list.
+	doc.filter(regexp.MustCompile("NothingMatchesThis"))
+	if len(doc.Benchmarks) != 0 {
+		t.Fatalf("expected empty after second filter, got %+v", doc.Benchmarks)
 	}
 }

@@ -1,0 +1,240 @@
+package main
+
+// The audit job type: privacy verification as a service. Given an
+// original dataset and the stored release a protect job produced from it,
+// the audit reports
+//
+//   - the paper's per-attribute security measures (internal/privacy):
+//     Var(X - X') and the scale-invariant Sec = Var(X - X') / Var(X),
+//     computed between the normalized original and the release — the
+//     exact comparison of Section 5's tables, and
+//   - the known-sample re-identification attack (internal/attack): the
+//     adversary who learned a handful of (original, released) row pairs
+//     solves for the rotation and inverts the whole release. Its success
+//     is the quantitative form of the paper's soundness caveat — an
+//     honest audit endpoint reports how little this era's mechanism
+//     withstands, which is what makes the number worth serving.
+//
+// Spec: {"type":"audit","dataset":ORIG,"release":REL,"key_version":V,
+// "known":K,"seed":S}. key_version selects the stored secret whose
+// normalization aligns the two spaces (default: current); known is the
+// number of re-identified rows the simulated adversary gets (default and
+// minimum: the column count — fewer cannot determine the rotation);
+// seed drives which rows are "re-identified" (default 1).
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+
+	"ppclust/internal/attack"
+	"ppclust/internal/datastore"
+	"ppclust/internal/jobs"
+	"ppclust/internal/privacy"
+	"ppclust/internal/stats"
+)
+
+const jobAudit = "audit"
+
+// auditTolerance is the per-cell absolute error under which a recovered
+// value counts as re-identified — far below any plausible measurement
+// noise in normalized space.
+const auditTolerance = 0.01
+
+// auditAttribute is one column's privacy report on the wire.
+type auditAttribute struct {
+	Name             string  `json:"name"`
+	VarOriginal      float64 `json:"var_original"`
+	VarReleased      float64 `json:"var_released"`
+	SecurityVariance float64 `json:"security_variance"`
+	ScaleInvariant   float64 `json:"scale_invariant"`
+	MeanAbsError     float64 `json:"mean_abs_error"`
+}
+
+// auditAttack is the known-sample re-identification outcome.
+type auditAttack struct {
+	KnownRecords int     `json:"known_records"`
+	RMSE         float64 `json:"rmse"`
+	MaxAbsError  float64 `json:"max_abs_error"`
+	WithinTol    float64 `json:"within_tol"`
+	Tolerance    float64 `json:"tolerance"`
+	// Broken reports whether the attack re-identified essentially the
+	// whole release (>= 99% of cells within tolerance).
+	Broken bool `json:"broken"`
+}
+
+// auditResult is the audit job's result payload.
+type auditResult struct {
+	Dataset    string           `json:"dataset"`
+	Release    string           `json:"release"`
+	KeyVersion int              `json:"key_version"`
+	Rows       int              `json:"rows"`
+	Cols       int              `json:"cols"`
+	Attributes []auditAttribute `json:"attributes"`
+	// MinSecurity is the weakest attribute's scale-invariant security —
+	// the release's weakest link under the paper's own measure.
+	MinSecurity float64 `json:"min_security"`
+	// Attack is nil when the known-record system was degenerate (e.g.
+	// linearly dependent sample rows); AttackError then says why.
+	Attack      *auditAttack `json:"attack,omitempty"`
+	AttackError string       `json:"attack_error,omitempty"`
+}
+
+// validateAuditSpec front-loads the failures a worker would otherwise hit.
+func (s *server) validateAuditSpec(owner string, spec *jobSpec, orig *datastore.Dataset) error {
+	if spec.Release == "" {
+		return fmt.Errorf("%w: audit needs release (the stored released dataset to audit)", errBadJob)
+	}
+	rel, err := s.store.Get(owner, spec.Release)
+	if err != nil {
+		return err
+	}
+	if rel.Rows != orig.Rows || rel.Cols != orig.Cols {
+		return fmt.Errorf("%w: release %q is %dx%d but dataset %q is %dx%d",
+			errBadJob, spec.Release, rel.Rows, rel.Cols, spec.Dataset, orig.Rows, orig.Cols)
+	}
+	// Validate the *effective* known count: the default (the column
+	// count) can itself exceed the rows of a very wide, short dataset,
+	// which must be a 400 here, not a worker panic later.
+	known := spec.Known
+	if known == 0 {
+		known = orig.Cols
+	}
+	if known < orig.Cols || known > orig.Rows {
+		return fmt.Errorf("%w: known must be in [%d, %d] (columns..rows), got %d",
+			errBadJob, orig.Cols, orig.Rows, known)
+	}
+	if spec.KeyVersion < 0 {
+		return fmt.Errorf("%w: negative key_version", errBadJob)
+	}
+	// The owner must hold a key whose normalization aligns the spaces.
+	if spec.KeyVersion == 0 {
+		_, err = s.keys.Get(owner)
+	} else {
+		_, err = s.keys.GetVersion(owner, spec.KeyVersion)
+	}
+	if err != nil {
+		return fmt.Errorf("audit needs a stored key (run a protect job first): %w", err)
+	}
+	return nil
+}
+
+// runAuditJob executes the audit described above.
+func (s *server) runAuditJob(ctx context.Context, t *jobs.Task) (any, error) {
+	var spec jobSpec
+	if err := json.Unmarshal(t.Spec, &spec); err != nil {
+		return nil, err
+	}
+	orig, err := s.store.Get(t.Owner, spec.Dataset)
+	if err != nil {
+		return nil, err
+	}
+	rel, err := s.store.Get(t.Owner, spec.Release)
+	if err != nil {
+		return nil, err
+	}
+	entry, err := s.lookup(t.Owner, versionString(spec.KeyVersion))
+	if err != nil {
+		return nil, err
+	}
+	secret := toEngineSecret(entry.Secret)
+	if secret.Cols() != orig.Cols {
+		return nil, fmt.Errorf("%w: key version %d covers %d columns, dataset has %d",
+			errBadJob, entry.Version, secret.Cols(), orig.Cols)
+	}
+	if rel.Rows != orig.Rows || rel.Cols != orig.Cols {
+		return nil, fmt.Errorf("%w: release %q shape %dx%d does not match dataset %q %dx%d",
+			errBadJob, spec.Release, rel.Rows, rel.Cols, spec.Dataset, orig.Rows, orig.Cols)
+	}
+	t.SetProgress(0.1)
+
+	// Both measures live in normalized space: the release differs from
+	// the normalized original exactly by the rotation, which is what the
+	// paper's Sec values and the known-sample adversary both target.
+	normalized := orig.Matrix()
+	for i := 0; i < normalized.Rows(); i++ {
+		secret.NormalizeRow(normalized.RawRow(i))
+	}
+	released := rel.Matrix()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	t.SetProgress(0.3)
+
+	reports, err := privacy.Report(normalized, released, orig.Attrs, stats.Sample)
+	if err != nil {
+		return nil, err
+	}
+	res := &auditResult{
+		Dataset:    spec.Dataset,
+		Release:    spec.Release,
+		KeyVersion: entry.Version,
+		Rows:       orig.Rows,
+		Cols:       orig.Cols,
+	}
+	for _, r := range reports {
+		res.Attributes = append(res.Attributes, auditAttribute{
+			Name:             r.Name,
+			VarOriginal:      r.VarOriginal,
+			VarReleased:      r.VarReleased,
+			SecurityVariance: r.SecurityVariance,
+			ScaleInvariant:   r.ScaleInvariant,
+			MeanAbsError:     r.MeanAbsError,
+		})
+	}
+	res.MinSecurity = privacy.MinimumSecurity(reports)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	t.SetProgress(0.5)
+
+	// Known-sample re-identification: a seeded draw of `known` rows the
+	// adversary is assumed to have matched out of band.
+	known := spec.Known
+	if known == 0 {
+		known = orig.Cols
+	}
+	seed := spec.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	idx := rand.New(rand.NewSource(seed)).Perm(orig.Rows)[:known]
+	knownOrig := normalized.SelectRows(idx)
+	knownRel := released.SelectRows(idx)
+	q, err := attack.KnownIO(knownOrig, knownRel)
+	if err != nil {
+		res.AttackError = err.Error()
+		return res, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	t.SetProgress(0.8)
+	recovered, err := attack.RecoverWithQ(released, q)
+	if err != nil {
+		res.AttackError = err.Error()
+		return res, nil
+	}
+	met, err := attack.Measure(normalized, recovered, auditTolerance)
+	if err != nil {
+		return nil, err
+	}
+	res.Attack = &auditAttack{
+		KnownRecords: known,
+		RMSE:         met.RMSE,
+		MaxAbsError:  met.MaxAbs,
+		WithinTol:    met.WithinTol,
+		Tolerance:    auditTolerance,
+		Broken:       met.WithinTol >= 0.99,
+	}
+	return res, nil
+}
+
+// versionString renders a key version for server.lookup ("" = current).
+func versionString(v int) string {
+	if v == 0 {
+		return ""
+	}
+	return fmt.Sprintf("%d", v)
+}

@@ -6,6 +6,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"math/rand"
@@ -17,14 +18,16 @@ import (
 	"ppclust/internal/dataset"
 	"ppclust/internal/datastore"
 	"ppclust/internal/engine"
+	"ppclust/internal/federation"
 	"ppclust/internal/jobs"
 	"ppclust/internal/keyring"
+	"ppclust/ppclient"
 )
 
 func BenchmarkJobEndToEnd(b *testing.B) {
 	mgr := jobs.New(jobs.Config{Workers: 2, Retention: 8})
 	defer mgr.Close()
-	s := newServer(engine.New(0, 0), keyring.NewMemory(), datastore.NewMemory(), mgr)
+	s := newServer(engine.New(0, 0), keyring.NewMemory(), datastore.NewMemory(), mgr, federation.NewMemory())
 	ts := httptest.NewServer(s.handler())
 	defer ts.Close()
 
@@ -81,5 +84,75 @@ func BenchmarkJobEndToEnd(b *testing.B) {
 		if st.State != jobs.StateDone {
 			b.Fatalf("job %s: %s (%s)", st.ID, st.State, st.Error)
 		}
+	}
+}
+
+// BenchmarkFederationEndToEnd measures the full served federation path —
+// create, N parties join, contribute M-row partitions (coordinator fit +
+// stream-protected parties), seal, joint kmeans, result fetch — through
+// the ppclient SDK, the number the CI bench smoke archives as
+// BENCH_ppfed.json.
+func BenchmarkFederationEndToEnd(b *testing.B) {
+	for _, shape := range []struct{ parties, rows int }{
+		{3, 500},
+		{3, 2000},
+		{6, 1000},
+	} {
+		b.Run(fmt.Sprintf("parties=%d/rows=%d", shape.parties, shape.rows), func(b *testing.B) {
+			mgr := jobs.New(jobs.Config{Workers: 2, Retention: 64})
+			defer mgr.Close()
+			s := newServer(engine.New(0, 0), keyring.NewMemory(), datastore.NewMemory(), mgr, federation.NewMemory())
+			ts := httptest.NewServer(s.handler())
+			defer ts.Close()
+
+			total := shape.parties * shape.rows
+			ds, err := dataset.WellSeparatedBlobs(total, 3, 8, 10, rand.New(rand.NewSource(1)))
+			if err != nil {
+				b.Fatal(err)
+			}
+			parts := make([][][]float64, shape.parties)
+			for p := 0; p < shape.parties; p++ {
+				for i := p; i < total; i += shape.parties {
+					parts[p] = append(parts[p], ds.Data.RawRow(i))
+				}
+			}
+
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				clients := make([]*ppclient.Client, shape.parties)
+				for p := range clients {
+					clients[p] = ppclient.New(ts.URL, fmt.Sprintf("bench%d-p%d", i, p))
+				}
+				fed, err := clients[0].CreateFederation(ppclient.FederationConfig{
+					Name: "bench", Columns: ds.Names, Seed: int64(i + 1),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for p := 1; p < shape.parties; p++ {
+					if _, err := clients[p].JoinFederation(fed.ID); err != nil {
+						b.Fatal(err)
+					}
+				}
+				for p := 0; p < shape.parties; p++ {
+					if _, err := clients[p].Contribute(fed.ID, ds.Names, parts[p]); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if _, err := clients[0].Seal(fed.ID, ppclient.Analysis{Algorithm: "kmeans", K: 3, ClustSeed: 1}); err != nil {
+					b.Fatal(err)
+				}
+				ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+				res, err := clients[0].Result(ctx, fed.ID)
+				cancel()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Assignments) != total {
+					b.Fatalf("assignments = %d, want %d", len(res.Assignments), total)
+				}
+			}
+			b.ReportMetric(float64(total), "rows/op")
+		})
 	}
 }

@@ -1,0 +1,121 @@
+package main
+
+// Error-path coverage for the streaming codecs: malformed input must
+// surface as an error from the reader — and, once a streaming response has
+// started, as an aborted connection — never as a silently truncated
+// dataset that parses cleanly.
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// drainRows reads rows until the first error, returning it and the count.
+func drainRows(rr rowReader) (int, error) {
+	n := 0
+	for {
+		_, err := rr.Read()
+		if err != nil {
+			return n, err
+		}
+		n++
+	}
+}
+
+func TestCSVReaderTruncatedRecord(t *testing.T) {
+	rr := newRowReader(formatCSV, strings.NewReader("x,y,z\n1,2,3\n4,5\n"))
+	n, err := drainRows(rr)
+	if n != 1 {
+		t.Fatalf("rows before error = %d, want 1", n)
+	}
+	if err == nil || errors.Is(err, io.EOF) {
+		t.Fatalf("truncated record must error, got %v", err)
+	}
+}
+
+func TestCSVReaderNonNumericField(t *testing.T) {
+	rr := newRowReader(formatCSV, strings.NewReader("x,y\n1,oops\n"))
+	if _, err := drainRows(rr); err == nil || errors.Is(err, io.EOF) {
+		t.Fatalf("non-numeric field must error, got %v", err)
+	}
+}
+
+func TestNDJSONReaderWrongArity(t *testing.T) {
+	rr := newRowReader(formatNDJSON, strings.NewReader("[1,2,3]\n[4,5]\n"))
+	n, err := drainRows(rr)
+	if n != 1 {
+		t.Fatalf("rows before error = %d, want 1", n)
+	}
+	if err == nil || errors.Is(err, io.EOF) {
+		t.Fatalf("wrong-arity row must error, got %v", err)
+	}
+}
+
+func TestNDJSONReaderMalformedRow(t *testing.T) {
+	rr := newRowReader(formatNDJSON, strings.NewReader("[1,2]\n[3,\n"))
+	if _, err := drainRows(rr); err == nil || errors.Is(err, io.EOF) {
+		t.Fatalf("malformed JSON row must error, got %v", err)
+	}
+}
+
+func TestNDJSONReaderOversizedLine(t *testing.T) {
+	// One line just past the scanner's 16 MiB ceiling: the reader must
+	// report bufio.ErrTooLong instead of splitting or truncating the row.
+	var sb strings.Builder
+	sb.WriteString("[1")
+	for sb.Len() < 17*1024*1024 {
+		sb.WriteString(",1")
+	}
+	sb.WriteString("]\n")
+	rr := newRowReader(formatNDJSON, strings.NewReader(sb.String()))
+	n, err := drainRows(rr)
+	if n != 0 {
+		t.Fatalf("rows before error = %d, want 0", n)
+	}
+	if err == nil || errors.Is(err, io.EOF) {
+		t.Fatalf("oversized line must error, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "token too long") {
+		t.Fatalf("err = %v, want the scanner's too-long failure", err)
+	}
+}
+
+// TestStreamAbortsOnMidStreamGarbage: once a streaming response has
+// started, a malformed record must kill the connection — the client sees
+// a transport error, never a clean EOF on a truncated release.
+func TestStreamAbortsOnMidStreamGarbage(t *testing.T) {
+	ts, s := newTestServer(t)
+	s.batchRows = 2 // response starts after the first 2-row batch
+
+	csvBody, _ := testCSV(t, 64, 1)
+	resp, rel := post(t, ts.URL+"/v1/protect?owner=amy&seed=2", csvBody)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("protect: %d", resp.StatusCode)
+	}
+	tok := token(t, resp)
+
+	// Recover a body whose first rows are valid (from the real release)
+	// and which then degenerates into a truncated record.
+	lines := strings.Split(strings.TrimSpace(rel), "\n")
+	bad := strings.Join(lines[:5], "\n") + "\n1,2\n"
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/recover?owner=amy", strings.NewReader(bad))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Authorization", "Bearer "+tok)
+	hresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		// The abort may already surface at Do for small responses.
+		return
+	}
+	defer hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d before the garbage row was reached", hresp.StatusCode)
+	}
+	if _, err := io.ReadAll(hresp.Body); err == nil {
+		t.Fatal("truncated stream ended with a clean EOF; the connection must abort")
+	}
+}

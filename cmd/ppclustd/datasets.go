@@ -40,6 +40,10 @@ func (s *server) handleDatasetUpload(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
+	if isFederationDataset(name) {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("%w: %q — the fed. prefix is reserved for federation contributions", datastore.ErrBadName, name))
+		return
+	}
 	labeled := false
 	switch q.Get("labels") {
 	case "":
@@ -222,6 +226,13 @@ func (s *server) handleDatasetRows(w http.ResponseWriter, r *http.Request) {
 func (s *server) handleDatasetDelete(w http.ResponseWriter, r *http.Request) {
 	owner, ok := s.datasetAuth(w, r)
 	if !ok {
+		return
+	}
+	if name := r.PathValue("name"); isFederationDataset(name) {
+		// Deleting a contribution out from under its federation would
+		// dangle the contribution reference; withdrawal goes through the
+		// federation route, which keeps the record consistent.
+		writeErr(w, http.StatusConflict, fmt.Errorf("%q is a federation contribution; withdraw it via DELETE /v1/federations/{id}/contribute", name))
 		return
 	}
 	if err := s.store.Delete(owner, r.PathValue("name")); err != nil {

@@ -68,6 +68,13 @@ type jobSpec struct {
 	MinPts    int     `json:"min_pts,omitempty"`
 	Sigma     float64 `json:"sigma,omitempty"`
 	ClustSeed int64   `json:"cluster_seed,omitempty"`
+
+	// audit: the stored release to audit against Dataset, the key version
+	// whose normalization aligns the two (0 = current), and the number of
+	// known records the simulated adversary holds (0 = column count).
+	Release    string `json:"release,omitempty"`
+	KeyVersion int    `json:"key_version,omitempty"`
+	Known      int    `json:"known,omitempty"`
 }
 
 const (
@@ -77,10 +84,15 @@ const (
 )
 
 // registerJobRunners installs the launch job types on the manager.
+// federated-cluster is registered here too so drained seals can be
+// resubmitted at startup, but it is only ever scheduled by a federation
+// seal, never by POST /v1/jobs.
 func (s *server) registerJobRunners() {
 	s.mgr.Register(jobProtect, s.runProtectJob)
 	s.mgr.Register(jobCluster, s.runClusterJob)
 	s.mgr.Register(jobEvaluate, s.runEvaluateJob)
+	s.mgr.Register(jobAudit, s.runAuditJob)
+	s.mgr.Register(jobFederatedCluster, s.runFederatedClusterJob)
 }
 
 func (s *server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
@@ -131,6 +143,9 @@ func (s *server) validateSpec(owner string, spec *jobSpec) error {
 		if err := datastore.ValidName(spec.Dest); err != nil {
 			return err
 		}
+		if isFederationDataset(spec.Dest) {
+			return fmt.Errorf("%w: dest %q — the fed. prefix is reserved for federation contributions", errBadJob, spec.Dest)
+		}
 		if _, err := normKind(spec.Norm); err != nil {
 			return err
 		}
@@ -155,8 +170,10 @@ func (s *server) validateSpec(owner string, spec *jobSpec) error {
 		}
 		_, err := buildClusterer(spec)
 		return err
+	case jobAudit:
+		return s.validateAuditSpec(owner, spec, ds)
 	default:
-		return fmt.Errorf("%w: unknown type %q (want protect, cluster or evaluate)", errBadJob, spec.Type)
+		return fmt.Errorf("%w: unknown type %q (want protect, cluster, evaluate or audit)", errBadJob, spec.Type)
 	}
 	return nil
 }

@@ -22,6 +22,7 @@ import (
 	"ppclust/internal/dataset"
 	"ppclust/internal/datastore"
 	"ppclust/internal/engine"
+	"ppclust/internal/federation"
 	"ppclust/internal/jobs"
 	"ppclust/internal/keyring"
 	"ppclust/internal/matrix"
@@ -33,7 +34,7 @@ func newJobsServer(t *testing.T) (*httptest.Server, *server) {
 	t.Helper()
 	mgr := jobs.New(jobs.Config{Workers: 2})
 	t.Cleanup(mgr.Close)
-	s := newServer(engine.New(2, 1024), keyring.NewMemory(), datastore.NewMemory(), mgr)
+	s := newServer(engine.New(2, 1024), keyring.NewMemory(), datastore.NewMemory(), mgr, federation.NewMemory())
 	ts := httptest.NewServer(s.handler())
 	t.Cleanup(ts.Close)
 	return ts, s
@@ -543,8 +544,10 @@ func TestJobSpecValidation(t *testing.T) {
 	ts, _ := newJobsServer(t)
 	_, tok := uploadDataset(t, ts, "alice", "d", "", "", blobsCSV(t, 40, 2, 6))
 	for name, spec := range map[string]string{
-		"unknown type":      `{"type":"audit","dataset":"d"}`,
+		"unknown type":      `{"type":"transmogrify","dataset":"d"}`,
 		"missing dataset":   `{"type":"cluster","k":3}`,
+		"audit no release":  `{"type":"audit","dataset":"d"}`,
+		"audit bad known":   `{"type":"audit","dataset":"d","release":"d","known":1}`,
 		"bad algorithm":     `{"type":"cluster","dataset":"d","algorithm":"quantum","k":3}`,
 		"kmeans without k":  `{"type":"cluster","dataset":"d"}`,
 		"bad sweep range":   `{"type":"cluster","dataset":"d","kmin":5,"kmax":2}`,
@@ -679,4 +682,88 @@ func deleteReq(t *testing.T, url, token string) (*http.Response, string) {
 	buf.ReadFrom(resp.Body)
 	resp.Body.Close()
 	return resp, buf.String()
+}
+
+// TestAuditJob is the audit satellite's positive test (the type that used
+// to be this suite's unknown-type fixture): protect a dataset, then audit
+// the stored release. The paper's per-attribute security measures come
+// back positive, and the known-sample re-identification attack — the
+// mechanism's documented weakness — recovers the release essentially
+// exactly, which the audit must report honestly.
+func TestAuditJob(t *testing.T) {
+	ts, _ := newJobsServer(t)
+	_, tok := uploadDataset(t, ts, "alice", "raw", "", "&labels=last", blobsCSV(t, 120, 3, 13))
+
+	st := submitJob(t, ts, "alice", tok, map[string]any{
+		"type": "protect", "dataset": "raw", "dest": "released", "seed": 6,
+	})
+	if got := waitJob(t, ts, "alice", tok, st.ID); got.State != jobs.StateDone {
+		t.Fatalf("protect job: %s: %s", got.State, got.Error)
+	}
+
+	st = submitJob(t, ts, "alice", tok, map[string]any{
+		"type": "audit", "dataset": "raw", "release": "released", "seed": 3,
+	})
+	if got := waitJob(t, ts, "alice", tok, st.ID); got.State != jobs.StateDone {
+		t.Fatalf("audit job: %s: %s", got.State, got.Error)
+	}
+	var audit struct {
+		Dataset    string `json:"dataset"`
+		Release    string `json:"release"`
+		KeyVersion int    `json:"key_version"`
+		Rows       int    `json:"rows"`
+		Cols       int    `json:"cols"`
+		Attributes []struct {
+			Name           string  `json:"name"`
+			ScaleInvariant float64 `json:"scale_invariant"`
+		} `json:"attributes"`
+		MinSecurity float64 `json:"min_security"`
+		Attack      *struct {
+			KnownRecords int     `json:"known_records"`
+			RMSE         float64 `json:"rmse"`
+			WithinTol    float64 `json:"within_tol"`
+			Broken       bool    `json:"broken"`
+		} `json:"attack"`
+		AttackError string `json:"attack_error"`
+	}
+	jobResult(t, ts, "alice", tok, st.ID, &audit)
+	if audit.KeyVersion != 1 || audit.Rows != 120 || audit.Cols != 4 {
+		t.Fatalf("audit header = %+v", audit)
+	}
+	if len(audit.Attributes) != 4 {
+		t.Fatalf("attributes = %d, want 4", len(audit.Attributes))
+	}
+	// Rotated attributes carry real distortion: the weakest link is still
+	// strictly positive.
+	if !(audit.MinSecurity > 0) {
+		t.Fatalf("min_security = %g, want > 0", audit.MinSecurity)
+	}
+	// The known-sample adversary with cols known rows breaks RBT: the
+	// audit reports near-exact recovery.
+	if audit.Attack == nil {
+		t.Fatalf("no attack result (attack_error = %q)", audit.AttackError)
+	}
+	if audit.Attack.KnownRecords != 4 {
+		t.Fatalf("known_records = %d, want cols", audit.Attack.KnownRecords)
+	}
+	if !audit.Attack.Broken || audit.Attack.WithinTol < 0.99 || audit.Attack.RMSE > 1e-6 {
+		t.Fatalf("attack = %+v, want essentially exact recovery", audit.Attack)
+	}
+
+	// Auditing an older key version after a rotation still aligns the
+	// spaces correctly.
+	st = submitJob(t, ts, "alice", tok, map[string]any{
+		"type": "protect", "dataset": "raw", "dest": "released2", "seed": 7,
+	})
+	waitJob(t, ts, "alice", tok, st.ID)
+	st = submitJob(t, ts, "alice", tok, map[string]any{
+		"type": "audit", "dataset": "raw", "release": "released", "key_version": 1,
+	})
+	if got := waitJob(t, ts, "alice", tok, st.ID); got.State != jobs.StateDone {
+		t.Fatalf("versioned audit: %s: %s", got.State, got.Error)
+	}
+	jobResult(t, ts, "alice", tok, st.ID, &audit)
+	if audit.KeyVersion != 1 || audit.Attack == nil || !audit.Attack.Broken {
+		t.Fatalf("versioned audit = %+v", audit)
+	}
 }

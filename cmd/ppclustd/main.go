@@ -45,12 +45,14 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"syscall"
 	"time"
 
 	"ppclust/internal/datastore"
 	"ppclust/internal/engine"
+	"ppclust/internal/federation"
 	"ppclust/internal/jobs"
 	"ppclust/internal/keyring"
 )
@@ -123,6 +125,21 @@ func run(o options) error {
 		}
 	}
 
+	// Federation records persist alongside the datasets: an unsealed
+	// federation must survive a drain/restart with the same ID, members
+	// and contribution references, and its record embeds the shared
+	// secret, so it gets the same private-directory treatment.
+	var feds *federation.Manager
+	if o.dataDir == "" {
+		feds = federation.NewMemory()
+	} else {
+		var err error
+		if feds, err = federation.Open(filepath.Join(o.dataDir, "_federations")); err != nil {
+			return err
+		}
+		log.Printf("federations: %s", filepath.Join(o.dataDir, "_federations"))
+	}
+
 	jobWorkers := o.jobWorkers
 	if jobWorkers <= 0 {
 		jobWorkers = max(2, runtime.GOMAXPROCS(0))
@@ -130,7 +147,7 @@ func run(o options) error {
 	mgr := jobs.New(jobs.Config{Workers: jobWorkers, Retention: o.jobRetention})
 
 	eng := engine.New(o.workers, o.blockRows)
-	s := newServer(eng, keys, store, mgr)
+	s := newServer(eng, keys, store, mgr, feds)
 	if o.batchRows > 0 {
 		s.batchRows = o.batchRows
 	}

@@ -7,11 +7,21 @@ package main
 // unauthenticated.
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"net/http"
 
 	"ppclust/internal/metrics"
 )
+
+// fedMetricLabel derives the public metrics label for a federation ID: a
+// 12-hex-digit SHA-256 prefix, unique enough per live federation and
+// useless as a join capability.
+func fedMetricLabel(id string) string {
+	h := sha256.Sum256([]byte(id))
+	return hex.EncodeToString(h[:6])
+}
 
 // instrument wraps the mux so every request increments a
 // route+status-labelled counter. The pattern is the mux's match (e.g.
@@ -79,6 +89,27 @@ func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	snap["jobs_running"] = int64(stats.RunningNow)
 	snap["job_workers"] = int64(stats.Workers)
 	snap["engine_workers"] = int64(s.eng.Workers())
+	// Federation gauges: state totals plus per-federation membership and
+	// contributed-row sizes. Cardinality is bounded by the number of live
+	// federations. The label is a hash prefix, not the federation ID —
+	// the ID doubles as the join capability and /v1/metrics is
+	// unauthenticated, so the raw ID must not appear here. Members can
+	// recompute the prefix from the ID they hold to find their gauge.
+	fstats := s.feds.Stats()
+	snap["federations_total"] = int64(len(fstats.Federations))
+	snap["federations_open"] = int64(fstats.Open)
+	snap["federations_frozen"] = int64(fstats.Frozen)
+	snap["federations_sealed"] = int64(fstats.Sealed)
+	var fedParties, fedRows int64
+	for _, f := range fstats.Federations {
+		fedParties += int64(f.Parties)
+		fedRows += int64(f.Rows)
+		label := fedMetricLabel(f.ID)
+		snap[fmt.Sprintf(`federation_parties{fed=%q}`, label)] = int64(f.Parties)
+		snap[fmt.Sprintf(`federation_rows{fed=%q}`, label)] = int64(f.Rows)
+	}
+	snap["federation_parties_total"] = fedParties
+	snap["federation_rows_total"] = fedRows
 	writeJSON(w, http.StatusOK, snap)
 }
 

@@ -8,15 +8,18 @@ import (
 	"log"
 	"net/http"
 	"strconv"
+	"sync"
 
 	"ppclust"
 	"ppclust/internal/core"
 	"ppclust/internal/datastore"
 	"ppclust/internal/engine"
+	"ppclust/internal/federation"
 	"ppclust/internal/jobs"
 	"ppclust/internal/keyring"
 	"ppclust/internal/matrix"
 	"ppclust/internal/metrics"
+	"ppclust/internal/multiparty"
 )
 
 // server wires the parallel RBT engine, the keyring, the dataset store and
@@ -29,6 +32,7 @@ import (
 //	GET  /healthz                 liveness probe
 //	/v1/datasets...               named owner-scoped uploads (datasets.go)
 //	/v1/jobs...                   async analytics jobs (jobs.go)
+//	/v1/federations...            multi-party federation (federations.go)
 //
 // Protect has two modes. mode=fit (the default) reads the whole body, fits
 // normalization and a fresh PST-checked rotation key, stores the secret as
@@ -45,20 +49,25 @@ type server struct {
 	keys         keyring.Store
 	store        datastore.Store
 	mgr          *jobs.Manager
+	feds         *federation.Manager
 	maxBody      int64
 	batchRows    int
 	authDisabled bool
+	// fedResched serializes rescheduling of lost federation jobs
+	// (federations.go) so concurrent result fetches submit one job.
+	fedResched sync.Mutex
 
 	reg                                        *metrics.Registry
 	rowsProtected, rowsRecovered, rowsIngested *metrics.Counter
 }
 
-func newServer(eng *engine.Engine, keys keyring.Store, store datastore.Store, mgr *jobs.Manager) *server {
+func newServer(eng *engine.Engine, keys keyring.Store, store datastore.Store, mgr *jobs.Manager, feds *federation.Manager) *server {
 	s := &server{
 		eng:       eng,
 		keys:      keys,
 		store:     store,
 		mgr:       mgr,
+		feds:      feds,
 		maxBody:   1 << 30,
 		batchRows: 4096,
 	}
@@ -84,6 +93,15 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
+	mux.HandleFunc("POST /v1/federations", s.handleFederationCreate)
+	mux.HandleFunc("GET /v1/federations", s.handleFederationList)
+	mux.HandleFunc("GET /v1/federations/{id}", s.handleFederationGet)
+	mux.HandleFunc("DELETE /v1/federations/{id}", s.handleFederationDelete)
+	mux.HandleFunc("POST /v1/federations/{id}/join", s.handleFederationJoin)
+	mux.HandleFunc("POST /v1/federations/{id}/contribute", s.handleFederationContribute)
+	mux.HandleFunc("DELETE /v1/federations/{id}/contribute", s.handleFederationWithdraw)
+	mux.HandleFunc("POST /v1/federations/{id}/seal", s.handleFederationSeal)
+	mux.HandleFunc("GET /v1/federations/{id}/result", s.handleFederationResult)
 	return s.instrument(mux)
 }
 
@@ -509,13 +527,18 @@ func statusFor(err error) int {
 	switch {
 	case errors.Is(err, keyring.ErrNotFound),
 		errors.Is(err, datastore.ErrNotFound),
-		errors.Is(err, jobs.ErrNotFound):
+		errors.Is(err, jobs.ErrNotFound),
+		errors.Is(err, federation.ErrNotFound):
 		return http.StatusNotFound
 	case errors.Is(err, keyring.ErrExists),
 		errors.Is(err, datastore.ErrExists),
 		errors.Is(err, jobs.ErrNotTerminal),
-		errors.Is(err, jobs.ErrTerminal):
+		errors.Is(err, jobs.ErrTerminal),
+		errors.Is(err, federation.ErrExists),
+		errors.Is(err, federation.ErrState):
 		return http.StatusConflict
+	case errors.Is(err, federation.ErrNotCoordinator):
+		return http.StatusForbidden
 	case errors.Is(err, jobs.ErrDraining):
 		return http.StatusServiceUnavailable
 	case errors.Is(err, keyring.ErrBadName),
@@ -523,6 +546,8 @@ func statusFor(err error) int {
 		errors.Is(err, datastore.ErrBadData),
 		errors.Is(err, errBadJob),
 		errors.Is(err, jobs.ErrUnknownType),
+		errors.Is(err, federation.ErrBadConfig),
+		errors.Is(err, multiparty.ErrParty),
 		errors.Is(err, core.ErrBadInput),
 		errors.Is(err, core.ErrBadPair),
 		errors.Is(err, core.ErrBadThreshold),

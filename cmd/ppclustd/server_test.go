@@ -16,6 +16,7 @@ import (
 	"ppclust/internal/dataset"
 	"ppclust/internal/datastore"
 	"ppclust/internal/engine"
+	"ppclust/internal/federation"
 	"ppclust/internal/jobs"
 	"ppclust/internal/keyring"
 	"ppclust/internal/matrix"
@@ -27,7 +28,7 @@ func newServerWith(t *testing.T, eng *engine.Engine, keys keyring.Store) *server
 	t.Helper()
 	mgr := jobs.New(jobs.Config{Workers: 2})
 	t.Cleanup(mgr.Close)
-	return newServer(eng, keys, datastore.NewMemory(), mgr)
+	return newServer(eng, keys, datastore.NewMemory(), mgr, federation.NewMemory())
 }
 
 func newTestServer(t *testing.T) (*httptest.Server, *server) {

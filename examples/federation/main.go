@@ -1,0 +1,206 @@
+// The federation example plays the paper's multi-party scenario over a
+// real network boundary: three hospitals each hold a horizontal partition
+// of the same patient schema and want one joint clustering without any
+// hospital (or the analyst) seeing another's raw records.
+//
+// It launches an actual ppclustd daemon as a subprocess, then drives the
+// whole protocol through the ppclient SDK:
+//
+//  1. hospital-a creates the federation (schema + transform agreement)
+//     and its bearer token is minted;
+//  2. hospital-b and hospital-c join using the federation ID as their
+//     invitation, each minting its own credential;
+//  3. hospital-a contributes first — that contribution fits and freezes
+//     the shared normalization + rotation key;
+//  4. the other hospitals contribute; their rows are protected under the
+//     frozen key, so the union stays one isometric image;
+//  5. hospital-a seals, scheduling the joint kmeans as an async job;
+//  6. every member fetches the joint result and reads off its own rows'
+//     cluster assignments.
+//
+// Run from the repository root (the example shells out to `go run`):
+//
+//	go run ./examples/federation
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"ppclust/internal/dataset"
+	"ppclust/ppclient"
+)
+
+func main() {
+	baseURL, stop := startDaemon()
+	defer stop()
+
+	// One underlying population, horizontally partitioned: every hospital
+	// sees the same attributes for a disjoint third of the patients.
+	rng := rand.New(rand.NewSource(42))
+	population, err := dataset.WellSeparatedBlobs(300, 3, 4, 10, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hospitals := []string{"hospital-a", "hospital-b", "hospital-c"}
+	parts := make([][][]float64, len(hospitals))
+	truth := make([][]int, len(hospitals))
+	for p := range hospitals {
+		for i := p; i < population.Rows(); i += len(hospitals) {
+			parts[p] = append(parts[p], population.Data.RawRow(i))
+			truth[p] = append(truth[p], population.Labels[i])
+		}
+	}
+
+	// 1. The coordinator creates the federation. Its owner name is claimed
+	// on first touch and the bearer token captured by the SDK.
+	coord := ppclient.New(baseURL, hospitals[0])
+	fed, err := coord.CreateFederation(ppclient.FederationConfig{
+		Name:    "oncology-study",
+		Columns: population.Names,
+		Rho1:    0.3, Rho2: 0.3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("federation %s created by %s (state %s)\n", fed.ID, fed.Coordinator, fed.State)
+
+	// 2. The other hospitals join; the federation ID is the invitation.
+	clients := []*ppclient.Client{coord}
+	for _, h := range hospitals[1:] {
+		c := ppclient.New(baseURL, h)
+		if _, err := c.JoinFederation(fed.ID); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s joined (own credential minted)\n", h)
+		clients = append(clients, c)
+	}
+
+	// 3.–4. Contributions. The coordinator's goes first and freezes the
+	// shared key; the daemon stores only protected rows for everyone.
+	for p, c := range clients {
+		fv, err := c.Contribute(fed.ID, population.Names, parts[p])
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s contributed %d rows (federation now %s, %d/%d contributions)\n",
+			hospitals[p], len(parts[p]), fv.State, fv.Contributions, len(fv.Parties))
+	}
+
+	// Each hospital can download its own protected contribution — and
+	// only its own; another hospital's answers 403.
+	if _, err := clients[1].DownloadDataset("fed." + fed.ID); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("hospital-b downloaded its own protected rows; raw rows never persisted")
+
+	// 5. Seal: membership freezes and the joint kmeans is scheduled.
+	if _, err := coord.Seal(fed.ID, ppclient.Analysis{Algorithm: "kmeans", K: 3, ClustSeed: 7}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("sealed; joint clustering scheduled as a federated-cluster job")
+
+	// 6. The result is shared by design: any member may fetch it.
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	res, err := clients[1].Result(ctx, fed.ID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\njoint %s over %d rows: k=%d, converged=%v\n",
+		res.Algorithm, len(res.Assignments), res.K, res.Converged)
+	for p, h := range hospitals {
+		mine := res.PartyAssignments(h)
+		agree := clusterAgreement(truth[p], mine)
+		fmt.Printf("  %s: %d rows, agreement with ground truth %.0f%%\n", h, len(mine), 100*agree)
+	}
+	fmt.Println("\nno hospital saw another's raw rows; the analyst clustered only protected data")
+}
+
+// clusterAgreement scores how well assignments recover labels under the
+// best greedy label matching — enough for a demo printout.
+func clusterAgreement(labels, assignments []int) float64 {
+	if len(labels) != len(assignments) || len(labels) == 0 {
+		return 0
+	}
+	// count[c][l]: rows of cluster c carrying label l.
+	count := map[int]map[int]int{}
+	for i, c := range assignments {
+		if count[c] == nil {
+			count[c] = map[int]int{}
+		}
+		count[c][labels[i]]++
+	}
+	match := 0
+	for _, byLabel := range count {
+		best := 0
+		for _, n := range byLabel {
+			if n > best {
+				best = n
+			}
+		}
+		match += best
+	}
+	return float64(match) / float64(len(labels))
+}
+
+// startDaemon launches `go run ./cmd/ppclustd` on a free loopback port
+// with throwaway persistent state and waits for /healthz.
+func startDaemon() (baseURL string, stop func()) {
+	port := freePort()
+	addr := fmt.Sprintf("127.0.0.1:%d", port)
+	dir, err := os.MkdirTemp("", "ppclust-federation-example")
+	if err != nil {
+		log.Fatal(err)
+	}
+	cmd := exec.Command("go", "run", "./cmd/ppclustd",
+		"-addr", addr,
+		"-keyring", filepath.Join(dir, "keys.json"),
+		"-data-dir", filepath.Join(dir, "data"),
+	)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	// Its own process group, so the daemon `go run` spawns dies with it.
+	cmd.SysProcAttr = &syscall.SysProcAttr{Setpgid: true}
+	if err := cmd.Start(); err != nil {
+		log.Fatalf("starting ppclustd (run from the repository root): %v", err)
+	}
+	stop = func() {
+		syscall.Kill(-cmd.Process.Pid, syscall.SIGTERM)
+		cmd.Wait()
+		os.RemoveAll(dir)
+	}
+	baseURL = "http://" + addr
+	for deadline := time.Now().Add(30 * time.Second); time.Now().Before(deadline); {
+		resp, err := http.Get(baseURL + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				fmt.Printf("ppclustd up on %s\n\n", addr)
+				return baseURL, stop
+			}
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	stop()
+	log.Fatal("ppclustd never became healthy")
+	return "", nil
+}
+
+func freePort() int {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ln.Close()
+	return ln.Addr().(*net.TCPAddr).Port
+}

@@ -13,6 +13,12 @@
 // Run with:
 //
 //	go run ./examples/twoparty
+//
+// This example is the *in-process, vertically partitioned* variant (each
+// party holds different attributes under its own key). For the networked
+// scenario — several parties holding horizontal partitions of one schema,
+// federating over HTTP under a single shared key via ppclustd's
+// /v1/federations routes — see examples/federation.
 package main
 
 import (

@@ -1,0 +1,617 @@
+// Package federation coordinates the paper's multi-party sharing scenario
+// over a service boundary: several data holders (parties) each hold a
+// horizontal partition of a common schema and want a central miner to
+// cluster the union without any party revealing raw values to the others.
+//
+// The protocol is a key agreement followed by per-party protected
+// contributions:
+//
+//	open    the coordinator has created the federation (schema + transform
+//	        parameters agreed); parties join with their own credentials.
+//	frozen  the coordinator's fitting contribution fixed the shared
+//	        normalization parameters and rotation key; every later
+//	        contribution is protected under that frozen transform, so the
+//	        union of all contributions is one isometric image of the
+//	        (consistently normalized) plaintext union — Corollary 1 then
+//	        carries over to the joint clustering.
+//	sealed  membership and contributions are final and the joint analysis
+//	        job has been scheduled; its result is the federation's outcome.
+//
+// The manager only tracks lifecycle state, membership and contribution
+// references (owner + dataset name in that owner's datastore namespace) —
+// the protected rows themselves live in internal/datastore and the
+// parties' credentials in internal/keyring, which is what keeps a party
+// able to touch only its own contribution. The shared inversion secret is
+// part of the federation record and never leaves the server.
+//
+// Records persist as one JSON document per federation (atomic write, 0600
+// — the record embeds the shared secret), so an unsealed federation
+// survives a daemon drain and restart with the same ID, members and
+// contribution references.
+package federation
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"ppclust/internal/engine"
+	"ppclust/internal/keyring"
+)
+
+// State is a federation's lifecycle phase.
+type State string
+
+// Federation lifecycle states.
+const (
+	// StateOpen: created; parties may join; waiting for the coordinator's
+	// fitting contribution to freeze the shared key.
+	StateOpen State = "open"
+	// StateFrozen: the shared transform is fixed; parties contribute
+	// protected partitions under it.
+	StateFrozen State = "frozen"
+	// StateSealed: contributions are final and the joint analysis job is
+	// scheduled; terminal.
+	StateSealed State = "sealed"
+)
+
+// Errors returned by the manager.
+var (
+	// ErrNotFound reports an unknown federation ID — or one the asking
+	// owner is not a member of; non-members cannot distinguish the two.
+	ErrNotFound = errors.New("federation: not found")
+	// ErrExists reports a duplicate join or contribution.
+	ErrExists = errors.New("federation: already exists")
+	// ErrState reports an operation invalid in the federation's current
+	// lifecycle state.
+	ErrState = errors.New("federation: wrong state")
+	// ErrNotCoordinator reports a coordinator-only operation attempted by
+	// another member.
+	ErrNotCoordinator = errors.New("federation: coordinator only")
+	// ErrBadConfig reports an invalid federation configuration.
+	ErrBadConfig = errors.New("federation: invalid config")
+)
+
+// Config is the transform agreement fixed at creation: the common schema
+// every contribution must match and the parameters of the shared fit.
+type Config struct {
+	// Columns names the common attribute schema, in order.
+	Columns []string `json:"columns"`
+	// Norm is the shared normalization (engine.NormZScore when empty).
+	Norm string `json:"norm,omitempty"`
+	// Rho1 and Rho2 are the PST thresholds for the shared key fit.
+	Rho1 float64 `json:"rho1,omitempty"`
+	Rho2 float64 `json:"rho2,omitempty"`
+	// Seed pins the fit's angle randomness for reproducible runs; 0 draws
+	// from crypto/rand exactly like a fit-protect.
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// Party is one member organization and (once it has contributed) the
+// reference to its protected contribution.
+type Party struct {
+	// Owner is the member's keyring owner name; its bearer token is the
+	// member's credential on every federation route.
+	Owner string `json:"owner"`
+	// JoinedAt records membership time (UTC).
+	JoinedAt time.Time `json:"joined_at"`
+	// Dataset names the protected contribution in the owner's datastore
+	// namespace; empty until the party contributes.
+	Dataset string `json:"dataset,omitempty"`
+	// Rows is the contribution's row count.
+	Rows int `json:"rows,omitempty"`
+}
+
+// Contributed reports whether the party has a stored contribution.
+func (p Party) Contributed() bool { return p.Dataset != "" }
+
+// Federation is the full record, including the shared secret. It is
+// internal to the manager; handlers expose Views.
+type Federation struct {
+	ID          string  `json:"id"`
+	Name        string  `json:"name"`
+	Coordinator string  `json:"coordinator"`
+	State       State   `json:"state"`
+	Config      Config  `json:"config"`
+	Parties     []Party `json:"parties"`
+	JobID       string  `json:"job_id,omitempty"`
+	// Analysis is the sealed joint-analysis spec (the server's wire
+	// shape), kept so a lost job — drained mid-run, or evicted from the
+	// finished-job retention — can be rescheduled instead of stranding
+	// the sealed federation without a result.
+	Analysis  json.RawMessage `json:"analysis,omitempty"`
+	CreatedAt time.Time       `json:"created_at"`
+	// Secret is the shared inversion state, set when the federation
+	// freezes. It never appears in a View.
+	Secret *engine.Secret `json:"secret,omitempty"`
+}
+
+func (f *Federation) party(owner string) *Party {
+	for i := range f.Parties {
+		if f.Parties[i].Owner == owner {
+			return &f.Parties[i]
+		}
+	}
+	return nil
+}
+
+func (f *Federation) contributions() int {
+	n := 0
+	for _, p := range f.Parties {
+		if p.Contributed() {
+			n++
+		}
+	}
+	return n
+}
+
+// View is the secret-free, client-visible snapshot of a federation.
+type View struct {
+	ID            string    `json:"id"`
+	Name          string    `json:"name"`
+	Coordinator   string    `json:"coordinator"`
+	State         State     `json:"state"`
+	Columns       []string  `json:"columns"`
+	Norm          string    `json:"norm,omitempty"`
+	Rho1          float64   `json:"rho1,omitempty"`
+	Rho2          float64   `json:"rho2,omitempty"`
+	Parties       []Party   `json:"parties"`
+	Contributions int       `json:"contributions"`
+	RowsTotal     int       `json:"rows_total"`
+	JobID         string    `json:"job_id,omitempty"`
+	CreatedAt     time.Time `json:"created_at"`
+}
+
+func (f *Federation) view() View {
+	v := View{
+		ID:          f.ID,
+		Name:        f.Name,
+		Coordinator: f.Coordinator,
+		State:       f.State,
+		Columns:     append([]string(nil), f.Config.Columns...),
+		Norm:        f.Config.Norm,
+		Rho1:        f.Config.Rho1,
+		Rho2:        f.Config.Rho2,
+		Parties:     append([]Party(nil), f.Parties...),
+		JobID:       f.JobID,
+		CreatedAt:   f.CreatedAt,
+	}
+	for _, p := range f.Parties {
+		if p.Contributed() {
+			v.Contributions++
+			v.RowsTotal += p.Rows
+		}
+	}
+	return v
+}
+
+// Stat is the per-federation slice of Stats, shaped for /v1/metrics.
+type Stat struct {
+	ID      string
+	State   State
+	Parties int
+	Rows    int
+}
+
+// Stats is a point-in-time view of the whole manager.
+type Stats struct {
+	Open, Frozen, Sealed int
+	Federations          []Stat
+}
+
+// Manager owns the federation table, serializes lifecycle transitions and
+// (when opened on a directory) persists every mutation before exposing it.
+type Manager struct {
+	mu   sync.Mutex
+	feds map[string]*Federation
+	dir  string // "" means memory-only
+	now  func() time.Time
+}
+
+// NewMemory returns a manager whose records die with the process.
+func NewMemory() *Manager {
+	return &Manager{feds: map[string]*Federation{}, now: func() time.Time { return time.Now().UTC() }}
+}
+
+// validateConfig rejects configurations that could never freeze.
+func validateConfig(cfg Config) error {
+	if len(cfg.Columns) < 2 {
+		return fmt.Errorf("%w: %d columns; RBT pairs need at least 2", ErrBadConfig, len(cfg.Columns))
+	}
+	if len(cfg.Columns) > 4096 {
+		return fmt.Errorf("%w: %d columns", ErrBadConfig, len(cfg.Columns))
+	}
+	for i, c := range cfg.Columns {
+		if c == "" {
+			return fmt.Errorf("%w: empty column name at %d", ErrBadConfig, i)
+		}
+	}
+	switch cfg.Norm {
+	case "", engine.NormZScore, engine.NormMinMax:
+	default:
+		return fmt.Errorf("%w: unknown norm %q (want zscore or minmax)", ErrBadConfig, cfg.Norm)
+	}
+	return nil
+}
+
+// Create starts a federation with the given coordinator, who is its first
+// member. Name must be a valid keyring-style name.
+func (m *Manager) Create(coordinator, name string, cfg Config) (View, error) {
+	if err := keyring.ValidName(name); err != nil {
+		return View{}, fmt.Errorf("federation name: %w", err)
+	}
+	if err := validateConfig(cfg); err != nil {
+		return View{}, err
+	}
+	id, err := newID()
+	if err != nil {
+		return View{}, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	now := m.now()
+	f := &Federation{
+		ID:          id,
+		Name:        name,
+		Coordinator: coordinator,
+		State:       StateOpen,
+		Config:      cfg,
+		Parties:     []Party{{Owner: coordinator, JoinedAt: now}},
+		CreatedAt:   now,
+	}
+	if err := m.persistLocked(f); err != nil {
+		return View{}, err
+	}
+	m.feds[id] = f
+	return f.view(), nil
+}
+
+// lookupLocked resolves id for owner. A federation the owner is not a
+// member of is indistinguishable from an absent one.
+func (m *Manager) lookupLocked(id, owner string) (*Federation, error) {
+	f, ok := m.feds[id]
+	if !ok || f.party(owner) == nil {
+		return nil, fmt.Errorf("%w: federation %q", ErrNotFound, id)
+	}
+	return f, nil
+}
+
+// Get returns owner's view of federation id.
+func (m *Manager) Get(id, owner string) (View, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, err := m.lookupLocked(id, owner)
+	if err != nil {
+		return View{}, err
+	}
+	return f.view(), nil
+}
+
+// ListFor returns the federations owner belongs to, newest first.
+func (m *Manager) ListFor(owner string) []View {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []View
+	for _, f := range m.feds {
+		if f.party(owner) != nil {
+			out = append(out, f.view())
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].CreatedAt.Equal(out[j].CreatedAt) {
+			return out[i].CreatedAt.After(out[j].CreatedAt)
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// Join adds owner as a member. Membership is open until the federation
+// seals; the unguessable federation ID is the invitation capability.
+func (m *Manager) Join(id, owner string) (View, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.feds[id]
+	if !ok {
+		return View{}, fmt.Errorf("%w: federation %q", ErrNotFound, id)
+	}
+	if f.State == StateSealed {
+		return View{}, fmt.Errorf("%w: federation %q is sealed", ErrState, id)
+	}
+	if f.party(owner) != nil {
+		return View{}, fmt.Errorf("%w: %q is already a member", ErrExists, owner)
+	}
+	next := *f
+	next.Parties = append(append([]Party(nil), f.Parties...), Party{Owner: owner, JoinedAt: m.now()})
+	if err := m.persistLocked(&next); err != nil {
+		return View{}, err
+	}
+	m.feds[id] = &next
+	return next.view(), nil
+}
+
+// Freeze records the coordinator's fitting contribution and the shared
+// secret it produced, moving the federation from open to frozen. Only the
+// coordinator freezes; the fit happened over its own partition.
+func (m *Manager) Freeze(id, owner string, secret engine.Secret, dataset string, rows int) (View, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, err := m.lookupLocked(id, owner)
+	if err != nil {
+		return View{}, err
+	}
+	if owner != f.Coordinator {
+		return View{}, fmt.Errorf("%w: only %q can freeze the key agreement", ErrNotCoordinator, f.Coordinator)
+	}
+	if f.State != StateOpen {
+		return View{}, fmt.Errorf("%w: federation %q is %s, want open", ErrState, id, f.State)
+	}
+	if secret.Cols() != len(f.Config.Columns) {
+		return View{}, fmt.Errorf("%w: secret covers %d columns, schema has %d", ErrBadConfig, secret.Cols(), len(f.Config.Columns))
+	}
+	next := *f
+	next.State = StateFrozen
+	next.Secret = &secret
+	next.Parties = append([]Party(nil), f.Parties...)
+	p := next.party(owner)
+	p.Dataset = dataset
+	p.Rows = rows
+	if err := m.persistLocked(&next); err != nil {
+		return View{}, err
+	}
+	m.feds[id] = &next
+	return next.view(), nil
+}
+
+// Contribute records a member's protected contribution reference. The
+// federation must be frozen (the shared key exists) and the member must
+// not have contributed yet.
+func (m *Manager) Contribute(id, owner, dataset string, rows int) (View, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, err := m.lookupLocked(id, owner)
+	if err != nil {
+		return View{}, err
+	}
+	switch f.State {
+	case StateFrozen:
+	case StateOpen:
+		return View{}, fmt.Errorf("%w: federation %q has no frozen key yet; the coordinator contributes first", ErrState, id)
+	default:
+		return View{}, fmt.Errorf("%w: federation %q is sealed", ErrState, id)
+	}
+	next := *f
+	next.Parties = append([]Party(nil), f.Parties...)
+	p := next.party(owner)
+	if p.Contributed() {
+		return View{}, fmt.Errorf("%w: %q already contributed %d rows", ErrExists, owner, p.Rows)
+	}
+	p.Dataset = dataset
+	p.Rows = rows
+	if err := m.persistLocked(&next); err != nil {
+		return View{}, err
+	}
+	m.feds[id] = &next
+	return next.view(), nil
+}
+
+// Withdraw removes owner's contribution reference before seal, returning
+// the dataset name so the caller can delete the stored rows.
+func (m *Manager) Withdraw(id, owner string) (string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, err := m.lookupLocked(id, owner)
+	if err != nil {
+		return "", err
+	}
+	if f.State == StateSealed {
+		return "", fmt.Errorf("%w: federation %q is sealed", ErrState, id)
+	}
+	next := *f
+	next.Parties = append([]Party(nil), f.Parties...)
+	p := next.party(owner)
+	if !p.Contributed() {
+		return "", fmt.Errorf("%w: %q has no contribution", ErrNotFound, owner)
+	}
+	name := p.Dataset
+	p.Dataset = ""
+	p.Rows = 0
+	if err := m.persistLocked(&next); err != nil {
+		return "", err
+	}
+	m.feds[id] = &next
+	return name, nil
+}
+
+// Seal finalizes the federation and records the joint-analysis job and
+// its spec (for rescheduling). Only the coordinator seals, and only a
+// frozen federation with at least two contributions — a union of one
+// partition is not a federation.
+func (m *Manager) Seal(id, owner, jobID string, analysis json.RawMessage) (View, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, err := m.lookupLocked(id, owner)
+	if err != nil {
+		return View{}, err
+	}
+	if owner != f.Coordinator {
+		return View{}, fmt.Errorf("%w: only %q can seal", ErrNotCoordinator, f.Coordinator)
+	}
+	if f.State != StateFrozen {
+		return View{}, fmt.Errorf("%w: federation %q is %s, want frozen", ErrState, id, f.State)
+	}
+	if n := f.contributions(); n < 2 {
+		return View{}, fmt.Errorf("%w: federation %q has %d contribution(s); sealing needs at least 2", ErrState, id, n)
+	}
+	next := *f
+	next.State = StateSealed
+	next.JobID = jobID
+	next.Analysis = append(json.RawMessage(nil), analysis...)
+	if err := m.persistLocked(&next); err != nil {
+		return View{}, err
+	}
+	m.feds[id] = &next
+	return next.view(), nil
+}
+
+// Reschedule repoints a sealed federation at a fresh joint-analysis job
+// and returns the stored analysis spec — the recovery path when the
+// original job did not survive (drained mid-run, or evicted from
+// retention before the result was fetched).
+func (m *Manager) Reschedule(id, jobID string) (View, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.feds[id]
+	if !ok {
+		return View{}, fmt.Errorf("%w: federation %q", ErrNotFound, id)
+	}
+	if f.State != StateSealed {
+		return View{}, fmt.Errorf("%w: federation %q is %s, want sealed", ErrState, id, f.State)
+	}
+	next := *f
+	next.JobID = jobID
+	if err := m.persistLocked(&next); err != nil {
+		return View{}, err
+	}
+	m.feds[id] = &next
+	return next.view(), nil
+}
+
+// SealedAnalysis returns the analysis spec a sealed federation stored.
+func (m *Manager) SealedAnalysis(id string) (json.RawMessage, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.feds[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: federation %q", ErrNotFound, id)
+	}
+	if f.State != StateSealed {
+		return nil, fmt.Errorf("%w: federation %q is not sealed", ErrState, id)
+	}
+	return append(json.RawMessage(nil), f.Analysis...), nil
+}
+
+// Delete removes the federation (coordinator only) and returns its
+// contribution references so the caller can delete the stored rows.
+func (m *Manager) Delete(id, owner string) ([]Party, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, err := m.lookupLocked(id, owner)
+	if err != nil {
+		return nil, err
+	}
+	if owner != f.Coordinator {
+		return nil, fmt.Errorf("%w: only %q can delete", ErrNotCoordinator, f.Coordinator)
+	}
+	if err := m.unpersistLocked(f.ID); err != nil {
+		return nil, err
+	}
+	delete(m.feds, id)
+	var contributed []Party
+	for _, p := range f.Parties {
+		if p.Contributed() {
+			contributed = append(contributed, p)
+		}
+	}
+	return contributed, nil
+}
+
+// Secret returns the shared inversion secret of a frozen or sealed
+// federation — server-internal; it never crosses the API.
+func (m *Manager) Secret(id string) (engine.Secret, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.feds[id]
+	if !ok {
+		return engine.Secret{}, fmt.Errorf("%w: federation %q", ErrNotFound, id)
+	}
+	if f.Secret == nil {
+		return engine.Secret{}, fmt.Errorf("%w: federation %q has no frozen key", ErrState, id)
+	}
+	return *f.Secret, nil
+}
+
+// FitConfig returns the transform agreement fixed at creation —
+// server-internal; unlike the View it includes the pinned fit seed, which
+// members must not learn (a member who also knew the coordinator's
+// partition could re-derive the shared key from it).
+func (m *Manager) FitConfig(id string) (Config, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.feds[id]
+	if !ok {
+		return Config{}, fmt.Errorf("%w: federation %q", ErrNotFound, id)
+	}
+	return f.Config, nil
+}
+
+// Contributions returns the contributed parties of federation id in join
+// order — the deterministic merge order of the joint analysis. It is
+// server-internal (no member check); handlers gate access.
+func (m *Manager) Contributions(id string) ([]Party, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.feds[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: federation %q", ErrNotFound, id)
+	}
+	var out []Party
+	for _, p := range f.Parties {
+		if p.Contributed() {
+			out = append(out, p)
+		}
+	}
+	return out, nil
+}
+
+// Coordinator returns federation id's coordinator owner name.
+func (m *Manager) Coordinator(id string) (string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.feds[id]
+	if !ok {
+		return "", fmt.Errorf("%w: federation %q", ErrNotFound, id)
+	}
+	return f.Coordinator, nil
+}
+
+// Stats snapshots the whole table for /v1/metrics.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := Stats{}
+	for _, f := range m.feds {
+		v := f.view()
+		switch f.State {
+		case StateOpen:
+			st.Open++
+		case StateFrozen:
+			st.Frozen++
+		case StateSealed:
+			st.Sealed++
+		}
+		st.Federations = append(st.Federations, Stat{
+			ID:      f.ID,
+			State:   f.State,
+			Parties: len(f.Parties),
+			Rows:    v.RowsTotal,
+		})
+	}
+	sort.Slice(st.Federations, func(i, j int) bool { return st.Federations[i].ID < st.Federations[j].ID })
+	return st
+}
+
+// newID mints an unguessable federation identifier; like job IDs it
+// doubles as the invitation capability, so it must not be enumerable.
+func newID() (string, error) {
+	var raw [12]byte
+	if _, err := rand.Read(raw[:]); err != nil {
+		return "", fmt.Errorf("federation: minting id: %w", err)
+	}
+	return "f" + hex.EncodeToString(raw[:]), nil
+}

@@ -1,0 +1,286 @@
+package federation
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ppclust/internal/core"
+	"ppclust/internal/engine"
+)
+
+func testConfig() Config {
+	return Config{Columns: []string{"a", "b", "c"}, Rho1: 0.3, Rho2: 0.3, Seed: 1}
+}
+
+// testSecret builds a minimal valid shared secret for 3 columns.
+func testSecret() engine.Secret {
+	return engine.Secret{
+		Key: core.Key{
+			Version:   1,
+			Pairs:     []core.Pair{{I: 0, J: 1}, {I: 1, J: 2}},
+			AnglesDeg: []float64{33, 71},
+		},
+		Normalization: engine.NormZScore,
+		ParamsA:       []float64{0, 0, 0},
+		ParamsB:       []float64{1, 1, 1},
+		Columns:       3,
+	}
+}
+
+// runLifecycle drives a federation through the full state machine on m and
+// returns its ID.
+func runLifecycle(t *testing.T, m *Manager) string {
+	t.Helper()
+	v, err := m.Create("coord", "study", testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.State != StateOpen || v.Coordinator != "coord" || len(v.Parties) != 1 {
+		t.Fatalf("created = %+v", v)
+	}
+	if _, err := m.Join(v.ID, "partyB"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Join(v.ID, "partyB"); !errors.Is(err, ErrExists) {
+		t.Fatalf("duplicate join: %v", err)
+	}
+	// Parties cannot contribute before the key agreement is frozen.
+	if _, err := m.Contribute(v.ID, "partyB", "fed.x", 10); !errors.Is(err, ErrState) {
+		t.Fatalf("early contribute: %v", err)
+	}
+	// Only the coordinator freezes.
+	if _, err := m.Freeze(v.ID, "partyB", testSecret(), "fed.x", 10); !errors.Is(err, ErrNotCoordinator) {
+		t.Fatalf("non-coordinator freeze: %v", err)
+	}
+	fv, err := m.Freeze(v.ID, "coord", testSecret(), "fed.x", 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fv.State != StateFrozen || fv.Contributions != 1 || fv.RowsTotal != 12 {
+		t.Fatalf("frozen = %+v", fv)
+	}
+	// Sealing needs two contributions.
+	if _, err := m.Seal(v.ID, "coord", "job1", nil); !errors.Is(err, ErrState) {
+		t.Fatalf("premature seal: %v", err)
+	}
+	if _, err := m.Contribute(v.ID, "partyB", "fed.x", 8); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Contribute(v.ID, "partyB", "fed.x", 8); !errors.Is(err, ErrExists) {
+		t.Fatalf("double contribute: %v", err)
+	}
+	if _, err := m.Seal(v.ID, "partyB", "job1", nil); !errors.Is(err, ErrNotCoordinator) {
+		t.Fatalf("non-coordinator seal: %v", err)
+	}
+	sv, err := m.Seal(v.ID, "coord", "job1", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sv.State != StateSealed || sv.JobID != "job1" {
+		t.Fatalf("sealed = %+v", sv)
+	}
+	// Terminal: no joins, contributions or withdrawals afterwards.
+	if _, err := m.Join(sv.ID, "late"); !errors.Is(err, ErrState) {
+		t.Fatalf("late join: %v", err)
+	}
+	if _, err := m.Withdraw(sv.ID, "partyB"); !errors.Is(err, ErrState) {
+		t.Fatalf("late withdraw: %v", err)
+	}
+	return v.ID
+}
+
+func TestLifecycleMemory(t *testing.T) {
+	runLifecycle(t, NewMemory())
+}
+
+func TestOwnerIsolation(t *testing.T) {
+	m := NewMemory()
+	v, err := m.Create("coord", "study", testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A non-member resolves the federation exactly like an absent one.
+	if _, err := m.Get(v.ID, "stranger"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("stranger get: %v", err)
+	}
+	if got := m.ListFor("stranger"); len(got) != 0 {
+		t.Fatalf("stranger list: %v", got)
+	}
+	if _, err := m.Delete(v.ID, "stranger"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("stranger delete: %v", err)
+	}
+	if _, err := m.Join(v.ID, "member"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Delete(v.ID, "member"); !errors.Is(err, ErrNotCoordinator) {
+		t.Fatalf("member delete: %v", err)
+	}
+	if got := m.ListFor("member"); len(got) != 1 || got[0].ID != v.ID {
+		t.Fatalf("member list: %v", got)
+	}
+}
+
+func TestWithdrawReturnsDataset(t *testing.T) {
+	m := NewMemory()
+	v, _ := m.Create("coord", "study", testConfig())
+	m.Join(v.ID, "p")
+	if _, err := m.Freeze(v.ID, "coord", testSecret(), "fed.1", 5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Contribute(v.ID, "p", "fed.1", 7); err != nil {
+		t.Fatal(err)
+	}
+	name, err := m.Withdraw(v.ID, "p")
+	if err != nil || name != "fed.1" {
+		t.Fatalf("withdraw = %q, %v", name, err)
+	}
+	if _, err := m.Withdraw(v.ID, "p"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("second withdraw: %v", err)
+	}
+	// The slot reopens for a fresh contribution.
+	if _, err := m.Contribute(v.ID, "p", "fed.1", 9); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	m := NewMemory()
+	for name, cfg := range map[string]Config{
+		"one column":   {Columns: []string{"a"}},
+		"empty column": {Columns: []string{"a", ""}},
+		"bad norm":     {Columns: []string{"a", "b"}, Norm: "fourier"},
+	} {
+		if _, err := m.Create("c", "n", cfg); !errors.Is(err, ErrBadConfig) {
+			t.Errorf("%s: err = %v, want ErrBadConfig", name, err)
+		}
+	}
+	if _, err := m.Create("c", "bad name!", testConfig()); err == nil {
+		t.Error("invalid federation name accepted")
+	}
+	// A frozen secret must cover the agreed schema.
+	v, _ := m.Create("c", "n", testConfig())
+	narrow := testSecret()
+	narrow.Columns = 2
+	narrow.ParamsA, narrow.ParamsB = narrow.ParamsA[:2], narrow.ParamsB[:2]
+	narrow.Key.Pairs = narrow.Key.Pairs[:1]
+	narrow.Key.AnglesDeg = narrow.Key.AnglesDeg[:1]
+	if _, err := m.Freeze(v.ID, "c", narrow, "d", 3); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("narrow secret freeze: %v", err)
+	}
+}
+
+// TestFilePersistenceAcrossRestart is the restart acceptance criterion at
+// the package level: every lifecycle stage survives a reopen with the same
+// ID, members, contributions and shared secret.
+func TestFilePersistenceAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	m, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := m.Create("coord", "study", testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Join(v.ID, "partyB"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Freeze(v.ID, "coord", testSecret(), "fed.a", 12); err != nil {
+		t.Fatal(err)
+	}
+
+	// The record on disk is private: 0600, no temp files left behind.
+	path := filepath.Join(dir, v.ID+".json")
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Mode().Perm() != 0o600 {
+		t.Fatalf("record mode = %v, want 0600", fi.Mode().Perm())
+	}
+	entries, _ := os.ReadDir(dir)
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), ".") {
+			t.Fatalf("temp file left behind: %s", e.Name())
+		}
+	}
+
+	// "Restart": a fresh manager over the same directory.
+	m2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := m2.Get(v.ID, "partyB")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.State != StateFrozen || len(got.Parties) != 2 || got.Contributions != 1 || got.RowsTotal != 12 {
+		t.Fatalf("restored = %+v", got)
+	}
+	sec, err := m2.Secret(v.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sec.Key.Pairs) != 2 || sec.Normalization != engine.NormZScore {
+		t.Fatalf("restored secret = %+v", sec)
+	}
+	// The restored federation continues where it left off.
+	if _, err := m2.Contribute(v.ID, "partyB", "fed.b", 9); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m2.Seal(v.ID, "coord", "jobX", []byte(`{"algorithm":"kmeans","k":2}`)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Delete removes the record from disk.
+	if _, err := m2.Delete(v.ID, "coord"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("delete left the record on disk")
+	}
+	m3, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m3.Get(v.ID, "coord"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("deleted federation reloaded: %v", err)
+	}
+}
+
+func TestOpenSkipsTempAndRejectsCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, ".f1.json.tmp"), []byte("{trunc"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err != nil {
+		t.Fatalf("temp file must be skipped: %v", err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "f2.json"), []byte("{broken"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err == nil {
+		t.Fatal("corrupt record must fail open")
+	}
+}
+
+func TestStats(t *testing.T) {
+	m := NewMemory()
+	id := runLifecycle(t, m)
+	m.Create("coord", "other", testConfig())
+	st := m.Stats()
+	if st.Sealed != 1 || st.Open != 1 || st.Frozen != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if len(st.Federations) != 2 {
+		t.Fatalf("per-federation stats = %+v", st.Federations)
+	}
+	for _, fs := range st.Federations {
+		if fs.ID == id && (fs.Parties != 2 || fs.Rows != 20) {
+			t.Fatalf("sealed stat = %+v", fs)
+		}
+	}
+}

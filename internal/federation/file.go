@@ -1,0 +1,114 @@
+package federation
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// docVersion tags the on-disk schema for forward compatibility.
+const docVersion = 1
+
+// fileDoc wraps a Federation record on disk.
+type fileDoc struct {
+	Version    int         `json:"version"`
+	Federation *Federation `json:"federation"`
+}
+
+// Open returns a manager persisted under dir: one JSON document per
+// federation, written atomically with 0600 permissions (the record embeds
+// the shared inversion secret, so the files are as private as the
+// keyring). Existing records are loaded, which is how an unsealed
+// federation survives a daemon restart with the same ID, members and
+// contribution references.
+func Open(dir string) (*Manager, error) {
+	if err := os.MkdirAll(dir, 0o700); err != nil {
+		return nil, fmt.Errorf("federation: creating %s: %w", dir, err)
+	}
+	m := NewMemory()
+	m.dir = dir
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("federation: reading %s: %w", dir, err)
+	}
+	for _, e := range entries {
+		// Dot-prefixed files are persist()'s temp files; a crash can leave
+		// a truncated one behind and it must never be loaded.
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") || strings.HasPrefix(e.Name(), ".") {
+			continue
+		}
+		f, err := load(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		m.feds[f.ID] = f
+	}
+	return m, nil
+}
+
+func load(path string) (*Federation, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("federation: reading %s: %w", path, err)
+	}
+	var doc fileDoc
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return nil, fmt.Errorf("federation: parsing %s: %w", path, err)
+	}
+	if doc.Version != docVersion {
+		return nil, fmt.Errorf("federation: %s has version %d, want %d", path, doc.Version, docVersion)
+	}
+	f := doc.Federation
+	if f == nil || f.ID == "" || f.Coordinator == "" {
+		return nil, fmt.Errorf("federation: %s is missing required fields", path)
+	}
+	switch f.State {
+	case StateOpen, StateFrozen, StateSealed:
+	default:
+		return nil, fmt.Errorf("federation: %s has unknown state %q", path, f.State)
+	}
+	if f.State != StateOpen && f.Secret == nil {
+		return nil, fmt.Errorf("federation: %s is %s but has no shared secret", path, f.State)
+	}
+	return f, nil
+}
+
+// persistLocked writes f's document atomically, or is a no-op for a
+// memory-only manager. Callers mutate copy-on-write and only install the
+// new record after a successful persist, so a full disk never leaves the
+// in-memory table ahead of the directory.
+func (m *Manager) persistLocked(f *Federation) error {
+	if m.dir == "" {
+		return nil
+	}
+	raw, err := json.MarshalIndent(fileDoc{Version: docVersion, Federation: f}, "", "  ")
+	if err != nil {
+		return fmt.Errorf("federation: encoding %s: %w", f.ID, err)
+	}
+	path := filepath.Join(m.dir, f.ID+".json")
+	tmp := filepath.Join(m.dir, "."+f.ID+".json.tmp")
+	if err := os.WriteFile(tmp, raw, 0o600); err != nil {
+		return fmt.Errorf("federation: writing %s: %w", f.ID, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("federation: committing %s: %w", f.ID, err)
+	}
+	return nil
+}
+
+// unpersistLocked removes f's document; missing files are fine (memory
+// managers, or a record created before the manager was file-backed).
+func (m *Manager) unpersistLocked(id string) error {
+	if m.dir == "" {
+		return nil
+	}
+	if err := os.Remove(filepath.Join(m.dir, id+".json")); err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return fmt.Errorf("federation: removing %s: %w", id, err)
+	}
+	return nil
+}

@@ -34,6 +34,18 @@ import (
 // ErrParty is wrapped by party-level validation failures.
 var ErrParty = errors.New("multiparty: invalid party input")
 
+// ErrDegenerate reports a join of fewer than two parties — a "multiparty"
+// protocol with one participant silently degenerates into a single-party
+// release with a misleading name, so it is rejected outright. It wraps
+// ErrParty, so existing errors.Is(err, ErrParty) checks keep matching.
+var ErrDegenerate = fmt.Errorf("%w: fewer than two parties", ErrParty)
+
+// ErrMismatch reports releases whose shapes do not line up: differing row
+// counts or object IDs for a vertical join, differing column counts for a
+// horizontal join, or a rotation key that does not fit its release's
+// column count. It wraps ErrParty.
+var ErrMismatch = fmt.Errorf("%w: releases do not line up", ErrParty)
+
 // Party is one organization's private view: a dataset whose rows are the
 // common objects (aligned across parties by position or by IDs) and whose
 // columns are the attributes only this party holds.
@@ -131,9 +143,10 @@ func (r *Release) Recover() (*dataset.Dataset, error) {
 // Join concatenates the parties' releases column-wise into the analyst's
 // joint view. All releases must describe the same objects: equal row
 // counts, and when two releases both carry IDs, identical ID sequences.
+// Joining fewer than two releases is ErrDegenerate.
 func Join(releases ...*Release) (*dataset.Dataset, error) {
-	if len(releases) == 0 {
-		return nil, fmt.Errorf("%w: no releases to join", ErrParty)
+	if len(releases) < 2 {
+		return nil, fmt.Errorf("%w: got %d release(s) to join", ErrDegenerate, len(releases))
 	}
 	rows := releases[0].Released.Rows()
 	var ids []string
@@ -142,7 +155,10 @@ func Join(releases ...*Release) (*dataset.Dataset, error) {
 	for _, r := range releases {
 		if r.Released.Rows() != rows {
 			return nil, fmt.Errorf("%w: release %q has %d rows, want %d",
-				ErrParty, r.PartyName, r.Released.Rows(), rows)
+				ErrMismatch, r.PartyName, r.Released.Rows(), rows)
+		}
+		if err := keyFitsRelease(r); err != nil {
+			return nil, err
 		}
 		if r.Released.IDs != nil {
 			if ids == nil {
@@ -151,7 +167,7 @@ func Join(releases ...*Release) (*dataset.Dataset, error) {
 				for i := range ids {
 					if ids[i] != r.Released.IDs[i] {
 						return nil, fmt.Errorf("%w: releases disagree on object IDs at row %d (%q vs %q)",
-							ErrParty, i, ids[i], r.Released.IDs[i])
+							ErrMismatch, i, ids[i], r.Released.IDs[i])
 					}
 				}
 			}
@@ -179,17 +195,67 @@ func Join(releases ...*Release) (*dataset.Dataset, error) {
 	return out, nil
 }
 
+// keyFitsRelease checks that a release's rotation key (when it carries
+// one — hand-built releases used for shape tests may not) is structurally
+// valid for the release's column count. A key whose pair indices reach
+// beyond the released columns means the release and its key come from
+// different transforms; joining it would corrupt the joint view silently.
+func keyFitsRelease(r *Release) error {
+	if len(r.key.Pairs) == 0 {
+		return nil
+	}
+	if err := r.key.Validate(r.Released.Cols()); err != nil {
+		return fmt.Errorf("%w: release %q key does not fit its %d columns: %v",
+			ErrMismatch, r.PartyName, r.Released.Cols(), err)
+	}
+	return nil
+}
+
+// JoinHorizontal concatenates row blocks that share one column space — the
+// federation scenario, where several data holders protect horizontal
+// partitions of a common schema under a common key and the miner clusters
+// the union. Blocks with differing column counts are ErrMismatch; fewer
+// than two blocks is ErrDegenerate.
+func JoinHorizontal(blocks ...*matrix.Dense) (*matrix.Dense, error) {
+	if len(blocks) < 2 {
+		return nil, fmt.Errorf("%w: got %d block(s) to join", ErrDegenerate, len(blocks))
+	}
+	cols := blocks[0].Cols()
+	rows := 0
+	for i, b := range blocks {
+		if b.Cols() != cols {
+			return nil, fmt.Errorf("%w: block %d has %d columns, want %d",
+				ErrMismatch, i, b.Cols(), cols)
+		}
+		rows += b.Rows()
+	}
+	out := matrix.NewDense(rows, cols, nil)
+	r := 0
+	for _, b := range blocks {
+		for i := 0; i < b.Rows(); i++ {
+			copy(out.RawRow(r), b.RawRow(i))
+			r++
+		}
+	}
+	return out, nil
+}
+
 // JointKey expresses the combined transform of all releases as one
 // block-diagonal orthogonal matrix over the concatenated attribute space —
 // the object whose orthogonality makes the joint release an isometry.
 // It exists for analysis and tests; no single party ever holds it in the
-// protocol (each party only knows its own block).
+// protocol (each party only knows its own block). Like Join, it rejects
+// fewer than two releases (ErrDegenerate) and keys that do not fit their
+// release's columns (ErrMismatch).
 func JointKey(releases ...*Release) (*matrix.Dense, error) {
-	if len(releases) == 0 {
-		return nil, fmt.Errorf("%w: no releases", ErrParty)
+	if len(releases) < 2 {
+		return nil, fmt.Errorf("%w: got %d release(s)", ErrDegenerate, len(releases))
 	}
 	total := 0
 	for _, r := range releases {
+		if err := keyFitsRelease(r); err != nil {
+			return nil, err
+		}
 		total += r.Released.Cols()
 	}
 	q := matrix.NewDense(total, total, nil)

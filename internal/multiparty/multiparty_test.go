@@ -279,3 +279,79 @@ func TestQuickJointIsometry(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestJoinDegenerateAndKeyMismatch locks in the typed errors the
+// federation subsystem relies on: single-party joins are ErrDegenerate
+// (not a silently mislabeled single-party release) and a release whose key
+// does not fit its column count is ErrMismatch for both Join and JointKey.
+func TestJoinDegenerateAndKeyMismatch(t *testing.T) {
+	ds, err := dataset.SyntheticPatients(30, 2, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds = ds.DropIDs()
+	left, right := splitVertically(t, ds, 2)
+	relL, err := (&Party{Name: "l", Data: left, Thresholds: pstList(), Seed: 1}).Protect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	relR, err := (&Party{Name: "r", Data: right, Thresholds: pstList(), Seed: 2}).Protect()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for name, err := range map[string]error{
+		"join one":      errOf(Join(relL)),
+		"joint key one": errOf(JointKey(relL)),
+	} {
+		if !errors.Is(err, ErrDegenerate) {
+			t.Errorf("%s: err = %v, want ErrDegenerate", name, err)
+		}
+		if !errors.Is(err, ErrParty) {
+			t.Errorf("%s: ErrDegenerate must wrap ErrParty", name)
+		}
+	}
+
+	// Shrink a release's data under its fitted key: the key now references
+	// a column the release no longer has.
+	narrowed := *relL
+	narrowed.Released = &dataset.Dataset{
+		Names: relL.Released.Names[:1],
+		Data:  relL.Released.Data.SubMatrix(0, relL.Released.Rows(), 0, 1),
+	}
+	if _, err := Join(&narrowed, relR); !errors.Is(err, ErrMismatch) {
+		t.Errorf("join with key/column mismatch: err = %v, want ErrMismatch", err)
+	}
+	if _, err := JointKey(&narrowed, relR); !errors.Is(err, ErrMismatch) {
+		t.Errorf("joint key with key/column mismatch: err = %v, want ErrMismatch", err)
+	}
+}
+
+func errOf(_ any, err error) error { return err }
+
+// TestJoinHorizontal covers the federation merge helper: row-wise
+// concatenation preserves rows in block order, and the typed errors fire
+// on degenerate and mismatched input.
+func TestJoinHorizontal(t *testing.T) {
+	a := matrix.FromRows([][]float64{{1, 2}, {3, 4}})
+	b := matrix.FromRows([][]float64{{5, 6}})
+	joined, err := JoinHorizontal(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := matrix.FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	if !matrix.EqualApprox(joined, want, 0) {
+		t.Fatalf("joined = %v", joined)
+	}
+
+	if _, err := JoinHorizontal(a); !errors.Is(err, ErrDegenerate) {
+		t.Errorf("single block: err = %v, want ErrDegenerate", err)
+	}
+	if _, err := JoinHorizontal(); !errors.Is(err, ErrDegenerate) {
+		t.Errorf("no blocks: err = %v, want ErrDegenerate", err)
+	}
+	wide := matrix.FromRows([][]float64{{1, 2, 3}})
+	if _, err := JoinHorizontal(a, wide); !errors.Is(err, ErrMismatch) {
+		t.Errorf("column mismatch: err = %v, want ErrMismatch", err)
+	}
+}

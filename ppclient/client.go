@@ -1,0 +1,383 @@
+// Package ppclient is the Go client SDK for ppclustd, focused on the
+// federation workload: create a federation, join it, contribute a
+// horizontal partition, seal, and fetch the joint clustering result. The
+// same client also covers the owner-level calls a federation party needs
+// around those (dataset download of its own protected contribution,
+// deletion, metrics).
+//
+// One Client speaks for one owner. The bearer token minted when the owner
+// is first claimed (by CreateFederation or JoinFederation for an owner the
+// daemon has never seen) is captured into Token automatically; persist it
+// — the daemon only ever reveals it once.
+package ppclient
+
+import (
+	"bytes"
+	"context"
+	"encoding/csv"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Client talks to one ppclustd instance on behalf of one owner.
+type Client struct {
+	// BaseURL is the daemon root, e.g. "http://127.0.0.1:8344".
+	BaseURL string
+	// Owner is the keyring owner name this client authenticates as.
+	Owner string
+	// Token is the owner's bearer token. Left empty for a new owner, it
+	// is filled in from the first response that mints one.
+	Token string
+	// HTTPClient overrides http.DefaultClient when set.
+	HTTPClient *http.Client
+	// PollInterval is the result-polling cadence (default 50ms).
+	PollInterval time.Duration
+}
+
+// New returns a client for owner against baseURL.
+func New(baseURL, owner string) *Client {
+	return &Client{BaseURL: strings.TrimRight(baseURL, "/"), Owner: owner}
+}
+
+// APIError is a non-2xx daemon response.
+type APIError struct {
+	Status  int
+	Message string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("ppclustd: %d: %s", e.Status, e.Message)
+}
+
+// IsStatus reports whether err is an APIError with the given HTTP status.
+func IsStatus(err error, status int) bool {
+	var ae *APIError
+	return errors.As(err, &ae) && ae.Status == status
+}
+
+// Party mirrors the daemon's federation member record.
+type Party struct {
+	Owner    string    `json:"owner"`
+	JoinedAt time.Time `json:"joined_at"`
+	Dataset  string    `json:"dataset,omitempty"`
+	Rows     int       `json:"rows,omitempty"`
+}
+
+// Federation mirrors the daemon's secret-free federation view.
+type Federation struct {
+	ID            string    `json:"id"`
+	Name          string    `json:"name"`
+	Coordinator   string    `json:"coordinator"`
+	State         string    `json:"state"`
+	Columns       []string  `json:"columns"`
+	Norm          string    `json:"norm,omitempty"`
+	Rho1          float64   `json:"rho1,omitempty"`
+	Rho2          float64   `json:"rho2,omitempty"`
+	Parties       []Party   `json:"parties"`
+	Contributions int       `json:"contributions"`
+	RowsTotal     int       `json:"rows_total"`
+	JobID         string    `json:"job_id,omitempty"`
+	CreatedAt     time.Time `json:"created_at"`
+}
+
+// FederationConfig is the creation spec: the agreed schema and transform
+// parameters of the shared key fit.
+type FederationConfig struct {
+	Name    string   `json:"name"`
+	Columns []string `json:"columns"`
+	Norm    string   `json:"norm,omitempty"`
+	Rho1    float64  `json:"rho1,omitempty"`
+	Rho2    float64  `json:"rho2,omitempty"`
+	Seed    int64    `json:"seed,omitempty"`
+}
+
+// Analysis selects the joint clustering a seal schedules.
+type Analysis struct {
+	Algorithm string  `json:"algorithm,omitempty"`
+	K         int     `json:"k,omitempty"`
+	Linkage   string  `json:"linkage,omitempty"`
+	Eps       float64 `json:"eps,omitempty"`
+	MinPts    int     `json:"min_pts,omitempty"`
+	Sigma     float64 `json:"sigma,omitempty"`
+	ClustSeed int64   `json:"cluster_seed,omitempty"`
+}
+
+// ResultParty locates one party's rows inside the joint assignments.
+type ResultParty struct {
+	Owner  string `json:"owner"`
+	Rows   int    `json:"rows"`
+	Offset int    `json:"offset"`
+}
+
+// Result is the joint clustering outcome.
+type Result struct {
+	Federation  string        `json:"federation"`
+	Algorithm   string        `json:"algorithm"`
+	K           int           `json:"k"`
+	Parties     []ResultParty `json:"parties"`
+	Assignments []int         `json:"assignments"`
+	Inertia     float64       `json:"inertia,omitempty"`
+	Converged   bool          `json:"converged"`
+	Silhouette  *float64      `json:"silhouette,omitempty"`
+}
+
+// PartyAssignments returns the slice of the joint assignments that belongs
+// to owner's rows, in contribution order.
+func (r *Result) PartyAssignments(owner string) []int {
+	for _, p := range r.Parties {
+		if p.Owner == owner {
+			return r.Assignments[p.Offset : p.Offset+p.Rows]
+		}
+	}
+	return nil
+}
+
+// CreateFederation creates a federation coordinated by the client's owner.
+func (c *Client) CreateFederation(cfg FederationConfig) (*Federation, error) {
+	var out Federation
+	if err := c.doJSON(http.MethodPost, "/v1/federations", cfg, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Federation fetches the member view of federation id.
+func (c *Client) Federation(id string) (*Federation, error) {
+	var out Federation
+	if err := c.doJSON(http.MethodGet, "/v1/federations/"+id, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Federations lists the federations the owner belongs to.
+func (c *Client) Federations() ([]Federation, error) {
+	var out []Federation
+	if err := c.doJSON(http.MethodGet, "/v1/federations", nil, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// JoinFederation adds the owner as a member of federation id. The ID is
+// the invitation: only someone the coordinator told it to can join.
+func (c *Client) JoinFederation(id string) (*Federation, error) {
+	var out Federation
+	if err := c.doJSON(http.MethodPost, "/v1/federations/"+id+"/join", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Contribute uploads the owner's horizontal partition as CSV rows. The
+// daemon protects the rows under the federation's shared transform and
+// stores only the protected release; when the owner is the coordinator
+// and the federation is still open, this contribution fits and freezes
+// the shared key.
+func (c *Client) Contribute(id string, columns []string, rows [][]float64) (*Federation, error) {
+	var buf bytes.Buffer
+	w := csv.NewWriter(&buf)
+	if err := w.Write(columns); err != nil {
+		return nil, err
+	}
+	rec := make([]string, len(columns))
+	for _, row := range rows {
+		if len(row) != len(columns) {
+			return nil, fmt.Errorf("ppclient: row has %d values, schema has %d columns", len(row), len(columns))
+		}
+		for j, v := range row {
+			rec[j] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		if err := w.Write(rec); err != nil {
+			return nil, err
+		}
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		return nil, err
+	}
+	return c.ContributeCSV(id, &buf)
+}
+
+// ContributeCSV uploads a partition already rendered as CSV (header row
+// of column names, then numeric rows).
+func (c *Client) ContributeCSV(id string, body io.Reader) (*Federation, error) {
+	req, err := c.newRequest(http.MethodPost, "/v1/federations/"+id+"/contribute", body)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "text/csv")
+	var out Federation
+	if err := c.exec(req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// WithdrawContribution removes the owner's own contribution (before seal).
+func (c *Client) WithdrawContribution(id string) error {
+	return c.doJSON(http.MethodDelete, "/v1/federations/"+id+"/contribute", nil, nil)
+}
+
+// Seal finalizes federation id and schedules the joint analysis.
+// Coordinator only.
+func (c *Client) Seal(id string, analysis Analysis) (*Federation, error) {
+	var out Federation
+	if err := c.doJSON(http.MethodPost, "/v1/federations/"+id+"/seal", analysis, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// DeleteFederation tears federation id down, contributions included.
+// Coordinator only.
+func (c *Client) DeleteFederation(id string) error {
+	return c.doJSON(http.MethodDelete, "/v1/federations/"+id, nil, nil)
+}
+
+// Result polls the federation result route until the joint analysis
+// finishes (or ctx is done) and returns its outcome. A failed or
+// cancelled analysis is returned as an error carrying the job state.
+func (c *Client) Result(ctx context.Context, id string) (*Result, error) {
+	interval := c.PollInterval
+	if interval <= 0 {
+		interval = 50 * time.Millisecond
+	}
+	for {
+		var wrapper struct {
+			Status struct {
+				State string `json:"state"`
+				Error string `json:"error"`
+			} `json:"status"`
+			Result *Result `json:"result"`
+		}
+		err := c.doJSON(http.MethodGet, "/v1/federations/"+id+"/result", nil, &wrapper)
+		switch {
+		case err == nil:
+			switch wrapper.Status.State {
+			case "done":
+				return wrapper.Result, nil
+			case "failed", "cancelled":
+				return nil, fmt.Errorf("ppclient: joint analysis %s: %s", wrapper.Status.State, wrapper.Status.Error)
+			}
+		case IsStatus(err, http.StatusConflict):
+			// Still queued or running; keep polling.
+		default:
+			return nil, err
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(interval):
+		}
+	}
+}
+
+// DownloadDataset streams one of the owner's stored datasets (e.g. its
+// own protected federation contribution "fed.<id>") as CSV.
+func (c *Client) DownloadDataset(name string) (string, error) {
+	req, err := c.newRequest(http.MethodGet, "/v1/datasets/"+name+"/rows", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", apiError(resp.StatusCode, raw)
+	}
+	return string(raw), nil
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// newRequest builds an authenticated request with the owner query set.
+func (c *Client) newRequest(method, path string, body io.Reader) (*http.Request, error) {
+	sep := "?"
+	if strings.Contains(path, "?") {
+		sep = "&"
+	}
+	req, err := http.NewRequest(method, c.BaseURL+path+sep+"owner="+c.Owner, body)
+	if err != nil {
+		return nil, err
+	}
+	if c.Token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.Token)
+	}
+	return req, nil
+}
+
+// doJSON sends an optional JSON body and decodes a JSON response into out
+// (which may be nil).
+func (c *Client) doJSON(method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		raw, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(raw)
+	}
+	req, err := c.newRequest(method, path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	return c.exec(req, out)
+}
+
+// exec runs the request, captures a freshly minted token, and decodes the
+// response.
+func (c *Client) exec(req *http.Request, out any) error {
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if tok := resp.Header.Get("X-Ppclust-Token"); tok != "" && c.Token == "" {
+		c.Token = tok
+	}
+	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+		return apiError(resp.StatusCode, raw)
+	}
+	if out != nil && len(raw) > 0 {
+		if err := json.Unmarshal(raw, out); err != nil {
+			return fmt.Errorf("ppclient: decoding response: %w", err)
+		}
+	}
+	return nil
+}
+
+func apiError(status int, raw []byte) error {
+	var e struct {
+		Error string `json:"error"`
+	}
+	msg := strings.TrimSpace(string(raw))
+	if json.Unmarshal(raw, &e) == nil && e.Error != "" {
+		msg = e.Error
+	}
+	return &APIError{Status: status, Message: msg}
+}

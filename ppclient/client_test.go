@@ -1,0 +1,63 @@
+package ppclient
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// TestTokenCaptureAndErrors exercises the client plumbing against a stub
+// daemon: minted tokens are captured once, bearer auth is attached, and
+// non-2xx responses surface as typed APIErrors. The full protocol is
+// covered end to end by cmd/ppclustd's federation tests.
+func TestTokenCaptureAndErrors(t *testing.T) {
+	var sawAuth string
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("owner") != "alice" {
+			t.Errorf("owner query = %q", r.URL.Query().Get("owner"))
+		}
+		switch r.URL.Path {
+		case "/v1/federations":
+			w.Header().Set("X-Ppclust-Token", "tok-1")
+			w.WriteHeader(http.StatusCreated)
+			w.Write([]byte(`{"id":"fabc","state":"open","coordinator":"alice"}`))
+		case "/v1/federations/fabc":
+			sawAuth = r.Header.Get("Authorization")
+			w.WriteHeader(http.StatusNotFound)
+			w.Write([]byte(`{"error":"federation: not found"}`))
+		default:
+			t.Errorf("unexpected path %s", r.URL.Path)
+		}
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, "alice")
+	fed, err := c.CreateFederation(FederationConfig{Name: "n", Columns: []string{"a", "b"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fed.ID != "fabc" || c.Token != "tok-1" {
+		t.Fatalf("fed = %+v, token = %q", fed, c.Token)
+	}
+
+	_, err = c.Federation("fabc")
+	if !IsStatus(err, http.StatusNotFound) {
+		t.Fatalf("err = %v, want 404 APIError", err)
+	}
+	if sawAuth != "Bearer tok-1" {
+		t.Fatalf("Authorization = %q", sawAuth)
+	}
+}
+
+func TestPartyAssignments(t *testing.T) {
+	r := &Result{
+		Parties:     []ResultParty{{Owner: "a", Rows: 2, Offset: 0}, {Owner: "b", Rows: 3, Offset: 2}},
+		Assignments: []int{0, 0, 1, 1, 2},
+	}
+	if got := r.PartyAssignments("b"); len(got) != 3 || got[0] != 1 || got[2] != 2 {
+		t.Fatalf("b assignments = %v", got)
+	}
+	if got := r.PartyAssignments("nobody"); got != nil {
+		t.Fatalf("unknown party = %v", got)
+	}
+}
