@@ -117,33 +117,34 @@ func BenchmarkFederationEndToEnd(b *testing.B) {
 				}
 			}
 
+			ctx := context.Background()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				clients := make([]*ppclient.Client, shape.parties)
 				for p := range clients {
 					clients[p] = ppclient.New(ts.URL, fmt.Sprintf("bench%d-p%d", i, p))
 				}
-				fed, err := clients[0].CreateFederation(ppclient.FederationConfig{
+				fed, err := clients[0].CreateFederation(ctx, ppclient.FederationConfig{
 					Name: "bench", Columns: ds.Names, Seed: int64(i + 1),
 				})
 				if err != nil {
 					b.Fatal(err)
 				}
 				for p := 1; p < shape.parties; p++ {
-					if _, err := clients[p].JoinFederation(fed.ID); err != nil {
+					if _, err := clients[p].JoinFederation(ctx, fed.ID); err != nil {
 						b.Fatal(err)
 					}
 				}
 				for p := 0; p < shape.parties; p++ {
-					if _, err := clients[p].Contribute(fed.ID, ds.Names, parts[p]); err != nil {
+					if _, err := clients[p].Contribute(ctx, fed.ID, ds.Names, parts[p]); err != nil {
 						b.Fatal(err)
 					}
 				}
-				if _, err := clients[0].Seal(fed.ID, ppclient.Analysis{Algorithm: "kmeans", K: 3, ClustSeed: 1}); err != nil {
+				if _, err := clients[0].Seal(ctx, fed.ID, ppclient.Analysis{Algorithm: "kmeans", K: 3, ClustSeed: 1}); err != nil {
 					b.Fatal(err)
 				}
-				ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
-				res, err := clients[0].Result(ctx, fed.ID)
+				wctx, cancel := context.WithTimeout(ctx, 60*time.Second)
+				res, err := clients[0].Result(wctx, fed.ID)
 				cancel()
 				if err != nil {
 					b.Fatal(err)

@@ -62,11 +62,12 @@ func fedClient(ts *httptest.Server, owner string) *ppclient.Client {
 // (misclassification error 0 for well-separated data); and party A gets
 // 403 / owner-isolated 404 when touching party B's contribution.
 func TestFederationThreePartyAcceptance(t *testing.T) {
+	ctx := context.Background()
 	ts, _ := newJobsServer(t)
 	parts, union, labels, names := fedTestData(t, 240, 3, 3, 11)
 
 	coord := fedClient(ts, "hospital-a")
-	fed, err := coord.CreateFederation(ppclient.FederationConfig{
+	fed, err := coord.CreateFederation(ctx, ppclient.FederationConfig{
 		Name: "joint-study", Columns: names, Rho1: 0.3, Rho2: 0.3, Seed: 17,
 	})
 	if err != nil {
@@ -81,10 +82,10 @@ func TestFederationThreePartyAcceptance(t *testing.T) {
 
 	partyB := fedClient(ts, "hospital-b")
 	partyC := fedClient(ts, "hospital-c")
-	if _, err := partyB.JoinFederation(fed.ID); err != nil {
+	if _, err := partyB.JoinFederation(ctx, fed.ID); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := partyC.JoinFederation(fed.ID); err != nil {
+	if _, err := partyC.JoinFederation(ctx, fed.ID); err != nil {
 		t.Fatal(err)
 	}
 	if partyB.Token == "" || partyC.Token == "" {
@@ -93,12 +94,12 @@ func TestFederationThreePartyAcceptance(t *testing.T) {
 
 	// A party contributing before the coordinator froze the key is told
 	// to wait, with 409.
-	if _, err := partyB.Contribute(fed.ID, names, parts[1]); !ppclient.IsStatus(err, http.StatusConflict) {
+	if _, err := partyB.Contribute(ctx, fed.ID, names, parts[1]); !ppclient.IsStatus(err, http.StatusConflict) {
 		t.Fatalf("pre-freeze contribution: %v", err)
 	}
 
 	// The coordinator's contribution fits and freezes the shared key.
-	fv, err := coord.Contribute(fed.ID, names, parts[0])
+	fv, err := coord.Contribute(ctx, fed.ID, names, parts[0])
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,13 +107,13 @@ func TestFederationThreePartyAcceptance(t *testing.T) {
 		t.Fatalf("after coordinator contribution: %+v", fv)
 	}
 	// Wrong column count is rejected.
-	if _, err := partyB.Contribute(fed.ID, names[:3], truncCols(parts[1], 3)); !ppclient.IsStatus(err, http.StatusBadRequest) {
+	if _, err := partyB.Contribute(ctx, fed.ID, names[:3], truncCols(parts[1], 3)); !ppclient.IsStatus(err, http.StatusBadRequest) {
 		t.Fatalf("narrow contribution: %v", err)
 	}
-	if _, err := partyB.Contribute(fed.ID, names, parts[1]); err != nil {
+	if _, err := partyB.Contribute(ctx, fed.ID, names, parts[1]); err != nil {
 		t.Fatal(err)
 	}
-	fv, err = partyC.Contribute(fed.ID, names, parts[2])
+	fv, err = partyC.Contribute(ctx, fed.ID, names, parts[2])
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,51 +133,51 @@ func TestFederationThreePartyAcceptance(t *testing.T) {
 	if resp, _ := deleteReq(t, ts.URL+"/v1/datasets/"+contribName+"?owner=hospital-b", coord.Token); resp.StatusCode != http.StatusForbidden {
 		t.Fatalf("A deletes B's contribution: %d, want 403", resp.StatusCode)
 	}
-	if err := partyC.WithdrawContribution(fed.ID); err != nil {
+	if err := partyC.WithdrawContribution(ctx, fed.ID); err != nil {
 		t.Fatal(err)
 	}
 	if resp, _ := getJSON(t, ts.URL+"/v1/datasets/"+contribName+"?owner=hospital-c", partyC.Token, nil); resp.StatusCode != http.StatusNotFound {
 		t.Fatalf("withdrawn contribution still resolves: %d", resp.StatusCode)
 	}
 	// ...while B can still download its own protected rows via the SDK.
-	if _, err := partyC.DownloadDataset(contribName); err == nil {
+	if _, err := partyC.DownloadDataset(ctx, contribName); err == nil {
 		t.Fatal("C downloading a withdrawn contribution must fail")
 	}
-	if body, err := partyB.DownloadDataset(contribName); err != nil || len(body) == 0 {
+	if body, err := partyB.DownloadDataset(ctx, contribName); err != nil || len(body) == 0 {
 		t.Fatalf("B downloading its own contribution: %v", err)
 	}
-	if _, err := partyC.Contribute(fed.ID, names, parts[2]); err != nil {
+	if _, err := partyC.Contribute(ctx, fed.ID, names, parts[2]); err != nil {
 		t.Fatal(err)
 	}
 
 	// A non-member cannot even see the federation: owner-isolated 404.
 	stranger := fedClient(ts, "stranger")
-	if _, err := stranger.JoinFederation(fed.ID); err != nil {
+	if _, err := stranger.JoinFederation(ctx, fed.ID); err != nil {
 		t.Fatal(err) // join first so the owner exists...
 	}
 	// ...but a *different* federation ID stays invisible.
-	if _, err := stranger.Federation("f000000000000000000000ff"); !ppclient.IsStatus(err, http.StatusNotFound) {
+	if _, err := stranger.Federation(ctx, "f000000000000000000000ff"); !ppclient.IsStatus(err, http.StatusNotFound) {
 		t.Fatalf("stranger on unknown federation: %v", err)
 	}
 
 	// Non-coordinator seal is 403; result before seal is 409.
-	if _, err := partyB.Seal(fed.ID, ppclient.Analysis{Algorithm: "kmeans", K: 3}); !ppclient.IsStatus(err, http.StatusForbidden) {
+	if _, err := partyB.Seal(ctx, fed.ID, ppclient.Analysis{Algorithm: "kmeans", K: 3}); !ppclient.IsStatus(err, http.StatusForbidden) {
 		t.Fatalf("party seal: %v", err)
 	}
 	if resp, _ := getJSON(t, ts.URL+"/v1/federations/"+fed.ID+"/result?owner=hospital-b", partyB.Token, nil); resp.StatusCode != http.StatusConflict {
 		t.Fatalf("early result: %d, want 409", resp.StatusCode)
 	}
 
-	sealed, err := coord.Seal(fed.ID, ppclient.Analysis{Algorithm: "kmeans", K: 3, ClustSeed: 5})
+	sealed, err := coord.Seal(ctx, fed.ID, ppclient.Analysis{Algorithm: "kmeans", K: 3, ClustSeed: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if sealed.State != "sealed" || sealed.JobID == "" {
 		t.Fatalf("sealed = %+v", sealed)
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	wctx, cancel := context.WithTimeout(ctx, 30*time.Second)
 	defer cancel()
-	res, err := coord.Result(ctx, fed.ID)
+	res, err := coord.Result(wctx, fed.ID)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -231,6 +232,7 @@ func truncCols(rows [][]float64, n int) [][]float64 {
 // with the same ID, joined parties and contributions after the daemon's
 // stores are reopened, and can then run to completion.
 func TestFederationSurvivesRestart(t *testing.T) {
+	ctx := context.Background()
 	dir := t.TempDir()
 	keysPath := filepath.Join(dir, "keys.json")
 	dataDir := filepath.Join(dir, "data")
@@ -258,18 +260,18 @@ func TestFederationSurvivesRestart(t *testing.T) {
 	parts, _, _, names := fedTestData(t, 90, 3, 3, 23)
 	ts1, mgr1 := boot()
 	coord := fedClient(ts1, "alpha")
-	fed, err := coord.CreateFederation(ppclient.FederationConfig{Name: "resume", Columns: names, Seed: 3})
+	fed, err := coord.CreateFederation(ctx, ppclient.FederationConfig{Name: "resume", Columns: names, Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
 	partyB := fedClient(ts1, "beta")
-	if _, err := partyB.JoinFederation(fed.ID); err != nil {
+	if _, err := partyB.JoinFederation(ctx, fed.ID); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := coord.Contribute(fed.ID, names, parts[0]); err != nil {
+	if _, err := coord.Contribute(ctx, fed.ID, names, parts[0]); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := partyB.Contribute(fed.ID, names, parts[1]); err != nil {
+	if _, err := partyB.Contribute(ctx, fed.ID, names, parts[1]); err != nil {
 		t.Fatal(err)
 	}
 	// SIGTERM-style shutdown: drain jobs, stop serving.
@@ -281,7 +283,7 @@ func TestFederationSurvivesRestart(t *testing.T) {
 	defer ts2.Close()
 	coord2 := fedClient(ts2, "alpha")
 	coord2.Token = coord.Token
-	got, err := coord2.Federation(fed.ID)
+	got, err := coord2.Federation(ctx, fed.ID)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -293,18 +295,18 @@ func TestFederationSurvivesRestart(t *testing.T) {
 	// credential, contributes under the *same* frozen key, and the seal +
 	// joint analysis completes.
 	partyC := fedClient(ts2, "gamma")
-	if _, err := partyC.JoinFederation(fed.ID); err != nil {
+	if _, err := partyC.JoinFederation(ctx, fed.ID); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := partyC.Contribute(fed.ID, names, parts[2]); err != nil {
+	if _, err := partyC.Contribute(ctx, fed.ID, names, parts[2]); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := coord2.Seal(fed.ID, ppclient.Analysis{Algorithm: "kmeans", K: 3, ClustSeed: 1}); err != nil {
+	if _, err := coord2.Seal(ctx, fed.ID, ppclient.Analysis{Algorithm: "kmeans", K: 3, ClustSeed: 1}); err != nil {
 		t.Fatal(err)
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	wctx, cancel := context.WithTimeout(ctx, 30*time.Second)
 	defer cancel()
-	res, err := coord2.Result(ctx, fed.ID)
+	res, err := coord2.Result(wctx, fed.ID)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -317,68 +319,69 @@ func TestFederationSurvivesRestart(t *testing.T) {
 // routes, the 404 for unknown owners, and the two-contribution floor on
 // seal.
 func TestFederationAuthEdges(t *testing.T) {
+	ctx := context.Background()
 	ts, _ := newJobsServer(t)
 	parts, _, _, names := fedTestData(t, 60, 2, 2, 31)
 
 	coord := fedClient(ts, "org-a")
-	fed, err := coord.CreateFederation(ppclient.FederationConfig{Name: "edges", Columns: names, Seed: 1})
+	fed, err := coord.CreateFederation(ctx, ppclient.FederationConfig{Name: "edges", Columns: names, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
 
 	// Known owner without token: 401 with a challenge.
 	bare := fedClient(ts, "org-a")
-	if _, err := bare.Federation(fed.ID); !ppclient.IsStatus(err, http.StatusUnauthorized) {
+	if _, err := bare.Federation(ctx, fed.ID); !ppclient.IsStatus(err, http.StatusUnauthorized) {
 		t.Fatalf("tokenless get: %v", err)
 	}
 	// Wrong token (another owner's): 403.
 	other := fedClient(ts, "org-b")
-	if _, err := other.JoinFederation(fed.ID); err != nil {
+	if _, err := other.JoinFederation(ctx, fed.ID); err != nil {
 		t.Fatal(err)
 	}
 	impostor := fedClient(ts, "org-a")
 	impostor.Token = other.Token
-	if _, err := impostor.Federation(fed.ID); !ppclient.IsStatus(err, http.StatusForbidden) {
+	if _, err := impostor.Federation(ctx, fed.ID); !ppclient.IsStatus(err, http.StatusForbidden) {
 		t.Fatalf("wrong-token get: %v", err)
 	}
 	// Unknown owner on a member route: 404.
 	ghost := fedClient(ts, "ghost")
 	ghost.Token = other.Token
-	if _, err := ghost.Federation(fed.ID); !ppclient.IsStatus(err, http.StatusNotFound) {
+	if _, err := ghost.Federation(ctx, fed.ID); !ppclient.IsStatus(err, http.StatusNotFound) {
 		t.Fatalf("unknown owner: %v", err)
 	}
 	// Duplicate join: 409.
-	if _, err := other.JoinFederation(fed.ID); !ppclient.IsStatus(err, http.StatusConflict) {
+	if _, err := other.JoinFederation(ctx, fed.ID); !ppclient.IsStatus(err, http.StatusConflict) {
 		t.Fatalf("duplicate join: %v", err)
 	}
 
 	// Seal below the two-contribution floor: 409 even for the
 	// coordinator, in both open and frozen states.
-	if _, err := coord.Seal(fed.ID, ppclient.Analysis{K: 2}); !ppclient.IsStatus(err, http.StatusConflict) {
+	if _, err := coord.Seal(ctx, fed.ID, ppclient.Analysis{K: 2}); !ppclient.IsStatus(err, http.StatusConflict) {
 		t.Fatalf("seal while open: %v", err)
 	}
-	if _, err := coord.Contribute(fed.ID, names, parts[0]); err != nil {
+	if _, err := coord.Contribute(ctx, fed.ID, names, parts[0]); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := coord.Seal(fed.ID, ppclient.Analysis{K: 2}); !ppclient.IsStatus(err, http.StatusConflict) {
+	if _, err := coord.Seal(ctx, fed.ID, ppclient.Analysis{K: 2}); !ppclient.IsStatus(err, http.StatusConflict) {
 		t.Fatalf("seal with one contribution: %v", err)
 	}
 	// Bad analysis spec: 400.
-	if _, err := other.Contribute(fed.ID, names, parts[1]); err != nil {
+	if _, err := other.Contribute(ctx, fed.ID, names, parts[1]); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := coord.Seal(fed.ID, ppclient.Analysis{Algorithm: "quantum"}); !ppclient.IsStatus(err, http.StatusBadRequest) {
+	if _, err := coord.Seal(ctx, fed.ID, ppclient.Analysis{Algorithm: "quantum"}); !ppclient.IsStatus(err, http.StatusBadRequest) {
 		t.Fatalf("bad algorithm: %v", err)
 	}
 
 	// Deleting the federation removes the contributions with it.
-	if err := coord.DeleteFederation(fed.ID); err != nil {
+	if err := coord.DeleteFederation(ctx, fed.ID); err != nil {
 		t.Fatal(err)
 	}
 	if resp, _ := getJSON(t, ts.URL+"/v1/datasets/fed."+fed.ID+"?owner=org-a", coord.Token, nil); resp.StatusCode != http.StatusNotFound {
 		t.Fatalf("contribution survived federation delete: %d", resp.StatusCode)
 	}
-	if _, err := coord.Federation(fed.ID); !ppclient.IsStatus(err, http.StatusNotFound) {
+	if _, err := coord.Federation(ctx, fed.ID); !ppclient.IsStatus(err, http.StatusNotFound) {
 		t.Fatalf("deleted federation still resolves: %v", err)
 	}
 }
@@ -386,14 +389,15 @@ func TestFederationAuthEdges(t *testing.T) {
 // TestFederationMetrics: the per-federation gauges surface on
 // /v1/metrics without leaking the federation ID (the join capability).
 func TestFederationMetrics(t *testing.T) {
+	ctx := context.Background()
 	ts, _ := newJobsServer(t)
 	parts, _, _, names := fedTestData(t, 40, 2, 2, 41)
 	coord := fedClient(ts, "m-a")
-	fed, err := coord.CreateFederation(ppclient.FederationConfig{Name: "metrics", Columns: names, Seed: 2})
+	fed, err := coord.CreateFederation(ctx, ppclient.FederationConfig{Name: "metrics", Columns: names, Seed: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := coord.Contribute(fed.ID, names, parts[0]); err != nil {
+	if _, err := coord.Contribute(ctx, fed.ID, names, parts[0]); err != nil {
 		t.Fatal(err)
 	}
 
@@ -423,6 +427,7 @@ func TestFederationMetrics(t *testing.T) {
 // reschedules the stored analysis on the next result fetch instead of
 // answering 404 forever.
 func TestFederationLostJobReschedule(t *testing.T) {
+	ctx := context.Background()
 	mgr := jobs.New(jobs.Config{Workers: 2, Retention: 1})
 	t.Cleanup(mgr.Close)
 	s := newServer(engine.New(2, 1024), keyring.NewMemory(), datastore.NewMemory(), mgr, federation.NewMemory())
@@ -431,26 +436,26 @@ func TestFederationLostJobReschedule(t *testing.T) {
 
 	parts, _, _, names := fedTestData(t, 60, 2, 2, 51)
 	coord := fedClient(ts, "org-a")
-	fed, err := coord.CreateFederation(ppclient.FederationConfig{Name: "lost", Columns: names, Seed: 4})
+	fed, err := coord.CreateFederation(ctx, ppclient.FederationConfig{Name: "lost", Columns: names, Seed: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
 	partyB := fedClient(ts, "org-b")
-	if _, err := partyB.JoinFederation(fed.ID); err != nil {
+	if _, err := partyB.JoinFederation(ctx, fed.ID); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := coord.Contribute(fed.ID, names, parts[0]); err != nil {
+	if _, err := coord.Contribute(ctx, fed.ID, names, parts[0]); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := partyB.Contribute(fed.ID, names, parts[1]); err != nil {
+	if _, err := partyB.Contribute(ctx, fed.ID, names, parts[1]); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := coord.Seal(fed.ID, ppclient.Analysis{Algorithm: "kmeans", K: 2, ClustSeed: 3}); err != nil {
+	if _, err := coord.Seal(ctx, fed.ID, ppclient.Analysis{Algorithm: "kmeans", K: 2, ClustSeed: 3}); err != nil {
 		t.Fatal(err)
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	wctx, cancel := context.WithTimeout(ctx, 30*time.Second)
 	defer cancel()
-	if _, err := coord.Result(ctx, fed.ID); err != nil {
+	if _, err := coord.Result(wctx, fed.ID); err != nil {
 		t.Fatal(err)
 	}
 
@@ -464,7 +469,7 @@ func TestFederationLostJobReschedule(t *testing.T) {
 
 	// The original job ID is gone; the result route reschedules and a
 	// poll completes against the fresh job.
-	res, err := coord.Result(ctx, fed.ID)
+	res, err := coord.Result(wctx, fed.ID)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -472,7 +477,7 @@ func TestFederationLostJobReschedule(t *testing.T) {
 		t.Fatalf("rescheduled result = k=%d assignments=%d", res.K, len(res.Assignments))
 	}
 	// The federation now points at a different job than the one sealed.
-	got, err := coord.Federation(fed.ID)
+	got, err := coord.Federation(ctx, fed.ID)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -485,14 +490,15 @@ func TestFederationLostJobReschedule(t *testing.T) {
 // be created, deleted or targeted by protect jobs through the ordinary
 // dataset routes — only the federation routes manage contributions.
 func TestFederationReservedDatasetNamespace(t *testing.T) {
+	ctx := context.Background()
 	ts, _ := newJobsServer(t)
 	parts, _, _, names := fedTestData(t, 40, 2, 2, 61)
 	coord := fedClient(ts, "res-a")
-	fed, err := coord.CreateFederation(ppclient.FederationConfig{Name: "res", Columns: names, Seed: 2})
+	fed, err := coord.CreateFederation(ctx, ppclient.FederationConfig{Name: "res", Columns: names, Seed: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := coord.Contribute(fed.ID, names, parts[0]); err != nil {
+	if _, err := coord.Contribute(ctx, fed.ID, names, parts[0]); err != nil {
 		t.Fatal(err)
 	}
 	contrib := "fed." + fed.ID
@@ -511,14 +517,14 @@ func TestFederationReservedDatasetNamespace(t *testing.T) {
 		t.Fatalf("reserved protect dest: %d: %s", resp.StatusCode, body)
 	}
 	// Reading a contribution through the dataset routes stays allowed.
-	if _, err := coord.DownloadDataset(contrib); err != nil {
+	if _, err := coord.DownloadDataset(ctx, contrib); err != nil {
 		t.Fatal(err)
 	}
 	// Withdraw through the federation route still works and removes it.
-	if err := coord.WithdrawContribution(fed.ID); err != nil {
+	if err := coord.WithdrawContribution(ctx, fed.ID); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := coord.DownloadDataset(contrib); !ppclient.IsStatus(err, http.StatusNotFound) {
+	if _, err := coord.DownloadDataset(ctx, contrib); !ppclient.IsStatus(err, http.StatusNotFound) {
 		t.Fatalf("withdrawn contribution: %v", err)
 	}
 }

@@ -21,6 +21,10 @@ package main
 //	          and on the release, report misclassification error and
 //	          F-measure between the two partitions (plus agreement with
 //	          ground-truth labels when the dataset carries them)
+//	audit     per-attribute Sec + known-sample re-identification against a
+//	          stored release (audit.go)
+//	tune      sweep mechanisms × parameters, return the privacy–utility
+//	          Pareto frontier and a recommended point (tune.go)
 //
 // All routes authorize against the owner's bearer token; jobs are
 // owner-isolated (a foreign job ID is indistinguishable from an absent
@@ -69,12 +73,18 @@ type jobSpec struct {
 	Sigma     float64 `json:"sigma,omitempty"`
 	ClustSeed int64   `json:"cluster_seed,omitempty"`
 
-	// audit: the stored release to audit against Dataset, the key version
-	// whose normalization aligns the two (0 = current), and the number of
-	// known records the simulated adversary holds (0 = column count).
+	// audit + tune: the number of known records the simulated adversary
+	// holds (0 = column count). Release and KeyVersion are audit-only.
 	Release    string `json:"release,omitempty"`
 	KeyVersion int    `json:"key_version,omitempty"`
 	Known      int    `json:"known,omitempty"`
+
+	// tune: the sweep grid and the recommendation constraint (tune.go).
+	Mechanisms []string  `json:"mechanisms,omitempty"`
+	Rhos       []float64 `json:"rhos,omitempty"`
+	Sigmas     []float64 `json:"sigmas,omitempty"`
+	MinSec     float64   `json:"min_sec,omitempty"`
+	Refine     int       `json:"refine,omitempty"`
 }
 
 const (
@@ -92,6 +102,7 @@ func (s *server) registerJobRunners() {
 	s.mgr.Register(jobCluster, s.runClusterJob)
 	s.mgr.Register(jobEvaluate, s.runEvaluateJob)
 	s.mgr.Register(jobAudit, s.runAuditJob)
+	s.mgr.Register(jobTune, s.runTuneJob)
 	s.mgr.Register(jobFederatedCluster, s.runFederatedClusterJob)
 }
 
@@ -172,8 +183,10 @@ func (s *server) validateSpec(owner string, spec *jobSpec) error {
 		return err
 	case jobAudit:
 		return s.validateAuditSpec(owner, spec, ds)
+	case jobTune:
+		return s.validateTuneSpec(spec, ds)
 	default:
-		return fmt.Errorf("%w: unknown type %q (want protect, cluster, evaluate or audit)", errBadJob, spec.Type)
+		return fmt.Errorf("%w: unknown type %q (want protect, cluster, evaluate, audit or tune)", errBadJob, spec.Type)
 	}
 	return nil
 }

@@ -11,6 +11,7 @@ import (
 	"encoding/hex"
 	"fmt"
 	"net/http"
+	"time"
 
 	"ppclust/internal/metrics"
 )
@@ -23,13 +24,23 @@ func fedMetricLabel(id string) string {
 	return hex.EncodeToString(h[:6])
 }
 
+// latencyBoundsUs are the fixed per-route latency buckets, in
+// microseconds: fine enough to separate a metadata GET from a streamed
+// protect, bounded so the metric stays O(routes × 12) gauges forever.
+var latencyBoundsUs = []float64{
+	500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000,
+	100_000, 250_000, 500_000, 1_000_000, 5_000_000,
+}
+
 // instrument wraps the mux so every request increments a
-// route+status-labelled counter. The pattern is the mux's match (e.g.
+// route+status-labelled counter and records its latency into a bounded
+// per-route histogram. The pattern is the mux's match (e.g.
 // "POST /v1/jobs"), which keeps cardinality bounded by the route table
 // rather than by client-chosen URLs.
 func (s *server) instrument(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
 		// Deferred so that requests a handler kills mid-stream with
 		// panic(http.ErrAbortHandler) — exactly the failures an operator
 		// watches error rates for — are still counted; the panic keeps
@@ -40,6 +51,8 @@ func (s *server) instrument(next http.Handler) http.Handler {
 				route = "unmatched"
 			}
 			s.reg.Counter(fmt.Sprintf(`http_requests_total{route=%q,status="%d"}`, route, rec.status)).Inc()
+			s.reg.Histogram(fmt.Sprintf(`http_request_duration_us{route=%q}`, route), latencyBoundsUs).
+				Observe(float64(time.Since(start).Microseconds()))
 		}()
 		next.ServeHTTP(rec, r)
 	})
@@ -119,4 +132,7 @@ func (s *server) initMetrics() {
 	s.rowsProtected = s.reg.Counter("rows_protected_total")
 	s.rowsRecovered = s.reg.Counter("rows_recovered_total")
 	s.rowsIngested = s.reg.Counter("rows_ingested_total")
+	s.tuneEvaluated = s.reg.Counter("tune_candidates_evaluated_total")
+	s.tunePruned = s.reg.Counter("tune_candidates_pruned_total")
+	s.tuneFailed = s.reg.Counter("tune_candidates_failed_total")
 }

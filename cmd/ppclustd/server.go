@@ -18,8 +18,10 @@ import (
 	"ppclust/internal/jobs"
 	"ppclust/internal/keyring"
 	"ppclust/internal/matrix"
+	"ppclust/internal/mech"
 	"ppclust/internal/metrics"
 	"ppclust/internal/multiparty"
+	"ppclust/internal/tuning"
 )
 
 // server wires the parallel RBT engine, the keyring, the dataset store and
@@ -59,6 +61,7 @@ type server struct {
 
 	reg                                        *metrics.Registry
 	rowsProtected, rowsRecovered, rowsIngested *metrics.Counter
+	tuneEvaluated, tunePruned, tuneFailed      *metrics.Counter
 }
 
 func newServer(eng *engine.Engine, keys keyring.Store, store datastore.Store, mgr *jobs.Manager, feds *federation.Manager) *server {
@@ -548,6 +551,8 @@ func statusFor(err error) int {
 		errors.Is(err, jobs.ErrUnknownType),
 		errors.Is(err, federation.ErrBadConfig),
 		errors.Is(err, multiparty.ErrParty),
+		errors.Is(err, tuning.ErrSpec),
+		errors.Is(err, mech.ErrConfig),
 		errors.Is(err, core.ErrBadInput),
 		errors.Is(err, core.ErrBadPair),
 		errors.Is(err, core.ErrBadThreshold),

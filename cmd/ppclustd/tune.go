@@ -1,0 +1,98 @@
+package main
+
+// The tune job type: privacy–utility frontier search as a service. A tune
+// job sweeps a grid (plus optional adaptive refinement) of protection
+// mechanisms — the paper's RBT at several PST levels, the additive and
+// multiplicative noise baselines, and the RBT+noise hybrid — over one
+// stored dataset, scores every candidate on utility (misclassification /
+// F-measure / Rand index against the normalized original's clustering),
+// privacy (minimum per-attribute Sec) and attack resistance (known-sample
+// re-identification rate), and returns the Pareto frontier plus the
+// recommended operating point under the submitted constraint.
+//
+// Spec: {"type":"tune","dataset":D,"algorithm":"kmeans","k":K,
+// "mechanisms":["rbt","additive","multiplicative","hybrid"],
+// "rhos":[...],"sigmas":[...],"min_sec":0.3,"refine":1,"known":N,
+// "seed":S,"norm":"zscore"}. Every field after dataset/algorithm/k is
+// optional; the defaults sweep all four mechanisms over the package's
+// standard grids. Candidate counts are visible at GET /v1/metrics as
+// tune_candidates_evaluated_total / tune_candidates_pruned_total /
+// tune_candidates_failed_total.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"ppclust/internal/cluster"
+	"ppclust/internal/datastore"
+	"ppclust/internal/jobs"
+	"ppclust/internal/tuning"
+)
+
+const jobTune = "tune"
+
+// validateTuneSpec front-loads the sweep-spec failures a worker would
+// otherwise hit, including the full tuning-package validation against the
+// dataset's shape.
+func (s *server) validateTuneSpec(spec *jobSpec, ds *datastore.Dataset) error {
+	if _, err := normKind(spec.Norm); err != nil {
+		return err
+	}
+	if spec.KMin != 0 || spec.KMax != 0 {
+		return fmt.Errorf("%w: tune sweeps one fixed algorithm; k-selection is a cluster job", errBadJob)
+	}
+	if _, err := buildClusterer(spec); err != nil {
+		return err
+	}
+	tspec := s.tuningSpec(spec)
+	if err := tspec.Validate(ds.Rows, ds.Cols); err != nil {
+		return err
+	}
+	return nil
+}
+
+// tuningSpec maps the wire spec onto the tuning package's.
+func (s *server) tuningSpec(spec *jobSpec) tuning.Spec {
+	norm, _ := normKind(spec.Norm)
+	return tuning.Spec{
+		Norm:       norm,
+		Mechanisms: spec.Mechanisms,
+		Rhos:       spec.Rhos,
+		Sigmas:     spec.Sigmas,
+		Seed:       spec.Seed,
+		Known:      spec.Known,
+		MinSec:     spec.MinSec,
+		Refine:     spec.Refine,
+		NewClusterer: func() (cluster.Clusterer, error) {
+			return buildClusterer(spec)
+		},
+	}
+}
+
+// runTuneJob executes the sweep described above over the job's worker
+// slot, fanning candidates out over the tuning package's own bounded pool.
+func (s *server) runTuneJob(ctx context.Context, t *jobs.Task) (any, error) {
+	var spec jobSpec
+	if err := json.Unmarshal(t.Spec, &spec); err != nil {
+		return nil, err
+	}
+	ds, err := s.store.Get(t.Owner, spec.Dataset)
+	if err != nil {
+		return nil, err
+	}
+	t.SetProgress(0.02)
+	res, err := tuning.Run(ctx, ds.Matrix(), s.tuningSpec(&spec), tuning.Config{Engine: s.eng},
+		func(done, total int) {
+			if total > 0 {
+				t.SetProgress(0.02 + 0.96*float64(done)/float64(total))
+			}
+		})
+	if err != nil {
+		return nil, err
+	}
+	s.tuneEvaluated.Add(int64(res.Evaluated))
+	s.tunePruned.Add(int64(res.Pruned))
+	s.tuneFailed.Add(int64(res.Failed))
+	return res, nil
+}

@@ -61,10 +61,13 @@ func main() {
 		}
 	}
 
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
 	// 1. The coordinator creates the federation. Its owner name is claimed
 	// on first touch and the bearer token captured by the SDK.
 	coord := ppclient.New(baseURL, hospitals[0])
-	fed, err := coord.CreateFederation(ppclient.FederationConfig{
+	fed, err := coord.CreateFederation(ctx, ppclient.FederationConfig{
 		Name:    "oncology-study",
 		Columns: population.Names,
 		Rho1:    0.3, Rho2: 0.3,
@@ -78,7 +81,7 @@ func main() {
 	clients := []*ppclient.Client{coord}
 	for _, h := range hospitals[1:] {
 		c := ppclient.New(baseURL, h)
-		if _, err := c.JoinFederation(fed.ID); err != nil {
+		if _, err := c.JoinFederation(ctx, fed.ID); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("%s joined (own credential minted)\n", h)
@@ -88,7 +91,7 @@ func main() {
 	// 3.–4. Contributions. The coordinator's goes first and freezes the
 	// shared key; the daemon stores only protected rows for everyone.
 	for p, c := range clients {
-		fv, err := c.Contribute(fed.ID, population.Names, parts[p])
+		fv, err := c.Contribute(ctx, fed.ID, population.Names, parts[p])
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -98,20 +101,18 @@ func main() {
 
 	// Each hospital can download its own protected contribution — and
 	// only its own; another hospital's answers 403.
-	if _, err := clients[1].DownloadDataset("fed." + fed.ID); err != nil {
+	if _, err := clients[1].DownloadDataset(ctx, "fed."+fed.ID); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("hospital-b downloaded its own protected rows; raw rows never persisted")
 
 	// 5. Seal: membership freezes and the joint kmeans is scheduled.
-	if _, err := coord.Seal(fed.ID, ppclient.Analysis{Algorithm: "kmeans", K: 3, ClustSeed: 7}); err != nil {
+	if _, err := coord.Seal(ctx, fed.ID, ppclient.Analysis{Algorithm: "kmeans", K: 3, ClustSeed: 7}); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("sealed; joint clustering scheduled as a federated-cluster job")
 
 	// 6. The result is shared by design: any member may fetch it.
-	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
-	defer cancel()
 	res, err := clients[1].Result(ctx, fed.ID)
 	if err != nil {
 		log.Fatal(err)

@@ -1,0 +1,170 @@
+// The tuning example answers the question every data owner faces before
+// releasing data for clustering: which protection mechanism, at which
+// setting? It launches a real ppclustd daemon as a subprocess, uploads a
+// Gaussian-mixture dataset through the ppclient SDK, and submits a tune
+// job that sweeps four mechanism families —
+//
+//   - rbt            the paper's rotation-based transform (several PSTs),
+//   - additive       classic Gaussian noise in normalized space,
+//   - multiplicative proportional noise,
+//   - hybrid         RBT followed by additive noise,
+//
+// — scoring every candidate on utility (misclassification vs the
+// plaintext clustering), privacy (min per-attribute Sec) and attack
+// resistance (known-sample re-identification, the same adversary
+// examples/attackdemo runs offline). It then prints the Pareto frontier
+// and the recommended operating point under the constraint
+// "maximize utility s.t. Sec >= 0.3".
+//
+// Run from the repository root (the example shells out to `go run`):
+//
+//	go run ./examples/tuning
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"ppclust/internal/dataset"
+	"ppclust/ppclient"
+)
+
+func main() {
+	baseURL, stop := startDaemon()
+	defer stop()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 180*time.Second)
+	defer cancel()
+
+	// The owner's sensitive dataset: a 3-cluster Gaussian mixture.
+	ds, err := dataset.WellSeparatedBlobs(600, 3, 4, 10, rand.New(rand.NewSource(42)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	rows := make([][]float64, ds.Rows())
+	for i := range rows {
+		rows[i] = ds.Data.RawRow(i)
+	}
+
+	cl := ppclient.New(baseURL, "clinic")
+	if _, err := cl.UploadDataset(ctx, "patients", ds.Names, rows); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("uploaded clinic/patients: %dx%d (token minted and captured by the SDK)\n\n", ds.Rows(), ds.Cols())
+
+	// One tune job sweeps the whole mechanism × parameter grid, with one
+	// adaptive refinement round around the frontier.
+	st, err := cl.SubmitTune(ctx, "patients", ppclient.TuneSpec{
+		Algorithm: "kmeans",
+		K:         3,
+		Rhos:      []float64{0.15, 0.3, 0.45},
+		Sigmas:    []float64{0.05, 0.1, 0.2, 0.4},
+		Seed:      7,
+		MinSec:    0.3,
+		Refine:    1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("tune job %s submitted; polling...\n", st.ID)
+
+	lastPct := -10 // one decade below zero, so the 0–9% band still prints
+	res, err := cl.TuneResult(ctx, st.ID, func(js *ppclient.JobStatus) {
+		if pct := int(js.Progress * 100); pct/10 > lastPct/10 {
+			fmt.Printf("  %3d%% (%s)\n", pct, js.State)
+			lastPct = pct
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nevaluated %d candidates (%d failed, %d pruned) over %dx%d with %s\n\n",
+		res.Evaluated, res.Failed, res.Pruned, res.Rows, res.Cols, res.Algorithm)
+
+	fmt.Println("Pareto frontier (no point is beaten on every axis):")
+	fmt.Printf("  %-28s %14s %10s %12s\n", "mechanism", "misclass", "min Sec", "re-ident")
+	for _, p := range res.Frontier {
+		fmt.Printf("  %-28s %14.4f %10.4f %11.0f%%\n",
+			p.Describe, p.Misclassification, p.MinSecurity, 100*p.ReidentRate)
+	}
+
+	if res.Recommended != nil {
+		r := res.Recommended
+		fmt.Printf("\nrecommended under \"max utility s.t. Sec >= %g\": %s\n", res.MinSec, r.Describe)
+		fmt.Printf("  misclassification %.4f, F-measure %.4f, min Sec %.4f, re-identification %.0f%%\n",
+			r.Misclassification, r.FMeasure, r.MinSecurity, 100*r.ReidentRate)
+	} else {
+		fmt.Printf("\nno candidate satisfied the constraint: %s\n", res.RecommendNote)
+	}
+
+	fmt.Println("\nreading the frontier:")
+	fmt.Println("  - pure rbt scores misclassification 0 (Corollary 1) with solid Sec, but")
+	fmt.Println("    ~100% re-identification once an adversary knows a few rows — the")
+	fmt.Println("    offline version of that attack is examples/attackdemo, and it is why")
+	fmt.Println("    hybrids usually dominate pure rbt right off the frontier;")
+	fmt.Println("  - noise mechanisms resist that adversary but pay for it in Sec/utility;")
+	fmt.Println("  - the hybrid keeps the rotation's Sec and buys attack resistance for a")
+	fmt.Println("    small (often zero) utility cost.")
+}
+
+// startDaemon launches `go run ./cmd/ppclustd` on a free loopback port
+// with throwaway persistent state and waits for /healthz.
+func startDaemon() (baseURL string, stop func()) {
+	port := freePort()
+	addr := fmt.Sprintf("127.0.0.1:%d", port)
+	dir, err := os.MkdirTemp("", "ppclust-tuning-example")
+	if err != nil {
+		log.Fatal(err)
+	}
+	cmd := exec.Command("go", "run", "./cmd/ppclustd",
+		"-addr", addr,
+		"-keyring", filepath.Join(dir, "keys.json"),
+		"-data-dir", filepath.Join(dir, "data"),
+	)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	// Its own process group, so the daemon `go run` spawns dies with it.
+	cmd.SysProcAttr = &syscall.SysProcAttr{Setpgid: true}
+	if err := cmd.Start(); err != nil {
+		log.Fatalf("starting ppclustd (run from the repository root): %v", err)
+	}
+	stop = func() {
+		syscall.Kill(-cmd.Process.Pid, syscall.SIGTERM)
+		cmd.Wait()
+		os.RemoveAll(dir)
+	}
+	baseURL = "http://" + addr
+	for deadline := time.Now().Add(30 * time.Second); time.Now().Before(deadline); {
+		resp, err := http.Get(baseURL + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				fmt.Printf("ppclustd up on %s\n\n", addr)
+				return baseURL, stop
+			}
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	stop()
+	log.Fatal("ppclustd never became healthy")
+	return "", nil
+}
+
+func freePort() int {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ln.Close()
+	return ln.Addr().(*net.TCPAddr).Port
+}

@@ -58,6 +58,9 @@ func (a *AdditiveNoise) Perturb(data *matrix.Dense) (*matrix.Dense, error) {
 	if a.Sigma <= 0 {
 		return nil, fmt.Errorf("%w: sigma = %g, need > 0", ErrConfig, a.Sigma)
 	}
+	if err := checkFinite(data); err != nil {
+		return nil, err
+	}
 	rng := a.Rand
 	if rng == nil {
 		rng = rand.New(rand.NewSource(1))
@@ -75,6 +78,58 @@ func (a *AdditiveNoise) Perturb(data *matrix.Dense) (*matrix.Dense, error) {
 		}
 	}
 	return out, nil
+}
+
+// MultiplicativeNoise multiplies every cell by an independent factor
+// (1 + e) with e ~ N(0, Sigma²) — the multiplicative distortion family of
+// the statistical-database literature [Kim & Winkler 2003]. Unlike a
+// per-attribute Scaling it is not invertible, and unlike AdditiveNoise the
+// distortion magnitude tracks the cell's own magnitude, so small values
+// stay small and outliers get proportionally blurred.
+type MultiplicativeNoise struct {
+	// Sigma is the relative noise scale: the standard deviation of the
+	// per-cell factor around 1.
+	Sigma float64
+	// Rand supplies randomness; nil means a fixed-seed source.
+	Rand *rand.Rand
+}
+
+// Name implements Perturber.
+func (m *MultiplicativeNoise) Name() string {
+	return fmt.Sprintf("multiplicative-gaussian(%g)", m.Sigma)
+}
+
+// Perturb implements Perturber.
+func (m *MultiplicativeNoise) Perturb(data *matrix.Dense) (*matrix.Dense, error) {
+	if m.Sigma <= 0 {
+		return nil, fmt.Errorf("%w: sigma = %g, need > 0", ErrConfig, m.Sigma)
+	}
+	if err := checkFinite(data); err != nil {
+		return nil, err
+	}
+	rng := m.Rand
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	out := data.Clone()
+	r, c := out.Dims()
+	for i := 0; i < r; i++ {
+		row := out.RawRow(i)
+		for j := 0; j < c; j++ {
+			row[j] *= 1 + rng.NormFloat64()*m.Sigma
+		}
+	}
+	return out, nil
+}
+
+// checkFinite rejects NaN/Inf input before any noise is drawn — parity
+// with the engine's fit-path checks, so a noise release can never launder
+// a poisoned cell into something that looks legitimately perturbed.
+func checkFinite(data *matrix.Dense) error {
+	if data.HasNaN() {
+		return fmt.Errorf("%w: data contains NaN or Inf", ErrConfig)
+	}
+	return nil
 }
 
 // Translation shifts each attribute by a constant — the TDP family of the

@@ -1,0 +1,395 @@
+// Package mech defines the pluggable protection-mechanism abstraction the
+// tuning subsystem sweeps over. A Mechanism is one privacy method with
+// frozen tunable parameters: Fit fixes its data-dependent state
+// (normalization statistics, rotation key) on a training matrix, and
+// Protect then releases matrices under that frozen state.
+//
+// Every mechanism releases into the same normalized space — the space the
+// paper's utility and security measures live in — so a tuning sweep can
+// score heterogeneous mechanisms (RBT rotations, additive and
+// multiplicative noise, the RBT+noise hybrid) against one shared baseline:
+// the normalized original. That is the mechanism-diversity premise: before
+// sharing sensitive data for clustering, compare genuinely different
+// distortion families under identical metrics, not one family against
+// itself.
+package mech
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"ppclust/internal/baseline"
+	"ppclust/internal/core"
+	"ppclust/internal/engine"
+	"ppclust/internal/matrix"
+	"ppclust/internal/norm"
+	"ppclust/internal/stats"
+)
+
+// ErrConfig is wrapped by invalid mechanism configurations.
+var ErrConfig = errors.New("mech: invalid configuration")
+
+// ErrNotFitted reports a Protect before Fit.
+var ErrNotFitted = errors.New("mech: mechanism not fitted")
+
+// Normalization names accepted by every mechanism; they mirror the
+// engine's values ("" means z-score).
+const (
+	NormZScore = engine.NormZScore
+	NormMinMax = engine.NormMinMax
+)
+
+// Mechanism is one protection method with frozen parameters. Fit and
+// Protect are separate so a sweep can protect held-out batches under the
+// state fitted on the training matrix. Implementations never mutate their
+// input. A Mechanism is not safe for concurrent use; the tuning pool gives
+// each candidate its own instance.
+type Mechanism interface {
+	// Fit freezes the data-dependent state (normalization parameters and,
+	// for rotation mechanisms, the key) on data.
+	Fit(data *matrix.Dense) error
+	// Protect returns the protected release of data — in normalized space —
+	// under the fitted state. Deterministic: calling it twice on the same
+	// data yields the same release.
+	Protect(data *matrix.Dense) (*matrix.Dense, error)
+	// Params returns the mechanism's tunable parameters, for frontier
+	// records and reports.
+	Params() map[string]float64
+	// Describe identifies the mechanism and its parameters in one line.
+	Describe() string
+}
+
+// Kind names for New, in the order a sweep typically tries them.
+const (
+	KindRBT            = "rbt"
+	KindAdditive       = "additive"
+	KindMultiplicative = "multiplicative"
+	KindHybrid         = "hybrid"
+)
+
+// Kinds returns the mechanism kinds New accepts.
+func Kinds() []string {
+	return []string{KindRBT, KindAdditive, KindMultiplicative, KindHybrid}
+}
+
+// Config parameterizes New: one struct covering every kind, with each
+// mechanism reading the fields it defines.
+type Config struct {
+	// Norm is the shared normalization ("" = z-score).
+	Norm string
+	// Rho is the PST threshold for rbt and hybrid (rho1 = rho2 = Rho).
+	Rho float64
+	// Sigma is the noise scale for additive, multiplicative and hybrid.
+	Sigma float64
+	// Seed pins the mechanism's randomness (rotation angles, noise draws).
+	// 0 means 1: tuning candidates must be reproducible, never
+	// crypto-seeded like a production protect.
+	Seed int64
+	// Engine runs the rotation pipeline for rbt and hybrid; nil means a
+	// fresh default engine.
+	Engine *engine.Engine
+}
+
+// New builds the mechanism named by kind.
+func New(kind string, cfg Config) (Mechanism, error) {
+	if err := validNorm(cfg.Norm); err != nil {
+		return nil, err
+	}
+	switch kind {
+	case KindRBT:
+		return &RBT{Norm: cfg.Norm, Rho: cfg.Rho, Seed: cfg.Seed, Engine: cfg.Engine}, nil
+	case KindAdditive:
+		return &AdditiveNoise{Norm: cfg.Norm, Sigma: cfg.Sigma, Seed: cfg.Seed}, nil
+	case KindMultiplicative:
+		return &MultiplicativeNoise{Norm: cfg.Norm, Sigma: cfg.Sigma, Seed: cfg.Seed}, nil
+	case KindHybrid:
+		return &Hybrid{Norm: cfg.Norm, Rho: cfg.Rho, Sigma: cfg.Sigma, Seed: cfg.Seed, Engine: cfg.Engine}, nil
+	default:
+		return nil, fmt.Errorf("%w: unknown kind %q (want rbt, additive, multiplicative or hybrid)", ErrConfig, kind)
+	}
+}
+
+func validNorm(n string) error {
+	switch n {
+	case "", NormZScore, NormMinMax:
+		return nil
+	default:
+		return fmt.Errorf("%w: unknown normalization %q", ErrConfig, n)
+	}
+}
+
+// NewNormalizer maps a norm name ("" = z-score) onto internal/norm with
+// the engine's formulas and variance convention. The tuning sweep uses it
+// for its comparison baseline, so baseline and mechanisms normalize
+// identically by construction.
+func NewNormalizer(n string) norm.Normalizer {
+	if n == NormMinMax {
+		return &norm.MinMax{}
+	}
+	return &norm.ZScore{Denominator: stats.Sample}
+}
+
+func seedOrOne(s int64) int64 {
+	if s == 0 {
+		return 1
+	}
+	return s
+}
+
+// RBT wraps the parallel engine's rotation-based transform: normalize,
+// then PST-constrained pairwise rotations — the paper's mechanism.
+type RBT struct {
+	// Norm is the normalization kind ("" = z-score).
+	Norm string
+	// Rho is the pair security threshold (rho1 = rho2 = Rho); 0 means 0.3.
+	Rho float64
+	// Seed pins the angle randomness; 0 means 1.
+	Seed int64
+	// Engine is the rotation pipeline; nil means engine.Default().
+	Engine *engine.Engine
+
+	secret *engine.Secret
+	// fitData/fitRelease cache the release the fit pass already computed,
+	// handed over by the first Protect call on the fit matrix so the
+	// sweep's fit-then-protect pattern rotates the dataset once, not
+	// twice. The handover is one-shot to avoid aliasing the same matrix
+	// out of two Protect calls.
+	fitData    *matrix.Dense
+	fitRelease *matrix.Dense
+}
+
+func (r *RBT) engine() *engine.Engine {
+	if r.Engine == nil {
+		r.Engine = engine.Default()
+	}
+	return r.Engine
+}
+
+func (r *RBT) rho() float64 {
+	if r.Rho == 0 {
+		return 0.3
+	}
+	return r.Rho
+}
+
+// Fit implements Mechanism: it fits normalization and a fresh rotation key
+// on data and freezes both.
+func (r *RBT) Fit(data *matrix.Dense) error {
+	if r.rho() < 0 {
+		return fmt.Errorf("%w: rho = %g, need >= 0", ErrConfig, r.Rho)
+	}
+	res, err := r.engine().Protect(data, engine.ProtectOptions{
+		Normalization: r.Norm,
+		Thresholds:    []core.PST{{Rho1: r.rho(), Rho2: r.rho()}},
+		Seed:          seedOrOne(r.Seed),
+	})
+	if err != nil {
+		return err
+	}
+	s := res.Secret()
+	r.secret = &s
+	r.fitData, r.fitRelease = data, res.Released
+	return nil
+}
+
+// Protect implements Mechanism by stream-protecting data under the frozen
+// key — bit-identical to the fit release on the fit data. The first call
+// on the fit matrix itself returns the release the fit pass already
+// computed.
+func (r *RBT) Protect(data *matrix.Dense) (*matrix.Dense, error) {
+	if r.secret == nil {
+		return nil, fmt.Errorf("%w: %s", ErrNotFitted, r.Describe())
+	}
+	if data == r.fitData && r.fitRelease != nil {
+		rel := r.fitRelease
+		r.fitRelease = nil
+		return rel, nil
+	}
+	sp, err := r.engine().NewStreamProtector(*r.secret)
+	if err != nil {
+		return nil, err
+	}
+	return sp.ProtectBatch(data)
+}
+
+// Secret exposes the fitted inversion state, for audits that need the key.
+func (r *RBT) Secret() (engine.Secret, bool) {
+	if r.secret == nil {
+		return engine.Secret{}, false
+	}
+	return *r.secret, true
+}
+
+// Params implements Mechanism.
+func (r *RBT) Params() map[string]float64 {
+	return map[string]float64{"rho": r.rho()}
+}
+
+// Describe implements Mechanism.
+func (r *RBT) Describe() string {
+	return fmt.Sprintf("rbt(rho=%g)", r.rho())
+}
+
+// AdditiveNoise normalizes and adds independent Gaussian noise per cell —
+// the classic data-distortion baseline, lifted into normalized space so
+// its Sec values are comparable with the rotation family's.
+type AdditiveNoise struct {
+	// Norm is the normalization kind ("" = z-score).
+	Norm string
+	// Sigma is the noise standard deviation in normalized units.
+	Sigma float64
+	// Seed pins the noise draws; 0 means 1.
+	Seed int64
+
+	nz norm.Normalizer
+}
+
+// Fit implements Mechanism: it fits the normalization statistics.
+func (a *AdditiveNoise) Fit(data *matrix.Dense) error {
+	if a.Sigma <= 0 {
+		return fmt.Errorf("%w: sigma = %g, need > 0", ErrConfig, a.Sigma)
+	}
+	nz := NewNormalizer(a.Norm)
+	if err := nz.Fit(data); err != nil {
+		return err
+	}
+	a.nz = nz
+	return nil
+}
+
+// Protect implements Mechanism.
+func (a *AdditiveNoise) Protect(data *matrix.Dense) (*matrix.Dense, error) {
+	if a.nz == nil {
+		return nil, fmt.Errorf("%w: %s", ErrNotFitted, a.Describe())
+	}
+	nd, err := a.nz.Transform(data)
+	if err != nil {
+		return nil, err
+	}
+	p := &baseline.AdditiveNoise{Sigma: a.Sigma, Rand: rand.New(rand.NewSource(seedOrOne(a.Seed)))}
+	return p.Perturb(nd)
+}
+
+// Params implements Mechanism.
+func (a *AdditiveNoise) Params() map[string]float64 {
+	return map[string]float64{"sigma": a.Sigma}
+}
+
+// Describe implements Mechanism.
+func (a *AdditiveNoise) Describe() string {
+	return fmt.Sprintf("additive(sigma=%g)", a.Sigma)
+}
+
+// MultiplicativeNoise normalizes and multiplies each cell by (1 + e),
+// e ~ N(0, Sigma²) — proportional distortion in normalized space.
+type MultiplicativeNoise struct {
+	// Norm is the normalization kind ("" = z-score).
+	Norm string
+	// Sigma is the relative noise scale.
+	Sigma float64
+	// Seed pins the noise draws; 0 means 1.
+	Seed int64
+
+	nz norm.Normalizer
+}
+
+// Fit implements Mechanism.
+func (m *MultiplicativeNoise) Fit(data *matrix.Dense) error {
+	if m.Sigma <= 0 {
+		return fmt.Errorf("%w: sigma = %g, need > 0", ErrConfig, m.Sigma)
+	}
+	nz := NewNormalizer(m.Norm)
+	if err := nz.Fit(data); err != nil {
+		return err
+	}
+	m.nz = nz
+	return nil
+}
+
+// Protect implements Mechanism.
+func (m *MultiplicativeNoise) Protect(data *matrix.Dense) (*matrix.Dense, error) {
+	if m.nz == nil {
+		return nil, fmt.Errorf("%w: %s", ErrNotFitted, m.Describe())
+	}
+	nd, err := m.nz.Transform(data)
+	if err != nil {
+		return nil, err
+	}
+	p := &baseline.MultiplicativeNoise{Sigma: m.Sigma, Rand: rand.New(rand.NewSource(seedOrOne(m.Seed)))}
+	return p.Perturb(nd)
+}
+
+// Params implements Mechanism.
+func (m *MultiplicativeNoise) Params() map[string]float64 {
+	return map[string]float64{"sigma": m.Sigma}
+}
+
+// Describe implements Mechanism.
+func (m *MultiplicativeNoise) Describe() string {
+	return fmt.Sprintf("multiplicative(sigma=%g)", m.Sigma)
+}
+
+// Hybrid composes RBT with additive noise on the rotated release: the
+// rotation defeats the per-attribute reconstruction the paper targets, the
+// noise breaks the exact linear system a known-sample adversary solves.
+// Utility is no longer exactly preserved — the hybrid trades the
+// Corollary 1 bound for attack resistance, which is precisely the corner
+// of the frontier the pure mechanisms cannot reach.
+type Hybrid struct {
+	// Norm is the normalization kind ("" = z-score).
+	Norm string
+	// Rho is the PST threshold of the rotation stage; 0 means 0.3.
+	Rho float64
+	// Sigma is the additive noise scale applied after rotation.
+	Sigma float64
+	// Seed pins both stages' randomness; 0 means 1.
+	Seed int64
+	// Engine runs the rotation stage; nil means engine.Default().
+	Engine *engine.Engine
+
+	rbt *RBT
+}
+
+// Fit implements Mechanism.
+func (h *Hybrid) Fit(data *matrix.Dense) error {
+	if h.Sigma <= 0 {
+		return fmt.Errorf("%w: sigma = %g, need > 0", ErrConfig, h.Sigma)
+	}
+	rbt := &RBT{Norm: h.Norm, Rho: h.Rho, Seed: h.Seed, Engine: h.Engine}
+	if err := rbt.Fit(data); err != nil {
+		return err
+	}
+	h.rbt = rbt
+	return nil
+}
+
+// Protect implements Mechanism.
+func (h *Hybrid) Protect(data *matrix.Dense) (*matrix.Dense, error) {
+	if h.rbt == nil {
+		return nil, fmt.Errorf("%w: %s", ErrNotFitted, h.Describe())
+	}
+	rotated, err := h.rbt.Protect(data)
+	if err != nil {
+		return nil, err
+	}
+	p := &baseline.AdditiveNoise{Sigma: h.Sigma, Rand: rand.New(rand.NewSource(seedOrOne(h.Seed)))}
+	return p.Perturb(rotated)
+}
+
+func (h *Hybrid) rho() float64 {
+	if h.Rho == 0 {
+		return 0.3
+	}
+	return h.Rho
+}
+
+// Params implements Mechanism.
+func (h *Hybrid) Params() map[string]float64 {
+	return map[string]float64{"rho": h.rho(), "sigma": h.Sigma}
+}
+
+// Describe implements Mechanism.
+func (h *Hybrid) Describe() string {
+	return fmt.Sprintf("hybrid(rho=%g,sigma=%g)", h.rho(), h.Sigma)
+}

@@ -1,0 +1,218 @@
+package mech
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"ppclust/internal/dataset"
+	"ppclust/internal/engine"
+	"ppclust/internal/matrix"
+	"ppclust/internal/norm"
+	"ppclust/internal/privacy"
+	"ppclust/internal/stats"
+)
+
+func testBlobs(t *testing.T, rows int) *matrix.Dense {
+	t.Helper()
+	ds, err := dataset.WellSeparatedBlobs(rows, 3, 4, 10, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds.Data
+}
+
+func fitted(t *testing.T, kind string, cfg Config, data *matrix.Dense) Mechanism {
+	t.Helper()
+	m, err := New(kind, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Fit(data); err != nil {
+		t.Fatalf("%s fit: %v", kind, err)
+	}
+	return m
+}
+
+// normalizedCopy is the scoring baseline every mechanism releases against.
+func normalizedCopy(t *testing.T, data *matrix.Dense) *matrix.Dense {
+	t.Helper()
+	out, err := norm.FitTransform(&norm.ZScore{Denominator: stats.Sample}, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestAllKindsReleaseIntoNormalizedSpace: each mechanism's release must be
+// a distortion of the *normalized* original (comparable Sec), never of the
+// raw input, and must not mutate its input.
+func TestAllKindsReleaseIntoNormalizedSpace(t *testing.T) {
+	data := testBlobs(t, 300)
+	normalized := normalizedCopy(t, data)
+	eng := engine.New(2, 128)
+	for _, kind := range Kinds() {
+		snapshot := data.Clone()
+		m := fitted(t, kind, Config{Rho: 0.3, Sigma: 0.2, Seed: 3, Engine: eng}, data)
+		rel, err := m.Protect(data)
+		if err != nil {
+			t.Fatalf("%s protect: %v", kind, err)
+		}
+		if !matrix.Equal(data, snapshot) {
+			t.Fatalf("%s mutated its input", kind)
+		}
+		if rel.Rows() != data.Rows() || rel.Cols() != data.Cols() {
+			t.Fatalf("%s: release shape %dx%d", kind, rel.Rows(), rel.Cols())
+		}
+		reports, err := privacy.Report(normalized, rel, nil, stats.Sample)
+		if err != nil {
+			t.Fatalf("%s privacy report: %v", kind, err)
+		}
+		sec := privacy.MinimumSecurity(reports)
+		if math.IsNaN(sec) || sec <= 0 {
+			t.Fatalf("%s: min security %g, want > 0 (release should differ from the normalized original)", kind, sec)
+		}
+		// Sanity on scale: Sec in normalized space for these parameters is
+		// O(1), not the O(var(raw)) it would be against raw data.
+		if sec > 100 {
+			t.Fatalf("%s: min security %g looks like a raw-space comparison", kind, sec)
+		}
+	}
+}
+
+// TestProtectIsDeterministic: Protect twice on the same data, and a fresh
+// identically-configured mechanism, all agree bit for bit.
+func TestProtectIsDeterministic(t *testing.T) {
+	data := testBlobs(t, 200)
+	eng := engine.New(2, 64)
+	for _, kind := range Kinds() {
+		cfg := Config{Rho: 0.3, Sigma: 0.3, Seed: 11, Engine: eng}
+		m1 := fitted(t, kind, cfg, data)
+		a, err := m1.Protect(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := m1.Protect(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !matrix.Equal(a, b) {
+			t.Fatalf("%s: two Protect calls disagree", kind)
+		}
+		m2 := fitted(t, kind, cfg, data)
+		c, err := m2.Protect(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !matrix.Equal(a, c) {
+			t.Fatalf("%s: refit with same seed disagrees", kind)
+		}
+	}
+}
+
+// TestRBTPreservesDistances and the hybrid does not: the defining utility
+// difference between the families.
+func TestRBTPreservesDistancesHybridDoesNot(t *testing.T) {
+	data := testBlobs(t, 150)
+	normalized := normalizedCopy(t, data)
+	eng := engine.New(1, 64)
+
+	rbt := fitted(t, KindRBT, Config{Rho: 0.3, Seed: 5, Engine: eng}, data)
+	rel, err := rbt.Protect(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d0 := rowDist(normalized, 0, 1)
+	d1 := rowDist(rel, 0, 1)
+	if math.Abs(d0-d1) > 1e-9 {
+		t.Fatalf("rbt is an isometry but distance moved %g -> %g", d0, d1)
+	}
+
+	hyb := fitted(t, KindHybrid, Config{Rho: 0.3, Sigma: 0.3, Seed: 5, Engine: eng}, data)
+	hrel, err := hyb.Protect(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rowDist(hrel, 0, 1)-d0) < 1e-9 {
+		t.Fatal("hybrid noise left inter-point distance exactly intact")
+	}
+}
+
+func rowDist(m *matrix.Dense, i, j int) float64 {
+	a, b := m.RawRow(i), m.RawRow(j)
+	var s float64
+	for k := range a {
+		d := a[k] - b[k]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+func TestProtectBeforeFit(t *testing.T) {
+	data := testBlobs(t, 50)
+	for _, kind := range Kinds() {
+		m, err := New(kind, Config{Rho: 0.3, Sigma: 0.2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Protect(data); !errors.Is(err, ErrNotFitted) {
+			t.Fatalf("%s: err = %v, want ErrNotFitted", kind, err)
+		}
+	}
+}
+
+func TestConfigErrors(t *testing.T) {
+	data := testBlobs(t, 50)
+	if _, err := New("swapping", Config{}); !errors.Is(err, ErrConfig) {
+		t.Fatalf("unknown kind: %v", err)
+	}
+	if _, err := New(KindRBT, Config{Norm: "median"}); !errors.Is(err, ErrConfig) {
+		t.Fatalf("bad norm: %v", err)
+	}
+	for _, kind := range []string{KindAdditive, KindMultiplicative, KindHybrid} {
+		m, err := New(kind, Config{Sigma: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Fit(data); !errors.Is(err, ErrConfig) {
+			t.Fatalf("%s sigma -1: err = %v, want ErrConfig", kind, err)
+		}
+	}
+}
+
+func TestParamsAndDescribe(t *testing.T) {
+	for _, kind := range Kinds() {
+		m, err := New(kind, Config{Rho: 0.25, Sigma: 0.4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Describe() == "" {
+			t.Fatalf("%s: empty description", kind)
+		}
+		if len(m.Params()) == 0 {
+			t.Fatalf("%s: no params", kind)
+		}
+	}
+	m, _ := New(KindHybrid, Config{Rho: 0.25, Sigma: 0.4})
+	p := m.Params()
+	if p["rho"] != 0.25 || p["sigma"] != 0.4 {
+		t.Fatalf("hybrid params = %v", p)
+	}
+}
+
+// TestRBTSecretExposed: audits need the fitted key.
+func TestRBTSecretExposed(t *testing.T) {
+	data := testBlobs(t, 60)
+	r := &RBT{Seed: 2}
+	if _, ok := r.Secret(); ok {
+		t.Fatal("unfitted RBT claims a secret")
+	}
+	if err := r.Fit(data); err != nil {
+		t.Fatal(err)
+	}
+	s, ok := r.Secret()
+	if !ok || len(s.Key.Pairs) == 0 {
+		t.Fatalf("fitted secret = %+v, ok=%v", s, ok)
+	}
+}

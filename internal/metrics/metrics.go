@@ -1,15 +1,18 @@
-// Package metrics is a minimal expvar-style counter registry for the
-// serving daemon: named monotonic counters, created on first touch, safe
-// for concurrent use, snapshotted as a flat name → value map. Names follow
-// the Prometheus text convention (`base_total{label="v"}`) so a scrape
-// adapter stays a string-concatenation away, but the package deliberately
-// stops at counters — gauges that derive from live subsystem state (queue
-// depths, pool occupancy) are composed into the snapshot by the handler
-// that owns those subsystems.
+// Package metrics is a minimal expvar-style registry for the serving
+// daemon: named monotonic counters and fixed-bucket histograms, created on
+// first touch, safe for concurrent use, snapshotted as a flat name → value
+// map. Names follow the Prometheus text convention
+// (`base_total{label="v"}`, `base_bucket{label="v",le="10"}`) so a scrape
+// adapter stays a string-concatenation away. Gauges that derive from live
+// subsystem state (queue depths, pool occupancy) are composed into the
+// snapshot by the handler that owns those subsystems.
 package metrics
 
 import (
+	"fmt"
+	"math"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -32,16 +35,59 @@ func (c *Counter) Inc() { c.v.Add(1) }
 // Value returns the current count.
 func (c *Counter) Value() int64 { return c.v.Load() }
 
-// Registry holds named counters. The zero value is not usable; call
-// NewRegistry.
+// Histogram is a bounded, fixed-bucket distribution: observations land in
+// the first bucket whose upper bound is >= the value, with an implicit
+// +Inf overflow bucket. Memory is fixed at creation (len(bounds)+1
+// atomics), so per-route latency tracking stays O(routes × buckets) no
+// matter the traffic. Safe for concurrent use.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64
+	count  atomic.Int64
+	// sum accumulates as float64 bits under CAS so Snapshot can report a
+	// faithful total without a lock on the observe path.
+	sum atomic.Uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Registry holds named counters and histograms. The zero value is not
+// usable; call NewRegistry.
 type Registry struct {
-	mu       sync.RWMutex
-	counters map[string]*Counter
+	mu         sync.RWMutex
+	counters   map[string]*Counter
+	histograms map[string]*Histogram
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{counters: map[string]*Counter{}}
+	return &Registry{
+		counters:   map[string]*Counter{},
+		histograms: map[string]*Histogram{},
+	}
 }
 
 // Counter returns the named counter, creating it at zero on first use.
@@ -63,24 +109,93 @@ func (r *Registry) Counter(name string) *Counter {
 	return c
 }
 
-// Snapshot returns every counter's current value keyed by name.
+// Histogram returns the named histogram with the given bucket upper
+// bounds (ascending), creating it on first use. Later calls for the same
+// name return the existing histogram regardless of bounds, so callers
+// should resolve a histogram once and reuse the pointer, like counters.
+// The name may carry Prometheus-style labels (`base{route="..."}`); the
+// snapshot splices the le label in correctly either way.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	r.mu.RLock()
+	h := r.histograms[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.histograms[name]; h == nil {
+		h = &Histogram{
+			bounds: append([]float64(nil), bounds...),
+			counts: make([]atomic.Int64, len(bounds)+1),
+		}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Snapshot returns every counter's current value keyed by name, plus each
+// histogram expanded into cumulative `_bucket{le="..."}` series and its
+// `_count` and `_sum` (the sum truncated to int64 to fit the flat map).
 func (r *Registry) Snapshot() map[string]int64 {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	out := make(map[string]int64, len(r.counters))
+	out := make(map[string]int64, len(r.counters)+len(r.histograms)*8)
 	for name, c := range r.counters {
 		out[name] = c.Value()
+	}
+	for name, h := range r.histograms {
+		base, labels := splitLabels(name)
+		var cum int64
+		for i := range h.counts {
+			cum += h.counts[i].Load()
+			le := "+Inf"
+			if i < len(h.bounds) {
+				le = fmt.Sprintf("%g", h.bounds[i])
+			}
+			out[histKey(base, "_bucket", labels, le)] = cum
+		}
+		out[histKey(base, "_count", labels, "")] = h.Count()
+		out[histKey(base, "_sum", labels, "")] = int64(h.Sum())
 	}
 	return out
 }
 
-// Names returns the registered counter names in sorted order, for stable
-// test output and human-readable dumps.
+// splitLabels separates `base{labels}` into its parts; labels is empty
+// for a bare name.
+func splitLabels(name string) (base, labels string) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 || !strings.HasSuffix(name, "}") {
+		return name, ""
+	}
+	return name[:i], name[i+1 : len(name)-1]
+}
+
+// histKey renders one histogram series name, splicing the le label after
+// any existing labels.
+func histKey(base, suffix, labels, le string) string {
+	switch {
+	case le == "" && labels == "":
+		return base + suffix
+	case le == "":
+		return fmt.Sprintf("%s%s{%s}", base, suffix, labels)
+	case labels == "":
+		return fmt.Sprintf("%s%s{le=%q}", base, suffix, le)
+	default:
+		return fmt.Sprintf("%s%s{%s,le=%q}", base, suffix, labels, le)
+	}
+}
+
+// Names returns the registered counter and histogram names in sorted
+// order, for stable test output and human-readable dumps.
 func (r *Registry) Names() []string {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	out := make([]string, 0, len(r.counters))
+	out := make([]string, 0, len(r.counters)+len(r.histograms))
 	for name := range r.counters {
+		out = append(out, name)
+	}
+	for name := range r.histograms {
 		out = append(out, name)
 	}
 	sort.Strings(out)

@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"math"
 	"reflect"
 	"sync"
 	"testing"
@@ -54,5 +55,83 @@ func TestConcurrentUse(t *testing.T) {
 	wg.Wait()
 	if got := r.Counter("hits").Value(); got != 8000 {
 		t.Fatalf("hits = %d, want 8000", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 2, 50, 1000} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if got := h.Sum(); got != 1053.5 {
+		t.Fatalf("sum = %g, want 1053.5", got)
+	}
+	snap := r.Snapshot()
+	want := map[string]int64{
+		`lat_bucket{le="1"}`:    2, // 0.5 and the boundary value 1
+		`lat_bucket{le="10"}`:   3,
+		`lat_bucket{le="100"}`:  4,
+		`lat_bucket{le="+Inf"}`: 5,
+		`lat_count`:             5,
+		`lat_sum`:               1053,
+	}
+	for k, v := range want {
+		if snap[k] != v {
+			t.Fatalf("%s = %d, want %d (snapshot %v)", k, snap[k], v, snap)
+		}
+	}
+	if again := r.Histogram("lat", nil); again != h {
+		t.Fatal("same name must resolve to the same histogram")
+	}
+}
+
+func TestHistogramLabelSplicing(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram(`http_request_duration_us{route="GET /healthz"}`, []float64{1000})
+	h.Observe(500)
+	h.Observe(2000)
+	snap := r.Snapshot()
+	want := map[string]int64{
+		`http_request_duration_us_bucket{route="GET /healthz",le="1000"}`: 1,
+		`http_request_duration_us_bucket{route="GET /healthz",le="+Inf"}`: 2,
+		`http_request_duration_us_count{route="GET /healthz"}`:            2,
+		`http_request_duration_us_sum{route="GET /healthz"}`:              2500,
+	}
+	for k, v := range want {
+		if snap[k] != v {
+			t.Fatalf("%s = %d, want %d (snapshot %v)", k, snap[k], v, snap)
+		}
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("c", []float64{10})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 || h.Sum() != 8000 {
+		t.Fatalf("count = %d, sum = %g, want 8000", h.Count(), h.Sum())
+	}
+}
+
+func TestHistogramIgnoresNaN(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("n", []float64{1})
+	h.Observe(math.NaN())
+	if h.Count() != 0 {
+		t.Fatalf("NaN was counted: %d", h.Count())
 	}
 }

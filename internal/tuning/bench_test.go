@@ -1,0 +1,62 @@
+package tuning
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"ppclust/internal/cluster"
+	"ppclust/internal/dataset"
+	"ppclust/internal/engine"
+)
+
+// BenchmarkTuneSweep measures the full sweep across grid size × rows ×
+// workers — the tuning subsystem's serving cost envelope, archived by CI
+// as BENCH_pptune.json. A grid parameter g expands to 2g + g² candidates
+// (g rbt + g additive + g multiplicative + g² hybrid).
+func BenchmarkTuneSweep(b *testing.B) {
+	for _, shape := range []struct {
+		grid, rows, workers int
+	}{
+		{2, 500, 1},
+		{2, 500, 4},
+		{3, 500, 4},
+		{2, 2000, 4},
+	} {
+		name := fmt.Sprintf("grid=%d/rows=%d/workers=%d", shape.grid, shape.rows, shape.workers)
+		b.Run(name, func(b *testing.B) {
+			ds, err := dataset.WellSeparatedBlobs(shape.rows, 3, 4, 10, rand.New(rand.NewSource(1)))
+			if err != nil {
+				b.Fatal(err)
+			}
+			rhos := make([]float64, shape.grid)
+			sigmas := make([]float64, shape.grid)
+			for i := 0; i < shape.grid; i++ {
+				rhos[i] = 0.15 + 0.3*float64(i)/float64(shape.grid)
+				sigmas[i] = 0.05 + 0.3*float64(i)/float64(shape.grid)
+			}
+			spec := Spec{
+				Rhos:   rhos,
+				Sigmas: sigmas,
+				Seed:   3,
+				MinSec: 0.1,
+				NewClusterer: func() (cluster.Clusterer, error) {
+					return &cluster.KMeans{K: 3, Rand: rand.New(rand.NewSource(1)), Restarts: 2}, nil
+				},
+			}
+			cfg := Config{Workers: shape.workers, Engine: engine.New(1, 0)}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := Run(context.Background(), ds.Data, spec, cfg, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Frontier) == 0 {
+					b.Fatal("empty frontier")
+				}
+				b.ReportMetric(float64(res.Evaluated), "candidates/op")
+			}
+		})
+	}
+}

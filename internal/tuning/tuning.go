@@ -1,0 +1,681 @@
+// Package tuning searches the protection-parameter space: it evaluates a
+// grid (plus optional adaptive refinement rounds) of mechanism
+// configurations over one dataset and extracts the privacy–utility Pareto
+// frontier the paper's experiments pick operating points from.
+//
+// Every candidate is scored on three axes against one shared baseline —
+// the clustering of the normalized original:
+//
+//   - utility: misclassification error (plus F-measure and Rand index)
+//     between the baseline partition and the partition mined from the
+//     candidate's release;
+//   - privacy: the minimum per-attribute scale-invariant security
+//     Sec = Var(X - X') / Var(X) (internal/privacy), the paper's measure;
+//   - attack resistance: the fraction of cells a known-sample adversary
+//     re-identifies after solving for the transform (internal/attack).
+//
+// Candidates fan out over a bounded worker pool, honor context
+// cancellation between pipeline stages, and report monotonic progress.
+// The frontier is the set of non-dominated candidates (lower
+// misclassification, higher security, lower re-identification), and the
+// recommended point maximizes utility subject to a caller-supplied
+// security floor ("max utility s.t. Sec >= 0.3").
+package tuning
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"ppclust/internal/attack"
+	"ppclust/internal/cluster"
+	"ppclust/internal/engine"
+	"ppclust/internal/matrix"
+	"ppclust/internal/mech"
+	"ppclust/internal/norm"
+	"ppclust/internal/privacy"
+	"ppclust/internal/quality"
+	"ppclust/internal/stats"
+)
+
+// ErrSpec is wrapped by invalid sweep specifications.
+var ErrSpec = errors.New("tuning: invalid spec")
+
+// reidTolerance is the per-cell absolute error under which a recovered
+// value counts as re-identified, matching the audit job's convention.
+const reidTolerance = 0.01
+
+// Default parameter grids when the spec leaves them empty.
+var (
+	DefaultRhos   = []float64{0.15, 0.3, 0.45}
+	DefaultSigmas = []float64{0.05, 0.1, 0.2, 0.4}
+)
+
+// maxRefineRounds bounds adaptive refinement.
+const maxRefineRounds = 4
+
+// Spec describes one sweep.
+type Spec struct {
+	// Norm is the shared normalization for every mechanism ("" = z-score).
+	Norm string
+	// Mechanisms is the subset of mech.Kinds() to sweep; empty means all.
+	Mechanisms []string
+	// Rhos is the PST grid for rbt and hybrid; empty means DefaultRhos.
+	Rhos []float64
+	// Sigmas is the noise grid for additive, multiplicative and hybrid;
+	// empty means DefaultSigmas.
+	Sigmas []float64
+	// Seed pins every candidate's randomness (keys, noise, attack sample);
+	// 0 means 1.
+	Seed int64
+	// Known is the number of (original, released) row pairs the simulated
+	// adversary holds; 0 means the column count (the minimum that
+	// determines a rotation).
+	Known int
+	// MinSec is the security floor of the recommendation constraint:
+	// the recommended point maximizes utility among candidates with
+	// MinSecurity >= MinSec.
+	MinSec float64
+	// Refine is the number of adaptive refinement rounds after the grid:
+	// each round bisects the parameter gaps around the current frontier.
+	Refine int
+	// NewClusterer builds the (deterministically seeded) clustering
+	// algorithm; it is called once for the baseline and once per candidate
+	// so every partition starts from identical state. Required.
+	NewClusterer func() (cluster.Clusterer, error)
+}
+
+// Config sizes the sweep machinery.
+type Config struct {
+	// Workers bounds the candidate-evaluation pool; <= 0 means
+	// min(GOMAXPROCS, 8).
+	Workers int
+	// Engine runs the rotation pipelines; nil means engine.Default().
+	Engine *engine.Engine
+	// MaxCandidates caps the total candidates across grid + refinement;
+	// <= 0 means 512.
+	MaxCandidates int
+}
+
+// Candidate is one mechanism configuration in the sweep.
+type Candidate struct {
+	Mechanism string  `json:"mechanism"`
+	Rho       float64 `json:"rho,omitempty"`
+	Sigma     float64 `json:"sigma,omitempty"`
+}
+
+func (c Candidate) key() string {
+	return fmt.Sprintf("%s|%.12g|%.12g", c.Mechanism, c.Rho, c.Sigma)
+}
+
+// Score is a candidate's three-axis outcome.
+type Score struct {
+	// Misclassification, FMeasure and RandIndex compare the release's
+	// partition against the normalized original's.
+	Misclassification float64 `json:"misclassification"`
+	FMeasure          float64 `json:"f_measure"`
+	RandIndex         float64 `json:"rand_index"`
+	// MinSecurity is the weakest attribute's Sec = Var(X-X')/Var(X).
+	MinSecurity float64 `json:"min_security"`
+	// ReidentRate is the fraction of cells the known-sample adversary
+	// recovered within tolerance (0 = fully resistant, 1 = broken).
+	ReidentRate float64 `json:"reident_rate"`
+	// AttackError notes a degenerate attack system (the candidate then
+	// counts as resistant: ReidentRate 0).
+	AttackError string `json:"attack_error,omitempty"`
+}
+
+// Point is one evaluated candidate.
+type Point struct {
+	Candidate
+	// Describe is the mechanism's self-description, e.g. "rbt(rho=0.3)".
+	Describe string `json:"describe,omitempty"`
+	Score
+	// Err marks a failed evaluation (infeasible PST, degenerate data);
+	// failed points never enter the frontier.
+	Err string `json:"error,omitempty"`
+}
+
+// OK reports whether the point was evaluated successfully.
+func (p Point) OK() bool { return p.Err == "" }
+
+// Result is the sweep outcome.
+type Result struct {
+	Rows      int    `json:"rows"`
+	Cols      int    `json:"cols"`
+	Algorithm string `json:"algorithm"`
+	// BaselineK is the cluster count of the baseline partition.
+	BaselineK int `json:"baseline_k"`
+	// Evaluated counts candidates actually scored (failures included);
+	// Failed counts the scored-but-errored subset; Pruned counts
+	// candidates generated but skipped (duplicates, cap overflow).
+	Evaluated int `json:"evaluated"`
+	Failed    int `json:"failed"`
+	Pruned    int `json:"pruned"`
+	// MinSec echoes the recommendation constraint.
+	MinSec float64 `json:"min_sec_constraint"`
+	// Points holds every evaluated candidate in deterministic order.
+	Points []Point `json:"points"`
+	// Frontier is the non-dominated subset, sorted by rising
+	// misclassification (falling security).
+	Frontier []Point `json:"frontier"`
+	// Recommended maximizes utility subject to MinSecurity >= MinSec;
+	// nil when no candidate satisfies the floor (see RecommendNote).
+	Recommended   *Point `json:"recommended,omitempty"`
+	RecommendNote string `json:"recommend_note,omitempty"`
+}
+
+// runner carries the per-sweep shared state.
+type runner struct {
+	spec Spec
+	cfg  Config
+
+	data          *matrix.Dense
+	normalized    *matrix.Dense
+	basePartition []int
+	baselineK     int
+	algorithm     string
+	knownIdx      []int
+
+	done  atomic.Int64
+	total atomic.Int64
+}
+
+func (s *Spec) seed() int64 {
+	if s.Seed == 0 {
+		return 1
+	}
+	return s.Seed
+}
+
+// Validate checks the spec against a rows × cols dataset, so a serving
+// layer can reject a bad sweep synchronously instead of inside a worker.
+func (s *Spec) Validate(rows, cols int) error {
+	if s.NewClusterer == nil {
+		return fmt.Errorf("%w: NewClusterer is required", ErrSpec)
+	}
+	if rows < 2 || cols < 2 {
+		return fmt.Errorf("%w: need at least 2x2 data, got %dx%d", ErrSpec, rows, cols)
+	}
+	for _, m := range s.Mechanisms {
+		ok := false
+		for _, k := range mech.Kinds() {
+			if m == k {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return fmt.Errorf("%w: unknown mechanism %q", ErrSpec, m)
+		}
+	}
+	for _, r := range s.Rhos {
+		if r <= 0 || r >= 1 || math.IsNaN(r) {
+			return fmt.Errorf("%w: rho %g outside (0, 1)", ErrSpec, r)
+		}
+	}
+	for _, sg := range s.Sigmas {
+		if sg <= 0 || math.IsNaN(sg) || math.IsInf(sg, 0) {
+			return fmt.Errorf("%w: sigma %g, need > 0", ErrSpec, sg)
+		}
+	}
+	known := s.Known
+	if known == 0 {
+		known = cols
+	}
+	if known < cols || known > rows {
+		return fmt.Errorf("%w: known must be in [%d, %d] (columns..rows), got %d", ErrSpec, cols, rows, known)
+	}
+	if s.MinSec < 0 || math.IsNaN(s.MinSec) {
+		return fmt.Errorf("%w: min_sec %g, need >= 0", ErrSpec, s.MinSec)
+	}
+	if s.Refine < 0 || s.Refine > maxRefineRounds {
+		return fmt.Errorf("%w: refine must be in [0, %d], got %d", ErrSpec, maxRefineRounds, s.Refine)
+	}
+	return nil
+}
+
+// Grid expands the spec into its initial candidate list, in deterministic
+// order: for each mechanism, rhos × sigmas as the kind requires.
+func (s *Spec) Grid() []Candidate {
+	mechs := s.Mechanisms
+	if len(mechs) == 0 {
+		mechs = mech.Kinds()
+	}
+	rhos := s.Rhos
+	if len(rhos) == 0 {
+		rhos = DefaultRhos
+	}
+	sigmas := s.Sigmas
+	if len(sigmas) == 0 {
+		sigmas = DefaultSigmas
+	}
+	var out []Candidate
+	for _, m := range mechs {
+		switch m {
+		case mech.KindRBT:
+			for _, r := range rhos {
+				out = append(out, Candidate{Mechanism: m, Rho: r})
+			}
+		case mech.KindAdditive, mech.KindMultiplicative:
+			for _, sg := range sigmas {
+				out = append(out, Candidate{Mechanism: m, Sigma: sg})
+			}
+		case mech.KindHybrid:
+			for _, r := range rhos {
+				for _, sg := range sigmas {
+					out = append(out, Candidate{Mechanism: m, Rho: r, Sigma: sg})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Run executes the sweep. onProgress (may be nil) receives monotonically
+// non-decreasing done counts together with the current candidate total,
+// which can grow across refinement rounds.
+func Run(ctx context.Context, data *matrix.Dense, spec Spec, cfg Config, onProgress func(done, total int)) (*Result, error) {
+	rows, cols := data.Dims()
+	if err := spec.Validate(rows, cols); err != nil {
+		return nil, err
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = min(runtime.GOMAXPROCS(0), 8)
+	}
+	if cfg.Engine == nil {
+		cfg.Engine = engine.Default()
+	}
+	if cfg.MaxCandidates <= 0 {
+		cfg.MaxCandidates = 512
+	}
+
+	r := &runner{spec: spec, cfg: cfg, data: data}
+	if err := r.prepare(ctx); err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		Rows:      rows,
+		Cols:      cols,
+		Algorithm: r.algorithm,
+		BaselineK: r.baselineK,
+		MinSec:    spec.MinSec,
+	}
+	seen := map[string]bool{}
+	cands := dedup(spec.Grid(), seen, cfg.MaxCandidates, &res.Pruned)
+	if len(cands) == 0 {
+		return nil, fmt.Errorf("%w: empty candidate grid", ErrSpec)
+	}
+	for round := 0; ; round++ {
+		points, err := r.evaluateAll(ctx, cands, onProgress)
+		if err != nil {
+			return nil, err
+		}
+		res.Points = append(res.Points, points...)
+		if round >= spec.Refine {
+			break
+		}
+		cands = dedup(refine(res.Points), seen, cfg.MaxCandidates-len(res.Points), &res.Pruned)
+		if len(cands) == 0 {
+			break
+		}
+	}
+
+	res.Evaluated = len(res.Points)
+	for _, p := range res.Points {
+		if !p.OK() {
+			res.Failed++
+		}
+	}
+	res.Frontier = Frontier(res.Points)
+	res.Recommended, res.RecommendNote = recommend(res.Frontier, spec.MinSec)
+	return res, nil
+}
+
+// prepare computes the shared baseline: the normalized original and its
+// partition, plus the adversary's known-row sample.
+func (r *runner) prepare(ctx context.Context) error {
+	var err error
+	// The baseline normalization uses the same formulas and variance
+	// convention as the engine's Step 1, so a pure-RBT release differs
+	// from `normalized` by the rotation alone.
+	r.normalized, err = normalize(r.data, r.spec.Norm)
+	if err != nil {
+		return err
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	c, err := r.spec.NewClusterer()
+	if err != nil {
+		return err
+	}
+	r.algorithm = c.Name()
+	baseRes, err := c.Cluster(r.normalized)
+	if err != nil {
+		return fmt.Errorf("tuning: clustering the normalized original: %w", err)
+	}
+	r.basePartition = baseRes.Assignments
+	r.baselineK = baseRes.K
+
+	known := r.spec.Known
+	if known == 0 {
+		known = r.data.Cols()
+	}
+	r.knownIdx = rand.New(rand.NewSource(r.spec.seed())).Perm(r.data.Rows())[:known]
+	return ctx.Err()
+}
+
+// normalize applies the sweep's shared Step 1, via the same normalizer
+// construction the noise mechanisms use, so baseline and candidates
+// normalize identically by construction.
+func normalize(data *matrix.Dense, normName string) (*matrix.Dense, error) {
+	return norm.FitTransform(mech.NewNormalizer(normName), data)
+}
+
+// evaluateAll fans cands over the bounded worker pool, preserving input
+// order in the returned points.
+func (r *runner) evaluateAll(ctx context.Context, cands []Candidate, onProgress func(done, total int)) ([]Point, error) {
+	r.total.Add(int64(len(cands)))
+	points := make([]Point, len(cands))
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	// progressMu serializes the count increment with its callback so
+	// onProgress observes done counts in order — without it two workers
+	// could deliver 6 before 5 and break the monotonicity contract.
+	var progressMu sync.Mutex
+	workers := min(r.cfg.Workers, len(cands))
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				points[i] = r.evaluate(ctx, cands[i])
+				progressMu.Lock()
+				done := r.done.Add(1)
+				if onProgress != nil {
+					onProgress(int(done), int(r.total.Load()))
+				}
+				progressMu.Unlock()
+			}
+		}()
+	}
+feed:
+	for i := range cands {
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(idx)
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return points, nil
+}
+
+// evaluate scores one candidate: fit, protect, cluster, privacy, attack.
+func (r *runner) evaluate(ctx context.Context, c Candidate) Point {
+	p := Point{Candidate: c}
+	fail := func(err error) Point {
+		p.Err = err.Error()
+		return p
+	}
+	m, err := mech.New(c.Mechanism, mech.Config{
+		Norm:   r.spec.Norm,
+		Rho:    c.Rho,
+		Sigma:  c.Sigma,
+		Seed:   r.spec.seed(),
+		Engine: r.cfg.Engine,
+	})
+	if err != nil {
+		return fail(err)
+	}
+	p.Describe = m.Describe()
+	if err := m.Fit(r.data); err != nil {
+		return fail(err)
+	}
+	if err := ctx.Err(); err != nil {
+		return fail(err)
+	}
+	release, err := m.Protect(r.data)
+	if err != nil {
+		return fail(err)
+	}
+	if err := ctx.Err(); err != nil {
+		return fail(err)
+	}
+
+	clusterer, err := r.spec.NewClusterer()
+	if err != nil {
+		return fail(err)
+	}
+	clustered, err := clusterer.Cluster(release)
+	if err != nil {
+		return fail(err)
+	}
+	if p.Misclassification, err = quality.MisclassificationError(r.basePartition, clustered.Assignments); err != nil {
+		return fail(err)
+	}
+	if p.FMeasure, err = quality.FMeasure(r.basePartition, clustered.Assignments); err != nil {
+		return fail(err)
+	}
+	if p.RandIndex, err = quality.RandIndex(r.basePartition, clustered.Assignments); err != nil {
+		return fail(err)
+	}
+	if err := ctx.Err(); err != nil {
+		return fail(err)
+	}
+
+	reports, err := privacy.Report(r.normalized, release, nil, stats.Sample)
+	if err != nil {
+		return fail(err)
+	}
+	p.MinSecurity = privacy.MinimumSecurity(reports)
+	if math.IsNaN(p.MinSecurity) {
+		return fail(fmt.Errorf("tuning: NaN security for %s", p.Describe))
+	}
+	if err := ctx.Err(); err != nil {
+		return fail(err)
+	}
+
+	// Known-sample re-identification: the adversary matched knownIdx rows
+	// out of band, solves for the transform, inverts the whole release.
+	knownOrig := r.normalized.SelectRows(r.knownIdx)
+	knownRel := release.SelectRows(r.knownIdx)
+	q, err := attack.KnownIO(knownOrig, knownRel)
+	if err != nil {
+		p.AttackError = err.Error()
+		return p
+	}
+	recovered, err := attack.RecoverWithQ(release, q)
+	if err != nil {
+		p.AttackError = err.Error()
+		return p
+	}
+	met, err := attack.Measure(r.normalized, recovered, reidTolerance)
+	if err != nil {
+		p.AttackError = err.Error()
+		return p
+	}
+	p.ReidentRate = met.WithinTol
+	return p
+}
+
+// dedup filters out already-seen and over-cap candidates, counting both as
+// pruned.
+func dedup(cands []Candidate, seen map[string]bool, budget int, pruned *int) []Candidate {
+	var out []Candidate
+	for _, c := range cands {
+		k := c.key()
+		if seen[k] || len(out) >= budget {
+			*pruned++
+			continue
+		}
+		seen[k] = true
+		out = append(out, c)
+	}
+	return out
+}
+
+// refine proposes new candidates around the current frontier: for every
+// frontier point and every tunable dimension, the midpoints toward the
+// nearest evaluated neighbors (or a half/double step at the grid edge).
+func refine(points []Point) []Candidate {
+	frontier := Frontier(points)
+	// Distinct evaluated values per mechanism and dimension.
+	values := map[string][]float64{}
+	add := func(mechanism, dim string, v float64) {
+		if v > 0 {
+			values[mechanism+"/"+dim] = append(values[mechanism+"/"+dim], v)
+		}
+	}
+	for _, p := range points {
+		add(p.Mechanism, "rho", p.Rho)
+		add(p.Mechanism, "sigma", p.Sigma)
+	}
+	for k := range values {
+		sort.Float64s(values[k])
+		values[k] = compactFloats(values[k])
+	}
+
+	var out []Candidate
+	for _, p := range frontier {
+		for _, dim := range []string{"rho", "sigma"} {
+			cur := p.Rho
+			if dim == "sigma" {
+				cur = p.Sigma
+			}
+			if cur <= 0 {
+				continue // dimension not used by this mechanism
+			}
+			for _, next := range neighborSteps(values[p.Mechanism+"/"+dim], cur) {
+				c := p.Candidate
+				if dim == "rho" {
+					if next >= 1 {
+						continue
+					}
+					c.Rho = next
+				} else {
+					c.Sigma = next
+				}
+				out = append(out, c)
+			}
+		}
+	}
+	return out
+}
+
+// neighborSteps returns the bisection points around cur within the sorted
+// evaluated values: midpoints to each adjacent neighbor, or half/1.5×
+// steps when cur sits at the edge of the explored range. Steps are
+// rounded to 6 decimals so refined parameters read like parameters, not
+// floating-point residue.
+func neighborSteps(sorted []float64, cur float64) []float64 {
+	i := sort.SearchFloat64s(sorted, cur)
+	var out []float64
+	if i > 0 && i < len(sorted) && sorted[i] == cur {
+		out = append(out, roundParam((sorted[i-1]+cur)/2))
+	} else {
+		out = append(out, roundParam(cur/2))
+	}
+	if i+1 < len(sorted) && sorted[i] == cur {
+		out = append(out, roundParam((cur+sorted[i+1])/2))
+	} else {
+		out = append(out, roundParam(cur*1.5))
+	}
+	return out
+}
+
+func roundParam(v float64) float64 { return math.Round(v*1e6) / 1e6 }
+
+func compactFloats(sorted []float64) []float64 {
+	out := sorted[:0]
+	for i, v := range sorted {
+		if i == 0 || v != sorted[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// dominates reports whether p is at least as good as q on every axis and
+// strictly better on at least one: lower misclassification, higher
+// security, lower re-identification.
+func dominates(p, q Point) bool {
+	if p.Misclassification > q.Misclassification ||
+		p.MinSecurity < q.MinSecurity ||
+		p.ReidentRate > q.ReidentRate {
+		return false
+	}
+	return p.Misclassification < q.Misclassification ||
+		p.MinSecurity > q.MinSecurity ||
+		p.ReidentRate < q.ReidentRate
+}
+
+// Frontier extracts the non-dominated subset of the successful points,
+// sorted by rising misclassification, then falling security.
+func Frontier(points []Point) []Point {
+	var ok []Point
+	for _, p := range points {
+		if p.OK() {
+			ok = append(ok, p)
+		}
+	}
+	var out []Point
+	for i, p := range ok {
+		dominated := false
+		for j, q := range ok {
+			if i != j && dominates(q, p) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, p)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Misclassification != out[j].Misclassification {
+			return out[i].Misclassification < out[j].Misclassification
+		}
+		if out[i].MinSecurity != out[j].MinSecurity {
+			return out[i].MinSecurity > out[j].MinSecurity
+		}
+		return out[i].ReidentRate < out[j].ReidentRate
+	})
+	return out
+}
+
+// recommend picks the frontier point with the best utility among those
+// meeting the security floor. Restricting to the frontier loses nothing:
+// any feasible point is weakly dominated by a feasible frontier point.
+func recommend(frontier []Point, minSec float64) (*Point, string) {
+	var best *Point
+	for i := range frontier {
+		p := &frontier[i]
+		if p.MinSecurity < minSec {
+			continue
+		}
+		if best == nil ||
+			p.Misclassification < best.Misclassification ||
+			(p.Misclassification == best.Misclassification && p.MinSecurity > best.MinSecurity) ||
+			(p.Misclassification == best.Misclassification && p.MinSecurity == best.MinSecurity && p.ReidentRate < best.ReidentRate) {
+			best = p
+		}
+	}
+	if best == nil {
+		return nil, fmt.Sprintf("no candidate reached the security floor %g; relax min_sec or widen the grid", minSec)
+	}
+	cp := *best
+	return &cp, ""
+}

@@ -1,0 +1,322 @@
+package tuning
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ppclust/internal/cluster"
+	"ppclust/internal/dataset"
+	"ppclust/internal/engine"
+	"ppclust/internal/matrix"
+	"ppclust/internal/mech"
+)
+
+func testBlobs(t *testing.T, rows int) *matrix.Dense {
+	t.Helper()
+	ds, err := dataset.WellSeparatedBlobs(rows, 3, 4, 10, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds.Data
+}
+
+func kmeansFactory(k int) func() (cluster.Clusterer, error) {
+	return func() (cluster.Clusterer, error) {
+		return &cluster.KMeans{K: k, Rand: rand.New(rand.NewSource(1)), Restarts: 4}, nil
+	}
+}
+
+func testSpec() Spec {
+	return Spec{
+		Mechanisms:   mech.Kinds(),
+		Rhos:         []float64{0.2, 0.4},
+		Sigmas:       []float64{0.05, 0.3},
+		Seed:         7,
+		MinSec:       0.1,
+		NewClusterer: kmeansFactory(3),
+	}
+}
+
+// TestSweepAcceptance is the package-level form of the PR's acceptance
+// criterion: a sweep over a Gaussian-mixture dataset returns a non-empty
+// frontier with no dominated point; the pure-RBT candidates reproduce the
+// paper's bound (misclassification 0 against the plaintext clustering)
+// while scoring higher Sec than the weakest noise candidate; and the
+// recommended point satisfies the security floor.
+func TestSweepAcceptance(t *testing.T) {
+	data := testBlobs(t, 300)
+	res, err := Run(context.Background(), data, testSpec(), Config{Workers: 4, Engine: engine.New(2, 128)}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evaluated == 0 || len(res.Points) != res.Evaluated {
+		t.Fatalf("evaluated %d, %d points", res.Evaluated, len(res.Points))
+	}
+	if len(res.Frontier) == 0 {
+		t.Fatal("empty frontier")
+	}
+	for i, p := range res.Frontier {
+		if !p.OK() {
+			t.Fatalf("failed point on frontier: %+v", p)
+		}
+		for j, q := range res.Frontier {
+			if i != j && dominates(q, p) {
+				t.Fatalf("frontier point %s is dominated by %s", p.Describe, q.Describe)
+			}
+		}
+	}
+
+	var rbtSec, weakestNoiseSec float64
+	rbtSeen, noiseSeen := false, false
+	for _, p := range res.Points {
+		if !p.OK() {
+			continue
+		}
+		switch p.Mechanism {
+		case mech.KindRBT:
+			if p.Misclassification != 0 {
+				t.Fatalf("pure RBT %s misclassification = %g, want 0 (Corollary 1)", p.Describe, p.Misclassification)
+			}
+			if p.FMeasure != 1 {
+				t.Fatalf("pure RBT %s f-measure = %g, want 1", p.Describe, p.FMeasure)
+			}
+			if !rbtSeen || p.MinSecurity < rbtSec {
+				rbtSec = p.MinSecurity
+			}
+			rbtSeen = true
+		case mech.KindAdditive, mech.KindMultiplicative:
+			if !noiseSeen || p.MinSecurity < weakestNoiseSec {
+				weakestNoiseSec = p.MinSecurity
+			}
+			noiseSeen = true
+		}
+	}
+	if !rbtSeen || !noiseSeen {
+		t.Fatalf("sweep missing mechanisms: rbt=%v noise=%v", rbtSeen, noiseSeen)
+	}
+	if rbtSec <= weakestNoiseSec {
+		t.Fatalf("rbt min security %g should exceed the weakest noise candidate's %g", rbtSec, weakestNoiseSec)
+	}
+
+	if res.Recommended == nil {
+		t.Fatalf("no recommended point: %s", res.RecommendNote)
+	}
+	if res.Recommended.MinSecurity < res.MinSec {
+		t.Fatalf("recommended %s has security %g < floor %g",
+			res.Recommended.Describe, res.Recommended.MinSecurity, res.MinSec)
+	}
+	// RBT satisfies any reasonable floor at misclassification 0, so the
+	// recommended point must achieve the bound too.
+	if res.Recommended.Misclassification != 0 {
+		t.Fatalf("recommended %s misclassification = %g, want 0", res.Recommended.Describe, res.Recommended.Misclassification)
+	}
+}
+
+// TestSweepDeterministic: identical spec, data and seed produce identical
+// points regardless of worker count.
+func TestSweepDeterministic(t *testing.T) {
+	data := testBlobs(t, 200)
+	eng := engine.New(2, 64)
+	a, err := Run(context.Background(), data, testSpec(), Config{Workers: 1, Engine: eng}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(context.Background(), data, testSpec(), Config{Workers: 6, Engine: eng}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Points) != len(b.Points) {
+		t.Fatalf("point counts differ: %d vs %d", len(a.Points), len(b.Points))
+	}
+	for i := range a.Points {
+		if a.Points[i] != b.Points[i] {
+			t.Fatalf("point %d differs across worker counts:\n%+v\n%+v", i, a.Points[i], b.Points[i])
+		}
+	}
+}
+
+// TestRefinementAddsCandidates: a refinement round evaluates new parameter
+// values between the grid's, and duplicates are pruned, not re-evaluated.
+func TestRefinementAddsCandidates(t *testing.T) {
+	data := testBlobs(t, 150)
+	spec := testSpec()
+	spec.Mechanisms = []string{mech.KindAdditive}
+	spec.Sigmas = []float64{0.1, 0.4}
+	base, err := Run(context.Background(), data, spec, Config{Workers: 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Refine = 1
+	refined, err := Run(context.Background(), data, spec, Config{Workers: 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refined.Evaluated <= base.Evaluated {
+		t.Fatalf("refinement did not add candidates: %d vs %d", refined.Evaluated, base.Evaluated)
+	}
+	grid := map[string]bool{}
+	for _, p := range base.Points {
+		grid[p.key()] = true
+	}
+	fresh := 0
+	for _, p := range refined.Points {
+		if !grid[p.key()] {
+			fresh++
+			if p.Sigma <= 0 {
+				t.Fatalf("refined candidate without a sigma: %+v", p)
+			}
+		}
+	}
+	if fresh == 0 {
+		t.Fatal("no fresh candidates after refinement")
+	}
+}
+
+// TestCancellation: a cancelled context stops the sweep promptly with the
+// context's error.
+func TestCancellation(t *testing.T) {
+	data := testBlobs(t, 400)
+	spec := testSpec()
+	spec.Rhos = []float64{0.1, 0.15, 0.2, 0.25, 0.3, 0.35, 0.4}
+	spec.Sigmas = []float64{0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.35, 0.4}
+	ctx, cancel := context.WithCancel(context.Background())
+	var once sync.Once
+	start := time.Now()
+	_, err := Run(ctx, data, spec, Config{Workers: 2}, func(done, total int) {
+		once.Do(cancel)
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 20*time.Second {
+		t.Fatalf("cancellation took %v", elapsed)
+	}
+}
+
+// TestProgressMonotonic: the done counter never decreases and ends at the
+// candidate total.
+func TestProgressMonotonic(t *testing.T) {
+	data := testBlobs(t, 120)
+	spec := testSpec()
+	var mu sync.Mutex
+	last, lastTotal := 0, 0
+	res, err := Run(context.Background(), data, spec, Config{Workers: 3}, func(done, total int) {
+		mu.Lock()
+		defer mu.Unlock()
+		if done < last {
+			t.Errorf("progress moved backwards: %d -> %d", last, done)
+		}
+		last, lastTotal = done, total
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last != res.Evaluated || lastTotal != res.Evaluated {
+		t.Fatalf("final progress %d/%d, evaluated %d", last, lastTotal, res.Evaluated)
+	}
+}
+
+// TestConstraintUnsatisfiable: an impossible floor yields no
+// recommendation and says why.
+func TestConstraintUnsatisfiable(t *testing.T) {
+	data := testBlobs(t, 100)
+	spec := testSpec()
+	spec.Mechanisms = []string{mech.KindAdditive}
+	spec.Sigmas = []float64{0.01}
+	spec.MinSec = 1e6
+	res, err := Run(context.Background(), data, spec, Config{Workers: 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Recommended != nil {
+		t.Fatalf("recommended %+v despite impossible floor", res.Recommended)
+	}
+	if res.RecommendNote == "" {
+		t.Fatal("no note explaining the empty recommendation")
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	data := testBlobs(t, 50)
+	run := func(mut func(*Spec)) error {
+		spec := testSpec()
+		mut(&spec)
+		_, err := Run(context.Background(), data, spec, Config{Workers: 1}, nil)
+		return err
+	}
+	cases := map[string]func(*Spec){
+		"nil clusterer": func(s *Spec) { s.NewClusterer = nil },
+		"bad mechanism": func(s *Spec) { s.Mechanisms = []string{"swapping"} },
+		"bad rho":       func(s *Spec) { s.Rhos = []float64{1.5} },
+		"bad sigma":     func(s *Spec) { s.Sigmas = []float64{-0.1} },
+		"known too low": func(s *Spec) { s.Known = 2 },
+		"known too big": func(s *Spec) { s.Known = 10_000 },
+		"neg min_sec":   func(s *Spec) { s.MinSec = -1 },
+		"neg refine":    func(s *Spec) { s.Refine = -1 },
+		"huge refine":   func(s *Spec) { s.Refine = 99 },
+	}
+	for name, mut := range cases {
+		if err := run(mut); !errors.Is(err, ErrSpec) {
+			t.Fatalf("%s: err = %v, want ErrSpec", name, err)
+		}
+	}
+}
+
+// TestFailedCandidatesStayOffFrontier: a candidate that errors is counted
+// as failed, excluded from the frontier, and does not sink the sweep.
+func TestFailedCandidatesStayOffFrontier(t *testing.T) {
+	data := testBlobs(t, 100)
+	spec := testSpec()
+	spec.Mechanisms = []string{mech.KindAdditive}
+	spec.Sigmas = []float64{0.1, 0.2, 0.3}
+	// The factory is called once for the baseline, then once per
+	// candidate; failing every second candidate call exercises per-point
+	// isolation.
+	var calls atomic.Int64
+	spec.NewClusterer = func() (cluster.Clusterer, error) {
+		n := calls.Add(1)
+		if n > 1 && n%2 == 0 {
+			return nil, errors.New("flaky clusterer")
+		}
+		return &cluster.KMeans{K: 3, Rand: rand.New(rand.NewSource(1)), Restarts: 4}, nil
+	}
+	res, err := Run(context.Background(), data, spec, Config{Workers: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed == 0 || res.Failed == res.Evaluated {
+		t.Fatalf("failed = %d of %d, want a strict subset", res.Failed, res.Evaluated)
+	}
+	if len(res.Frontier) == 0 {
+		t.Fatal("surviving candidates should still form a frontier")
+	}
+	for _, p := range res.Frontier {
+		if !p.OK() {
+			t.Fatalf("failed point on frontier: %+v", p)
+		}
+	}
+}
+
+// TestFrontierExcludesFailedAndDominated is the pure-function invariant.
+func TestFrontierExcludesFailedAndDominated(t *testing.T) {
+	a := Point{Candidate: Candidate{Mechanism: "rbt", Rho: 0.3},
+		Score: Score{Misclassification: 0, MinSecurity: 0.5, ReidentRate: 1}}
+	b := Point{Candidate: Candidate{Mechanism: "additive", Sigma: 0.2},
+		Score: Score{Misclassification: 0.1, MinSecurity: 0.04, ReidentRate: 0}}
+	dominated := Point{Candidate: Candidate{Mechanism: "additive", Sigma: 0.1},
+		Score: Score{Misclassification: 0.2, MinSecurity: 0.01, ReidentRate: 0.5}}
+	failed := Point{Candidate: Candidate{Mechanism: "hybrid", Rho: 0.3, Sigma: 0.2},
+		Score: Score{Misclassification: 0, MinSecurity: 99, ReidentRate: 0}, Err: "boom"}
+	f := Frontier([]Point{a, b, dominated, failed})
+	if len(f) != 2 {
+		t.Fatalf("frontier = %+v, want exactly the two non-dominated ok points", f)
+	}
+	if f[0].Misclassification > f[1].Misclassification {
+		t.Fatalf("frontier not sorted by misclassification: %+v", f)
+	}
+}

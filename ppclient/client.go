@@ -1,14 +1,15 @@
-// Package ppclient is the Go client SDK for ppclustd, focused on the
-// federation workload: create a federation, join it, contribute a
-// horizontal partition, seal, and fetch the joint clustering result. The
-// same client also covers the owner-level calls a federation party needs
-// around those (dataset download of its own protected contribution,
-// deletion, metrics).
+// Package ppclient is the Go client SDK for ppclustd: first-class
+// datasets (upload, list, download, delete), async jobs (submit, poll,
+// cancel, fetch results — including the tune sweep's Pareto frontier),
+// and the federation workload (create, join, contribute, seal, joint
+// result).
 //
-// One Client speaks for one owner. The bearer token minted when the owner
-// is first claimed (by CreateFederation or JoinFederation for an owner the
-// daemon has never seen) is captured into Token automatically; persist it
-// — the daemon only ever reveals it once.
+// One Client speaks for one owner. Every call takes a context.Context, so
+// uploads, submissions and polls are cancellable end to end. The bearer
+// token minted when the owner is first claimed (by the first dataset
+// upload, CreateFederation or JoinFederation for an owner the daemon has
+// never seen) is captured into Token automatically; persist it — the
+// daemon only ever reveals it once.
 package ppclient
 
 import (
@@ -20,6 +21,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"strconv"
 	"strings"
 	"time"
@@ -139,27 +141,27 @@ func (r *Result) PartyAssignments(owner string) []int {
 }
 
 // CreateFederation creates a federation coordinated by the client's owner.
-func (c *Client) CreateFederation(cfg FederationConfig) (*Federation, error) {
+func (c *Client) CreateFederation(ctx context.Context, cfg FederationConfig) (*Federation, error) {
 	var out Federation
-	if err := c.doJSON(http.MethodPost, "/v1/federations", cfg, &out); err != nil {
+	if err := c.doJSON(ctx, http.MethodPost, "/v1/federations", cfg, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
 }
 
 // Federation fetches the member view of federation id.
-func (c *Client) Federation(id string) (*Federation, error) {
+func (c *Client) Federation(ctx context.Context, id string) (*Federation, error) {
 	var out Federation
-	if err := c.doJSON(http.MethodGet, "/v1/federations/"+id, nil, &out); err != nil {
+	if err := c.doJSON(ctx, http.MethodGet, "/v1/federations/"+id, nil, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
 }
 
 // Federations lists the federations the owner belongs to.
-func (c *Client) Federations() ([]Federation, error) {
+func (c *Client) Federations(ctx context.Context) ([]Federation, error) {
 	var out []Federation
-	if err := c.doJSON(http.MethodGet, "/v1/federations", nil, &out); err != nil {
+	if err := c.doJSON(ctx, http.MethodGet, "/v1/federations", nil, &out); err != nil {
 		return nil, err
 	}
 	return out, nil
@@ -167,9 +169,9 @@ func (c *Client) Federations() ([]Federation, error) {
 
 // JoinFederation adds the owner as a member of federation id. The ID is
 // the invitation: only someone the coordinator told it to can join.
-func (c *Client) JoinFederation(id string) (*Federation, error) {
+func (c *Client) JoinFederation(ctx context.Context, id string) (*Federation, error) {
 	var out Federation
-	if err := c.doJSON(http.MethodPost, "/v1/federations/"+id+"/join", nil, &out); err != nil {
+	if err := c.doJSON(ctx, http.MethodPost, "/v1/federations/"+id+"/join", nil, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -180,7 +182,16 @@ func (c *Client) JoinFederation(id string) (*Federation, error) {
 // stores only the protected release; when the owner is the coordinator
 // and the federation is still open, this contribution fits and freezes
 // the shared key.
-func (c *Client) Contribute(id string, columns []string, rows [][]float64) (*Federation, error) {
+func (c *Client) Contribute(ctx context.Context, id string, columns []string, rows [][]float64) (*Federation, error) {
+	buf, err := renderCSV(columns, rows)
+	if err != nil {
+		return nil, err
+	}
+	return c.ContributeCSV(ctx, id, buf)
+}
+
+// renderCSV writes a header row of column names and numeric rows.
+func renderCSV(columns []string, rows [][]float64) (*bytes.Buffer, error) {
 	var buf bytes.Buffer
 	w := csv.NewWriter(&buf)
 	if err := w.Write(columns); err != nil {
@@ -202,13 +213,13 @@ func (c *Client) Contribute(id string, columns []string, rows [][]float64) (*Fed
 	if err := w.Error(); err != nil {
 		return nil, err
 	}
-	return c.ContributeCSV(id, &buf)
+	return &buf, nil
 }
 
 // ContributeCSV uploads a partition already rendered as CSV (header row
 // of column names, then numeric rows).
-func (c *Client) ContributeCSV(id string, body io.Reader) (*Federation, error) {
-	req, err := c.newRequest(http.MethodPost, "/v1/federations/"+id+"/contribute", body)
+func (c *Client) ContributeCSV(ctx context.Context, id string, body io.Reader) (*Federation, error) {
+	req, err := c.newRequest(ctx, http.MethodPost, "/v1/federations/"+id+"/contribute", body)
 	if err != nil {
 		return nil, err
 	}
@@ -221,15 +232,15 @@ func (c *Client) ContributeCSV(id string, body io.Reader) (*Federation, error) {
 }
 
 // WithdrawContribution removes the owner's own contribution (before seal).
-func (c *Client) WithdrawContribution(id string) error {
-	return c.doJSON(http.MethodDelete, "/v1/federations/"+id+"/contribute", nil, nil)
+func (c *Client) WithdrawContribution(ctx context.Context, id string) error {
+	return c.doJSON(ctx, http.MethodDelete, "/v1/federations/"+id+"/contribute", nil, nil)
 }
 
 // Seal finalizes federation id and schedules the joint analysis.
 // Coordinator only.
-func (c *Client) Seal(id string, analysis Analysis) (*Federation, error) {
+func (c *Client) Seal(ctx context.Context, id string, analysis Analysis) (*Federation, error) {
 	var out Federation
-	if err := c.doJSON(http.MethodPost, "/v1/federations/"+id+"/seal", analysis, &out); err != nil {
+	if err := c.doJSON(ctx, http.MethodPost, "/v1/federations/"+id+"/seal", analysis, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -237,8 +248,8 @@ func (c *Client) Seal(id string, analysis Analysis) (*Federation, error) {
 
 // DeleteFederation tears federation id down, contributions included.
 // Coordinator only.
-func (c *Client) DeleteFederation(id string) error {
-	return c.doJSON(http.MethodDelete, "/v1/federations/"+id, nil, nil)
+func (c *Client) DeleteFederation(ctx context.Context, id string) error {
+	return c.doJSON(ctx, http.MethodDelete, "/v1/federations/"+id, nil, nil)
 }
 
 // Result polls the federation result route until the joint analysis
@@ -257,7 +268,7 @@ func (c *Client) Result(ctx context.Context, id string) (*Result, error) {
 			} `json:"status"`
 			Result *Result `json:"result"`
 		}
-		err := c.doJSON(http.MethodGet, "/v1/federations/"+id+"/result", nil, &wrapper)
+		err := c.doJSON(ctx, http.MethodGet, "/v1/federations/"+id+"/result", nil, &wrapper)
 		switch {
 		case err == nil:
 			switch wrapper.Status.State {
@@ -281,8 +292,8 @@ func (c *Client) Result(ctx context.Context, id string) (*Result, error) {
 
 // DownloadDataset streams one of the owner's stored datasets (e.g. its
 // own protected federation contribution "fed.<id>") as CSV.
-func (c *Client) DownloadDataset(name string) (string, error) {
-	req, err := c.newRequest(http.MethodGet, "/v1/datasets/"+name+"/rows", nil)
+func (c *Client) DownloadDataset(ctx context.Context, name string) (string, error) {
+	req, err := c.newRequest(ctx, http.MethodGet, "/v1/datasets/"+url.PathEscape(name)+"/rows", nil)
 	if err != nil {
 		return "", err
 	}
@@ -309,12 +320,12 @@ func (c *Client) httpClient() *http.Client {
 }
 
 // newRequest builds an authenticated request with the owner query set.
-func (c *Client) newRequest(method, path string, body io.Reader) (*http.Request, error) {
+func (c *Client) newRequest(ctx context.Context, method, path string, body io.Reader) (*http.Request, error) {
 	sep := "?"
 	if strings.Contains(path, "?") {
 		sep = "&"
 	}
-	req, err := http.NewRequest(method, c.BaseURL+path+sep+"owner="+c.Owner, body)
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path+sep+"owner="+url.QueryEscape(c.Owner), body)
 	if err != nil {
 		return nil, err
 	}
@@ -326,7 +337,7 @@ func (c *Client) newRequest(method, path string, body io.Reader) (*http.Request,
 
 // doJSON sends an optional JSON body and decodes a JSON response into out
 // (which may be nil).
-func (c *Client) doJSON(method, path string, in, out any) error {
+func (c *Client) doJSON(ctx context.Context, method, path string, in, out any) error {
 	var body io.Reader
 	if in != nil {
 		raw, err := json.Marshal(in)
@@ -335,7 +346,7 @@ func (c *Client) doJSON(method, path string, in, out any) error {
 		}
 		body = bytes.NewReader(raw)
 	}
-	req, err := c.newRequest(method, path, body)
+	req, err := c.newRequest(ctx, method, path, body)
 	if err != nil {
 		return err
 	}
@@ -380,4 +391,274 @@ func apiError(status int, raw []byte) error {
 		msg = e.Error
 	}
 	return &APIError{Status: status, Message: msg}
+}
+
+// DatasetMeta mirrors the daemon's secret-free dataset description.
+type DatasetMeta struct {
+	Owner     string    `json:"owner"`
+	Name      string    `json:"name"`
+	Rows      int       `json:"rows"`
+	Cols      int       `json:"cols"`
+	Attrs     []string  `json:"attrs"`
+	Labeled   bool      `json:"labeled"`
+	CreatedAt time.Time `json:"created_at"`
+}
+
+// UploadDataset uploads rows as the owner's named dataset. The first
+// upload for an unknown owner claims the owner name; the minted token is
+// captured into c.Token.
+func (c *Client) UploadDataset(ctx context.Context, name string, columns []string, rows [][]float64) (*DatasetMeta, error) {
+	buf, err := renderCSV(columns, rows)
+	if err != nil {
+		return nil, err
+	}
+	return c.UploadDatasetCSV(ctx, name, buf, false)
+}
+
+// UploadDatasetCSV uploads a dataset already rendered as CSV (header row
+// of column names, then numeric rows). labeledLast marks the final column
+// as ground-truth labels (the daemon's labels=last mode).
+func (c *Client) UploadDatasetCSV(ctx context.Context, name string, body io.Reader, labeledLast bool) (*DatasetMeta, error) {
+	// The name is caller-supplied: escape it so a crafted value cannot
+	// smuggle extra query parameters (e.g. "x&owner=evil") past the
+	// server's own parsing.
+	path := "/v1/datasets?name=" + url.QueryEscape(name)
+	if labeledLast {
+		path += "&labels=last"
+	}
+	req, err := c.newRequest(ctx, http.MethodPost, path, body)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "text/csv")
+	var out DatasetMeta
+	if err := c.exec(req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Datasets lists the owner's stored datasets.
+func (c *Client) Datasets(ctx context.Context) ([]DatasetMeta, error) {
+	var out []DatasetMeta
+	if err := c.doJSON(ctx, http.MethodGet, "/v1/datasets", nil, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Dataset fetches one dataset's metadata.
+func (c *Client) Dataset(ctx context.Context, name string) (*DatasetMeta, error) {
+	var out DatasetMeta
+	if err := c.doJSON(ctx, http.MethodGet, "/v1/datasets/"+url.PathEscape(name), nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// DeleteDataset removes one of the owner's datasets.
+func (c *Client) DeleteDataset(ctx context.Context, name string) error {
+	return c.doJSON(ctx, http.MethodDelete, "/v1/datasets/"+url.PathEscape(name), nil, nil)
+}
+
+// JobStatus mirrors the daemon's job snapshot.
+type JobStatus struct {
+	ID         string     `json:"id"`
+	Owner      string     `json:"owner"`
+	Type       string     `json:"type"`
+	State      string     `json:"state"`
+	Progress   float64    `json:"progress"`
+	Error      string     `json:"error,omitempty"`
+	CreatedAt  time.Time  `json:"created_at"`
+	StartedAt  *time.Time `json:"started_at,omitempty"`
+	FinishedAt *time.Time `json:"finished_at,omitempty"`
+}
+
+// Terminal reports whether the job has finished (done, failed or
+// cancelled).
+func (j *JobStatus) Terminal() bool {
+	switch j.State {
+	case "done", "failed", "cancelled":
+		return true
+	}
+	return false
+}
+
+// SubmitJob submits spec (any JSON-marshalable job spec carrying a "type"
+// field) and returns the accepted job's initial status.
+func (c *Client) SubmitJob(ctx context.Context, spec any) (*JobStatus, error) {
+	var out JobStatus
+	if err := c.doJSON(ctx, http.MethodPost, "/v1/jobs", spec, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Job fetches the status and progress of job id.
+func (c *Client) Job(ctx context.Context, id string) (*JobStatus, error) {
+	var out JobStatus
+	if err := c.doJSON(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Jobs lists the owner's jobs, newest first.
+func (c *Client) Jobs(ctx context.Context) ([]JobStatus, error) {
+	var out []JobStatus
+	if err := c.doJSON(ctx, http.MethodGet, "/v1/jobs", nil, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// CancelJob cancels a queued or running job.
+func (c *Client) CancelJob(ctx context.Context, id string) (*JobStatus, error) {
+	var out JobStatus
+	if err := c.doJSON(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// JobResult fetches a finished job's result payload into out (which may
+// be nil to discard it), returning the final status. A 409 means the job
+// is still in flight; use WaitJob to poll to completion.
+func (c *Client) JobResult(ctx context.Context, id string, out any) (*JobStatus, error) {
+	var wrapper struct {
+		Status JobStatus       `json:"status"`
+		Result json.RawMessage `json:"result"`
+	}
+	if err := c.doJSON(ctx, http.MethodGet, "/v1/jobs/"+id+"/result", nil, &wrapper); err != nil {
+		return nil, err
+	}
+	if out != nil && len(wrapper.Result) > 0 && string(wrapper.Result) != "null" {
+		if err := json.Unmarshal(wrapper.Result, out); err != nil {
+			return nil, fmt.Errorf("ppclient: decoding job result: %w", err)
+		}
+	}
+	return &wrapper.Status, nil
+}
+
+// WaitJob polls job id until it reaches a terminal state (or ctx is
+// done). onProgress, when non-nil, receives each observed status.
+func (c *Client) WaitJob(ctx context.Context, id string, onProgress func(*JobStatus)) (*JobStatus, error) {
+	interval := c.PollInterval
+	if interval <= 0 {
+		interval = 50 * time.Millisecond
+	}
+	for {
+		st, err := c.Job(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		if onProgress != nil {
+			onProgress(st)
+		}
+		if st.Terminal() {
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(interval):
+		}
+	}
+}
+
+// TuneSpec parameterizes a tune job: the sweep grids, the clustering
+// algorithm every candidate is scored with, and the recommendation
+// constraint. Zero values defer to the daemon's defaults (all mechanisms,
+// the standard rho/sigma grids, kmeans requires K).
+type TuneSpec struct {
+	// Algorithm and its parameters mirror the cluster job spec.
+	Algorithm string  `json:"algorithm,omitempty"`
+	K         int     `json:"k,omitempty"`
+	Linkage   string  `json:"linkage,omitempty"`
+	Eps       float64 `json:"eps,omitempty"`
+	MinPts    int     `json:"min_pts,omitempty"`
+	Sigma     float64 `json:"sigma,omitempty"`
+	ClustSeed int64   `json:"cluster_seed,omitempty"`
+	// Norm is the shared normalization ("" = zscore).
+	Norm string `json:"norm,omitempty"`
+	// Mechanisms, Rhos and Sigmas define the grid.
+	Mechanisms []string  `json:"mechanisms,omitempty"`
+	Rhos       []float64 `json:"rhos,omitempty"`
+	Sigmas     []float64 `json:"sigmas,omitempty"`
+	// Seed pins candidate randomness; Known sizes the simulated
+	// known-sample adversary.
+	Seed  int64 `json:"seed,omitempty"`
+	Known int   `json:"known,omitempty"`
+	// MinSec is the recommendation's security floor ("max utility such
+	// that Sec >= MinSec"); Refine adds adaptive refinement rounds.
+	MinSec float64 `json:"min_sec,omitempty"`
+	Refine int     `json:"refine,omitempty"`
+}
+
+// TunePoint is one evaluated candidate of a tune sweep.
+type TunePoint struct {
+	Mechanism         string  `json:"mechanism"`
+	Rho               float64 `json:"rho,omitempty"`
+	Sigma             float64 `json:"sigma,omitempty"`
+	Describe          string  `json:"describe,omitempty"`
+	Misclassification float64 `json:"misclassification"`
+	FMeasure          float64 `json:"f_measure"`
+	RandIndex         float64 `json:"rand_index"`
+	MinSecurity       float64 `json:"min_security"`
+	ReidentRate       float64 `json:"reident_rate"`
+	AttackError       string  `json:"attack_error,omitempty"`
+	Err               string  `json:"error,omitempty"`
+}
+
+// TuneResult is the tune job's result payload: every evaluated point, the
+// Pareto frontier, and the recommended operating point.
+type TuneResult struct {
+	Rows          int         `json:"rows"`
+	Cols          int         `json:"cols"`
+	Algorithm     string      `json:"algorithm"`
+	BaselineK     int         `json:"baseline_k"`
+	Evaluated     int         `json:"evaluated"`
+	Failed        int         `json:"failed"`
+	Pruned        int         `json:"pruned"`
+	MinSec        float64     `json:"min_sec_constraint"`
+	Points        []TunePoint `json:"points"`
+	Frontier      []TunePoint `json:"frontier"`
+	Recommended   *TunePoint  `json:"recommended,omitempty"`
+	RecommendNote string      `json:"recommend_note,omitempty"`
+}
+
+// SubmitTune submits a tune job over the named stored dataset.
+func (c *Client) SubmitTune(ctx context.Context, dataset string, spec TuneSpec) (*JobStatus, error) {
+	body := struct {
+		Type    string `json:"type"`
+		Dataset string `json:"dataset"`
+		TuneSpec
+	}{Type: "tune", Dataset: dataset, TuneSpec: spec}
+	return c.SubmitJob(ctx, body)
+}
+
+// TuneResult waits for tune job id to finish and returns its frontier. A
+// failed or cancelled sweep is returned as an error carrying the state.
+func (c *Client) TuneResult(ctx context.Context, id string, onProgress func(*JobStatus)) (*TuneResult, error) {
+	st, err := c.WaitJob(ctx, id, onProgress)
+	if err != nil {
+		return nil, err
+	}
+	if st.State != "done" {
+		return nil, fmt.Errorf("ppclient: tune job %s: %s", st.State, st.Error)
+	}
+	var out TuneResult
+	if _, err := c.JobResult(ctx, id, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Metrics fetches the daemon's /v1/metrics snapshot.
+func (c *Client) Metrics(ctx context.Context) (map[string]int64, error) {
+	var out map[string]int64
+	if err := c.doJSON(ctx, http.MethodGet, "/v1/metrics", nil, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
 }

@@ -1,9 +1,15 @@
 package ppclient
 
 import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
+	"time"
 )
 
 // TestTokenCaptureAndErrors exercises the client plumbing against a stub
@@ -32,7 +38,7 @@ func TestTokenCaptureAndErrors(t *testing.T) {
 	defer ts.Close()
 
 	c := New(ts.URL, "alice")
-	fed, err := c.CreateFederation(FederationConfig{Name: "n", Columns: []string{"a", "b"}})
+	fed, err := c.CreateFederation(context.Background(), FederationConfig{Name: "n", Columns: []string{"a", "b"}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -40,7 +46,7 @@ func TestTokenCaptureAndErrors(t *testing.T) {
 		t.Fatalf("fed = %+v, token = %q", fed, c.Token)
 	}
 
-	_, err = c.Federation("fabc")
+	_, err = c.Federation(context.Background(), "fabc")
 	if !IsStatus(err, http.StatusNotFound) {
 		t.Fatalf("err = %v, want 404 APIError", err)
 	}
@@ -59,5 +65,90 @@ func TestPartyAssignments(t *testing.T) {
 	}
 	if got := r.PartyAssignments("nobody"); got != nil {
 		t.Fatalf("unknown party = %v", got)
+	}
+}
+
+// TestDatasetJobAndTunePlumbing drives the new dataset/job/tune client
+// calls against a stub daemon: upload captures a minted token, SubmitTune
+// sends a well-formed tune spec, and TuneResult polls to completion and
+// decodes the frontier.
+func TestDatasetJobAndTunePlumbing(t *testing.T) {
+	ctx := context.Background()
+	polls := 0
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.Method + " " + r.URL.Path {
+		case "POST /v1/datasets":
+			if r.URL.Query().Get("name") != "blobs" || r.URL.Query().Get("labels") != "last" {
+				t.Errorf("upload query = %v", r.URL.Query())
+			}
+			w.Header().Set("X-Ppclust-Token", "tok-9")
+			w.WriteHeader(http.StatusCreated)
+			w.Write([]byte(`{"owner":"alice","name":"blobs","rows":2,"cols":2,"labeled":true}`))
+		case "POST /v1/jobs":
+			var spec map[string]any
+			if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+				t.Error(err)
+			}
+			if spec["type"] != "tune" || spec["dataset"] != "blobs" || spec["min_sec"] != 0.3 {
+				t.Errorf("tune spec = %v", spec)
+			}
+			w.WriteHeader(http.StatusAccepted)
+			w.Write([]byte(`{"id":"j1","state":"queued"}`))
+		case "GET /v1/jobs/j1":
+			polls++
+			state := "running"
+			if polls >= 2 {
+				state = "done"
+			}
+			fmt.Fprintf(w, `{"id":"j1","state":%q,"progress":0.5}`, state)
+		case "GET /v1/jobs/j1/result":
+			w.Write([]byte(`{"status":{"id":"j1","state":"done"},"result":{"evaluated":3,"frontier":[{"mechanism":"rbt","rho":0.3,"misclassification":0,"min_security":0.8}],"recommended":{"mechanism":"rbt","rho":0.3}}}`))
+		default:
+			t.Errorf("unexpected call %s %s", r.Method, r.URL.Path)
+			w.WriteHeader(http.StatusNotFound)
+		}
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, "alice")
+	c.PollInterval = time.Millisecond
+	meta, err := c.UploadDatasetCSV(ctx, "blobs", strings.NewReader("a,b\n1,0\n2,1\n"), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Rows != 2 || !meta.Labeled || c.Token != "tok-9" {
+		t.Fatalf("meta = %+v, token = %q", meta, c.Token)
+	}
+	st, err := c.SubmitTune(ctx, "blobs", TuneSpec{Algorithm: "kmeans", K: 3, MinSec: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawProgress bool
+	res, err := c.TuneResult(ctx, st.ID, func(js *JobStatus) { sawProgress = true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sawProgress || res.Evaluated != 3 || len(res.Frontier) != 1 || res.Recommended == nil {
+		t.Fatalf("tune result = %+v (progress seen: %v)", res, sawProgress)
+	}
+	if res.Frontier[0].Mechanism != "rbt" || res.Frontier[0].MinSecurity != 0.8 {
+		t.Fatalf("frontier = %+v", res.Frontier)
+	}
+}
+
+// TestWaitJobHonorsContext: a cancelled context aborts the poll loop with
+// the context's error — the point of threading ctx through the SDK.
+func TestWaitJobHonorsContext(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"id":"j1","state":"running"}`))
+	}))
+	defer ts.Close()
+	c := New(ts.URL, "alice")
+	c.PollInterval = 5 * time.Millisecond
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	_, err := c.WaitJob(ctx, "j1", nil)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
 	}
 }
