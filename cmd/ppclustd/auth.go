@@ -1,72 +1,33 @@
 package main
 
-// Per-owner bearer-token authentication. The fit-protect call that creates
-// an owner mints a 256-bit token, returns it once in the X-Ppclust-Token
-// response header, and stores only its SHA-256 hash in the keyring. Every
-// later request that touches that owner's key material — recover,
-// stream-protect, re-protect (key rotation) — must present the token as
-// `Authorization: Bearer <token>`. Without this, anyone who can reach the
-// daemon could invert any owner's releases; inversion is the owner's
-// privilege, so the owner must hold a credential.
+// Bearer-token plumbing. The fit-protect call (or dataset upload,
+// federation create/join) that creates an owner mints a 256-bit token,
+// returns it once in the X-Ppclust-Token response header, and stores only
+// its SHA-256 hash in the keyring. Every later request that touches that
+// owner's resources must present the token as `Authorization: Bearer
+// <token>`. Without this, anyone who can reach the daemon could invert
+// any owner's releases; inversion is the owner's privilege, so the owner
+// must hold a credential.
 //
-// Auth can be disabled with -insecure-no-auth for deployments that sit
-// behind an authenticating proxy on a trusted network.
+// The verification itself (hashing, constant-time compare, the
+// 401-vs-403 distinction) lives in internal/service; this file only
+// extracts the header and honors -insecure-no-auth, which disables the
+// check for deployments behind an authenticating proxy on a trusted
+// network.
 
 import (
-	"crypto/rand"
-	"crypto/sha256"
-	"crypto/subtle"
-	"encoding/hex"
-	"errors"
-	"fmt"
 	"net/http"
 	"strings"
-
-	"ppclust/internal/keyring"
 )
-
-var (
-	errNoToken      = errors.New("missing bearer token")
-	errBadToken     = errors.New("invalid bearer token")
-	errNoCredential = errors.New("owner has no credential on file (created with auth disabled, or before token auth existed); re-protect the owner once under -insecure-no-auth to mint one")
-)
-
-// newToken mints a fresh owner credential and the hash to store for it.
-func newToken() (token string, hash []byte, err error) {
-	var raw [32]byte
-	if _, err := rand.Read(raw[:]); err != nil {
-		return "", nil, fmt.Errorf("minting token: %w", err)
-	}
-	token = hex.EncodeToString(raw[:])
-	return token, hashToken(token), nil
-}
-
-func hashToken(token string) []byte {
-	h := sha256.Sum256([]byte(token))
-	return h[:]
-}
 
 // authorize checks the request's bearer token against the owner's stored
-// credential hash. The caller must have established that the owner exists.
+// credential. The caller must have established that the owner exists.
 func (s *server) authorize(r *http.Request, owner string) error {
 	if s.authDisabled {
 		return nil
 	}
-	stored, err := s.keys.TokenHash(owner)
-	if err != nil {
-		if errors.Is(err, keyring.ErrNotFound) {
-			return fmt.Errorf("owner %q: %w", owner, errNoCredential)
-		}
-		return err
-	}
-	token, ok := bearerToken(r)
-	if !ok {
-		return fmt.Errorf("owner %q: %w", owner, errNoToken)
-	}
-	if subtle.ConstantTimeCompare(hashToken(token), stored) != 1 {
-		return fmt.Errorf("owner %q: %w", owner, errBadToken)
-	}
-	return nil
+	token, _ := bearerToken(r)
+	return s.svc.Authorize(owner, token)
 }
 
 func bearerToken(r *http.Request) (string, bool) {
@@ -76,18 +37,4 @@ func bearerToken(r *http.Request) (string, bool) {
 		return "", false
 	}
 	return auth[len(prefix):], true
-}
-
-// writeAuthErr maps credential failures onto HTTP statuses: 401 when no
-// token was presented (authenticate and retry), 403 when a token was
-// presented but does not match the owner — e.g. another owner's valid
-// credential, which authenticates its holder but grants nothing here —
-// and 403 when the owner has no credential that could ever be presented.
-func writeAuthErr(w http.ResponseWriter, err error) {
-	code := http.StatusForbidden
-	if errors.Is(err, errNoToken) {
-		code = http.StatusUnauthorized
-		w.Header().Set("WWW-Authenticate", `Bearer realm="ppclust"`)
-	}
-	writeErr(w, code, err)
 }

@@ -1,11 +1,11 @@
 package main
 
-// Dataset routes: named, owner-scoped uploads that the async job
-// subsystem operates on.
+// Dataset routes — thin adapters over service.DatasetService:
 //
 //	POST   /v1/datasets?owner=O&name=D[&labels=last]  ingest CSV/NDJSON
 //	GET    /v1/datasets?owner=O                       list owner's datasets
 //	GET    /v1/datasets/{name}?owner=O                one dataset's metadata
+//	GET    /v1/datasets/{name}/rows?owner=O           stream the rows out
 //	DELETE /v1/datasets/{name}?owner=O                remove a dataset
 //
 // The first upload for an unknown owner claims the owner name and mints
@@ -15,188 +15,114 @@ package main
 // resolve inside the authenticated owner's namespace.
 
 import (
-	"errors"
 	"fmt"
-	"io"
 	"log"
-	"math"
 	"net/http"
-	"time"
 
-	"ppclust/internal/datastore"
 	"ppclust/internal/keyring"
 	"ppclust/internal/matrix"
+	"ppclust/internal/service"
 )
 
 func (s *server) handleDatasetUpload(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
-	owner := q.Get("owner")
-	if err := keyring.ValidName(owner); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+	req := service.UploadRequest{
+		Owner: q.Get("owner"),
+		Name:  q.Get("name"),
+	}
+	if err := keyring.ValidName(req.Owner); err != nil {
+		writeErr(w, service.Wrap(err))
 		return
 	}
-	name := q.Get("name")
-	if err := datastore.ValidName(name); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
-		return
-	}
-	if isFederationDataset(name) {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("%w: %q — the fed. prefix is reserved for federation contributions", datastore.ErrBadName, name))
-		return
-	}
-	labeled := false
 	switch q.Get("labels") {
 	case "":
 	case "last":
-		labeled = true
+		req.LabeledLast = true
 	default:
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown labels %q (want last)", q.Get("labels")))
+		writeErr(w, service.Invalid(fmt.Errorf("unknown labels %q (want last)", q.Get("labels"))))
 		return
 	}
 	format, err := resolveFormat(q.Get("format"), r.Header)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, service.Invalid(err))
 		return
 	}
 	// A known owner (credential or key on file) is authorized before the
-	// body is read. An entirely unknown owner claims the name only after
-	// a successful ingest — a rejected upload must not burn the name with
-	// a token nobody ever received.
-	known, aerr := s.ownerKnown(owner)
+	// body is read; an entirely unknown owner is claimed by the service
+	// only after a successful ingest.
+	known, aerr := s.svc.OwnerKnown(req.Owner)
 	if aerr != nil {
-		writeErr(w, http.StatusInternalServerError, aerr)
+		writeErr(w, aerr)
 		return
 	}
 	if known {
-		if aerr := s.authorize(r, owner); aerr != nil {
-			writeAuthErr(w, aerr)
+		if aerr := s.authorize(r, req.Owner); aerr != nil {
+			writeErr(w, aerr)
 			return
 		}
 	}
+	// The claim decision rides on the same snapshot the authorization
+	// decision did; the service's atomic claim settles any race.
+	req.Claim = !known
 
 	body := http.MaxBytesReader(w, r.Body, s.maxBody)
-	rr := newRowReader(format, body)
-	var b *datastore.Builder
-	for {
-		row, err := rr.Read()
-		if errors.Is(err, io.EOF) {
-			break
-		}
-		if err != nil {
-			writeErr(w, http.StatusBadRequest, err)
-			return
-		}
-		if b == nil {
-			attrs := rr.Names()
-			if labeled {
-				if len(attrs) < 2 {
-					writeErr(w, http.StatusBadRequest, fmt.Errorf("labels=last needs at least 2 columns"))
-					return
-				}
-				attrs = attrs[:len(attrs)-1]
-			}
-			if b, err = datastore.NewBuilder(owner, name, attrs); err != nil {
-				writeErr(w, statusFor(err), err)
-				return
-			}
-		}
-		if labeled {
-			label, lerr := intLabel(row[len(row)-1])
-			if lerr != nil {
-				writeErr(w, http.StatusBadRequest, lerr)
-				return
-			}
-			err = b.AppendLabeled(row[:len(row)-1], label)
-		} else {
-			err = b.Append(row)
-		}
-		if err != nil {
-			writeErr(w, statusFor(err), err)
-			return
-		}
-	}
-	if b == nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("empty dataset"))
-		return
-	}
-	ds, err := b.Finish(time.Now())
-	if err != nil {
-		writeErr(w, statusFor(err), err)
-		return
-	}
-	token := ""
-	if !known {
-		tok, hash, err := newToken()
-		if err != nil {
-			writeErr(w, http.StatusInternalServerError, err)
-			return
-		}
-		if err := s.keys.ClaimToken(owner, hash); err != nil {
-			if errors.Is(err, keyring.ErrExists) {
-				err = fmt.Errorf("owner %q was created concurrently; retry with its bearer token: %w", owner, err)
-			}
-			writeErr(w, statusFor(err), err)
-			return
-		}
-		token = tok
-	}
+	res, err := s.svc.Datasets.Upload(req, newRowReader(format, body))
 	// The claim (and hence the token the client is about to learn) stands
-	// even if the store rejects the dataset below — so the credential
-	// header is set before the outcome is known.
-	w.Header().Set("X-Ppclust-Owner", owner)
-	if token != "" {
-		w.Header().Set("X-Ppclust-Token", token)
+	// even if the ingest failed after it — so the credential header is set
+	// before the outcome is known.
+	w.Header().Set("X-Ppclust-Owner", req.Owner)
+	if res.MintedToken != "" {
+		w.Header().Set("X-Ppclust-Token", res.MintedToken)
 	}
-	if err := s.store.Put(ds); err != nil {
-		writeErr(w, statusFor(err), err)
+	if err != nil {
+		writeErr(w, err)
 		return
 	}
-	s.rowsIngested.Add(int64(ds.Rows))
-	writeJSON(w, http.StatusCreated, ds.Meta)
+	writeJSON(w, http.StatusCreated, res.Meta)
 }
 
 func (s *server) handleDatasetList(w http.ResponseWriter, r *http.Request) {
-	owner, ok := s.datasetAuth(w, r)
+	owner, ok := s.ownerAuth(w, r)
 	if !ok {
 		return
 	}
-	metas, err := s.store.List(owner)
+	metas, err := s.svc.Datasets.List(owner)
 	if err != nil {
-		writeErr(w, statusFor(err), err)
+		writeErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, metas)
 }
 
 func (s *server) handleDatasetGet(w http.ResponseWriter, r *http.Request) {
-	owner, ok := s.datasetAuth(w, r)
+	owner, ok := s.ownerAuth(w, r)
 	if !ok {
 		return
 	}
-	ds, err := s.store.Get(owner, r.PathValue("name"))
+	meta, err := s.svc.Datasets.Get(owner, r.PathValue("name"))
 	if err != nil {
-		writeErr(w, statusFor(err), err)
+		writeErr(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, ds.Meta)
+	writeJSON(w, http.StatusOK, meta)
 }
 
 // handleDatasetRows streams a stored dataset back out as CSV or NDJSON —
 // how the released dataset a protect job produced leaves the service for
 // the third-party analyst, block by block.
 func (s *server) handleDatasetRows(w http.ResponseWriter, r *http.Request) {
-	owner, ok := s.datasetAuth(w, r)
+	owner, ok := s.ownerAuth(w, r)
 	if !ok {
 		return
 	}
 	format, err := resolveFormat(r.URL.Query().Get("format"), r.Header)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, service.Invalid(err))
 		return
 	}
-	ds, err := s.store.Get(owner, r.PathValue("name"))
+	ds, err := s.svc.Datasets.Open(owner, r.PathValue("name"))
 	if err != nil {
-		writeErr(w, statusFor(err), err)
+		writeErr(w, err)
 		return
 	}
 	w.Header().Set("Content-Type", contentType(format))
@@ -224,69 +150,40 @@ func (s *server) handleDatasetRows(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleDatasetDelete(w http.ResponseWriter, r *http.Request) {
-	owner, ok := s.datasetAuth(w, r)
+	owner, ok := s.ownerAuth(w, r)
 	if !ok {
 		return
 	}
-	if name := r.PathValue("name"); isFederationDataset(name) {
-		// Deleting a contribution out from under its federation would
-		// dangle the contribution reference; withdrawal goes through the
-		// federation route, which keeps the record consistent.
-		writeErr(w, http.StatusConflict, fmt.Errorf("%q is a federation contribution; withdraw it via DELETE /v1/federations/{id}/contribute", name))
+	name := r.PathValue("name")
+	if err := s.svc.Datasets.Delete(owner, name); err != nil {
+		writeErr(w, err)
 		return
 	}
-	if err := s.store.Delete(owner, r.PathValue("name")); err != nil {
-		writeErr(w, statusFor(err), err)
-		return
-	}
-	writeJSON(w, http.StatusOK, map[string]string{"deleted": r.PathValue("name")})
+	writeJSON(w, http.StatusOK, map[string]string{"deleted": name})
 }
 
-// datasetAuth validates the owner parameter and its credential for the
-// read/delete dataset routes. Like the job routes, an owner the keyring
-// has never heard of is a 404 — not a confusing credential error.
-func (s *server) datasetAuth(w http.ResponseWriter, r *http.Request) (string, bool) {
+// ownerAuth validates the owner parameter and its credential for every
+// owner-scoped read/delete route (datasets, jobs, federations). An owner
+// the keyring has never heard of is a 404 — not a confusing credential
+// error.
+func (s *server) ownerAuth(w http.ResponseWriter, r *http.Request) (string, bool) {
 	owner := r.URL.Query().Get("owner")
 	if err := keyring.ValidName(owner); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, service.Wrap(err))
 		return "", false
 	}
-	known, err := s.ownerKnown(owner)
+	known, err := s.svc.OwnerKnown(owner)
 	if err != nil {
-		writeErr(w, http.StatusInternalServerError, err)
+		writeErr(w, err)
 		return "", false
 	}
 	if !known {
-		writeErr(w, http.StatusNotFound, fmt.Errorf("%w: owner %q", keyring.ErrNotFound, owner))
+		writeErr(w, service.Wrap(fmt.Errorf("%w: owner %q", keyring.ErrNotFound, owner)))
 		return "", false
 	}
 	if err := s.authorize(r, owner); err != nil {
-		writeAuthErr(w, err)
+		writeErr(w, err)
 		return "", false
 	}
 	return owner, true
-}
-
-// ownerKnown reports whether owner exists in the keyring in any form —
-// credential, key material, or both.
-func (s *server) ownerKnown(owner string) (bool, error) {
-	if _, err := s.keys.TokenHash(owner); err == nil {
-		return true, nil
-	} else if !errors.Is(err, keyring.ErrNotFound) {
-		return false, err
-	}
-	if _, err := s.keys.Get(owner); err == nil {
-		return true, nil
-	} else if !errors.Is(err, keyring.ErrNotFound) {
-		return false, err
-	}
-	return false, nil
-}
-
-// intLabel parses a ground-truth label carried in a numeric column.
-func intLabel(v float64) (int, error) {
-	if v != math.Trunc(v) || math.Abs(v) > 1e9 {
-		return 0, fmt.Errorf("label %g is not an integer", v)
-	}
-	return int(v), nil
 }

@@ -26,6 +26,7 @@ import (
 	"ppclust/internal/keyring"
 	"ppclust/internal/matrix"
 	"ppclust/internal/quality"
+	"ppclust/internal/service"
 	"ppclust/ppclient"
 )
 
@@ -411,7 +412,7 @@ func TestFederationMetrics(t *testing.T) {
 	if snap["federation_rows_total"] != int64(len(parts[0])) {
 		t.Fatalf("federation_rows_total = %d", snap["federation_rows_total"])
 	}
-	label := fedMetricLabel(fed.ID)
+	label := service.FedMetricLabel(fed.ID)
 	if snap[fmt.Sprintf(`federation_parties{fed=%q}`, label)] != 1 {
 		t.Fatalf("per-federation gauge missing: %v", snap)
 	}

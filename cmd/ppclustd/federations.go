@@ -1,10 +1,6 @@
 package main
 
-// Federation routes: the networked multi-party workload. Several data
-// holders, each an authenticated owner, collaboratively protect horizontal
-// partitions of a common schema under one shared rotation key so a joint
-// clustering can run over the union without any party seeing another's
-// raw rows.
+// Federation routes — thin adapters over service.FederationService:
 //
 //	POST   /v1/federations?owner=C                 create (C coordinates)
 //	GET    /v1/federations?owner=O                 list O's federations
@@ -16,115 +12,21 @@ package main
 //	POST   /v1/federations/{id}/seal?owner=C       finalize + schedule job
 //	GET    /v1/federations/{id}/result?owner=O     joint analysis result
 //
-// The key agreement is the coordinator's first contribution: while the
-// federation is open, only the coordinator may contribute, and that
-// contribution *fits* the shared normalization parameters and rotation
-// key (exactly like a fit-protect). Every later contribution streams
-// through the frozen transform, so all contributions are images of one
-// isometry and the joint clustering equals the plaintext union's.
-//
-// Contributions are stored as ordinary owner-scoped datasets named
-// "fed.<id>" in each party's own namespace — the existing dataset auth
-// makes them owner-isolated: another party's contribution answers 403 to
-// a foreign token and 404 inside one's own namespace. Raw rows transit
-// the daemon during contribute (the daemon is the trusted protection
-// point, as in /v1/protect) but only protected rows are stored. The
-// shared secret lives inside the federation record and never crosses the
-// API in either direction.
-//
-// Like job IDs, federation IDs are unguessable and double as the
-// invitation capability: joining requires knowing the ID. Create and join
-// mint a bearer token for owners the keyring has never seen, mirroring
-// dataset uploads.
+// The lifecycle, key agreement and joint analysis live in the service
+// layer; these handlers only decode, authorize and encode. Create and
+// join mint a bearer token for owners the keyring has never seen,
+// mirroring dataset uploads.
 
 import (
-	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
-	"strings"
-	"time"
 
-	"ppclust/internal/core"
-	"ppclust/internal/datastore"
-	"ppclust/internal/engine"
-	"ppclust/internal/federation"
-	"ppclust/internal/jobs"
 	"ppclust/internal/keyring"
-	"ppclust/internal/matrix"
-	"ppclust/internal/multiparty"
-	"ppclust/internal/quality"
+	"ppclust/internal/service"
 )
-
-// jobFederatedCluster is the joint-analysis job type a seal schedules
-// under the coordinator owner. It is not submittable via POST /v1/jobs
-// (validateSpec rejects it), only via seal — and via the drain/restore
-// path, which replays seals that never got to run.
-const jobFederatedCluster = "federated-cluster"
-
-// contributionDataset names a federation contribution inside a party's
-// dataset namespace.
-func contributionDataset(fedID string) string { return "fed." + fedID }
-
-// isFederationDataset reports whether name sits in the reserved
-// federation-contribution namespace. The ordinary dataset routes refuse
-// to create or delete such names: a party deleting or re-uploading its
-// fed.<id> dataset out of band would dangle the federation's contribution
-// reference — or worse, substitute unprotected rows into the sealed joint
-// analysis. Withdrawal goes through DELETE
-// /v1/federations/{id}/contribute, which keeps the record consistent.
-func isFederationDataset(name string) bool { return strings.HasPrefix(name, "fed.") }
-
-// createFederationSpec is the POST /v1/federations body.
-type createFederationSpec struct {
-	Name    string   `json:"name"`
-	Columns []string `json:"columns"`
-	Norm    string   `json:"norm,omitempty"`
-	Rho1    float64  `json:"rho1,omitempty"`
-	Rho2    float64  `json:"rho2,omitempty"`
-	Seed    int64    `json:"seed,omitempty"`
-}
-
-// fedAnalysisSpec is the POST seal body: which algorithm the joint
-// clustering runs. The fields mirror the cluster job's.
-type fedAnalysisSpec struct {
-	Algorithm string  `json:"algorithm,omitempty"`
-	K         int     `json:"k,omitempty"`
-	Linkage   string  `json:"linkage,omitempty"`
-	Eps       float64 `json:"eps,omitempty"`
-	MinPts    int     `json:"min_pts,omitempty"`
-	Sigma     float64 `json:"sigma,omitempty"`
-	ClustSeed int64   `json:"cluster_seed,omitempty"`
-}
-
-// clusterSpec converts the analysis parameters into the shape
-// buildClusterer consumes.
-func (a *fedAnalysisSpec) clusterSpec() *jobSpec {
-	return &jobSpec{
-		Algorithm: a.Algorithm,
-		K:         a.K,
-		Linkage:   a.Linkage,
-		Eps:       a.Eps,
-		MinPts:    a.MinPts,
-		Sigma:     a.Sigma,
-		ClustSeed: a.ClustSeed,
-	}
-}
-
-// fedJobSpec is the persisted spec of a federated-cluster job.
-type fedJobSpec struct {
-	Federation string          `json:"federation"`
-	Analysis   fedAnalysisSpec `json:"analysis"`
-}
-
-// fedAuth authenticates the owner parameter for federation routes that
-// require an existing owner (everything except create and join, which may
-// claim new owners). The policy is exactly the dataset routes' one.
-func (s *server) fedAuth(w http.ResponseWriter, r *http.Request) (string, bool) {
-	return s.datasetAuth(w, r)
-}
 
 // fedClaimOrAuth authenticates an owner that may not exist yet: a known
 // owner must present its token; an unknown one is claimed with a freshly
@@ -133,31 +35,24 @@ func (s *server) fedAuth(w http.ResponseWriter, r *http.Request) (string, bool) 
 func (s *server) fedClaimOrAuth(w http.ResponseWriter, r *http.Request) (owner, mintedToken string, ok bool) {
 	owner = r.URL.Query().Get("owner")
 	if err := keyring.ValidName(owner); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, service.Wrap(err))
 		return "", "", false
 	}
-	known, err := s.ownerKnown(owner)
+	known, err := s.svc.OwnerKnown(owner)
 	if err != nil {
-		writeErr(w, http.StatusInternalServerError, err)
+		writeErr(w, err)
 		return "", "", false
 	}
 	if known {
 		if err := s.authorize(r, owner); err != nil {
-			writeAuthErr(w, err)
+			writeErr(w, err)
 			return "", "", false
 		}
 		return owner, "", true
 	}
-	tok, hash, err := newToken()
+	tok, err := s.svc.ClaimOwner(owner)
 	if err != nil {
-		writeErr(w, http.StatusInternalServerError, err)
-		return "", "", false
-	}
-	if err := s.keys.ClaimToken(owner, hash); err != nil {
-		if errors.Is(err, keyring.ErrExists) {
-			err = fmt.Errorf("owner %q was created concurrently; retry with its bearer token: %w", owner, err)
-		}
-		writeErr(w, statusFor(err), err)
+		writeErr(w, err)
 		return "", "", false
 	}
 	return owner, tok, true
@@ -175,22 +70,16 @@ func (s *server) handleFederationCreate(w http.ResponseWriter, r *http.Request) 
 	if token != "" {
 		w.Header().Set("X-Ppclust-Token", token)
 	}
-	var spec createFederationSpec
+	var spec service.CreateFederationSpec
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&spec); err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("parsing federation spec: %w", err))
+		writeErr(w, service.Invalid(fmt.Errorf("parsing federation spec: %w", err)))
 		return
 	}
-	v, err := s.feds.Create(owner, spec.Name, federation.Config{
-		Columns: spec.Columns,
-		Norm:    spec.Norm,
-		Rho1:    spec.Rho1,
-		Rho2:    spec.Rho2,
-		Seed:    spec.Seed,
-	})
+	v, err := s.svc.Federations.Create(owner, spec)
 	if err != nil {
-		writeErr(w, statusFor(err), err)
+		writeErr(w, err)
 		return
 	}
 	w.Header().Set("Location", "/v1/federations/"+v.ID)
@@ -198,49 +87,36 @@ func (s *server) handleFederationCreate(w http.ResponseWriter, r *http.Request) 
 }
 
 func (s *server) handleFederationList(w http.ResponseWriter, r *http.Request) {
-	owner, ok := s.fedAuth(w, r)
+	owner, ok := s.ownerAuth(w, r)
 	if !ok {
 		return
 	}
-	views := s.feds.ListFor(owner)
-	if views == nil {
-		views = []federation.View{}
-	}
-	writeJSON(w, http.StatusOK, views)
+	writeJSON(w, http.StatusOK, s.svc.Federations.List(owner))
 }
 
 func (s *server) handleFederationGet(w http.ResponseWriter, r *http.Request) {
-	owner, ok := s.fedAuth(w, r)
+	owner, ok := s.ownerAuth(w, r)
 	if !ok {
 		return
 	}
-	v, err := s.feds.Get(r.PathValue("id"), owner)
+	v, err := s.svc.Federations.Get(r.PathValue("id"), owner)
 	if err != nil {
-		writeErr(w, statusFor(err), err)
+		writeErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, v)
 }
 
 func (s *server) handleFederationDelete(w http.ResponseWriter, r *http.Request) {
-	owner, ok := s.fedAuth(w, r)
+	owner, ok := s.ownerAuth(w, r)
 	if !ok {
 		return
 	}
 	id := r.PathValue("id")
-	contributed, err := s.feds.Delete(id, owner)
+	leftovers, err := s.svc.Federations.Delete(id, owner)
 	if err != nil {
-		writeErr(w, statusFor(err), err)
+		writeErr(w, err)
 		return
-	}
-	// Contributions were created by the federation; tear them down with
-	// it. A failure here is logged into the response but does not undo
-	// the delete — the datasets remain individually deletable.
-	var leftovers []string
-	for _, p := range contributed {
-		if derr := s.store.Delete(p.Owner, p.Dataset); derr != nil && !errors.Is(derr, datastore.ErrNotFound) {
-			leftovers = append(leftovers, p.Owner+"/"+p.Dataset)
-		}
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"deleted": id, "leftover_contributions": leftovers})
 }
@@ -255,197 +131,44 @@ func (s *server) handleFederationJoin(w http.ResponseWriter, r *http.Request) {
 	if token != "" {
 		w.Header().Set("X-Ppclust-Token", token)
 	}
-	v, err := s.feds.Join(r.PathValue("id"), owner)
+	v, err := s.svc.Federations.Join(r.PathValue("id"), owner)
 	if err != nil {
-		writeErr(w, statusFor(err), err)
+		writeErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, v)
 }
 
-// handleFederationContribute ingests a member's horizontal partition.
-// While the federation is open the coordinator's contribution fits and
-// freezes the shared transform; afterwards any member's contribution is
-// stream-protected under the frozen key. Either way only protected rows
-// are stored, as the member's owner-scoped "fed.<id>" dataset.
+// handleFederationContribute ingests a member's horizontal partition: the
+// service fits (coordinator, open federation) or stream-protects (frozen)
+// and stores only protected rows.
 func (s *server) handleFederationContribute(w http.ResponseWriter, r *http.Request) {
-	owner, ok := s.fedAuth(w, r)
+	owner, ok := s.ownerAuth(w, r)
 	if !ok {
-		return
-	}
-	id := r.PathValue("id")
-	v, err := s.feds.Get(id, owner)
-	if err != nil {
-		writeErr(w, statusFor(err), err)
 		return
 	}
 	format, err := resolveFormat(r.URL.Query().Get("format"), r.Header)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, service.Invalid(err))
 		return
 	}
 	body := http.MaxBytesReader(w, r.Body, s.maxBody)
-	rr := newRowReader(format, body)
-
-	switch {
-	case v.State == federation.StateOpen && owner == v.Coordinator:
-		s.contributeFit(w, rr, id, owner, v)
-	case v.State == federation.StateOpen:
-		writeErr(w, http.StatusConflict, fmt.Errorf("%w: federation %q has no frozen key yet; coordinator %q contributes first",
-			federation.ErrState, id, v.Coordinator))
-	case v.State == federation.StateFrozen:
-		s.contributeStream(w, rr, id, owner, v)
-	default:
-		writeErr(w, http.StatusConflict, fmt.Errorf("%w: federation %q is sealed", federation.ErrState, id))
-	}
-}
-
-// contributeFit is the key agreement: the coordinator's partition fits
-// the shared normalization and rotation key, its release becomes the
-// first contribution, and the federation freezes.
-func (s *server) contributeFit(w http.ResponseWriter, rr rowReader, id, owner string, v federation.View) {
-	data, err := readAll(rr)
+	v, err := s.svc.Federations.Contribute(r.PathValue("id"), owner, newRowReader(format, body))
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, err)
 		return
 	}
-	if data.Cols() != len(v.Columns) {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("contribution has %d columns, federation schema has %d", data.Cols(), len(v.Columns)))
-		return
-	}
-	cfg, err := s.feds.FitConfig(id)
-	if err != nil {
-		writeErr(w, statusFor(err), err)
-		return
-	}
-	norm := cfg.Norm
-	if norm == "" {
-		norm = engine.NormZScore
-	}
-	rho1, rho2 := cfg.Rho1, cfg.Rho2
-	if rho1 == 0 {
-		rho1 = 0.3
-	}
-	if rho2 == 0 {
-		rho2 = 0.3
-	}
-	res, err := s.eng.Protect(data, engine.ProtectOptions{
-		Normalization: norm,
-		Thresholds:    []core.PST{{Rho1: rho1, Rho2: rho2}},
-		Seed:          cfg.Seed,
-	})
-	if err != nil {
-		writeErr(w, statusFor(err), err)
-		return
-	}
-	name := contributionDataset(id)
-	if err := s.storeContribution(owner, name, v.Columns, res.Released); err != nil {
-		writeErr(w, statusFor(err), err)
-		return
-	}
-	fv, err := s.feds.Freeze(id, owner, res.Secret(), name, res.Released.Rows())
-	if err != nil {
-		// A concurrent freeze won; drop the just-stored duplicate rows.
-		_ = s.store.Delete(owner, name)
-		writeErr(w, statusFor(err), err)
-		return
-	}
-	s.rowsProtected.Add(int64(res.Released.Rows()))
-	writeJSON(w, http.StatusCreated, fv)
-}
-
-// contributeStream protects a member's partition incrementally under the
-// frozen shared key and stores the release block by block.
-func (s *server) contributeStream(w http.ResponseWriter, rr rowReader, id, owner string, v federation.View) {
-	if p := partyOf(v, owner); p != nil && p.Contributed() {
-		writeErr(w, http.StatusConflict, fmt.Errorf("%w: %q already contributed %d rows", federation.ErrExists, owner, p.Rows))
-		return
-	}
-	secret, err := s.feds.Secret(id)
-	if err != nil {
-		writeErr(w, statusFor(err), err)
-		return
-	}
-	sp, err := s.eng.NewStreamProtector(secret)
-	if err != nil {
-		writeErr(w, statusFor(err), err)
-		return
-	}
-	name := contributionDataset(id)
-	b, err := datastore.NewBuilder(owner, name, v.Columns)
-	if err != nil {
-		writeErr(w, statusFor(err), err)
-		return
-	}
-	for {
-		batch, err := readBatch(rr, s.batchRows)
-		if err != nil && !errors.Is(err, io.EOF) {
-			writeErr(w, http.StatusBadRequest, err)
-			return
-		}
-		done := errors.Is(err, io.EOF)
-		if batch != nil {
-			if batch.Cols() != len(v.Columns) {
-				writeErr(w, http.StatusBadRequest, fmt.Errorf("contribution has %d columns, federation schema has %d", batch.Cols(), len(v.Columns)))
-				return
-			}
-			out, err := sp.ProtectBatch(batch)
-			if err != nil {
-				writeErr(w, statusFor(err), err)
-				return
-			}
-			for i := 0; i < out.Rows(); i++ {
-				if err := b.Append(out.RawRow(i)); err != nil {
-					writeErr(w, statusFor(err), err)
-					return
-				}
-			}
-		}
-		if done {
-			break
-		}
-	}
-	ds, err := b.Finish(time.Now())
-	if err != nil {
-		writeErr(w, statusFor(err), err)
-		return
-	}
-	if err := s.store.Put(ds); err != nil {
-		writeErr(w, statusFor(err), err)
-		return
-	}
-	fv, err := s.feds.Contribute(id, owner, name, ds.Rows)
-	if err != nil {
-		_ = s.store.Delete(owner, name)
-		writeErr(w, statusFor(err), err)
-		return
-	}
-	s.rowsProtected.Add(int64(ds.Rows))
-	writeJSON(w, http.StatusCreated, fv)
-}
-
-func partyOf(v federation.View, owner string) *federation.Party {
-	for i := range v.Parties {
-		if v.Parties[i].Owner == owner {
-			return &v.Parties[i]
-		}
-	}
-	return nil
+	writeJSON(w, http.StatusCreated, v)
 }
 
 func (s *server) handleFederationWithdraw(w http.ResponseWriter, r *http.Request) {
-	owner, ok := s.fedAuth(w, r)
+	owner, ok := s.ownerAuth(w, r)
 	if !ok {
 		return
 	}
-	id := r.PathValue("id")
-	name, err := s.feds.Withdraw(id, owner)
+	name, err := s.svc.Federations.Withdraw(r.PathValue("id"), owner)
 	if err != nil {
-		writeErr(w, statusFor(err), err)
-		return
-	}
-	if err := s.store.Delete(owner, name); err != nil && !errors.Is(err, datastore.ErrNotFound) {
-		writeErr(w, http.StatusInternalServerError, err)
+		writeErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"withdrawn": name})
@@ -454,230 +177,44 @@ func (s *server) handleFederationWithdraw(w http.ResponseWriter, r *http.Request
 // handleFederationSeal finalizes the federation and schedules the joint
 // analysis as a federated-cluster job under the coordinator owner.
 func (s *server) handleFederationSeal(w http.ResponseWriter, r *http.Request) {
-	owner, ok := s.fedAuth(w, r)
+	owner, ok := s.ownerAuth(w, r)
 	if !ok {
 		return
 	}
 	id := r.PathValue("id")
-	var analysis fedAnalysisSpec
+	var analysis service.FedAnalysisSpec
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&analysis); err != nil && !errors.Is(err, io.EOF) {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("parsing analysis spec: %w", err))
+		writeErr(w, service.Invalid(fmt.Errorf("parsing analysis spec: %w", err)))
 		return
 	}
-	if _, err := buildClusterer(analysis.clusterSpec()); err != nil {
-		writeErr(w, statusFor(err), err)
-		return
-	}
-	// Cheap pre-check before submitting the job; the authoritative check
-	// is the Seal transition below, which a concurrent seal can still
-	// lose — then the freshly submitted duplicate job is cancelled.
-	v, err := s.feds.Get(id, owner)
+	v, err := s.svc.Federations.Seal(id, owner, analysis)
 	if err != nil {
-		writeErr(w, statusFor(err), err)
-		return
-	}
-	if owner != v.Coordinator {
-		writeErr(w, http.StatusForbidden, fmt.Errorf("%w: only %q can seal", federation.ErrNotCoordinator, v.Coordinator))
-		return
-	}
-	raw, err := json.Marshal(fedJobSpec{Federation: id, Analysis: analysis})
-	if err != nil {
-		writeErr(w, http.StatusInternalServerError, err)
-		return
-	}
-	st, err := s.mgr.Submit(v.Coordinator, jobFederatedCluster, raw)
-	if err != nil {
-		writeErr(w, statusFor(err), err)
-		return
-	}
-	fv, err := s.feds.Seal(id, owner, st.ID, raw)
-	if err != nil {
-		_, _ = s.mgr.Cancel(v.Coordinator, st.ID)
-		writeErr(w, statusFor(err), err)
+		writeErr(w, err)
 		return
 	}
 	w.Header().Set("Location", "/v1/federations/"+id+"/result")
-	writeJSON(w, http.StatusAccepted, fv)
+	writeJSON(w, http.StatusAccepted, v)
 }
 
 // handleFederationResult returns the joint analysis outcome to any
-// member. While the job is still running it answers 409 with the job
-// status, mirroring /v1/jobs/{id}/result semantics.
+// member. While the job is still running (or was just rescheduled after a
+// drain) it answers 409 carrying the live job status next to the error
+// envelope, mirroring /v1/jobs/{id}/result semantics.
 func (s *server) handleFederationResult(w http.ResponseWriter, r *http.Request) {
-	owner, ok := s.fedAuth(w, r)
+	owner, ok := s.ownerAuth(w, r)
 	if !ok {
 		return
 	}
-	id := r.PathValue("id")
-	v, err := s.feds.Get(id, owner)
+	res, st, err := s.svc.Federations.Result(r.PathValue("id"), owner)
 	if err != nil {
-		writeErr(w, statusFor(err), err)
-		return
-	}
-	if v.JobID == "" {
-		writeErr(w, http.StatusConflict, fmt.Errorf("%w: federation %q is not sealed", federation.ErrState, id))
-		return
-	}
-	res, st, err := s.mgr.Result(v.Coordinator, v.JobID)
-	switch {
-	case errors.Is(err, jobs.ErrNotTerminal):
-		writeJSON(w, http.StatusConflict, map[string]any{"status": st, "error": err.Error()})
-		return
-	case errors.Is(err, jobs.ErrNotFound),
-		err == nil && st.State == jobs.StateCancelled:
-		// The joint job did not survive: it was cancelled by a drain, or
-		// restarted away, or evicted from finished-job retention before
-		// anyone fetched the result. The sealed federation still holds
-		// everything needed, so reschedule instead of stranding it.
-		st2, rerr := s.rescheduleFederationJob(id, v.Coordinator)
-		if rerr != nil {
-			writeErr(w, statusFor(rerr), rerr)
+		if st.ID != "" {
+			writeErrWith(w, err, map[string]any{"status": st})
 			return
 		}
-		writeJSON(w, http.StatusConflict, map[string]any{
-			"status": st2,
-			"error":  "joint analysis was rescheduled; poll again",
-		})
-		return
-	case err != nil:
-		writeErr(w, statusFor(err), err)
+		writeErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"status": st, "result": res})
-}
-
-// rescheduleFederationJob resubmits a sealed federation's stored analysis
-// and repoints the record at the fresh job. Serialized so concurrent
-// result fetches cannot fan one lost job out into several.
-func (s *server) rescheduleFederationJob(id, coordinator string) (jobs.Status, error) {
-	s.fedResched.Lock()
-	defer s.fedResched.Unlock()
-	// Another fetch may have rescheduled while this one waited: if the
-	// current job exists again, just report its status.
-	if v, err := s.feds.Get(id, coordinator); err == nil && v.JobID != "" {
-		if st, err := s.mgr.Get(coordinator, v.JobID); err == nil && st.State != jobs.StateCancelled {
-			return st, nil
-		}
-	}
-	raw, err := s.feds.SealedAnalysis(id)
-	if err != nil {
-		return jobs.Status{}, err
-	}
-	st, err := s.mgr.Submit(coordinator, jobFederatedCluster, raw)
-	if err != nil {
-		return jobs.Status{}, err
-	}
-	if _, err := s.feds.Reschedule(id, st.ID); err != nil {
-		_, _ = s.mgr.Cancel(coordinator, st.ID)
-		return jobs.Status{}, err
-	}
-	return st, nil
-}
-
-// fedResultParty locates one party's rows inside the joint assignment
-// vector.
-type fedResultParty struct {
-	Owner  string `json:"owner"`
-	Rows   int    `json:"rows"`
-	Offset int    `json:"offset"`
-}
-
-// fedOutcome is the federated-cluster job result.
-type fedOutcome struct {
-	Federation  string           `json:"federation"`
-	Algorithm   string           `json:"algorithm"`
-	K           int              `json:"k"`
-	Parties     []fedResultParty `json:"parties"`
-	Assignments []int            `json:"assignments"`
-	Inertia     float64          `json:"inertia,omitempty"`
-	Iterations  int              `json:"iterations,omitempty"`
-	Converged   bool             `json:"converged"`
-	Silhouette  *float64         `json:"silhouette,omitempty"`
-}
-
-// runFederatedClusterJob merges the sealed federation's protected
-// contributions in join order and clusters the union — the central
-// miner's workload, executed without any raw data ever reaching it.
-func (s *server) runFederatedClusterJob(ctx context.Context, t *jobs.Task) (any, error) {
-	var spec fedJobSpec
-	if err := json.Unmarshal(t.Spec, &spec); err != nil {
-		return nil, err
-	}
-	parties, err := s.feds.Contributions(spec.Federation)
-	if err != nil {
-		return nil, err
-	}
-	if coord, err := s.feds.Coordinator(spec.Federation); err != nil {
-		return nil, err
-	} else if coord != t.Owner {
-		return nil, fmt.Errorf("%w: job owner %q is not the coordinator", federation.ErrNotCoordinator, t.Owner)
-	}
-	blocks := make([]*matrix.Dense, 0, len(parties))
-	outParties := make([]fedResultParty, 0, len(parties))
-	offset := 0
-	for _, p := range parties {
-		ds, err := s.store.Get(p.Owner, p.Dataset)
-		if err != nil {
-			return nil, fmt.Errorf("contribution %s/%s: %w", p.Owner, p.Dataset, err)
-		}
-		blocks = append(blocks, ds.Matrix())
-		outParties = append(outParties, fedResultParty{Owner: p.Owner, Rows: ds.Rows, Offset: offset})
-		offset += ds.Rows
-	}
-	t.SetProgress(0.1)
-	joint, err := multiparty.JoinHorizontal(blocks...)
-	if err != nil {
-		return nil, err
-	}
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	t.SetProgress(0.2)
-	c, err := buildClusterer(spec.Analysis.clusterSpec())
-	if err != nil {
-		return nil, err
-	}
-	res, err := c.Cluster(joint)
-	if err != nil {
-		return nil, err
-	}
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	t.SetProgress(0.9)
-	out := &fedOutcome{
-		Federation:  spec.Federation,
-		Algorithm:   c.Name(),
-		K:           res.K,
-		Parties:     outParties,
-		Assignments: res.Assignments,
-		Inertia:     res.Inertia,
-		Iterations:  res.Iterations,
-		Converged:   res.Converged,
-	}
-	if sil, err := quality.Silhouette(joint, res.Assignments, nil); err == nil {
-		out.Silhouette = &sil
-	}
-	return out, nil
-}
-
-// storeContribution writes a protected matrix into the datastore as
-// owner's named dataset.
-func (s *server) storeContribution(owner, name string, attrs []string, released *matrix.Dense) error {
-	b, err := datastore.NewBuilder(owner, name, attrs)
-	if err != nil {
-		return err
-	}
-	for i := 0; i < released.Rows(); i++ {
-		if err := b.Append(released.RawRow(i)); err != nil {
-			return err
-		}
-	}
-	ds, err := b.Finish(time.Now())
-	if err != nil {
-		return err
-	}
-	return s.store.Put(ds)
 }

@@ -1,622 +1,91 @@
 package main
 
-// Async analytics jobs: the HTTP lifecycle routes and the runners for the
-// three launch job types.
+// Async analytics job routes — thin adapters over service.JobService:
 //
-//	POST   /v1/jobs?owner=O            submit {type, dataset, ...} (202)
-//	GET    /v1/jobs?owner=O            list owner's jobs
-//	GET    /v1/jobs/{id}?owner=O       status + progress
-//	DELETE /v1/jobs/{id}?owner=O       cancel (queued or running)
+//	POST   /v1/jobs?owner=O              submit {type, dataset, ...} (202)
+//	GET    /v1/jobs?owner=O              list owner's jobs
+//	GET    /v1/jobs/{id}?owner=O         status + progress
+//	DELETE /v1/jobs/{id}?owner=O         cancel (queued or running)
 //	GET    /v1/jobs/{id}/result?owner=O  result of a finished job
 //
-// Job types:
-//
-//	protect   dataset → released dataset (engine fit, key stored in the
-//	          keyring as a new version for the owner)
-//	cluster   kmeans/kmedoids/hierarchical/dbscan/spectral over any stored
-//	          dataset — protected or raw — with optional silhouette
-//	          k-selection (kmin/kmax)
-//	evaluate  the paper's utility experiment as a service: protect the
-//	          dataset, run the same algorithm on the normalized original
-//	          and on the release, report misclassification error and
-//	          F-measure between the two partitions (plus agreement with
-//	          ground-truth labels when the dataset carries them)
-//	audit     per-attribute Sec + known-sample re-identification against a
-//	          stored release (audit.go)
-//	tune      sweep mechanisms × parameters, return the privacy–utility
-//	          Pareto frontier and a recommended point (tune.go)
-//
-// All routes authorize against the owner's bearer token; jobs are
-// owner-isolated (a foreign job ID is indistinguishable from an absent
-// one).
+// Job types (validated and executed by the service layer): protect,
+// cluster, evaluate, audit, tune — plus federated-cluster, which only a
+// federation seal schedules. All routes authorize against the owner's
+// bearer token; jobs are owner-isolated (a foreign job ID is
+// indistinguishable from an absent one).
 
 import (
-	"context"
 	"encoding/json"
-	"errors"
 	"fmt"
-	"math/rand"
 	"net/http"
-	"time"
 
-	"ppclust/internal/cluster"
-	"ppclust/internal/core"
-	"ppclust/internal/datastore"
-	"ppclust/internal/engine"
-	"ppclust/internal/jobs"
-	"ppclust/internal/keyring"
-	"ppclust/internal/quality"
+	"ppclust/internal/service"
 )
-
-// jobSpec is the submission body shared by all job types; each runner
-// reads the fields its type defines.
-type jobSpec struct {
-	Type    string `json:"type"`
-	Dataset string `json:"dataset"`
-
-	// protect + evaluate: transform parameters.
-	Norm string  `json:"norm,omitempty"`
-	Rho1 float64 `json:"rho1,omitempty"`
-	Rho2 float64 `json:"rho2,omitempty"`
-	Seed int64   `json:"seed,omitempty"`
-	// protect: destination dataset name for the release.
-	Dest string `json:"dest,omitempty"`
-
-	// cluster + evaluate: algorithm selection.
-	Algorithm string  `json:"algorithm,omitempty"`
-	K         int     `json:"k,omitempty"`
-	KMin      int     `json:"kmin,omitempty"`
-	KMax      int     `json:"kmax,omitempty"`
-	Linkage   string  `json:"linkage,omitempty"`
-	Eps       float64 `json:"eps,omitempty"`
-	MinPts    int     `json:"min_pts,omitempty"`
-	Sigma     float64 `json:"sigma,omitempty"`
-	ClustSeed int64   `json:"cluster_seed,omitempty"`
-
-	// audit + tune: the number of known records the simulated adversary
-	// holds (0 = column count). Release and KeyVersion are audit-only.
-	Release    string `json:"release,omitempty"`
-	KeyVersion int    `json:"key_version,omitempty"`
-	Known      int    `json:"known,omitempty"`
-
-	// tune: the sweep grid and the recommendation constraint (tune.go).
-	Mechanisms []string  `json:"mechanisms,omitempty"`
-	Rhos       []float64 `json:"rhos,omitempty"`
-	Sigmas     []float64 `json:"sigmas,omitempty"`
-	MinSec     float64   `json:"min_sec,omitempty"`
-	Refine     int       `json:"refine,omitempty"`
-}
-
-const (
-	jobProtect  = "protect"
-	jobCluster  = "cluster"
-	jobEvaluate = "evaluate"
-)
-
-// registerJobRunners installs the launch job types on the manager.
-// federated-cluster is registered here too so drained seals can be
-// resubmitted at startup, but it is only ever scheduled by a federation
-// seal, never by POST /v1/jobs.
-func (s *server) registerJobRunners() {
-	s.mgr.Register(jobProtect, s.runProtectJob)
-	s.mgr.Register(jobCluster, s.runClusterJob)
-	s.mgr.Register(jobEvaluate, s.runEvaluateJob)
-	s.mgr.Register(jobAudit, s.runAuditJob)
-	s.mgr.Register(jobTune, s.runTuneJob)
-	s.mgr.Register(jobFederatedCluster, s.runFederatedClusterJob)
-}
 
 func (s *server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
-	owner, ok := s.jobAuth(w, r)
+	owner, ok := s.ownerAuth(w, r)
 	if !ok {
 		return
 	}
-	var spec jobSpec
+	var spec service.JobSpec
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&spec); err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("parsing job spec: %w", err))
+		writeErr(w, service.Invalid(fmt.Errorf("parsing job spec: %w", err)))
 		return
 	}
-	if err := s.validateSpec(owner, &spec); err != nil {
-		writeErr(w, statusFor(err), err)
-		return
-	}
-	raw, err := json.Marshal(spec)
+	st, err := s.svc.Jobs.Submit(owner, &spec)
 	if err != nil {
-		writeErr(w, http.StatusInternalServerError, err)
-		return
-	}
-	st, err := s.mgr.Submit(owner, spec.Type, raw)
-	if err != nil {
-		writeErr(w, statusFor(err), err)
+		writeErr(w, err)
 		return
 	}
 	w.Header().Set("Location", "/v1/jobs/"+st.ID)
 	writeJSON(w, http.StatusAccepted, st)
 }
 
-// validateSpec rejects what would only fail later inside a worker, so
-// submission errors surface synchronously.
-func (s *server) validateSpec(owner string, spec *jobSpec) error {
-	if spec.Dataset == "" {
-		return fmt.Errorf("%w: missing dataset", errBadJob)
-	}
-	ds, err := s.store.Get(owner, spec.Dataset)
-	if err != nil {
-		return err
-	}
-	switch spec.Type {
-	case jobProtect:
-		if spec.Dest == "" {
-			return fmt.Errorf("%w: protect needs dest (name for the released dataset)", errBadJob)
-		}
-		if err := datastore.ValidName(spec.Dest); err != nil {
-			return err
-		}
-		if isFederationDataset(spec.Dest) {
-			return fmt.Errorf("%w: dest %q — the fed. prefix is reserved for federation contributions", errBadJob, spec.Dest)
-		}
-		if _, err := normKind(spec.Norm); err != nil {
-			return err
-		}
-	case jobCluster:
-		if spec.KMin != 0 || spec.KMax != 0 {
-			if spec.Algorithm != "" && spec.Algorithm != "kmeans" {
-				return fmt.Errorf("%w: k-selection sweeps use kmeans, not %q", errBadJob, spec.Algorithm)
-			}
-			if spec.KMin < 2 || spec.KMax < spec.KMin || spec.KMax > ds.Rows {
-				return fmt.Errorf("%w: bad sweep range [%d, %d] for %d rows", errBadJob, spec.KMin, spec.KMax, ds.Rows)
-			}
-			return nil
-		}
-		_, err := buildClusterer(spec)
-		return err
-	case jobEvaluate:
-		if _, err := normKind(spec.Norm); err != nil {
-			return err
-		}
-		if spec.KMin != 0 || spec.KMax != 0 {
-			return fmt.Errorf("%w: evaluate compares one algorithm; k-selection is a cluster job", errBadJob)
-		}
-		_, err := buildClusterer(spec)
-		return err
-	case jobAudit:
-		return s.validateAuditSpec(owner, spec, ds)
-	case jobTune:
-		return s.validateTuneSpec(spec, ds)
-	default:
-		return fmt.Errorf("%w: unknown type %q (want protect, cluster, evaluate, audit or tune)", errBadJob, spec.Type)
-	}
-	return nil
-}
-
 func (s *server) handleJobList(w http.ResponseWriter, r *http.Request) {
-	owner, ok := s.jobAuth(w, r)
+	owner, ok := s.ownerAuth(w, r)
 	if !ok {
 		return
 	}
-	writeJSON(w, http.StatusOK, s.mgr.List(owner))
+	writeJSON(w, http.StatusOK, s.svc.Jobs.List(owner))
 }
 
 func (s *server) handleJobGet(w http.ResponseWriter, r *http.Request) {
-	owner, ok := s.jobAuth(w, r)
+	owner, ok := s.ownerAuth(w, r)
 	if !ok {
 		return
 	}
-	st, err := s.mgr.Get(owner, r.PathValue("id"))
+	st, err := s.svc.Jobs.Get(owner, r.PathValue("id"))
 	if err != nil {
-		writeErr(w, statusFor(err), err)
+		writeErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, st)
 }
 
 func (s *server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
-	owner, ok := s.jobAuth(w, r)
+	owner, ok := s.ownerAuth(w, r)
 	if !ok {
 		return
 	}
-	st, err := s.mgr.Cancel(owner, r.PathValue("id"))
+	st, err := s.svc.Jobs.Cancel(owner, r.PathValue("id"))
 	if err != nil {
-		writeErr(w, statusFor(err), err)
+		writeErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, st)
 }
 
 func (s *server) handleJobResult(w http.ResponseWriter, r *http.Request) {
-	owner, ok := s.jobAuth(w, r)
+	owner, ok := s.ownerAuth(w, r)
 	if !ok {
 		return
 	}
-	res, st, err := s.mgr.Result(owner, r.PathValue("id"))
+	res, st, err := s.svc.Jobs.Result(owner, r.PathValue("id"))
 	if err != nil {
-		writeErr(w, statusFor(err), err)
+		writeErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"status": st, "result": res})
-}
-
-// jobAuth validates the owner parameter and its credential for every job
-// route. Jobs exist only for owners that already exist (via a dataset
-// upload or a protect), so an unknown owner is a 404, not a claim.
-func (s *server) jobAuth(w http.ResponseWriter, r *http.Request) (string, bool) {
-	owner := r.URL.Query().Get("owner")
-	if err := keyring.ValidName(owner); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
-		return "", false
-	}
-	known, err := s.ownerKnown(owner)
-	if err != nil {
-		writeErr(w, http.StatusInternalServerError, err)
-		return "", false
-	}
-	if !known {
-		writeErr(w, http.StatusNotFound, fmt.Errorf("%w: owner %q", keyring.ErrNotFound, owner))
-		return "", false
-	}
-	if err := s.authorize(r, owner); err != nil {
-		writeAuthErr(w, err)
-		return "", false
-	}
-	return owner, true
-}
-
-var errBadJob = errors.New("invalid job spec")
-
-// normKind maps the wire normalization name onto the engine's.
-func normKind(norm string) (string, error) {
-	switch norm {
-	case "", "zscore":
-		return engine.NormZScore, nil
-	case "minmax":
-		return engine.NormMinMax, nil
-	default:
-		return "", fmt.Errorf("%w: unknown norm %q (want zscore or minmax)", errBadJob, norm)
-	}
-}
-
-// protectOptions assembles engine options from a spec's transform fields.
-func protectOptions(spec *jobSpec) (engine.ProtectOptions, error) {
-	norm, err := normKind(spec.Norm)
-	if err != nil {
-		return engine.ProtectOptions{}, err
-	}
-	rho1, rho2 := spec.Rho1, spec.Rho2
-	if rho1 == 0 {
-		rho1 = 0.3
-	}
-	if rho2 == 0 {
-		rho2 = 0.3
-	}
-	return engine.ProtectOptions{
-		Normalization: norm,
-		Thresholds:    []core.PST{{Rho1: rho1, Rho2: rho2}},
-		Seed:          spec.Seed,
-	}, nil
-}
-
-// newClusterRand seeds an algorithm's tie-breaking/init randomness.
-func newClusterRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
-
-// buildClusterer constructs the algorithm a cluster or evaluate spec names.
-func buildClusterer(spec *jobSpec) (cluster.Clusterer, error) {
-	seed := spec.ClustSeed
-	if seed == 0 {
-		seed = 1
-	}
-	switch spec.Algorithm {
-	case "", "kmeans":
-		if spec.K < 1 {
-			return nil, fmt.Errorf("%w: kmeans needs k >= 1", errBadJob)
-		}
-		return &cluster.KMeans{K: spec.K, Rand: newClusterRand(seed), Restarts: 4}, nil
-	case "kmedoids":
-		if spec.K < 1 {
-			return nil, fmt.Errorf("%w: kmedoids needs k >= 1", errBadJob)
-		}
-		return &cluster.KMedoids{K: spec.K, Rand: newClusterRand(seed)}, nil
-	case "hierarchical":
-		if spec.K < 1 {
-			return nil, fmt.Errorf("%w: hierarchical needs k >= 1", errBadJob)
-		}
-		link, err := linkageKind(spec.Linkage)
-		if err != nil {
-			return nil, err
-		}
-		return &cluster.Hierarchical{K: spec.K, Linkage: link}, nil
-	case "dbscan":
-		if spec.Eps <= 0 || spec.MinPts < 1 {
-			return nil, fmt.Errorf("%w: dbscan needs eps > 0 and min_pts >= 1", errBadJob)
-		}
-		return &cluster.DBSCAN{Eps: spec.Eps, MinPts: spec.MinPts}, nil
-	case "spectral":
-		if spec.K < 1 {
-			return nil, fmt.Errorf("%w: spectral needs k >= 1", errBadJob)
-		}
-		return &cluster.Spectral{K: spec.K, Sigma: spec.Sigma, Rand: newClusterRand(seed)}, nil
-	default:
-		return nil, fmt.Errorf("%w: unknown algorithm %q", errBadJob, spec.Algorithm)
-	}
-}
-
-func linkageKind(name string) (cluster.Linkage, error) {
-	switch name {
-	case "", "average":
-		return cluster.AverageLinkage, nil
-	case "single":
-		return cluster.SingleLinkage, nil
-	case "complete":
-		return cluster.CompleteLinkage, nil
-	case "ward":
-		return cluster.WardLinkage, nil
-	default:
-		return 0, fmt.Errorf("%w: unknown linkage %q", errBadJob, name)
-	}
-}
-
-// runProtectJob fits a fresh key over the stored dataset, stores the
-// secret as a new key version for the owner, and stores the release as a
-// new dataset.
-func (s *server) runProtectJob(ctx context.Context, t *jobs.Task) (any, error) {
-	var spec jobSpec
-	if err := json.Unmarshal(t.Spec, &spec); err != nil {
-		return nil, err
-	}
-	ds, err := s.store.Get(t.Owner, spec.Dataset)
-	if err != nil {
-		return nil, err
-	}
-	opts, err := protectOptions(&spec)
-	if err != nil {
-		return nil, err
-	}
-	t.SetProgress(0.1)
-	res, err := s.eng.Protect(ds.Matrix(), opts)
-	if err != nil {
-		return nil, err
-	}
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	t.SetProgress(0.7)
-
-	// The release lands in the store before the key lands in the keyring:
-	// appending the key version first would repoint the owner's *current*
-	// key at a release that failed to materialize (dest taken, disk
-	// error), and a later version-less recover would then silently
-	// decrypt older releases with the wrong key. A key failure after the
-	// dataset is stored rolls the dataset back instead.
-	b, err := datastore.NewBuilder(t.Owner, spec.Dest, ds.Attrs)
-	if err != nil {
-		return nil, err
-	}
-	labels := ds.Labels()
-	for i := 0; i < res.Released.Rows(); i++ {
-		if labels != nil {
-			err = b.AppendLabeled(res.Released.RawRow(i), labels[i])
-		} else {
-			err = b.Append(res.Released.RawRow(i))
-		}
-		if err != nil {
-			return nil, err
-		}
-	}
-	out, err := b.Finish(time.Now())
-	if err != nil {
-		return nil, err
-	}
-	if err := s.store.Put(out); err != nil {
-		return nil, err
-	}
-	entry, err := s.keys.Put(t.Owner, fromEngineSecret(res.Secret()))
-	if err != nil {
-		if derr := s.store.Delete(t.Owner, spec.Dest); derr != nil {
-			err = fmt.Errorf("%w (and removing orphaned release %q: %v)", err, spec.Dest, derr)
-		}
-		return nil, err
-	}
-	s.rowsProtected.Add(int64(out.Rows))
-	return map[string]any{
-		"dataset":     spec.Dest,
-		"rows":        out.Rows,
-		"cols":        out.Cols,
-		"key_version": entry.Version,
-		"pairs":       len(res.Key.Pairs),
-	}, nil
-}
-
-// clusterOutcome is the shared result shape of cluster and the two halves
-// of evaluate.
-type clusterOutcome struct {
-	Algorithm   string          `json:"algorithm"`
-	K           int             `json:"k"`
-	Assignments []int           `json:"assignments"`
-	Inertia     float64         `json:"inertia,omitempty"`
-	Iterations  int             `json:"iterations,omitempty"`
-	Converged   bool            `json:"converged"`
-	Silhouette  *float64        `json:"silhouette,omitempty"`
-	KScores     map[int]float64 `json:"k_scores,omitempty"`
-}
-
-// runClusterJob partitions a stored dataset, optionally selecting K by
-// silhouette sweep first.
-func (s *server) runClusterJob(ctx context.Context, t *jobs.Task) (any, error) {
-	var spec jobSpec
-	if err := json.Unmarshal(t.Spec, &spec); err != nil {
-		return nil, err
-	}
-	ds, err := s.store.Get(t.Owner, spec.Dataset)
-	if err != nil {
-		return nil, err
-	}
-	data := ds.Matrix()
-	t.SetProgress(0.05)
-
-	outcome := &clusterOutcome{}
-	var res *cluster.Result
-	if spec.KMin != 0 || spec.KMax != 0 {
-		seed := spec.ClustSeed
-		if seed == 0 {
-			seed = 1
-		}
-		span := float64(spec.KMax - spec.KMin + 1)
-		sel, bestRes, err := cluster.SweepKBySilhouette(ctx, data, spec.KMin, spec.KMax, seed,
-			func(k int, _ float64) {
-				t.SetProgress(0.05 + 0.9*float64(k-spec.KMin+1)/span)
-			})
-		if err != nil {
-			return nil, err
-		}
-		res = bestRes
-		outcome.Algorithm = "kmeans"
-		outcome.KScores = sel.Scores
-	} else {
-		c, err := buildClusterer(&spec)
-		if err != nil {
-			return nil, err
-		}
-		if res, err = c.Cluster(data); err != nil {
-			return nil, err
-		}
-		outcome.Algorithm = c.Name()
-	}
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	t.SetProgress(0.95)
-	outcome.K = res.K
-	outcome.Assignments = res.Assignments
-	outcome.Inertia = res.Inertia
-	outcome.Iterations = res.Iterations
-	outcome.Converged = res.Converged
-	if sil, err := quality.Silhouette(data, res.Assignments, nil); err == nil {
-		outcome.Silhouette = &sil
-	}
-	return outcome, nil
-}
-
-// evaluation is the evaluate job's result: the paper's Tables as a
-// service.
-type evaluation struct {
-	Algorithm string `json:"algorithm"`
-	Rows      int    `json:"rows"`
-	K         int    `json:"k"`
-	// Misclassification and FMeasure compare the partition mined from the
-	// normalized original against the one mined from the release —
-	// Corollary 1 promises 0 and 1 respectively.
-	Misclassification float64 `json:"misclassification"`
-	FMeasure          float64 `json:"f_measure"`
-	RandIndex         float64 `json:"rand_index"`
-	SamePartition     bool    `json:"same_partition"`
-	// VsLabels scores both partitions against ground-truth labels when
-	// the dataset carries them: protection should not change how well
-	// the algorithm recovers the true structure.
-	VsLabels *labelAgreement `json:"vs_labels,omitempty"`
-}
-
-type labelAgreement struct {
-	OriginalMisclassification  float64 `json:"original_misclassification"`
-	ProtectedMisclassification float64 `json:"protected_misclassification"`
-	OriginalFMeasure           float64 `json:"original_f_measure"`
-	ProtectedFMeasure          float64 `json:"protected_f_measure"`
-}
-
-// runEvaluateJob protects the dataset with an ephemeral key and measures
-// partition agreement between the normalized original and the release.
-func (s *server) runEvaluateJob(ctx context.Context, t *jobs.Task) (any, error) {
-	var spec jobSpec
-	if err := json.Unmarshal(t.Spec, &spec); err != nil {
-		return nil, err
-	}
-	ds, err := s.store.Get(t.Owner, spec.Dataset)
-	if err != nil {
-		return nil, err
-	}
-	opts, err := protectOptions(&spec)
-	if err != nil {
-		return nil, err
-	}
-	orig := ds.Matrix()
-	t.SetProgress(0.05)
-	res, err := s.eng.Protect(orig, opts)
-	if err != nil {
-		return nil, err
-	}
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	t.SetProgress(0.3)
-
-	// The comparison baseline is the normalized original: the release
-	// differs from it only by the isometry, which is exactly what the
-	// paper's utility tables isolate.
-	secret := res.Secret()
-	normalized := orig // Matrix() returned a copy; normalize it in place
-	for i := 0; i < normalized.Rows(); i++ {
-		secret.NormalizeRow(normalized.RawRow(i))
-	}
-
-	c, err := buildClusterer(&spec)
-	if err != nil {
-		return nil, err
-	}
-	onOrig, err := c.Cluster(normalized)
-	if err != nil {
-		return nil, err
-	}
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	t.SetProgress(0.6)
-	// A fresh clusterer for the release: same algorithm, same seeding.
-	c2, err := buildClusterer(&spec)
-	if err != nil {
-		return nil, err
-	}
-	onRelease, err := c2.Cluster(res.Released)
-	if err != nil {
-		return nil, err
-	}
-	t.SetProgress(0.85)
-
-	misclass, err := quality.MisclassificationError(onOrig.Assignments, onRelease.Assignments)
-	if err != nil {
-		return nil, err
-	}
-	fmeasure, err := quality.FMeasure(onOrig.Assignments, onRelease.Assignments)
-	if err != nil {
-		return nil, err
-	}
-	randIdx, err := quality.RandIndex(onOrig.Assignments, onRelease.Assignments)
-	if err != nil {
-		return nil, err
-	}
-	ev := &evaluation{
-		Algorithm:         c.Name(),
-		Rows:              ds.Rows,
-		K:                 onRelease.K,
-		Misclassification: misclass,
-		FMeasure:          fmeasure,
-		RandIndex:         randIdx,
-		SamePartition:     misclass < 1e-12,
-	}
-	if labels := ds.Labels(); labels != nil {
-		agree := &labelAgreement{}
-		if agree.OriginalMisclassification, err = quality.MisclassificationError(labels, onOrig.Assignments); err != nil {
-			return nil, err
-		}
-		if agree.ProtectedMisclassification, err = quality.MisclassificationError(labels, onRelease.Assignments); err != nil {
-			return nil, err
-		}
-		if agree.OriginalFMeasure, err = quality.FMeasure(labels, onOrig.Assignments); err != nil {
-			return nil, err
-		}
-		if agree.ProtectedFMeasure, err = quality.FMeasure(labels, onRelease.Assignments); err != nil {
-			return nil, err
-		}
-		ev.VsLabels = agree
-	}
-	return ev, nil
 }

@@ -69,6 +69,8 @@ type options struct {
 	maxBody      int64
 	jobWorkers   int
 	jobRetention int
+	storeShards  int
+	cacheBytes   int64
 	noAuth       bool
 }
 
@@ -84,6 +86,8 @@ func main() {
 	flag.Int64Var(&o.maxBody, "max-body", 1<<30, "maximum request body bytes")
 	flag.IntVar(&o.jobWorkers, "job-workers", 0, "async job worker pool size (0: max(2, GOMAXPROCS))")
 	flag.IntVar(&o.jobRetention, "job-retention", 0, "finished jobs kept per owner (0: default)")
+	flag.IntVar(&o.storeShards, "store-shards", 0, "datastore index shards; concurrent multi-owner ingest scales with this (0: default)")
+	flag.Int64Var(&o.cacheBytes, "cache-bytes", 0, "datastore block-cache budget in bytes (0: default 256MiB)")
 	flag.BoolVar(&o.noAuth, "insecure-no-auth", false, "disable per-owner bearer-token auth (only behind an authenticating proxy on a trusted network)")
 	flag.Parse()
 	if err := run(o); err != nil {
@@ -114,11 +118,15 @@ func run(o options) error {
 		// originals — refuse the combination outright.
 		return fmt.Errorf("ppclustd: -data-dir requires -keyring: persistent datasets need persistent owner credentials")
 	} else {
-		dirStore, err := datastore.OpenDir(o.dataDir)
+		dirStore, err := datastore.OpenDirOptions(o.dataDir, datastore.DirOptions{
+			Shards:     o.storeShards,
+			CacheBytes: o.cacheBytes,
+		})
 		if err != nil {
 			return err
 		}
-		log.Printf("datastore: %s", o.dataDir)
+		log.Printf("datastore: %s (%d shards, %d MiB block cache)",
+			o.dataDir, dirStore.Shards(), dirStore.Cache().Stats().MaxBytes>>20)
 		store = dirStore
 		if o.jobsState == "" {
 			o.jobsState = o.dataDir + "/queued-jobs.json"

@@ -1,28 +1,17 @@
 package main
 
 // GET /v1/metrics: expvar-style counters for load observability — requests
-// by route and status, rows flowing through protect/recover/ingest, and
-// the job subsystem's queue and pool numbers. Like /healthz and /v1/keys
-// it exposes aggregate metadata only, never data or key material, so it is
-// unauthenticated.
+// by route and status, rows flowing through protect/recover/ingest, job,
+// federation and datastore-cache gauges. Like /healthz and /v1/keys it
+// exposes aggregate metadata only, never data or key material, so it is
+// unauthenticated. The snapshot body is composed by the service layer;
+// this file owns only the HTTP instrumentation wrapper.
 
 import (
-	"crypto/sha256"
-	"encoding/hex"
 	"fmt"
 	"net/http"
 	"time"
-
-	"ppclust/internal/metrics"
 )
-
-// fedMetricLabel derives the public metrics label for a federation ID: a
-// 12-hex-digit SHA-256 prefix, unique enough per live federation and
-// useless as a join capability.
-func fedMetricLabel(id string) string {
-	h := sha256.Sum256([]byte(id))
-	return hex.EncodeToString(h[:6])
-}
 
 // latencyBoundsUs are the fixed per-route latency buckets, in
 // microseconds: fine enough to separate a metadata GET from a streamed
@@ -38,6 +27,7 @@ var latencyBoundsUs = []float64{
 // "POST /v1/jobs"), which keeps cardinality bounded by the route table
 // rather than by client-chosen URLs.
 func (s *server) instrument(next http.Handler) http.Handler {
+	reg := s.svc.Registry()
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		start := time.Now()
@@ -50,8 +40,8 @@ func (s *server) instrument(next http.Handler) http.Handler {
 			if route == "" {
 				route = "unmatched"
 			}
-			s.reg.Counter(fmt.Sprintf(`http_requests_total{route=%q,status="%d"}`, route, rec.status)).Inc()
-			s.reg.Histogram(fmt.Sprintf(`http_request_duration_us{route=%q}`, route), latencyBoundsUs).
+			reg.Counter(fmt.Sprintf(`http_requests_total{route=%q,status="%d"}`, route, rec.status)).Inc()
+			reg.Histogram(fmt.Sprintf(`http_request_duration_us{route=%q}`, route), latencyBoundsUs).
 				Observe(float64(time.Since(start).Microseconds()))
 		}()
 		next.ServeHTTP(rec, r)
@@ -90,49 +80,5 @@ func (s *statusRecorder) Flush() {
 func (s *statusRecorder) Unwrap() http.ResponseWriter { return s.ResponseWriter }
 
 func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	snap := s.reg.Snapshot()
-	// Live gauges from the subsystems that own them, composed at scrape
-	// time rather than double-booked as counters.
-	stats := s.mgr.Stats()
-	snap["jobs_submitted_total"] = stats.Submitted
-	snap["jobs_completed_total"] = stats.Completed
-	snap["jobs_failed_total"] = stats.Failed
-	snap["jobs_cancelled_total"] = stats.Cancelled
-	snap["jobs_queued"] = int64(stats.QueueDepth)
-	snap["jobs_running"] = int64(stats.RunningNow)
-	snap["job_workers"] = int64(stats.Workers)
-	snap["engine_workers"] = int64(s.eng.Workers())
-	// Federation gauges: state totals plus per-federation membership and
-	// contributed-row sizes. Cardinality is bounded by the number of live
-	// federations. The label is a hash prefix, not the federation ID —
-	// the ID doubles as the join capability and /v1/metrics is
-	// unauthenticated, so the raw ID must not appear here. Members can
-	// recompute the prefix from the ID they hold to find their gauge.
-	fstats := s.feds.Stats()
-	snap["federations_total"] = int64(len(fstats.Federations))
-	snap["federations_open"] = int64(fstats.Open)
-	snap["federations_frozen"] = int64(fstats.Frozen)
-	snap["federations_sealed"] = int64(fstats.Sealed)
-	var fedParties, fedRows int64
-	for _, f := range fstats.Federations {
-		fedParties += int64(f.Parties)
-		fedRows += int64(f.Rows)
-		label := fedMetricLabel(f.ID)
-		snap[fmt.Sprintf(`federation_parties{fed=%q}`, label)] = int64(f.Parties)
-		snap[fmt.Sprintf(`federation_rows{fed=%q}`, label)] = int64(f.Rows)
-	}
-	snap["federation_parties_total"] = fedParties
-	snap["federation_rows_total"] = fedRows
-	writeJSON(w, http.StatusOK, snap)
-}
-
-// newMetricCounters resolves the hot-path counters once at startup.
-func (s *server) initMetrics() {
-	s.reg = metrics.NewRegistry()
-	s.rowsProtected = s.reg.Counter("rows_protected_total")
-	s.rowsRecovered = s.reg.Counter("rows_recovered_total")
-	s.rowsIngested = s.reg.Counter("rows_ingested_total")
-	s.tuneEvaluated = s.reg.Counter("tune_candidates_evaluated_total")
-	s.tunePruned = s.reg.Counter("tune_candidates_pruned_total")
-	s.tuneFailed = s.reg.Counter("tune_candidates_failed_total")
+	writeJSON(w, http.StatusOK, s.svc.MetricsSnapshot())
 }

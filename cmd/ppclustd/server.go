@@ -8,24 +8,17 @@ import (
 	"log"
 	"net/http"
 	"strconv"
-	"sync"
 
-	"ppclust"
 	"ppclust/internal/core"
 	"ppclust/internal/datastore"
 	"ppclust/internal/engine"
 	"ppclust/internal/federation"
 	"ppclust/internal/jobs"
 	"ppclust/internal/keyring"
-	"ppclust/internal/matrix"
-	"ppclust/internal/mech"
-	"ppclust/internal/metrics"
-	"ppclust/internal/multiparty"
-	"ppclust/internal/tuning"
+	"ppclust/internal/service"
 )
 
-// server wires the parallel RBT engine, the keyring, the dataset store and
-// the async job subsystem behind the HTTP API:
+// server is the HTTP transport over the internal/service layer:
 //
 //	POST /v1/protect?owner=NAME   protect a dataset, storing the secret
 //	POST /v1/recover?owner=NAME   invert a release using the stored secret
@@ -35,6 +28,14 @@ import (
 //	/v1/datasets...               named owner-scoped uploads (datasets.go)
 //	/v1/jobs...                   async analytics jobs (jobs.go)
 //	/v1/federations...            multi-party federation (federations.go)
+//
+// Handlers own exactly three things: query/body decoding, bearer-token
+// authorization, and the JSON envelope. All business logic — key
+// management, dataset ingest, job validation and execution, federation
+// lifecycle, tuning — lives in internal/service, and every error crosses
+// one mapper (writeErr) into one envelope shape:
+//
+//	{"error": {"code": "...", "message": "..."}}
 //
 // Protect has two modes. mode=fit (the default) reads the whole body, fits
 // normalization and a fresh PST-checked rotation key, stores the secret as
@@ -47,35 +48,24 @@ import (
 // bearer token (see auth.go); every request against an existing owner must
 // present it unless authDisabled is set.
 type server struct {
-	eng          *engine.Engine
-	keys         keyring.Store
-	store        datastore.Store
-	mgr          *jobs.Manager
-	feds         *federation.Manager
+	svc          *service.Services
 	maxBody      int64
 	batchRows    int
 	authDisabled bool
-	// fedResched serializes rescheduling of lost federation jobs
-	// (federations.go) so concurrent result fetches submit one job.
-	fedResched sync.Mutex
-
-	reg                                        *metrics.Registry
-	rowsProtected, rowsRecovered, rowsIngested *metrics.Counter
-	tuneEvaluated, tunePruned, tuneFailed      *metrics.Counter
 }
 
 func newServer(eng *engine.Engine, keys keyring.Store, store datastore.Store, mgr *jobs.Manager, feds *federation.Manager) *server {
 	s := &server{
-		eng:       eng,
-		keys:      keys,
-		store:     store,
-		mgr:       mgr,
-		feds:      feds,
+		svc: service.New(service.Config{
+			Engine:      eng,
+			Keys:        keys,
+			Store:       store,
+			Jobs:        mgr,
+			Federations: feds,
+		}),
 		maxBody:   1 << 30,
 		batchRows: 4096,
 	}
-	s.initMetrics()
-	s.registerJobRunners()
 	return s
 }
 
@@ -111,14 +101,14 @@ func (s *server) handler() http.Handler {
 func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":  "ok",
-		"workers": s.eng.Workers(),
+		"workers": s.svc.Engine().Workers(),
 	})
 }
 
 func (s *server) handleKeys(w http.ResponseWriter, _ *http.Request) {
-	infos, err := s.keys.List()
+	infos, err := s.svc.Keys.List()
 	if err != nil {
-		writeErr(w, http.StatusInternalServerError, err)
+		writeErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, infos)
@@ -128,12 +118,12 @@ func (s *server) handleProtect(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	owner := q.Get("owner")
 	if err := keyring.ValidName(owner); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, service.Wrap(err))
 		return
 	}
 	format, err := resolveFormat(q.Get("format"), r.Header)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, service.Invalid(err))
 		return
 	}
 	// Fit mode may create the owner; any touch of an existing owner's key
@@ -141,26 +131,17 @@ func (s *server) handleProtect(w http.ResponseWriter, r *http.Request) {
 	// owner that exists only as a dataset-upload credential claim (no key
 	// yet) must authenticate before its first key is fitted. The
 	// existence check races with concurrent creations, but never into an
-	// unauthenticated rotation: creation is an atomic claim
-	// (CreateWithToken / ClaimToken) and the loser of a race gets
-	// ErrExists.
-	exists := false
-	if _, err := s.keys.Get(owner); err == nil {
-		exists = true
-	} else if !errors.Is(err, keyring.ErrNotFound) {
-		writeErr(w, http.StatusInternalServerError, err)
+	// unauthenticated rotation: this exact snapshot is passed to
+	// FitProtect, so an unknown-owner fit routes to the atomic
+	// claim-with-token creation and a race loser gets a conflict.
+	st, err := s.svc.Keys.State(owner)
+	if err != nil {
+		writeErr(w, err)
 		return
 	}
-	hasCred := false
-	if _, err := s.keys.TokenHash(owner); err == nil {
-		hasCred = true
-	} else if !errors.Is(err, keyring.ErrNotFound) {
-		writeErr(w, http.StatusInternalServerError, err)
-		return
-	}
-	if exists || hasCred {
+	if st.HasKey || st.HasCred {
 		if aerr := s.authorize(r, owner); aerr != nil {
-			writeAuthErr(w, aerr)
+			writeErr(w, aerr)
 			return
 		}
 	}
@@ -169,122 +150,38 @@ func (s *server) handleProtect(w http.ResponseWriter, r *http.Request) {
 
 	switch mode := q.Get("mode"); mode {
 	case "", "fit":
-		s.protectFit(w, q, format, rr, owner, exists, hasCred)
+		s.protectFit(w, q, format, rr, owner, st)
 	case "stream":
 		s.protectStream(w, r, q, format, rr, owner)
 	default:
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown mode %q (want fit or stream)", mode))
+		writeErr(w, service.Invalid(fmt.Errorf("unknown mode %q (want fit or stream)", mode)))
 	}
 }
 
-// protectFit buffers the body, fits a fresh transform, stores the secret
-// as a new key version, and streams the release. A fit that creates the
-// owner atomically claims the name together with a freshly minted bearer
-// token; a fit for an existing (authorized) owner rotates the key and
-// keeps the credential, and a fit for an owner that so far only holds a
-// dataset-upload credential stores its first key version under that
-// credential.
-func (s *server) protectFit(w http.ResponseWriter, q urlValues, format string, rr rowReader, owner string, exists, hasCred bool) {
-	opts := engine.ProtectOptions{Normalization: engine.NormZScore}
-	switch norm := q.Get("norm"); norm {
-	case "", "zscore":
-	case "minmax":
-		opts.Normalization = engine.NormMinMax
-	default:
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown norm %q (want zscore or minmax)", norm))
-		return
-	}
-	rho1, err := parseFloat(q.Get("rho1"), 0.3)
+// protectFit buffers the body and hands it to the key service, which
+// fits, stores the key version (claiming the owner when new) and returns
+// the release to stream back.
+func (s *server) protectFit(w http.ResponseWriter, q urlValues, format string, rr rowReader, owner string, st service.OwnerState) {
+	opts, err := parseProtectOptions(q)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, service.Invalid(err))
 		return
 	}
-	rho2, err := parseFloat(q.Get("rho2"), 0.3)
+	data, err := service.ReadAll(rr)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, err)
 		return
 	}
-	opts.Thresholds = []core.PST{{Rho1: rho1, Rho2: rho2}}
-	if seedStr := q.Get("seed"); seedStr != "" {
-		seed, err := strconv.ParseInt(seedStr, 10, 64)
-		if err != nil {
-			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad seed: %w", err))
-			return
-		}
-		opts.Seed = seed
-	}
-
-	data, err := readAll(rr)
+	res, err := s.svc.Keys.FitProtect(owner, st, data, opts)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, err)
 		return
 	}
-	res, err := s.eng.Protect(data, opts)
-	if err != nil {
-		writeErr(w, statusFor(err), err)
-		return
-	}
-	var entry keyring.Entry
-	token := ""
-	secret := fromEngineSecret(res.Secret())
-	if exists {
-		// Rotation: the request was authorized against the existing
-		// credential, which stays valid across key versions. When the
-		// owner has no credential yet (created under -insecure-no-auth,
-		// or a keyring predating token auth, reachable only with auth
-		// disabled), mint one now so enabling auth later does not lock
-		// the owner out.
-		if entry, err = s.keys.Rotate(owner, secret); err != nil {
-			writeErr(w, statusFor(err), err)
-			return
-		}
-		if _, terr := s.keys.TokenHash(owner); errors.Is(terr, keyring.ErrNotFound) {
-			tok, hash, err := newToken()
-			if err != nil {
-				writeErr(w, http.StatusInternalServerError, err)
-				return
-			}
-			if err := s.keys.SetToken(owner, hash); err != nil {
-				writeErr(w, http.StatusInternalServerError, err)
-				return
-			}
-			token = tok
-		}
-	} else if hasCred {
-		// First key for a credential-only owner (created by a dataset
-		// upload): the request was authorized against that credential,
-		// which stays; Create never replaces a stored token.
-		if entry, err = s.keys.Create(owner, secret); err != nil {
-			writeErr(w, statusFor(err), err)
-			return
-		}
-	} else {
-		// Creation: claim the owner name, key and credential in one
-		// atomic store operation — a failure leaves no half-created
-		// owner behind, and a concurrent claim of the same name loses
-		// cleanly with ErrExists instead of rotating a key it never
-		// authenticated for. The plaintext token crosses the wire
-		// exactly once, in this response; only its hash is stored.
-		tok, hash, err := newToken()
-		if err != nil {
-			writeErr(w, http.StatusInternalServerError, err)
-			return
-		}
-		if entry, err = s.keys.CreateWithToken(owner, secret, hash); err != nil {
-			if errors.Is(err, keyring.ErrExists) {
-				err = fmt.Errorf("owner %q was created concurrently; retry with its bearer token: %w", owner, err)
-			}
-			writeErr(w, statusFor(err), err)
-			return
-		}
-		token = tok
-	}
-
 	w.Header().Set("Content-Type", contentType(format))
 	w.Header().Set("X-Ppclust-Owner", owner)
-	w.Header().Set("X-Ppclust-Key-Version", strconv.Itoa(entry.Version))
-	if token != "" {
-		w.Header().Set("X-Ppclust-Token", token)
+	w.Header().Set("X-Ppclust-Key-Version", strconv.Itoa(res.KeyVersion))
+	if res.MintedToken != "" {
+		w.Header().Set("X-Ppclust-Token", res.MintedToken)
 	}
 	rw := newRowWriter(format, w)
 	if err := rw.WriteNames(rr.Names()); err != nil {
@@ -301,7 +198,36 @@ func (s *server) protectFit(w http.ResponseWriter, q urlValues, format string, r
 		}
 	}
 	flush(rw, w)
-	s.rowsProtected.Add(int64(res.Released.Rows()))
+}
+
+// parseProtectOptions assembles engine options from fit-protect query
+// parameters.
+func parseProtectOptions(q urlValues) (engine.ProtectOptions, error) {
+	opts := engine.ProtectOptions{Normalization: engine.NormZScore}
+	switch norm := q.Get("norm"); norm {
+	case "", "zscore":
+	case "minmax":
+		opts.Normalization = engine.NormMinMax
+	default:
+		return opts, fmt.Errorf("unknown norm %q (want zscore or minmax)", norm)
+	}
+	rho1, err := parseFloat(q.Get("rho1"), 0.3)
+	if err != nil {
+		return opts, err
+	}
+	rho2, err := parseFloat(q.Get("rho2"), 0.3)
+	if err != nil {
+		return opts, err
+	}
+	opts.Thresholds = []core.PST{{Rho1: rho1, Rho2: rho2}}
+	if seedStr := q.Get("seed"); seedStr != "" {
+		seed, err := strconv.ParseInt(seedStr, 10, 64)
+		if err != nil {
+			return opts, fmt.Errorf("bad seed: %w", err)
+		}
+		opts.Seed = seed
+	}
+	return opts, nil
 }
 
 // protectStream protects the body incrementally under the owner's stored
@@ -311,66 +237,55 @@ func (s *server) protectStream(w http.ResponseWriter, r *http.Request, q urlValu
 	// parameters would mislead callers about the privacy level applied.
 	for _, p := range []string{"norm", "rho1", "rho2", "seed"} {
 		if q.Get(p) != "" {
-			writeErr(w, http.StatusBadRequest, fmt.Errorf("parameter %q only applies to mode=fit; the stored key's transform is frozen", p))
+			writeErr(w, service.Invalid(fmt.Errorf("parameter %q only applies to mode=fit; the stored key's transform is frozen", p)))
 			return
 		}
 	}
-	entry, err := s.lookup(owner, q.Get("version"))
+	tr, err := s.svc.Keys.StreamProtector(owner, q.Get("version"))
 	if err != nil {
-		writeErr(w, statusFor(err), err)
+		writeErr(w, err)
 		return
 	}
-	// Re-check the credential against the entry the lookup actually found:
+	// Re-check the credential against the key the lookup actually found:
 	// handleProtect's existence snapshot can race a concurrent first fit,
 	// and streaming chosen rows under someone else's freshly created key
 	// would hand an attacker a chosen-plaintext oracle for it.
 	if err := s.authorize(r, owner); err != nil {
-		writeAuthErr(w, err)
+		writeErr(w, err)
 		return
 	}
-	sp, err := s.eng.NewStreamProtector(toEngineSecret(entry.Secret))
-	if err != nil {
-		writeErr(w, statusFor(err), err)
-		return
-	}
-	s.pump(w, format, rr, owner, entry.Version, sp.ProtectBatch, s.rowsProtected)
+	s.pump(w, format, rr, tr)
 }
 
 func (s *server) handleRecover(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	owner := q.Get("owner")
 	if err := keyring.ValidName(owner); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, service.Wrap(err))
 		return
 	}
 	format, err := resolveFormat(q.Get("format"), r.Header)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, service.Invalid(err))
 		return
 	}
-	entry, err := s.lookup(owner, q.Get("version"))
+	tr, err := s.svc.Keys.Recoverer(owner, q.Get("version"))
 	if err != nil {
-		writeErr(w, statusFor(err), err)
+		writeErr(w, err)
 		return
 	}
 	// Inversion is the owner's privilege: require the owner's token.
 	if err := s.authorize(r, owner); err != nil {
-		writeAuthErr(w, err)
-		return
-	}
-	sp, err := s.eng.NewStreamProtector(toEngineSecret(entry.Secret))
-	if err != nil {
-		writeErr(w, statusFor(err), err)
+		writeErr(w, err)
 		return
 	}
 	body := http.MaxBytesReader(w, r.Body, s.maxBody)
-	s.pump(w, format, newRowReader(format, body), owner, entry.Version, sp.RecoverBatch, s.rowsRecovered)
+	s.pump(w, format, newRowReader(format, body), tr)
 }
 
-// pump streams the request body through fn in batches of batchRows,
-// writing transformed rows as they are produced and counting them into
-// rows.
-func (s *server) pump(w http.ResponseWriter, format string, rr rowReader, owner string, version int, fn func(*matrix.Dense) (*matrix.Dense, error), rows *metrics.Counter) {
+// pump streams the request body through tr in batches of batchRows,
+// writing transformed rows as they are produced.
+func (s *server) pump(w http.ResponseWriter, format string, rr rowReader, tr *service.BatchTransformer) {
 	// Interleaving request-body reads with response writes needs explicit
 	// full-duplex mode on HTTP/1.x; without it the server closes the body
 	// at the first write.
@@ -378,8 +293,8 @@ func (s *server) pump(w http.ResponseWriter, format string, rr rowReader, owner 
 	started := false
 	start := func() {
 		w.Header().Set("Content-Type", contentType(format))
-		w.Header().Set("X-Ppclust-Owner", owner)
-		w.Header().Set("X-Ppclust-Key-Version", strconv.Itoa(version))
+		w.Header().Set("X-Ppclust-Owner", tr.Owner)
+		w.Header().Set("X-Ppclust-Key-Version", strconv.Itoa(tr.KeyVersion))
 		started = true
 	}
 	rw := newRowWriter(format, w)
@@ -387,24 +302,24 @@ func (s *server) pump(w http.ResponseWriter, format string, rr rowReader, owner 
 	// client must see a transport error, never a clean EOF on a
 	// truncated dataset.
 	abort := func(reason string, err error) {
-		log.Printf("stream %s: %s: %v", owner, reason, err)
+		log.Printf("stream %s: %s: %v", tr.Owner, reason, err)
 		panic(http.ErrAbortHandler)
 	}
 	for {
-		batch, err := readBatch(rr, s.batchRows)
+		batch, err := service.ReadBatch(rr, s.batchRows)
 		if err != nil && !errors.Is(err, io.EOF) {
 			if !started {
-				writeErr(w, http.StatusBadRequest, err)
+				writeErr(w, err)
 				return
 			}
 			abort("reading", err)
 		}
 		done := errors.Is(err, io.EOF)
 		if batch != nil {
-			out, err := fn(batch)
+			out, err := tr.Transform(batch)
 			if err != nil {
 				if !started {
-					writeErr(w, statusFor(err), err)
+					writeErr(w, err)
 					return
 				}
 				abort("transforming", err)
@@ -420,7 +335,6 @@ func (s *server) pump(w http.ResponseWriter, format string, rr rowReader, owner 
 					abort("writing", err)
 				}
 			}
-			rows.Add(int64(out.Rows()))
 			flush(rw, w)
 		}
 		if done {
@@ -432,64 +346,6 @@ func (s *server) pump(w http.ResponseWriter, format string, rr rowReader, owner 
 			return
 		}
 	}
-}
-
-// lookup fetches the owner's current or explicitly versioned entry.
-func (s *server) lookup(owner, versionStr string) (keyring.Entry, error) {
-	if versionStr == "" {
-		return s.keys.Get(owner)
-	}
-	version, err := strconv.Atoi(versionStr)
-	if err != nil {
-		return keyring.Entry{}, fmt.Errorf("%w: bad version %q", keyring.ErrBadName, versionStr)
-	}
-	return s.keys.GetVersion(owner, version)
-}
-
-// readAll drains a rowReader into a dense matrix, accumulating directly
-// into the flat backing slice so the largest fit requests are held in
-// memory once, not twice.
-func readAll(rr rowReader) (*matrix.Dense, error) {
-	var flat []float64
-	var cols, rows int
-	for {
-		row, err := rr.Read()
-		if errors.Is(err, io.EOF) {
-			break
-		}
-		if err != nil {
-			return nil, err
-		}
-		if rows == 0 {
-			cols = len(row)
-		}
-		flat = append(flat, row...)
-		rows++
-	}
-	if rows == 0 {
-		return nil, fmt.Errorf("empty dataset")
-	}
-	return matrix.NewDense(rows, cols, flat), nil
-}
-
-// readBatch reads up to limit rows. It returns (nil, io.EOF) on a clean
-// end of stream and (batch, io.EOF) when the final batch is short.
-func readBatch(rr rowReader, limit int) (*matrix.Dense, error) {
-	var rows [][]float64
-	for len(rows) < limit {
-		row, err := rr.Read()
-		if errors.Is(err, io.EOF) {
-			if len(rows) == 0 {
-				return nil, io.EOF
-			}
-			return matrix.FromRows(rows), io.EOF
-		}
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, row)
-	}
-	return matrix.FromRows(rows), nil
 }
 
 // urlValues is the subset of url.Values the handlers consume.
@@ -521,64 +377,53 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-func writeErr(w http.ResponseWriter, code int, err error) {
-	writeJSON(w, code, map[string]string{"error": err.Error()})
+// errEnvelope is the one error shape every route returns.
+type errEnvelope struct {
+	Error errBody `json:"error"`
 }
 
-// statusFor maps domain errors onto HTTP statuses.
-func statusFor(err error) int {
-	switch {
-	case errors.Is(err, keyring.ErrNotFound),
-		errors.Is(err, datastore.ErrNotFound),
-		errors.Is(err, jobs.ErrNotFound),
-		errors.Is(err, federation.ErrNotFound):
+type errBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// writeErr maps a service-classified error onto the HTTP status and the
+// shared error envelope — the single exit for every failure response.
+func writeErr(w http.ResponseWriter, err error) {
+	code := service.Code(err)
+	if code == service.CodeUnauthenticated {
+		w.Header().Set("WWW-Authenticate", `Bearer realm="ppclust"`)
+	}
+	writeJSON(w, httpStatus(code), errEnvelope{Error: errBody{Code: code, Message: err.Error()}})
+}
+
+// writeErrWith writes the shared envelope plus extra top-level siblings
+// (e.g. a job status alongside a not-ready conflict).
+func writeErrWith(w http.ResponseWriter, err error, extra map[string]any) {
+	code := service.Code(err)
+	body := map[string]any{"error": errBody{Code: code, Message: err.Error()}}
+	for k, v := range extra {
+		body[k] = v
+	}
+	writeJSON(w, httpStatus(code), body)
+}
+
+// httpStatus maps envelope codes onto HTTP statuses.
+func httpStatus(code string) int {
+	switch code {
+	case service.CodeNotFound:
 		return http.StatusNotFound
-	case errors.Is(err, keyring.ErrExists),
-		errors.Is(err, datastore.ErrExists),
-		errors.Is(err, jobs.ErrNotTerminal),
-		errors.Is(err, jobs.ErrTerminal),
-		errors.Is(err, federation.ErrExists),
-		errors.Is(err, federation.ErrState):
+	case service.CodeConflict:
 		return http.StatusConflict
-	case errors.Is(err, federation.ErrNotCoordinator):
+	case service.CodeForbidden:
 		return http.StatusForbidden
-	case errors.Is(err, jobs.ErrDraining):
-		return http.StatusServiceUnavailable
-	case errors.Is(err, keyring.ErrBadName),
-		errors.Is(err, datastore.ErrBadName),
-		errors.Is(err, datastore.ErrBadData),
-		errors.Is(err, errBadJob),
-		errors.Is(err, jobs.ErrUnknownType),
-		errors.Is(err, federation.ErrBadConfig),
-		errors.Is(err, multiparty.ErrParty),
-		errors.Is(err, tuning.ErrSpec),
-		errors.Is(err, mech.ErrConfig),
-		errors.Is(err, core.ErrBadInput),
-		errors.Is(err, core.ErrBadPair),
-		errors.Is(err, core.ErrBadThreshold),
-		errors.Is(err, core.ErrEmptySecurityRange):
+	case service.CodeUnauthenticated:
+		return http.StatusUnauthorized
+	case service.CodeInvalid:
 		return http.StatusBadRequest
+	case service.CodeDraining:
+		return http.StatusServiceUnavailable
 	default:
 		return http.StatusInternalServerError
-	}
-}
-
-func toEngineSecret(s ppclust.OwnerSecret) engine.Secret {
-	return engine.Secret{
-		Key:           s.Key,
-		Normalization: string(s.Normalization),
-		ParamsA:       s.ParamsA,
-		ParamsB:       s.ParamsB,
-		Columns:       s.Columns,
-	}
-}
-
-func fromEngineSecret(s engine.Secret) ppclust.OwnerSecret {
-	return ppclust.OwnerSecret{
-		Key:           s.Key,
-		Normalization: ppclust.Normalization(s.Normalization),
-		ParamsA:       s.ParamsA,
-		ParamsB:       s.ParamsB,
-		Columns:       s.Columns,
 	}
 }

@@ -333,9 +333,16 @@ func TestHTTPErrors(t *testing.T) {
 			if resp.StatusCode != tc.want {
 				t.Fatalf("status %d, want %d: %s", resp.StatusCode, tc.want, body)
 			}
-			var e map[string]string
-			if err := json.Unmarshal([]byte(body), &e); err != nil || e["error"] == "" {
-				t.Fatalf("expected JSON error body, got %q", body)
+			// Every error crosses the wire in the one shared envelope:
+			// {"error": {"code": "...", "message": "..."}}.
+			var e struct {
+				Error struct {
+					Code    string `json:"code"`
+					Message string `json:"message"`
+				} `json:"error"`
+			}
+			if err := json.Unmarshal([]byte(body), &e); err != nil || e.Error.Code == "" || e.Error.Message == "" {
+				t.Fatalf("expected enveloped JSON error body, got %q", body)
 			}
 		})
 	}
@@ -350,7 +357,11 @@ func TestHTTPErrors(t *testing.T) {
 // later request against that owner must present it. Inversion must never
 // be possible for a client that only holds the released data.
 func TestOwnerAuth(t *testing.T) {
-	ts, srv := newTestServer(t)
+	keys := keyring.NewMemory()
+	srv := newServerWith(t, engine.New(4, 1024), keys)
+	srv.batchRows = 64
+	ts := httptest.NewServer(srv.handler())
+	t.Cleanup(ts.Close)
 	csvBody, _ := testCSV(t, 200, 10)
 
 	fit, rel := post(t, ts.URL+"/v1/protect?owner=alice", csvBody)
@@ -382,7 +393,7 @@ func TestOwnerAuth(t *testing.T) {
 
 	// An owner stored without a credential (keyring predating token auth)
 	// is refused outright — there is no token that could be presented.
-	if _, err := srv.keys.Put("legacy", ppclust.OwnerSecret{
+	if _, err := keys.Put("legacy", ppclust.OwnerSecret{
 		Key:           ppclust.Key{Pairs: []ppclust.Pair{{I: 0, J: 1}}, AnglesDeg: []float64{30}},
 		Normalization: ppclust.ZScore,
 		ParamsA:       []float64{0, 0, 0},

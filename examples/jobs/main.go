@@ -66,7 +66,11 @@ func main() {
 			return nil, err
 		}
 		t.SetProgress(0.1)
-		res, err := eng.Protect(in.Matrix(), engine.ProtectOptions{
+		data, err := in.Matrix()
+		if err != nil {
+			return nil, err
+		}
+		res, err := eng.Protect(data, engine.ProtectOptions{
 			Normalization: engine.NormZScore,
 			Thresholds:    []core.PST{{Rho1: 0.3, Rho2: 0.3}},
 			Seed:          11,
@@ -106,7 +110,11 @@ func main() {
 		if err != nil {
 			return nil, err
 		}
-		sel, best, err := cluster.SweepKBySilhouette(ctx, in.Matrix(), 2, 6, 1, func(k int, _ float64) {
+		data, err := in.Matrix()
+		if err != nil {
+			return nil, err
+		}
+		sel, best, err := cluster.SweepKBySilhouette(ctx, data, 2, 6, 1, func(k int, _ float64) {
 			t.SetProgress(float64(k-1) / 5)
 		})
 		if err != nil {

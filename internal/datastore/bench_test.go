@@ -1,0 +1,145 @@
+package datastore
+
+// The ppcore storage benchmarks, emitted to CI as BENCH_ppcore.json:
+//
+//   - BenchmarkDatastoreIngestSharded: concurrent multi-owner ingest
+//     through the Dir store over an owners × rows × shards grid — the
+//     point is throughput scaling with the shard count, since each owner
+//     only contends for its own shard's lock.
+//   - BenchmarkDatastoreReadCached: repeated whole-dataset reads with the
+//     block cache cold (cleared every iteration) vs warm — the point is
+//     cached re-reads beating the disk path on the same grid.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func benchDataset(b *testing.B, owner, name string, rows int) *Dataset {
+	b.Helper()
+	bd, err := NewBuilder(owner, name, []string{"a", "b", "c", "d"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	bd.SetBlockRows(1024)
+	row := make([]float64, 4)
+	for i := 0; i < rows; i++ {
+		for j := range row {
+			row[j] = float64(i*4 + j)
+		}
+		if err := bd.Append(row); err != nil {
+			b.Fatal(err)
+		}
+	}
+	ds, err := bd.Finish(time.Unix(1700000000, 0))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ds
+}
+
+func BenchmarkDatastoreIngestSharded(b *testing.B) {
+	for _, owners := range []int{2, 8} {
+		for _, rows := range []int{2048, 8192} {
+			for _, shards := range []int{1, 4, 16} {
+				name := fmt.Sprintf("owners=%d/rows=%d/shards=%d", owners, rows, shards)
+				b.Run(name, func(b *testing.B) {
+					d, err := OpenDirOptions(b.TempDir(), DirOptions{Shards: shards})
+					if err != nil {
+						b.Fatal(err)
+					}
+					// Build once per owner outside the timer; Put re-persists
+					// fresh names each iteration, so the measured work is the
+					// store's, not the builder's.
+					sets := make([]*Dataset, owners)
+					for o := range sets {
+						sets[o] = benchDataset(b, fmt.Sprintf("owner%02d", o), "seed", rows)
+					}
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						var wg sync.WaitGroup
+						for o := 0; o < owners; o++ {
+							wg.Add(1)
+							go func(o int) {
+								defer wg.Done()
+								src := sets[o]
+								ds := &Dataset{Meta: src.Meta, segs: src.segs, labels: src.labels}
+								ds.Name = fmt.Sprintf("d%06d", i)
+								if err := d.Put(ds); err != nil {
+									b.Error(err)
+								}
+							}(o)
+						}
+						wg.Wait()
+					}
+					b.StopTimer()
+					rowsPerOp := float64(owners * rows)
+					b.ReportMetric(rowsPerOp*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
+				})
+			}
+		}
+	}
+}
+
+func BenchmarkDatastoreReadCached(b *testing.B) {
+	for _, owners := range []int{2, 4} {
+		for _, rows := range []int{8192} {
+			for _, shards := range []int{4} {
+				for _, mode := range []string{"cold", "warm"} {
+					name := fmt.Sprintf("owners=%d/rows=%d/shards=%d/%s", owners, rows, shards, mode)
+					b.Run(name, func(b *testing.B) {
+						d, err := OpenDirOptions(b.TempDir(), DirOptions{Shards: shards})
+						if err != nil {
+							b.Fatal(err)
+						}
+						for o := 0; o < owners; o++ {
+							d0 := benchDataset(b, fmt.Sprintf("owner%02d", o), "hot", rows)
+							if err := d.Put(d0); err != nil {
+								b.Fatal(err)
+							}
+						}
+						d.Cache().Clear()
+						if mode == "warm" {
+							// Pre-touch so every measured read is a hit.
+							for o := 0; o < owners; o++ {
+								ds, _ := d.Get(fmt.Sprintf("owner%02d", o), "hot")
+								if _, err := ds.Matrix(); err != nil {
+									b.Fatal(err)
+								}
+							}
+						}
+						b.ResetTimer()
+						for i := 0; i < b.N; i++ {
+							if mode == "cold" {
+								b.StopTimer()
+								d.Cache().Clear()
+								b.StartTimer()
+							}
+							var wg sync.WaitGroup
+							for o := 0; o < owners; o++ {
+								wg.Add(1)
+								go func(o int) {
+									defer wg.Done()
+									ds, err := d.Get(fmt.Sprintf("owner%02d", o), "hot")
+									if err != nil {
+										b.Error(err)
+										return
+									}
+									if _, err := ds.Matrix(); err != nil {
+										b.Error(err)
+									}
+								}(o)
+							}
+							wg.Wait()
+						}
+						b.StopTimer()
+						rowsPerOp := float64(owners * rows)
+						b.ReportMetric(rowsPerOp*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
+					})
+				}
+			}
+		}
+	}
+}

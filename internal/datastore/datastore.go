@@ -1,14 +1,24 @@
 // Package datastore stores the named, owner-scoped datasets the analytics
 // job subsystem operates on: a dataset is ingested once (streamed row by
 // row through a Builder), frozen, and then read many times by protect,
-// cluster and evaluate jobs.
+// cluster, evaluate, audit and tune jobs.
 //
 // Data is held as fixed-size row blocks — the same decomposition
 // internal/engine uses for its deterministic parallel reductions — so a
 // job can iterate blocks without re-chunking, and an upload of unbounded
-// length never needs a second contiguous copy during ingest. Like the
-// keyring, the package ships an in-memory store and a file-backed store
-// (one document per dataset, written atomically with 0600 permissions).
+// length never needs a second contiguous copy during ingest.
+//
+// The package ships two Store implementations:
+//
+//   - Memory: a sharded in-process store. Owners hash onto independent
+//     shards, each with its own lock, so concurrent ingest from many
+//     owners scales with the shard count instead of funnelling through
+//     one mutex.
+//   - Dir: a directory-backed store with the same sharded index, where
+//     each dataset is a directory of append-only binary row segments plus
+//     an NDJSON manifest journal (dir.go). Blocks are read back lazily
+//     through a byte-bounded LRU cache (cache.go) shared across shards,
+//     so hot datasets serve repeated job reads without touching disk.
 //
 // Datasets are immutable after Finish: stores and callers share the
 // underlying blocks without copying, which is what makes a Get on the hot
@@ -18,6 +28,7 @@ package datastore
 import (
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"math"
 	"regexp"
 	"sort"
@@ -37,12 +48,20 @@ var (
 	ErrBadName = errors.New("datastore: invalid name")
 	// ErrBadData reports malformed rows during ingest.
 	ErrBadData = errors.New("datastore: invalid data")
+	// ErrCorrupt reports unreadable on-disk state that could not be
+	// recovered (a dataset whose manifest lost every complete batch).
+	ErrCorrupt = errors.New("datastore: corrupt dataset")
 )
 
 // DefaultBlockRows is the Builder's row-block size when none is set. It
 // matches engine.DefaultBlockRows so stored blocks line up with the
 // engine's parallel decomposition.
 const DefaultBlockRows = 8192
+
+// DefaultShards is the store shard count when none is configured: enough
+// to keep a few dozen concurrently ingesting owners off each other's
+// locks without bloating small deployments.
+const DefaultShards = 16
 
 var nameRE = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9._-]{0,127}$`)
 
@@ -74,17 +93,39 @@ type Meta struct {
 	CreatedAt time.Time `json:"created_at"`
 }
 
+// segref is one row block of a dataset: either resident in memory (the
+// Memory store, or a dataset fresh out of a Builder) or loadable on
+// demand from a segment file through the store's block cache.
+type segref struct {
+	rows  int
+	block *matrix.Dense                 // resident block; nil when lazy
+	load  func() (*matrix.Dense, error) // lazy loader; nil when resident
+}
+
+func (s *segref) get() (*matrix.Dense, error) {
+	if s.block != nil {
+		return s.block, nil
+	}
+	return s.load()
+}
+
 // Dataset is an immutable ingested dataset: metadata plus row blocks.
+// Blocks may be lazily materialized from disk; the accessors that touch
+// row data can therefore fail with an I/O error on the Dir store.
 type Dataset struct {
 	Meta
-	blocks []*matrix.Dense
+	segs   []segref
 	labels []int
 }
 
 // Blocks calls fn for each row block in order, stopping at the first
 // error. Blocks all have the builder's block size except the last.
 func (d *Dataset) Blocks(fn func(b *matrix.Dense) error) error {
-	for _, b := range d.blocks {
+	for i := range d.segs {
+		b, err := d.segs[i].get()
+		if err != nil {
+			return err
+		}
 		if err := fn(b); err != nil {
 			return err
 		}
@@ -93,21 +134,25 @@ func (d *Dataset) Blocks(fn func(b *matrix.Dense) error) error {
 }
 
 // NumBlocks returns the number of row blocks.
-func (d *Dataset) NumBlocks() int { return len(d.blocks) }
+func (d *Dataset) NumBlocks() int { return len(d.segs) }
 
 // Matrix materializes the dataset as one contiguous matrix — the form
 // engine.Protect and the clustering algorithms consume. The result is a
 // fresh copy; mutating it never touches the stored blocks.
-func (d *Dataset) Matrix() *matrix.Dense {
+func (d *Dataset) Matrix() (*matrix.Dense, error) {
 	out := matrix.NewDense(d.Rows, d.Cols, nil)
 	r := 0
-	for _, b := range d.blocks {
+	err := d.Blocks(func(b *matrix.Dense) error {
 		for i := 0; i < b.Rows(); i++ {
 			copy(out.RawRow(r), b.RawRow(i))
 			r++
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return out
+	return out, nil
 }
 
 // Labels returns a copy of the per-row ground-truth labels, or nil when
@@ -126,7 +171,7 @@ type Builder struct {
 	blockRows int
 	cur       []float64 // flat rows of the block being filled
 	curRows   int
-	blocks    []*matrix.Dense
+	segs      []segref
 	labels    []int
 }
 
@@ -202,7 +247,10 @@ func (b *Builder) flush() {
 	if b.curRows == 0 {
 		return
 	}
-	b.blocks = append(b.blocks, matrix.NewDense(b.curRows, b.meta.Cols, b.cur))
+	b.segs = append(b.segs, segref{
+		rows:  b.curRows,
+		block: matrix.NewDense(b.curRows, b.meta.Cols, b.cur),
+	})
 	b.cur = nil
 	b.curRows = 0
 }
@@ -216,8 +264,8 @@ func (b *Builder) Finish(now time.Time) (*Dataset, error) {
 	meta := b.meta
 	meta.Labeled = b.labels != nil
 	meta.CreatedAt = now.UTC()
-	ds := &Dataset{Meta: meta, blocks: b.blocks, labels: b.labels}
-	b.blocks, b.labels = nil, nil // the builder is spent
+	ds := &Dataset{Meta: meta, segs: b.segs, labels: b.labels}
+	b.segs, b.labels = nil, nil // the builder is spent
 	return ds, nil
 }
 
@@ -236,35 +284,69 @@ type Store interface {
 	Delete(owner, name string) error
 }
 
-// Memory is an in-process Store.
-type Memory struct {
+// shardOf picks the shard index for an owner: every dataset of one owner
+// lives on one shard, so per-owner operations never cross shard locks.
+func shardOf(owner string, n int) int {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(owner))
+	return int(h.Sum32() % uint32(n))
+}
+
+// memShard is one independently locked slice of the owner space.
+type memShard struct {
 	mu     sync.RWMutex
 	owners map[string]map[string]*Dataset
 }
 
-// NewMemory returns an empty in-memory dataset store.
-func NewMemory() *Memory {
-	return &Memory{owners: map[string]map[string]*Dataset{}}
+// Memory is a sharded in-process Store: owners hash onto independent
+// shards so concurrent multi-owner ingest does not serialize on one lock.
+type Memory struct {
+	shards []*memShard
+}
+
+// NewMemory returns an empty in-memory dataset store with DefaultShards
+// shards.
+func NewMemory() *Memory { return NewSharded(DefaultShards) }
+
+// NewSharded returns an empty in-memory dataset store with n independently
+// locked shards (n < 1 falls back to 1).
+func NewSharded(n int) *Memory {
+	if n < 1 {
+		n = 1
+	}
+	m := &Memory{shards: make([]*memShard, n)}
+	for i := range m.shards {
+		m.shards[i] = &memShard{owners: map[string]map[string]*Dataset{}}
+	}
+	return m
+}
+
+// Shards returns the shard count.
+func (m *Memory) Shards() int { return len(m.shards) }
+
+func (m *Memory) shard(owner string) *memShard {
+	return m.shards[shardOf(owner, len(m.shards))]
 }
 
 // Put implements Store.
 func (m *Memory) Put(ds *Dataset) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.putLocked(ds)
-}
-
-func (m *Memory) putLocked(ds *Dataset) error {
 	if err := ValidName(ds.Owner); err != nil {
 		return err
 	}
 	if err := ValidName(ds.Name); err != nil {
 		return err
 	}
-	sets := m.owners[ds.Owner]
+	sh := m.shard(ds.Owner)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.putLocked(ds)
+}
+
+func (sh *memShard) putLocked(ds *Dataset) error {
+	sets := sh.owners[ds.Owner]
 	if sets == nil {
 		sets = map[string]*Dataset{}
-		m.owners[ds.Owner] = sets
+		sh.owners[ds.Owner] = sets
 	}
 	if _, ok := sets[ds.Name]; ok {
 		return fmt.Errorf("%w: %s/%s", ErrExists, ds.Owner, ds.Name)
@@ -275,9 +357,10 @@ func (m *Memory) putLocked(ds *Dataset) error {
 
 // Get implements Store.
 func (m *Memory) Get(owner, name string) (*Dataset, error) {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	ds, ok := m.owners[owner][name]
+	sh := m.shard(owner)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	ds, ok := sh.owners[owner][name]
 	if !ok {
 		return nil, fmt.Errorf("%w: %s/%s", ErrNotFound, owner, name)
 	}
@@ -286,9 +369,10 @@ func (m *Memory) Get(owner, name string) (*Dataset, error) {
 
 // List implements Store.
 func (m *Memory) List(owner string) ([]Meta, error) {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	sets := m.owners[owner]
+	sh := m.shard(owner)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	sets := sh.owners[owner]
 	out := make([]Meta, 0, len(sets))
 	for _, ds := range sets {
 		out = append(out, ds.Meta)
@@ -299,18 +383,19 @@ func (m *Memory) List(owner string) ([]Meta, error) {
 
 // Delete implements Store.
 func (m *Memory) Delete(owner, name string) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.deleteLocked(owner, name)
+	sh := m.shard(owner)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.deleteLocked(owner, name)
 }
 
-func (m *Memory) deleteLocked(owner, name string) error {
-	if _, ok := m.owners[owner][name]; !ok {
+func (sh *memShard) deleteLocked(owner, name string) error {
+	if _, ok := sh.owners[owner][name]; !ok {
 		return fmt.Errorf("%w: %s/%s", ErrNotFound, owner, name)
 	}
-	delete(m.owners[owner], name)
-	if len(m.owners[owner]) == 0 {
-		delete(m.owners, owner)
+	delete(sh.owners[owner], name)
+	if len(sh.owners[owner]) == 0 {
+		delete(sh.owners, owner)
 	}
 	return nil
 }

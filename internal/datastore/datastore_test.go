@@ -55,7 +55,10 @@ func TestBuilderBlocksAndMatrix(t *testing.T) {
 	if !reflect.DeepEqual(blockRows, []int{16, 16, 16, 2}) {
 		t.Fatalf("block rows = %v", blockRows)
 	}
-	m := ds.Matrix()
+	m, err := ds.Matrix()
+	if err != nil {
+		t.Fatal(err)
+	}
 	r, c := m.Dims()
 	if r != 50 || c != 3 {
 		t.Fatalf("matrix %dx%d", r, c)
@@ -156,14 +159,19 @@ func TestDirStoreRoundTripAndReload(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// Files must be 0600 under a 0700 owner directory.
-	path := filepath.Join(root, "data", "alice", "d1.json")
-	fi, err := os.Stat(path)
-	if err != nil {
-		t.Fatal(err)
+	// Manifest and segments must be 0600 under a 0700 owner directory.
+	path := filepath.Join(root, "data", "alice", "d1")
+	for _, f := range []string{"manifest", "seg-000001.dat"} {
+		fi, err := os.Stat(filepath.Join(path, f))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fi.Mode().Perm() != 0o600 {
+			t.Fatalf("%s mode = %v, want 0600", f, fi.Mode().Perm())
+		}
 	}
-	if fi.Mode().Perm() != 0o600 {
-		t.Fatalf("dataset file mode = %v, want 0600", fi.Mode().Perm())
+	if fi, err := os.Stat(filepath.Join(root, "data", "alice")); err != nil || fi.Mode().Perm() != 0o700 {
+		t.Fatalf("owner dir mode: %v, %v", fi, err)
 	}
 
 	// A fresh open must see both datasets with identical content.
@@ -178,7 +186,14 @@ func TestDirStoreRoundTripAndReload(t *testing.T) {
 	if got.Rows != 40 || !got.Labeled || len(got.Labels()) != 40 {
 		t.Fatalf("reloaded meta = %+v", got.Meta)
 	}
-	a, b := ds.Matrix(), got.Matrix()
+	a, err := ds.Matrix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := got.Matrix()
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i := 0; i < 40; i++ {
 		for j := 0; j < 3; j++ {
 			if a.At(i, j) != b.At(i, j) {
@@ -187,12 +202,12 @@ func TestDirStoreRoundTripAndReload(t *testing.T) {
 		}
 	}
 
-	// Delete removes the file; a reload no longer sees the dataset.
+	// Delete removes the dataset directory; a reload no longer sees it.
 	if err := d2.Delete("alice", "d1"); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
-		t.Fatalf("file survives delete: %v", err)
+		t.Fatalf("dataset dir survives delete: %v", err)
 	}
 	d3, err := OpenDir(filepath.Join(root, "data"))
 	if err != nil {

@@ -1,4 +1,4 @@
-package main
+package service
 
 // The audit job type: privacy verification as a service. Given an
 // original dataset and the stored release a protect job produced from it,
@@ -35,15 +35,13 @@ import (
 	"ppclust/internal/stats"
 )
 
-const jobAudit = "audit"
-
 // auditTolerance is the per-cell absolute error under which a recovered
 // value counts as re-identified — far below any plausible measurement
 // noise in normalized space.
 const auditTolerance = 0.01
 
-// auditAttribute is one column's privacy report on the wire.
-type auditAttribute struct {
+// AuditAttribute is one column's privacy report on the wire.
+type AuditAttribute struct {
 	Name             string  `json:"name"`
 	VarOriginal      float64 `json:"var_original"`
 	VarReleased      float64 `json:"var_released"`
@@ -52,8 +50,8 @@ type auditAttribute struct {
 	MeanAbsError     float64 `json:"mean_abs_error"`
 }
 
-// auditAttack is the known-sample re-identification outcome.
-type auditAttack struct {
+// AuditAttack is the known-sample re-identification outcome.
+type AuditAttack struct {
 	KnownRecords int     `json:"known_records"`
 	RMSE         float64 `json:"rmse"`
 	MaxAbsError  float64 `json:"max_abs_error"`
@@ -64,77 +62,75 @@ type auditAttack struct {
 	Broken bool `json:"broken"`
 }
 
-// auditResult is the audit job's result payload.
-type auditResult struct {
+// AuditResult is the audit job's result payload.
+type AuditResult struct {
 	Dataset    string           `json:"dataset"`
 	Release    string           `json:"release"`
 	KeyVersion int              `json:"key_version"`
 	Rows       int              `json:"rows"`
 	Cols       int              `json:"cols"`
-	Attributes []auditAttribute `json:"attributes"`
+	Attributes []AuditAttribute `json:"attributes"`
 	// MinSecurity is the weakest attribute's scale-invariant security —
 	// the release's weakest link under the paper's own measure.
 	MinSecurity float64 `json:"min_security"`
 	// Attack is nil when the known-record system was degenerate (e.g.
 	// linearly dependent sample rows); AttackError then says why.
-	Attack      *auditAttack `json:"attack,omitempty"`
+	Attack      *AuditAttack `json:"attack,omitempty"`
 	AttackError string       `json:"attack_error,omitempty"`
 }
 
-// validateAuditSpec front-loads the failures a worker would otherwise hit.
-func (s *server) validateAuditSpec(owner string, spec *jobSpec, orig *datastore.Dataset) error {
+// validateAudit front-loads the failures a worker would otherwise hit.
+func (j *JobService) validateAudit(owner string, spec *JobSpec, orig *datastore.Dataset) error {
 	if spec.Release == "" {
-		return fmt.Errorf("%w: audit needs release (the stored released dataset to audit)", errBadJob)
+		return Invalid(fmt.Errorf("%w: audit needs release (the stored released dataset to audit)", errBadJob))
 	}
-	rel, err := s.store.Get(owner, spec.Release)
+	rel, err := j.c.st.Get(owner, spec.Release)
 	if err != nil {
-		return err
+		return classify(err)
 	}
 	if rel.Rows != orig.Rows || rel.Cols != orig.Cols {
-		return fmt.Errorf("%w: release %q is %dx%d but dataset %q is %dx%d",
-			errBadJob, spec.Release, rel.Rows, rel.Cols, spec.Dataset, orig.Rows, orig.Cols)
+		return Invalid(fmt.Errorf("%w: release %q is %dx%d but dataset %q is %dx%d",
+			errBadJob, spec.Release, rel.Rows, rel.Cols, spec.Dataset, orig.Rows, orig.Cols))
 	}
 	// Validate the *effective* known count: the default (the column
 	// count) can itself exceed the rows of a very wide, short dataset,
-	// which must be a 400 here, not a worker panic later.
+	// which must be an invalid-request error here, not a worker panic
+	// later.
 	known := spec.Known
 	if known == 0 {
 		known = orig.Cols
 	}
 	if known < orig.Cols || known > orig.Rows {
-		return fmt.Errorf("%w: known must be in [%d, %d] (columns..rows), got %d",
-			errBadJob, orig.Cols, orig.Rows, known)
+		return Invalid(fmt.Errorf("%w: known must be in [%d, %d] (columns..rows), got %d",
+			errBadJob, orig.Cols, orig.Rows, known))
 	}
 	if spec.KeyVersion < 0 {
-		return fmt.Errorf("%w: negative key_version", errBadJob)
+		return Invalid(fmt.Errorf("%w: negative key_version", errBadJob))
 	}
-	// The owner must hold a key whose normalization aligns the spaces.
-	if spec.KeyVersion == 0 {
-		_, err = s.keys.Get(owner)
-	} else {
-		_, err = s.keys.GetVersion(owner, spec.KeyVersion)
-	}
-	if err != nil {
-		return fmt.Errorf("audit needs a stored key (run a protect job first): %w", err)
+	// The owner must hold a key whose normalization aligns the spaces. A
+	// missing key keeps its not-found classification ("run a protect job
+	// first" names the cure).
+	if _, err := j.keys.lookup(owner, versionString(spec.KeyVersion)); err != nil {
+		return classify(fmt.Errorf("audit needs a stored key (run a protect job first): %w", err))
 	}
 	return nil
 }
 
-// runAuditJob executes the audit described above.
-func (s *server) runAuditJob(ctx context.Context, t *jobs.Task) (any, error) {
-	var spec jobSpec
+// runAudit executes the audit described above.
+func (j *JobService) runAudit(ctx context.Context, t *jobs.Task) (any, error) {
+	var spec JobSpec
 	if err := json.Unmarshal(t.Spec, &spec); err != nil {
 		return nil, err
 	}
-	orig, err := s.store.Get(t.Owner, spec.Dataset)
+	orig, err := j.c.st.Get(t.Owner, spec.Dataset)
 	if err != nil {
 		return nil, err
 	}
-	rel, err := s.store.Get(t.Owner, spec.Release)
+	rel, err := j.c.st.Get(t.Owner, spec.Release)
 	if err != nil {
 		return nil, err
 	}
-	entry, err := s.lookup(t.Owner, versionString(spec.KeyVersion))
+	entry, err := j.keys.lookup(t.Owner, versionString(spec.KeyVersion))
 	if err != nil {
 		return nil, err
 	}
@@ -152,11 +148,17 @@ func (s *server) runAuditJob(ctx context.Context, t *jobs.Task) (any, error) {
 	// Both measures live in normalized space: the release differs from
 	// the normalized original exactly by the rotation, which is what the
 	// paper's Sec values and the known-sample adversary both target.
-	normalized := orig.Matrix()
+	normalized, err := orig.Matrix()
+	if err != nil {
+		return nil, err
+	}
 	for i := 0; i < normalized.Rows(); i++ {
 		secret.NormalizeRow(normalized.RawRow(i))
 	}
-	released := rel.Matrix()
+	released, err := rel.Matrix()
+	if err != nil {
+		return nil, err
+	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -166,7 +168,7 @@ func (s *server) runAuditJob(ctx context.Context, t *jobs.Task) (any, error) {
 	if err != nil {
 		return nil, err
 	}
-	res := &auditResult{
+	res := &AuditResult{
 		Dataset:    spec.Dataset,
 		Release:    spec.Release,
 		KeyVersion: entry.Version,
@@ -174,7 +176,7 @@ func (s *server) runAuditJob(ctx context.Context, t *jobs.Task) (any, error) {
 		Cols:       orig.Cols,
 	}
 	for _, r := range reports {
-		res.Attributes = append(res.Attributes, auditAttribute{
+		res.Attributes = append(res.Attributes, AuditAttribute{
 			Name:             r.Name,
 			VarOriginal:      r.VarOriginal,
 			VarReleased:      r.VarReleased,
@@ -220,7 +222,7 @@ func (s *server) runAuditJob(ctx context.Context, t *jobs.Task) (any, error) {
 	if err != nil {
 		return nil, err
 	}
-	res.Attack = &auditAttack{
+	res.Attack = &AuditAttack{
 		KnownRecords: known,
 		RMSE:         met.RMSE,
 		MaxAbsError:  met.MaxAbs,
@@ -231,7 +233,8 @@ func (s *server) runAuditJob(ctx context.Context, t *jobs.Task) (any, error) {
 	return res, nil
 }
 
-// versionString renders a key version for server.lookup ("" = current).
+// versionString renders a key version for KeyService.lookup ("" =
+// current).
 func versionString(v int) string {
 	if v == 0 {
 		return ""

@@ -1,0 +1,99 @@
+package service
+
+// Per-owner credential logic, transport-agnostic: minting tokens,
+// claiming owner names, verifying presented tokens. How a credential
+// travels (bearer header, mTLS subject, nothing at all for embedded use)
+// is the transport's business; the services only see the token string.
+
+import (
+	"crypto/rand"
+	"crypto/sha256"
+	"crypto/subtle"
+	"encoding/hex"
+	"errors"
+	"fmt"
+
+	"ppclust/internal/keyring"
+)
+
+var (
+	errNoToken      = errors.New("missing bearer token")
+	errBadToken     = errors.New("invalid bearer token")
+	errNoCredential = errors.New("owner has no credential on file (created with auth disabled, or before token auth existed); re-protect the owner once under -insecure-no-auth to mint one")
+)
+
+// NewToken mints a fresh owner credential and the hash to store for it.
+func NewToken() (token string, hash []byte, err error) {
+	var raw [32]byte
+	if _, err := rand.Read(raw[:]); err != nil {
+		return "", nil, mark(ErrInternal, fmt.Errorf("minting token: %w", err))
+	}
+	token = hex.EncodeToString(raw[:])
+	return token, HashToken(token), nil
+}
+
+// HashToken returns the stored form of a token: its SHA-256.
+func HashToken(token string) []byte {
+	h := sha256.Sum256([]byte(token))
+	return h[:]
+}
+
+// Authorize checks token against owner's stored credential hash. An empty
+// token is ErrUnauthenticated (present one and retry); a wrong token, or
+// an owner that can never authenticate because it has no credential, is
+// ErrForbidden. The caller must have established that the owner exists.
+func (s *Services) Authorize(owner, token string) error { return s.c.authorize(owner, token) }
+
+// OwnerKnown reports whether owner exists in the keyring in any form —
+// credential, key material, or both.
+func (s *Services) OwnerKnown(owner string) (bool, error) { return s.c.ownerKnown(owner) }
+
+// ClaimOwner claims an unknown owner name with a freshly minted
+// credential and returns the plaintext token — its single appearance
+// anywhere. A lost creation race is ErrConflict with a retry hint.
+func (s *Services) ClaimOwner(owner string) (string, error) { return s.c.claimOwner(owner) }
+
+func (c *deps) authorize(owner, token string) error {
+	stored, err := c.keys.TokenHash(owner)
+	if err != nil {
+		if errors.Is(err, keyring.ErrNotFound) {
+			return mark(ErrForbidden, fmt.Errorf("owner %q: %w", owner, errNoCredential))
+		}
+		return classify(err)
+	}
+	if token == "" {
+		return mark(ErrUnauthenticated, fmt.Errorf("owner %q: %w", owner, errNoToken))
+	}
+	if subtle.ConstantTimeCompare(HashToken(token), stored) != 1 {
+		return mark(ErrForbidden, fmt.Errorf("owner %q: %w", owner, errBadToken))
+	}
+	return nil
+}
+
+func (c *deps) ownerKnown(owner string) (bool, error) {
+	if _, err := c.keys.TokenHash(owner); err == nil {
+		return true, nil
+	} else if !errors.Is(err, keyring.ErrNotFound) {
+		return false, classify(err)
+	}
+	if _, err := c.keys.Get(owner); err == nil {
+		return true, nil
+	} else if !errors.Is(err, keyring.ErrNotFound) {
+		return false, classify(err)
+	}
+	return false, nil
+}
+
+func (c *deps) claimOwner(owner string) (token string, err error) {
+	tok, hash, err := NewToken()
+	if err != nil {
+		return "", err
+	}
+	if err := c.keys.ClaimToken(owner, hash); err != nil {
+		if errors.Is(err, keyring.ErrExists) {
+			err = fmt.Errorf("owner %q was created concurrently; retry with its bearer token: %w", owner, err)
+		}
+		return "", classify(err)
+	}
+	return tok, nil
+}

@@ -1,0 +1,109 @@
+package service
+
+// TuneService: privacy–utility frontier search as a service. A tune job
+// sweeps a grid (plus optional adaptive refinement) of protection
+// mechanisms — the paper's RBT at several PST levels, the additive and
+// multiplicative noise baselines, and the RBT+noise hybrid — over one
+// stored dataset, scores every candidate on utility (misclassification /
+// F-measure / Rand index against the normalized original's clustering),
+// privacy (minimum per-attribute Sec) and attack resistance (known-sample
+// re-identification rate), and returns the Pareto frontier plus the
+// recommended operating point under the submitted constraint.
+//
+// Spec: {"type":"tune","dataset":D,"algorithm":"kmeans","k":K,
+// "mechanisms":["rbt","additive","multiplicative","hybrid"],
+// "rhos":[...],"sigmas":[...],"min_sec":0.3,"refine":1,"known":N,
+// "seed":S,"norm":"zscore"}. Every field after dataset/algorithm/k is
+// optional; the defaults sweep all four mechanisms over the package's
+// standard grids. Candidate counts are visible in the metrics snapshot
+// as tune_candidates_evaluated_total / _pruned_total / _failed_total.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"ppclust/internal/cluster"
+	"ppclust/internal/datastore"
+	"ppclust/internal/jobs"
+	"ppclust/internal/tuning"
+)
+
+// TuneService validates and executes privacy–utility sweeps.
+type TuneService struct {
+	c *deps
+}
+
+// Validate front-loads the sweep-spec failures a worker would otherwise
+// hit, including the full tuning-package validation against the dataset's
+// shape.
+func (ts *TuneService) Validate(spec *JobSpec, meta datastore.Meta) error {
+	if _, err := normKind(spec.Norm); err != nil {
+		return err
+	}
+	if spec.KMin != 0 || spec.KMax != 0 {
+		return Invalid(fmt.Errorf("%w: tune sweeps one fixed algorithm; k-selection is a cluster job", errBadJob))
+	}
+	if _, err := buildClusterer(spec); err != nil {
+		return err
+	}
+	tspec := ts.tuningSpec(spec)
+	if err := tspec.Validate(meta.Rows, meta.Cols); err != nil {
+		return classify(err)
+	}
+	return nil
+}
+
+// Run executes the sweep synchronously over owner's stored dataset — the
+// in-process entry point; the async tune job delegates here.
+func (ts *TuneService) Run(ctx context.Context, owner string, spec *JobSpec, onProgress func(done, total int)) (*tuning.Result, error) {
+	ds, err := ts.c.st.Get(owner, spec.Dataset)
+	if err != nil {
+		return nil, classify(err)
+	}
+	data, err := ds.Matrix()
+	if err != nil {
+		return nil, classify(err)
+	}
+	res, err := tuning.Run(ctx, data, ts.tuningSpec(spec), tuning.Config{Engine: ts.c.eng}, onProgress)
+	if err != nil {
+		return nil, classify(err)
+	}
+	ts.c.tuneEvaluated.Add(int64(res.Evaluated))
+	ts.c.tunePruned.Add(int64(res.Pruned))
+	ts.c.tuneFailed.Add(int64(res.Failed))
+	return res, nil
+}
+
+// tuningSpec maps the wire spec onto the tuning package's.
+func (ts *TuneService) tuningSpec(spec *JobSpec) tuning.Spec {
+	norm, _ := normKind(spec.Norm)
+	return tuning.Spec{
+		Norm:       norm,
+		Mechanisms: spec.Mechanisms,
+		Rhos:       spec.Rhos,
+		Sigmas:     spec.Sigmas,
+		Seed:       spec.Seed,
+		Known:      spec.Known,
+		MinSec:     spec.MinSec,
+		Refine:     spec.Refine,
+		NewClusterer: func() (cluster.Clusterer, error) {
+			return buildClusterer(spec)
+		},
+	}
+}
+
+// runTune executes the sweep over the job's worker slot, fanning
+// candidates out over the tuning package's own bounded pool.
+func (j *JobService) runTune(ctx context.Context, t *jobs.Task) (any, error) {
+	var spec JobSpec
+	if err := json.Unmarshal(t.Spec, &spec); err != nil {
+		return nil, err
+	}
+	t.SetProgress(0.02)
+	return j.tune.Run(ctx, t.Owner, &spec, func(done, total int) {
+		if total > 0 {
+			t.SetProgress(0.02 + 0.96*float64(done)/float64(total))
+		}
+	})
+}

@@ -20,6 +20,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"net/url"
 	"strconv"
@@ -40,6 +41,16 @@ type Client struct {
 	HTTPClient *http.Client
 	// PollInterval is the result-polling cadence (default 50ms).
 	PollInterval time.Duration
+	// Retries caps the automatic retries of idempotent GETs (transport
+	// errors, 502/503/504) and of drain-time 503s on rewindable writes —
+	// what lets a client ride out a SIGTERM drain/restart cycle.
+	// 0 means the default of 4; negative disables retrying.
+	Retries int
+	// RetryBackoff is the first retry delay (default 50ms). It doubles
+	// per attempt up to RetryMaxBackoff (default 2s), with ±50% jitter;
+	// the request context cancels the wait.
+	RetryBackoff    time.Duration
+	RetryMaxBackoff time.Duration
 }
 
 // New returns a client for owner against baseURL.
@@ -47,14 +58,31 @@ func New(baseURL, owner string) *Client {
 	return &Client{BaseURL: strings.TrimRight(baseURL, "/"), Owner: owner}
 }
 
-// APIError is a non-2xx daemon response.
+// APIError is a non-2xx daemon response, decoded from the shared error
+// envelope {"error": {"code", "message"}}.
 type APIError struct {
-	Status  int
+	// Status is the HTTP status code.
+	Status int
+	// Code is the service error code ("not_found", "conflict",
+	// "forbidden", "unauthenticated", "invalid", "draining", "internal");
+	// empty when the server predates the envelope.
+	Code string
+	// Message is the human-readable error.
 	Message string
 }
 
 func (e *APIError) Error() string {
+	if e.Code != "" {
+		return fmt.Sprintf("ppclustd: %d %s: %s", e.Status, e.Code, e.Message)
+	}
 	return fmt.Sprintf("ppclustd: %d: %s", e.Status, e.Message)
+}
+
+// IsCode reports whether err is an APIError carrying the given service
+// error code.
+func IsCode(err error, code string) bool {
+	var ae *APIError
+	return errors.As(err, &ae) && ae.Code == code
 }
 
 // IsStatus reports whether err is an APIError with the given HTTP status.
@@ -297,17 +325,9 @@ func (c *Client) DownloadDataset(ctx context.Context, name string) (string, erro
 	if err != nil {
 		return "", err
 	}
-	resp, err := c.httpClient().Do(req)
+	raw, err := c.do(req)
 	if err != nil {
 		return "", err
-	}
-	defer resp.Body.Close()
-	raw, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return "", err
-	}
-	if resp.StatusCode != http.StatusOK {
-		return "", apiError(resp.StatusCode, raw)
 	}
 	return string(raw), nil
 }
@@ -356,23 +376,12 @@ func (c *Client) doJSON(ctx context.Context, method, path string, in, out any) e
 	return c.exec(req, out)
 }
 
-// exec runs the request, captures a freshly minted token, and decodes the
-// response.
+// exec runs the request (with retries), captures a freshly minted token,
+// and decodes the response.
 func (c *Client) exec(req *http.Request, out any) error {
-	resp, err := c.httpClient().Do(req)
+	raw, err := c.do(req)
 	if err != nil {
 		return err
-	}
-	defer resp.Body.Close()
-	raw, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return err
-	}
-	if tok := resp.Header.Get("X-Ppclust-Token"); tok != "" && c.Token == "" {
-		c.Token = tok
-	}
-	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
-		return apiError(resp.StatusCode, raw)
 	}
 	if out != nil && len(raw) > 0 {
 		if err := json.Unmarshal(raw, out); err != nil {
@@ -382,13 +391,134 @@ func (c *Client) exec(req *http.Request, out any) error {
 	return nil
 }
 
+// do runs the request to a 2xx body, retrying where it is safe:
+//
+//   - idempotent GETs on transport errors and gateway-ish statuses
+//     (502/503/504) — a restarting daemon refuses connections for a
+//     moment, and polls must ride that out;
+//   - any method on 503 when the body can be rewound (GetBody is set for
+//     the in-memory bodies every JSON call uses) — a draining daemon
+//     answers 503 to submissions, and the persisted queue makes the
+//     retry safe after restart.
+//
+// Backoff is exponential with ±50% jitter, capped, and aborted by the
+// request context.
+func (c *Client) do(req *http.Request) ([]byte, error) {
+	retries := c.Retries
+	switch {
+	case retries == 0:
+		retries = 4
+	case retries < 0:
+		retries = 0
+	}
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		resp, err := c.httpClient().Do(req)
+		if err != nil {
+			lastErr = err
+			if req.Method != http.MethodGet || attempt >= retries {
+				return nil, err
+			}
+			if err := c.backoff(req.Context(), attempt); err != nil {
+				return nil, lastErr
+			}
+			continue
+		}
+		raw, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+		if tok := resp.Header.Get("X-Ppclust-Token"); tok != "" && c.Token == "" {
+			c.Token = tok
+		}
+		if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+			return raw, nil
+		}
+		lastErr = apiError(resp.StatusCode, raw)
+		if attempt < retries && c.retryable(req, resp.StatusCode) && rewind(req) == nil {
+			if err := c.backoff(req.Context(), attempt); err != nil {
+				return nil, lastErr
+			}
+			continue
+		}
+		return nil, lastErr
+	}
+}
+
+// retryable reports whether a response status may be retried for req.
+func (c *Client) retryable(req *http.Request, status int) bool {
+	switch status {
+	case http.StatusServiceUnavailable:
+		return true // drain-time 503: safe for every method once rewound
+	case http.StatusBadGateway, http.StatusGatewayTimeout:
+		return req.Method == http.MethodGet
+	default:
+		return false
+	}
+}
+
+// rewind resets a consumed request body for the next attempt.
+func rewind(req *http.Request) error {
+	if req.Body == nil || req.Body == http.NoBody {
+		return nil
+	}
+	if req.GetBody == nil {
+		return errors.New("ppclient: request body cannot be rewound")
+	}
+	body, err := req.GetBody()
+	if err != nil {
+		return err
+	}
+	req.Body = body
+	return nil
+}
+
+// backoff sleeps for the attempt's delay (exponential, jittered, capped)
+// or until ctx is done.
+func (c *Client) backoff(ctx context.Context, attempt int) error {
+	base := c.RetryBackoff
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	maxd := c.RetryMaxBackoff
+	if maxd <= 0 {
+		maxd = 2 * time.Second
+	}
+	delay := base << uint(attempt)
+	if delay > maxd || delay <= 0 {
+		delay = maxd
+	}
+	// ±50% jitter keeps a fleet of clients from re-slamming a restarting
+	// daemon in lockstep.
+	delay = delay/2 + time.Duration(rand.Int64N(int64(delay)/2+1))
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-time.After(delay):
+		return nil
+	}
+}
+
+// apiError decodes the shared error envelope {"error":{"code","message"}},
+// falling back to the legacy flat {"error":"..."} string and then to the
+// raw body.
 func apiError(status int, raw []byte) error {
-	var e struct {
+	var env struct {
+		Error struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+		} `json:"error"`
+	}
+	if json.Unmarshal(raw, &env) == nil && env.Error.Message != "" {
+		return &APIError{Status: status, Code: env.Error.Code, Message: env.Error.Message}
+	}
+	var legacy struct {
 		Error string `json:"error"`
 	}
 	msg := strings.TrimSpace(string(raw))
-	if json.Unmarshal(raw, &e) == nil && e.Error != "" {
-		msg = e.Error
+	if json.Unmarshal(raw, &legacy) == nil && legacy.Error != "" {
+		msg = legacy.Error
 	}
 	return &APIError{Status: status, Message: msg}
 }

@@ -5,9 +5,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -150,5 +152,149 @@ func TestWaitJobHonorsContext(t *testing.T) {
 	_, err := c.WaitJob(ctx, "j1", nil)
 	if !errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+}
+
+// TestAPIErrorEnvelope: the client decodes the daemon's shared error
+// envelope {"error":{"code","message"}} into a typed APIError, and still
+// understands the legacy flat string shape.
+func TestAPIErrorEnvelope(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusNotFound)
+		w.Write([]byte(`{"error":{"code":"not_found","message":"datastore: not found: alice/ghost"}}`))
+	}))
+	defer ts.Close()
+	c := New(ts.URL, "alice")
+	_, err := c.Dataset(context.Background(), "ghost")
+	var ae *APIError
+	if !errors.As(err, &ae) {
+		t.Fatalf("want APIError, got %v", err)
+	}
+	if ae.Status != http.StatusNotFound || ae.Code != "not_found" || !strings.Contains(ae.Message, "alice/ghost") {
+		t.Fatalf("APIError = %+v", ae)
+	}
+	if !IsCode(err, "not_found") || IsCode(err, "conflict") {
+		t.Fatalf("IsCode misclassified %v", err)
+	}
+	if !strings.Contains(ae.Error(), "not_found") {
+		t.Fatalf("Error() should carry the code: %q", ae.Error())
+	}
+
+	// Legacy flat shape still decodes (code stays empty).
+	legacy := apiError(http.StatusConflict, []byte(`{"error":"old style"}`))
+	if !errors.As(legacy, &ae) || ae.Code != "" || ae.Message != "old style" {
+		t.Fatalf("legacy decode = %+v", ae)
+	}
+}
+
+// TestRetryDrainCycle: a drain-time 503 on a write is retried with the
+// body rewound, so a submission that lands mid-SIGTERM survives into the
+// restarted daemon.
+func TestRetryDrainCycle(t *testing.T) {
+	var mu sync.Mutex
+	var bodies []string
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		raw, _ := io.ReadAll(r.Body)
+		mu.Lock()
+		bodies = append(bodies, string(raw))
+		n := len(bodies)
+		mu.Unlock()
+		if n <= 2 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			w.Write([]byte(`{"error":{"code":"draining","message":"jobs: manager is draining"}}`))
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+		w.Write([]byte(`{"id":"j1","state":"queued"}`))
+	}))
+	defer ts.Close()
+	c := New(ts.URL, "alice")
+	c.RetryBackoff = time.Millisecond
+	st, err := c.SubmitJob(context.Background(), map[string]any{"type": "cluster", "dataset": "d", "k": 2})
+	if err != nil {
+		t.Fatalf("submit through drain: %v", err)
+	}
+	if st.ID != "j1" {
+		t.Fatalf("status = %+v", st)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(bodies) != 3 {
+		t.Fatalf("attempts = %d, want 3", len(bodies))
+	}
+	if bodies[0] == "" || bodies[0] != bodies[1] || bodies[1] != bodies[2] {
+		t.Fatalf("body not rewound across retries: %q", bodies)
+	}
+}
+
+// TestRetryGivesUpAndHonorsContext: retries are capped, and a cancelled
+// context aborts the backoff wait immediately.
+func TestRetryGivesUpAndHonorsContext(t *testing.T) {
+	var mu sync.Mutex
+	calls := 0
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		calls++
+		mu.Unlock()
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write([]byte(`{"error":{"code":"draining","message":"draining"}}`))
+	}))
+	defer ts.Close()
+	c := New(ts.URL, "alice")
+	c.Retries = 2
+	c.RetryBackoff = time.Millisecond
+	_, err := c.Datasets(context.Background())
+	if !IsStatus(err, http.StatusServiceUnavailable) {
+		t.Fatalf("want final 503, got %v", err)
+	}
+	mu.Lock()
+	if calls != 3 { // 1 try + 2 retries
+		t.Fatalf("calls = %d, want 3", calls)
+	}
+	mu.Unlock()
+
+	// A cancelled context stops the backoff without burning the budget.
+	c2 := New(ts.URL, "alice")
+	c2.RetryBackoff = time.Hour
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() { time.Sleep(10 * time.Millisecond); cancel() }()
+	start := time.Now()
+	if _, err := c2.Datasets(ctx); err == nil {
+		t.Fatal("expected an error")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("backoff ignored context cancellation")
+	}
+}
+
+// TestNoRetryUnrewindableBody: a streaming upload whose body cannot be
+// replayed is not retried — the first 503 surfaces.
+func TestNoRetryUnrewindableBody(t *testing.T) {
+	var mu sync.Mutex
+	calls := 0
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body)
+		mu.Lock()
+		calls++
+		mu.Unlock()
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write([]byte(`{"error":{"code":"draining","message":"draining"}}`))
+	}))
+	defer ts.Close()
+	c := New(ts.URL, "alice")
+	c.RetryBackoff = time.Millisecond
+	pr, pw := io.Pipe()
+	go func() {
+		pw.Write([]byte("a,b\n1,2\n"))
+		pw.Close()
+	}()
+	_, err := c.UploadDatasetCSV(context.Background(), "d", pr, false)
+	if !IsStatus(err, http.StatusServiceUnavailable) {
+		t.Fatalf("want 503, got %v", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1 (no retry of a consumed stream)", calls)
 	}
 }
