@@ -24,6 +24,7 @@ import (
 	"io"
 	"net/http"
 
+	"ppclust/internal/federation"
 	"ppclust/internal/keyring"
 	"ppclust/internal/service"
 )
@@ -77,7 +78,15 @@ func (s *server) handleFederationCreate(w http.ResponseWriter, r *http.Request) 
 		writeErr(w, service.Invalid(fmt.Errorf("parsing federation spec: %w", err)))
 		return
 	}
-	v, err := s.svc.Federations.Create(owner, spec)
+	// In ring mode the forwarding layer pre-generates the federation ID
+	// (the placement key) and pins it in the Fed-Id header; creating under
+	// that ID keeps the record on the node the ID hashes to.
+	id := r.Header.Get("X-Ppclust-Fed-Id")
+	if id != "" && !federation.ValidID(id) {
+		writeErr(w, service.Invalid(fmt.Errorf("malformed federation id %q", id)))
+		return
+	}
+	v, err := s.svc.Federations.CreateWithID(id, owner, spec)
 	if err != nil {
 		writeErr(w, err)
 		return

@@ -55,6 +55,7 @@ import (
 	"ppclust/internal/federation"
 	"ppclust/internal/jobs"
 	"ppclust/internal/keyring"
+	"ppclust/internal/service"
 )
 
 // options bundles the daemon's flag-configurable knobs.
@@ -72,6 +73,20 @@ type options struct {
 	storeShards  int
 	cacheBytes   int64
 	noAuth       bool
+
+	// Ring mode (see ring.go). nodeID enables it.
+	nodeID     string
+	advertise  string
+	peers      string
+	join       string
+	replicas   int
+	vnodes     int
+	clusterKey string
+
+	// Per-owner admission control. rateLimit enables it.
+	rateLimit float64
+	rateBurst int
+	rateQueue int
 }
 
 func main() {
@@ -89,6 +104,16 @@ func main() {
 	flag.IntVar(&o.storeShards, "store-shards", 0, "datastore index shards; concurrent multi-owner ingest scales with this (0: default)")
 	flag.Int64Var(&o.cacheBytes, "cache-bytes", 0, "datastore block-cache budget in bytes (0: default 256MiB)")
 	flag.BoolVar(&o.noAuth, "insecure-no-auth", false, "disable per-owner bearer-token auth (only behind an authenticating proxy on a trusted network)")
+	flag.StringVar(&o.nodeID, "node-id", "", "stable ring identity of this node; setting it enables multi-node ring mode")
+	flag.StringVar(&o.advertise, "advertise", "", "base URL peers reach this node at (default http://<addr>)")
+	flag.StringVar(&o.peers, "peers", "", "static ring membership as id=addr,id=addr (every node must get the same list)")
+	flag.StringVar(&o.join, "join", "", "base URL of a running ring node to join")
+	flag.IntVar(&o.replicas, "replicas", 1, "successor nodes mirroring each owner's keyring state and datasets")
+	flag.IntVar(&o.vnodes, "vnodes", 0, "virtual nodes per member on the placement ring (0: default)")
+	flag.StringVar(&o.clusterKey, "cluster-key", "", "shared secret required on internal /v1/ring traffic (empty: unguarded)")
+	flag.Float64Var(&o.rateLimit, "rate-limit", 0, "per-owner admission budget in requests/second (0: disabled)")
+	flag.IntVar(&o.rateBurst, "rate-burst", 0, "per-owner admission burst (0: max(1, rate-limit))")
+	flag.IntVar(&o.rateQueue, "rate-queue", 0, "per-owner queued requests before shedding with 429 (0: default 16)")
 	flag.Parse()
 	if err := run(o); err != nil {
 		log.Fatal(err)
@@ -155,7 +180,8 @@ func run(o options) error {
 	mgr := jobs.New(jobs.Config{Workers: jobWorkers, Retention: o.jobRetention})
 
 	eng := engine.New(o.workers, o.blockRows)
-	s := newServer(eng, keys, store, mgr, feds)
+	adm := service.AdmissionConfig{Rate: o.rateLimit, Burst: o.rateBurst, MaxQueue: o.rateQueue}
+	s := newServerAdm(eng, keys, store, mgr, feds, adm)
 	if o.batchRows > 0 {
 		s.batchRows = o.batchRows
 	}
@@ -165,6 +191,28 @@ func run(o options) error {
 	if o.noAuth {
 		log.Printf("auth: DISABLED (-insecure-no-auth); every client can protect and recover for every owner")
 		s.authDisabled = true
+	}
+	if s.svc.AdmissionEnabled() {
+		log.Printf("admission: %.3g req/s per owner", o.rateLimit)
+	}
+	var rt *ringRuntime
+	if o.nodeID != "" {
+		advertise := o.advertise
+		if advertise == "" {
+			advertise = "http://" + o.addr
+		}
+		rt = newRingRuntime(ringConfig{
+			NodeID:     o.nodeID,
+			Advertise:  advertise,
+			ClusterKey: o.clusterKey,
+			Replicas:   o.replicas,
+			Vnodes:     o.vnodes,
+		}, keys, store, s.svc)
+		rt.maxBody = s.maxBody
+		s.ring = rt
+	} else if o.peers != "" || o.join != "" {
+		mgr.Close()
+		return fmt.Errorf("ppclustd: -peers/-join require -node-id")
 	}
 	// The listener is claimed synchronously before the queued-job state
 	// file is consumed: if the port is taken (or any other startup
@@ -196,10 +244,31 @@ func run(o options) error {
 		errc <- srv.Serve(ln)
 	}()
 
+	// Ring bootstrap runs after the listener serves: a joined peer syncs
+	// the new membership back immediately, and catch-up pulls need both
+	// sides answering.
+	if rt != nil {
+		bctx, bcancel := context.WithTimeout(ctx, 30*time.Second)
+		err := rt.bootstrap(bctx, o.peers, o.join)
+		bcancel()
+		if err != nil {
+			rt.Close()
+			drainJobs(mgr, o.jobsState)
+			srv.Close()
+			<-errc
+			return fmt.Errorf("ppclustd: ring bootstrap: %w", err)
+		}
+		epoch, nodes := rt.ring.Snapshot()
+		log.Printf("ring: node %s up as %s (epoch %d, %d members, %d replicas)", o.nodeID, rt.self.Addr, epoch, len(nodes), o.replicas)
+	}
+
 	select {
 	case err := <-errc:
 		// The server died on its own: drain and persist the queue just
 		// like a signalled shutdown so restored jobs are not lost.
+		if rt != nil {
+			rt.Close()
+		}
 		drainJobs(mgr, o.jobsState)
 		return fmt.Errorf("ppclustd: %w", err)
 	case <-ctx.Done():
@@ -213,6 +282,13 @@ func run(o options) error {
 	log.Printf("ppclustd: shutting down")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
+	if rt != nil {
+		// Flush queued replication before the HTTP server stops taking
+		// the peers' traffic. Membership is kept: an unplanned exit is
+		// what the successor replicas exist for; a planned departure goes
+		// through POST /v1/ring/leave first.
+		rt.Close()
+	}
 	drainJobs(mgr, o.jobsState)
 	if err := srv.Shutdown(shutdownCtx); err != nil {
 		return fmt.Errorf("ppclustd: shutdown: %w", err)

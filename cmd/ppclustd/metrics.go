@@ -80,5 +80,9 @@ func (s *statusRecorder) Flush() {
 func (s *statusRecorder) Unwrap() http.ResponseWriter { return s.ResponseWriter }
 
 func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, s.svc.MetricsSnapshot())
+	snap := s.svc.MetricsSnapshot()
+	if s.ring != nil {
+		s.ring.addGauges(snap)
+	}
+	writeJSON(w, http.StatusOK, snap)
 }

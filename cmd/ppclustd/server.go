@@ -8,6 +8,7 @@ import (
 	"log"
 	"net/http"
 	"strconv"
+	"strings"
 
 	"ppclust/internal/core"
 	"ppclust/internal/datastore"
@@ -52,9 +53,19 @@ type server struct {
 	maxBody      int64
 	batchRows    int
 	authDisabled bool
+	// ring is non-nil when the daemon runs as one node of a multi-node
+	// ring (see ring.go): it adds the /v1/ring routes and the forwarding
+	// middleware in front of the mux.
+	ring *ringRuntime
 }
 
 func newServer(eng *engine.Engine, keys keyring.Store, store datastore.Store, mgr *jobs.Manager, feds *federation.Manager) *server {
+	return newServerAdm(eng, keys, store, mgr, feds, service.AdmissionConfig{})
+}
+
+// newServerAdm is newServer with per-owner admission control configured
+// (the zero config disables it).
+func newServerAdm(eng *engine.Engine, keys keyring.Store, store datastore.Store, mgr *jobs.Manager, feds *federation.Manager, adm service.AdmissionConfig) *server {
 	s := &server{
 		svc: service.New(service.Config{
 			Engine:      eng,
@@ -62,6 +73,7 @@ func newServer(eng *engine.Engine, keys keyring.Store, store datastore.Store, mg
 			Store:       store,
 			Jobs:        mgr,
 			Federations: feds,
+			Admission:   adm,
 		}),
 		maxBody:   1 << 30,
 		batchRows: 4096,
@@ -95,7 +107,37 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/federations/{id}/contribute", s.handleFederationWithdraw)
 	mux.HandleFunc("POST /v1/federations/{id}/seal", s.handleFederationSeal)
 	mux.HandleFunc("GET /v1/federations/{id}/result", s.handleFederationResult)
-	return s.instrument(mux)
+	// Middleware order, outside in: instrumentation sees every request;
+	// ring forwarding runs before admission so the rate limit is charged
+	// on the node that serves the request, not the one that happened to
+	// receive it; admission guards the mux.
+	var h http.Handler = s.admit(mux)
+	if s.ring != nil {
+		s.ring.registerRoutes(mux)
+		h = s.ring.middleware(h)
+	}
+	return s.instrument(h)
+}
+
+// admit applies per-owner admission control in front of the mux: every
+// owner-keyed /v1 request waits for (or is shed by) the owner's token
+// bucket. Ring-internal routes are exempt — replication and membership
+// traffic must not compete with client budgets. A no-op handler when
+// admission is disabled.
+func (s *server) admit(next http.Handler) http.Handler {
+	if !s.svc.AdmissionEnabled() {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		p := r.URL.Path
+		if strings.HasPrefix(p, "/v1/") && !strings.HasPrefix(p, "/v1/ring") {
+			if err := s.svc.Admit(r.Context(), r.URL.Query().Get("owner")); err != nil {
+				writeErr(w, err)
+				return
+			}
+		}
+		next.ServeHTTP(w, r)
+	})
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
@@ -423,6 +465,8 @@ func httpStatus(code string) int {
 		return http.StatusBadRequest
 	case service.CodeDraining:
 		return http.StatusServiceUnavailable
+	case service.CodeRateLimited:
+		return http.StatusTooManyRequests
 	default:
 		return http.StatusInternalServerError
 	}

@@ -1,0 +1,379 @@
+// Command pploadgen is a closed-loop load harness for ppclustd: a fixed
+// pool of workers drives a weighted mix of upload, protect and cluster
+// operations against one or more nodes and reports per-operation latency
+// percentiles (p50/p95/p99) and error rate as JSON on stdout.
+//
+// Closed-loop means each worker issues its next request only after the
+// previous one completed, so concurrency — not offered rate — is the
+// controlled variable, and the measured throughput is what the cluster
+// actually sustained. That makes single-node versus 3-node comparisons
+// measurements instead of assertions:
+//
+//	pploadgen -addrs http://n1:8080 -requests 500 > single.json
+//	pploadgen -addrs http://n1:8080,http://n2:8080,http://n3:8080 \
+//	          -requests 500 > ring.json
+//
+// Each owner is pinned round-robin to one entry node; with a ring behind
+// the addresses the daemons forward to the owners' home nodes
+// themselves, so the harness needs no placement knowledge.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ppclust/internal/dataset"
+	"ppclust/ppclient"
+)
+
+type opKind string
+
+const (
+	opUpload  opKind = "upload"
+	opProtect opKind = "protect"
+	opCluster opKind = "cluster"
+)
+
+// parseMix expands a weighted "upload=2,protect=1,cluster=1" spec into
+// the deterministic cycle the workers step through, so any two runs
+// with the same flags issue the same operation sequence.
+func parseMix(s string) ([]opKind, error) {
+	var cycle []opKind
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, wstr, ok := strings.Cut(part, "=")
+		w := 1
+		if ok {
+			var err error
+			if w, err = strconv.Atoi(wstr); err != nil || w < 0 {
+				return nil, fmt.Errorf("bad mix weight %q", part)
+			}
+		}
+		kind := opKind(strings.TrimSpace(name))
+		switch kind {
+		case opUpload, opProtect, opCluster:
+		default:
+			return nil, fmt.Errorf("unknown mix operation %q (want upload, protect or cluster)", name)
+		}
+		for i := 0; i < w; i++ {
+			cycle = append(cycle, kind)
+		}
+	}
+	if len(cycle) == 0 {
+		return nil, fmt.Errorf("mix %q selects no operations", s)
+	}
+	return cycle, nil
+}
+
+// percentile returns the nearest-rank q-th percentile (0 < q <= 100) of
+// an ascending-sorted sample.
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(q/100*float64(len(sorted))+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+type opStats struct {
+	Count  int     `json:"count"`
+	Errors int     `json:"errors"`
+	MeanMs float64 `json:"mean_ms"`
+	P50Ms  float64 `json:"p50_ms"`
+	P95Ms  float64 `json:"p95_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+}
+
+type loadReport struct {
+	Nodes       []string           `json:"nodes"`
+	Owners      int                `json:"owners"`
+	Concurrency int                `json:"concurrency"`
+	Requests    int                `json:"requests"`
+	Rows        int                `json:"rows"`
+	Mix         string             `json:"mix"`
+	ElapsedS    float64            `json:"elapsed_s"`
+	Throughput  float64            `json:"throughput_rps"`
+	ErrorRate   float64            `json:"error_rate"`
+	Ops         map[string]opStats `json:"ops"`
+}
+
+type sample struct {
+	op  opKind
+	ms  float64
+	err bool
+}
+
+// owner is one load identity: a ppclient pinned to its entry node plus
+// the bearer token minted during setup, reused by the raw protect path.
+type owner struct {
+	name   string
+	base   string
+	client *ppclient.Client
+	http   *http.Client
+}
+
+type harness struct {
+	owners []owner
+	csv    string
+	mix    []opKind
+	next   atomic.Int64
+
+	mu      sync.Mutex
+	samples []sample
+}
+
+func (h *harness) record(op opKind, start time.Time, err error) {
+	s := sample{op: op, ms: float64(time.Since(start).Microseconds()) / 1000, err: err != nil}
+	h.mu.Lock()
+	h.samples = append(h.samples, s)
+	h.mu.Unlock()
+}
+
+func (h *harness) worker(ctx context.Context, requests int) {
+	for {
+		i := h.next.Add(1)
+		if i > int64(requests) || ctx.Err() != nil {
+			return
+		}
+		o := &h.owners[int(i)%len(h.owners)]
+		op := h.mix[int(i)%len(h.mix)]
+		start := time.Now()
+		var err error
+		switch op {
+		case opUpload:
+			_, err = o.client.UploadDatasetCSV(ctx, fmt.Sprintf("lg%d", i), strings.NewReader(h.csv), false)
+		case opProtect:
+			err = o.protectStream(ctx, h.csv)
+		case opCluster:
+			err = o.clusterJob(ctx)
+		}
+		h.record(op, start, err)
+	}
+}
+
+// protectStream pushes the CSV through the owner's frozen key — the
+// steady-state protect path, which neither rotates keys nor grows the
+// keyring under load.
+func (o *owner) protectStream(ctx context.Context, csv string) error {
+	u := strings.TrimRight(o.client.BaseURL, "/") + "/v1/protect?mode=stream&owner=" + o.name
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, strings.NewReader(csv))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "text/csv")
+	if o.client.Token != "" {
+		req.Header.Set("Authorization", "Bearer "+o.client.Token)
+	}
+	resp, err := o.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("protect: status %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// clusterJob runs one full cluster job — submit, poll, fetch result —
+// as a single closed-loop operation.
+func (o *owner) clusterJob(ctx context.Context) error {
+	st, err := o.client.SubmitJob(ctx, map[string]any{"type": "cluster", "dataset": o.base, "k": 3})
+	if err != nil {
+		return err
+	}
+	done, err := o.client.WaitJob(ctx, st.ID, nil)
+	if err != nil {
+		return err
+	}
+	if done.State != "done" {
+		return fmt.Errorf("job %s ended %s: %s", st.ID, done.State, done.Error)
+	}
+	if _, err := o.client.JobResult(ctx, st.ID, nil); err != nil {
+		return err
+	}
+	return nil
+}
+
+// setup claims every owner (base dataset upload mints the token) and
+// fits its protect key once, so the measured loop never pays one-time
+// costs.
+func (h *harness) setup(ctx context.Context) error {
+	for i := range h.owners {
+		o := &h.owners[i]
+		if _, err := o.client.UploadDatasetCSV(ctx, o.base, strings.NewReader(h.csv), false); err != nil {
+			return fmt.Errorf("seeding %s: %w", o.name, err)
+		}
+		u := strings.TrimRight(o.client.BaseURL, "/") + "/v1/protect?owner=" + o.name + "&seed=1"
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, strings.NewReader(h.csv))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "text/csv")
+		req.Header.Set("Authorization", "Bearer "+o.client.Token)
+		resp, err := o.http.Do(req)
+		if err != nil {
+			return fmt.Errorf("fitting %s: %w", o.name, err)
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("fitting %s: status %d", o.name, resp.StatusCode)
+		}
+	}
+	return nil
+}
+
+func (h *harness) report(nodes []string, concurrency, requests, rows int, mixSpec string, elapsed time.Duration) loadReport {
+	byOp := map[opKind][]float64{}
+	errs := map[opKind]int{}
+	for _, s := range h.samples {
+		byOp[s.op] = append(byOp[s.op], s.ms)
+		if s.err {
+			errs[s.op]++
+		}
+	}
+	rep := loadReport{
+		Nodes:       nodes,
+		Owners:      len(h.owners),
+		Concurrency: concurrency,
+		Requests:    requests,
+		Rows:        rows,
+		Mix:         mixSpec,
+		ElapsedS:    elapsed.Seconds(),
+		Ops:         map[string]opStats{},
+	}
+	totalErrs := 0
+	for op, ms := range byOp {
+		sort.Float64s(ms)
+		mean := 0.0
+		for _, v := range ms {
+			mean += v
+		}
+		mean /= float64(len(ms))
+		rep.Ops[string(op)] = opStats{
+			Count:  len(ms),
+			Errors: errs[op],
+			MeanMs: mean,
+			P50Ms:  percentile(ms, 50),
+			P95Ms:  percentile(ms, 95),
+			P99Ms:  percentile(ms, 99),
+		}
+		totalErrs += errs[op]
+	}
+	if n := len(h.samples); n > 0 {
+		rep.Throughput = float64(n) / elapsed.Seconds()
+		rep.ErrorRate = float64(totalErrs) / float64(n)
+	}
+	return rep
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("pploadgen", flag.ContinueOnError)
+	addrs := fs.String("addrs", "http://localhost:8080", "comma-separated ppclustd base URLs; owners are pinned round-robin")
+	nOwners := fs.Int("owners", 4, "distinct data owners generating load")
+	concurrency := fs.Int("concurrency", 8, "closed-loop workers")
+	requests := fs.Int("requests", 100, "total operations to issue")
+	rows := fs.Int("rows", 256, "rows per generated dataset")
+	seed := fs.Int64("seed", 1, "synthetic data seed")
+	mixSpec := fs.String("mix", "upload=1,protect=1,cluster=1", "weighted operation mix")
+	timeout := fs.Duration("timeout", 5*time.Minute, "overall deadline")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	mix, err := parseMix(*mixSpec)
+	if err != nil {
+		return err
+	}
+	if *nOwners < 1 || *concurrency < 1 || *requests < 1 {
+		return fmt.Errorf("owners, concurrency and requests must be positive")
+	}
+
+	ds, err := dataset.SyntheticPatients(*rows, 3, rand.New(rand.NewSource(*seed)))
+	if err != nil {
+		return err
+	}
+	ds = ds.DropIDs()
+	ds.Labels = nil
+	var buf bytes.Buffer
+	if err := dataset.WriteCSV(&buf, ds); err != nil {
+		return err
+	}
+
+	nodes := strings.Split(*addrs, ",")
+	for i := range nodes {
+		nodes[i] = strings.TrimRight(strings.TrimSpace(nodes[i]), "/")
+	}
+	httpc := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        4 * *concurrency,
+		MaxIdleConnsPerHost: 2 * *concurrency,
+	}}
+	h := &harness{csv: buf.String(), mix: mix}
+	for i := 0; i < *nOwners; i++ {
+		cl := ppclient.New(nodes[i%len(nodes)], fmt.Sprintf("loadgen-%d", i))
+		cl.HTTPClient = httpc
+		h.owners = append(h.owners, owner{
+			name:   cl.Owner,
+			base:   "base",
+			client: cl,
+			http:   httpc,
+		})
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	if err := h.setup(ctx); err != nil {
+		return err
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < *concurrency; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h.worker(ctx, *requests)
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if ctx.Err() != nil {
+		fmt.Fprintf(os.Stderr, "pploadgen: deadline hit after %d/%d operations\n", len(h.samples), *requests)
+	}
+
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(h.report(nodes, *concurrency, *requests, *rows, *mixSpec, elapsed))
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "pploadgen:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,157 @@
+package main
+
+// Unit tests for the load harness: mix parsing, the nearest-rank
+// percentile, and a closed-loop smoke run against a stub daemon that
+// verifies the report's counts, mix proportions and error accounting.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync/atomic"
+	"testing"
+)
+
+func TestParseMix(t *testing.T) {
+	got, err := parseMix("upload=2,cluster=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []opKind{opUpload, opUpload, opCluster}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("parseMix = %v, want %v", got, want)
+	}
+	// Bare names default to weight 1.
+	if got, err = parseMix("protect"); err != nil || len(got) != 1 || got[0] != opProtect {
+		t.Fatalf("bare name: %v %v", got, err)
+	}
+	for _, bad := range []string{"", "upload=x", "delete=1", "upload=-1"} {
+		if _, err := parseMix(bad); err == nil {
+			t.Errorf("parseMix(%q) accepted", bad)
+		}
+	}
+	// Weight 0 drops the operation.
+	if got, _ := parseMix("upload=0,protect=1"); len(got) != 1 || got[0] != opProtect {
+		t.Fatalf("zero weight: %v", got)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	cases := []struct {
+		q    float64
+		want float64
+	}{{50, 5}, {95, 10}, {99, 10}, {100, 10}, {10, 1}}
+	for _, c := range cases {
+		if got := percentile(sorted, c.q); got != c.want {
+			t.Errorf("p%g = %g, want %g", c.q, got, c.want)
+		}
+	}
+	if percentile(nil, 50) != 0 {
+		t.Error("empty sample must yield 0")
+	}
+	if got := percentile([]float64{7}, 99); got != 7 {
+		t.Errorf("single sample p99 = %g", got)
+	}
+}
+
+// stubDaemon implements just enough of the ppclustd surface for a load
+// run: uploads mint a token, stream-protect echoes, jobs are done the
+// moment they are polled. Protect can be made to fail to exercise the
+// error-rate accounting.
+func stubDaemon(failProtect *atomic.Bool) http.Handler {
+	var jobs atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/datasets", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("X-Ppclust-Token", "tok-"+r.URL.Query().Get("owner"))
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusCreated)
+		fmt.Fprintf(w, `{"owner":%q,"name":%q,"rows":8}`, r.URL.Query().Get("owner"), r.URL.Query().Get("name"))
+	})
+	mux.HandleFunc("POST /v1/protect", func(w http.ResponseWriter, r *http.Request) {
+		if failProtect != nil && failProtect.Load() && r.URL.Query().Get("mode") == "stream" {
+			http.Error(w, `{"error":{"code":"internal","message":"boom"}}`, http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "text/csv")
+		fmt.Fprint(w, "a,b\n1,2\n")
+	})
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusAccepted)
+		fmt.Fprintf(w, `{"id":"j%d","state":"queued"}`, jobs.Add(1))
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintf(w, `{"id":%q,"state":"done"}`, r.PathValue("id"))
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}/result", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintf(w, `{"status":{"id":%q,"state":"done"},"result":{"k":3}}`, r.PathValue("id"))
+	})
+	return mux
+}
+
+func TestLoadgenSmoke(t *testing.T) {
+	ts := httptest.NewServer(stubDaemon(nil))
+	t.Cleanup(ts.Close)
+
+	var out bytes.Buffer
+	err := run([]string{
+		"-addrs", ts.URL, "-owners", "2", "-concurrency", "3",
+		"-requests", "30", "-rows", "8", "-mix", "upload=1,protect=1,cluster=1",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep loadReport
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("report is not JSON: %v\n%s", err, out.String())
+	}
+	total := 0
+	for op, st := range rep.Ops {
+		if st.Errors != 0 {
+			t.Errorf("%s: %d errors", op, st.Errors)
+		}
+		if st.P50Ms <= 0 || st.P99Ms < st.P50Ms {
+			t.Errorf("%s: implausible percentiles %+v", op, st)
+		}
+		total += st.Count
+	}
+	if total != 30 {
+		t.Fatalf("report covers %d ops, want 30", total)
+	}
+	// An even three-way mix over 30 requests is 10 of each.
+	for _, op := range []string{"upload", "protect", "cluster"} {
+		if rep.Ops[op].Count != 10 {
+			t.Errorf("%s count = %d, want 10", op, rep.Ops[op].Count)
+		}
+	}
+	if rep.ErrorRate != 0 || rep.Throughput <= 0 {
+		t.Fatalf("error_rate=%g throughput=%g", rep.ErrorRate, rep.Throughput)
+	}
+}
+
+func TestLoadgenCountsErrors(t *testing.T) {
+	var fail atomic.Bool
+	fail.Store(true)
+	ts := httptest.NewServer(stubDaemon(&fail))
+	t.Cleanup(ts.Close)
+
+	var out bytes.Buffer
+	err := run([]string{
+		"-addrs", ts.URL, "-owners", "1", "-concurrency", "2",
+		"-requests", "10", "-rows", "8", "-mix", "protect=1",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep loadReport
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ops["protect"].Errors != 10 || rep.ErrorRate != 1 {
+		t.Fatalf("errors=%d rate=%g, want all failed", rep.Ops["protect"].Errors, rep.ErrorRate)
+	}
+}

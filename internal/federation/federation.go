@@ -36,6 +36,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"regexp"
 	"sort"
 	"sync"
 	"time"
@@ -242,18 +243,32 @@ func validateConfig(cfg Config) error {
 // Create starts a federation with the given coordinator, who is its first
 // member. Name must be a valid keyring-style name.
 func (m *Manager) Create(coordinator, name string, cfg Config) (View, error) {
+	id, err := NewID()
+	if err != nil {
+		return View{}, err
+	}
+	return m.CreateWithID(id, coordinator, name, cfg)
+}
+
+// CreateWithID is Create under a caller-minted ID (see NewID) — the
+// cluster transport mints the ID up front so the creation can be routed
+// to the node that will own the federation. ErrExists if the ID is
+// already taken.
+func (m *Manager) CreateWithID(id, coordinator, name string, cfg Config) (View, error) {
+	if !ValidID(id) {
+		return View{}, fmt.Errorf("%w: malformed federation id", ErrBadConfig)
+	}
 	if err := keyring.ValidName(name); err != nil {
 		return View{}, fmt.Errorf("federation name: %w", err)
 	}
 	if err := validateConfig(cfg); err != nil {
 		return View{}, err
 	}
-	id, err := newID()
-	if err != nil {
-		return View{}, err
-	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if _, taken := m.feds[id]; taken {
+		return View{}, fmt.Errorf("%w: federation id already in use", ErrExists)
+	}
 	now := m.now()
 	f := &Federation{
 		ID:          id,
@@ -606,12 +621,22 @@ func (m *Manager) Stats() Stats {
 	return st
 }
 
-// newID mints an unguessable federation identifier; like job IDs it
+// NewID mints an unguessable federation identifier; like job IDs it
 // doubles as the invitation capability, so it must not be enumerable.
-func newID() (string, error) {
+// Exported so the cluster transport can mint an ID before routing the
+// creation to the owning node.
+func NewID() (string, error) {
 	var raw [12]byte
 	if _, err := rand.Read(raw[:]); err != nil {
 		return "", fmt.Errorf("federation: minting id: %w", err)
 	}
 	return "f" + hex.EncodeToString(raw[:]), nil
 }
+
+var idRE = regexp.MustCompile(`^f[0-9a-f]{24}$`)
+
+// ValidID reports whether id has the shape NewID mints. A transport
+// accepting caller-supplied IDs must check this: the ID doubles as the
+// invitation capability, so a short or guessable one would weaken the
+// federation it names.
+func ValidID(id string) bool { return idRE.MatchString(id) }

@@ -1,0 +1,189 @@
+package keyring
+
+import (
+	"bytes"
+	"errors"
+	"path/filepath"
+	"sort"
+	"testing"
+)
+
+func TestExportImportRoundTrip(t *testing.T) {
+	src := NewMemory()
+	if _, err := src.CreateWithToken("alice", testSecret(1), []byte("hash-a")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := src.Rotate("alice", testSecret(2)); err != nil {
+		t.Fatal(err)
+	}
+	exp, err := src.Export("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exp.MaxVersion() != 2 || !bytes.Equal(exp.TokenHash, []byte("hash-a")) {
+		t.Fatalf("export: max=%d token=%q", exp.MaxVersion(), exp.TokenHash)
+	}
+
+	dst := NewMemory()
+	if err := dst.ImportOwner(exp); err != nil {
+		t.Fatal(err)
+	}
+	got, err := dst.Get("alice")
+	if err != nil || got.Version != 2 {
+		t.Fatalf("after import: %+v err=%v", got, err)
+	}
+	th, err := dst.TokenHash("alice")
+	if err != nil || !bytes.Equal(th, []byte("hash-a")) {
+		t.Fatalf("after import: token=%q err=%v", th, err)
+	}
+	// Importing the same export again is a no-op, not an error.
+	if err := dst.ImportOwner(exp); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestImportLastWriterWins(t *testing.T) {
+	dst := NewMemory()
+	if _, err := dst.CreateWithToken("bob", testSecret(10), []byte("new-hash")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dst.Rotate("bob", testSecret(11)); err != nil {
+		t.Fatal(err)
+	}
+	// A stale single-version export must not clobber the two-version local
+	// history or its credential.
+	stale := NewMemory()
+	if _, err := stale.CreateWithToken("bob", testSecret(20), []byte("old-hash")); err != nil {
+		t.Fatal(err)
+	}
+	exp, err := stale.Export("bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.ImportOwner(exp); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := dst.Get("bob"); got.Version != 2 {
+		t.Fatalf("stale import rewound history to version %d", got.Version)
+	}
+	if th, _ := dst.TokenHash("bob"); !bytes.Equal(th, []byte("new-hash")) {
+		t.Fatalf("stale import replaced credential: %q", th)
+	}
+	// A newer history replaces local state wholesale.
+	newer := NewMemory()
+	if _, err := newer.CreateWithToken("bob", testSecret(30), []byte("newest-hash")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 31; i < 34; i++ {
+		if _, err := newer.Rotate("bob", testSecret(float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	exp, err = newer.Export("bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.ImportOwner(exp); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := dst.Get("bob"); got.Version != 4 {
+		t.Fatalf("newer import not adopted: version %d", got.Version)
+	}
+	if th, _ := dst.TokenHash("bob"); !bytes.Equal(th, []byte("newest-hash")) {
+		t.Fatalf("newer import kept stale credential: %q", th)
+	}
+}
+
+func TestExportCredentialOnlyOwner(t *testing.T) {
+	src := NewMemory()
+	if err := src.ClaimToken("carol", []byte("cred")); err != nil {
+		t.Fatal(err)
+	}
+	exp, err := src.Export("carol")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exp.MaxVersion() != 0 || exp.TokenHash == nil {
+		t.Fatalf("cred-only export: %+v", exp)
+	}
+	dst := NewMemory()
+	if err := dst.ImportOwner(exp); err != nil {
+		t.Fatal(err)
+	}
+	if th, err := dst.TokenHash("carol"); err != nil || !bytes.Equal(th, []byte("cred")) {
+		t.Fatalf("cred-only import: %q err=%v", th, err)
+	}
+}
+
+func TestExportUnknownOwner(t *testing.T) {
+	m := NewMemory()
+	if _, err := m.Export("ghost"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("want ErrNotFound, got %v", err)
+	}
+}
+
+func TestImportRejectsMalformed(t *testing.T) {
+	m := NewMemory()
+	bad := OwnerExport{Owner: "dave", Entries: []Entry{
+		{Owner: "dave", Version: 2, Secret: testSecret(1)},
+	}}
+	if err := m.ImportOwner(bad); err == nil {
+		t.Fatal("accepted non-contiguous history")
+	}
+	if err := m.ImportOwner(OwnerExport{Owner: "dave"}); err == nil {
+		t.Fatal("accepted empty export")
+	}
+	if err := m.ImportOwner(OwnerExport{Owner: "no/good", TokenHash: []byte("x")}); err == nil {
+		t.Fatal("accepted invalid owner name")
+	}
+}
+
+func TestOwnersUnion(t *testing.T) {
+	m := NewMemory()
+	if _, err := m.Create("keyed", testSecret(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.ClaimToken("credonly", []byte("h")); err != nil {
+		t.Fatal(err)
+	}
+	owners, err := m.Owners()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(owners)
+	want := []string{"credonly", "keyed"}
+	if len(owners) != 2 || owners[0] != want[0] || owners[1] != want[1] {
+		t.Fatalf("owners = %v, want %v", owners, want)
+	}
+}
+
+func TestFileImportPersists(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "keys.json")
+	f, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := NewMemory()
+	if _, err := src.CreateWithToken("erin", testSecret(5), []byte("eh")); err != nil {
+		t.Fatal(err)
+	}
+	exp, err := src.Export("erin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.ImportOwner(exp); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen: the import must have hit disk.
+	f2, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := f2.Get("erin"); err != nil || got.Version != 1 {
+		t.Fatalf("reopened: %+v err=%v", got, err)
+	}
+	owners, err := f2.Owners()
+	if err != nil || len(owners) != 1 || owners[0] != "erin" {
+		t.Fatalf("reopened owners: %v err=%v", owners, err)
+	}
+}

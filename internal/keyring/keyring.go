@@ -96,6 +96,16 @@ type Store interface {
 	// TokenHash returns the owner's stored credential hash; ErrNotFound
 	// when the owner is unknown or has no credential on file.
 	TokenHash(owner string) ([]byte, error)
+	// Export returns an owner's complete transferable state (version
+	// history plus credential hash) for ring replication and rebalance;
+	// ErrNotFound for an unknown owner.
+	Export(owner string) (OwnerExport, error)
+	// ImportOwner merges an export last-writer-wins by keyring version:
+	// a strictly newer history replaces the local one wholesale, an
+	// older or equal one is ignored. Idempotent.
+	ImportOwner(exp OwnerExport) error
+	// Owners returns every known owner name — keyed or credential-only.
+	Owners() ([]string, error)
 }
 
 // Memory is an in-process Store, safe for concurrent use.

@@ -1,0 +1,177 @@
+package ring
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func threeNodes() []Node {
+	return []Node{
+		{ID: "n1", Addr: "http://127.0.0.1:1001"},
+		{ID: "n2", Addr: "http://127.0.0.1:1002"},
+		{ID: "n3", Addr: "http://127.0.0.1:1003"},
+	}
+}
+
+func TestPlacementDeterministic(t *testing.T) {
+	a := New(0)
+	a.Seed(1, threeNodes())
+	b := New(0)
+	// Seed in a different order: placement must not depend on insertion.
+	ns := threeNodes()
+	b.Seed(1, []Node{ns[2], ns[0], ns[1]})
+	for i := 0; i < 200; i++ {
+		key := OwnerKey(fmt.Sprintf("owner-%d", i))
+		pa := a.Place(key, 2)
+		pb := b.Place(key, 2)
+		if len(pa) != 3 || len(pb) != 3 {
+			t.Fatalf("want 3 placements, got %d and %d", len(pa), len(pb))
+		}
+		for j := range pa {
+			if pa[j].ID != pb[j].ID {
+				t.Fatalf("key %s: placement diverged at %d: %s vs %s", key, j, pa[j].ID, pb[j].ID)
+			}
+		}
+	}
+}
+
+func TestPlaceDistinctAndOrdered(t *testing.T) {
+	r := New(32)
+	r.Seed(1, threeNodes())
+	for i := 0; i < 100; i++ {
+		key := OwnerKey(fmt.Sprintf("o%d", i))
+		p := r.Place(key, 5) // more replicas than members
+		if len(p) != 3 {
+			t.Fatalf("want all 3 members, got %d", len(p))
+		}
+		seen := map[string]bool{}
+		for _, n := range p {
+			if seen[n.ID] {
+				t.Fatalf("duplicate node %s in placement", n.ID)
+			}
+			seen[n.ID] = true
+		}
+		own, ok := r.Owner(key)
+		if !ok || own.ID != p[0].ID {
+			t.Fatalf("Owner disagrees with Place[0]")
+		}
+	}
+}
+
+func TestDistributionBalance(t *testing.T) {
+	r := New(DefaultVnodes)
+	r.Seed(1, threeNodes())
+	counts := map[string]int{}
+	const keys = 3000
+	for i := 0; i < keys; i++ {
+		n, _ := r.Owner(OwnerKey(fmt.Sprintf("user-%d", i)))
+		counts[n.ID]++
+	}
+	for id, c := range counts {
+		frac := float64(c) / keys
+		if frac < 0.15 || frac > 0.55 {
+			t.Fatalf("node %s owns %.0f%% of keys — ring badly unbalanced: %v", id, frac*100, counts)
+		}
+	}
+}
+
+func TestJoinMovesMinority(t *testing.T) {
+	r := New(DefaultVnodes)
+	r.Seed(1, threeNodes())
+	before := map[string]string{}
+	const keys = 1000
+	for i := 0; i < keys; i++ {
+		key := OwnerKey(fmt.Sprintf("k%d", i))
+		n, _ := r.Owner(key)
+		before[key] = n.ID
+	}
+	if _, _, err := r.Join(Node{ID: "n4", Addr: "http://127.0.0.1:1004"}); err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	for key, prev := range before {
+		n, _ := r.Owner(key)
+		if n.ID != prev {
+			if n.ID != "n4" {
+				t.Fatalf("key %s moved %s -> %s, not to the joining node", key, prev, n.ID)
+			}
+			moved++
+		}
+	}
+	// A fourth node should claim roughly a quarter of the space; well under half.
+	if moved == 0 || moved > keys/2 {
+		t.Fatalf("join moved %d/%d keys, want a small minority", moved, keys)
+	}
+}
+
+func TestJoinRejoinAndDuplicate(t *testing.T) {
+	r := New(8)
+	r.Seed(1, threeNodes())
+	ep0 := r.Epoch()
+	// Same ID, same addr: benign rejoin, no epoch bump.
+	ep, rejoined, err := r.Join(Node{ID: "n2", Addr: "http://127.0.0.1:1002"})
+	if err != nil || !rejoined || ep != ep0 {
+		t.Fatalf("rejoin: ep=%d rejoined=%v err=%v", ep, rejoined, err)
+	}
+	// Same ID, different addr: identity conflict.
+	if _, _, err := r.Join(Node{ID: "n2", Addr: "http://127.0.0.1:9999"}); !errors.Is(err, ErrDuplicateID) {
+		t.Fatalf("want ErrDuplicateID, got %v", err)
+	}
+	// Fresh node bumps the epoch.
+	ep, rejoined, err = r.Join(Node{ID: "n9", Addr: "http://127.0.0.1:1009"})
+	if err != nil || rejoined || ep != ep0+1 {
+		t.Fatalf("join: ep=%d rejoined=%v err=%v", ep, rejoined, err)
+	}
+}
+
+func TestAdoptEpochs(t *testing.T) {
+	r := New(8)
+	r.Seed(3, threeNodes())
+	// Older epoch refused.
+	if r.Adopt(2, threeNodes()[:1]) {
+		t.Fatal("adopted an older epoch")
+	}
+	// Equal epoch refused (local view wins until a bump).
+	if r.Adopt(3, threeNodes()[:1]) {
+		t.Fatal("adopted an equal epoch")
+	}
+	// Newer epoch adopted.
+	if !r.Adopt(5, threeNodes()[:2]) {
+		t.Fatal("refused a newer epoch")
+	}
+	if r.Len() != 2 || r.Epoch() != 5 {
+		t.Fatalf("after adopt: len=%d epoch=%d", r.Len(), r.Epoch())
+	}
+}
+
+func TestRemove(t *testing.T) {
+	r := New(8)
+	r.Seed(1, threeNodes())
+	ep, ok := r.Remove("n2")
+	if !ok || ep != 2 || r.Len() != 2 {
+		t.Fatalf("remove: ep=%d ok=%v len=%d", ep, ok, r.Len())
+	}
+	if _, ok := r.Lookup("n2"); ok {
+		t.Fatal("removed node still resolvable")
+	}
+	if _, ok := r.Remove("n2"); ok {
+		t.Fatal("second remove reported a member")
+	}
+	for i := 0; i < 50; i++ {
+		n, ok := r.Owner(OwnerKey(fmt.Sprintf("x%d", i)))
+		if !ok || n.ID == "n2" {
+			t.Fatalf("key placed on removed node (%v, %v)", n, ok)
+		}
+	}
+}
+
+func TestEmptyRing(t *testing.T) {
+	r := New(8)
+	if _, ok := r.Owner("owner:a"); ok {
+		t.Fatal("empty ring returned an owner")
+	}
+	if p := r.Place("owner:a", 2); p != nil {
+		t.Fatalf("empty ring returned placements: %v", p)
+	}
+}

@@ -1,0 +1,159 @@
+package service
+
+// Per-owner admission control: a token bucket per owner with a bounded
+// reservation queue in front of it. One hot owner saturating the node
+// degrades into *that owner's* requests queueing and then shedding with
+// a typed rate_limited error, instead of starving every other owner's
+// latency — the same isolation the sharded datastore gives reads,
+// applied to request admission.
+//
+// The queue is the classic negative-bucket reservation: a caller that
+// finds the bucket empty takes a token anyway, driving the level
+// negative, and sleeps until the refill covers its debt. The bucket
+// level therefore doubles as the queue depth, and bounding it bounds
+// both queueing delay (depth/rate seconds) and memory.
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ppclust/internal/metrics"
+)
+
+// AdmissionConfig tunes per-owner admission control. The zero value
+// disables it.
+type AdmissionConfig struct {
+	// Rate is the sustained request budget per owner in requests/second.
+	// <= 0 disables admission control entirely.
+	Rate float64
+	// Burst is the bucket capacity — requests an idle owner may fire
+	// back-to-back before the rate applies. Defaults to max(1, Rate).
+	Burst int
+	// MaxQueue bounds how many requests per owner may wait for refill
+	// before new ones are shed immediately. Defaults to 16.
+	MaxQueue int
+}
+
+func (cfg AdmissionConfig) withDefaults() AdmissionConfig {
+	if cfg.Burst <= 0 {
+		cfg.Burst = int(cfg.Rate)
+		if cfg.Burst < 1 {
+			cfg.Burst = 1
+		}
+	}
+	if cfg.MaxQueue <= 0 {
+		cfg.MaxQueue = 16
+	}
+	return cfg
+}
+
+type bucket struct {
+	mu     sync.Mutex
+	tokens float64 // may go negative: -tokens is the reservation queue depth
+	last   time.Time
+}
+
+type admission struct {
+	cfg       AdmissionConfig
+	now       func() time.Time
+	mu        sync.Mutex
+	buckets   map[string]*bucket
+	waiting   atomic.Int64
+	throttled *metrics.Counter // requests that queued for refill
+	rejected  *metrics.Counter // requests shed with ErrRateLimited
+}
+
+func newAdmission(cfg AdmissionConfig, reg *metrics.Registry) *admission {
+	if cfg.Rate <= 0 {
+		return nil
+	}
+	return &admission{
+		cfg:       cfg.withDefaults(),
+		now:       time.Now,
+		buckets:   map[string]*bucket{},
+		throttled: reg.Counter("admission_throttled_total"),
+		rejected:  reg.Counter("admission_rejected_total"),
+	}
+}
+
+func (a *admission) bucket(owner string) *bucket {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b, ok := a.buckets[owner]
+	if !ok {
+		b = &bucket{tokens: float64(a.cfg.Burst), last: a.now()}
+		a.buckets[owner] = b
+	}
+	return b
+}
+
+// reserve takes one token, reporting how long the caller must wait for
+// the refill to cover it, or that the queue is full.
+func (a *admission) reserve(owner string) (wait time.Duration, ok bool) {
+	b := a.bucket(owner)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := a.now()
+	b.tokens += now.Sub(b.last).Seconds() * a.cfg.Rate
+	if max := float64(a.cfg.Burst); b.tokens > max {
+		b.tokens = max
+	}
+	b.last = now
+	if b.tokens-1 < -float64(a.cfg.MaxQueue) {
+		return 0, false
+	}
+	b.tokens--
+	if b.tokens >= 0 {
+		return 0, true
+	}
+	return time.Duration(-b.tokens / a.cfg.Rate * float64(time.Second)), true
+}
+
+// refund returns an unused reservation (context cancelled while
+// queued) so abandoned waiters don't consume budget.
+func (a *admission) refund(owner string) {
+	b := a.bucket(owner)
+	b.mu.Lock()
+	b.tokens++
+	b.mu.Unlock()
+}
+
+func (a *admission) admit(ctx context.Context, owner string) error {
+	wait, ok := a.reserve(owner)
+	if !ok {
+		a.rejected.Inc()
+		return mark(ErrRateLimited, fmt.Errorf("owner %q over rate limit (%.3g req/s, queue full); retry later", owner, a.cfg.Rate))
+	}
+	if wait <= 0 {
+		return nil
+	}
+	a.throttled.Inc()
+	a.waiting.Add(1)
+	defer a.waiting.Add(-1)
+	t := time.NewTimer(wait)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		a.refund(owner)
+		return mark(ErrRateLimited, fmt.Errorf("owner %q: gave up waiting for admission: %w", owner, ctx.Err()))
+	}
+}
+
+// Admit blocks until owner is within its admission budget, sheds the
+// request with an ErrRateLimited-classified error when the owner's
+// queue is full, and is a no-op when admission control is disabled.
+// Transports call it once per owner-scoped request before dispatch.
+func (s *Services) Admit(ctx context.Context, owner string) error {
+	if s.c.adm == nil || owner == "" {
+		return nil
+	}
+	return s.c.adm.admit(ctx, owner)
+}
+
+// AdmissionEnabled reports whether a rate limit is configured.
+func (s *Services) AdmissionEnabled() bool { return s.c.adm != nil }

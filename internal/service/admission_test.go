@@ -1,0 +1,132 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"ppclust/internal/metrics"
+)
+
+// fakeClock drives the bucket refill deterministically.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func newTestAdmission(cfg AdmissionConfig) (*admission, *fakeClock) {
+	a := newAdmission(cfg, metrics.NewRegistry())
+	clk := &fakeClock{t: time.Unix(1700000000, 0)}
+	a.now = clk.now
+	return a, clk
+}
+
+func TestAdmissionBurstThenShed(t *testing.T) {
+	a, _ := newTestAdmission(AdmissionConfig{Rate: 1, Burst: 3, MaxQueue: 2})
+	ctx := context.Background()
+	// Burst passes without waiting.
+	for i := 0; i < 3; i++ {
+		if wait, ok := a.reserve("alice"); !ok || wait != 0 {
+			t.Fatalf("burst req %d: wait=%v ok=%v", i, wait, ok)
+		}
+	}
+	// Next two queue with growing waits.
+	w1, ok := a.reserve("alice")
+	if !ok || w1 <= 0 {
+		t.Fatalf("first queued: wait=%v ok=%v", w1, ok)
+	}
+	w2, ok := a.reserve("alice")
+	if !ok || w2 <= w1 {
+		t.Fatalf("second queued: wait=%v ok=%v (first %v)", w2, ok, w1)
+	}
+	// Queue full: shed with the typed sentinel.
+	if err := a.admit(ctx, "alice"); !errors.Is(err, ErrRateLimited) {
+		t.Fatalf("want ErrRateLimited, got %v", err)
+	}
+	if Code(mark(ErrRateLimited, errors.New("x"))) != CodeRateLimited {
+		t.Fatal("rate-limited code mapping broken")
+	}
+	if a.rejected.Value() != 1 {
+		t.Fatalf("rejected counter = %d", a.rejected.Value())
+	}
+}
+
+func TestAdmissionPerOwnerIsolation(t *testing.T) {
+	a, _ := newTestAdmission(AdmissionConfig{Rate: 1, Burst: 1, MaxQueue: 1})
+	if _, ok := a.reserve("hot"); !ok {
+		t.Fatal("hot burst refused")
+	}
+	if _, ok := a.reserve("hot"); !ok {
+		t.Fatal("hot queue slot refused")
+	}
+	if _, ok := a.reserve("hot"); ok {
+		t.Fatal("hot owner admitted past its queue")
+	}
+	// A different owner is untouched by the hot owner's debt.
+	if wait, ok := a.reserve("cold"); !ok || wait != 0 {
+		t.Fatalf("cold owner throttled: wait=%v ok=%v", wait, ok)
+	}
+}
+
+func TestAdmissionRefill(t *testing.T) {
+	a, clk := newTestAdmission(AdmissionConfig{Rate: 10, Burst: 2, MaxQueue: 4})
+	for i := 0; i < 2; i++ {
+		if _, ok := a.reserve("o"); !ok {
+			t.Fatal("burst refused")
+		}
+	}
+	if wait, _ := a.reserve("o"); wait == 0 {
+		t.Fatal("expected a queued wait after burst")
+	}
+	// After a second at 10 req/s the debt is repaid and the bucket is
+	// partially refilled.
+	clk.advance(time.Second)
+	if wait, ok := a.reserve("o"); !ok || wait != 0 {
+		t.Fatalf("after refill: wait=%v ok=%v", wait, ok)
+	}
+}
+
+func TestAdmissionCancelledWaiterRefunds(t *testing.T) {
+	a, _ := newTestAdmission(AdmissionConfig{Rate: 0.001, Burst: 1, MaxQueue: 1})
+	ctx, cancel := context.WithCancel(context.Background())
+	if err := a.admit(ctx, "o"); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- a.admit(ctx, "o") }()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	if err := <-done; !errors.Is(err, ErrRateLimited) {
+		t.Fatalf("cancelled waiter: %v", err)
+	}
+	// The refunded slot is claimable again: the queue is not leaked.
+	if _, ok := a.reserve("o"); !ok {
+		t.Fatal("queue slot leaked by cancelled waiter")
+	}
+}
+
+func TestAdmitDisabled(t *testing.T) {
+	svc := newTestServices(t)
+	if svc.AdmissionEnabled() {
+		t.Fatal("admission enabled with zero config")
+	}
+	for i := 0; i < 1000; i++ {
+		if err := svc.Admit(context.Background(), "anyone"); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -57,6 +57,12 @@ func (c *deps) authorize(owner, token string) error {
 	stored, err := c.keys.TokenHash(owner)
 	if err != nil {
 		if errors.Is(err, keyring.ErrNotFound) {
+			// No local credential: on a ring the owner's home node may
+			// hold one (e.g. a federation member served here for the
+			// first time).
+			if done, rerr := c.ringAuthorize(owner, token); done || rerr != nil {
+				return classify(rerr)
+			}
 			return mark(ErrForbidden, fmt.Errorf("owner %q: %w", owner, errNoCredential))
 		}
 		return classify(err)
@@ -81,7 +87,7 @@ func (c *deps) ownerKnown(owner string) (bool, error) {
 	} else if !errors.Is(err, keyring.ErrNotFound) {
 		return false, classify(err)
 	}
-	return false, nil
+	return c.ringOwnerKnown(owner)
 }
 
 func (c *deps) claimOwner(owner string) (token string, err error) {
@@ -89,11 +95,20 @@ func (c *deps) claimOwner(owner string) (token string, err error) {
 	if err != nil {
 		return "", err
 	}
+	// On a ring, the owner's home node arbitrates the claim first so two
+	// parties claiming one name on different nodes race to one winner.
+	if err := c.ringClaimOwner(owner, hash); err != nil {
+		if errors.Is(err, ErrConflict) {
+			err = fmt.Errorf("owner %q was created concurrently; retry with its bearer token: %w", owner, err)
+		}
+		return "", classify(err)
+	}
 	if err := c.keys.ClaimToken(owner, hash); err != nil {
 		if errors.Is(err, keyring.ErrExists) {
 			err = fmt.Errorf("owner %q was created concurrently; retry with its bearer token: %w", owner, err)
 		}
 		return "", classify(err)
 	}
+	c.replicate(ReplicationEvent{Kind: ReplicateOwner, Owner: owner})
 	return tok, nil
 }

@@ -116,6 +116,7 @@ func (d *DatasetService) Upload(req UploadRequest, src RowSource) (UploadResult,
 		return out, classify(err)
 	}
 	d.c.rowsIngested.Add(int64(ds.Rows))
+	d.c.replicate(ReplicationEvent{Kind: ReplicateDataset, Owner: ds.Owner, Dataset: ds.Name})
 	out.Meta = ds.Meta
 	return out, nil
 }
@@ -155,7 +156,11 @@ func (d *DatasetService) Delete(owner, name string) error {
 	if IsFederationDataset(name) {
 		return mark(ErrConflict, fmt.Errorf("%q is a federation contribution; withdraw it via the federation instead", name))
 	}
-	return classify(d.c.st.Delete(owner, name))
+	if err := d.c.st.Delete(owner, name); err != nil {
+		return classify(err)
+	}
+	d.c.replicate(ReplicationEvent{Kind: ReplicateDatasetDelete, Owner: owner, Dataset: name})
+	return nil
 }
 
 // intLabel parses a ground-truth label carried in a numeric column.

@@ -42,6 +42,9 @@ var (
 	// ErrDraining reports a service shutting down; the client should
 	// retry after the restart.
 	ErrDraining = errors.New("draining")
+	// ErrRateLimited reports an owner over its admission budget; the
+	// client should back off and retry.
+	ErrRateLimited = errors.New("rate limited")
 	// ErrInternal reports an unexpected failure.
 	ErrInternal = errors.New("internal error")
 )
@@ -54,6 +57,7 @@ const (
 	CodeUnauthenticated = "unauthenticated"
 	CodeInvalid         = "invalid"
 	CodeDraining        = "draining"
+	CodeRateLimited     = "rate_limited"
 	CodeInternal        = "internal"
 )
 
@@ -73,6 +77,8 @@ func Code(err error) string {
 		return CodeInvalid
 	case errors.Is(err, ErrDraining):
 		return CodeDraining
+	case errors.Is(err, ErrRateLimited):
+		return CodeRateLimited
 	default:
 		return CodeInternal
 	}
@@ -98,6 +104,17 @@ func mark(kind, err error) error {
 
 // Invalid marks err as an invalid-request error.
 func Invalid(err error) error { return mark(ErrInvalid, err) }
+
+// NotFoundErr marks err as a not-found error — for cluster layers
+// mapping remote lookups into the service vocabulary.
+func NotFoundErr(err error) error { return mark(ErrNotFound, err) }
+
+// Conflict marks err as a conflict error — for cluster layers mapping
+// remote claim races (HTTP 409s) into the service vocabulary.
+func Conflict(err error) error { return mark(ErrConflict, err) }
+
+// Internal marks err as an internal error.
+func Internal(err error) error { return mark(ErrInternal, err) }
 
 // Wrap classifies an arbitrary domain error through the shared mapper —
 // for transports that produce their own errors (codec failures, bad query

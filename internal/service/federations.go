@@ -109,13 +109,28 @@ type FederationService struct {
 
 // Create opens a federation coordinated by owner.
 func (f *FederationService) Create(owner string, spec CreateFederationSpec) (federation.View, error) {
-	v, err := f.c.feds.Create(owner, spec.Name, federation.Config{
+	return f.CreateWithID("", owner, spec)
+}
+
+// CreateWithID is Create under a caller-chosen federation ID — the ring
+// transport pre-generates the ID so it can route the creation to the
+// node that will own the federation. An empty id means "generate one",
+// which is plain Create.
+func (f *FederationService) CreateWithID(id, owner string, spec CreateFederationSpec) (federation.View, error) {
+	cfg := federation.Config{
 		Columns: spec.Columns,
 		Norm:    spec.Norm,
 		Rho1:    spec.Rho1,
 		Rho2:    spec.Rho2,
 		Seed:    spec.Seed,
-	})
+	}
+	var v federation.View
+	var err error
+	if id == "" {
+		v, err = f.c.feds.Create(owner, spec.Name, cfg)
+	} else {
+		v, err = f.c.feds.CreateWithID(id, owner, spec.Name, cfg)
+	}
 	return v, classify(err)
 }
 
@@ -145,7 +160,9 @@ func (f *FederationService) Delete(id, owner string) (leftovers []string, err er
 	for _, p := range contributed {
 		if derr := f.c.st.Delete(p.Owner, p.Dataset); derr != nil && !errors.Is(derr, datastore.ErrNotFound) {
 			leftovers = append(leftovers, p.Owner+"/"+p.Dataset)
+			continue
 		}
+		f.c.replicate(ReplicationEvent{Kind: ReplicateDatasetDelete, Owner: p.Owner, Dataset: p.Dataset})
 	}
 	return leftovers, nil
 }
@@ -224,6 +241,7 @@ func (f *FederationService) contributeFit(id, owner string, v federation.View, s
 		return federation.View{}, classify(err)
 	}
 	f.c.rowsProtected.Add(int64(res.Released.Rows()))
+	f.c.replicate(ReplicationEvent{Kind: ReplicateDataset, Owner: owner, Dataset: name})
 	return fv, nil
 }
 
@@ -283,6 +301,7 @@ func (f *FederationService) contributeStream(id, owner string, v federation.View
 		return federation.View{}, classify(err)
 	}
 	f.c.rowsProtected.Add(int64(ds.Rows))
+	f.c.replicate(ReplicationEvent{Kind: ReplicateDataset, Owner: owner, Dataset: name})
 	return fv, nil
 }
 
@@ -305,6 +324,7 @@ func (f *FederationService) Withdraw(id, owner string) (string, error) {
 	if err := f.c.st.Delete(owner, name); err != nil && !errors.Is(err, datastore.ErrNotFound) {
 		return "", classify(err)
 	}
+	f.c.replicate(ReplicationEvent{Kind: ReplicateDatasetDelete, Owner: owner, Dataset: name})
 	return name, nil
 }
 

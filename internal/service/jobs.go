@@ -339,6 +339,8 @@ func (j *JobService) runProtect(ctx context.Context, t *jobs.Task) (any, error) 
 		return nil, err
 	}
 	j.c.rowsProtected.Add(int64(out.Rows))
+	j.c.replicate(ReplicationEvent{Kind: ReplicateDataset, Owner: t.Owner, Dataset: spec.Dest})
+	j.c.replicate(ReplicationEvent{Kind: ReplicateOwner, Owner: t.Owner})
 	return map[string]any{
 		"dataset":     spec.Dest,
 		"rows":        out.Rows,

@@ -129,6 +129,7 @@ func (k *KeyService) FitProtect(owner string, st OwnerState, data *matrix.Dense,
 		token = tok
 	}
 	k.c.rowsProtected.Add(int64(res.Released.Rows()))
+	k.c.replicate(ReplicationEvent{Kind: ReplicateOwner, Owner: owner})
 	return FitResult{Released: res.Released, KeyVersion: entry.Version, MintedToken: token}, nil
 }
 

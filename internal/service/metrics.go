@@ -37,6 +37,9 @@ func (s *Services) MetricsSnapshot() map[string]int64 {
 	snap["jobs_running"] = int64(stats.RunningNow)
 	snap["job_workers"] = int64(stats.Workers)
 	snap["engine_workers"] = int64(s.c.eng.Workers())
+	if s.c.adm != nil {
+		snap["admission_waiting"] = s.c.adm.waiting.Load()
+	}
 	// Federation gauges: state totals plus per-federation membership and
 	// contributed-row sizes. Cardinality is bounded by the number of live
 	// federations; the label is a hash prefix, never the capability ID.

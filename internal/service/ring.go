@@ -1,0 +1,137 @@
+package service
+
+// The ring seam: when ppclustd runs as one node of a consistent-hash
+// ring, the cluster layer registers a RingHook and the services become
+// cluster-aware at exactly three points — is this owner known anywhere,
+// who arbitrates a name claim, and which writes must flow to successor
+// replicas. Everything else (placement, forwarding, transfer transport)
+// stays out of the service layer; a nil hook is single-node ppclust,
+// bit-for-bit.
+
+import (
+	"bytes"
+	"crypto/subtle"
+	"errors"
+	"fmt"
+
+	"ppclust/internal/keyring"
+)
+
+// ReplicationKind names one class of replicated write.
+type ReplicationKind string
+
+const (
+	// ReplicateOwner: the owner's keyring state (entries and/or
+	// credential hash) changed.
+	ReplicateOwner ReplicationKind = "owner"
+	// ReplicateDataset: a dataset was created or replaced.
+	ReplicateDataset ReplicationKind = "dataset"
+	// ReplicateDatasetDelete: a dataset was removed.
+	ReplicateDatasetDelete ReplicationKind = "dataset-delete"
+)
+
+// ReplicationEvent describes one durable write the ring layer should
+// mirror to successor nodes. Events carry names, never payloads — the
+// sink reads current state when it ships, so a burst of writes to one
+// owner collapses into whatever is current at send time (last writer
+// wins by keyring version / dataset creation time on the receiver).
+type ReplicationEvent struct {
+	Kind    ReplicationKind
+	Owner   string
+	Dataset string // set for dataset kinds
+}
+
+// RingHook is what a cluster layer implements to participate in
+// ownership and replication decisions. All methods must be safe for
+// concurrent use. Replicate must not block: services call it inline on
+// write paths.
+type RingHook interface {
+	// Owns reports whether this node is the current primary for the
+	// placement key (see ring.OwnerKey/ring.FedKey).
+	Owns(key string) bool
+	// LookupCred fetches an owner's credential hash from the owner's
+	// home node (or its replicas) when the local keyring has none.
+	// ok=false with nil err means the owner is unknown cluster-wide.
+	LookupCred(owner string) (hash []byte, ok bool, err error)
+	// InstallCred registers a credential hash for a new owner at the
+	// owner's home node — the cluster-wide arbitration point for name
+	// claims. An ErrConflict-classified error means another claimant
+	// won.
+	InstallCred(owner string, hash []byte) error
+	// Replicate queues a write event for asynchronous mirroring.
+	Replicate(ev ReplicationEvent)
+}
+
+// SetRing registers the cluster hook. It must be called after New and
+// before the services take traffic; the field is read without
+// synchronization on hot paths.
+func (s *Services) SetRing(h RingHook) { s.c.ring = h }
+
+// replicate forwards a write event to the ring sink, if any.
+func (c *deps) replicate(ev ReplicationEvent) {
+	if c.ring != nil {
+		c.ring.Replicate(ev)
+	}
+}
+
+// ringOwnerKnown consults the cluster when the local keyring has never
+// heard of owner: if any replica of the owner's home node holds a
+// credential, it is cached locally (best-effort) so the next request
+// short-circuits, and the owner counts as known.
+func (c *deps) ringOwnerKnown(owner string) (bool, error) {
+	if c.ring == nil {
+		return false, nil
+	}
+	hash, ok, err := c.ring.LookupCred(owner)
+	if err != nil || !ok {
+		return false, err
+	}
+	// Cache the fetched credential. A lost race or a keyed-but-credless
+	// local owner just means the cache is skipped — not an error.
+	_ = c.keys.ClaimToken(owner, hash)
+	return true, nil
+}
+
+// ringAuthorize verifies token against a cluster-fetched credential
+// when the local keyring has none. Returns done=false when the ring
+// cannot resolve the owner either, letting the caller fall back to the
+// single-node failure path.
+func (c *deps) ringAuthorize(owner, token string) (done bool, err error) {
+	if c.ring == nil {
+		return false, nil
+	}
+	stored, ok, err := c.ring.LookupCred(owner)
+	if err != nil || !ok {
+		return false, err
+	}
+	_ = c.keys.ClaimToken(owner, stored)
+	if token == "" {
+		return true, mark(ErrUnauthenticated, fmt.Errorf("owner %q: %w", owner, errNoToken))
+	}
+	if subtle.ConstantTimeCompare(HashToken(token), stored) != 1 {
+		return true, mark(ErrForbidden, fmt.Errorf("owner %q: %w", owner, errBadToken))
+	}
+	return true, nil
+}
+
+// ringClaimOwner arbitrates a name claim through the owner's home node
+// before (or instead of) claiming locally. The home node's keyring is
+// the single decision point, so two parties claiming one name on
+// different nodes race to exactly one winner cluster-wide.
+func (c *deps) ringClaimOwner(owner string, hash []byte) error {
+	if c.ring == nil {
+		return nil
+	}
+	if err := c.ring.InstallCred(owner, hash); err != nil {
+		if errors.Is(err, ErrConflict) || errors.Is(err, keyring.ErrExists) {
+			// Someone else holds the name cluster-wide. If the winning
+			// credential matches ours we raced against our own install
+			// (a retry, or we are the home node); treat as won.
+			if stored, ok, lerr := c.ring.LookupCred(owner); lerr == nil && ok && bytes.Equal(stored, hash) {
+				return nil
+			}
+		}
+		return classify(err)
+	}
+	return nil
+}

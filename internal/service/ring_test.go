@@ -1,0 +1,147 @@
+package service
+
+// The ring seam exercised with a fake hook: credential resolution falls
+// back to the cluster, claims arbitrate through the home node, and
+// every durable write emits a replication event.
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+
+	"ppclust/internal/matrix"
+)
+
+type fakeRing struct {
+	mu        sync.Mutex
+	creds     map[string][]byte
+	events    []ReplicationEvent
+	conflicts bool // InstallCred refuses every claim
+}
+
+func (f *fakeRing) Owns(key string) bool { return true }
+
+func (f *fakeRing) LookupCred(owner string) ([]byte, bool, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	h, ok := f.creds[owner]
+	return h, ok, nil
+}
+
+func (f *fakeRing) InstallCred(owner string, hash []byte) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.conflicts {
+		return Conflict(errors.New("home node refused"))
+	}
+	if _, taken := f.creds[owner]; taken {
+		return Conflict(errors.New("name taken"))
+	}
+	if f.creds == nil {
+		f.creds = map[string][]byte{}
+	}
+	f.creds[owner] = append([]byte(nil), hash...)
+	return nil
+}
+
+func (f *fakeRing) Replicate(ev ReplicationEvent) {
+	f.mu.Lock()
+	f.events = append(f.events, ev)
+	f.mu.Unlock()
+}
+
+func (f *fakeRing) eventKinds() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]string, len(f.events))
+	for i, ev := range f.events {
+		out[i] = string(ev.Kind) + ":" + ev.Owner + "/" + ev.Dataset
+	}
+	return out
+}
+
+func TestRingCredentialFallback(t *testing.T) {
+	svc := newTestServices(t)
+	hook := &fakeRing{creds: map[string][]byte{"remote-owner": HashToken("their-token")}}
+	svc.SetRing(hook)
+
+	// The local keyring has never seen remote-owner, but the cluster has.
+	known, err := svc.OwnerKnown("remote-owner")
+	if err != nil || !known {
+		t.Fatalf("OwnerKnown = %v, %v", known, err)
+	}
+	if err := svc.Authorize("remote-owner", "their-token"); err != nil {
+		t.Fatalf("authorize with cluster credential: %v", err)
+	}
+	if err := svc.Authorize("remote-owner", "wrong"); !errors.Is(err, ErrForbidden) {
+		t.Fatalf("wrong token: %v", err)
+	}
+	// The fetched credential is now cached locally.
+	if _, err := svc.c.keys.TokenHash("remote-owner"); err != nil {
+		t.Fatalf("credential not cached: %v", err)
+	}
+	// Owners absent cluster-wide stay unknown.
+	if known, err := svc.OwnerKnown("nobody"); err != nil || known {
+		t.Fatalf("ghost owner: known=%v err=%v", known, err)
+	}
+}
+
+func TestRingClaimArbitration(t *testing.T) {
+	svc := newTestServices(t)
+	hook := &fakeRing{}
+	svc.SetRing(hook)
+
+	tok, err := svc.ClaimOwner("alice")
+	if err != nil || tok == "" {
+		t.Fatalf("claim: %q %v", tok, err)
+	}
+	// The claim reached the home node and was replicated.
+	if _, ok := hook.creds["alice"]; !ok {
+		t.Fatal("claim never arbitrated at home node")
+	}
+	kinds := hook.eventKinds()
+	if len(kinds) == 0 || !strings.HasPrefix(kinds[len(kinds)-1], "owner:alice") {
+		t.Fatalf("no owner replication event: %v", kinds)
+	}
+	// A losing claim maps to ErrConflict.
+	hook.conflicts = true
+	if _, err := svc.ClaimOwner("bob"); !errors.Is(err, ErrConflict) {
+		t.Fatalf("lost claim: %v", err)
+	}
+}
+
+func TestRingReplicationEvents(t *testing.T) {
+	svc := newTestServices(t)
+	hook := &fakeRing{}
+	svc.SetRing(hook)
+
+	res, err := svc.Datasets.Upload(UploadRequest{Owner: "carol", Name: "d1", Claim: true},
+		&SliceRows{Columns: []string{"a", "b", "c"}, Rows: blobs(30)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MintedToken == "" {
+		t.Fatal("no token minted")
+	}
+	st, err := svc.Keys.State("carol")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Keys.FitProtect("carol", st, matrix.FromRows(blobs(30)), testProtectOptions()); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Datasets.Delete("carol", "d1"); err != nil {
+		t.Fatal(err)
+	}
+	kinds := hook.eventKinds()
+	want := []string{"owner:carol/", "dataset:carol/d1", "owner:carol/", "dataset-delete:carol/d1"}
+	if len(kinds) != len(want) {
+		t.Fatalf("events = %v, want %v", kinds, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("event %d = %q, want %q (all: %v)", i, kinds[i], want[i], kinds)
+		}
+	}
+}

@@ -42,6 +42,8 @@ type Config struct {
 	Federations *federation.Manager
 	// Metrics receives the services' counters (nil: a fresh registry).
 	Metrics *metrics.Registry
+	// Admission configures per-owner rate limiting (zero: disabled).
+	Admission AdmissionConfig
 }
 
 // deps is the dependency bundle every service shares.
@@ -55,6 +57,11 @@ type deps struct {
 	reg                                        *metrics.Registry
 	rowsProtected, rowsRecovered, rowsIngested *metrics.Counter
 	tuneEvaluated, tunePruned, tuneFailed      *metrics.Counter
+
+	// ring is the cluster seam (nil when running single-node); adm is
+	// per-owner admission control (nil when disabled).
+	ring RingHook
+	adm  *admission
 
 	// fedResched serializes rescheduling of lost federation jobs so
 	// concurrent result fetches submit one replacement, not several.
@@ -93,6 +100,7 @@ func New(cfg Config) *Services {
 		tunePruned:    reg.Counter("tune_candidates_pruned_total"),
 		tuneFailed:    reg.Counter("tune_candidates_failed_total"),
 	}
+	c.adm = newAdmission(cfg.Admission, reg)
 	s := &Services{
 		Datasets:    &DatasetService{c: c},
 		Keys:        &KeyService{c: c},

@@ -25,6 +25,8 @@ import (
 	"net/url"
 	"strconv"
 	"strings"
+	"sync"
+	"syscall"
 	"time"
 )
 
@@ -51,6 +53,11 @@ type Client struct {
 	// the request context cancels the wait.
 	RetryBackoff    time.Duration
 	RetryMaxBackoff time.Duration
+
+	// ringTable, when loaded by UseRing, routes owner-scoped requests
+	// straight to the owner's home node.
+	ringMu    sync.RWMutex
+	ringTable *ringState
 }
 
 // New returns a client for owner against baseURL.
@@ -339,13 +346,14 @@ func (c *Client) httpClient() *http.Client {
 	return http.DefaultClient
 }
 
-// newRequest builds an authenticated request with the owner query set.
+// newRequest builds an authenticated request with the owner query set,
+// routed to the owner's home node when a ring table is loaded.
 func (c *Client) newRequest(ctx context.Context, method, path string, body io.Reader) (*http.Request, error) {
 	sep := "?"
 	if strings.Contains(path, "?") {
 		sep = "&"
 	}
-	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path+sep+"owner="+url.QueryEscape(c.Owner), body)
+	req, err := http.NewRequestWithContext(ctx, method, c.routeBase(path)+path+sep+"owner="+url.QueryEscape(c.Owner), body)
 	if err != nil {
 		return nil, err
 	}
@@ -391,19 +399,49 @@ func (c *Client) exec(req *http.Request, out any) error {
 	return nil
 }
 
-// do runs the request to a 2xx body, retrying where it is safe:
+// do runs the request through DoRaw to a 2xx body, mapping non-2xx
+// responses to APIError and capturing a freshly minted token.
+func (c *Client) do(req *http.Request) ([]byte, error) {
+	resp, err := c.DoRaw(req)
+	if err != nil {
+		return nil, err
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return nil, err
+	}
+	if tok := resp.Header.Get("X-Ppclust-Token"); tok != "" && c.Token == "" {
+		c.Token = tok
+	}
+	if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+		return raw, nil
+	}
+	return nil, apiError(resp.StatusCode, raw)
+}
+
+// DoRaw runs an arbitrary request through the client's retry machinery
+// and returns the final response unread (the caller owns Body). Retries
+// happen where they are safe:
 //
 //   - idempotent GETs on transport errors and gateway-ish statuses
 //     (502/503/504) — a restarting daemon refuses connections for a
 //     moment, and polls must ride that out;
+//   - any method on connection-refused when the body can be rewound —
+//     refused means the peer never saw the request, so resending cannot
+//     double-apply it. This is what lets ring forwarding fail over to a
+//     successor while a dead node's entry is still in the member list;
 //   - any method on 503 when the body can be rewound (GetBody is set for
 //     the in-memory bodies every JSON call uses) — a draining daemon
 //     answers 503 to submissions, and the persisted queue makes the
 //     retry safe after restart.
 //
+// Non-2xx statuses that are not retryable (or are out of retries) are
+// returned as responses, not errors — ppclustd's ring proxy passes them
+// through verbatim; do maps them to APIError for the typed API.
 // Backoff is exponential with ±50% jitter, capped, and aborted by the
 // request context.
-func (c *Client) do(req *http.Request) ([]byte, error) {
+func (c *Client) DoRaw(req *http.Request) (*http.Response, error) {
 	retries := c.Retries
 	switch {
 	case retries == 0:
@@ -416,34 +454,42 @@ func (c *Client) do(req *http.Request) ([]byte, error) {
 		resp, err := c.httpClient().Do(req)
 		if err != nil {
 			lastErr = err
-			if req.Method != http.MethodGet || attempt >= retries {
+			retriableTransport := req.Method == http.MethodGet ||
+				(connRefused(err) && rewind(req) == nil)
+			if attempt >= retries || !retriableTransport {
 				return nil, err
 			}
+			if req.Method == http.MethodGet {
+				// GET bodies are rare but possible; best-effort rewind.
+				_ = rewind(req)
+			}
 			if err := c.backoff(req.Context(), attempt); err != nil {
 				return nil, lastErr
 			}
 			continue
-		}
-		raw, err := io.ReadAll(resp.Body)
-		resp.Body.Close()
-		if err != nil {
-			return nil, err
-		}
-		if tok := resp.Header.Get("X-Ppclust-Token"); tok != "" && c.Token == "" {
-			c.Token = tok
 		}
 		if resp.StatusCode >= 200 && resp.StatusCode < 300 {
-			return raw, nil
+			return resp, nil
 		}
-		lastErr = apiError(resp.StatusCode, raw)
 		if attempt < retries && c.retryable(req, resp.StatusCode) && rewind(req) == nil {
+			// The retried response is consumed before backing off; if the
+			// context dies during the wait there is nothing left to return.
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
 			if err := c.backoff(req.Context(), attempt); err != nil {
-				return nil, lastErr
+				return nil, err
 			}
 			continue
 		}
-		return nil, lastErr
+		return resp, nil
 	}
+}
+
+// connRefused reports whether a transport error means the peer refused
+// the connection outright — the kernel rejected the dial, so the server
+// never observed the request and a resend cannot double-apply it.
+func connRefused(err error) bool {
+	return errors.Is(err, syscall.ECONNREFUSED)
 }
 
 // retryable reports whether a response status may be retried for req.

@@ -1,0 +1,103 @@
+package ppclient
+
+// Ring awareness: any ppclustd node proxies any request to the right
+// owner, so a client never *needs* to know the ring exists. Knowing it
+// saves a network hop per call: UseRing fetches the membership once and
+// routes owner-scoped requests straight to the owner's home node with
+// the same consistent-hash placement the daemons use.
+
+import (
+	"context"
+	"net/http"
+	"strings"
+	"sync"
+
+	"ppclust/internal/ring"
+)
+
+// RingNode is one member of a ppclustd ring.
+type RingNode struct {
+	ID   string `json:"id"`
+	Addr string `json:"addr"`
+}
+
+// RingStatus mirrors GET /v1/ring: the node's view of the membership.
+type RingStatus struct {
+	// Enabled is false on a daemon running single-node; the rest of the
+	// fields are then zero.
+	Enabled bool `json:"enabled"`
+	// Self is the answering node's ID.
+	Self string `json:"self"`
+	// Epoch is the membership version; higher supersedes lower.
+	Epoch int64 `json:"epoch"`
+	// Vnodes is the virtual-node count placement hashing uses. Clients
+	// must hash with the same value to agree with the daemons.
+	Vnodes int `json:"vnodes"`
+	// Replicas is how many successor nodes mirror each owner.
+	Replicas int `json:"replicas"`
+	// Nodes is the full member list.
+	Nodes []RingNode `json:"nodes"`
+}
+
+// RingStatus fetches the answering node's view of the ring. A daemon
+// running single-node reports Enabled=false.
+func (c *Client) RingStatus(ctx context.Context) (*RingStatus, error) {
+	var out RingStatus
+	if err := c.doJSON(ctx, http.MethodGet, "/v1/ring", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// ringState is the client-side placement table built by UseRing.
+type ringState struct {
+	mu    sync.RWMutex
+	ring  *ring.Ring
+	nodes map[string]string // id → addr
+}
+
+// UseRing fetches the ring membership from BaseURL and routes subsequent
+// owner-scoped requests directly to the owner's home node instead of
+// letting an arbitrary node forward them. A no-op (returning nil) when
+// the daemon is not in ring mode. Call it again to refresh after
+// membership changes; stale placement is harmless — the receiving node
+// forwards — just one hop slower.
+func (c *Client) UseRing(ctx context.Context) error {
+	st, err := c.RingStatus(ctx)
+	if err != nil {
+		return err
+	}
+	if !st.Enabled || len(st.Nodes) == 0 {
+		return nil
+	}
+	r := ring.New(st.Vnodes)
+	members := make([]ring.Node, len(st.Nodes))
+	nodes := make(map[string]string, len(st.Nodes))
+	for i, n := range st.Nodes {
+		members[i] = ring.Node{ID: n.ID, Addr: n.Addr}
+		nodes[n.ID] = n.Addr
+	}
+	r.Seed(st.Epoch, members)
+	c.ringMu.Lock()
+	c.ringTable = &ringState{ring: r, nodes: nodes}
+	c.ringMu.Unlock()
+	return nil
+}
+
+// routeBase picks the base URL for a request path: the owner's home
+// node when a ring table is loaded, BaseURL otherwise. Federation
+// routes are left on BaseURL — their placement key is the federation
+// ID, which the serving node resolves (and forwards) itself.
+func (c *Client) routeBase(path string) string {
+	c.ringMu.RLock()
+	table := c.ringTable
+	c.ringMu.RUnlock()
+	if table == nil || strings.HasPrefix(path, "/v1/federations") || strings.HasPrefix(path, "/v1/ring") {
+		return c.BaseURL
+	}
+	n, ok := table.ring.Owner(ring.OwnerKey(c.Owner))
+	if !ok || n.Addr == "" {
+		return c.BaseURL
+	}
+	return strings.TrimRight(n.Addr, "/")
+}
