@@ -18,6 +18,8 @@ package main
 import (
 	"net/http"
 	"strings"
+
+	"ppclust/internal/obs"
 )
 
 // authorize checks the request's bearer token against the owner's stored
@@ -26,8 +28,14 @@ func (s *server) authorize(r *http.Request, owner string) error {
 	if s.authDisabled {
 		return nil
 	}
+	_, sp := obs.Start(r.Context(), "auth")
+	defer sp.End()
 	token, _ := bearerToken(r)
-	return s.svc.Authorize(owner, token)
+	err := s.svc.Authorize(owner, token)
+	if err != nil {
+		sp.Set("denied", true)
+	}
+	return err
 }
 
 func bearerToken(r *http.Request) (string, bool) {

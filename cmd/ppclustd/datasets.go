@@ -16,11 +16,11 @@ package main
 
 import (
 	"fmt"
-	"log"
 	"net/http"
 
 	"ppclust/internal/keyring"
 	"ppclust/internal/matrix"
+	"ppclust/internal/obs"
 	"ppclust/internal/service"
 )
 
@@ -66,7 +66,7 @@ func (s *server) handleDatasetUpload(w http.ResponseWriter, r *http.Request) {
 	req.Claim = !known
 
 	body := http.MaxBytesReader(w, r.Body, s.maxBody)
-	res, err := s.svc.Datasets.Upload(req, newRowReader(format, body))
+	res, err := s.svc.Datasets.Upload(r.Context(), req, newRowReader(format, body))
 	// The claim (and hence the token the client is about to learn) stands
 	// even if the ingest failed after it — so the credential header is set
 	// before the outcome is known.
@@ -129,7 +129,8 @@ func (s *server) handleDatasetRows(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("X-Ppclust-Owner", owner)
 	rw := newRowWriter(format, w)
 	if err := rw.WriteNames(ds.Attrs); err != nil {
-		log.Printf("dataset rows %s/%s: writing header: %v", owner, ds.Name, err)
+		s.logger.Warn("dataset rows write header", "owner", owner, "dataset", ds.Name,
+			"trace", obs.TraceID(r.Context()), "err", err.Error())
 		return
 	}
 	werr := ds.Blocks(func(b *matrix.Dense) error {
@@ -144,7 +145,8 @@ func (s *server) handleDatasetRows(w http.ResponseWriter, r *http.Request) {
 	if werr != nil {
 		// The header is out: kill the connection so a truncated dataset
 		// can never read as a complete one.
-		log.Printf("dataset rows %s/%s: %v", owner, ds.Name, werr)
+		s.logger.Warn("dataset rows abort", "owner", owner, "dataset", ds.Name,
+			"trace", obs.TraceID(r.Context()), "err", werr.Error())
 		panic(http.ErrAbortHandler)
 	}
 }

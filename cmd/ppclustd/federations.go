@@ -198,7 +198,7 @@ func (s *server) handleFederationSeal(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, service.Invalid(fmt.Errorf("parsing analysis spec: %w", err)))
 		return
 	}
-	v, err := s.svc.Federations.Seal(id, owner, analysis)
+	v, err := s.svc.Federations.Seal(r.Context(), id, owner, analysis)
 	if err != nil {
 		writeErr(w, err)
 		return

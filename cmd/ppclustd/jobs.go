@@ -34,7 +34,7 @@ func (s *server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, service.Invalid(fmt.Errorf("parsing job spec: %w", err)))
 		return
 	}
-	st, err := s.svc.Jobs.Submit(owner, &spec)
+	st, err := s.svc.Jobs.Submit(r.Context(), owner, &spec)
 	if err != nil {
 		writeErr(w, err)
 		return

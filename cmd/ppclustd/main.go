@@ -40,9 +40,10 @@ import (
 	"flag"
 	"fmt"
 	"io/fs"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -55,6 +56,7 @@ import (
 	"ppclust/internal/federation"
 	"ppclust/internal/jobs"
 	"ppclust/internal/keyring"
+	"ppclust/internal/obs"
 	"ppclust/internal/service"
 )
 
@@ -87,6 +89,11 @@ type options struct {
 	rateLimit float64
 	rateBurst int
 	rateQueue int
+
+	// Observability.
+	slowMs    int
+	logLevel  string
+	pprofAddr string
 }
 
 func main() {
@@ -114,28 +121,55 @@ func main() {
 	flag.Float64Var(&o.rateLimit, "rate-limit", 0, "per-owner admission budget in requests/second (0: disabled)")
 	flag.IntVar(&o.rateBurst, "rate-burst", 0, "per-owner admission burst (0: max(1, rate-limit))")
 	flag.IntVar(&o.rateQueue, "rate-queue", 0, "per-owner queued requests before shedding with 429 (0: default 16)")
+	flag.IntVar(&o.slowMs, "slow-ms", 0, "log the full span tree of any request slower than this many milliseconds (0: disabled)")
+	flag.StringVar(&o.logLevel, "log-level", "info", "minimum log level: debug, info, warn or error")
+	flag.StringVar(&o.pprofAddr, "pprof-addr", "", "serve net/http/pprof on this address (empty: disabled; keep it loopback or firewalled)")
 	flag.Parse()
 	if err := run(o); err != nil {
-		log.Fatal(err)
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// parseLogLevel maps the -log-level flag onto a slog level, defaulting to
+// info on unknown input rather than refusing to start.
+func parseLogLevel(s string) slog.Level {
+	switch s {
+	case "debug":
+		return slog.LevelDebug
+	case "warn":
+		return slog.LevelWarn
+	case "error":
+		return slog.LevelError
+	default:
+		return slog.LevelInfo
 	}
 }
 
 func run(o options) error {
+	// One logger for the whole daemon: JSON on stderr, node ID attached in
+	// ring mode so a merged multi-node log still attributes every record.
+	var logAttrs []slog.Attr
+	if o.nodeID != "" {
+		logAttrs = append(logAttrs, slog.String("node", o.nodeID))
+	}
+	logger := obs.NewLogger(os.Stderr, parseLogLevel(o.logLevel), logAttrs...)
+
 	var keys keyring.Store
 	if o.keyringPath == "" {
-		log.Printf("keyring: in-memory (keys are lost on exit; use -keyring for persistence)")
+		logger.Info("keyring: in-memory (keys are lost on exit; use -keyring for persistence)")
 		keys = keyring.NewMemory()
 	} else {
 		fileStore, err := keyring.OpenFile(o.keyringPath)
 		if err != nil {
 			return err
 		}
-		log.Printf("keyring: %s", o.keyringPath)
+		logger.Info("keyring open", "path", o.keyringPath)
 		keys = fileStore
 	}
 	var store datastore.Store
 	if o.dataDir == "" {
-		log.Printf("datastore: in-memory (datasets are lost on exit; use -data-dir for persistence)")
+		logger.Info("datastore: in-memory (datasets are lost on exit; use -data-dir for persistence)")
 		store = datastore.NewMemory()
 	} else if o.keyringPath == "" {
 		// Datasets outliving credentials would let anyone re-claim an
@@ -150,8 +184,8 @@ func run(o options) error {
 		if err != nil {
 			return err
 		}
-		log.Printf("datastore: %s (%d shards, %d MiB block cache)",
-			o.dataDir, dirStore.Shards(), dirStore.Cache().Stats().MaxBytes>>20)
+		logger.Info("datastore open", "path", o.dataDir,
+			"shards", dirStore.Shards(), "cache_mib", dirStore.Cache().Stats().MaxBytes>>20)
 		store = dirStore
 		if o.jobsState == "" {
 			o.jobsState = o.dataDir + "/queued-jobs.json"
@@ -170,7 +204,7 @@ func run(o options) error {
 		if feds, err = federation.Open(filepath.Join(o.dataDir, "_federations")); err != nil {
 			return err
 		}
-		log.Printf("federations: %s", filepath.Join(o.dataDir, "_federations"))
+		logger.Info("federations open", "path", filepath.Join(o.dataDir, "_federations"))
 	}
 
 	jobWorkers := o.jobWorkers
@@ -182,6 +216,8 @@ func run(o options) error {
 	eng := engine.New(o.workers, o.blockRows)
 	adm := service.AdmissionConfig{Rate: o.rateLimit, Burst: o.rateBurst, MaxQueue: o.rateQueue}
 	s := newServerAdm(eng, keys, store, mgr, feds, adm)
+	s.logger = logger
+	s.slowLog = time.Duration(o.slowMs) * time.Millisecond
 	if o.batchRows > 0 {
 		s.batchRows = o.batchRows
 	}
@@ -189,11 +225,11 @@ func run(o options) error {
 		s.maxBody = o.maxBody
 	}
 	if o.noAuth {
-		log.Printf("auth: DISABLED (-insecure-no-auth); every client can protect and recover for every owner")
+		logger.Warn("auth DISABLED (-insecure-no-auth); every client can protect and recover for every owner")
 		s.authDisabled = true
 	}
 	if s.svc.AdmissionEnabled() {
-		log.Printf("admission: %.3g req/s per owner", o.rateLimit)
+		logger.Info("admission enabled", "rate_per_owner", o.rateLimit)
 	}
 	var rt *ringRuntime
 	if o.nodeID != "" {
@@ -209,7 +245,11 @@ func run(o options) error {
 			Vnodes:     o.vnodes,
 		}, keys, store, s.svc)
 		rt.maxBody = s.maxBody
+		rt.logger = logger
 		s.ring = rt
+		// A ring node is not routable until catch-up completes: readyz
+		// answers 503 "starting" until bootstrap below flips it.
+		s.ready.Store(false)
 	} else if o.peers != "" || o.join != "" {
 		mgr.Close()
 		return fmt.Errorf("ppclustd: -peers/-join require -node-id")
@@ -227,8 +267,34 @@ func run(o options) error {
 			ln.Close()
 			return err
 		} else if n > 0 {
-			log.Printf("jobs: resubmitted %d queued jobs from %s", n, o.jobsState)
+			logger.Info("jobs resubmitted from state file", "count", n, "path", o.jobsState)
 		}
+	}
+
+	// The profiling surface is a separate listener so it can stay bound to
+	// loopback (or be firewalled) independently of -addr, and so heavy
+	// profile downloads never contend with data-plane accept queues.
+	if o.pprofAddr != "" {
+		pln, err := net.Listen("tcp", o.pprofAddr)
+		if err != nil {
+			ln.Close()
+			mgr.Close()
+			return fmt.Errorf("ppclustd: pprof listen: %w", err)
+		}
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		psrv := &http.Server{Handler: pmux, ReadHeaderTimeout: 10 * time.Second}
+		defer psrv.Close()
+		go func() {
+			logger.Info("pprof listening", "addr", o.pprofAddr)
+			if err := psrv.Serve(pln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Warn("pprof server exited", "err", err.Error())
+			}
+		}()
 	}
 
 	srv := &http.Server{
@@ -240,7 +306,8 @@ func run(o options) error {
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("ppclustd listening on %s (%d engine workers, %d job workers)", o.addr, eng.Workers(), mgr.Workers())
+		logger.Info("ppclustd listening", "addr", o.addr,
+			"engine_workers", eng.Workers(), "job_workers", mgr.Workers())
 		errc <- srv.Serve(ln)
 	}()
 
@@ -253,23 +320,28 @@ func run(o options) error {
 		bcancel()
 		if err != nil {
 			rt.Close()
-			drainJobs(mgr, o.jobsState)
+			drainJobs(logger, mgr, o.jobsState)
 			srv.Close()
 			<-errc
 			return fmt.Errorf("ppclustd: ring bootstrap: %w", err)
 		}
 		epoch, nodes := rt.ring.Snapshot()
-		log.Printf("ring: node %s up as %s (epoch %d, %d members, %d replicas)", o.nodeID, rt.self.Addr, epoch, len(nodes), o.replicas)
+		logger.Info("ring node up", "addr", rt.self.Addr,
+			"epoch", epoch, "members", len(nodes), "replicas", o.replicas)
 	}
+	// Startup (including ring catch-up) is complete: start answering
+	// readyz with 200 so load balancers route here.
+	s.ready.Store(true)
 
 	select {
 	case err := <-errc:
 		// The server died on its own: drain and persist the queue just
 		// like a signalled shutdown so restored jobs are not lost.
+		s.draining.Store(true)
 		if rt != nil {
 			rt.Close()
 		}
-		drainJobs(mgr, o.jobsState)
+		drainJobs(logger, mgr, o.jobsState)
 		return fmt.Errorf("ppclustd: %w", err)
 	case <-ctx.Done():
 	}
@@ -279,7 +351,11 @@ func run(o options) error {
 	// the HTTP server finish in-flight requests and stop. A job submitted
 	// in the gap gets 503 from the draining manager rather than being
 	// silently dropped.
-	log.Printf("ppclustd: shutting down")
+	logger.Info("ppclustd shutting down")
+	// Readiness goes first: from this instant readyz answers 503
+	// "draining" while healthz keeps answering 200 — the window in which
+	// a rolling deploy shifts traffic away before in-flight work finishes.
+	s.draining.Store(true)
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if rt != nil {
@@ -289,7 +365,7 @@ func run(o options) error {
 		// through POST /v1/ring/leave first.
 		rt.Close()
 	}
-	drainJobs(mgr, o.jobsState)
+	drainJobs(logger, mgr, o.jobsState)
 	if err := srv.Shutdown(shutdownCtx); err != nil {
 		return fmt.Errorf("ppclustd: shutdown: %w", err)
 	}
@@ -301,21 +377,21 @@ func run(o options) error {
 
 // drainJobs stops the job subsystem and persists its queued tail (when a
 // state path is configured).
-func drainJobs(mgr *jobs.Manager, statePath string) {
+func drainJobs(logger *slog.Logger, mgr *jobs.Manager, statePath string) {
 	drainCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	queued, derr := mgr.Drain(drainCtx)
 	if derr != nil {
-		log.Printf("ppclustd: job drain: %v", derr)
+		logger.Warn("job drain", "err", derr.Error())
 	}
 	if statePath != "" {
 		if err := persistQueuedJobs(statePath, queued); err != nil {
-			log.Printf("ppclustd: persisting queued jobs: %v", err)
+			logger.Error("persisting queued jobs", "err", err.Error())
 		} else if len(queued) > 0 {
-			log.Printf("ppclustd: persisted %d queued jobs to %s", len(queued), statePath)
+			logger.Info("persisted queued jobs", "count", len(queued), "path", statePath)
 		}
 	} else if len(queued) > 0 {
-		log.Printf("ppclustd: dropping %d queued jobs (no -jobs-state path)", len(queued))
+		logger.Warn("dropping queued jobs (no -jobs-state path)", "count", len(queued))
 	}
 }
 

@@ -1,16 +1,26 @@
 package main
 
-// GET /v1/metrics: expvar-style counters for load observability — requests
-// by route and status, rows flowing through protect/recover/ingest, job,
-// federation and datastore-cache gauges. Like /healthz and /v1/keys it
-// exposes aggregate metadata only, never data or key material, so it is
-// unauthenticated. The snapshot body is composed by the service layer;
-// this file owns only the HTTP instrumentation wrapper.
+// Metrics exposition and per-request instrumentation.
+//
+//	GET /v1/metrics  flat JSON snapshot (counters, gauges, spliced
+//	                 histogram series) — the embedded/SDK surface
+//	GET /metrics     Prometheus text format (proper # TYPE lines,
+//	                 numeric bucket order, +Inf last) — the scrape surface
+//
+// Like /healthz and /v1/keys both expose aggregate metadata only, never
+// data or key material, so they are unauthenticated. The snapshot body
+// is composed by the service layer; this file owns the HTTP
+// instrumentation wrapper: the trace edge (mint/adopt X-Ppclust-Trace),
+// the route+status counters and latency histograms, the slog access
+// log, and the slow-request span dump.
 
 import (
 	"fmt"
+	"log/slog"
 	"net/http"
 	"time"
+
+	"ppclust/internal/obs"
 )
 
 // latencyBoundsUs are the fixed per-route latency buckets, in
@@ -21,14 +31,27 @@ var latencyBoundsUs = []float64{
 	100_000, 250_000, 500_000, 1_000_000, 5_000_000,
 }
 
-// instrument wraps the mux so every request increments a
-// route+status-labelled counter and records its latency into a bounded
-// per-route histogram. The pattern is the mux's match (e.g.
-// "POST /v1/jobs"), which keeps cardinality bounded by the route table
-// rather than by client-chosen URLs.
+// instrument is the trace edge and the instrumentation wrapper, the
+// outermost layer of the handler stack. For every request it:
+//
+//   - adopts the X-Ppclust-Trace header (or mints a fresh ID), starts
+//     the request's span tree on the context, reflects the ID into both
+//     the response (so clients can quote it) and the request headers (so
+//     a ring forward carries it to the owning node);
+//   - increments a route+status-labelled counter and records latency
+//     into a bounded per-route histogram;
+//   - writes one structured access-log record carrying trace ID, owner,
+//     route, status and duration;
+//   - when the request exceeded the -slow-ms threshold, logs the full
+//     span tree so the slow stage is identifiable without a re-run.
 func (s *server) instrument(next http.Handler) http.Handler {
 	reg := s.svc.Registry()
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx, root := obs.StartTrace(r.Context(), r.Header.Get(obs.TraceHeader), "http")
+		id := obs.TraceID(ctx)
+		r = r.WithContext(ctx)
+		r.Header.Set(obs.TraceHeader, id)
+		w.Header().Set(obs.TraceHeader, id)
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		start := time.Now()
 		// Deferred so that requests a handler kills mid-stream with
@@ -36,13 +59,29 @@ func (s *server) instrument(next http.Handler) http.Handler {
 		// watches error rates for — are still counted; the panic keeps
 		// unwinding to net/http afterwards.
 		defer func() {
+			root.End()
 			route := r.Pattern
 			if route == "" {
 				route = "unmatched"
 			}
+			elapsed := time.Since(start)
 			reg.Counter(fmt.Sprintf(`http_requests_total{route=%q,status="%d"}`, route, rec.status)).Inc()
 			reg.Histogram(fmt.Sprintf(`http_request_duration_us{route=%q}`, route), latencyBoundsUs).
-				Observe(float64(time.Since(start).Microseconds()))
+				Observe(float64(elapsed.Microseconds()))
+			attrs := []slog.Attr{
+				slog.String("trace", id),
+				slog.String("route", route),
+				slog.Int("status", rec.status),
+				slog.Float64("dur_ms", float64(elapsed.Microseconds())/1000),
+			}
+			if owner := r.URL.Query().Get("owner"); owner != "" {
+				attrs = append(attrs, slog.String("owner", owner))
+			}
+			s.logger.LogAttrs(ctx, slog.LevelInfo, "request", attrs...)
+			if s.slowLog > 0 && elapsed >= s.slowLog {
+				s.logger.LogAttrs(ctx, slog.LevelWarn, "slow request",
+					append(attrs, slog.Any("spans", obs.FromContext(ctx).Tree()))...)
+			}
 		}()
 		next.ServeHTTP(rec, r)
 	})
@@ -79,10 +118,30 @@ func (s *statusRecorder) Flush() {
 
 func (s *statusRecorder) Unwrap() http.ResponseWriter { return s.ResponseWriter }
 
+// gauges collects the derived gauges (service + ring) shared by both
+// exposition formats.
+func (s *server) gauges() map[string]int64 {
+	g := s.svc.Gauges()
+	if s.ring != nil {
+		s.ring.addGauges(g)
+	}
+	return g
+}
+
 func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	snap := s.svc.MetricsSnapshot()
 	if s.ring != nil {
 		s.ring.addGauges(snap)
 	}
 	writeJSON(w, http.StatusOK, snap)
+}
+
+// handlePromMetrics serves the Prometheus text exposition format:
+// counters and histograms straight from the registry with proper # TYPE
+// lines and numerically ordered buckets, plus the live derived gauges.
+func (s *server) handlePromMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", obs.PromContentType)
+	if err := obs.WritePromText(w, s.svc.Registry(), s.gauges()); err != nil {
+		s.logger.Warn("metrics exposition", "err", err.Error())
+	}
 }

@@ -36,12 +36,14 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net/http"
 	"net/url"
+	"os"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ppclust/internal/datastore"
@@ -49,6 +51,7 @@ import (
 	"ppclust/internal/keyring"
 	"ppclust/internal/matrix"
 	"ppclust/internal/metrics"
+	"ppclust/internal/obs"
 	"ppclust/internal/ring"
 	"ppclust/internal/service"
 	"ppclust/ppclient"
@@ -70,6 +73,13 @@ const (
 // is the normal worst case; a second forward means the two nodes
 // disagree about placement, and a third would be a loop.
 const maxHops = 2
+
+// replLagBoundsUs buckets the replication queue lag (enqueue → ship):
+// sub-millisecond when the worker keeps up, seconds when it is drowning.
+var replLagBoundsUs = []float64{
+	100, 1_000, 10_000, 100_000, 500_000,
+	1_000_000, 5_000_000, 10_000_000, 30_000_000,
+}
 
 // ringConfig is the flag-derived ring identity of this node.
 type ringConfig struct {
@@ -103,10 +113,21 @@ type ringRuntime struct {
 	started   bool
 	startedMu sync.Mutex
 
+	// logger carries the node ID on every record; main swaps in the
+	// daemon-wide logger, the default keeps standalone construction
+	// (tests) working.
+	logger *slog.Logger
+	// catchUpUs is the duration of the last bootstrap catch-up pull in
+	// microseconds — exposed as the ring_catchup_duration_us gauge so an
+	// operator can see how long a node rejoin blocks readiness.
+	catchUpUs atomic.Int64
+
+	reg         *metrics.Registry
 	forwards    *metrics.Counter
 	replShipped *metrics.Counter
 	replDropped *metrics.Counter
 	replErrors  *metrics.Counter
+	replLag     *metrics.Histogram
 }
 
 func newRingRuntime(cfg ringConfig, keys keyring.Store, store datastore.Store, svc *service.Services) *ringRuntime {
@@ -122,11 +143,14 @@ func newRingRuntime(cfg ringConfig, keys keyring.Store, store datastore.Store, s
 		clients:    map[string]*ppclient.Client{},
 		repl:       make(chan service.ReplicationEvent, 1024),
 		stop:       make(chan struct{}),
+		logger:     obs.NewLogger(os.Stderr, slog.LevelInfo, slog.String("node", cfg.NodeID)),
 
+		reg:         reg,
 		forwards:    reg.Counter("ring_forwards_total"),
 		replShipped: reg.Counter("ring_replication_shipped_total"),
 		replDropped: reg.Counter("ring_replication_dropped_total"),
 		replErrors:  reg.Counter("ring_replication_errors_total"),
+		replLag:     reg.Histogram("ring_replication_lag_us", replLagBoundsUs),
 	}
 	svc.SetRing(rt)
 	return rt
@@ -410,13 +434,17 @@ func (rt *ringRuntime) ship(ev service.ReplicationEvent) {
 	default:
 		key = datasetKey(ev.Owner, ev.Dataset)
 	}
+	if !ev.EnqueuedAt.IsZero() {
+		rt.replLag.Observe(float64(time.Since(ev.EnqueuedAt).Microseconds()))
+	}
 	for _, n := range rt.placement(key) {
 		if n.ID == rt.self.ID {
 			continue
 		}
 		if err := rt.shipTo(ctx, n, ev); err != nil {
 			rt.replErrors.Inc()
-			log.Printf("ring: replicating %s %s/%s to %s: %v", ev.Kind, ev.Owner, ev.Dataset, n.ID, err)
+			rt.logger.Warn("replication ship failed", "kind", string(ev.Kind),
+				"owner", ev.Owner, "dataset", ev.Dataset, "peer", n.ID, "err", err.Error())
 		} else {
 			rt.replShipped.Inc()
 		}
@@ -532,6 +560,8 @@ func (rt *ringRuntime) importDataset(in datasetTransfer) error {
 // skipped; replication of future writes and the next restart repair
 // the rest.
 func (rt *ringRuntime) catchUp(ctx context.Context) {
+	start := time.Now()
+	defer func() { rt.catchUpUs.Store(time.Since(start).Microseconds()) }()
 	_, members := rt.ring.Snapshot()
 	for _, m := range members {
 		if m.ID == rt.self.ID {
@@ -539,7 +569,7 @@ func (rt *ringRuntime) catchUp(ctx context.Context) {
 		}
 		var owners []string
 		if _, err := rt.roundTrip(ctx, m.Addr, http.MethodGet, "/v1/ring/owners", nil, &owners); err != nil {
-			log.Printf("ring: catch-up owner list from %s: %v", m.ID, err)
+			rt.logger.Warn("catch-up owner list", "peer", m.ID, "err", err.Error())
 			continue
 		}
 		for _, owner := range owners {
@@ -557,12 +587,12 @@ type ownerBundle struct {
 func (rt *ringRuntime) pullOwner(ctx context.Context, from ring.Node, owner string) {
 	var b ownerBundle
 	if _, err := rt.roundTrip(ctx, from.Addr, http.MethodGet, "/v1/ring/export/owner?owner="+url.QueryEscape(owner), nil, &b); err != nil {
-		log.Printf("ring: catch-up export of %q from %s: %v", owner, from.ID, err)
+		rt.logger.Warn("catch-up owner export", "owner", owner, "peer", from.ID, "err", err.Error())
 		return
 	}
 	if b.Keyring != nil && rt.inPlacement(ring.OwnerKey(owner)) {
 		if err := rt.keys.ImportOwner(*b.Keyring); err != nil {
-			log.Printf("ring: catch-up keyring import for %q: %v", owner, err)
+			rt.logger.Warn("catch-up keyring import", "owner", owner, "err", err.Error())
 		}
 	}
 	for _, meta := range b.Datasets {
@@ -575,11 +605,11 @@ func (rt *ringRuntime) pullOwner(ctx context.Context, from ring.Node, owner stri
 		var tr datasetTransfer
 		path := "/v1/ring/export/dataset?owner=" + url.QueryEscape(meta.Owner) + "&name=" + url.QueryEscape(meta.Name)
 		if _, err := rt.roundTrip(ctx, from.Addr, http.MethodGet, path, nil, &tr); err != nil {
-			log.Printf("ring: catch-up dataset %s/%s from %s: %v", meta.Owner, meta.Name, from.ID, err)
+			rt.logger.Warn("catch-up dataset pull", "owner", meta.Owner, "dataset", meta.Name, "peer", from.ID, "err", err.Error())
 			continue
 		}
 		if err := rt.importDataset(tr); err != nil {
-			log.Printf("ring: catch-up import of %s/%s: %v", meta.Owner, meta.Name, err)
+			rt.logger.Warn("catch-up dataset import", "owner", meta.Owner, "dataset", meta.Name, "err", err.Error())
 		}
 	}
 }
@@ -591,13 +621,13 @@ func (rt *ringRuntime) pullOwner(ctx context.Context, from ring.Node, owner stri
 func (rt *ringRuntime) drainPush(ctx context.Context) {
 	owners, err := rt.keys.Owners()
 	if err != nil {
-		log.Printf("ring: leave drain: listing owners: %v", err)
+		rt.logger.Warn("leave drain: listing owners", "err", err.Error())
 		return
 	}
 	for _, owner := range owners {
 		exp, err := rt.keys.Export(owner)
 		if err != nil {
-			log.Printf("ring: leave drain: exporting %q: %v", owner, err)
+			rt.logger.Warn("leave drain: keyring export", "owner", owner, "err", err.Error())
 			continue
 		}
 		for _, n := range rt.placement(ring.OwnerKey(owner)) {
@@ -605,12 +635,12 @@ func (rt *ringRuntime) drainPush(ctx context.Context) {
 				continue
 			}
 			if _, err := rt.roundTrip(ctx, n.Addr, http.MethodPost, "/v1/ring/replicate/owner", exp, nil); err != nil {
-				log.Printf("ring: leave drain: pushing keyring %q to %s: %v", owner, n.ID, err)
+				rt.logger.Warn("leave drain: keyring push", "owner", owner, "peer", n.ID, "err", err.Error())
 			}
 		}
 		metas, err := rt.store.List(owner)
 		if err != nil {
-			log.Printf("ring: leave drain: listing datasets of %q: %v", owner, err)
+			rt.logger.Warn("leave drain: dataset list", "owner", owner, "err", err.Error())
 			continue
 		}
 		for _, meta := range metas {
@@ -620,7 +650,7 @@ func (rt *ringRuntime) drainPush(ctx context.Context) {
 			}
 			tr, err := exportDataset(ds)
 			if err != nil {
-				log.Printf("ring: leave drain: exporting %s/%s: %v", meta.Owner, meta.Name, err)
+				rt.logger.Warn("leave drain: dataset export", "owner", meta.Owner, "dataset", meta.Name, "err", err.Error())
 				continue
 			}
 			for _, n := range rt.placement(datasetKey(meta.Owner, meta.Name)) {
@@ -628,7 +658,7 @@ func (rt *ringRuntime) drainPush(ctx context.Context) {
 					continue
 				}
 				if _, err := rt.roundTrip(ctx, n.Addr, http.MethodPost, "/v1/ring/replicate/dataset", tr, nil); err != nil {
-					log.Printf("ring: leave drain: pushing %s/%s to %s: %v", meta.Owner, meta.Name, n.ID, err)
+					rt.logger.Warn("leave drain: dataset push", "owner", meta.Owner, "dataset", meta.Name, "peer", n.ID, "err", err.Error())
 				}
 			}
 		}
@@ -716,7 +746,8 @@ func (rt *ringRuntime) handleJoin(w http.ResponseWriter, r *http.Request) {
 	}
 	_, nodes := rt.ring.Snapshot()
 	if !rejoined {
-		log.Printf("ring: node %s joined from %s (epoch %d, %d members)", n.ID, n.Addr, epoch, len(nodes))
+		rt.logger.Info("ring node joined", "peer", n.ID, "addr", n.Addr,
+			"epoch", epoch, "members", len(nodes))
 		go rt.broadcastSync(n.ID)
 	}
 	writeJSON(w, http.StatusOK, ringSyncMsg{Epoch: epoch, Nodes: nodes})
@@ -739,7 +770,7 @@ func (rt *ringRuntime) handleLeave(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, service.NotFoundErr(fmt.Errorf("node %q is not a member", in.ID)))
 		return
 	}
-	log.Printf("ring: node %s left (epoch %d)", in.ID, epoch)
+	rt.logger.Info("ring node left", "peer", in.ID, "epoch", epoch)
 	rt.broadcastSync(in.ID)
 	if in.ID == rt.self.ID {
 		ctx, cancel := context.WithTimeout(r.Context(), 60*time.Second)
@@ -784,7 +815,7 @@ func (rt *ringRuntime) broadcastSync(exclude ...string) {
 			continue
 		}
 		if _, err := rt.roundTrip(ctx, m.Addr, http.MethodPost, "/v1/ring/sync", msg, nil); err != nil {
-			log.Printf("ring: sync to %s: %v", m.ID, err)
+			rt.logger.Warn("membership sync", "peer", m.ID, "err", err.Error())
 		}
 	}
 }
@@ -956,7 +987,8 @@ func (rt *ringRuntime) middleware(next http.Handler) http.Handler {
 			}
 			if err := rt.forward(w, r, n, body, hop, i > 0); err != nil {
 				lastErr = err
-				log.Printf("ring: forward %s %s to %s failed: %v", r.Method, r.URL.Path, n.ID, err)
+				rt.logger.Warn("forward failed", "method", r.Method, "path", r.URL.Path,
+					"peer", n.ID, "trace", obs.TraceID(r.Context()), "err", err.Error())
 				continue
 			}
 			return
@@ -975,8 +1007,15 @@ func (rt *ringRuntime) middleware(next http.Handler) http.Handler {
 // caller fails over); any HTTP response, error statuses included, is
 // authoritative and relayed.
 func (rt *ringRuntime) forward(w http.ResponseWriter, r *http.Request, n ring.Node, body []byte, hop int, replica bool) error {
+	// The span and per-peer histogram cover the whole proxied exchange:
+	// the hop is the ring's latency tax, and a slow or flapping peer shows
+	// up as one histogram series keyed by its node ID.
+	ctx, sp := obs.Start(r.Context(), "ring.forward")
+	sp.Set("peer", n.ID)
+	defer sp.End()
+	start := time.Now()
 	target := strings.TrimRight(n.Addr, "/") + r.URL.RequestURI()
-	req, err := http.NewRequestWithContext(r.Context(), r.Method, target, bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(ctx, r.Method, target, bytes.NewReader(body))
 	if err != nil {
 		return err
 	}
@@ -990,11 +1029,15 @@ func (rt *ringRuntime) forward(w http.ResponseWriter, r *http.Request, n ring.No
 	// NewRequest with a bytes.Reader sets GetBody, so ppclient's
 	// connection-refused retry can rewind and resend.
 	resp, err := rt.client(n.Addr).DoRaw(req)
+	rt.reg.Histogram(fmt.Sprintf(`ring_forward_duration_us{peer=%q}`, n.ID), latencyBoundsUs).
+		Observe(float64(time.Since(start).Microseconds()))
 	if err != nil {
+		sp.Set("err", err.Error())
 		return err
 	}
 	defer resp.Body.Close()
 	rt.forwards.Inc()
+	sp.Set("status", resp.StatusCode)
 	out := w.Header()
 	for k, vs := range resp.Header {
 		if k == "Connection" || k == "Transfer-Encoding" {
@@ -1066,6 +1109,7 @@ func (rt *ringRuntime) addGauges(snap map[string]int64) {
 	snap["ring_nodes"] = int64(len(nodes))
 	snap["ring_epoch"] = epoch
 	snap["ring_replication_pending"] = int64(len(rt.repl))
+	snap["ring_catchup_duration_us"] = rt.catchUpUs.Load()
 	owned := int64(0)
 	if owners, err := rt.keys.Owners(); err == nil {
 		for _, o := range owners {

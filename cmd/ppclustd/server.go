@@ -1,14 +1,18 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net/http"
+	"os"
 	"strconv"
 	"strings"
+	"sync/atomic"
+	"time"
 
 	"ppclust/internal/core"
 	"ppclust/internal/datastore"
@@ -16,6 +20,7 @@ import (
 	"ppclust/internal/federation"
 	"ppclust/internal/jobs"
 	"ppclust/internal/keyring"
+	"ppclust/internal/obs"
 	"ppclust/internal/service"
 )
 
@@ -57,6 +62,18 @@ type server struct {
 	// ring (see ring.go): it adds the /v1/ring routes and the forwarding
 	// middleware in front of the mux.
 	ring *ringRuntime
+	// logger is the daemon's structured log sink (JSON on stderr by
+	// default; main attaches the node ID in ring mode).
+	logger *slog.Logger
+	// slowLog, when positive, is the -slow-ms threshold above which a
+	// request's full span tree is dumped to the log.
+	slowLog time.Duration
+	// ready and draining drive GET /readyz: ready flips true once
+	// startup (including ring catch-up) completes; draining flips true
+	// the moment shutdown begins, so load balancers stop routing to a
+	// dying node while /healthz still answers 200 for liveness.
+	ready    atomic.Bool
+	draining atomic.Bool
 }
 
 func newServer(eng *engine.Engine, keys keyring.Store, store datastore.Store, mgr *jobs.Manager, feds *federation.Manager) *server {
@@ -77,15 +94,19 @@ func newServerAdm(eng *engine.Engine, keys keyring.Store, store datastore.Store,
 		}),
 		maxBody:   1 << 30,
 		batchRows: 4096,
+		logger:    obs.NewLogger(os.Stderr, slog.LevelInfo),
 	}
+	s.ready.Store(true)
 	return s
 }
 
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /v1/keys", s.handleKeys)
 	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	mux.HandleFunc("GET /metrics", s.handlePromMetrics)
 	mux.HandleFunc("POST /v1/protect", s.handleProtect)
 	mux.HandleFunc("POST /v1/recover", s.handleRecover)
 	mux.HandleFunc("POST /v1/datasets", s.handleDatasetUpload)
@@ -147,6 +168,22 @@ func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
+// handleReadyz is the routing probe: 503 while the node is draining or
+// has not finished startup (ring catch-up included), 200 otherwise.
+// /healthz stays pure liveness — it answers 200 throughout a graceful
+// drain, which is exactly when a load balancer must stop sending new
+// work here.
+func (s *server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	switch {
+	case s.draining.Load():
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
+	case !s.ready.Load():
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "starting"})
+	default:
+		writeJSON(w, http.StatusOK, map[string]any{"status": "ready"})
+	}
+}
+
 func (s *server) handleKeys(w http.ResponseWriter, _ *http.Request) {
 	infos, err := s.svc.Keys.List()
 	if err != nil {
@@ -192,7 +229,7 @@ func (s *server) handleProtect(w http.ResponseWriter, r *http.Request) {
 
 	switch mode := q.Get("mode"); mode {
 	case "", "fit":
-		s.protectFit(w, q, format, rr, owner, st)
+		s.protectFit(w, r, q, format, rr, owner, st)
 	case "stream":
 		s.protectStream(w, r, q, format, rr, owner)
 	default:
@@ -203,7 +240,7 @@ func (s *server) handleProtect(w http.ResponseWriter, r *http.Request) {
 // protectFit buffers the body and hands it to the key service, which
 // fits, stores the key version (claiming the owner when new) and returns
 // the release to stream back.
-func (s *server) protectFit(w http.ResponseWriter, q urlValues, format string, rr rowReader, owner string, st service.OwnerState) {
+func (s *server) protectFit(w http.ResponseWriter, r *http.Request, q urlValues, format string, rr rowReader, owner string, st service.OwnerState) {
 	opts, err := parseProtectOptions(q)
 	if err != nil {
 		writeErr(w, service.Invalid(err))
@@ -214,7 +251,7 @@ func (s *server) protectFit(w http.ResponseWriter, q urlValues, format string, r
 		writeErr(w, err)
 		return
 	}
-	res, err := s.svc.Keys.FitProtect(owner, st, data, opts)
+	res, err := s.svc.Keys.FitProtect(r.Context(), owner, st, data, opts)
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -227,12 +264,12 @@ func (s *server) protectFit(w http.ResponseWriter, q urlValues, format string, r
 	}
 	rw := newRowWriter(format, w)
 	if err := rw.WriteNames(rr.Names()); err != nil {
-		log.Printf("protect %s: writing header: %v", owner, err)
+		s.logger.Warn("protect write header", "owner", owner, "trace", obs.TraceID(r.Context()), "err", err.Error())
 		return
 	}
 	for i := 0; i < res.Released.Rows(); i++ {
 		if err := rw.WriteRow(res.Released.RawRow(i)); err != nil {
-			log.Printf("protect %s: writing row %d: %v", owner, i, err)
+			s.logger.Warn("protect write row", "owner", owner, "row", i, "trace", obs.TraceID(r.Context()), "err", err.Error())
 			return
 		}
 		if (i+1)%s.batchRows == 0 {
@@ -296,7 +333,7 @@ func (s *server) protectStream(w http.ResponseWriter, r *http.Request, q urlValu
 		writeErr(w, err)
 		return
 	}
-	s.pump(w, format, rr, tr)
+	s.pump(r.Context(), w, format, rr, tr)
 }
 
 func (s *server) handleRecover(w http.ResponseWriter, r *http.Request) {
@@ -322,12 +359,12 @@ func (s *server) handleRecover(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	body := http.MaxBytesReader(w, r.Body, s.maxBody)
-	s.pump(w, format, newRowReader(format, body), tr)
+	s.pump(r.Context(), w, format, newRowReader(format, body), tr)
 }
 
 // pump streams the request body through tr in batches of batchRows,
 // writing transformed rows as they are produced.
-func (s *server) pump(w http.ResponseWriter, format string, rr rowReader, tr *service.BatchTransformer) {
+func (s *server) pump(ctx context.Context, w http.ResponseWriter, format string, rr rowReader, tr *service.BatchTransformer) {
 	// Interleaving request-body reads with response writes needs explicit
 	// full-duplex mode on HTTP/1.x; without it the server closes the body
 	// at the first write.
@@ -344,7 +381,8 @@ func (s *server) pump(w http.ResponseWriter, format string, rr rowReader, tr *se
 	// client must see a transport error, never a clean EOF on a
 	// truncated dataset.
 	abort := func(reason string, err error) {
-		log.Printf("stream %s: %s: %v", tr.Owner, reason, err)
+		s.logger.Warn("stream abort", "owner", tr.Owner, "stage", reason,
+			"trace", obs.TraceID(ctx), "err", err.Error())
 		panic(http.ErrAbortHandler)
 	}
 	for {

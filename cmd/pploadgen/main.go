@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"ppclust/internal/dataset"
+	"ppclust/internal/obs"
 	"ppclust/ppclient"
 )
 
@@ -104,7 +105,20 @@ type opStats struct {
 	P50Ms  float64 `json:"p50_ms"`
 	P95Ms  float64 `json:"p95_ms"`
 	P99Ms  float64 `json:"p99_ms"`
+	// Slowest quotes the trace IDs of the operation's slowest requests:
+	// the handle that joins a latency tail seen here to the span trees in
+	// the daemons' logs (run them with -slow-ms to capture those).
+	Slowest []slowSample `json:"slowest,omitempty"`
 }
+
+// slowSample is one tail-latency request, identified by its trace ID.
+type slowSample struct {
+	TraceID string  `json:"trace_id"`
+	Ms      float64 `json:"ms"`
+}
+
+// slowestCount is how many tail samples each op quotes in the report.
+const slowestCount = 5
 
 type loadReport struct {
 	Nodes       []string           `json:"nodes"`
@@ -120,9 +134,10 @@ type loadReport struct {
 }
 
 type sample struct {
-	op  opKind
-	ms  float64
-	err bool
+	op    opKind
+	ms    float64
+	err   bool
+	trace string
 }
 
 // owner is one load identity: a ppclient pinned to its entry node plus
@@ -144,8 +159,8 @@ type harness struct {
 	samples []sample
 }
 
-func (h *harness) record(op opKind, start time.Time, err error) {
-	s := sample{op: op, ms: float64(time.Since(start).Microseconds()) / 1000, err: err != nil}
+func (h *harness) record(op opKind, trace string, start time.Time, err error) {
+	s := sample{op: op, ms: float64(time.Since(start).Microseconds()) / 1000, err: err != nil, trace: trace}
 	h.mu.Lock()
 	h.samples = append(h.samples, s)
 	h.mu.Unlock()
@@ -159,30 +174,36 @@ func (h *harness) worker(ctx context.Context, requests int) {
 		}
 		o := &h.owners[int(i)%len(h.owners)]
 		op := h.mix[int(i)%len(h.mix)]
+		// Each operation mints its trace ID client-side and pins it on the
+		// context, so the daemon adopts it and the report can quote the IDs
+		// of the slowest requests without parsing responses.
+		trace := obs.NewTraceID()
+		opCtx := ppclient.WithTraceID(ctx, trace)
 		start := time.Now()
 		var err error
 		switch op {
 		case opUpload:
-			_, err = o.client.UploadDatasetCSV(ctx, fmt.Sprintf("lg%d", i), strings.NewReader(h.csv), false)
+			_, err = o.client.UploadDatasetCSV(opCtx, fmt.Sprintf("lg%d", i), strings.NewReader(h.csv), false)
 		case opProtect:
-			err = o.protectStream(ctx, h.csv)
+			err = o.protectStream(opCtx, trace, h.csv)
 		case opCluster:
-			err = o.clusterJob(ctx)
+			err = o.clusterJob(opCtx)
 		}
-		h.record(op, start, err)
+		h.record(op, trace, start, err)
 	}
 }
 
 // protectStream pushes the CSV through the owner's frozen key — the
 // steady-state protect path, which neither rotates keys nor grows the
 // keyring under load.
-func (o *owner) protectStream(ctx context.Context, csv string) error {
+func (o *owner) protectStream(ctx context.Context, trace, csv string) error {
 	u := strings.TrimRight(o.client.BaseURL, "/") + "/v1/protect?mode=stream&owner=" + o.name
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, strings.NewReader(csv))
 	if err != nil {
 		return err
 	}
 	req.Header.Set("Content-Type", "text/csv")
+	req.Header.Set(ppclient.TraceHeader, trace)
 	if o.client.Token != "" {
 		req.Header.Set("Authorization", "Bearer "+o.client.Token)
 	}
@@ -249,11 +270,28 @@ func (h *harness) setup(ctx context.Context) error {
 	return nil
 }
 
+// slowest returns the trace IDs of the op's slowest requests, slowest
+// first — the handles an operator greps for in the daemons' slow logs.
+func slowest(samples []sample) []slowSample {
+	sorted := append([]sample(nil), samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ms > sorted[j].ms })
+	if len(sorted) > slowestCount {
+		sorted = sorted[:slowestCount]
+	}
+	out := make([]slowSample, 0, len(sorted))
+	for _, s := range sorted {
+		out = append(out, slowSample{TraceID: s.trace, Ms: s.ms})
+	}
+	return out
+}
+
 func (h *harness) report(nodes []string, concurrency, requests, rows int, mixSpec string, elapsed time.Duration) loadReport {
 	byOp := map[opKind][]float64{}
+	bySample := map[opKind][]sample{}
 	errs := map[opKind]int{}
 	for _, s := range h.samples {
 		byOp[s.op] = append(byOp[s.op], s.ms)
+		bySample[s.op] = append(bySample[s.op], s)
 		if s.err {
 			errs[s.op]++
 		}
@@ -277,12 +315,13 @@ func (h *harness) report(nodes []string, concurrency, requests, rows int, mixSpe
 		}
 		mean /= float64(len(ms))
 		rep.Ops[string(op)] = opStats{
-			Count:  len(ms),
-			Errors: errs[op],
-			MeanMs: mean,
-			P50Ms:  percentile(ms, 50),
-			P95Ms:  percentile(ms, 95),
-			P99Ms:  percentile(ms, 99),
+			Count:   len(ms),
+			Errors:  errs[op],
+			MeanMs:  mean,
+			P50Ms:   percentile(ms, 50),
+			P95Ms:   percentile(ms, 95),
+			P99Ms:   percentile(ms, 99),
+			Slowest: slowest(bySample[op]),
 		}
 		totalErrs += errs[op]
 	}

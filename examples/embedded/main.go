@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -43,6 +44,7 @@ func main() {
 	// its credential — embedded programs can keep or ignore it.
 	cols := []string{"systolic", "cholesterol", "bmi"}
 	up, err := svc.Datasets.Upload(
+		context.Background(),
 		service.UploadRequest{Owner: "clinic", Name: "patients", Claim: true},
 		&service.SliceRows{Columns: cols, Rows: blobs(300)},
 	)
@@ -82,7 +84,7 @@ func main() {
 // runJob submits spec and polls to completion — what ppclient.WaitJob
 // does over HTTP, done directly against the service.
 func runJob(svc *service.Services, owner string, spec *service.JobSpec) any {
-	st, err := svc.Jobs.Submit(owner, spec)
+	st, err := svc.Jobs.Submit(context.Background(), owner, spec)
 	if err != nil {
 		log.Fatal(err)
 	}

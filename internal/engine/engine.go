@@ -13,6 +13,7 @@
 package engine
 
 import (
+	"context"
 	crand "crypto/rand"
 	"encoding/binary"
 	"fmt"
@@ -24,6 +25,7 @@ import (
 
 	"ppclust/internal/core"
 	"ppclust/internal/matrix"
+	"ppclust/internal/obs"
 	"ppclust/internal/rotate"
 	"ppclust/internal/stats"
 )
@@ -196,6 +198,15 @@ func (r *ProtectResult) Secret() Secret {
 // identical in distribution to core.Transform; the released matrix is
 // identical for any worker count given the same options.
 func (e *Engine) Protect(data *matrix.Dense, opts ProtectOptions) (*ProtectResult, error) {
+	return e.ProtectCtx(context.Background(), data, opts)
+}
+
+// ProtectCtx is Protect recording per-stage spans (normalize, rotate)
+// into the trace carried by ctx. Spans are coarse — one per pipeline
+// stage, never per row or per pair — so instrumentation overhead is
+// noise even for small batches; with no trace in ctx the cost is two
+// context lookups. The output is bit-for-bit identical to Protect.
+func (e *Engine) ProtectCtx(ctx context.Context, data *matrix.Dense, opts ProtectOptions) (*ProtectResult, error) {
 	m, n := data.Dims()
 	if m < 2 {
 		return nil, fmt.Errorf("%w: need at least 2 rows, got %d", core.ErrBadInput, m)
@@ -238,11 +249,17 @@ func (e *Engine) Protect(data *matrix.Dense, opts ProtectOptions) (*ProtectResul
 	}
 
 	res := &ProtectResult{Normalization: method, Columns: n}
+	ctx, normSpan := obs.Start(ctx, "engine.normalize")
+	normSpan.Set("rows", m)
 	out, err := e.normalize(data, method, res)
+	normSpan.End()
 	if err != nil {
 		return nil, err
 	}
 	res.Released = out
+	_, rotSpan := obs.Start(ctx, "engine.rotate")
+	rotSpan.Set("pairs", len(pairs))
+	defer rotSpan.End()
 	res.Key = core.Key{Pairs: append([]core.Pair(nil), pairs...), AnglesDeg: make([]float64, len(pairs))}
 	for k, p := range pairs {
 		curve, err := e.pairCurve(out, p, opts.Denominator)

@@ -1,0 +1,66 @@
+package engine
+
+import (
+	"context"
+	"testing"
+
+	"ppclust/internal/matrix"
+	"ppclust/internal/obs"
+)
+
+// BenchmarkTracedProtect compares the protect pipeline with and without
+// an active trace on the context. Spans are per-stage (2 per call), so
+// the traced variant must stay within noise of the untraced one — CI
+// archives both as BENCH_ppobs.json and the acceptance bar is <5%
+// overhead on the 100k-row BenchmarkEngineProtectParallel shape.
+func BenchmarkTracedProtect(b *testing.B) {
+	const m, n = 100_000, 16
+	data := randData(m, n, 40)
+	eng := New(0, 0)
+	opts := ProtectOptions{Thresholds: tinyPST(), Seed: 40}
+
+	b.Run("untraced", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.ProtectCtx(context.Background(), data, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("traced", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ctx, root := obs.StartTrace(context.Background(), "", "bench")
+			if _, err := eng.ProtectCtx(ctx, data, opts); err != nil {
+				b.Fatal(err)
+			}
+			root.End()
+		}
+	})
+}
+
+// TestProtectCtxMatchesProtect pins the determinism contract: tracing
+// must not perturb the release.
+func TestProtectCtxMatchesProtect(t *testing.T) {
+	data := randData(500, 6, 7)
+	opts := ProtectOptions{Thresholds: tinyPST(), Seed: 7}
+	eng := New(2, 0)
+	plain, err := eng.Protect(data.Clone(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, root := obs.StartTrace(context.Background(), "", "t")
+	traced, err := eng.ProtectCtx(ctx, data.Clone(), opts)
+	root.End()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matrix.Equal(plain.Released, traced.Released) {
+		t.Fatal("traced release differs from untraced release")
+	}
+	tr := obs.FromContext(ctx)
+	stages := tr.Stages()
+	if len(stages) != 2 || stages[0].Name != "engine.normalize" || stages[1].Name != "engine.rotate" {
+		t.Fatalf("stages = %+v, want [engine.normalize engine.rotate]", stages)
+	}
+}

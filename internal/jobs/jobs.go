@@ -27,6 +27,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"ppclust/internal/obs"
 )
 
 // State is a job's lifecycle phase.
@@ -74,6 +76,15 @@ type Status struct {
 	CreatedAt  time.Time  `json:"created_at"`
 	StartedAt  *time.Time `json:"started_at,omitempty"`
 	FinishedAt *time.Time `json:"finished_at,omitempty"`
+	// TraceID ties the job to the request trace that submitted it (or to
+	// the trace minted when the worker picked it up); quoting it finds
+	// the daemon's span-tree and request logs for this job.
+	TraceID string `json:"trace_id,omitempty"`
+	// Timeline is the persistent per-stage record of a finished job:
+	// queue wait, total run time, then every span the runner recorded
+	// (store I/O, engine fit/protect, keyring writes), flattened in
+	// execution order.
+	Timeline []obs.Stage `json:"timeline,omitempty"`
 }
 
 // QueuedJob is the restartable description of a not-yet-started job — what
@@ -84,6 +95,7 @@ type QueuedJob struct {
 	Type      string          `json:"type"`
 	Spec      json.RawMessage `json:"spec"`
 	CreatedAt time.Time       `json:"created_at"`
+	TraceID   string          `json:"trace_id,omitempty"`
 }
 
 // Task is the runner's view of its job: the spec to execute and a progress
@@ -144,6 +156,8 @@ type job struct {
 	finishedAt time.Time
 	cancel     context.CancelFunc
 	seq        uint64
+	traceID    string
+	timeline   []obs.Stage
 }
 
 func (j *job) status() Status {
@@ -155,6 +169,8 @@ func (j *job) status() Status {
 		Progress:  j.progress,
 		Error:     j.err,
 		CreatedAt: j.createdAt,
+		TraceID:   j.traceID,
+		Timeline:  j.timeline,
 	}
 	if !j.startedAt.IsZero() {
 		t := j.startedAt
@@ -241,20 +257,27 @@ func (m *Manager) Workers() int { return m.workers }
 
 // Submit queues a job for owner and returns its initial status.
 func (m *Manager) Submit(owner, jobType string, spec json.RawMessage) (Status, error) {
+	return m.SubmitTraced(owner, jobType, spec, "")
+}
+
+// SubmitTraced is Submit carrying the trace ID of the request that made
+// the submission, so the job's logs and timeline join the same trace.
+// An empty traceID defers minting to the worker.
+func (m *Manager) SubmitTraced(owner, jobType string, spec json.RawMessage, traceID string) (Status, error) {
 	id, err := newID()
 	if err != nil {
 		return Status{}, err
 	}
-	return m.enqueue(id, owner, jobType, spec, time.Time{})
+	return m.enqueue(id, owner, jobType, spec, time.Time{}, traceID)
 }
 
 // Resubmit re-queues a job snapshot taken by Drain, keeping its identity
 // and creation time — the restart half of graceful drain.
 func (m *Manager) Resubmit(q QueuedJob) (Status, error) {
-	return m.enqueue(q.ID, q.Owner, q.Type, q.Spec, q.CreatedAt)
+	return m.enqueue(q.ID, q.Owner, q.Type, q.Spec, q.CreatedAt, q.TraceID)
 }
 
-func (m *Manager) enqueue(id, owner, jobType string, spec json.RawMessage, createdAt time.Time) (Status, error) {
+func (m *Manager) enqueue(id, owner, jobType string, spec json.RawMessage, createdAt time.Time, traceID string) (Status, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.draining || m.closed {
@@ -279,6 +302,7 @@ func (m *Manager) enqueue(id, owner, jobType string, spec json.RawMessage, creat
 		state:     StateQueued,
 		createdAt: createdAt,
 		seq:       m.seq,
+		traceID:   traceID,
 	}
 	m.jobs[id] = j
 	if len(m.queues[owner]) == 0 {
@@ -424,6 +448,7 @@ func (m *Manager) Drain(ctx context.Context) ([]QueuedJob, error) {
 				Type:      j.jobType,
 				Spec:      j.spec,
 				CreatedAt: j.createdAt,
+				TraceID:   j.traceID,
 			})
 		}
 	}
@@ -506,6 +531,11 @@ func (m *Manager) worker() {
 			continue
 		}
 		ctx, cancel := context.WithCancel(context.Background())
+		// The runner's context carries a trace (the submitting request's
+		// ID when there was one) so service/engine spans land in one tree
+		// that becomes the job's persistent timeline.
+		ctx, root := obs.StartTrace(ctx, j.traceID, "job:"+j.jobType)
+		j.traceID = obs.TraceID(ctx)
 		j.state = StateRunning
 		j.startedAt = m.now()
 		j.cancel = cancel
@@ -517,6 +547,7 @@ func (m *Manager) worker() {
 			ID: j.id, Owner: j.owner, Type: j.jobType, Spec: j.spec, job: j,
 		})
 		cancel()
+		root.End()
 
 		m.mu.Lock()
 		m.running--
@@ -540,6 +571,10 @@ func (m *Manager) worker() {
 			j.result = result
 			m.completed++
 		}
+		j.timeline = append([]obs.Stage{
+			{Name: "queued", DurationMs: float64(j.startedAt.Sub(j.createdAt).Microseconds()) / 1000},
+			{Name: "running", DurationMs: float64(j.finishedAt.Sub(j.startedAt).Microseconds()) / 1000},
+		}, obs.FromContext(ctx).Stages()...)
 		m.finishLocked(j)
 	}
 }

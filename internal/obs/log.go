@@ -1,0 +1,29 @@
+package obs
+
+import (
+	"context"
+	"io"
+	"log/slog"
+)
+
+// NewLogger returns a JSON slog logger writing to w at the given level,
+// with any extra attrs (typically node="<ring node ID>") attached to
+// every record. This is the one place the daemon's log shape is decided.
+func NewLogger(w io.Writer, level slog.Level, attrs ...slog.Attr) *slog.Logger {
+	h := slog.NewJSONHandler(w, &slog.HandlerOptions{Level: level})
+	if len(attrs) > 0 {
+		return slog.New(h.WithAttrs(attrs))
+	}
+	return slog.New(h)
+}
+
+// LogAttrs returns the standard per-request trace attribute for ctx, or
+// nothing when untraced, so call sites stay one-liners:
+//
+//	logger.Info("...", obs.LogAttrs(ctx)...)
+func LogAttrs(ctx context.Context) []any {
+	if id := TraceID(ctx); id != "" {
+		return []any{slog.String("trace", id)}
+	}
+	return nil
+}

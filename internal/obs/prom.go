@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"ppclust/internal/metrics"
+)
+
+// PromContentType is the content type for the Prometheus text exposition
+// format served at GET /metrics.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePromText renders the registry's counters and histograms plus a
+// flat map of derived gauges (queue depths, ring membership, cache
+// occupancy — keys may carry {labels}) as Prometheus text format: one
+// `# TYPE` line per metric family, histogram buckets in ascending
+// numeric bound order with `+Inf` last, and `_sum`/`_count` series per
+// histogram. Families are emitted in sorted name order so scrapes and
+// tests are deterministic.
+func WritePromText(w io.Writer, reg *metrics.Registry, gauges map[string]int64) error {
+	type family struct {
+		kind  string   // "counter", "gauge", "histogram"
+		lines []string // fully rendered sample lines
+	}
+	fams := map[string]*family{}
+	add := func(base, kind, line string) {
+		f := fams[base]
+		if f == nil {
+			f = &family{kind: kind}
+			fams[base] = f
+		}
+		f.lines = append(f.lines, line)
+	}
+
+	if reg != nil {
+		for name, v := range reg.CounterViews() {
+			base, _ := SplitMetricName(name)
+			add(base, "counter", fmt.Sprintf("%s %d", name, v))
+		}
+		for _, h := range reg.HistogramViews() {
+			for _, b := range h.Bucket {
+				le := "+Inf"
+				if !math.IsInf(b.UpperBound, 1) {
+					le = strconv.FormatFloat(b.UpperBound, 'g', -1, 64)
+				}
+				labels := fmt.Sprintf("le=%q", le)
+				if h.Labels != "" {
+					labels = h.Labels + "," + labels
+				}
+				add(h.Base, "histogram", fmt.Sprintf("%s_bucket{%s} %d", h.Base, labels, b.Count))
+			}
+			suffix := ""
+			if h.Labels != "" {
+				suffix = "{" + h.Labels + "}"
+			}
+			add(h.Base, "histogram", fmt.Sprintf("%s_sum%s %s", h.Base, suffix,
+				strconv.FormatFloat(h.Sum, 'g', -1, 64)))
+			add(h.Base, "histogram", fmt.Sprintf("%s_count%s %d", h.Base, suffix, h.Count))
+		}
+	}
+	for name, v := range gauges {
+		base, _ := SplitMetricName(name)
+		// Derived values named *_total are cumulative (jobs_submitted_total,
+		// datastore_cache_hits_total); per Prometheus naming conventions
+		// they expose as counters even though they arrive via the gauge map.
+		kind := "gauge"
+		if strings.HasSuffix(base, "_total") {
+			kind = "counter"
+		}
+		add(base, kind, fmt.Sprintf("%s %d", name, v))
+	}
+
+	names := make([]string, 0, len(fams))
+	for name := range fams {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f := fams[name]
+		// Counter sample lines must sort too: the map iteration above is
+		// random, and Prometheus requires all series of a family to be
+		// contiguous (they are) — sorted lines just keep diffs stable.
+		// Histogram lines keep insertion order (numeric bucket order).
+		if f.kind != "histogram" {
+			sort.Strings(f.lines)
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, f.kind); err != nil {
+			return err
+		}
+		for _, line := range f.lines {
+			if _, err := io.WriteString(w, line+"\n"); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// SplitMetricName separates `base{labels}` into base and the label body
+// (without braces); labels is "" for a bare name.
+func SplitMetricName(name string) (base, labels string) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 || !strings.HasSuffix(name, "}") {
+		return name, ""
+	}
+	return name[:i], name[i+1 : len(name)-1]
+}

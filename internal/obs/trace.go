@@ -1,0 +1,259 @@
+// Package obs is the zero-dependency observability layer for ppclust:
+// a Trace/Span model carried on context.Context, a structured (slog)
+// logger factory, and a Prometheus text-format renderer for the metrics
+// registry. Traces are in-process span trees keyed by a request ID that
+// is minted at the transport edge and propagated across ring forwards
+// and client calls via the X-Ppclust-Trace header; each node records its
+// own tree for the shared ID, so stitching is a log query away. All Span
+// methods are nil-safe: code paths that run without a trace pay one
+// context lookup and nothing else.
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"sync"
+	"time"
+)
+
+// TraceHeader is the HTTP header that carries the trace ID across
+// process boundaries: client → daemon, daemon → ring peer (forwards and
+// replica failovers), and back on every response so callers can quote
+// the ID when reporting a slow or failed request.
+const TraceHeader = "X-Ppclust-Trace"
+
+type ctxKey int
+
+const (
+	traceKey ctxKey = iota // *Trace (server side, span recording active)
+	spanKey                // *Span (current innermost open span)
+	idKey                  // string (client side, pin an outgoing ID only)
+)
+
+// NewTraceID mints a 16-hex-character random request ID.
+func NewTraceID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand never fails on the platforms we target; a fixed
+		// fallback keeps the request path alive if it somehow does.
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// Trace is one request's span tree on one node. Safe for concurrent use:
+// spans may be opened and closed from multiple goroutines (e.g. engine
+// stages running while the transport edge still owns the root).
+type Trace struct {
+	id    string
+	start time.Time
+
+	mu   sync.Mutex
+	root *Span
+}
+
+// Span is a named, timed segment of a trace. The zero of *Span (nil) is
+// a valid no-op span, so instrumented code never branches on "is tracing
+// enabled".
+type Span struct {
+	trace    *Trace
+	name     string
+	start    time.Time
+	dur      time.Duration // set by End; 0 while open
+	ended    bool
+	attrs    []Attr
+	children []*Span
+}
+
+// Attr is one key/value annotation on a span.
+type Attr struct {
+	Key   string `json:"k"`
+	Value any    `json:"v"`
+}
+
+// ValidTraceID reports whether s is acceptable as an adopted trace ID:
+// 8–64 characters of [0-9a-zA-Z-]. Anything else (too long, control
+// characters, quote/brace injection) is rejected and the edge mints a
+// fresh ID instead — adopted IDs land verbatim in log lines and response
+// headers, so they must be inert.
+func ValidTraceID(s string) bool {
+	if len(s) < 8 || len(s) > 64 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= '0' && c <= '9', c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// StartTrace begins a new trace with the given ID (minting one if the
+// given one is empty or invalid) and opens its root span. The returned
+// context carries both, so downstream Start calls attach children and
+// TraceID resolves the ID.
+func StartTrace(ctx context.Context, id, name string) (context.Context, *Span) {
+	if !ValidTraceID(id) {
+		id = NewTraceID()
+	}
+	now := time.Now()
+	t := &Trace{id: id, start: now}
+	root := &Span{trace: t, name: name, start: now}
+	t.root = root
+	ctx = context.WithValue(ctx, traceKey, t)
+	ctx = context.WithValue(ctx, spanKey, root)
+	return ctx, root
+}
+
+// Start opens a child span of the current span in ctx. When ctx carries
+// no trace it returns (ctx, nil); the nil span's methods are no-ops.
+func Start(ctx context.Context, name string) (context.Context, *Span) {
+	parent, _ := ctx.Value(spanKey).(*Span)
+	if parent == nil || parent.trace == nil {
+		return ctx, nil
+	}
+	t := parent.trace
+	s := &Span{trace: t, name: name, start: time.Now()}
+	t.mu.Lock()
+	parent.children = append(parent.children, s)
+	t.mu.Unlock()
+	return context.WithValue(ctx, spanKey, s), s
+}
+
+// End closes the span. Closing twice, or closing a nil span, is a no-op.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	t := s.trace
+	t.mu.Lock()
+	if !s.ended {
+		s.ended = true
+		s.dur = time.Since(s.start)
+	}
+	t.mu.Unlock()
+}
+
+// Set attaches a key/value annotation (status code, row count, peer ID).
+// Nil-safe.
+func (s *Span) Set(key string, v any) {
+	if s == nil {
+		return
+	}
+	t := s.trace
+	t.mu.Lock()
+	s.attrs = append(s.attrs, Attr{Key: key, Value: v})
+	t.mu.Unlock()
+}
+
+// Duration returns the span's recorded duration (0 while open or nil).
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.trace.mu.Lock()
+	defer s.trace.mu.Unlock()
+	return s.dur
+}
+
+// FromContext returns the active trace, or nil.
+func FromContext(ctx context.Context) *Trace {
+	t, _ := ctx.Value(traceKey).(*Trace)
+	return t
+}
+
+// WithTraceID pins an outgoing trace ID on a context without starting
+// span recording. Clients (ppclient, pploadgen) use it to choose the ID
+// the daemon will adopt, so load reports can quote server-side traces.
+func WithTraceID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, idKey, id)
+}
+
+// TraceID resolves the trace ID carried by ctx: an active trace's ID,
+// else a pinned outgoing ID, else "".
+func TraceID(ctx context.Context) string {
+	if t := FromContext(ctx); t != nil {
+		return t.id
+	}
+	id, _ := ctx.Value(idKey).(string)
+	return id
+}
+
+// ID returns the trace's request ID.
+func (t *Trace) ID() string {
+	if t == nil {
+		return ""
+	}
+	return t.id
+}
+
+// SpanNode is the exported (JSON-friendly) form of one span, used by the
+// slow-request log and by tests.
+type SpanNode struct {
+	Name     string      `json:"name"`
+	StartUs  int64       `json:"start_us"` // offset from trace start
+	DurUs    int64       `json:"dur_us"`
+	Attrs    []Attr      `json:"attrs,omitempty"`
+	Children []*SpanNode `json:"children,omitempty"`
+}
+
+// Tree snapshots the span tree. Open spans report their duration so far,
+// so a tree dumped mid-flight (e.g. from a streaming handler) is still
+// meaningful.
+func (t *Trace) Tree() *SpanNode {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.export(t.root)
+}
+
+func (t *Trace) export(s *Span) *SpanNode {
+	d := s.dur
+	if !s.ended {
+		d = time.Since(s.start)
+	}
+	n := &SpanNode{
+		Name:    s.name,
+		StartUs: s.start.Sub(t.start).Microseconds(),
+		DurUs:   d.Microseconds(),
+		Attrs:   append([]Attr(nil), s.attrs...),
+	}
+	for _, c := range s.children {
+		n.Children = append(n.Children, t.export(c))
+	}
+	return n
+}
+
+// Stage is one entry of a flattened per-stage timeline (job records keep
+// these as their persistent trace residue).
+type Stage struct {
+	Name       string  `json:"stage"`
+	DurationMs float64 `json:"duration_ms"`
+}
+
+// Stages flattens the tree below the root depth-first into a timeline.
+// The root span itself is omitted: its duration is the caller's total.
+func (t *Trace) Stages() []Stage {
+	tree := t.Tree()
+	if tree == nil {
+		return nil
+	}
+	var out []Stage
+	var walk func(n *SpanNode)
+	walk = func(n *SpanNode) {
+		out = append(out, Stage{Name: n.Name, DurationMs: float64(n.DurUs) / 1000})
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	for _, c := range tree.Children {
+		walk(c)
+	}
+	return out
+}

@@ -4,6 +4,7 @@ package service
 // every async workload.
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -12,6 +13,7 @@ import (
 
 	"ppclust/internal/datastore"
 	"ppclust/internal/keyring"
+	"ppclust/internal/obs"
 )
 
 // DatasetService manages the dataset store.
@@ -49,7 +51,11 @@ type UploadResult struct {
 // claimed (with a minted credential) only after the rows ingest cleanly —
 // a rejected upload must not burn the name with a token nobody received.
 // Known owners must be authorized by the caller before the body is read.
-func (d *DatasetService) Upload(req UploadRequest, src RowSource) (UploadResult, error) {
+func (d *DatasetService) Upload(ctx context.Context, req UploadRequest, src RowSource) (UploadResult, error) {
+	// One span covers decode + ingest: rows stream straight from the wire
+	// decoder into the builder, so the two stages are not separable here.
+	_, span := obs.Start(ctx, "ingest")
+	defer span.End()
 	if err := keyring.ValidName(req.Owner); err != nil {
 		return UploadResult{}, classify(err)
 	}
@@ -101,6 +107,7 @@ func (d *DatasetService) Upload(req UploadRequest, src RowSource) (UploadResult,
 		return UploadResult{}, classify(err)
 	}
 	out := UploadResult{}
+	span.Set("rows", ds.Rows)
 	if req.Claim {
 		// No re-check of ownerKnown here: the caller's snapshot decided
 		// the claim, and claimOwner is the atomic arbiter of races.

@@ -39,6 +39,7 @@ import (
 	"ppclust/internal/jobs"
 	"ppclust/internal/matrix"
 	"ppclust/internal/multiparty"
+	"ppclust/internal/obs"
 	"ppclust/internal/quality"
 )
 
@@ -329,8 +330,10 @@ func (f *FederationService) Withdraw(id, owner string) (string, error) {
 }
 
 // Seal finalizes the federation and schedules the joint analysis as a
-// federated-cluster job under the coordinator owner.
-func (f *FederationService) Seal(id, owner string, analysis FedAnalysisSpec) (federation.View, error) {
+// federated-cluster job under the coordinator owner. The scheduled job
+// adopts the sealing request's trace ID, so the joint analysis is
+// attributable to the seal that started it.
+func (f *FederationService) Seal(ctx context.Context, id, owner string, analysis FedAnalysisSpec) (federation.View, error) {
 	if _, err := buildClusterer(analysis.clusterSpec()); err != nil {
 		return federation.View{}, err
 	}
@@ -348,7 +351,7 @@ func (f *FederationService) Seal(id, owner string, analysis FedAnalysisSpec) (fe
 	if err != nil {
 		return federation.View{}, classify(err)
 	}
-	st, err := f.c.mgr.Submit(v.Coordinator, JobFederatedCluster, raw)
+	st, err := f.c.mgr.SubmitTraced(v.Coordinator, JobFederatedCluster, raw, obs.TraceID(ctx))
 	if err != nil {
 		return federation.View{}, classify(err)
 	}

@@ -18,6 +18,7 @@ import (
 	"ppclust/internal/datastore"
 	"ppclust/internal/engine"
 	"ppclust/internal/jobs"
+	"ppclust/internal/obs"
 	"ppclust/internal/quality"
 )
 
@@ -91,8 +92,10 @@ func (j *JobService) register() {
 	j.c.mgr.Register(JobFederatedCluster, j.feds.runFederatedCluster)
 }
 
-// Submit validates spec and queues it for owner.
-func (j *JobService) Submit(owner string, spec *JobSpec) (jobs.Status, error) {
+// Submit validates spec and queues it for owner. The trace ID carried by
+// ctx (if any) is attached to the job, so the submitting request, the
+// queued record and the worker's span tree share one ID.
+func (j *JobService) Submit(ctx context.Context, owner string, spec *JobSpec) (jobs.Status, error) {
 	if err := j.validate(owner, spec); err != nil {
 		return jobs.Status{}, err
 	}
@@ -100,7 +103,7 @@ func (j *JobService) Submit(owner string, spec *JobSpec) (jobs.Status, error) {
 	if err != nil {
 		return jobs.Status{}, classify(err)
 	}
-	st, err := j.c.mgr.Submit(owner, spec.Type, raw)
+	st, err := j.c.mgr.SubmitTraced(owner, spec.Type, raw, obs.TraceID(ctx))
 	return st, classify(err)
 }
 
@@ -281,20 +284,24 @@ func (j *JobService) runProtect(ctx context.Context, t *jobs.Task) (any, error) 
 	if err := json.Unmarshal(t.Spec, &spec); err != nil {
 		return nil, err
 	}
+	_, getSpan := obs.Start(ctx, "store.get")
 	ds, err := j.c.st.Get(t.Owner, spec.Dataset)
 	if err != nil {
+		getSpan.End()
 		return nil, err
 	}
 	opts, err := protectOptions(&spec)
 	if err != nil {
+		getSpan.End()
 		return nil, err
 	}
 	data, err := ds.Matrix()
+	getSpan.End()
 	if err != nil {
 		return nil, err
 	}
 	t.SetProgress(0.1)
-	res, err := j.c.eng.Protect(data, opts)
+	res, err := j.c.eng.ProtectCtx(ctx, data, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -309,6 +316,8 @@ func (j *JobService) runProtect(ctx context.Context, t *jobs.Task) (any, error) 
 	// error), and a later version-less recover would then silently
 	// decrypt older releases with the wrong key. A key failure after the
 	// dataset is stored rolls the dataset back instead.
+	_, putSpan := obs.Start(ctx, "store.put")
+	defer putSpan.End()
 	b, err := datastore.NewBuilder(t.Owner, spec.Dest, ds.Attrs)
 	if err != nil {
 		return nil, err
@@ -331,6 +340,9 @@ func (j *JobService) runProtect(ctx context.Context, t *jobs.Task) (any, error) 
 	if err := j.c.st.Put(out); err != nil {
 		return nil, err
 	}
+	putSpan.End()
+	_, keySpan := obs.Start(ctx, "keyring.put")
+	defer keySpan.End()
 	entry, err := j.c.keys.Put(t.Owner, fromEngineSecret(res.Secret()))
 	if err != nil {
 		if derr := j.c.st.Delete(t.Owner, spec.Dest); derr != nil {
@@ -370,16 +382,21 @@ func (j *JobService) runCluster(ctx context.Context, t *jobs.Task) (any, error) 
 	if err := json.Unmarshal(t.Spec, &spec); err != nil {
 		return nil, err
 	}
+	_, getSpan := obs.Start(ctx, "store.get")
 	ds, err := j.c.st.Get(t.Owner, spec.Dataset)
 	if err != nil {
+		getSpan.End()
 		return nil, err
 	}
 	data, err := ds.Matrix()
+	getSpan.End()
 	if err != nil {
 		return nil, err
 	}
 	t.SetProgress(0.05)
 
+	_, clSpan := obs.Start(ctx, "cluster")
+	defer clSpan.End()
 	outcome := &ClusterOutcome{}
 	var res *cluster.Result
 	if spec.KMin != 0 || spec.KMax != 0 {
@@ -470,7 +487,7 @@ func (j *JobService) runEvaluate(ctx context.Context, t *jobs.Task) (any, error)
 		return nil, err
 	}
 	t.SetProgress(0.05)
-	res, err := j.c.eng.Protect(orig, opts)
+	res, err := j.c.eng.ProtectCtx(ctx, orig, opts)
 	if err != nil {
 		return nil, err
 	}

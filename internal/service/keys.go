@@ -4,6 +4,7 @@ package service
 // streaming under frozen keys, inverting releases — plus key metadata.
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strconv"
@@ -12,6 +13,7 @@ import (
 	"ppclust/internal/keyring"
 	"ppclust/internal/matrix"
 	"ppclust/internal/metrics"
+	"ppclust/internal/obs"
 )
 
 // KeyService manages owner keys and the synchronous transform paths.
@@ -75,14 +77,16 @@ type FitResult struct {
 // creation, whose loser under a concurrent creation gets a clean
 // conflict — never an unauthenticated rotation of the freshly created
 // owner's key.
-func (k *KeyService) FitProtect(owner string, st OwnerState, data *matrix.Dense, opts engine.ProtectOptions) (FitResult, error) {
+func (k *KeyService) FitProtect(ctx context.Context, owner string, st OwnerState, data *matrix.Dense, opts engine.ProtectOptions) (FitResult, error) {
 	if err := keyring.ValidName(owner); err != nil {
 		return FitResult{}, classify(err)
 	}
-	res, err := k.c.eng.Protect(data, opts)
+	res, err := k.c.eng.ProtectCtx(ctx, data, opts)
 	if err != nil {
 		return FitResult{}, classify(err)
 	}
+	_, keySpan := obs.Start(ctx, "keyring.put")
+	defer keySpan.End()
 	secret := fromEngineSecret(res.Secret())
 	var entry keyring.Entry
 	token := ""

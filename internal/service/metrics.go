@@ -24,10 +24,23 @@ func FedMetricLabel(id string) string {
 }
 
 // MetricsSnapshot returns every counter plus the live job, engine,
-// federation and datastore-cache gauges — the body of the metrics
+// federation and datastore-cache gauges — the body of the JSON metrics
 // surface, shared by the HTTP route and embedded use.
 func (s *Services) MetricsSnapshot() map[string]int64 {
 	snap := s.c.reg.Snapshot()
+	for k, v := range s.Gauges() {
+		snap[k] = v
+	}
+	return snap
+}
+
+// Gauges returns only the live derived gauges (jobs, engine, admission,
+// federations, datastore cache) without the registry counters and
+// histograms. The Prometheus exposition path renders the registry with
+// full typing and takes the gauges from here; the JSON path merges both
+// flat via MetricsSnapshot.
+func (s *Services) Gauges() map[string]int64 {
+	snap := make(map[string]int64, 32)
 	stats := s.c.mgr.Stats()
 	snap["jobs_submitted_total"] = stats.Submitted
 	snap["jobs_completed_total"] = stats.Completed

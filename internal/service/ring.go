@@ -13,6 +13,7 @@ import (
 	"crypto/subtle"
 	"errors"
 	"fmt"
+	"time"
 
 	"ppclust/internal/keyring"
 )
@@ -39,6 +40,10 @@ type ReplicationEvent struct {
 	Kind    ReplicationKind
 	Owner   string
 	Dataset string // set for dataset kinds
+	// EnqueuedAt is stamped when the event enters the replication queue;
+	// the ship worker measures queue lag (ship time − enqueue time) from
+	// it, the replication-health signal an operator watches.
+	EnqueuedAt time.Time
 }
 
 // RingHook is what a cluster layer implements to participate in
@@ -70,6 +75,7 @@ func (s *Services) SetRing(h RingHook) { s.c.ring = h }
 // replicate forwards a write event to the ring sink, if any.
 func (c *deps) replicate(ev ReplicationEvent) {
 	if c.ring != nil {
+		ev.EnqueuedAt = time.Now()
 		c.ring.Replicate(ev)
 	}
 }

@@ -5,6 +5,7 @@ package service
 // every durable write emits a replication event.
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"sync"
@@ -116,7 +117,7 @@ func TestRingReplicationEvents(t *testing.T) {
 	hook := &fakeRing{}
 	svc.SetRing(hook)
 
-	res, err := svc.Datasets.Upload(UploadRequest{Owner: "carol", Name: "d1", Claim: true},
+	res, err := svc.Datasets.Upload(context.Background(), UploadRequest{Owner: "carol", Name: "d1", Claim: true},
 		&SliceRows{Columns: []string{"a", "b", "c"}, Rows: blobs(30)})
 	if err != nil {
 		t.Fatal(err)
@@ -128,7 +129,7 @@ func TestRingReplicationEvents(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := svc.Keys.FitProtect("carol", st, matrix.FromRows(blobs(30)), testProtectOptions()); err != nil {
+	if _, err := svc.Keys.FitProtect(context.Background(), "carol", st, matrix.FromRows(blobs(30)), testProtectOptions()); err != nil {
 		t.Fatal(err)
 	}
 	if err := svc.Datasets.Delete("carol", "d1"); err != nil {

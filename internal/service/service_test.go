@@ -73,7 +73,7 @@ func TestEmbeddedUploadProtectEvaluate(t *testing.T) {
 	cols := []string{"x", "y", "z"}
 	rows := blobs(120)
 
-	up, err := svc.Datasets.Upload(UploadRequest{Owner: "clinic", Name: "patients", Claim: true},
+	up, err := svc.Datasets.Upload(context.Background(), UploadRequest{Owner: "clinic", Name: "patients", Claim: true},
 		&SliceRows{Columns: cols, Rows: rows})
 	if err != nil {
 		t.Fatal(err)
@@ -95,7 +95,7 @@ func TestEmbeddedUploadProtectEvaluate(t *testing.T) {
 		t.Fatalf("missing token: %v", err)
 	}
 
-	st, err := svc.Jobs.Submit("clinic", &JobSpec{
+	st, err := svc.Jobs.Submit(context.Background(), "clinic", &JobSpec{
 		Type: JobProtect, Dataset: "patients", Dest: "released", Seed: 11,
 	})
 	if err != nil {
@@ -115,7 +115,7 @@ func TestEmbeddedUploadProtectEvaluate(t *testing.T) {
 		t.Fatalf("release meta = %+v, %v", meta, err)
 	}
 
-	st, err = svc.Jobs.Submit("clinic", &JobSpec{
+	st, err = svc.Jobs.Submit(context.Background(), "clinic", &JobSpec{
 		Type: JobEvaluate, Dataset: "patients", K: 3, Seed: 5, ClustSeed: 2,
 	})
 	if err != nil {
@@ -140,7 +140,7 @@ func TestEmbeddedUploadProtectEvaluate(t *testing.T) {
 // maps to the right wire code.
 func TestErrorClassification(t *testing.T) {
 	svc := newTestServices(t)
-	up, err := svc.Datasets.Upload(UploadRequest{Owner: "o1", Name: "d", Claim: true},
+	up, err := svc.Datasets.Upload(context.Background(), UploadRequest{Owner: "o1", Name: "d", Claim: true},
 		&SliceRows{Columns: []string{"a", "b"}, Rows: [][]float64{{1, 2}, {3, 4}, {5, 6}}})
 	if err != nil {
 		t.Fatal(err)
@@ -154,13 +154,13 @@ func TestErrorClassification(t *testing.T) {
 		code     string
 	}{
 		{"missing dataset", errOf(svc.Datasets.Get("o1", "ghost")), ErrNotFound, CodeNotFound},
-		{"duplicate upload", errOnly(svc.Datasets.Upload(UploadRequest{Owner: "o1", Name: "d"},
+		{"duplicate upload", errOnly(svc.Datasets.Upload(context.Background(), UploadRequest{Owner: "o1", Name: "d"},
 			&SliceRows{Columns: []string{"a", "b"}, Rows: [][]float64{{1, 2}}})), ErrConflict, CodeConflict},
-		{"reserved fed prefix", errOnly(svc.Datasets.Upload(UploadRequest{Owner: "o1", Name: "fed.x"},
+		{"reserved fed prefix", errOnly(svc.Datasets.Upload(context.Background(), UploadRequest{Owner: "o1", Name: "fed.x"},
 			&SliceRows{Columns: []string{"a"}, Rows: [][]float64{{1}}})), ErrInvalid, CodeInvalid},
-		{"bad owner name", errOnly(svc.Datasets.Upload(UploadRequest{Owner: "no/pe", Name: "d2"},
+		{"bad owner name", errOnly(svc.Datasets.Upload(context.Background(), UploadRequest{Owner: "no/pe", Name: "d2"},
 			&SliceRows{Columns: []string{"a"}, Rows: [][]float64{{1}}})), ErrInvalid, CodeInvalid},
-		{"bad job spec", errOf2(svc.Jobs.Submit("o1", &JobSpec{Type: "warp", Dataset: "d"})), ErrInvalid, CodeInvalid},
+		{"bad job spec", errOf2(svc.Jobs.Submit(context.Background(), "o1", &JobSpec{Type: "warp", Dataset: "d"})), ErrInvalid, CodeInvalid},
 		{"foreign job id", errOf3(svc.Jobs.Result("o1", "jdeadbeef")), ErrNotFound, CodeNotFound},
 		{"unknown federation", errOf4(svc.Federations.Get("fnope", "o1")), ErrNotFound, CodeNotFound},
 	}
@@ -195,7 +195,7 @@ func TestDrainClassifiesAsDraining(t *testing.T) {
 		Jobs:        mgr,
 		Federations: federation.NewMemory(),
 	})
-	if _, err := svc.Datasets.Upload(UploadRequest{Owner: "o", Name: "d"},
+	if _, err := svc.Datasets.Upload(context.Background(), UploadRequest{Owner: "o", Name: "d"},
 		&SliceRows{Columns: []string{"a"}, Rows: [][]float64{{1}, {2}}}); err != nil {
 		t.Fatal(err)
 	}
@@ -204,7 +204,7 @@ func TestDrainClassifiesAsDraining(t *testing.T) {
 	if _, err := mgr.Drain(ctx); err != nil {
 		t.Fatal(err)
 	}
-	_, err := svc.Jobs.Submit("o", &JobSpec{Type: JobCluster, Dataset: "d", K: 1})
+	_, err := svc.Jobs.Submit(context.Background(), "o", &JobSpec{Type: JobCluster, Dataset: "d", K: 1})
 	if !errors.Is(err, ErrDraining) || Code(err) != CodeDraining {
 		t.Fatalf("drain submit: %v (code %q)", err, Code(err))
 	}
@@ -214,7 +214,7 @@ func TestDrainClassifiesAsDraining(t *testing.T) {
 // service without a job in between.
 func TestTuneServiceInProcess(t *testing.T) {
 	svc := newTestServices(t)
-	if _, err := svc.Datasets.Upload(UploadRequest{Owner: "o", Name: "d"},
+	if _, err := svc.Datasets.Upload(context.Background(), UploadRequest{Owner: "o", Name: "d"},
 		&SliceRows{Columns: []string{"x", "y", "z"}, Rows: blobs(90)}); err != nil {
 		t.Fatal(err)
 	}
@@ -259,7 +259,7 @@ func TestSnapshotRaceSafety(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	win, err := svc.Keys.FitProtect("victim", OwnerState{}, m, testProtectOptions())
+	win, err := svc.Keys.FitProtect(context.Background(), "victim", OwnerState{}, m, testProtectOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -267,7 +267,7 @@ func TestSnapshotRaceSafety(t *testing.T) {
 		t.Fatalf("creation fit = %+v", win)
 	}
 	// The stale-snapshot fit must now fail with a conflict, not rotate.
-	if _, err := svc.Keys.FitProtect("victim", st, m, testProtectOptions()); !errors.Is(err, ErrConflict) {
+	if _, err := svc.Keys.FitProtect(context.Background(), "victim", st, m, testProtectOptions()); !errors.Is(err, ErrConflict) {
 		t.Fatalf("stale-snapshot fit: %v, want conflict", err)
 	}
 	if cur, _ := svc.Keys.State("victim"); !cur.HasKey {
@@ -276,7 +276,7 @@ func TestSnapshotRaceSafety(t *testing.T) {
 
 	// Same for uploads: a stale Claim against a now-known owner conflicts
 	// instead of landing a dataset in the namespace unauthenticated.
-	res, err := svc.Datasets.Upload(UploadRequest{Owner: "victim", Name: "planted", Claim: true},
+	res, err := svc.Datasets.Upload(context.Background(), UploadRequest{Owner: "victim", Name: "planted", Claim: true},
 		&SliceRows{Columns: []string{"a"}, Rows: [][]float64{{1}, {2}}})
 	if !errors.Is(err, ErrConflict) {
 		t.Fatalf("stale-claim upload: %v, want conflict", err)

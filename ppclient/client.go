@@ -30,6 +30,22 @@ import (
 	"time"
 )
 
+// TraceHeader is the request-ID header the daemon adopts and reflects:
+// set it (or use WithTraceID) to pin the server-side trace ID a request
+// runs under, so client-side reports can quote server traces.
+const TraceHeader = "X-Ppclust-Trace"
+
+// traceKeyT keys a pinned outgoing trace ID on a context. Kept private
+// and package-local so ppclient stays dependency-free of the daemon's
+// internals.
+type traceKeyT struct{}
+
+// WithTraceID returns a context that pins id as the X-Ppclust-Trace
+// header of every request built from it.
+func WithTraceID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, traceKeyT{}, id)
+}
+
 // Client talks to one ppclustd instance on behalf of one owner.
 type Client struct {
 	// BaseURL is the daemon root, e.g. "http://127.0.0.1:8344".
@@ -76,6 +92,9 @@ type APIError struct {
 	Code string
 	// Message is the human-readable error.
 	Message string
+	// TraceID is the server-side trace ID of the failed request (from the
+	// X-Ppclust-Trace response header) — quote it when reporting.
+	TraceID string
 }
 
 func (e *APIError) Error() string {
@@ -360,6 +379,9 @@ func (c *Client) newRequest(ctx context.Context, method, path string, body io.Re
 	if c.Token != "" {
 		req.Header.Set("Authorization", "Bearer "+c.Token)
 	}
+	if id, _ := ctx.Value(traceKeyT{}).(string); id != "" {
+		req.Header.Set(TraceHeader, id)
+	}
 	return req, nil
 }
 
@@ -417,7 +439,12 @@ func (c *Client) do(req *http.Request) ([]byte, error) {
 	if resp.StatusCode >= 200 && resp.StatusCode < 300 {
 		return raw, nil
 	}
-	return nil, apiError(resp.StatusCode, raw)
+	err = apiError(resp.StatusCode, raw)
+	var ae *APIError
+	if errors.As(err, &ae) {
+		ae.TraceID = resp.Header.Get(TraceHeader)
+	}
+	return nil, err
 }
 
 // DoRaw runs an arbitrary request through the client's retry machinery
@@ -637,6 +664,12 @@ func (c *Client) DeleteDataset(ctx context.Context, name string) error {
 	return c.doJSON(ctx, http.MethodDelete, "/v1/datasets/"+url.PathEscape(name), nil, nil)
 }
 
+// JobStage is one entry of a job's persistent per-stage timeline.
+type JobStage struct {
+	Stage      string  `json:"stage"`
+	DurationMs float64 `json:"duration_ms"`
+}
+
 // JobStatus mirrors the daemon's job snapshot.
 type JobStatus struct {
 	ID         string     `json:"id"`
@@ -648,6 +681,11 @@ type JobStatus struct {
 	CreatedAt  time.Time  `json:"created_at"`
 	StartedAt  *time.Time `json:"started_at,omitempty"`
 	FinishedAt *time.Time `json:"finished_at,omitempty"`
+	// TraceID is the trace of the request that submitted the job; Timeline
+	// is the per-stage duration record the job left behind (queued,
+	// running, then every engine/store stage of the run).
+	TraceID  string     `json:"trace_id,omitempty"`
+	Timeline []JobStage `json:"timeline,omitempty"`
 }
 
 // Terminal reports whether the job has finished (done, failed or
