@@ -94,6 +94,12 @@ type options struct {
 	slowMs    int
 	logLevel  string
 	pprofAddr string
+
+	// ppscope: trace retention and SLO evaluation (scope.go).
+	traceSample     float64
+	traceStoreBytes int64
+	sloSpecs        []string
+	sloWindow       time.Duration
 }
 
 func main() {
@@ -122,6 +128,16 @@ func main() {
 	flag.IntVar(&o.rateBurst, "rate-burst", 0, "per-owner admission burst (0: max(1, rate-limit))")
 	flag.IntVar(&o.rateQueue, "rate-queue", 0, "per-owner queued requests before shedding with 429 (0: default 16)")
 	flag.IntVar(&o.slowMs, "slow-ms", 0, "log the full span tree of any request slower than this many milliseconds (0: disabled)")
+	flag.Float64Var(&o.traceSample, "trace-sample", 0.1, "fraction of ordinary traces retained for GET /v1/traces (slow and error traces are always kept)")
+	flag.Int64Var(&o.traceStoreBytes, "trace-store-bytes", 0, "trace store memory budget in bytes (0: 16MiB)")
+	flag.Func("slo", "service-level objective, e.g. 'protect:p99<250ms,err<0.5%' (repeatable; conditions ','-separated, objectives ';'-separated)", func(v string) error {
+		if _, err := obs.ParseSLO(v); err != nil {
+			return err
+		}
+		o.sloSpecs = append(o.sloSpecs, v)
+		return nil
+	})
+	flag.DurationVar(&o.sloWindow, "slo-window", 0, "rolling window SLOs are evaluated over (0: 1m)")
 	flag.StringVar(&o.logLevel, "log-level", "info", "minimum log level: debug, info, warn or error")
 	flag.StringVar(&o.pprofAddr, "pprof-addr", "", "serve net/http/pprof on this address (empty: disabled; keep it loopback or firewalled)")
 	flag.Parse()
@@ -218,6 +234,23 @@ func run(o options) error {
 	s := newServerAdm(eng, keys, store, mgr, feds, adm)
 	s.logger = logger
 	s.slowLog = time.Duration(o.slowMs) * time.Millisecond
+	s.nodeID = o.nodeID
+	// The always-keep threshold for traces follows -slow-ms when set, so
+	// "slow" means the same thing to the log dump and the trace store.
+	if err := s.setupScope(scopeConfig{
+		TraceSample:     o.traceSample,
+		TraceStoreBytes: o.traceStoreBytes,
+		SlowMs:          float64(o.slowMs),
+		SLOSpecs:        o.sloSpecs,
+		SLOWindow:       o.sloWindow,
+	}); err != nil {
+		mgr.Close()
+		return err
+	}
+	if len(o.sloSpecs) > 0 {
+		logger.Info("slo engine enabled", "objectives", len(s.slo.Objectives()),
+			"window", s.slo.Window().String())
+	}
 	if o.batchRows > 0 {
 		s.batchRows = o.batchRows
 	}

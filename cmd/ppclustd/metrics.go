@@ -65,16 +65,38 @@ func (s *server) instrument(next http.Handler) http.Handler {
 				route = "unmatched"
 			}
 			elapsed := time.Since(start)
+			durMs := float64(elapsed.Microseconds()) / 1000
+			owner := r.URL.Query().Get("owner")
 			reg.Counter(fmt.Sprintf(`http_requests_total{route=%q,status="%d"}`, route, rec.status)).Inc()
 			reg.Histogram(fmt.Sprintf(`http_request_duration_us{route=%q}`, route), latencyBoundsUs).
 				Observe(float64(elapsed.Microseconds()))
+			// SLO accounting counts 5xx as errors: a 4xx is the client's
+			// fault and spending the error budget on it would let bad input
+			// mask a real availability regression.
+			s.slo.Observe(route, durMs, rec.status >= 500)
+			// ShouldKeep gates before Tree(): dropped traces never pay the
+			// span-tree export. Errors and slow requests always pass; the
+			// rest hash the trace ID so every ring node keeps the same set.
+			if s.traces != nil && s.traces.ShouldKeep(id, rec.status, durMs) {
+				s.traces.Put(obs.TraceRecord{
+					ID:     id,
+					Node:   s.nodeName(),
+					Route:  route,
+					Status: rec.status,
+					Owner:  owner,
+					Start:  start,
+					DurMs:  durMs,
+					Error:  rec.status >= 500,
+					Spans:  obs.FromContext(ctx).Tree(),
+				})
+			}
 			attrs := []slog.Attr{
 				slog.String("trace", id),
 				slog.String("route", route),
 				slog.Int("status", rec.status),
-				slog.Float64("dur_ms", float64(elapsed.Microseconds())/1000),
+				slog.Float64("dur_ms", durMs),
 			}
-			if owner := r.URL.Query().Get("owner"); owner != "" {
+			if owner != "" {
 				attrs = append(attrs, slog.String("owner", owner))
 			}
 			s.logger.LogAttrs(ctx, slog.LevelInfo, "request", attrs...)
@@ -129,11 +151,7 @@ func (s *server) gauges() map[string]int64 {
 }
 
 func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	snap := s.svc.MetricsSnapshot()
-	if s.ring != nil {
-		s.ring.addGauges(snap)
-	}
-	writeJSON(w, http.StatusOK, snap)
+	writeJSON(w, http.StatusOK, s.localSnapshot())
 }
 
 // handlePromMetrics serves the Prometheus text exposition format:

@@ -102,6 +102,10 @@ type ringRuntime struct {
 
 	keys  keyring.Store
 	store datastore.Store
+	// traces is the node's retained-trace store, served to peers over
+	// GET /v1/ring/trace for cross-node stitching (nil until the server
+	// wires it in handler()).
+	traces *obs.TraceStore
 
 	mu      sync.Mutex
 	clients map[string]*ppclient.Client // addr → retrying client
@@ -701,6 +705,122 @@ func (rt *ringRuntime) registerRoutes(mux *http.ServeMux) {
 	mux.HandleFunc("GET /v1/ring/owners", guard(rt.handleOwners))
 	mux.HandleFunc("GET /v1/ring/export/owner", guard(rt.handleExportOwner))
 	mux.HandleFunc("GET /v1/ring/export/dataset", guard(rt.handleExportDataset))
+	mux.HandleFunc("GET /v1/ring/trace", guard(rt.handleRingTrace))
+}
+
+// handleRingTrace serves this node's retained record for one trace ID —
+// the peer-to-peer leg of cross-node stitching. 404 means "not retained
+// here", which is an ordinary answer, not a failure.
+func (rt *ringRuntime) handleRingTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.URL.Query().Get("id")
+	if rt.traces == nil {
+		writeErr(w, service.NotFoundErr(fmt.Errorf("trace store not enabled")))
+		return
+	}
+	rec, ok := rt.traces.Get(id)
+	if !ok {
+		writeErr(w, service.NotFoundErr(fmt.Errorf("trace %q is not retained on this node", id)))
+		return
+	}
+	writeJSON(w, http.StatusOK, rec)
+}
+
+// scopeFanoutTimeout bounds each per-peer call of the observability
+// fan-outs (trace collection, metrics scraping): slow enough for a
+// loaded peer, fast enough that one dead peer cannot stall the
+// cluster-wide answer.
+const scopeFanoutTimeout = 3 * time.Second
+
+// collectTraces asks every ring peer for its record of the trace,
+// concurrently. A peer without the record (404) contributes nothing;
+// an unreachable or erroring peer lands in the returned error map so
+// the caller can degrade the view instead of failing it.
+func (rt *ringRuntime) collectTraces(ctx context.Context, id string) ([]obs.TraceRecord, map[string]string) {
+	_, members := rt.ring.Snapshot()
+	type result struct {
+		node string
+		rec  obs.TraceRecord
+		ok   bool
+		err  error
+	}
+	results := make(chan result, len(members))
+	fanned := 0
+	for _, m := range members {
+		if m.ID == rt.self.ID {
+			continue
+		}
+		fanned++
+		go func(m ring.Node) {
+			cctx, cancel := context.WithTimeout(ctx, scopeFanoutTimeout)
+			defer cancel()
+			var rec obs.TraceRecord
+			status, err := rt.roundTrip(cctx, m.Addr, http.MethodGet, "/v1/ring/trace?id="+url.QueryEscape(id), nil, &rec)
+			switch {
+			case err == nil:
+				results <- result{node: m.ID, rec: rec, ok: true}
+			case status == http.StatusNotFound:
+				results <- result{node: m.ID}
+			default:
+				results <- result{node: m.ID, err: err}
+			}
+		}(m)
+	}
+	var recs []obs.TraceRecord
+	errs := map[string]string{}
+	for i := 0; i < fanned; i++ {
+		res := <-results
+		switch {
+		case res.ok:
+			recs = append(recs, res.rec)
+		case res.err != nil:
+			errs[res.node] = res.err.Error()
+		}
+	}
+	if len(errs) == 0 {
+		errs = nil
+	}
+	return recs, errs
+}
+
+// scrapePeers fetches every peer's /v1/metrics snapshot concurrently,
+// returning per-node flat maps plus an error map for the peers that
+// could not be scraped.
+func (rt *ringRuntime) scrapePeers(ctx context.Context) (map[string]map[string]int64, map[string]string) {
+	_, members := rt.ring.Snapshot()
+	type result struct {
+		node string
+		snap map[string]int64
+		err  error
+	}
+	results := make(chan result, len(members))
+	fanned := 0
+	for _, m := range members {
+		if m.ID == rt.self.ID {
+			continue
+		}
+		fanned++
+		go func(m ring.Node) {
+			cctx, cancel := context.WithTimeout(ctx, scopeFanoutTimeout)
+			defer cancel()
+			var snap map[string]int64
+			_, err := rt.roundTrip(cctx, m.Addr, http.MethodGet, "/v1/metrics", nil, &snap)
+			results <- result{node: m.ID, snap: snap, err: err}
+		}(m)
+	}
+	perNode := make(map[string]map[string]int64, fanned)
+	errs := map[string]string{}
+	for i := 0; i < fanned; i++ {
+		res := <-results
+		if res.err != nil {
+			errs[res.node] = res.err.Error()
+			continue
+		}
+		perNode[res.node] = res.snap
+	}
+	if len(errs) == 0 {
+		errs = nil
+	}
+	return perNode, errs
 }
 
 func (rt *ringRuntime) requireClusterKey(next http.HandlerFunc) http.HandlerFunc {
@@ -974,6 +1094,10 @@ func (rt *ringRuntime) middleware(next http.Handler) http.Handler {
 			writeErr(w, service.Invalid(fmt.Errorf("reading request body for forwarding: %w", err)))
 			return
 		}
+		// The mux never runs for a proxied request, so the instrumentation
+		// edge would label it "unmatched"; name the hop instead so entry
+		// nodes show their proxy traffic as its own route.
+		r.Pattern = "ring.forward"
 		var lastErr error
 		for i, n := range nodes {
 			if n.ID == rt.self.ID {
@@ -983,6 +1107,10 @@ func (rt *ringRuntime) middleware(next http.Handler) http.Handler {
 				r2.Body = io.NopCloser(bytes.NewReader(body))
 				r2.Header.Set(hdrReplica, "1")
 				next.ServeHTTP(w, r2)
+				// Reflect the matched route back onto the original request:
+				// the instrumentation defer reads r, not the clone the mux
+				// stamped.
+				r.Pattern = r2.Pattern
 				return
 			}
 			if err := rt.forward(w, r, n, body, hop, i > 0); err != nil {
@@ -1065,7 +1193,13 @@ func (rt *ringRuntime) routeKey(r *http.Request) string {
 	}
 	switch {
 	case p == "/v1/ring" || strings.HasPrefix(p, "/v1/ring/"),
-		p == "/v1/metrics", p == "/v1/keys":
+		p == "/v1/metrics", p == "/v1/keys",
+		// The observability plane answers from whichever node is asked:
+		// traces fan out to peers themselves, cluster metrics aggregate
+		// everywhere, SLO status is per-node by design.
+		p == "/v1/traces" || strings.HasPrefix(p, "/v1/traces/"),
+		p == "/v1/slo",
+		strings.HasPrefix(p, "/v1/cluster/"):
 		return ""
 	}
 	if p == "/v1/federations" {

@@ -120,6 +120,7 @@ func buildRingNode(tb testing.TB, nd *ringTestNode, ln net.Listener, replicas in
 	mgr := jobs.New(jobs.Config{Workers: 2})
 	tb.Cleanup(mgr.Close)
 	s := newServer(engine.New(4, 1024), nd.keys, nd.store, mgr, federation.NewMemory())
+	s.nodeID = nd.id
 	rt := newRingRuntime(ringConfig{
 		NodeID:     nd.id,
 		Advertise:  nd.addr,

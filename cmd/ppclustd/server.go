@@ -68,6 +68,16 @@ type server struct {
 	// slowLog, when positive, is the -slow-ms threshold above which a
 	// request's full span tree is dumped to the log.
 	slowLog time.Duration
+	// nodeID is the ring identity stamped on trace records and cluster
+	// metrics ("" single-node; see nodeName).
+	nodeID string
+	// traces retains finished span trees for the /v1/traces query API
+	// (scope.go). Always non-nil after construction; setupScope replaces
+	// it with the flag-configured store.
+	traces *obs.TraceStore
+	// slo evaluates per-route objectives over a rolling window (nil when
+	// no -slo is configured; all its methods are nil-safe).
+	slo *obs.SLOEngine
 	// ready and draining drive GET /readyz: ready flips true once
 	// startup (including ring catch-up) completes; draining flips true
 	// the moment shutdown begins, so load balancers stop routing to a
@@ -96,6 +106,19 @@ func newServerAdm(eng *engine.Engine, keys keyring.Store, store datastore.Store,
 		batchRows: 4096,
 		logger:    obs.NewLogger(os.Stderr, slog.LevelInfo),
 	}
+	// Default trace store keeps every trace (deterministic for embedded
+	// and test use); the daemon's -trace-sample default applies via
+	// setupScope in main.
+	s.traces = obs.NewTraceStore(obs.TraceStoreConfig{Sample: 1}, s.svc.Registry())
+	// The closure reads the fields live so setupScope swaps apply; both
+	// are settled before the listener serves.
+	s.svc.AddGaugeSource(func() map[string]int64 {
+		g := s.traces.Gauges()
+		for k, v := range s.slo.Gauges() {
+			g[k] = v
+		}
+		return g
+	})
 	s.ready.Store(true)
 	return s
 }
@@ -107,6 +130,10 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("GET /v1/keys", s.handleKeys)
 	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	mux.HandleFunc("GET /metrics", s.handlePromMetrics)
+	mux.HandleFunc("GET /v1/traces", s.handleTraceList)
+	mux.HandleFunc("GET /v1/traces/{id}", s.handleTraceGet)
+	mux.HandleFunc("GET /v1/cluster/metrics", s.handleClusterMetrics)
+	mux.HandleFunc("GET /v1/slo", s.handleSLO)
 	mux.HandleFunc("POST /v1/protect", s.handleProtect)
 	mux.HandleFunc("POST /v1/recover", s.handleRecover)
 	mux.HandleFunc("POST /v1/datasets", s.handleDatasetUpload)
@@ -134,6 +161,7 @@ func (s *server) handler() http.Handler {
 	// receive it; admission guards the mux.
 	var h http.Handler = s.admit(mux)
 	if s.ring != nil {
+		s.ring.traces = s.traces
 		s.ring.registerRoutes(mux)
 		h = s.ring.middleware(h)
 	}

@@ -22,6 +22,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -112,13 +113,28 @@ type opStats struct {
 }
 
 // slowSample is one tail-latency request, identified by its trace ID.
+// TraceURL is ready to curl: the entry node's GET /v1/traces/{id},
+// which returns the retained span tree stitched across the ring.
 type slowSample struct {
-	TraceID string  `json:"trace_id"`
-	Ms      float64 `json:"ms"`
+	TraceID  string  `json:"trace_id"`
+	Ms       float64 `json:"ms"`
+	TraceURL string  `json:"trace_url,omitempty"`
 }
 
 // slowestCount is how many tail samples each op quotes in the report.
 const slowestCount = 5
+
+// sloResult is one objective evaluated over the run's exact samples —
+// the same burn model the daemon's rolling window uses, but with no
+// sampling error because the harness holds every observation.
+type sloResult struct {
+	Objective string  `json:"objective"`
+	Requests  int64   `json:"requests"`
+	Bad       int64   `json:"bad"`
+	Budget    float64 `json:"budget"`
+	BurnRate  float64 `json:"burn_rate"`
+	State     string  `json:"state"`
+}
 
 type loadReport struct {
 	Nodes       []string           `json:"nodes"`
@@ -131,6 +147,8 @@ type loadReport struct {
 	Throughput  float64            `json:"throughput_rps"`
 	ErrorRate   float64            `json:"error_rate"`
 	Ops         map[string]opStats `json:"ops"`
+	SLOStatus   string             `json:"slo_status,omitempty"`
+	SLO         []sloResult        `json:"slo,omitempty"`
 }
 
 type sample struct {
@@ -138,6 +156,7 @@ type sample struct {
 	ms    float64
 	err   bool
 	trace string
+	node  string
 }
 
 // owner is one load identity: a ppclient pinned to its entry node plus
@@ -159,8 +178,8 @@ type harness struct {
 	samples []sample
 }
 
-func (h *harness) record(op opKind, trace string, start time.Time, err error) {
-	s := sample{op: op, ms: float64(time.Since(start).Microseconds()) / 1000, err: err != nil, trace: trace}
+func (h *harness) record(op opKind, trace, node string, start time.Time, err error) {
+	s := sample{op: op, ms: float64(time.Since(start).Microseconds()) / 1000, err: err != nil, trace: trace, node: node}
 	h.mu.Lock()
 	h.samples = append(h.samples, s)
 	h.mu.Unlock()
@@ -189,7 +208,7 @@ func (h *harness) worker(ctx context.Context, requests int) {
 		case opCluster:
 			err = o.clusterJob(opCtx)
 		}
-		h.record(op, trace, start, err)
+		h.record(op, trace, o.client.BaseURL, start, err)
 	}
 }
 
@@ -280,9 +299,44 @@ func slowest(samples []sample) []slowSample {
 	}
 	out := make([]slowSample, 0, len(sorted))
 	for _, s := range sorted {
-		out = append(out, slowSample{TraceID: s.trace, Ms: s.ms})
+		ss := slowSample{TraceID: s.trace, Ms: s.ms}
+		if s.node != "" {
+			ss.TraceURL = s.node + "/v1/traces/" + s.trace
+		}
+		out = append(out, ss)
 	}
 	return out
+}
+
+// evalSLO evaluates the parsed objectives over the run's samples.
+// Objectives match operations by substring the same way the daemon
+// matches routes, so 'protect:p99<250ms' gates the protect op here and
+// the protect route there.
+func (h *harness) evalSLO(objectives []obs.Objective) (results []sloResult, worst string) {
+	worst = obs.SLOStateOK
+	for _, o := range objectives {
+		var total, bad int64
+		for _, s := range h.samples {
+			if !o.Matches(string(s.op)) {
+				continue
+			}
+			total++
+			if o.Bad(s.ms, s.err) {
+				bad++
+			}
+		}
+		burn, state := obs.EvalBudget(total, bad, o.Budget())
+		results = append(results, sloResult{
+			Objective: o.Name(),
+			Requests:  total,
+			Bad:       bad,
+			Budget:    o.Budget(),
+			BurnRate:  burn,
+			State:     state,
+		})
+		worst = obs.WorseSLOState(worst, state)
+	}
+	return results, worst
 }
 
 func (h *harness) report(nodes []string, concurrency, requests, rows int, mixSpec string, elapsed time.Duration) loadReport {
@@ -342,10 +396,15 @@ func run(args []string, stdout io.Writer) error {
 	seed := fs.Int64("seed", 1, "synthetic data seed")
 	mixSpec := fs.String("mix", "upload=1,protect=1,cluster=1", "weighted operation mix")
 	timeout := fs.Duration("timeout", 5*time.Minute, "overall deadline")
+	sloSpec := fs.String("slo", "", "objective the run must meet, e.g. 'protect:p99<250ms,err<0.5%'; a breach makes the run exit non-zero")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	mix, err := parseMix(*mixSpec)
+	if err != nil {
+		return err
+	}
+	objectives, err := obs.ParseSLO(*sloSpec)
 	if err != nil {
 		return err
 	}
@@ -405,10 +464,33 @@ func run(args []string, stdout io.Writer) error {
 		fmt.Fprintf(os.Stderr, "pploadgen: deadline hit after %d/%d operations\n", len(h.samples), *requests)
 	}
 
+	rep := h.report(nodes, *concurrency, *requests, *rows, *mixSpec, elapsed)
+	if len(objectives) > 0 {
+		rep.SLO, rep.SLOStatus = h.evalSLO(objectives)
+	}
 	enc := json.NewEncoder(stdout)
 	enc.SetIndent("", "  ")
-	return enc.Encode(h.report(nodes, *concurrency, *requests, *rows, *mixSpec, elapsed))
+	if err := enc.Encode(rep); err != nil {
+		return err
+	}
+	// The CI gate: the full report is already on stdout, the breach
+	// summary goes to stderr with the non-zero exit.
+	if rep.SLOStatus == obs.SLOStateBreach {
+		var breached []string
+		for _, r := range rep.SLO {
+			if r.State == obs.SLOStateBreach {
+				breached = append(breached, fmt.Sprintf("%s (burn %.2f)", r.Objective, r.BurnRate))
+			}
+		}
+		return fmt.Errorf("%w: %s", errSLOBreach, strings.Join(breached, ", "))
+	}
+	return nil
 }
+
+// errSLOBreach marks a run that finished but failed its -slo gate; main
+// distinguishes it from setup failures only in the message, both exit
+// non-zero.
+var errSLOBreach = errors.New("slo breached")
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {

@@ -7,6 +7,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
@@ -153,5 +154,63 @@ func TestLoadgenCountsErrors(t *testing.T) {
 	}
 	if rep.Ops["protect"].Errors != 10 || rep.ErrorRate != 1 {
 		t.Fatalf("errors=%d rate=%g, want all failed", rep.Ops["protect"].Errors, rep.ErrorRate)
+	}
+}
+
+// TestLoadgenSLOGate: a healthy run against a satisfiable objective
+// exits clean; an unsatisfiable latency objective makes run() return
+// errSLOBreach (so main exits non-zero), with the per-objective
+// evaluation in the report either way.
+func TestLoadgenSLOGate(t *testing.T) {
+	ts := httptest.NewServer(stubDaemon(nil))
+	t.Cleanup(ts.Close)
+
+	base := []string{
+		"-addrs", ts.URL, "-owners", "2", "-concurrency", "2",
+		"-requests", "20", "-rows", "8", "-mix", "upload=1,protect=1",
+	}
+
+	var out bytes.Buffer
+	if err := run(append(base, "-slo", "p50<60s,err<99%"), &out); err != nil {
+		t.Fatalf("healthy run failed: %v", err)
+	}
+	var rep loadReport
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.SLOStatus != "ok" || len(rep.SLO) != 2 {
+		t.Fatalf("healthy report slo = %q %+v", rep.SLOStatus, rep.SLO)
+	}
+
+	// p50<0 is unsatisfiable: every sample is bad, the run must fail.
+	out.Reset()
+	err := run(append(base, "-slo", "protect:p50<0"), &out)
+	if !errors.Is(err, errSLOBreach) {
+		t.Fatalf("breach run err = %v, want errSLOBreach", err)
+	}
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("breach run still must print its report: %v\n%s", err, out.String())
+	}
+	if rep.SLOStatus != "breach" || len(rep.SLO) != 1 || rep.SLO[0].State != "breach" {
+		t.Fatalf("breach report slo = %q %+v", rep.SLOStatus, rep.SLO)
+	}
+	if rep.SLO[0].Requests != int64(rep.Ops["protect"].Count) {
+		t.Errorf("objective evaluated %d requests, protect ran %d", rep.SLO[0].Requests, rep.Ops["protect"].Count)
+	}
+
+	if _, ok := rep.Ops["upload"]; !ok {
+		t.Fatal("no upload stats")
+	}
+	// Satellite: slowest samples carry ready-to-curl trace URLs.
+	for _, op := range rep.Ops {
+		for _, s := range op.Slowest {
+			if s.TraceURL != ts.URL+"/v1/traces/"+s.TraceID {
+				t.Fatalf("trace_url = %q for id %q", s.TraceURL, s.TraceID)
+			}
+		}
+	}
+
+	if err := run(append(base, "-slo", "nonsense"), &out); err == nil {
+		t.Error("malformed -slo accepted")
 	}
 }

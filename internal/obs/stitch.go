@@ -1,0 +1,162 @@
+package obs
+
+import "sort"
+
+// Stitch joins the per-node records of one trace into a single span
+// tree. Each node of the ring retains only the spans it executed; the
+// seam between them is the entry node's "ring.forward" span, whose
+// "peer" attribute names the node it proxied to. Stitch grafts the
+// peer's root under that span (recursively, so multi-hop forwards
+// chain), rebases every grafted subtree onto the entry node's clock
+// using the wall-clock start difference, and annotates each per-node
+// root with node/route/status attributes so the merged tree stays
+// legible. Records without a parent seam become top-level; if more than
+// one remains (clock skew, missing entry record), a synthetic "trace"
+// root holds them all. Returns nil for no records.
+func Stitch(records []TraceRecord) *SpanNode {
+	if len(records) == 0 {
+		return nil
+	}
+	recs := make([]TraceRecord, len(records))
+	copy(recs, records)
+	sort.SliceStable(recs, func(i, j int) bool { return recs[i].Start.Before(recs[j].Start) })
+
+	// Rebase every record onto the earliest start so grafted subtrees
+	// keep wall-clock ordering. Cross-node clock skew makes this
+	// best-effort; offsets are still far more useful than every node
+	// claiming StartUs == 0.
+	base := recs[0].Start
+	roots := map[string]*SpanNode{}
+	order := make([]string, 0, len(recs))
+	for _, r := range recs {
+		if r.Spans == nil {
+			continue
+		}
+		root := cloneSpan(r.Spans)
+		shiftSpan(root, r.Start.Sub(base).Microseconds())
+		root.Attrs = append(root.Attrs,
+			Attr{Key: "node", Value: r.Node},
+			Attr{Key: "route", Value: r.Route},
+			Attr{Key: "status", Value: r.Status},
+		)
+		roots[r.Node] = root
+		order = append(order, r.Node)
+	}
+	if len(order) == 0 {
+		return nil
+	}
+
+	// Graft each record under the forward span that produced it. Seams
+	// are collected from each record's own tree before any attachment,
+	// then applied with an ancestry check, so a forward loop (n1→n2→n1)
+	// degrades to a partial graft instead of a cyclic tree.
+	type seam struct {
+		host string
+		span *SpanNode
+	}
+	var seams []seam
+	for _, node := range order {
+		collectForwards(roots[node], func(sp *SpanNode) {
+			seams = append(seams, seam{host: node, span: sp})
+		})
+	}
+	attachedTo := map[string]string{}
+	for _, s := range seams {
+		peer := attrString(s.span, "peer")
+		if peer == "" || peer == s.host {
+			continue
+		}
+		sub, ok := roots[peer]
+		if !ok {
+			continue
+		}
+		if _, done := attachedTo[peer]; done {
+			continue
+		}
+		// Attaching peer above an ancestor of the host would close a loop.
+		cycle := false
+		for cur := s.host; ; {
+			if cur == peer {
+				cycle = true
+				break
+			}
+			parent, ok := attachedTo[cur]
+			if !ok {
+				break
+			}
+			cur = parent
+		}
+		if cycle {
+			continue
+		}
+		attachedTo[peer] = s.host
+		s.span.Children = append(s.span.Children, sub)
+	}
+
+	var tops []*SpanNode
+	for _, node := range order {
+		if _, ok := attachedTo[node]; !ok {
+			tops = append(tops, roots[node])
+		}
+	}
+	if len(tops) == 1 {
+		return tops[0]
+	}
+	root := &SpanNode{Name: "trace"}
+	for _, t := range tops {
+		root.Children = append(root.Children, t)
+		if end := t.StartUs + t.DurUs; end > root.DurUs {
+			root.DurUs = end
+		}
+	}
+	return root
+}
+
+// collectForwards walks one record's own (pre-graft) tree and reports
+// its ring.forward spans — the seams other records attach under.
+func collectForwards(n *SpanNode, visit func(*SpanNode)) {
+	if n == nil {
+		return
+	}
+	if n.Name == "ring.forward" {
+		visit(n)
+	}
+	for _, c := range n.Children {
+		collectForwards(c, visit)
+	}
+}
+
+func attrString(n *SpanNode, key string) string {
+	for _, a := range n.Attrs {
+		if a.Key == key {
+			if s, ok := a.Value.(string); ok {
+				return s
+			}
+		}
+	}
+	return ""
+}
+
+func cloneSpan(n *SpanNode) *SpanNode {
+	if n == nil {
+		return nil
+	}
+	out := &SpanNode{Name: n.Name, StartUs: n.StartUs, DurUs: n.DurUs}
+	if len(n.Attrs) > 0 {
+		out.Attrs = append([]Attr(nil), n.Attrs...)
+	}
+	for _, c := range n.Children {
+		out.Children = append(out.Children, cloneSpan(c))
+	}
+	return out
+}
+
+func shiftSpan(n *SpanNode, us int64) {
+	if n == nil || us == 0 {
+		return
+	}
+	n.StartUs += us
+	for _, c := range n.Children {
+		shiftSpan(c, us)
+	}
+}

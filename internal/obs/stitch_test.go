@@ -1,0 +1,126 @@
+package obs
+
+// Stitch unit tests: grafting a forwarded node's tree under the entry
+// node's ring.forward span, wall-clock rebasing, the synthetic root for
+// unconnected records, cycle safety and input immutability.
+
+import (
+	"testing"
+	"time"
+)
+
+func fwdRecord(node, peer string, start time.Time) TraceRecord {
+	return TraceRecord{
+		ID: "t1", Node: node, Route: "ring.forward", Start: start, DurMs: 10,
+		Spans: &SpanNode{Name: "http", DurUs: 10_000, Children: []*SpanNode{{
+			Name:    "ring.forward",
+			StartUs: 1_000,
+			DurUs:   8_000,
+			Attrs:   []Attr{{Key: "peer", Value: peer}},
+		}}},
+	}
+}
+
+func homeRecord(node string, start time.Time) TraceRecord {
+	return TraceRecord{
+		ID: "t1", Node: node, Route: "POST /v1/protect", Start: start, DurMs: 8,
+		Spans: &SpanNode{Name: "http", DurUs: 8_000, Children: []*SpanNode{{
+			Name: "engine.normalize", DurUs: 2_000,
+		}}},
+	}
+}
+
+func findSpan(n *SpanNode, name string) *SpanNode {
+	if n == nil {
+		return nil
+	}
+	if n.Name == name {
+		return n
+	}
+	for _, c := range n.Children {
+		if got := findSpan(c, name); got != nil {
+			return got
+		}
+	}
+	return nil
+}
+
+func TestStitchGraftsForwardedRecord(t *testing.T) {
+	base := time.Unix(1_700_000_000, 0)
+	entry := fwdRecord("n1", "n2", base)
+	home := homeRecord("n2", base.Add(2*time.Millisecond))
+	got := Stitch([]TraceRecord{home, entry}) // order must not matter
+
+	if got == nil || got.Name != "http" {
+		t.Fatalf("root = %+v, want the entry node's http span", got)
+	}
+	fwd := findSpan(got, "ring.forward")
+	if fwd == nil {
+		t.Fatal("no ring.forward span in stitched tree")
+	}
+	sub := findSpan(fwd, "engine.normalize")
+	if sub == nil {
+		t.Fatal("home node's engine span not grafted under ring.forward")
+	}
+	// The grafted root carries node/route annotations and a rebased clock.
+	peerRoot := fwd.Children[len(fwd.Children)-1]
+	if attrString(peerRoot, "node") != "n2" || attrString(peerRoot, "route") != "POST /v1/protect" {
+		t.Errorf("grafted root attrs = %+v", peerRoot.Attrs)
+	}
+	if peerRoot.StartUs != 2_000 {
+		t.Errorf("grafted root StartUs = %d, want 2000 (wall-clock rebase)", peerRoot.StartUs)
+	}
+}
+
+func TestStitchInputsNotMutated(t *testing.T) {
+	base := time.Unix(1_700_000_000, 0)
+	entry := fwdRecord("n1", "n2", base)
+	home := homeRecord("n2", base.Add(time.Millisecond))
+	Stitch([]TraceRecord{entry, home})
+	if len(entry.Spans.Children[0].Children) != 0 {
+		t.Error("stitching mutated the entry record's span tree")
+	}
+	if home.Spans.StartUs != 0 || len(home.Spans.Attrs) != 0 {
+		t.Error("stitching mutated the home record's span tree")
+	}
+}
+
+func TestStitchSyntheticRootForUnconnectedRecords(t *testing.T) {
+	base := time.Unix(1_700_000_000, 0)
+	a := homeRecord("n1", base)
+	b := homeRecord("n2", base.Add(time.Millisecond))
+	got := Stitch([]TraceRecord{a, b})
+	if got == nil || got.Name != "trace" || len(got.Children) != 2 {
+		t.Fatalf("unconnected records: %+v, want synthetic 2-child root", got)
+	}
+	if got.DurUs < got.Children[1].StartUs+got.Children[1].DurUs {
+		t.Error("synthetic root duration must span its children")
+	}
+}
+
+func TestStitchForwardCycleTerminates(t *testing.T) {
+	base := time.Unix(1_700_000_000, 0)
+	a := fwdRecord("n1", "n2", base)
+	b := fwdRecord("n2", "n1", base.Add(time.Millisecond))
+	got := Stitch([]TraceRecord{a, b}) // must terminate, not recurse forever
+	if got == nil {
+		t.Fatal("cycle stitched to nil")
+	}
+	if findSpan(got, "ring.forward") == nil {
+		t.Fatal("cycle lost its spans")
+	}
+}
+
+func TestStitchDegenerateInputs(t *testing.T) {
+	if Stitch(nil) != nil {
+		t.Error("no records must stitch to nil")
+	}
+	if Stitch([]TraceRecord{{ID: "x"}}) != nil {
+		t.Error("records without spans must stitch to nil")
+	}
+	one := homeRecord("n1", time.Unix(1_700_000_000, 0))
+	got := Stitch([]TraceRecord{one})
+	if got == nil || got.Name != "http" || attrString(got, "node") != "n1" {
+		t.Errorf("single record = %+v, want its annotated root", got)
+	}
+}

@@ -1,0 +1,248 @@
+package obs
+
+import (
+	"hash/fnv"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"ppclust/internal/metrics"
+)
+
+// TraceRecord is one finished request's span tree as retained by the
+// TraceStore: the per-node residue of a trace, queryable after the fact
+// at GET /v1/traces/{id}. A trace that crossed the ring leaves one
+// record per node it touched, all under the shared ID; Stitch joins
+// them back into a single tree.
+type TraceRecord struct {
+	ID     string    `json:"id"`
+	Node   string    `json:"node,omitempty"`
+	Route  string    `json:"route"`
+	Status int       `json:"status"`
+	Owner  string    `json:"owner,omitempty"`
+	Start  time.Time `json:"start"`
+	DurMs  float64   `json:"dur_ms"`
+	Error  bool      `json:"error"`
+	Spans  *SpanNode `json:"spans,omitempty"`
+}
+
+// TraceQuery filters a trace-store listing.
+type TraceQuery struct {
+	// Route is a case-insensitive substring match against the record's
+	// route label ("" matches every route).
+	Route string
+	// MinMs drops records faster than this many milliseconds.
+	MinMs float64
+	// Limit caps the result count (0: DefaultQueryLimit). Records come
+	// back newest first.
+	Limit int
+}
+
+// DefaultQueryLimit bounds GET /v1/traces responses when the caller
+// does not pass a limit.
+const DefaultQueryLimit = 50
+
+// TraceStoreConfig bounds and samples the per-node trace store.
+type TraceStoreConfig struct {
+	// MaxBytes caps the store's approximate retained size (0: 16 MiB).
+	MaxBytes int64
+	// MaxTraces caps the retained record count (0: 4096).
+	MaxTraces int
+	// Sample is the fraction of ordinary (fast, successful) traces kept,
+	// in [0, 1]. Sampling is a deterministic hash of the trace ID, so
+	// every node of a ring keeps or drops the same trace — a sampled
+	// cross-node trace is always stitchable, never half-retained.
+	// Values >= 1 keep everything; <= 0 keeps only slow/error traces.
+	Sample float64
+	// SlowMs marks the always-keep latency threshold; slow traces bypass
+	// sampling, as do error (HTTP >= 400) traces (0: 250ms).
+	SlowMs float64
+}
+
+// TraceStore is a bounded in-memory ring buffer of finished traces:
+// oldest records are evicted once the byte or count budget is exceeded,
+// so retention can never OOM a node. Occupancy is observable as the
+// obs_trace_store_bytes / obs_trace_store_traces gauges (see Gauges)
+// and the obs_trace_store_evictions_total registry counter.
+type TraceStore struct {
+	cfg       TraceStoreConfig
+	evictions *metrics.Counter
+
+	mu    sync.Mutex
+	byID  map[string]*storedTrace
+	queue []*storedTrace // insertion order; front is oldest
+	bytes int64
+}
+
+type storedTrace struct {
+	rec  TraceRecord
+	size int64
+	gone bool // replaced by a newer record for the same ID
+}
+
+// NewTraceStore builds a store with cfg's budgets, registering its
+// eviction counter on reg (nil: counter kept private).
+func NewTraceStore(cfg TraceStoreConfig, reg *metrics.Registry) *TraceStore {
+	if cfg.MaxBytes <= 0 {
+		cfg.MaxBytes = 16 << 20
+	}
+	if cfg.MaxTraces <= 0 {
+		cfg.MaxTraces = 4096
+	}
+	if cfg.SlowMs <= 0 {
+		cfg.SlowMs = 250
+	}
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	return &TraceStore{
+		cfg:       cfg,
+		evictions: reg.Counter("obs_trace_store_evictions_total"),
+		byID:      map[string]*storedTrace{},
+	}
+}
+
+// ShouldKeep reports whether a finished trace is worth materializing:
+// errors (status >= 400) and slow requests always are; the rest pass a
+// deterministic hash of the trace ID against the sample fraction. Call
+// it before building the span tree so dropped traces never pay the
+// export cost.
+func (s *TraceStore) ShouldKeep(id string, status int, durMs float64) bool {
+	if status >= 400 {
+		return true
+	}
+	if durMs >= s.cfg.SlowMs {
+		return true
+	}
+	switch {
+	case s.cfg.Sample >= 1:
+		return true
+	case s.cfg.Sample <= 0:
+		return false
+	}
+	h := fnv.New64a()
+	h.Write([]byte(id))
+	// FNV's high bits avalanche poorly on short sequential IDs, so run
+	// the sum through a 64-bit finalization mix before taking the top 20
+	// bits → uniform in [0, 1<<20), deterministic per ID across the ring.
+	x := h.Sum64()
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	return float64(x>>44) < s.cfg.Sample*float64(1<<20)
+}
+
+// Put retains rec, replacing any prior record under the same ID and
+// evicting the oldest records past the byte/count budget.
+func (s *TraceStore) Put(rec TraceRecord) {
+	st := &storedTrace{rec: rec, size: recordSize(&rec)}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if old, ok := s.byID[rec.ID]; ok {
+		// Replaced, not evicted: the queue entry is tombstoned and its
+		// bytes released; the sweep below discards it for free.
+		old.gone = true
+		s.bytes -= old.size
+	}
+	s.byID[rec.ID] = st
+	s.queue = append(s.queue, st)
+	s.bytes += st.size
+	for len(s.queue) > 1 && (s.bytes > s.cfg.MaxBytes || s.live() > s.cfg.MaxTraces) {
+		victim := s.queue[0]
+		s.queue = s.queue[1:]
+		if victim.gone {
+			continue
+		}
+		delete(s.byID, victim.rec.ID)
+		s.bytes -= victim.size
+		s.evictions.Inc()
+	}
+}
+
+// live counts non-tombstoned queue entries; byID is exactly that set.
+func (s *TraceStore) live() int { return len(s.byID) }
+
+// Get returns the retained record for id.
+func (s *TraceStore) Get(id string) (TraceRecord, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.byID[id]
+	if !ok {
+		return TraceRecord{}, false
+	}
+	return st.rec, true
+}
+
+// Query lists retained records matching q, newest first.
+func (s *TraceStore) Query(q TraceQuery) []TraceRecord {
+	limit := q.Limit
+	if limit <= 0 {
+		limit = DefaultQueryLimit
+	}
+	route := strings.ToLower(q.Route)
+	s.mu.Lock()
+	out := make([]TraceRecord, 0, limit)
+	for i := len(s.queue) - 1; i >= 0 && len(out) < limit; i-- {
+		st := s.queue[i]
+		if st.gone || st.rec.DurMs < q.MinMs {
+			continue
+		}
+		if route != "" && !strings.Contains(strings.ToLower(st.rec.Route), route) {
+			continue
+		}
+		out = append(out, st.rec)
+	}
+	s.mu.Unlock()
+	// The queue is insertion-ordered, which is start-ordered only per
+	// node; sort by start so cross-replayed IDs still list newest first.
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Start.After(out[j].Start) })
+	return out
+}
+
+// Stats is a point-in-time occupancy snapshot.
+type TraceStoreStats struct {
+	Traces int
+	Bytes  int64
+}
+
+// Stats returns current occupancy.
+func (s *TraceStore) Stats() TraceStoreStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return TraceStoreStats{Traces: s.live(), Bytes: s.bytes}
+}
+
+// Gauges returns the store's live gauges for the metrics surface.
+func (s *TraceStore) Gauges() map[string]int64 {
+	st := s.Stats()
+	return map[string]int64{
+		"obs_trace_store_bytes":  st.Bytes,
+		"obs_trace_store_traces": int64(st.Traces),
+	}
+}
+
+// recordSize estimates a record's retained footprint: struct overhead
+// plus its strings and span tree. An estimate is enough — the budget
+// guards order-of-magnitude growth, not malloc accounting.
+func recordSize(r *TraceRecord) int64 {
+	n := int64(96 + len(r.ID) + len(r.Node) + len(r.Route) + len(r.Owner))
+	return n + spanSize(r.Spans)
+}
+
+func spanSize(n *SpanNode) int64 {
+	if n == nil {
+		return 0
+	}
+	sz := int64(64 + len(n.Name))
+	for _, a := range n.Attrs {
+		sz += int64(40 + len(a.Key))
+		if s, ok := a.Value.(string); ok {
+			sz += int64(len(s))
+		}
+	}
+	for _, c := range n.Children {
+		sz += spanSize(c)
+	}
+	return sz
+}

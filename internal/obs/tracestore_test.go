@@ -1,0 +1,187 @@
+package obs
+
+// Trace store unit tests: retention policy (errors and slow requests
+// always kept, the rest hash-sampled identically on every node), the
+// byte/count eviction budget with its counter, same-ID replacement,
+// query filtering, and the occupancy gauges.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"ppclust/internal/metrics"
+)
+
+func testRecord(id string, durMs float64, at time.Time) TraceRecord {
+	return TraceRecord{
+		ID:    id,
+		Node:  "self",
+		Route: "POST /v1/protect",
+		Start: at,
+		DurMs: durMs,
+		Spans: &SpanNode{Name: "http", DurUs: int64(durMs * 1000)},
+	}
+}
+
+func TestShouldKeepPolicy(t *testing.T) {
+	s := NewTraceStore(TraceStoreConfig{Sample: 0, SlowMs: 100}, nil)
+	if !s.ShouldKeep("a", 500, 1) {
+		t.Error("error trace must always be kept")
+	}
+	if !s.ShouldKeep("a", 404, 1) {
+		t.Error("4xx trace must always be kept")
+	}
+	if !s.ShouldKeep("a", 200, 100) {
+		t.Error("slow trace must always be kept")
+	}
+	if s.ShouldKeep("a", 200, 1) {
+		t.Error("sample 0 must drop ordinary traces")
+	}
+	s = NewTraceStore(TraceStoreConfig{Sample: 1}, nil)
+	if !s.ShouldKeep("a", 200, 1) {
+		t.Error("sample 1 must keep everything")
+	}
+}
+
+func TestShouldKeepDeterministicAcrossStores(t *testing.T) {
+	// Two stores with the same sample fraction must agree on every ID —
+	// the property that makes a sampled cross-node trace stitchable.
+	a := NewTraceStore(TraceStoreConfig{Sample: 0.3}, nil)
+	b := NewTraceStore(TraceStoreConfig{Sample: 0.3}, nil)
+	kept := 0
+	for i := 0; i < 2000; i++ {
+		id := fmt.Sprintf("trace-%d", i)
+		ka, kb := a.ShouldKeep(id, 200, 1), b.ShouldKeep(id, 200, 1)
+		if ka != kb {
+			t.Fatalf("stores disagree on %q", id)
+		}
+		if ka {
+			kept++
+		}
+	}
+	// The hash is uniform; 30% ± 5 points over 2000 IDs is generous.
+	if kept < 500 || kept > 700 {
+		t.Errorf("kept %d of 2000 at sample 0.3, want ~600", kept)
+	}
+}
+
+func TestPutEvictsOldestPastCountBudget(t *testing.T) {
+	reg := metrics.NewRegistry()
+	s := NewTraceStore(TraceStoreConfig{MaxTraces: 3, Sample: 1}, reg)
+	base := time.Now()
+	for i := 0; i < 5; i++ {
+		s.Put(testRecord(fmt.Sprintf("t%d", i), 1, base.Add(time.Duration(i)*time.Second)))
+	}
+	if got := s.Stats().Traces; got != 3 {
+		t.Fatalf("live traces = %d, want 3", got)
+	}
+	if _, ok := s.Get("t0"); ok {
+		t.Error("oldest record must be evicted")
+	}
+	if _, ok := s.Get("t4"); !ok {
+		t.Error("newest record must survive")
+	}
+	if got := reg.Snapshot()["obs_trace_store_evictions_total"]; got != 2 {
+		t.Errorf("evictions counter = %d, want 2", got)
+	}
+}
+
+func TestPutEvictsPastByteBudget(t *testing.T) {
+	one := recordSize(&TraceRecord{ID: "t0", Node: "self", Route: "POST /v1/protect",
+		Spans: &SpanNode{Name: "http"}})
+	s := NewTraceStore(TraceStoreConfig{MaxBytes: 3 * one, Sample: 1}, nil)
+	base := time.Now()
+	for i := 0; i < 10; i++ {
+		s.Put(testRecord(fmt.Sprintf("t%d", i), 1, base.Add(time.Duration(i)*time.Second)))
+	}
+	st := s.Stats()
+	if st.Bytes > 3*one {
+		t.Errorf("bytes = %d, budget %d", st.Bytes, 3*one)
+	}
+	if st.Traces >= 10 {
+		t.Errorf("no eviction happened: %d traces live", st.Traces)
+	}
+}
+
+func TestPutReplacesSameID(t *testing.T) {
+	reg := metrics.NewRegistry()
+	s := NewTraceStore(TraceStoreConfig{Sample: 1}, reg)
+	s.Put(testRecord("dup", 1, time.Now()))
+	s.Put(testRecord("dup", 9, time.Now().Add(time.Second)))
+	if got := s.Stats().Traces; got != 1 {
+		t.Fatalf("live traces = %d, want 1", got)
+	}
+	rec, ok := s.Get("dup")
+	if !ok || rec.DurMs != 9 {
+		t.Fatalf("Get(dup) = %+v %v, want the newer record", rec, ok)
+	}
+	// A replacement is not an eviction.
+	if got := reg.Snapshot()["obs_trace_store_evictions_total"]; got != 0 {
+		t.Errorf("evictions counter = %d, want 0", got)
+	}
+}
+
+func TestQueryFilters(t *testing.T) {
+	s := NewTraceStore(TraceStoreConfig{Sample: 1}, nil)
+	base := time.Now()
+	s.Put(TraceRecord{ID: "fast", Route: "GET /v1/datasets", Start: base, DurMs: 2})
+	s.Put(TraceRecord{ID: "slow", Route: "POST /v1/protect", Start: base.Add(time.Second), DurMs: 300})
+	s.Put(TraceRecord{ID: "mid", Route: "POST /v1/protect", Start: base.Add(2 * time.Second), DurMs: 50})
+
+	all := s.Query(TraceQuery{})
+	if len(all) != 3 || all[0].ID != "mid" || all[2].ID != "fast" {
+		t.Fatalf("unfiltered query not newest-first: %+v", all)
+	}
+	if got := s.Query(TraceQuery{Route: "protect"}); len(got) != 2 {
+		t.Errorf("route filter kept %d, want 2", len(got))
+	}
+	if got := s.Query(TraceQuery{Route: "PROTECT"}); len(got) != 2 {
+		t.Errorf("route filter must be case-insensitive, kept %d", len(got))
+	}
+	if got := s.Query(TraceQuery{MinMs: 100}); len(got) != 1 || got[0].ID != "slow" {
+		t.Errorf("min_ms filter = %+v, want [slow]", got)
+	}
+	if got := s.Query(TraceQuery{Limit: 1}); len(got) != 1 || got[0].ID != "mid" {
+		t.Errorf("limit = %+v, want the newest record", got)
+	}
+}
+
+func TestGauges(t *testing.T) {
+	s := NewTraceStore(TraceStoreConfig{Sample: 1}, nil)
+	s.Put(testRecord("t1", 1, time.Now()))
+	g := s.Gauges()
+	if g["obs_trace_store_traces"] != 1 {
+		t.Errorf("obs_trace_store_traces = %d, want 1", g["obs_trace_store_traces"])
+	}
+	if g["obs_trace_store_bytes"] <= 0 {
+		t.Errorf("obs_trace_store_bytes = %d, want > 0", g["obs_trace_store_bytes"])
+	}
+}
+
+func BenchmarkTraceStoreRecord(b *testing.B) {
+	s := NewTraceStore(TraceStoreConfig{Sample: 1}, nil)
+	base := time.Now()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		id := fmt.Sprintf("bench-%d", i)
+		if s.ShouldKeep(id, 200, 1) {
+			s.Put(testRecord(id, 1, base))
+		}
+	}
+}
+
+func BenchmarkTraceStoreQuery(b *testing.B) {
+	s := NewTraceStore(TraceStoreConfig{Sample: 1}, nil)
+	base := time.Now()
+	for i := 0; i < 4096; i++ {
+		s.Put(testRecord(fmt.Sprintf("bench-%d", i), float64(i%500), base.Add(time.Duration(i)*time.Millisecond)))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := s.Query(TraceQuery{Route: "protect", MinMs: 100}); len(got) == 0 {
+			b.Fatal("query returned nothing")
+		}
+	}
+}

@@ -81,5 +81,13 @@ func (s *Services) Gauges() map[string]int64 {
 		snap["datastore_cache_bytes"] = cs.Bytes
 		snap["datastore_cache_max_bytes"] = cs.MaxBytes
 	}
+	s.c.gaugeMu.RLock()
+	sources := s.c.gaugeSources
+	s.c.gaugeMu.RUnlock()
+	for _, fn := range sources {
+		for k, v := range fn() {
+			snap[k] = v
+		}
+	}
 	return snap
 }

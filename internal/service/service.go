@@ -66,6 +66,12 @@ type deps struct {
 	// fedResched serializes rescheduling of lost federation jobs so
 	// concurrent result fetches submit one replacement, not several.
 	fedResched sync.Mutex
+
+	// gaugeSources are extra live gauge providers (trace store occupancy,
+	// SLO burn rates) merged into Gauges at read time. Guarded by gaugeMu
+	// so late registration (test setup, post-flag wiring) is race-free.
+	gaugeMu      sync.RWMutex
+	gaugeSources []func() map[string]int64
 }
 
 // Services is the daemon's application layer: one typed service per
@@ -121,6 +127,21 @@ func New(cfg Config) *Services {
 // instrumentation (request counters, latency histograms) next to the
 // service counters.
 func (s *Services) Registry() *metrics.Registry { return s.c.reg }
+
+// AddGaugeSource registers an additional live gauge provider whose map
+// is merged into Gauges (and so MetricsSnapshot) at read time. The
+// transport uses it to surface observability-plane state — trace-store
+// occupancy, SLO burn rates — without the service layer knowing those
+// subsystems. A nil fn is ignored; a source returning nil contributes
+// nothing.
+func (s *Services) AddGaugeSource(fn func() map[string]int64) {
+	if fn == nil {
+		return
+	}
+	s.c.gaugeMu.Lock()
+	s.c.gaugeSources = append(s.c.gaugeSources, fn)
+	s.c.gaugeMu.Unlock()
+}
 
 // Engine returns the wired engine (metadata like worker counts).
 func (s *Services) Engine() *engine.Engine { return s.c.eng }

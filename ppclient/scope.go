@@ -1,0 +1,162 @@
+package ppclient
+
+// Observability-plane (ppscope) client surface: retained traces,
+// cluster-wide metrics, SLO status. All four endpoints are ownerless
+// and unauthenticated on the daemon; any node of a ring answers for the
+// whole cluster.
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+)
+
+// SpanAttr is one key/value annotation on a span.
+type SpanAttr struct {
+	Key   string `json:"k"`
+	Value any    `json:"v"`
+}
+
+// Span is one node of a trace's span tree. StartUs is the offset from
+// the trace start in microseconds; in a stitched cross-node tree the
+// offsets of grafted subtrees are rebased onto the entry node's clock.
+type Span struct {
+	Name     string     `json:"name"`
+	StartUs  int64      `json:"start_us"`
+	DurUs    int64      `json:"dur_us"`
+	Attrs    []SpanAttr `json:"attrs,omitempty"`
+	Children []*Span    `json:"children,omitempty"`
+}
+
+// TraceSummary is one retained trace as listed by GET /v1/traces, and
+// one per-node record inside a TraceView.
+type TraceSummary struct {
+	ID     string    `json:"id"`
+	Node   string    `json:"node,omitempty"`
+	Route  string    `json:"route"`
+	Status int       `json:"status"`
+	Owner  string    `json:"owner,omitempty"`
+	Start  time.Time `json:"start"`
+	DurMs  float64   `json:"dur_ms"`
+	Error  bool      `json:"error"`
+}
+
+// TraceView is GET /v1/traces/{id}: the per-node records plus the
+// single stitched span tree. PeerErrors lists ring peers that could not
+// be asked for their part of the trace.
+type TraceView struct {
+	ID         string            `json:"id"`
+	Nodes      []TraceSummary    `json:"nodes"`
+	PeerErrors map[string]string `json:"peer_errors,omitempty"`
+	Spans      *Span             `json:"spans"`
+}
+
+// TraceFilter narrows a Traces listing; the zero value lists everything
+// (newest first, server-side default limit).
+type TraceFilter struct {
+	// Route keeps traces whose route label contains this substring.
+	Route string
+	// MinMs keeps traces at least this slow.
+	MinMs float64
+	// Limit caps the result count (0: server default).
+	Limit int
+}
+
+// Trace fetches one retained trace by ID, stitched across the ring when
+// the trace crossed nodes. A trace that was sampled out or already
+// evicted returns an *APIError with Code "not_found".
+func (c *Client) Trace(ctx context.Context, id string) (*TraceView, error) {
+	var out TraceView
+	if err := c.doJSON(ctx, http.MethodGet, "/v1/traces/"+url.PathEscape(id), nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Traces lists retained traces on the answering node, newest first.
+func (c *Client) Traces(ctx context.Context, f TraceFilter) ([]TraceSummary, error) {
+	q := url.Values{}
+	if f.Route != "" {
+		q.Set("route", f.Route)
+	}
+	if f.MinMs > 0 {
+		q.Set("min_ms", strconv.FormatFloat(f.MinMs, 'g', -1, 64))
+	}
+	if f.Limit > 0 {
+		q.Set("limit", strconv.Itoa(f.Limit))
+	}
+	path := "/v1/traces"
+	if len(q) > 0 {
+		path += "?" + q.Encode()
+	}
+	var out struct {
+		Traces []TraceSummary `json:"traces"`
+	}
+	if err := c.doJSON(ctx, http.MethodGet, path, nil, &out); err != nil {
+		return nil, err
+	}
+	return out.Traces, nil
+}
+
+// ClusterMetrics is GET /v1/cluster/metrics: counters and histograms
+// summed across every reachable node, gauges labelled per node.
+// ScrapeErrors names the nodes the aggregate is missing.
+type ClusterMetrics struct {
+	Nodes        []string          `json:"nodes"`
+	ScrapeErrors map[string]string `json:"scrape_errors,omitempty"`
+	Metrics      map[string]int64  `json:"metrics"`
+}
+
+// ClusterMetrics fetches the cluster-wide metrics aggregate from the
+// configured node. A partial aggregate (some peers down) is a success
+// with ScrapeErrors set, not an error.
+func (c *Client) ClusterMetrics(ctx context.Context) (*ClusterMetrics, error) {
+	var out ClusterMetrics
+	if err := c.doJSON(ctx, http.MethodGet, "/v1/cluster/metrics", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// SLOObjective is one objective's live evaluation inside an SLOReport.
+type SLOObjective struct {
+	Objective    string  `json:"objective"`
+	Route        string  `json:"route,omitempty"`
+	Kind         string  `json:"kind"`
+	Target       string  `json:"target"`
+	Requests     int64   `json:"requests"`
+	Bad          int64   `json:"bad"`
+	Budget       float64 `json:"budget"`
+	BurnRate     float64 `json:"burn_rate"`
+	ObservedMs   float64 `json:"observed_ms,omitempty"`
+	ObservedRate float64 `json:"observed_rate"`
+	State        string  `json:"state"`
+}
+
+// SLOReport is GET /v1/slo: per-objective states, worst first; Status
+// is the worst state overall ("ok", "warning" or "breach").
+type SLOReport struct {
+	Enabled    bool           `json:"enabled"`
+	WindowS    float64        `json:"window_s,omitempty"`
+	Status     string         `json:"status"`
+	Objectives []SLOObjective `json:"objectives,omitempty"`
+}
+
+// SLOStatus fetches the answering node's SLO evaluation. A daemon
+// running without -slo reports Enabled false and Status "ok".
+func (c *Client) SLOStatus(ctx context.Context) (*SLOReport, error) {
+	var out SLOReport
+	if err := c.doJSON(ctx, http.MethodGet, "/v1/slo", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// TraceURL renders the ready-to-curl URL for a trace ID against this
+// client's daemon — the form pploadgen prints for its slowest ops.
+func (c *Client) TraceURL(id string) string {
+	return fmt.Sprintf("%s/v1/traces/%s", c.BaseURL, url.PathEscape(id))
+}

@@ -1,0 +1,126 @@
+package ppclient
+
+// Stub-daemon tests for the ppscope client surface: trace fetch (path
+// escaping included), filtered listings, the cluster-metrics aggregate
+// and the SLO report, plus the TraceURL rendering pploadgen prints.
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func scopeStub(t *testing.T) (*httptest.Server, *Client) {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/traces/{id}", func(w http.ResponseWriter, r *http.Request) {
+		if r.PathValue("id") != "t-1" {
+			w.WriteHeader(http.StatusNotFound)
+			fmt.Fprint(w, `{"error":{"code":"not_found","message":"trace not retained"}}`)
+			return
+		}
+		fmt.Fprint(w, `{"id":"t-1","nodes":[
+			{"id":"t-1","node":"n1","route":"ring.forward","status":201,"start":"2026-08-07T00:00:00Z","dur_ms":4.2,"error":false},
+			{"id":"t-1","node":"n2","route":"POST /v1/datasets","status":201,"start":"2026-08-07T00:00:00.001Z","dur_ms":3.1,"error":false}],
+			"peer_errors":{"n3":"connection refused"},
+			"spans":{"name":"http","start_us":0,"dur_us":4200,"children":[
+				{"name":"ring.forward","start_us":100,"dur_us":3900,"attrs":[{"k":"peer","v":"n2"}]}]}}`)
+	})
+	mux.HandleFunc("GET /v1/traces", func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		if q.Get("route") != "protect" || q.Get("min_ms") != "10" || q.Get("limit") != "5" {
+			t.Errorf("trace list query = %v", q)
+		}
+		fmt.Fprint(w, `{"traces":[{"id":"t-2","node":"n1","route":"POST /v1/protect","status":200,"start":"2026-08-07T00:00:00Z","dur_ms":12.5,"error":false}]}`)
+	})
+	mux.HandleFunc("GET /v1/cluster/metrics", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `{"nodes":["n1","n2"],"scrape_errors":{"n3":"dial tcp: connection refused"},"metrics":{"rows_ingested_total":120,"obs_trace_store_traces{node=\"n1\"}":7}}`)
+	})
+	mux.HandleFunc("GET /v1/slo", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `{"enabled":true,"window_s":60,"status":"breach","objectives":[
+			{"objective":"protect:p99<250ms","route":"protect","kind":"latency","target":"p99<250ms","requests":100,"bad":5,"budget":0.01,"burn_rate":5,"observed_ms":500,"observed_rate":0.05,"state":"breach"}]}`)
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts, New(ts.URL, "alice")
+}
+
+func TestTraceFetch(t *testing.T) {
+	_, c := scopeStub(t)
+	view, err := c.Trace(context.Background(), "t-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if view.ID != "t-1" || len(view.Nodes) != 2 || view.Nodes[1].Route != "POST /v1/datasets" {
+		t.Fatalf("view = %+v", view)
+	}
+	if view.PeerErrors["n3"] == "" {
+		t.Error("peer_errors not decoded")
+	}
+	if view.Spans == nil || len(view.Spans.Children) != 1 || view.Spans.Children[0].Name != "ring.forward" {
+		t.Fatalf("spans = %+v", view.Spans)
+	}
+	if got := view.Spans.Children[0].Attrs[0]; got.Key != "peer" || got.Value != "n2" {
+		t.Errorf("span attr = %+v", got)
+	}
+
+	_, err = c.Trace(context.Background(), "gone")
+	if !IsStatus(err, http.StatusNotFound) {
+		t.Fatalf("missing trace err = %v, want 404 APIError", err)
+	}
+}
+
+func TestTracesListing(t *testing.T) {
+	_, c := scopeStub(t)
+	recs, err := c.Traces(context.Background(), TraceFilter{Route: "protect", MinMs: 10, Limit: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].ID != "t-2" || recs[0].DurMs != 12.5 {
+		t.Fatalf("listing = %+v", recs)
+	}
+}
+
+func TestClusterMetricsFetch(t *testing.T) {
+	_, c := scopeStub(t)
+	cm, err := c.ClusterMetrics(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cm.Nodes) != 2 || cm.Metrics["rows_ingested_total"] != 120 {
+		t.Fatalf("cluster metrics = %+v", cm)
+	}
+	if cm.ScrapeErrors["n3"] == "" {
+		t.Error("scrape_errors not decoded")
+	}
+	if cm.Metrics[`obs_trace_store_traces{node="n1"}`] != 7 {
+		t.Error("node-labelled gauge not decoded")
+	}
+}
+
+func TestSLOStatusFetch(t *testing.T) {
+	_, c := scopeStub(t)
+	rep, err := c.SLOStatus(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Enabled || rep.Status != "breach" || rep.WindowS != 60 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if len(rep.Objectives) != 1 || rep.Objectives[0].BurnRate != 5 || rep.Objectives[0].Kind != "latency" {
+		t.Fatalf("objectives = %+v", rep.Objectives)
+	}
+}
+
+func TestTraceURL(t *testing.T) {
+	c := New("http://node:8344/", "alice")
+	if got := c.TraceURL("abc-123"); got != "http://node:8344/v1/traces/abc-123" {
+		t.Errorf("TraceURL = %q", got)
+	}
+	// IDs are path-escaped; a hostile ID cannot break out of the path.
+	if got := c.TraceURL("a/b c"); got != "http://node:8344/v1/traces/a%2Fb%20c" {
+		t.Errorf("escaped TraceURL = %q", got)
+	}
+}
