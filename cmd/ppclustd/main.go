@@ -44,6 +44,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"net/url"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -100,6 +101,18 @@ type options struct {
 	traceStoreBytes int64
 	sloSpecs        []string
 	sloWindow       time.Duration
+
+	// pppulse: metrics history, alerting and the flight recorder
+	// (pulse.go). Alert rules are parsed (and rejected) at flag time.
+	pulseInterval  time.Duration
+	pulseRetention time.Duration
+	pulseBytes     int64
+	alertRules     []obs.AlertRule
+	alertWebhook   string
+	alertDebounce  time.Duration
+	alertSLOFor    time.Duration
+	incidentDir    string
+	incidentKeep   int
 }
 
 func main() {
@@ -138,6 +151,22 @@ func main() {
 		return nil
 	})
 	flag.DurationVar(&o.sloWindow, "slo-window", 0, "rolling window SLOs are evaluated over (0: 1m)")
+	flag.DurationVar(&o.pulseInterval, "pulse-interval", obs.DefaultPulseInterval, "metrics-history sampling cadence")
+	flag.DurationVar(&o.pulseRetention, "pulse-retention", obs.DefaultPulseRetention, "metrics-history window served at GET /v1/metrics/history")
+	flag.Int64Var(&o.pulseBytes, "pulse-bytes", 0, "metrics-history memory budget in bytes (0: 4MiB)")
+	flag.Func("alert", "alert rule over any history series, e.g. 'ring_replication_pending>100 for 30s' (repeatable; rules ';'-separated)", func(v string) error {
+		rules, err := obs.ParseAlertRules(v)
+		if err != nil {
+			return err
+		}
+		o.alertRules = append(o.alertRules, rules...)
+		return nil
+	})
+	flag.StringVar(&o.alertWebhook, "alert-webhook", "", "URL POSTed each alert firing/resolution as JSON (http or https)")
+	flag.DurationVar(&o.alertDebounce, "alert-debounce", obs.DefaultAlertDebounce, "minimum spacing between notifications per rule (negative: none)")
+	flag.DurationVar(&o.alertSLOFor, "alert-slo-for", 30*time.Second, "how long an SLO must stay in breach before its alert fires")
+	flag.StringVar(&o.incidentDir, "incident-dir", "", "directory for incident bundles captured on alert firings (empty: <data-dir>/_incidents when -data-dir is set, else disabled)")
+	flag.IntVar(&o.incidentKeep, "incident-retention", 0, "incident bundles kept before the oldest are deleted (0: 16)")
 	flag.StringVar(&o.logLevel, "log-level", "info", "minimum log level: debug, info, warn or error")
 	flag.StringVar(&o.pprofAddr, "pprof-addr", "", "serve net/http/pprof on this address (empty: disabled; keep it loopback or firewalled)")
 	flag.Parse()
@@ -286,6 +315,42 @@ func run(o options) error {
 	} else if o.peers != "" || o.join != "" {
 		mgr.Close()
 		return fmt.Errorf("ppclustd: -peers/-join require -node-id")
+	}
+	// pppulse: history sampling, alerting and the flight recorder. Runs
+	// after ring wiring (the sampler snapshots ring gauges) and before
+	// the listener serves. The webhook URL is validated here so a typo
+	// dies at startup, not at the first firing.
+	if o.alertWebhook != "" {
+		u, err := url.Parse(o.alertWebhook)
+		if err != nil || (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+			mgr.Close()
+			return fmt.Errorf("ppclustd: bad -alert-webhook %q: want an absolute http(s) URL", o.alertWebhook)
+		}
+	}
+	if o.incidentDir == "" && o.dataDir != "" {
+		o.incidentDir = filepath.Join(o.dataDir, "_incidents")
+	}
+	if err := s.setupPulse(pulseConfig{
+		Interval:          o.pulseInterval,
+		Retention:         o.pulseRetention,
+		MaxBytes:          o.pulseBytes,
+		AlertRules:        o.alertRules,
+		AlertDebounce:     o.alertDebounce,
+		SLOFor:            o.alertSLOFor,
+		WebhookURL:        o.alertWebhook,
+		IncidentDir:       o.incidentDir,
+		IncidentRetention: o.incidentKeep,
+	}); err != nil {
+		mgr.Close()
+		return err
+	}
+	defer s.closePulse()
+	logger.Info("pulse sampler enabled", "interval", o.pulseInterval.String(),
+		"retention", o.pulseRetention.String())
+	if s.alerts != nil {
+		logger.Info("alert engine enabled", "rules", len(o.alertRules),
+			"slo_objectives", len(s.slo.Objectives()),
+			"webhook", o.alertWebhook != "", "incident_dir", o.incidentDir)
 	}
 	// The listener is claimed synchronously before the queued-job state
 	// file is consumed: if the port is taken (or any other startup

@@ -1199,6 +1199,8 @@ func (rt *ringRuntime) routeKey(r *http.Request) string {
 		// everywhere, SLO status is per-node by design.
 		p == "/v1/traces" || strings.HasPrefix(p, "/v1/traces/"),
 		p == "/v1/slo",
+		p == "/v1/metrics/history", p == "/v1/alerts",
+		p == "/v1/incidents" || strings.HasPrefix(p, "/v1/incidents/"),
 		strings.HasPrefix(p, "/v1/cluster/"):
 		return ""
 	}

@@ -52,6 +52,11 @@ type ringTestNode struct {
 	srv *httptest.Server
 }
 
+// ringNodeSetup, when set, runs against each freshly built server
+// before its handler is constructed — the pulse tests' hook for
+// configuring sampling, alerting and the flight recorder per node.
+var ringNodeSetup func(tb testing.TB, nd *ringTestNode, s *server)
+
 // startRing boots n nodes on pre-reserved ports with a shared static
 // -peers list, each with `replicas` successor replicas per key.
 func startRing(tb testing.TB, n, replicas int, clusterKey string) []*ringTestNode {
@@ -129,6 +134,12 @@ func buildRingNode(tb testing.TB, nd *ringTestNode, ln net.Listener, replicas in
 		Vnodes:     testVnodes,
 	}, nd.keys, nd.store, s.svc)
 	s.ring = rt
+	// The pulse tests enable sampling/alerting on every node; the hook
+	// must run before handler() because routes are wired there. Tests in
+	// this package are serial, so a package variable is safe.
+	if ringNodeSetup != nil {
+		ringNodeSetup(tb, nd, s)
+	}
 	srv := &httptest.Server{Listener: ln, Config: &http.Server{Handler: s.handler()}}
 	srv.Start()
 	nd.s, nd.rt, nd.srv = s, rt, srv

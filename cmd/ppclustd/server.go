@@ -78,6 +78,15 @@ type server struct {
 	// slo evaluates per-route objectives over a rolling window (nil when
 	// no -slo is configured; all its methods are nil-safe).
 	slo *obs.SLOEngine
+	// pulse samples the metrics surface into the /v1/metrics/history
+	// store; alerts evaluates -alert rules and SLO breaches against each
+	// sample; recorder captures incident bundles on firings; webhook
+	// pushes firing/resolved events out. All nil until setupPulse runs
+	// (pulse.go) and nil-safe throughout.
+	pulse    *obs.Pulse
+	alerts   *obs.AlertEngine
+	recorder *obs.Recorder
+	webhook  *obs.WebhookSink
 	// ready and draining drive GET /readyz: ready flips true once
 	// startup (including ring catch-up) completes; draining flips true
 	// the moment shutdown begins, so load balancers stop routing to a
@@ -117,6 +126,12 @@ func newServerAdm(eng *engine.Engine, keys keyring.Store, store datastore.Store,
 		for k, v := range s.slo.Gauges() {
 			g[k] = v
 		}
+		for k, v := range s.pulse.Gauges() {
+			g[k] = v
+		}
+		for k, v := range s.alerts.Gauges() {
+			g[k] = v
+		}
 		return g
 	})
 	s.ready.Store(true)
@@ -134,6 +149,11 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("GET /v1/traces/{id}", s.handleTraceGet)
 	mux.HandleFunc("GET /v1/cluster/metrics", s.handleClusterMetrics)
 	mux.HandleFunc("GET /v1/slo", s.handleSLO)
+	mux.HandleFunc("GET /v1/metrics/history", s.handleMetricsHistory)
+	mux.HandleFunc("GET /v1/alerts", s.handleAlerts)
+	mux.HandleFunc("GET /v1/incidents", s.handleIncidentList)
+	mux.HandleFunc("GET /v1/incidents/{id}", s.handleIncidentGet)
+	mux.HandleFunc("GET /v1/incidents/{id}/files/{name}", s.handleIncidentFile)
 	mux.HandleFunc("POST /v1/protect", s.handleProtect)
 	mux.HandleFunc("POST /v1/recover", s.handleRecover)
 	mux.HandleFunc("POST /v1/datasets", s.handleDatasetUpload)
@@ -163,6 +183,11 @@ func (s *server) handler() http.Handler {
 	if s.ring != nil {
 		s.ring.traces = s.traces
 		s.ring.registerRoutes(mux)
+		// The pulse peer routes live here rather than in registerRoutes:
+		// their handlers read server state (pulse store, alert engine).
+		guard := s.ring.requireClusterKey
+		mux.HandleFunc("GET /v1/ring/history", guard(s.handleRingHistory))
+		mux.HandleFunc("GET /v1/ring/alerts", guard(s.handleRingAlerts))
 		h = s.ring.middleware(h)
 	}
 	return s.instrument(h)

@@ -149,6 +149,18 @@ type loadReport struct {
 	Ops         map[string]opStats `json:"ops"`
 	SLOStatus   string             `json:"slo_status,omitempty"`
 	SLO         []sloResult        `json:"slo,omitempty"`
+	// AlertsSeen lists the alerts the -watch-alerts poller saw firing on
+	// the cluster while the run was in flight.
+	AlertsSeen []watchedAlert `json:"alerts_seen,omitempty"`
+}
+
+// watchedAlert is one alert observed in the firing state during a
+// -watch-alerts run, deduplicated by rule, node and series.
+type watchedAlert struct {
+	Rule    string    `json:"rule"`
+	Node    string    `json:"node,omitempty"`
+	Series  string    `json:"series,omitempty"`
+	FiredAt time.Time `json:"fired_at,omitzero"`
 }
 
 type sample struct {
@@ -397,6 +409,8 @@ func run(args []string, stdout io.Writer) error {
 	mixSpec := fs.String("mix", "upload=1,protect=1,cluster=1", "weighted operation mix")
 	timeout := fs.Duration("timeout", 5*time.Minute, "overall deadline")
 	sloSpec := fs.String("slo", "", "objective the run must meet, e.g. 'protect:p99<250ms,err<0.5%'; a breach makes the run exit non-zero")
+	outFile := fs.String("out", "", "also write the JSON report to this file")
+	watch := fs.Bool("watch-alerts", false, "poll the cluster's /v1/alerts during the run and list alerts that fired in the report")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -449,6 +463,11 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 
+	var watcher *alertWatcher
+	if *watch {
+		watcher = watchAlerts(ctx, h.owners[0].client, time.Second)
+	}
+
 	start := time.Now()
 	var wg sync.WaitGroup
 	for i := 0; i < *concurrency; i++ {
@@ -468,10 +487,21 @@ func run(args []string, stdout io.Writer) error {
 	if len(objectives) > 0 {
 		rep.SLO, rep.SLOStatus = h.evalSLO(objectives)
 	}
-	enc := json.NewEncoder(stdout)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(rep); err != nil {
+	if watcher != nil {
+		rep.AlertsSeen = watcher.stop(ctx, h.owners[0].client)
+	}
+	raw, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
 		return err
+	}
+	raw = append(raw, '\n')
+	if _, err := stdout.Write(raw); err != nil {
+		return err
+	}
+	if *outFile != "" {
+		if err := os.WriteFile(*outFile, raw, 0o644); err != nil {
+			return fmt.Errorf("writing report: %w", err)
+		}
 	}
 	// The CI gate: the full report is already on stdout, the breach
 	// summary goes to stderr with the non-zero exit.
@@ -485,6 +515,78 @@ func run(args []string, stdout io.Writer) error {
 		return fmt.Errorf("%w: %s", errSLOBreach, strings.Join(breached, ", "))
 	}
 	return nil
+}
+
+// alertWatcher polls the entry node's cluster-wide alert listing while
+// the workers run, so a load run doubles as an alerting smoke test: the
+// report shows which rules the load it generated actually tripped. Poll
+// errors are ignored — a daemon without alerting configured simply
+// contributes nothing.
+type alertWatcher struct {
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	mu   sync.Mutex
+	seen map[string]watchedAlert
+}
+
+func watchAlerts(parent context.Context, cl *ppclient.Client, every time.Duration) *alertWatcher {
+	ctx, cancel := context.WithCancel(parent)
+	w := &alertWatcher{cancel: cancel, done: make(chan struct{}), seen: map[string]watchedAlert{}}
+	go func() {
+		defer close(w.done)
+		tick := time.NewTicker(every)
+		defer tick.Stop()
+		for {
+			w.poll(ctx, cl)
+			select {
+			case <-ctx.Done():
+				return
+			case <-tick.C:
+			}
+		}
+	}()
+	return w
+}
+
+func (w *alertWatcher) poll(ctx context.Context, cl *ppclient.Client) {
+	list, err := cl.Alerts(ctx, true)
+	if err != nil {
+		return
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for _, a := range list.Alerts {
+		if a.State != "firing" {
+			continue
+		}
+		k := a.Rule + "|" + a.Node + "|" + a.Series
+		if _, ok := w.seen[k]; !ok {
+			w.seen[k] = watchedAlert{Rule: a.Rule, Node: a.Node, Series: a.Series, FiredAt: a.FiredAt}
+		}
+	}
+}
+
+// stop takes one last look (alerts often cross into firing on the tail
+// of the run), shuts the poller down and returns what it saw, ordered
+// by rule then node.
+func (w *alertWatcher) stop(ctx context.Context, cl *ppclient.Client) []watchedAlert {
+	w.poll(ctx, cl)
+	w.cancel()
+	<-w.done
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make([]watchedAlert, 0, len(w.seen))
+	for _, a := range w.seen {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Rule != out[j].Rule {
+			return out[i].Rule < out[j].Rule
+		}
+		return out[i].Node < out[j].Node
+	})
+	return out
 }
 
 // errSLOBreach marks a run that finished but failed its -slo gate; main

@@ -11,6 +11,8 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"reflect"
 	"sync/atomic"
 	"testing"
@@ -90,6 +92,12 @@ func stubDaemon(failProtect *atomic.Bool) http.Handler {
 	})
 	mux.HandleFunc("GET /v1/jobs/{id}/result", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, `{"status":{"id":%q,"state":"done"},"result":{"k":3}}`, r.PathValue("id"))
+	})
+	mux.HandleFunc("GET /v1/alerts", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `{"enabled":true,"alerts":[
+			{"rule":"queue_depth>10 for 5s","kind":"threshold","series":"queue_depth","node":"n1",
+			 "state":"firing","value":12,"threshold":10,
+			 "since":"2026-08-07T00:00:00Z","fired_at":"2026-08-07T00:00:05Z"}]}`)
 	})
 	return mux
 }
@@ -212,5 +220,51 @@ func TestLoadgenSLOGate(t *testing.T) {
 
 	if err := run(append(base, "-slo", "nonsense"), &out); err == nil {
 		t.Error("malformed -slo accepted")
+	}
+}
+
+// TestLoadgenOutFileAndAlertWatch: -out mirrors the stdout report to a
+// file byte-for-byte, and -watch-alerts records the firing alerts the
+// stub daemon reports.
+func TestLoadgenOutFileAndAlertWatch(t *testing.T) {
+	ts := httptest.NewServer(stubDaemon(nil))
+	t.Cleanup(ts.Close)
+
+	outPath := filepath.Join(t.TempDir(), "report.json")
+	var stdout bytes.Buffer
+	err := run([]string{
+		"-addrs", ts.URL, "-owners", "1", "-concurrency", "2",
+		"-requests", "6", "-rows", "8", "-mix", "protect=1",
+		"-out", outPath, "-watch-alerts",
+	}, &stdout)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	raw, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(raw, stdout.Bytes()) {
+		t.Error("-out file differs from the stdout report")
+	}
+	var rep loadReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.AlertsSeen) != 1 {
+		t.Fatalf("alerts_seen = %+v, want the stub's one firing alert", rep.AlertsSeen)
+	}
+	if a := rep.AlertsSeen[0]; a.Rule != "queue_depth>10 for 5s" || a.Node != "n1" || a.FiredAt.IsZero() {
+		t.Fatalf("watched alert = %+v", a)
+	}
+
+	// An unwritable -out path is a run error, not a silent drop.
+	if err := run([]string{
+		"-addrs", ts.URL, "-owners", "1", "-concurrency", "1",
+		"-requests", "1", "-rows", "8", "-mix", "protect=1",
+		"-out", filepath.Join(t.TempDir(), "missing", "report.json"),
+	}, &stdout); err == nil {
+		t.Error("unwritable -out accepted")
 	}
 }

@@ -1,0 +1,49 @@
+package metrics
+
+import "math"
+
+// QuantileFromBuckets estimates the q-th quantile (q in (0, 1]) from
+// cumulative histogram buckets, ascending by bound with +Inf last — the
+// same estimator Prometheus's histogram_quantile uses: linear
+// interpolation inside the bucket holding the target rank, with the
+// first finite bucket interpolated from zero and a rank landing in the
+// +Inf bucket clamped to the highest finite bound (the histogram carries
+// no information beyond it). Returns NaN when the histogram is empty or
+// the bucket list malformed.
+func QuantileFromBuckets(buckets []BucketCount, q float64) float64 {
+	if len(buckets) == 0 {
+		return math.NaN()
+	}
+	total := buckets[len(buckets)-1].Count
+	if total <= 0 {
+		return math.NaN()
+	}
+	if q <= 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var prevBound float64
+	var prevCum int64
+	for _, b := range buckets {
+		if float64(b.Count) >= rank {
+			if math.IsInf(b.UpperBound, 1) {
+				// No upper edge to interpolate toward: the best monotone
+				// answer is the last finite bound.
+				return prevBound
+			}
+			in := b.Count - prevCum
+			if in <= 0 {
+				return b.UpperBound
+			}
+			return prevBound + (b.UpperBound-prevBound)*(rank-float64(prevCum))/float64(in)
+		}
+		if !math.IsInf(b.UpperBound, 1) {
+			prevBound = b.UpperBound
+		}
+		prevCum = b.Count
+	}
+	return prevBound
+}

@@ -1,0 +1,159 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func buckets(pairs ...float64) []BucketCount {
+	var out []BucketCount
+	for i := 0; i+1 < len(pairs); i += 2 {
+		out = append(out, BucketCount{UpperBound: pairs[i], Count: int64(pairs[i+1])})
+	}
+	return out
+}
+
+func TestQuantileFromBucketsInterpolates(t *testing.T) {
+	// 100 observations uniform in (0, 10]: 50 under 5, 100 under 10.
+	b := buckets(5, 50, 10, 100, math.Inf(1), 100)
+	cases := []struct {
+		q    float64
+		want float64
+	}{
+		{0.5, 5},    // exactly at the first bucket's edge
+		{0.25, 2.5}, // halfway into the first bucket, from zero
+		{0.75, 7.5}, // halfway into the second bucket
+		{1.0, 10},
+	}
+	for _, c := range cases {
+		if got := QuantileFromBuckets(b, c.q); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("q=%g: got %g, want %g", c.q, got, c.want)
+		}
+	}
+}
+
+func TestQuantileFromBucketsOverflowClampsToLastFiniteBound(t *testing.T) {
+	// Every observation above the largest finite bound.
+	b := buckets(5, 0, 10, 0, math.Inf(1), 7)
+	if got := QuantileFromBuckets(b, 0.99); got != 10 {
+		t.Fatalf("overflow quantile: got %g, want last finite bound 10", got)
+	}
+}
+
+func TestQuantileFromBucketsEmpty(t *testing.T) {
+	if got := QuantileFromBuckets(nil, 0.5); !math.IsNaN(got) {
+		t.Fatalf("nil buckets: got %g, want NaN", got)
+	}
+	b := buckets(5, 0, math.Inf(1), 0)
+	if got := QuantileFromBuckets(b, 0.5); !math.IsNaN(got) {
+		t.Fatalf("zero-count buckets: got %g, want NaN", got)
+	}
+}
+
+func TestQuantileFromBucketsClampsQ(t *testing.T) {
+	b := buckets(5, 50, 10, 100, math.Inf(1), 100)
+	if got := QuantileFromBuckets(b, 2); got != 10 {
+		t.Fatalf("q>1: got %g, want 10", got)
+	}
+	if got := QuantileFromBuckets(b, -1); got != 0 {
+		t.Fatalf("q<0: got %g, want 0", got)
+	}
+}
+
+func TestQuantileFromBucketsSingleBucket(t *testing.T) {
+	// Only the +Inf bucket populated after the first finite one: rank in
+	// the first finite bucket interpolates from zero.
+	b := buckets(100, 10, math.Inf(1), 10)
+	if got := QuantileFromBuckets(b, 0.5); math.Abs(got-50) > 1e-9 {
+		t.Fatalf("single finite bucket: got %g, want 50", got)
+	}
+}
+
+// --- MergeSnapshots edge cases ---
+
+func TestMergeSnapshotsEmptySnapshot(t *testing.T) {
+	merged := MergeSnapshots(map[string]map[string]int64{
+		"n1": {"requests_total": 4, "queue_depth": 2},
+		"n2": {},
+		"n3": nil,
+	})
+	if merged["requests_total"] != 4 {
+		t.Fatalf("counter lost next to empty snapshots: %v", merged)
+	}
+	if merged[`queue_depth{node="n1"}`] != 2 {
+		t.Fatalf("gauge lost next to empty snapshots: %v", merged)
+	}
+	for name := range merged {
+		if strings.Contains(name, `node="n2"`) || strings.Contains(name, `node="n3"`) {
+			t.Fatalf("empty snapshot manufactured series %q", name)
+		}
+	}
+}
+
+func TestMergeSnapshotsMismatchedBucketLayouts(t *testing.T) {
+	// Two nodes disagree on bucket bounds for the same histogram (e.g.
+	// after a rolling deploy changed them). Identical series names still
+	// sum; the odd-one-out bounds survive as their own series rather
+	// than corrupting a shared bucket.
+	merged := MergeSnapshots(map[string]map[string]int64{
+		"n1": {
+			`lat_bucket{le="10"}`:   3,
+			`lat_bucket{le="+Inf"}`: 5,
+			"lat_count":             5,
+			"lat_sum":               40,
+		},
+		"n2": {
+			`lat_bucket{le="5"}`:    1,
+			`lat_bucket{le="+Inf"}`: 2,
+			"lat_count":             2,
+			"lat_sum":               9,
+		},
+	})
+	want := map[string]int64{
+		`lat_bucket{le="10"}`:   3,
+		`lat_bucket{le="5"}`:    1,
+		`lat_bucket{le="+Inf"}`: 7,
+		"lat_count":             7,
+		"lat_sum":               49,
+	}
+	for name, v := range want {
+		if merged[name] != v {
+			t.Errorf("%s: got %d, want %d", name, merged[name], v)
+		}
+	}
+}
+
+func TestMergeSnapshotsGaugeLabelCollision(t *testing.T) {
+	// The same labelled gauge on two nodes must stay two series — a
+	// summed or overwritten queue depth would be a lie.
+	merged := MergeSnapshots(map[string]map[string]int64{
+		"n1": {`queue_depth{shard="1"}`: 3},
+		"n2": {`queue_depth{shard="1"}`: 5},
+	})
+	if merged[`queue_depth{shard="1",node="n1"}`] != 3 || merged[`queue_depth{shard="1",node="n2"}`] != 5 {
+		t.Fatalf("gauge collision mishandled: %v", merged)
+	}
+	if _, ok := merged[`queue_depth{shard="1"}`]; ok {
+		t.Fatalf("unlabelled gauge survived the merge: %v", merged)
+	}
+}
+
+func TestRuntimeGauges(t *testing.T) {
+	g := RuntimeGauges()
+	if g["go_goroutines"] < 1 {
+		t.Fatalf("go_goroutines = %d, want >= 1", g["go_goroutines"])
+	}
+	if g["go_heap_alloc_bytes"] <= 0 {
+		t.Fatalf("go_heap_alloc_bytes = %d, want > 0", g["go_heap_alloc_bytes"])
+	}
+	found := false
+	for name, v := range g {
+		if strings.HasPrefix(name, "go_build_info{") && v == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no go_build_info gauge in %v", g)
+	}
+}

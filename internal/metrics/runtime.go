@@ -1,0 +1,42 @@
+package metrics
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// buildInfoKey is computed once: the module version and Go toolchain
+// never change within a process, and ReadBuildInfo walks the embedded
+// module graph on every call.
+var buildInfoKey = sync.OnceValue(func() string {
+	version := "unknown"
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" {
+		version = bi.Main.Version
+	}
+	return fmt.Sprintf(`go_build_info{goversion=%q,version=%q}`, runtime.Version(), version)
+})
+
+// RuntimeGauges returns process-health gauges — goroutine count, heap
+// occupancy, GC activity and build identity — in the registry's flat
+// snapshot form, so the TSDB and alert rules cover the process itself,
+// not just request traffic. ReadMemStats costs a brief stop-the-world,
+// which is fine at scrape/sample frequency but not per request.
+func RuntimeGauges() map[string]int64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return map[string]int64{
+		"go_goroutines":        int64(runtime.NumGoroutine()),
+		"go_heap_alloc_bytes":  int64(ms.HeapAlloc),
+		"go_heap_sys_bytes":    int64(ms.HeapSys),
+		"go_heap_objects":      int64(ms.HeapObjects),
+		"go_gc_cycles_total":   int64(ms.NumGC),
+		"go_gc_pause_us_total": int64(ms.PauseTotalNs / 1000),
+		"go_next_gc_bytes":     int64(ms.NextGC),
+		"go_stack_inuse_bytes": int64(ms.StackInuse),
+		"go_mallocs_total":     int64(ms.Mallocs),
+		"go_frees_total":       int64(ms.Frees),
+		buildInfoKey():         1,
+	}
+}

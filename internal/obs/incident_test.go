@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"slices"
+	"strings"
+	"testing"
+	"time"
+
+	"ppclust/internal/metrics"
+)
+
+func testRecorder(t *testing.T, traces *TraceStore, pulse *Pulse, reg *metrics.Registry) *Recorder {
+	t.Helper()
+	clk := newPulseClock()
+	rec, err := NewRecorder(RecorderConfig{
+		Dir:        t.TempDir(),
+		Node:       "n1",
+		CPUProfile: -1, // keep unit tests fast; the capture path is exercised in the daemon test
+		Now: func() time.Time {
+			clk.advance(time.Second) // distinct bundle IDs per capture
+			return clk.t
+		},
+	}, traces, pulse, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rec
+}
+
+func firingEvent(rule string) AlertEvent {
+	return AlertEvent{
+		Rule: rule, Kind: "threshold", Series: "queue_depth",
+		State: AlertFiring, Value: 42, Threshold: 10, At: time.Unix(1_700_000_000, 0),
+	}
+}
+
+func TestRecorderCaptureBundle(t *testing.T) {
+	traces := NewTraceStore(TraceStoreConfig{Sample: 1}, nil)
+	traces.Put(TraceRecord{ID: "t-slow", Route: "POST /v1/protect", Status: 200, DurMs: 900})
+	traces.Put(TraceRecord{ID: "t-err", Route: "POST /v1/protect", Status: 500, DurMs: 5, Error: true})
+	traces.Put(TraceRecord{ID: "t-fast", Route: "GET /healthz", Status: 200, DurMs: 1})
+
+	clk := newPulseClock()
+	pulse := NewPulse(PulseConfig{Interval: time.Second, Now: clk.now},
+		func() map[string]int64 { return map[string]int64{"queue_depth": 42} }, nil)
+	pulse.SampleNow()
+
+	rec := testRecorder(t, traces, pulse, nil)
+	meta := rec.Capture(firingEvent("queue_depth>10"))
+
+	if meta.Rule != "queue_depth>10" || meta.Node != "n1" || meta.Value != 42 {
+		t.Fatalf("meta: %+v", meta)
+	}
+	for _, want := range []string{"goroutines.txt", "heap.pprof", "traces.json", "history.json", "meta.json"} {
+		if !slices.Contains(meta.Files, want) {
+			t.Fatalf("bundle missing %s: %+v", want, meta.Files)
+		}
+	}
+	if slices.Contains(meta.Files, "cpu.pprof") {
+		t.Fatalf("cpu profile captured despite negative duration: %+v", meta.Files)
+	}
+	// Error trace ranks ahead of the slow one; the fast one may ride along.
+	if len(meta.TraceIDs) < 2 || meta.TraceIDs[0] != "t-err" || meta.TraceIDs[1] != "t-slow" {
+		t.Fatalf("trace ids: %+v", meta.TraceIDs)
+	}
+
+	dump, err := rec.ReadFile(meta.ID, "goroutines.txt")
+	if err != nil || !strings.Contains(string(dump), "goroutine") {
+		t.Fatalf("goroutine dump: err=%v len=%d", err, len(dump))
+	}
+	raw, err := rec.ReadFile(meta.ID, "history.json")
+	if err != nil || !strings.Contains(string(raw), "queue_depth") {
+		t.Fatalf("history excerpt: err=%v %s", err, raw)
+	}
+
+	list := rec.List()
+	if len(list) != 1 || list[0].ID != meta.ID {
+		t.Fatalf("list: %+v", list)
+	}
+	var roundTrip IncidentMeta
+	raw, err = rec.ReadFile(meta.ID, "meta.json")
+	if err != nil || json.Unmarshal(raw, &roundTrip) != nil || roundTrip.ID != meta.ID {
+		t.Fatalf("meta.json round trip: err=%v %s", err, raw)
+	}
+}
+
+func TestRecorderPathSanitization(t *testing.T) {
+	rec := testRecorder(t, nil, nil, nil)
+	meta := rec.Capture(firingEvent("r>1"))
+	for _, bad := range []string{"../meta.json", "a/b", `a\b`, "..", ".", ""} {
+		if _, err := rec.ReadFile(meta.ID, bad); err == nil {
+			t.Errorf("ReadFile accepted %q", bad)
+		}
+		if _, err := rec.ReadFile(bad, "meta.json"); err == nil {
+			t.Errorf("ReadFile accepted id %q", bad)
+		}
+		if _, err := rec.Get(bad); err == nil {
+			t.Errorf("Get accepted %q", bad)
+		}
+	}
+}
+
+func TestRecorderRetention(t *testing.T) {
+	clk := newPulseClock()
+	rec, err := NewRecorder(RecorderConfig{
+		Dir:          t.TempDir(),
+		MaxIncidents: 3,
+		CPUProfile:   -1,
+		Now: func() time.Time {
+			clk.advance(time.Second)
+			return clk.t
+		},
+	}, nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []string
+	for i := 0; i < 5; i++ {
+		ids = append(ids, rec.Capture(firingEvent(fmt.Sprintf("rule-%d>1", i))).ID)
+	}
+	list := rec.List()
+	if len(list) != 3 {
+		t.Fatalf("retention kept %d bundles, want 3: %+v", len(list), list)
+	}
+	if list[0].ID != ids[4] || list[2].ID != ids[2] {
+		t.Fatalf("retention kept wrong bundles (want newest first): %+v", list)
+	}
+	if _, err := rec.Get(ids[0]); err == nil {
+		t.Fatal("oldest bundle survived retention")
+	}
+}
+
+func TestRecorderOnEventFiltersAndSkipsOverlap(t *testing.T) {
+	reg := metrics.NewRegistry()
+	rec := testRecorder(t, nil, nil, reg)
+	rec.OnEvent(AlertEvent{Rule: "r>1", State: AlertResolved})
+	rec.Wait()
+	if n := len(rec.List()); n != 0 {
+		t.Fatalf("resolved event captured: %d bundles", n)
+	}
+	// Hold the capture slot: concurrent firings must be skipped, counted.
+	rec.busy.Store(true)
+	rec.OnEvent(firingEvent("r>1"))
+	rec.busy.Store(false)
+	rec.Wait()
+	if reg.Snapshot()["incidents_skipped_total"] != 1 {
+		t.Fatalf("overlap not counted: %v", reg.Snapshot())
+	}
+	rec.OnEvent(firingEvent("r>1"))
+	rec.Wait()
+	if n := len(rec.List()); n != 1 {
+		t.Fatalf("firing event not captured: %d bundles", n)
+	}
+	if reg.Snapshot()["incidents_captured_total"] != 1 {
+		t.Fatalf("capture not counted: %v", reg.Snapshot())
+	}
+	var nilRec *Recorder
+	nilRec.OnEvent(firingEvent("r>1")) // nil-safe
+	nilRec.Wait()
+}

@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// benchPulse builds a store with nSeries gauges fully wound through its
+// retention window.
+func benchPulse(nSeries int) (*Pulse, *pulseClock) {
+	clk := newPulseClock()
+	snap := make(map[string]int64, nSeries)
+	for i := 0; i < nSeries; i++ {
+		snap[fmt.Sprintf(`bench_gauge{idx="%03d"}`, i)] = int64(i)
+	}
+	p := NewPulse(PulseConfig{
+		Interval:  time.Second,
+		Retention: 90 * time.Second,
+		MaxBytes:  64 << 20,
+		Now:       clk.now,
+	}, func() map[string]int64 { return snap }, nil)
+	for i := 0; i < 90; i++ {
+		p.SampleNow()
+		clk.advance(time.Second)
+	}
+	return p, clk
+}
+
+func BenchmarkPulseHistoryQuery(b *testing.B) {
+	p, _ := benchPulse(200)
+	q := HistoryQuery{Series: []string{"bench_gauge"}, MaxSeries: 200}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if out, _ := p.Query(q); len(out) == 0 {
+			b.Fatal("empty query result")
+		}
+	}
+}
+
+func BenchmarkPulseHistoryQueryDownsampled(b *testing.B) {
+	p, _ := benchPulse(200)
+	q := HistoryQuery{Series: []string{"bench_gauge"}, Step: 15 * time.Second, Agg: "max", MaxSeries: 200}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if out, _ := p.Query(q); len(out) == 0 {
+			b.Fatal("empty query result")
+		}
+	}
+}
+
+func BenchmarkPulseSample(b *testing.B) {
+	snap := make(map[string]int64, 220)
+	for i := 0; i < 200; i++ {
+		snap[fmt.Sprintf(`bench_total{idx="%03d"}`, i)] = int64(i)
+	}
+	for _, le := range []string{"10", "100", "1000", "+Inf"} {
+		snap[fmt.Sprintf(`bench_lat_bucket{le="%s"}`, le)] = 100
+	}
+	snap["bench_lat_count"] = 100
+	snap["bench_lat_sum"] = 5000
+	clk := newPulseClock()
+	p := NewPulse(PulseConfig{
+		Interval:  time.Second,
+		Retention: 90 * time.Second,
+		MaxBytes:  64 << 20,
+		Now:       clk.now,
+	}, func() map[string]int64 { return snap }, nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		clk.advance(time.Second)
+		p.SampleNow()
+	}
+}
+
+func BenchmarkAlertEval(b *testing.B) {
+	var rules []AlertRule
+	for i := 0; i < 20; i++ {
+		r, err := ParseAlertRule(fmt.Sprintf(`bench_gauge{idx="%03d"}>1e12 for 30s`, i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		rules = append(rules, r)
+	}
+	clk := newPulseClock()
+	eng := NewAlertEngine(AlertEngineConfig{Rules: rules, Now: clk.now}, nil)
+	values := make(map[string]float64, 200)
+	for i := 0; i < 200; i++ {
+		values[fmt.Sprintf(`bench_gauge{idx="%03d"}`, i)] = float64(i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		clk.advance(time.Second)
+		eng.Eval(clk.now(), values)
+	}
+}

@@ -1,0 +1,281 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"ppclust/internal/metrics"
+)
+
+// pulseClock is a manual clock for deterministic sampling.
+type pulseClock struct{ t time.Time }
+
+func newPulseClock() *pulseClock {
+	return &pulseClock{t: time.Unix(1_700_000_000, 0)}
+}
+
+func (c *pulseClock) now() time.Time          { return c.t }
+func (c *pulseClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func testPulse(t *testing.T, src func() map[string]int64) (*Pulse, *pulseClock) {
+	t.Helper()
+	clk := newPulseClock()
+	p := NewPulse(PulseConfig{
+		Interval:  time.Second,
+		Retention: 10 * time.Second,
+		Now:       clk.now,
+	}, src, nil)
+	return p, clk
+}
+
+func TestPulseCounterRate(t *testing.T) {
+	var total int64
+	p, clk := testPulse(t, func() map[string]int64 {
+		return map[string]int64{`requests_total{route="a"}`: total}
+	})
+	total = 10
+	p.SampleNow() // first sample: no previous snapshot, no rate yet
+	clk.advance(2 * time.Second)
+	total = 30
+	p.SampleNow()
+	vals := p.Latest(nil)
+	got, ok := vals[`requests:rate{route="a"}`]
+	if !ok || math.Abs(got-10) > 1e-9 { // (30-10)/2s
+		t.Fatalf("counter rate: got %v (vals %v), want 10", got, vals)
+	}
+}
+
+func TestPulseCounterResetRatesFromZero(t *testing.T) {
+	var total int64 = 100
+	p, clk := testPulse(t, func() map[string]int64 {
+		return map[string]int64{"ops_total": total}
+	})
+	p.SampleNow()
+	clk.advance(time.Second)
+	total = 5 // process restarted: counter went backwards
+	p.SampleNow()
+	if got := p.Latest(nil)["ops:rate"]; math.Abs(got-5) > 1e-9 {
+		t.Fatalf("reset rate: got %v, want 5", got)
+	}
+}
+
+func TestPulseHistogramPercentilesPerStep(t *testing.T) {
+	snap := map[string]int64{}
+	p, clk := testPulse(t, func() map[string]int64 {
+		out := make(map[string]int64, len(snap))
+		for k, v := range snap {
+			out[k] = v
+		}
+		return out
+	})
+	set := func(le string, n int64) {
+		snap[fmt.Sprintf(`lat_bucket{route="a",le="%s"}`, le)] = n
+	}
+	// First window: 100 observations uniform under 10.
+	set("5", 50)
+	set("10", 100)
+	set("+Inf", 100)
+	snap[`lat_count{route="a"}`] = 100
+	snap[`lat_sum{route="a"}`] = 500
+	p.SampleNow()
+	clk.advance(time.Second)
+	// Second window adds 100 observations, all in (5, 10]: the cumulative
+	// p50 would stay near 5, but the step's own p50 must be in (5, 10].
+	set("5", 50)
+	set("10", 200)
+	set("+Inf", 200)
+	p.SampleNow()
+	vals := p.Latest(nil)
+	p50, ok := vals[`lat_p50{route="a"}`]
+	if !ok || p50 <= 5 || p50 > 10 {
+		t.Fatalf("step p50: got %v (ok=%v), want in (5,10]; vals %v", p50, ok, vals)
+	}
+	if rate := vals[`lat:rate{route="a"}`]; math.Abs(rate-100) > 1e-9 {
+		t.Fatalf("observation rate: got %v, want 100", rate)
+	}
+	// Raw histogram components must not leak into the store as gauges.
+	for name := range vals {
+		switch name {
+		case `lat_bucket{route="a",le="5"}`, `lat_count{route="a"}`, `lat_sum{route="a"}`:
+			t.Fatalf("raw histogram series %q retained", name)
+		}
+	}
+}
+
+func TestPulseGaugeStoredAsIs(t *testing.T) {
+	p, _ := testPulse(t, func() map[string]int64 {
+		return map[string]int64{"queue_depth": 7}
+	})
+	p.SampleNow()
+	if got := p.Latest(nil)["queue_depth"]; got != 7 {
+		t.Fatalf("gauge: got %v, want 7", got)
+	}
+}
+
+func TestPulseQueryFilterSinceAndOrder(t *testing.T) {
+	var depth int64
+	p, clk := testPulse(t, func() map[string]int64 {
+		return map[string]int64{"queue_depth": depth, "other_gauge": 1}
+	})
+	var mid time.Time
+	for i := 0; i < 6; i++ {
+		depth = int64(i)
+		if i == 3 {
+			mid = clk.now()
+		}
+		p.SampleNow()
+		clk.advance(time.Second)
+	}
+	series, truncated := p.Query(HistoryQuery{Series: []string{"QUEUE"}, Since: mid})
+	if truncated || len(series) != 1 || series[0].Name != "queue_depth" {
+		t.Fatalf("filtered query: %+v truncated=%v", series, truncated)
+	}
+	pts := series[0].Points
+	if len(pts) != 3 {
+		t.Fatalf("since cut: got %d points, want 3: %+v", len(pts), pts)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].TMs <= pts[i-1].TMs {
+			t.Fatalf("points not oldest-first: %+v", pts)
+		}
+	}
+	if pts[0].V != 3 || pts[2].V != 5 {
+		t.Fatalf("since window values: %+v", pts)
+	}
+}
+
+func TestPulseQueryDownsamples(t *testing.T) {
+	var depth int64
+	p, clk := testPulse(t, func() map[string]int64 {
+		return map[string]int64{"queue_depth": depth}
+	})
+	for i := 1; i <= 6; i++ {
+		depth = int64(i)
+		p.SampleNow()
+		clk.advance(time.Second)
+	}
+	series, _ := p.Query(HistoryQuery{Step: 3 * time.Second, Agg: "max"})
+	if len(series) != 1 {
+		t.Fatalf("series: %+v", series)
+	}
+	pts := series[0].Points
+	if len(pts) < 2 || len(pts) > 3 {
+		t.Fatalf("downsample: got %d points, want 2-3: %+v", len(pts), pts)
+	}
+	last := pts[len(pts)-1]
+	if last.V != 6 {
+		t.Fatalf("max agg of last group: got %v, want 6: %+v", last, pts)
+	}
+	avg, _ := p.Query(HistoryQuery{Step: 6 * time.Second, Agg: "avg"})
+	total := 0.0
+	n := 0.0
+	for _, pt := range avg[0].Points {
+		total += pt.V
+		n++
+	}
+	if math.Abs(total/n-3.5) > 1.0 { // mean of 1..6 = 3.5, grouping may split
+		t.Fatalf("avg agg drifted: %+v", avg[0].Points)
+	}
+}
+
+func TestPulseRetentionWraps(t *testing.T) {
+	var depth int64
+	p, clk := testPulse(t, func() map[string]int64 {
+		return map[string]int64{"queue_depth": depth}
+	}) // 10 slots
+	for i := 0; i < 25; i++ {
+		depth = int64(i)
+		p.SampleNow()
+		clk.advance(time.Second)
+	}
+	series, _ := p.Query(HistoryQuery{})
+	pts := series[0].Points
+	if len(pts) > 10 {
+		t.Fatalf("retention exceeded slot count: %d points", len(pts))
+	}
+	if pts[len(pts)-1].V != 24 {
+		t.Fatalf("newest point lost: %+v", pts)
+	}
+	if pts[0].V < 15 {
+		t.Fatalf("stale point survived wrap: %+v", pts)
+	}
+}
+
+func TestPulseByteBudgetRefusesNewSeries(t *testing.T) {
+	clk := newPulseClock()
+	reg := metrics.NewRegistry()
+	n := 0
+	p := NewPulse(PulseConfig{
+		Interval:  time.Second,
+		Retention: 10 * time.Second,
+		MaxBytes:  600, // room for a handful of series only
+		Now:       clk.now,
+	}, func() map[string]int64 {
+		out := map[string]int64{}
+		for i := 0; i < n; i++ {
+			out[fmt.Sprintf("gauge_%02d", i)] = int64(i)
+		}
+		return out
+	}, reg)
+	n = 50
+	p.SampleNow()
+	g := p.Gauges()
+	if g["pulse_series"] >= 50 {
+		t.Fatalf("budget did not refuse: %v", g)
+	}
+	if g["pulse_series_dropped"] == 0 {
+		t.Fatalf("refusals not counted: %v", g)
+	}
+	if g["pulse_bytes"] > 600 {
+		t.Fatalf("budget exceeded: %v", g)
+	}
+	if reg.Snapshot()["pulse_series_dropped_total"] == 0 {
+		t.Fatal("registry drop counter not incremented")
+	}
+	// Existing series keep recording even at budget. Which series were
+	// admitted is arbitrary (map order), so check the admitted set.
+	admitted := p.Latest(nil)
+	clk.advance(time.Second)
+	p.SampleNow()
+	after := p.Latest(nil)
+	for name := range admitted {
+		if _, ok := after[name]; !ok {
+			t.Fatalf("admitted series %q stopped recording at budget", name)
+		}
+	}
+}
+
+func TestPulseOnSampleHookAndStartClose(t *testing.T) {
+	got := make(chan map[string]float64, 1)
+	p := NewPulse(PulseConfig{
+		Interval:  time.Hour, // ticker must not interfere
+		Retention: 2 * time.Hour,
+		OnSample: func(_ time.Time, values map[string]float64) {
+			select {
+			case got <- values:
+			default:
+			}
+		},
+	}, func() map[string]int64 { return map[string]int64{"g": 3} }, nil)
+	p.Start()
+	p.SampleNow()
+	select {
+	case vals := <-got:
+		if vals["g"] != 3 {
+			t.Fatalf("hook values: %v", vals)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("OnSample hook never ran")
+	}
+	p.Close()
+	p.Close() // idempotent
+}
+
+func TestPulseGaugesNilSafe(t *testing.T) {
+	var p *Pulse
+	if g := p.Gauges(); g != nil {
+		t.Fatalf("nil pulse gauges: %v", g)
+	}
+}

@@ -301,7 +301,12 @@ func NewSLOEngine(objectives []Objective, window time.Duration) *SLOEngine {
 func (e *SLOEngine) Window() time.Duration { return e.window }
 
 // Objectives returns the configured objectives.
-func (e *SLOEngine) Objectives() []Objective { return e.objectives }
+func (e *SLOEngine) Objectives() []Objective {
+	if e == nil {
+		return nil
+	}
+	return e.objectives
+}
 
 // Observe records one finished request against every matching
 // objective.

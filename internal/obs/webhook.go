@@ -1,0 +1,184 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"sync"
+	"time"
+
+	"ppclust/internal/metrics"
+)
+
+// WebhookConfig bounds the webhook sink's delivery behavior.
+type WebhookConfig struct {
+	// URL receives each alert event as a JSON POST.
+	URL string
+	// Attempts caps deliveries per event, first try included (0: 5).
+	Attempts int
+	// BaseBackoff is the first retry delay; it doubles per attempt (0:
+	// 500ms).
+	BaseBackoff time.Duration
+	// MaxBackoff caps the doubling (0: 30s).
+	MaxBackoff time.Duration
+	// Timeout bounds one HTTP attempt (0: 5s).
+	Timeout time.Duration
+	// QueueSize bounds buffered undelivered events; a full queue drops
+	// new events, counted, rather than blocking the alert engine (0: 64).
+	QueueSize int
+}
+
+// WebhookSink delivers alert events to an HTTP endpoint from a single
+// worker goroutine, with capped exponential backoff per event. Notify
+// never blocks the caller.
+type WebhookSink struct {
+	cfg    WebhookConfig
+	client *http.Client
+
+	sent     *metrics.Counter
+	failed   *metrics.Counter
+	droppedC *metrics.Counter
+
+	events   chan AlertEvent
+	stop     chan struct{}
+	stopOnce sync.Once
+	done     chan struct{}
+}
+
+// NewWebhookSink builds and starts a sink posting to cfg.URL,
+// registering its counters on reg (nil: counters kept private).
+func NewWebhookSink(cfg WebhookConfig, reg *metrics.Registry) *WebhookSink {
+	if cfg.Attempts <= 0 {
+		cfg.Attempts = 5
+	}
+	if cfg.BaseBackoff <= 0 {
+		cfg.BaseBackoff = 500 * time.Millisecond
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = 30 * time.Second
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 5 * time.Second
+	}
+	if cfg.QueueSize <= 0 {
+		cfg.QueueSize = 64
+	}
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	s := &WebhookSink{
+		cfg:      cfg,
+		client:   &http.Client{Timeout: cfg.Timeout},
+		sent:     reg.Counter("alerts_webhook_sent_total"),
+		failed:   reg.Counter("alerts_webhook_failed_total"),
+		droppedC: reg.Counter("alerts_webhook_dropped_total"),
+		events:   make(chan AlertEvent, cfg.QueueSize),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	go s.worker()
+	return s
+}
+
+// Notify queues one event for delivery, dropping (counted) when the
+// queue is full.
+func (s *WebhookSink) Notify(ev AlertEvent) {
+	if s == nil {
+		return
+	}
+	select {
+	case s.events <- ev:
+	default:
+		s.droppedC.Inc()
+	}
+}
+
+// Close stops the worker after draining queued events (each still
+// bounded by its own attempts/backoff).
+func (s *WebhookSink) Close() {
+	if s == nil {
+		return
+	}
+	s.stopOnce.Do(func() { close(s.stop) })
+	<-s.done
+}
+
+func (s *WebhookSink) worker() {
+	defer close(s.done)
+	for {
+		select {
+		case ev := <-s.events:
+			s.deliver(ev)
+		case <-s.stop:
+			for {
+				select {
+				case ev := <-s.events:
+					s.deliver(ev)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// deliver posts one event, retrying transport errors and 5xx responses
+// with capped exponential backoff. 4xx responses are not retried — the
+// receiver rejected the payload, and replaying it cannot help.
+func (s *WebhookSink) deliver(ev AlertEvent) {
+	raw, err := json.Marshal(ev)
+	if err != nil {
+		s.failed.Inc()
+		return
+	}
+	backoff := s.cfg.BaseBackoff
+	for attempt := 0; attempt < s.cfg.Attempts; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-time.After(backoff):
+			case <-s.stop:
+				// Shutting down: one last immediate try below.
+			}
+			backoff = min(backoff*2, s.cfg.MaxBackoff)
+		}
+		switch s.post(raw) {
+		case postDelivered:
+			s.sent.Inc()
+			return
+		case postRejected:
+			s.failed.Inc()
+			return
+		}
+	}
+	s.failed.Inc()
+}
+
+const (
+	postDelivered = iota
+	postRejected
+	postRetry
+)
+
+func (s *WebhookSink) post(raw []byte) int {
+	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.Timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, s.cfg.URL, bytes.NewReader(raw))
+	if err != nil {
+		return postRejected
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := s.client.Do(req)
+	if err != nil {
+		return postRetry
+	}
+	resp.Body.Close()
+	switch {
+	case resp.StatusCode < 300:
+		return postDelivered
+	case resp.StatusCode < 500:
+		return postRejected
+	default:
+		return postRetry
+	}
+}

@@ -1,0 +1,138 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ppclust/internal/metrics"
+)
+
+func webhookFor(t *testing.T, url string, reg *metrics.Registry) *WebhookSink {
+	t.Helper()
+	s := NewWebhookSink(WebhookConfig{
+		URL:         url,
+		Attempts:    3,
+		BaseBackoff: time.Millisecond,
+		MaxBackoff:  5 * time.Millisecond,
+		Timeout:     time.Second,
+	}, reg)
+	t.Cleanup(s.Close)
+	return s
+}
+
+func TestWebhookDelivers(t *testing.T) {
+	got := make(chan AlertEvent, 1)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var ev AlertEvent
+		body, _ := io.ReadAll(r.Body)
+		if err := json.Unmarshal(body, &ev); err != nil {
+			t.Errorf("bad payload %s: %v", body, err)
+		}
+		got <- ev
+	}))
+	defer srv.Close()
+	reg := metrics.NewRegistry()
+	s := webhookFor(t, srv.URL, reg)
+	s.Notify(AlertEvent{Rule: "depth>10", State: AlertFiring, Value: 42})
+	select {
+	case ev := <-got:
+		if ev.Rule != "depth>10" || ev.State != AlertFiring || ev.Value != 42 {
+			t.Fatalf("delivered event: %+v", ev)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("webhook never delivered")
+	}
+	waitCounter(t, reg, "alerts_webhook_sent_total", 1)
+}
+
+func TestWebhookRetriesServerErrors(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) < 3 {
+			w.WriteHeader(http.StatusBadGateway)
+		}
+	}))
+	defer srv.Close()
+	reg := metrics.NewRegistry()
+	s := webhookFor(t, srv.URL, reg)
+	s.Notify(AlertEvent{Rule: "r>1", State: AlertFiring})
+	waitCounter(t, reg, "alerts_webhook_sent_total", 1)
+	if calls.Load() != 3 {
+		t.Fatalf("attempts: %d, want 3", calls.Load())
+	}
+}
+
+func TestWebhookDoesNotRetryRejections(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusBadRequest)
+	}))
+	defer srv.Close()
+	reg := metrics.NewRegistry()
+	s := webhookFor(t, srv.URL, reg)
+	s.Notify(AlertEvent{Rule: "r>1", State: AlertFiring})
+	waitCounter(t, reg, "alerts_webhook_failed_total", 1)
+	if calls.Load() != 1 {
+		t.Fatalf("4xx retried: %d calls", calls.Load())
+	}
+	if reg.Snapshot()["alerts_webhook_sent_total"] != 0 {
+		t.Fatal("rejection counted as sent")
+	}
+}
+
+func TestWebhookGivesUpAfterAttempts(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+	reg := metrics.NewRegistry()
+	s := webhookFor(t, srv.URL, reg)
+	s.Notify(AlertEvent{Rule: "r>1", State: AlertFiring})
+	waitCounter(t, reg, "alerts_webhook_failed_total", 1)
+	if calls.Load() != 3 {
+		t.Fatalf("attempt cap: %d calls, want 3", calls.Load())
+	}
+}
+
+func TestWebhookFullQueueDrops(t *testing.T) {
+	block := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-block
+	}))
+	defer srv.Close()
+	reg := metrics.NewRegistry()
+	s := NewWebhookSink(WebhookConfig{
+		URL:       srv.URL,
+		Attempts:  1,
+		Timeout:   10 * time.Second,
+		QueueSize: 1,
+	}, reg)
+	// One event in flight blocks the worker, one fills the queue; the
+	// rest must drop without blocking this goroutine.
+	for i := 0; i < 5; i++ {
+		s.Notify(AlertEvent{Rule: "r>1", State: AlertFiring})
+	}
+	waitCounter(t, reg, "alerts_webhook_dropped_total", 1)
+	close(block) // release every blocked delivery so Close can drain
+	s.Close()
+}
+
+func waitCounter(t *testing.T, reg *metrics.Registry, name string, min int64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if reg.Snapshot()[name] >= min {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("counter %s never reached %d: %v", name, min, reg.Snapshot())
+}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"ppclust/internal/datastore"
+	"ppclust/internal/metrics"
 )
 
 // FedMetricLabel derives the public metrics label for a federation ID: a
@@ -80,6 +81,10 @@ func (s *Services) Gauges() map[string]int64 {
 		snap["datastore_cache_entries"] = int64(cs.Entries)
 		snap["datastore_cache_bytes"] = cs.Bytes
 		snap["datastore_cache_max_bytes"] = cs.MaxBytes
+	}
+	// Go runtime health: goroutines, heap, GC pauses, build identity.
+	for k, v := range metrics.RuntimeGauges() {
+		snap[k] = v
 	}
 	s.c.gaugeMu.RLock()
 	sources := s.c.gaugeSources

@@ -1,0 +1,186 @@
+package ppclient
+
+// pppulse client surface: sampled metrics history, live alerts and
+// captured incident bundles. Like the rest of the observability plane
+// these endpoints are ownerless and unauthenticated on the daemon, and
+// the history and alert listings can answer for the whole ring with
+// Scope "cluster".
+
+import (
+	"context"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+)
+
+// HistoryPoint is one sample of a history series: wall-clock
+// milliseconds and the value.
+type HistoryPoint struct {
+	TMs int64   `json:"t_ms"`
+	V   float64 `json:"v"`
+}
+
+// HistorySeries is one sampled series, points oldest first. Counter
+// series carry a ":rate" base suffix (per-second), histogram series a
+// "_p50"/"_p95"/"_p99" per-step percentile suffix; gauges keep their
+// registry names.
+type HistorySeries struct {
+	Name   string         `json:"name"`
+	Points []HistoryPoint `json:"points"`
+}
+
+// MetricsHistory is GET /v1/metrics/history: the sampler's retained
+// series. In cluster scope, series names carry a node label and Nodes
+// lists every node that answered; PeerErrors names the ones that did
+// not.
+type MetricsHistory struct {
+	IntervalMs int64             `json:"interval_ms"`
+	Nodes      []string          `json:"nodes,omitempty"`
+	PeerErrors map[string]string `json:"peer_errors,omitempty"`
+	Truncated  bool              `json:"truncated,omitempty"`
+	Series     []HistorySeries   `json:"series"`
+}
+
+// HistoryFilter narrows a MetricsHistory call; the zero value returns
+// every retained series from the answering node.
+type HistoryFilter struct {
+	// Series keeps series whose name contains any of these substrings
+	// (case-insensitive).
+	Series []string
+	// Since drops points older than this look-back window.
+	Since time.Duration
+	// Step downsamples to one point per step, folded by Agg.
+	Step time.Duration
+	// Agg is the downsample fold: "avg" (default), "max", "min" or "last".
+	Agg string
+	// MaxSeries caps the matched series count (0: server default).
+	MaxSeries int
+	// Cluster asks for every ring node's history (node-labelled) instead
+	// of just the answering node's.
+	Cluster bool
+}
+
+// MetricsHistory fetches sampled metrics history. A partial cluster
+// answer (some peers down) is a success with PeerErrors set.
+func (c *Client) MetricsHistory(ctx context.Context, f HistoryFilter) (*MetricsHistory, error) {
+	q := url.Values{}
+	for _, s := range f.Series {
+		q.Add("series", s)
+	}
+	if f.Since > 0 {
+		q.Set("since", f.Since.String())
+	}
+	if f.Step > 0 {
+		q.Set("step", f.Step.String())
+	}
+	if f.Agg != "" {
+		q.Set("agg", f.Agg)
+	}
+	if f.MaxSeries > 0 {
+		q.Set("max_series", strconv.Itoa(f.MaxSeries))
+	}
+	if f.Cluster {
+		q.Set("scope", "cluster")
+	}
+	path := "/v1/metrics/history"
+	if len(q) > 0 {
+		path += "?" + q.Encode()
+	}
+	var out MetricsHistory
+	if err := c.doJSON(ctx, http.MethodGet, path, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Alert is one rule instance's live state: "pending" (condition holding
+// but not yet past its 'for' duration), "firing", or "resolved".
+type Alert struct {
+	Rule       string    `json:"rule"`
+	Kind       string    `json:"kind"`
+	Series     string    `json:"series,omitempty"`
+	Node       string    `json:"node,omitempty"`
+	State      string    `json:"state"`
+	Value      float64   `json:"value"`
+	Threshold  float64   `json:"threshold"`
+	Since      time.Time `json:"since"`
+	FiredAt    time.Time `json:"fired_at,omitzero"`
+	ResolvedAt time.Time `json:"resolved_at,omitzero"`
+}
+
+// AlertList is GET /v1/alerts: firing first, then pending, then
+// recently resolved. Enabled is false when the answering node has no
+// alert rules and no SLOs configured.
+type AlertList struct {
+	Enabled    bool              `json:"enabled"`
+	Nodes      []string          `json:"nodes,omitempty"`
+	PeerErrors map[string]string `json:"peer_errors,omitempty"`
+	Alerts     []Alert           `json:"alerts"`
+}
+
+// Alerts fetches live alert instances from the answering node, or from
+// every ring node when cluster is true (each alert carries the node
+// that evaluated it).
+func (c *Client) Alerts(ctx context.Context, cluster bool) (*AlertList, error) {
+	path := "/v1/alerts"
+	if cluster {
+		path += "?scope=cluster"
+	}
+	var out AlertList
+	if err := c.doJSON(ctx, http.MethodGet, path, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Incident is one captured incident bundle's manifest: the alert that
+// fired it, the evidence files captured, and the trace IDs of the worst
+// requests in the breach window (each resolvable via Trace).
+type Incident struct {
+	ID        string    `json:"id"`
+	Rule      string    `json:"rule"`
+	Kind      string    `json:"kind,omitempty"`
+	Series    string    `json:"series,omitempty"`
+	Node      string    `json:"node,omitempty"`
+	Value     float64   `json:"value"`
+	Threshold float64   `json:"threshold"`
+	At        time.Time `json:"at"`
+	TraceIDs  []string  `json:"trace_ids,omitempty"`
+	Files     []string  `json:"files"`
+	Notes     []string  `json:"notes,omitempty"`
+}
+
+// Incidents lists the answering node's captured incident bundles,
+// newest first. Enabled is false when the daemon runs without an
+// incident directory.
+func (c *Client) Incidents(ctx context.Context) (bool, []Incident, error) {
+	var out struct {
+		Enabled   bool       `json:"enabled"`
+		Incidents []Incident `json:"incidents"`
+	}
+	if err := c.doJSON(ctx, http.MethodGet, "/v1/incidents", nil, &out); err != nil {
+		return false, nil, err
+	}
+	return out.Enabled, out.Incidents, nil
+}
+
+// Incident fetches one bundle's manifest by ID.
+func (c *Client) Incident(ctx context.Context, id string) (*Incident, error) {
+	var out Incident
+	if err := c.doJSON(ctx, http.MethodGet, "/v1/incidents/"+url.PathEscape(id), nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// IncidentFile downloads one bundle file (goroutines.txt, cpu.pprof,
+// traces.json, ...) raw.
+func (c *Client) IncidentFile(ctx context.Context, id, name string) ([]byte, error) {
+	req, err := c.newRequest(ctx, http.MethodGet,
+		"/v1/incidents/"+url.PathEscape(id)+"/files/"+url.PathEscape(name), nil)
+	if err != nil {
+		return nil, err
+	}
+	return c.do(req)
+}

@@ -1,0 +1,144 @@
+package ppclient
+
+// Stub-daemon tests for the pppulse client surface: metrics history
+// (query-parameter encoding included), the alert listing, and incident
+// bundle browsing/downloading.
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func pulseStub(t *testing.T) (*httptest.Server, *Client) {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/metrics/history", func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		if got := q["series"]; len(got) != 2 || got[0] != "queue" || got[1] != "latency" {
+			t.Errorf("series params = %v", got)
+		}
+		if q.Get("since") != "5m0s" || q.Get("step") != "30s" || q.Get("agg") != "max" ||
+			q.Get("max_series") != "12" || q.Get("scope") != "cluster" {
+			t.Errorf("history query = %v", q)
+		}
+		fmt.Fprint(w, `{"interval_ms":10000,"nodes":["n1","n2"],
+			"peer_errors":{"n3":"dial tcp: connection refused"},"truncated":true,
+			"series":[{"name":"queue_depth{node=\"n1\"}","points":[{"t_ms":1000,"v":3},{"t_ms":11000,"v":7}]}]}`)
+	})
+	mux.HandleFunc("GET /v1/alerts", func(w http.ResponseWriter, r *http.Request) {
+		if got := r.URL.Query().Get("scope"); got != "cluster" {
+			t.Errorf("alerts scope = %q", got)
+		}
+		fmt.Fprint(w, `{"enabled":true,"nodes":["n1","n2"],"alerts":[
+			{"rule":"ring_replication_pending>100 for 30s","kind":"threshold",
+			 "series":"ring_replication_pending","node":"n2","state":"firing",
+			 "value":180,"threshold":100,"since":"2026-08-07T00:00:00Z","fired_at":"2026-08-07T00:00:30Z"}]}`)
+	})
+	mux.HandleFunc("GET /v1/incidents", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `{"enabled":true,"incidents":[
+			{"id":"20260807T000030-001-ring","rule":"ring_replication_pending>100 for 30s",
+			 "node":"n2","value":180,"threshold":100,"at":"2026-08-07T00:00:30Z",
+			 "trace_ids":["t-9"],"files":["meta.json","goroutines.txt"]}]}`)
+	})
+	mux.HandleFunc("GET /v1/incidents/{id}", func(w http.ResponseWriter, r *http.Request) {
+		if r.PathValue("id") != "20260807T000030-001-ring" {
+			w.WriteHeader(http.StatusNotFound)
+			fmt.Fprint(w, `{"error":{"code":"not_found","message":"no such incident"}}`)
+			return
+		}
+		fmt.Fprint(w, `{"id":"20260807T000030-001-ring","rule":"ring_replication_pending>100 for 30s",
+			"node":"n2","value":180,"threshold":100,"at":"2026-08-07T00:00:30Z","files":["meta.json"]}`)
+	})
+	mux.HandleFunc("GET /v1/incidents/{id}/files/{name}", func(w http.ResponseWriter, r *http.Request) {
+		if r.PathValue("name") != "goroutines.txt" {
+			w.WriteHeader(http.StatusNotFound)
+			fmt.Fprint(w, `{"error":{"code":"not_found","message":"no such file"}}`)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, "goroutine 1 [running]:\nmain.main()")
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts, New(ts.URL, "alice")
+}
+
+func TestMetricsHistory(t *testing.T) {
+	_, c := pulseStub(t)
+	hist, err := c.MetricsHistory(context.Background(), HistoryFilter{
+		Series:    []string{"queue", "latency"},
+		Since:     5 * time.Minute,
+		Step:      30 * time.Second,
+		Agg:       "max",
+		MaxSeries: 12,
+		Cluster:   true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hist.IntervalMs != 10000 || !hist.Truncated || len(hist.Nodes) != 2 {
+		t.Fatalf("history = %+v", hist)
+	}
+	if hist.PeerErrors["n3"] == "" {
+		t.Error("peer_errors not decoded")
+	}
+	if len(hist.Series) != 1 || hist.Series[0].Name != `queue_depth{node="n1"}` {
+		t.Fatalf("series = %+v", hist.Series)
+	}
+	if pts := hist.Series[0].Points; len(pts) != 2 || pts[1].TMs != 11000 || pts[1].V != 7 {
+		t.Fatalf("points = %+v", hist.Series[0].Points)
+	}
+}
+
+func TestAlertsListing(t *testing.T) {
+	_, c := pulseStub(t)
+	list, err := c.Alerts(context.Background(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !list.Enabled || len(list.Alerts) != 1 {
+		t.Fatalf("alerts = %+v", list)
+	}
+	a := list.Alerts[0]
+	if a.State != "firing" || a.Node != "n2" || a.Value != 180 || a.FiredAt.IsZero() {
+		t.Fatalf("alert = %+v", a)
+	}
+}
+
+func TestIncidentBrowsing(t *testing.T) {
+	_, c := pulseStub(t)
+	enabled, incs, err := c.Incidents(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !enabled || len(incs) != 1 || incs[0].TraceIDs[0] != "t-9" {
+		t.Fatalf("incidents = %v %+v", enabled, incs)
+	}
+
+	inc, err := c.Incident(context.Background(), incs[0].ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inc.Rule != "ring_replication_pending>100 for 30s" {
+		t.Fatalf("incident = %+v", inc)
+	}
+	if _, err := c.Incident(context.Background(), "nope"); !IsStatus(err, http.StatusNotFound) {
+		t.Fatalf("missing incident err = %v, want 404 APIError", err)
+	}
+
+	raw, err := c.IncidentFile(context.Background(), inc.ID, "goroutines.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(raw, []byte("goroutine 1")) {
+		t.Fatalf("file = %q", raw)
+	}
+	if _, err := c.IncidentFile(context.Background(), inc.ID, "nope.bin"); !IsStatus(err, http.StatusNotFound) {
+		t.Fatalf("missing file err = %v, want 404 APIError", err)
+	}
+}
