@@ -1,0 +1,79 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeDoc(t *testing.T, dir, name, body string) string {
+	t.Helper()
+	p := filepath.Join(dir, name)
+	if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestGuardRatios(t *testing.T) {
+	dir := t.TempDir()
+	baseline := writeDoc(t, dir, "base.json", `{"benchmarks":[
+		{"name":"BenchmarkX/slow","ns_per_op":300},
+		{"name":"BenchmarkX/fast","ns_per_op":100}]}`)
+	// Same 3.0x speedup: passes.
+	same := writeDoc(t, dir, "same.json", `{"benchmarks":[
+		{"name":"BenchmarkX/slow","ns_per_op":600},
+		{"name":"BenchmarkX/fast","ns_per_op":200}]}`)
+	// Speedup collapsed to 1.5x: a >15% regression.
+	worse := writeDoc(t, dir, "worse.json", `{"benchmarks":[
+		{"name":"BenchmarkX/slow","ns_per_op":300},
+		{"name":"BenchmarkX/fast","ns_per_op":200}]}`)
+	// 2.7x is a 10% drop: inside the default tolerance.
+	drift := writeDoc(t, dir, "drift.json", `{"benchmarks":[
+		{"name":"BenchmarkX/slow","ns_per_op":270},
+		{"name":"BenchmarkX/fast","ns_per_op":100}]}`)
+
+	args := func(current string) []string {
+		return []string{"-baseline", baseline, "-current", current,
+			"-ratio", "BenchmarkX/slow:BenchmarkX/fast"}
+	}
+	var out bytes.Buffer
+	if err := run(args(same), &out); err != nil {
+		t.Fatalf("identical ratio failed: %v", err)
+	}
+	if !strings.Contains(out.String(), "ok") {
+		t.Fatalf("output = %q", out.String())
+	}
+	if err := run(args(drift), &out); err != nil {
+		t.Fatalf("10%% drift within 15%% tolerance failed: %v", err)
+	}
+	err := run(args(worse), &out)
+	if err == nil || !strings.Contains(err.Error(), "regression") {
+		t.Fatalf("collapsed speedup passed: %v", err)
+	}
+	// A machine 2x slower overall (both benches scale) still passes:
+	// the guard is ratio-normalized.
+	if err := run(args(same), &out); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tighter tolerance flips the drift case to a failure.
+	if err := run(append(args(drift), "-tolerance", "0.05"), &out); err == nil {
+		t.Fatal("5% tolerance accepted a 10% drop")
+	}
+
+	// Missing benchmarks and malformed specs are errors, not passes.
+	if err := run([]string{"-baseline", baseline, "-current", same,
+		"-ratio", "BenchmarkX/slow:BenchmarkMissing"}, &out); err == nil {
+		t.Fatal("missing benchmark accepted")
+	}
+	if err := run([]string{"-baseline", baseline, "-current", same,
+		"-ratio", "nocolon"}, &out); err == nil {
+		t.Fatal("malformed -ratio accepted")
+	}
+	if err := run(nil, &out); err == nil {
+		t.Fatal("no flags accepted")
+	}
+}

@@ -1,7 +1,8 @@
-// Row codecs for ppclustd: incremental readers and writers for the two
-// wire formats the service speaks, CSV (with a header row) and NDJSON (one
-// JSON array of numbers per line). Both sides are streaming — the server
-// never needs a whole dataset in memory to recover or stream-protect.
+// Row codecs for ppclustd: incremental readers and writers for the three
+// wire formats the service speaks — CSV (with a header row), NDJSON (one
+// JSON array of numbers per line) and the framed binary row-batch format
+// from internal/codec. All sides are streaming — the server never needs a
+// whole dataset in memory to recover or stream-protect.
 package main
 
 import (
@@ -13,22 +14,26 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+
+	"ppclust/internal/codec"
 )
 
 const (
 	formatCSV    = "csv"
 	formatNDJSON = "ndjson"
+	formatBinary = codec.FormatName
 )
 
-// resolveFormat picks the wire format from an explicit query value or the
-// request Content-Type, defaulting to CSV.
+// resolveFormat picks the wire format from an explicit query value, the
+// request Content-Type, or (for body-less requests like GET rows) the
+// Accept header, defaulting to CSV.
 func resolveFormat(query string, header http.Header) (string, error) {
 	switch query {
-	case formatCSV, formatNDJSON:
+	case formatCSV, formatNDJSON, formatBinary:
 		return query, nil
 	case "":
 	default:
-		return "", fmt.Errorf("unknown format %q (want csv or ndjson)", query)
+		return "", fmt.Errorf("unknown format %q (want csv, ndjson or binary)", query)
 	}
 	ct := header.Get("Content-Type")
 	if i := strings.IndexByte(ct, ';'); i >= 0 {
@@ -37,14 +42,21 @@ func resolveFormat(query string, header http.Header) (string, error) {
 	switch strings.TrimSpace(ct) {
 	case "application/x-ndjson", "application/ndjson", "application/jsonl":
 		return formatNDJSON, nil
-	default:
-		return formatCSV, nil
+	case codec.ContentType:
+		return formatBinary, nil
 	}
+	if strings.Contains(header.Get("Accept"), codec.ContentType) {
+		return formatBinary, nil
+	}
+	return formatCSV, nil
 }
 
 func contentType(format string) string {
-	if format == formatNDJSON {
+	switch format {
+	case formatNDJSON:
 		return "application/x-ndjson"
+	case formatBinary:
+		return codec.ContentType
 	}
 	return "text/csv; charset=utf-8"
 }
@@ -58,18 +70,25 @@ type rowReader interface {
 	Read() ([]float64, error)
 }
 
-// rowWriter emits numeric rows one at a time.
+// rowWriter emits numeric rows one at a time. Close marks the stream
+// complete (the binary format writes its end frame there — a response
+// aborted before Close reads as truncated on the client, never as a
+// short-but-valid dataset); for the text formats it is a flush.
 type rowWriter interface {
 	WriteNames(names []string) error
 	WriteRow(row []float64) error
 	Flush() error
+	Close() error
 }
 
 func newRowReader(format string, r io.Reader) rowReader {
-	if format == formatNDJSON {
+	switch format {
+	case formatNDJSON:
 		sc := bufio.NewScanner(r)
 		sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
 		return &ndjsonReader{sc: sc}
+	case formatBinary:
+		return codec.NewReader(r)
 	}
 	cr := csv.NewReader(r)
 	cr.TrimLeadingSpace = true
@@ -78,11 +97,24 @@ func newRowReader(format string, r io.Reader) rowReader {
 }
 
 func newRowWriter(format string, w io.Writer) rowWriter {
-	if format == formatNDJSON {
+	switch format {
+	case formatNDJSON:
 		return &ndjsonWriter{w: bufio.NewWriter(w)}
+	case formatBinary:
+		return &binaryWriter{bw: codec.NewWriter(w)}
 	}
 	return &csvWriter{cw: csv.NewWriter(w)}
 }
+
+// binaryWriter adapts codec.Writer to the rowWriter contract.
+type binaryWriter struct {
+	bw *codec.Writer
+}
+
+func (b *binaryWriter) WriteNames(names []string) error { return b.bw.WriteHeader(names, false) }
+func (b *binaryWriter) WriteRow(row []float64) error    { return b.bw.WriteRow(row) }
+func (b *binaryWriter) Flush() error                    { return b.bw.Flush() }
+func (b *binaryWriter) Close() error                    { return b.bw.Close() }
 
 // csvReader parses a header row of names followed by numeric records.
 type csvReader struct {
@@ -176,6 +208,9 @@ func (c *csvWriter) Flush() error {
 	return c.cw.Error()
 }
 
+// Close is a flush: CSV has no stream terminator.
+func (c *csvWriter) Close() error { return c.Flush() }
+
 type ndjsonWriter struct {
 	w *bufio.Writer
 }
@@ -195,3 +230,6 @@ func (n *ndjsonWriter) WriteRow(row []float64) error {
 }
 
 func (n *ndjsonWriter) Flush() error { return n.w.Flush() }
+
+// Close is a flush: NDJSON has no stream terminator.
+func (n *ndjsonWriter) Close() error { return n.Flush() }

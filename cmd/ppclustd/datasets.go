@@ -107,9 +107,13 @@ func (s *server) handleDatasetGet(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, meta)
 }
 
-// handleDatasetRows streams a stored dataset back out as CSV or NDJSON —
-// how the released dataset a protect job produced leaves the service for
-// the third-party analyst, block by block.
+// handleDatasetRows streams a stored dataset back out as CSV, NDJSON or
+// framed binary batches — how the released dataset a protect job produced
+// leaves the service for the third-party analyst, block by block. The
+// binary path writes each cached block's backing storage straight to the
+// socket (the datastore persists little-endian float64 segments, the same
+// representation the wire frames carry), so no per-value conversion or
+// row slicing happens anywhere between segment file and client.
 func (s *server) handleDatasetRows(w http.ResponseWriter, r *http.Request) {
 	owner, ok := s.ownerAuth(w, r)
 	if !ok {
@@ -133,18 +137,29 @@ func (s *server) handleDatasetRows(w http.ResponseWriter, r *http.Request) {
 			"trace", obs.TraceID(r.Context()), "err", err.Error())
 		return
 	}
+	bw, _ := rw.(*binaryWriter)
 	werr := ds.Blocks(func(b *matrix.Dense) error {
-		for i := 0; i < b.Rows(); i++ {
-			if err := rw.WriteRow(b.RawRow(i)); err != nil {
+		if bw != nil {
+			if err := bw.bw.WriteBatch(b, nil); err != nil {
 				return err
+			}
+		} else {
+			for i := 0; i < b.Rows(); i++ {
+				if err := rw.WriteRow(b.RawRow(i)); err != nil {
+					return err
+				}
 			}
 		}
 		flush(rw, w)
 		return nil
 	})
+	if werr == nil {
+		werr = rw.Close()
+	}
 	if werr != nil {
 		// The header is out: kill the connection so a truncated dataset
-		// can never read as a complete one.
+		// can never read as a complete one (for the binary format the
+		// missing end frame is the explicit truncation signal).
 		s.logger.Warn("dataset rows abort", "owner", owner, "dataset", ds.Name,
 			"trace", obs.TraceID(r.Context()), "err", werr.Error())
 		panic(http.ErrAbortHandler)

@@ -46,6 +46,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ppclust/internal/codec"
 	"ppclust/internal/datastore"
 	"ppclust/internal/federation"
 	"ppclust/internal/keyring"
@@ -67,6 +68,9 @@ const (
 	hdrReplica    = "X-Ppclust-Ring-Replica"
 	hdrFedID      = "X-Ppclust-Fed-Id"
 	hdrClusterKey = "X-Ppclust-Cluster-Key"
+	// hdrCreatedAt carries a binary dataset export's ingest timestamp —
+	// the one piece of metadata the framed row stream doesn't encode.
+	hdrCreatedAt = "X-Ppclust-Created-At"
 )
 
 // maxHops bounds the forwarding chain: client → wrong node → home node
@@ -472,12 +476,7 @@ func (rt *ringRuntime) shipTo(ctx context.Context, n ring.Node, ev service.Repli
 		if err != nil {
 			return err
 		}
-		tr, err := exportDataset(ds)
-		if err != nil {
-			return err
-		}
-		_, err = rt.roundTrip(ctx, n.Addr, http.MethodPost, "/v1/ring/replicate/dataset", tr, nil)
-		return err
+		return rt.sendDataset(ctx, n.Addr, ds)
 	case service.ReplicateDatasetDelete:
 		_, err := rt.roundTrip(ctx, n.Addr, http.MethodPost, "/v1/ring/replicate/dataset-delete",
 			map[string]string{"owner": ev.Owner, "name": ev.Dataset}, nil)
@@ -487,7 +486,162 @@ func (rt *ringRuntime) shipTo(ctx context.Context, n ring.Node, ev service.Repli
 	}
 }
 
-// datasetTransfer is the wire form of one replicated dataset.
+// sendDataset replicates one dataset to a peer, streaming the blocks as
+// framed binary batches (the same application/x-ppclust-rows format the
+// public API speaks, labels riding in the labeled frames) with the
+// dataset identity in query parameters. A peer that rejects the binary
+// body with a 4xx — an older build mid-upgrade — gets the legacy JSON
+// transfer instead, so mixed-version rings keep replicating.
+func (rt *ringRuntime) sendDataset(ctx context.Context, addr string, ds *datastore.Dataset) error {
+	var buf bytes.Buffer
+	if err := encodeDatasetFrames(&buf, ds); err != nil {
+		return err
+	}
+	path := "/v1/ring/replicate/dataset?owner=" + url.QueryEscape(ds.Owner) +
+		"&name=" + url.QueryEscape(ds.Name) +
+		"&created_at=" + url.QueryEscape(ds.CreatedAt.Format(time.RFC3339Nano))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, addr+path, bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", codec.ContentType)
+	if rt.clusterKey != "" {
+		req.Header.Set(hdrClusterKey, rt.clusterKey)
+	}
+	resp, err := rt.client(addr).DoRaw(req)
+	if err != nil {
+		return err
+	}
+	raw, rerr := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+		return rerr
+	}
+	if resp.StatusCode >= 400 && resp.StatusCode < 500 {
+		// Legacy peer: fall back to the JSON transfer.
+		tr, err := exportDataset(ds)
+		if err != nil {
+			return err
+		}
+		_, err = rt.roundTrip(ctx, addr, http.MethodPost, "/v1/ring/replicate/dataset", tr, nil)
+		return err
+	}
+	return fmt.Errorf("POST %s%s: %d: %s", addr, path, resp.StatusCode, strings.TrimSpace(string(raw)))
+}
+
+// encodeDatasetFrames writes a dataset as a framed binary row stream,
+// block-by-block from the datastore's cache without row slicing.
+func encodeDatasetFrames(w io.Writer, ds *datastore.Dataset) error {
+	bw := codec.NewWriter(w)
+	if err := bw.WriteHeader(ds.Attrs, ds.Labeled); err != nil {
+		return err
+	}
+	labels := ds.Labels()
+	off := 0
+	err := ds.Blocks(func(b *matrix.Dense) error {
+		var bl []int
+		if ds.Labeled {
+			bl = labels[off : off+b.Rows()]
+		}
+		off += b.Rows()
+		return bw.WriteBatch(b, bl)
+	})
+	if err != nil {
+		return err
+	}
+	return bw.Close()
+}
+
+// importDatasetStream is importDataset for the framed binary transfer:
+// last-writer-wins by ingest time, rebuilding through the Builder so
+// NaN/Inf screening matches every other ingest path.
+func (rt *ringRuntime) importDatasetStream(owner, name string, createdAt time.Time, rd *codec.Reader) error {
+	if cur, err := rt.store.Get(owner, name); err == nil {
+		if !cur.CreatedAt.Before(createdAt) {
+			return nil
+		}
+		if err := rt.store.Delete(owner, name); err != nil && !errors.Is(err, datastore.ErrNotFound) {
+			return err
+		}
+	}
+	attrs := rd.Names()
+	if attrs == nil {
+		if _, _, err := rd.ReadLabeled(); err != nil {
+			return fmt.Errorf("ring: transfer for %s/%s: %w", owner, name, err)
+		}
+	}
+	b, err := datastore.NewBuilder(owner, name, attrs)
+	if err != nil {
+		return err
+	}
+	for {
+		row, label, err := rd.ReadLabeled()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return fmt.Errorf("ring: transfer for %s/%s: %w", owner, name, err)
+		}
+		if rd.Labeled() {
+			err = b.AppendLabeled(row, label)
+		} else {
+			err = b.Append(row)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	ds, err := b.Finish(createdAt)
+	if err != nil {
+		return err
+	}
+	if err := rt.store.Put(ds); err != nil && !errors.Is(err, datastore.ErrExists) {
+		return err
+	}
+	return nil
+}
+
+// fetchDataset pulls one dataset from a peer during catch-up, asking for
+// the framed binary export and branching on the response content type —
+// an older peer ignores the format parameter and answers with the legacy
+// JSON transfer, which still imports.
+func (rt *ringRuntime) fetchDataset(ctx context.Context, from ring.Node, owner, name string) error {
+	path := "/v1/ring/export/dataset?owner=" + url.QueryEscape(owner) +
+		"&name=" + url.QueryEscape(name) + "&format=" + formatBinary
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, from.Addr+path, nil)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Accept", codec.ContentType)
+	if rt.clusterKey != "" {
+		req.Header.Set(hdrClusterKey, rt.clusterKey)
+	}
+	resp, err := rt.client(from.Addr).DoRaw(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+		raw, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("GET %s%s: %d: %s", from.Addr, path, resp.StatusCode, strings.TrimSpace(string(raw)))
+	}
+	if strings.HasPrefix(resp.Header.Get("Content-Type"), codec.ContentType) {
+		createdAt, err := time.Parse(time.RFC3339Nano, resp.Header.Get(hdrCreatedAt))
+		if err != nil {
+			return fmt.Errorf("parsing %s: %w", hdrCreatedAt, err)
+		}
+		return rt.importDatasetStream(owner, name, createdAt, codec.NewReader(resp.Body))
+	}
+	var tr datasetTransfer
+	if err := json.NewDecoder(resp.Body).Decode(&tr); err != nil {
+		return fmt.Errorf("decoding dataset transfer: %w", err)
+	}
+	return rt.importDataset(tr)
+}
+
+// datasetTransfer is the legacy JSON wire form of one replicated dataset,
+// kept for mixed-version rings (older peers neither send nor accept the
+// framed binary transfer).
 type datasetTransfer struct {
 	Owner     string      `json:"owner"`
 	Name      string      `json:"name"`
@@ -606,14 +760,8 @@ func (rt *ringRuntime) pullOwner(ctx context.Context, from ring.Node, owner stri
 		if cur, err := rt.store.Get(meta.Owner, meta.Name); err == nil && !cur.CreatedAt.Before(meta.CreatedAt) {
 			continue
 		}
-		var tr datasetTransfer
-		path := "/v1/ring/export/dataset?owner=" + url.QueryEscape(meta.Owner) + "&name=" + url.QueryEscape(meta.Name)
-		if _, err := rt.roundTrip(ctx, from.Addr, http.MethodGet, path, nil, &tr); err != nil {
+		if err := rt.fetchDataset(ctx, from, meta.Owner, meta.Name); err != nil {
 			rt.logger.Warn("catch-up dataset pull", "owner", meta.Owner, "dataset", meta.Name, "peer", from.ID, "err", err.Error())
-			continue
-		}
-		if err := rt.importDataset(tr); err != nil {
-			rt.logger.Warn("catch-up dataset import", "owner", meta.Owner, "dataset", meta.Name, "err", err.Error())
 		}
 	}
 }
@@ -652,16 +800,11 @@ func (rt *ringRuntime) drainPush(ctx context.Context) {
 			if err != nil {
 				continue
 			}
-			tr, err := exportDataset(ds)
-			if err != nil {
-				rt.logger.Warn("leave drain: dataset export", "owner", meta.Owner, "dataset", meta.Name, "err", err.Error())
-				continue
-			}
 			for _, n := range rt.placement(datasetKey(meta.Owner, meta.Name)) {
 				if n.ID == rt.self.ID {
 					continue
 				}
-				if _, err := rt.roundTrip(ctx, n.Addr, http.MethodPost, "/v1/ring/replicate/dataset", tr, nil); err != nil {
+				if err := rt.sendDataset(ctx, n.Addr, ds); err != nil {
 					rt.logger.Warn("leave drain: dataset push", "owner", meta.Owner, "dataset", meta.Name, "peer", n.ID, "err", err.Error())
 				}
 			}
@@ -981,8 +1124,23 @@ func (rt *ringRuntime) handleReplicateOwner(w http.ResponseWriter, r *http.Reque
 }
 
 func (rt *ringRuntime) handleReplicateDataset(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(w, r.Body, rt.maxBody)
+	if strings.HasPrefix(r.Header.Get("Content-Type"), codec.ContentType) {
+		owner, name := r.URL.Query().Get("owner"), r.URL.Query().Get("name")
+		createdAt, err := time.Parse(time.RFC3339Nano, r.URL.Query().Get("created_at"))
+		if err != nil {
+			writeErr(w, service.Invalid(fmt.Errorf("parsing created_at: %w", err)))
+			return
+		}
+		if err := rt.importDatasetStream(owner, name, createdAt, codec.NewReader(body)); err != nil {
+			writeErr(w, service.Wrap(err))
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"imported": owner + "/" + name})
+		return
+	}
 	var in datasetTransfer
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, rt.maxBody)).Decode(&in); err != nil {
+	if err := json.NewDecoder(body).Decode(&in); err != nil {
 		writeErr(w, service.Invalid(fmt.Errorf("parsing dataset transfer: %w", err)))
 		return
 	}
@@ -1047,6 +1205,17 @@ func (rt *ringRuntime) handleExportDataset(w http.ResponseWriter, r *http.Reques
 	ds, err := rt.store.Get(q.Get("owner"), q.Get("name"))
 	if err != nil {
 		writeErr(w, service.Wrap(err))
+		return
+	}
+	// Catch-up peers ask for the framed binary export; older peers send
+	// no format parameter and keep getting the legacy JSON transfer.
+	if q.Get("format") == formatBinary {
+		w.Header().Set("Content-Type", codec.ContentType)
+		w.Header().Set(hdrCreatedAt, ds.CreatedAt.Format(time.RFC3339Nano))
+		if err := encodeDatasetFrames(w, ds); err != nil {
+			rt.logger.Warn("ring export dataset abort", "owner", ds.Owner, "dataset", ds.Name, "err", err.Error())
+			panic(http.ErrAbortHandler)
+		}
 		return
 	}
 	tr, err := exportDataset(ds)

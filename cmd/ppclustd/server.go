@@ -329,6 +329,10 @@ func (s *server) protectFit(w http.ResponseWriter, r *http.Request, q urlValues,
 			flush(rw, w)
 		}
 	}
+	if err := rw.Close(); err != nil {
+		s.logger.Warn("protect close stream", "owner", owner, "trace", obs.TraceID(r.Context()), "err", err.Error())
+		return
+	}
 	flush(rw, w)
 }
 
@@ -422,7 +426,7 @@ func (s *server) pump(ctx context.Context, w http.ResponseWriter, format string,
 	// full-duplex mode on HTTP/1.x; without it the server closes the body
 	// at the first write.
 	_ = http.NewResponseController(w).EnableFullDuplex()
-	started := false
+	started, wroteNames := false, false
 	start := func() {
 		w.Header().Set("Content-Type", contentType(format))
 		w.Header().Set("X-Ppclust-Owner", tr.Owner)
@@ -462,6 +466,7 @@ func (s *server) pump(ctx context.Context, w http.ResponseWriter, format string,
 				if err := rw.WriteNames(rr.Names()); err != nil {
 					abort("writing header", err)
 				}
+				wroteNames = true
 			}
 			for i := 0; i < out.Rows(); i++ {
 				if err := rw.WriteRow(out.RawRow(i)); err != nil {
@@ -474,6 +479,14 @@ func (s *server) pump(ctx context.Context, w http.ResponseWriter, format string,
 			if !started {
 				// Empty body: still answer with headers and no rows.
 				start()
+			}
+			if wroteNames {
+				// Mark the stream complete (the binary end frame); a
+				// response that aborted earlier never reaches this and
+				// stays detectably truncated.
+				if err := rw.Close(); err != nil {
+					abort("closing", err)
+				}
 			}
 			flush(rw, w)
 			return

@@ -36,6 +36,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ppclust/internal/codec"
 	"ppclust/internal/dataset"
 	"ppclust/internal/obs"
 	"ppclust/ppclient"
@@ -106,6 +107,12 @@ type opStats struct {
 	P50Ms  float64 `json:"p50_ms"`
 	P95Ms  float64 `json:"p95_ms"`
 	P99Ms  float64 `json:"p99_ms"`
+	// BytesOutPerOp/BytesInPerOp are the mean request and response body
+	// bytes per operation — what -wire=binary vs -wire=csv actually
+	// changes on the wire. Counted on the raw-HTTP ops (upload, protect);
+	// zero for the JSON job flow.
+	BytesOutPerOp float64 `json:"bytes_out_per_op,omitempty"`
+	BytesInPerOp  float64 `json:"bytes_in_per_op,omitempty"`
 	// Slowest quotes the trace IDs of the operation's slowest requests:
 	// the handle that joins a latency tail seen here to the span trees in
 	// the daemons' logs (run them with -slow-ms to capture those).
@@ -143,6 +150,7 @@ type loadReport struct {
 	Requests    int                `json:"requests"`
 	Rows        int                `json:"rows"`
 	Mix         string             `json:"mix"`
+	Wire        string             `json:"wire,omitempty"`
 	ElapsedS    float64            `json:"elapsed_s"`
 	Throughput  float64            `json:"throughput_rps"`
 	ErrorRate   float64            `json:"error_rate"`
@@ -169,6 +177,8 @@ type sample struct {
 	err   bool
 	trace string
 	node  string
+	out   int64 // request body bytes on the wire
+	in    int64 // response body bytes on the wire
 }
 
 // owner is one load identity: a ppclient pinned to its entry node plus
@@ -186,12 +196,22 @@ type harness struct {
 	mix    []opKind
 	next   atomic.Int64
 
+	// wire is the row format the measured upload/protect ops speak
+	// ("csv", "json" i.e. NDJSON, or "binary"); body is the shared
+	// request payload pre-rendered in that format, bodyCT its
+	// Content-Type and formatQ the explicit format query value.
+	wire    string
+	body    []byte
+	bodyCT  string
+	formatQ string
+
 	mu      sync.Mutex
 	samples []sample
 }
 
-func (h *harness) record(op opKind, trace, node string, start time.Time, err error) {
-	s := sample{op: op, ms: float64(time.Since(start).Microseconds()) / 1000, err: err != nil, trace: trace, node: node}
+func (h *harness) record(op opKind, trace, node string, start time.Time, out, in int64, err error) {
+	s := sample{op: op, ms: float64(time.Since(start).Microseconds()) / 1000, err: err != nil,
+		trace: trace, node: node, out: out, in: in}
 	h.mu.Lock()
 	h.samples = append(h.samples, s)
 	h.mu.Unlock()
@@ -212,44 +232,71 @@ func (h *harness) worker(ctx context.Context, requests int) {
 		opCtx := ppclient.WithTraceID(ctx, trace)
 		start := time.Now()
 		var err error
+		var out, in int64
 		switch op {
 		case opUpload:
-			_, err = o.client.UploadDatasetCSV(opCtx, fmt.Sprintf("lg%d", i), strings.NewReader(h.csv), false)
+			out, in, err = o.uploadRaw(opCtx, trace, fmt.Sprintf("lg%d", i), h)
 		case opProtect:
-			err = o.protectStream(opCtx, trace, h.csv)
+			out, in, err = o.protectStream(opCtx, trace, h)
 		case opCluster:
 			err = o.clusterJob(opCtx)
 		}
-		h.record(op, trace, o.client.BaseURL, start, err)
+		h.record(op, trace, o.client.BaseURL, start, out, in, err)
 	}
 }
 
-// protectStream pushes the CSV through the owner's frozen key — the
-// steady-state protect path, which neither rotates keys nor grows the
-// keyring under load.
-func (o *owner) protectStream(ctx context.Context, trace, csv string) error {
-	u := strings.TrimRight(o.client.BaseURL, "/") + "/v1/protect?mode=stream&owner=" + o.name
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, strings.NewReader(csv))
+// rawPost issues one measured request in the harness's wire format and
+// returns the body bytes that crossed the wire in each direction — the
+// raw-HTTP twin of the ppclient calls, kept raw exactly so those counts
+// are the request's, not an SDK's.
+func (o *owner) rawPost(ctx context.Context, trace, u string, h *harness) (out, in int64, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, bytes.NewReader(h.body))
 	if err != nil {
-		return err
+		return 0, 0, err
 	}
-	req.Header.Set("Content-Type", "text/csv")
+	req.Header.Set("Content-Type", h.bodyCT)
 	req.Header.Set(ppclient.TraceHeader, trace)
 	if o.client.Token != "" {
 		req.Header.Set("Authorization", "Bearer "+o.client.Token)
 	}
 	resp, err := o.http.Do(req)
 	if err != nil {
-		return err
+		return int64(len(h.body)), 0, err
 	}
 	defer resp.Body.Close()
-	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
-		return err
+	in, err = io.Copy(io.Discard, resp.Body)
+	out = int64(len(h.body))
+	if err != nil {
+		return out, in, err
 	}
-	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("protect: status %d", resp.StatusCode)
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusCreated {
+		return out, in, fmt.Errorf("status %d", resp.StatusCode)
 	}
-	return nil
+	return out, in, nil
+}
+
+// uploadRaw stores the shared payload as a fresh dataset under name.
+func (o *owner) uploadRaw(ctx context.Context, trace, name string, h *harness) (out, in int64, err error) {
+	u := strings.TrimRight(o.client.BaseURL, "/") + "/v1/datasets?name=" + name +
+		"&owner=" + o.name + "&format=" + h.formatQ
+	out, in, err = o.rawPost(ctx, trace, u, h)
+	if err != nil {
+		return out, in, fmt.Errorf("upload: %w", err)
+	}
+	return out, in, nil
+}
+
+// protectStream pushes the payload through the owner's frozen key — the
+// steady-state protect path, which neither rotates keys nor grows the
+// keyring under load. The response streams back in the same format.
+func (o *owner) protectStream(ctx context.Context, trace string, h *harness) (out, in int64, err error) {
+	u := strings.TrimRight(o.client.BaseURL, "/") + "/v1/protect?mode=stream&owner=" + o.name +
+		"&format=" + h.formatQ
+	out, in, err = o.rawPost(ctx, trace, u, h)
+	if err != nil {
+		return out, in, fmt.Errorf("protect: %w", err)
+	}
+	return out, in, nil
 }
 
 // clusterJob runs one full cluster job — submit, poll, fetch result —
@@ -369,6 +416,7 @@ func (h *harness) report(nodes []string, concurrency, requests, rows int, mixSpe
 		Requests:    requests,
 		Rows:        rows,
 		Mix:         mixSpec,
+		Wire:        h.wire,
 		ElapsedS:    elapsed.Seconds(),
 		Ops:         map[string]opStats{},
 	}
@@ -380,14 +428,22 @@ func (h *harness) report(nodes []string, concurrency, requests, rows int, mixSpe
 			mean += v
 		}
 		mean /= float64(len(ms))
+		var out, in int64
+		for _, s := range bySample[op] {
+			out += s.out
+			in += s.in
+		}
+		n := float64(len(ms))
 		rep.Ops[string(op)] = opStats{
-			Count:   len(ms),
-			Errors:  errs[op],
-			MeanMs:  mean,
-			P50Ms:   percentile(ms, 50),
-			P95Ms:   percentile(ms, 95),
-			P99Ms:   percentile(ms, 99),
-			Slowest: slowest(bySample[op]),
+			Count:         len(ms),
+			Errors:        errs[op],
+			MeanMs:        mean,
+			P50Ms:         percentile(ms, 50),
+			P95Ms:         percentile(ms, 95),
+			P99Ms:         percentile(ms, 99),
+			BytesOutPerOp: float64(out) / n,
+			BytesInPerOp:  float64(in) / n,
+			Slowest:       slowest(bySample[op]),
 		}
 		totalErrs += errs[op]
 	}
@@ -396,6 +452,43 @@ func (h *harness) report(nodes []string, concurrency, requests, rows int, mixSpe
 		rep.ErrorRate = float64(totalErrs) / float64(n)
 	}
 	return rep
+}
+
+// renderWire renders the synthetic dataset once in the requested wire
+// format; every measured upload/protect request reuses the bytes, so the
+// report's bytes-on-wire columns compare formats over identical data.
+func renderWire(ds *dataset.Dataset, wire string) (body []byte, contentType, formatQ string, err error) {
+	var buf bytes.Buffer
+	switch wire {
+	case "csv":
+		if err := dataset.WriteCSV(&buf, ds); err != nil {
+			return nil, "", "", err
+		}
+		return buf.Bytes(), "text/csv", "csv", nil
+	case "json", "ndjson":
+		for i := 0; i < ds.Data.Rows(); i++ {
+			raw, err := json.Marshal(ds.Data.RawRow(i))
+			if err != nil {
+				return nil, "", "", err
+			}
+			buf.Write(raw)
+			buf.WriteByte('\n')
+		}
+		return buf.Bytes(), "application/x-ndjson", "ndjson", nil
+	case "binary":
+		w := codec.NewWriter(&buf)
+		if err := w.WriteHeader(ds.Names, false); err != nil {
+			return nil, "", "", err
+		}
+		if err := w.WriteBatch(ds.Data, nil); err != nil {
+			return nil, "", "", err
+		}
+		if err := w.Close(); err != nil {
+			return nil, "", "", err
+		}
+		return buf.Bytes(), codec.ContentType, codec.FormatName, nil
+	}
+	return nil, "", "", fmt.Errorf("unknown wire format %q (want csv, json or binary)", wire)
 }
 
 func run(args []string, stdout io.Writer) error {
@@ -407,6 +500,7 @@ func run(args []string, stdout io.Writer) error {
 	rows := fs.Int("rows", 256, "rows per generated dataset")
 	seed := fs.Int64("seed", 1, "synthetic data seed")
 	mixSpec := fs.String("mix", "upload=1,protect=1,cluster=1", "weighted operation mix")
+	wire := fs.String("wire", "csv", "row wire format for upload/protect bodies: csv, json (NDJSON) or binary")
 	timeout := fs.Duration("timeout", 5*time.Minute, "overall deadline")
 	sloSpec := fs.String("slo", "", "objective the run must meet, e.g. 'protect:p99<250ms,err<0.5%'; a breach makes the run exit non-zero")
 	outFile := fs.String("out", "", "also write the JSON report to this file")
@@ -436,6 +530,10 @@ func run(args []string, stdout io.Writer) error {
 	if err := dataset.WriteCSV(&buf, ds); err != nil {
 		return err
 	}
+	body, bodyCT, formatQ, err := renderWire(ds, *wire)
+	if err != nil {
+		return err
+	}
 
 	nodes := strings.Split(*addrs, ",")
 	for i := range nodes {
@@ -445,7 +543,7 @@ func run(args []string, stdout io.Writer) error {
 		MaxIdleConns:        4 * *concurrency,
 		MaxIdleConnsPerHost: 2 * *concurrency,
 	}}
-	h := &harness{csv: buf.String(), mix: mix}
+	h := &harness{csv: buf.String(), mix: mix, wire: *wire, body: body, bodyCT: bodyCT, formatQ: formatQ}
 	for i := 0; i < *nOwners; i++ {
 		cl := ppclient.New(nodes[i%len(nodes)], fmt.Sprintf("loadgen-%d", i))
 		cl.HTTPClient = httpc

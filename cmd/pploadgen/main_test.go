@@ -9,6 +9,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -266,5 +267,78 @@ func TestLoadgenOutFileAndAlertWatch(t *testing.T) {
 		"-out", filepath.Join(t.TempDir(), "missing", "report.json"),
 	}, &stdout); err == nil {
 		t.Error("unwritable -out accepted")
+	}
+}
+
+// TestLoadgenWireFormats: -wire switches the body the measured ops carry
+// (content type + format query), the report names the wire and accounts
+// bytes per op in both directions, and the binary payload is the densest
+// of the three for the same rows.
+func TestLoadgenWireFormats(t *testing.T) {
+	type seen struct {
+		ct     string
+		format string
+		body   int64
+	}
+	var last atomic.Pointer[seen]
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/datasets", func(w http.ResponseWriter, r *http.Request) {
+		n, _ := io.Copy(io.Discard, r.Body)
+		// Setup seeds via ppclient CSV; only format-tagged measured
+		// uploads are recorded.
+		if f := r.URL.Query().Get("format"); f != "" {
+			last.Store(&seen{ct: r.Header.Get("Content-Type"), format: f, body: n})
+		}
+		w.Header().Set("X-Ppclust-Token", "tok")
+		w.WriteHeader(http.StatusCreated)
+		fmt.Fprint(w, `{"owner":"o","name":"d","rows":8}`)
+	})
+	mux.HandleFunc("POST /v1/protect", func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body)
+		fmt.Fprint(w, "ok......")
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+
+	bytesOut := map[string]float64{}
+	for wire, wantCT := range map[string]string{
+		"csv": "text/csv", "json": "application/x-ndjson", "binary": "application/x-ppclust-rows",
+	} {
+		var out bytes.Buffer
+		err := run([]string{
+			"-addrs", ts.URL, "-owners", "1", "-concurrency", "1",
+			"-requests", "4", "-rows", "8", "-mix", "upload=1,protect=1",
+			"-wire", wire,
+		}, &out)
+		if err != nil {
+			t.Fatalf("%s: %v", wire, err)
+		}
+		var rep loadReport
+		if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+			t.Fatal(err)
+		}
+		if rep.Wire != wire {
+			t.Errorf("%s: report wire = %q", wire, rep.Wire)
+		}
+		s := last.Load()
+		if s == nil || s.ct != wantCT {
+			t.Fatalf("%s: server saw %+v, want content type %q", wire, s, wantCT)
+		}
+		up := rep.Ops["upload"]
+		if up.BytesOutPerOp != float64(s.body) || up.BytesOutPerOp <= 0 {
+			t.Errorf("%s: bytes_out_per_op = %g, server read %d", wire, up.BytesOutPerOp, s.body)
+		}
+		if rep.Ops["protect"].BytesInPerOp != 8 {
+			t.Errorf("%s: protect bytes_in_per_op = %g, want 8", wire, rep.Ops["protect"].BytesInPerOp)
+		}
+		bytesOut[wire] = up.BytesOutPerOp
+	}
+	if bytesOut["binary"] >= bytesOut["csv"] || bytesOut["binary"] >= bytesOut["json"] {
+		t.Errorf("binary body not densest: %v", bytesOut)
+	}
+
+	var out bytes.Buffer
+	if err := run([]string{"-addrs", ts.URL, "-wire", "xml"}, &out); err == nil {
+		t.Error("unknown -wire accepted")
 	}
 }

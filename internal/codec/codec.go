@@ -1,0 +1,492 @@
+// Package codec implements the binary row-batch wire format
+// application/x-ppclust-rows: little-endian float64 batches framed so a
+// dataset can flow from the datastore's binary segment files through the
+// block cache to the socket (and back) without a float↔text conversion.
+//
+// Stream layout (all integers little-endian):
+//
+//	header      "PPRW" | version u8 (=1) | flags u8 | cols u32
+//	            cols × (name-len u16 | name bytes)
+//	batch frame 'B' | rows u32 | rows×cols float64
+//	            [labeled flag set: rows × label i64]
+//	end frame   'E' | total-rows u64
+//
+// The end frame is load-bearing: a stream that stops without one —
+// mid-frame or between frames — is reported as ErrTruncated, which is how
+// a receiver distinguishes a completed transfer from a producer that
+// died (the daemon aborts a failed response mid-stream for exactly this
+// reason). Flag bit 0 marks a labeled stream (ring replication ships
+// cluster labels alongside rows); plain API streams leave it clear.
+//
+// On little-endian hosts batch payloads are written and read through an
+// unsafe []float64↔[]byte reinterpretation — one memmove per batch, no
+// per-value conversion; big-endian hosts fall back to element-wise
+// encoding so the wire format stays portable.
+package codec
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"unsafe"
+
+	"ppclust/internal/matrix"
+)
+
+// ContentType is the MIME type of the framed binary row stream.
+const ContentType = "application/x-ppclust-rows"
+
+// FormatName is the wire-format identifier used in `format=` query
+// parameters alongside "csv" and "ndjson".
+const FormatName = "binary"
+
+const (
+	version     = 1
+	flagLabeled = 1 << 0
+
+	frameBatch = 'B'
+	frameEnd   = 'E'
+
+	// defaultBatchRows is the row-buffering granularity of Writer.WriteRow.
+	defaultBatchRows = 4096
+
+	// maxCols and maxBatchRows bound decoder allocations so a hostile
+	// or corrupt header cannot make the server reserve gigabytes.
+	maxCols      = 1 << 16
+	maxNameLen   = 1 << 12
+	maxBatchRows = 1 << 22
+	maxBatchSize = 256 << 20 // bytes of float payload per frame
+)
+
+// ErrTruncated reports a stream that ended without a complete end frame:
+// the producer died (or aborted) mid-transfer.
+var ErrTruncated = errors.New("ppclust-rows: truncated stream (no end frame)")
+
+var magic = [4]byte{'P', 'P', 'R', 'W'}
+
+var hostLittle = func() bool {
+	x := uint16(1)
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// f64bytes reinterprets a float64 slice as its in-memory bytes.
+func f64bytes(v []float64) []byte {
+	if len(v) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&v[0])), len(v)*8)
+}
+
+// Writer emits a framed binary row stream. WriteHeader must be called
+// first; Close writes the end frame (without it the stream reads as
+// truncated, which is the desired signal for an aborted transfer).
+type Writer struct {
+	w       *bufio.Writer
+	cols    int
+	labeled bool
+	rows    uint64
+	pending []float64 // row-buffered values awaiting a batch frame
+	scratch [10]byte
+	started bool
+	closed  bool
+}
+
+// NewWriter returns a Writer on w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriterSize(w, 64<<10)}
+}
+
+// WriteHeader writes the stream header. Column names may be empty (they
+// are then synthesized as c0..c{n-1} by the reader's Names).
+func (w *Writer) WriteHeader(names []string, labeled bool) error {
+	if w.started {
+		return errors.New("ppclust-rows: header already written")
+	}
+	if len(names) == 0 {
+		return errors.New("ppclust-rows: need at least one column")
+	}
+	if len(names) > maxCols {
+		return fmt.Errorf("ppclust-rows: %d columns exceeds the %d limit", len(names), maxCols)
+	}
+	w.started = true
+	w.cols = len(names)
+	w.labeled = labeled
+	if _, err := w.w.Write(magic[:]); err != nil {
+		return err
+	}
+	flags := byte(0)
+	if labeled {
+		flags |= flagLabeled
+	}
+	if _, err := w.w.Write([]byte{version, flags}); err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint32(w.scratch[:4], uint32(len(names)))
+	if _, err := w.w.Write(w.scratch[:4]); err != nil {
+		return err
+	}
+	for _, name := range names {
+		if len(name) > maxNameLen {
+			return fmt.Errorf("ppclust-rows: column name of %d bytes exceeds the %d limit", len(name), maxNameLen)
+		}
+		binary.LittleEndian.PutUint16(w.scratch[:2], uint16(len(name)))
+		if _, err := w.w.Write(w.scratch[:2]); err != nil {
+			return err
+		}
+		if _, err := w.w.WriteString(name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeFloats writes vals as little-endian float64s, zero-copy on LE
+// hosts.
+func (w *Writer) writeFloats(vals []float64) error {
+	if hostLittle {
+		_, err := w.w.Write(f64bytes(vals))
+		return err
+	}
+	for _, v := range vals {
+		binary.LittleEndian.PutUint64(w.scratch[:8], math.Float64bits(v))
+		if _, err := w.w.Write(w.scratch[:8]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (w *Writer) batchFrame(vals []float64, labels []int) error {
+	rows := len(vals) / w.cols
+	w.scratch[0] = frameBatch
+	binary.LittleEndian.PutUint32(w.scratch[1:5], uint32(rows))
+	if _, err := w.w.Write(w.scratch[:5]); err != nil {
+		return err
+	}
+	if err := w.writeFloats(vals); err != nil {
+		return err
+	}
+	if w.labeled {
+		if len(labels) != rows {
+			return fmt.Errorf("ppclust-rows: %d labels for %d rows", len(labels), rows)
+		}
+		for _, l := range labels {
+			binary.LittleEndian.PutUint64(w.scratch[:8], uint64(int64(l)))
+			if _, err := w.w.Write(w.scratch[:8]); err != nil {
+				return err
+			}
+		}
+	}
+	w.rows += uint64(rows)
+	return nil
+}
+
+// WriteBatch writes one batch frame straight from a matrix block —
+// the zero-copy path from the datastore's block cache to the socket.
+// The matrix's column count must equal the header's.
+func (w *Writer) WriteBatch(b *matrix.Dense, labels []int) error {
+	if !w.started {
+		return errors.New("ppclust-rows: WriteBatch before WriteHeader")
+	}
+	if b.Cols() != w.cols {
+		return fmt.Errorf("ppclust-rows: batch has %d columns, header has %d", b.Cols(), w.cols)
+	}
+	if b.Rows() == 0 {
+		return nil
+	}
+	if err := w.flushPending(); err != nil {
+		return err
+	}
+	return w.batchFrame(b.Raw(), labels)
+}
+
+// WriteRow buffers one row, emitting a batch frame per defaultBatchRows.
+func (w *Writer) WriteRow(row []float64) error {
+	if !w.started {
+		return errors.New("ppclust-rows: WriteRow before WriteHeader")
+	}
+	if len(row) != w.cols {
+		return fmt.Errorf("ppclust-rows: row has %d values, header has %d", len(row), w.cols)
+	}
+	if w.labeled {
+		return errors.New("ppclust-rows: WriteRow on a labeled stream")
+	}
+	w.pending = append(w.pending, row...)
+	if len(w.pending) >= defaultBatchRows*w.cols {
+		return w.flushPending()
+	}
+	return nil
+}
+
+func (w *Writer) flushPending() error {
+	if len(w.pending) == 0 {
+		return nil
+	}
+	err := w.batchFrame(w.pending, nil)
+	w.pending = w.pending[:0]
+	return err
+}
+
+// Flush emits any buffered rows as a batch frame and flushes the
+// underlying writer. The stream stays open for more batches.
+func (w *Writer) Flush() error {
+	if err := w.flushPending(); err != nil {
+		return err
+	}
+	return w.w.Flush()
+}
+
+// Close writes the end frame and flushes. It does not close the
+// underlying writer. A stream abandoned without Close reads as
+// ErrTruncated on the other side — intentional for abort paths.
+func (w *Writer) Close() error {
+	if w.closed {
+		return nil
+	}
+	if !w.started {
+		return errors.New("ppclust-rows: Close before WriteHeader")
+	}
+	if err := w.flushPending(); err != nil {
+		return err
+	}
+	w.closed = true
+	w.scratch[0] = frameEnd
+	binary.LittleEndian.PutUint64(w.scratch[1:9], w.rows)
+	if _, err := w.w.Write(w.scratch[:9]); err != nil {
+		return err
+	}
+	return w.w.Flush()
+}
+
+// Reader decodes a framed binary row stream. It implements the daemon's
+// rowReader contract: Names() after the header is read, Read() yielding
+// one fresh row at a time, io.EOF after a *complete* stream (header, zero
+// or more batches, end frame) — anything else is an error.
+type Reader struct {
+	r       *bufio.Reader
+	names   []string
+	labeled bool
+	cols    int
+	started bool
+	done    bool
+	err     error
+
+	batch   []float64 // current decoded batch (fresh per frame)
+	labels  []int
+	cursor  int // next row within batch
+	rows    int // rows in current batch
+	total   uint64
+	scratch [9]byte
+}
+
+// NewReader returns a Reader on r. The header is read lazily on first use.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: bufio.NewReaderSize(r, 64<<10)}
+}
+
+// truncated converts unexpected stream ends into ErrTruncated.
+func truncated(err error) error {
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return ErrTruncated
+	}
+	return err
+}
+
+func (r *Reader) header() error {
+	if r.started {
+		return r.err
+	}
+	r.started = true
+	var head [10]byte
+	if _, err := io.ReadFull(r.r, head[:]); err != nil {
+		return r.fail(truncated(err))
+	}
+	if [4]byte(head[:4]) != magic {
+		return r.fail(fmt.Errorf("ppclust-rows: bad magic %q", head[:4]))
+	}
+	if head[4] != version {
+		return r.fail(fmt.Errorf("ppclust-rows: unsupported version %d", head[4]))
+	}
+	flags := head[5]
+	r.labeled = flags&flagLabeled != 0
+	cols := int(binary.LittleEndian.Uint32(head[6:10]))
+	if cols == 0 || cols > maxCols {
+		return r.fail(fmt.Errorf("ppclust-rows: column count %d out of range", cols))
+	}
+	r.cols = cols
+	r.names = make([]string, cols)
+	for j := range r.names {
+		if _, err := io.ReadFull(r.r, r.scratch[:2]); err != nil {
+			return r.fail(truncated(err))
+		}
+		nameLen := int(binary.LittleEndian.Uint16(r.scratch[:2]))
+		if nameLen > maxNameLen {
+			return r.fail(fmt.Errorf("ppclust-rows: column name of %d bytes exceeds the %d limit", nameLen, maxNameLen))
+		}
+		if nameLen == 0 {
+			r.names[j] = "c" + strconv.Itoa(j)
+			continue
+		}
+		buf := make([]byte, nameLen)
+		if _, err := io.ReadFull(r.r, buf); err != nil {
+			return r.fail(truncated(err))
+		}
+		r.names[j] = string(buf)
+	}
+	return nil
+}
+
+func (r *Reader) fail(err error) error {
+	r.err = err
+	return err
+}
+
+// Names returns the column names, reading the header if needed. It
+// returns nil if the header is unreadable (Read surfaces the error).
+func (r *Reader) Names() []string {
+	if err := r.header(); err != nil {
+		return nil
+	}
+	return r.names
+}
+
+// Labeled reports whether the stream carries per-row labels (readable
+// after the header, i.e. after Names or the first Read).
+func (r *Reader) Labeled() bool { return r.labeled }
+
+// nextFrame loads the next batch frame, or flags completion at the end
+// frame.
+func (r *Reader) nextFrame() error {
+	for {
+		if _, err := io.ReadFull(r.r, r.scratch[:1]); err != nil {
+			return truncated(err)
+		}
+		switch r.scratch[0] {
+		case frameEnd:
+			if _, err := io.ReadFull(r.r, r.scratch[1:9]); err != nil {
+				return truncated(err)
+			}
+			if want := binary.LittleEndian.Uint64(r.scratch[1:9]); want != r.total {
+				return fmt.Errorf("ppclust-rows: end frame declares %d rows, stream carried %d", want, r.total)
+			}
+			r.done = true
+			return io.EOF
+		case frameBatch:
+			if _, err := io.ReadFull(r.r, r.scratch[1:5]); err != nil {
+				return truncated(err)
+			}
+			rows := int(binary.LittleEndian.Uint32(r.scratch[1:5]))
+			if rows == 0 {
+				continue
+			}
+			if rows > maxBatchRows || rows*r.cols*8 > maxBatchSize {
+				return fmt.Errorf("ppclust-rows: batch of %d rows exceeds frame limits", rows)
+			}
+			// A fresh slice per frame: downstream accumulates row
+			// sub-slices across Read calls (the RowSource contract), so
+			// batch memory must never be reused.
+			r.batch = make([]float64, rows*r.cols)
+			if hostLittle {
+				if _, err := io.ReadFull(r.r, f64bytes(r.batch)); err != nil {
+					return truncated(err)
+				}
+			} else {
+				var buf [8]byte
+				for i := range r.batch {
+					if _, err := io.ReadFull(r.r, buf[:]); err != nil {
+						return truncated(err)
+					}
+					r.batch[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[:]))
+				}
+			}
+			if r.labeled {
+				r.labels = make([]int, rows)
+				var buf [8]byte
+				for i := range r.labels {
+					if _, err := io.ReadFull(r.r, buf[:]); err != nil {
+						return truncated(err)
+					}
+					r.labels[i] = int(int64(binary.LittleEndian.Uint64(buf[:])))
+				}
+			}
+			r.rows = rows
+			r.cursor = 0
+			r.total += uint64(rows)
+			return nil
+		default:
+			return fmt.Errorf("ppclust-rows: unknown frame type 0x%02x", r.scratch[0])
+		}
+	}
+}
+
+// Read returns the next row. The returned slice is freshly backed per
+// batch frame and remains valid after subsequent Reads.
+func (r *Reader) Read() ([]float64, error) {
+	row, _, err := r.ReadLabeled()
+	return row, err
+}
+
+// ReadLabeled is Read plus the row's label on labeled streams (label is
+// 0 on unlabeled ones).
+func (r *Reader) ReadLabeled() ([]float64, int, error) {
+	if err := r.header(); err != nil {
+		return nil, 0, err
+	}
+	if r.err != nil {
+		return nil, 0, r.err
+	}
+	if r.done {
+		return nil, 0, io.EOF
+	}
+	for r.cursor >= r.rows {
+		if err := r.nextFrame(); err != nil {
+			if err != io.EOF {
+				r.fail(err)
+			}
+			return nil, 0, err
+		}
+	}
+	i := r.cursor
+	r.cursor++
+	row := r.batch[i*r.cols : (i+1)*r.cols : (i+1)*r.cols]
+	label := 0
+	if r.labeled {
+		label = r.labels[i]
+	}
+	return row, label, nil
+}
+
+// ReadBatch returns the remainder of the current batch frame (or the next
+// one) as a fresh matrix plus labels on labeled streams; io.EOF after a
+// complete stream. Bulk consumers use it to skip per-row slicing.
+func (r *Reader) ReadBatch() (*matrix.Dense, []int, error) {
+	if err := r.header(); err != nil {
+		return nil, nil, err
+	}
+	if r.err != nil {
+		return nil, nil, r.err
+	}
+	if r.done {
+		return nil, nil, io.EOF
+	}
+	for r.cursor >= r.rows {
+		if err := r.nextFrame(); err != nil {
+			if err != io.EOF {
+				r.fail(err)
+			}
+			return nil, nil, err
+		}
+	}
+	lo := r.cursor
+	r.cursor = r.rows
+	vals := r.batch[lo*r.cols : r.rows*r.cols]
+	var labels []int
+	if r.labeled {
+		labels = r.labels[lo:r.rows]
+	}
+	return matrix.NewDense(r.rows-lo, r.cols, vals), labels, nil
+}

@@ -53,6 +53,12 @@ type Engine struct {
 	// scratch pools per-pass partial-reduction buffers so steady-state
 	// serving does not allocate per request.
 	scratch sync.Pool
+	// colScratch and col32Scratch pool the full-matrix column-major
+	// gather buffers of the columnar kernels. They are separate from
+	// scratch so a request for a tiny partial buffer never pins a
+	// multi-megabyte gather buffer out of circulation.
+	colScratch   sync.Pool
+	col32Scratch sync.Pool
 }
 
 // New returns an engine with the given worker count and row-block size.
@@ -104,7 +110,40 @@ type ProtectOptions struct {
 	Denominator stats.Denominator
 	// GridStep is the security-range scan resolution; 0 means 0.01°.
 	GridStep float64
+	// Layout selects the kernel layout: LayoutColumnar (the default when
+	// empty) gathers the data into column-major scratch so each pair
+	// rotation streams two contiguous columns instead of touching every
+	// row's cache line; LayoutRows is the original row-major path. The
+	// float64 columnar path is bit-for-bit identical to the row path
+	// (colkernel.go documents why), so the choice is purely about speed.
+	Layout string
+	// Precision selects the arithmetic width of the columnar kernel:
+	// PrecisionFloat64 (default when empty) or PrecisionFloat32, which
+	// halves kernel memory traffic at the cost of an approximate release
+	// (recover error is bounded by the float32 mantissa; see the
+	// Float32RecoverError test). Float32 requires the columnar layout.
+	Precision string
+	// Arena, when non-nil, supplies reusable backing memory for the
+	// released matrix (and the columnar gather buffer), so steady-state
+	// protect allocates ~nothing proportional to the data size. The
+	// returned Released matrix aliases the arena: it is only valid until
+	// the arena's next use, and an Arena must not be shared by concurrent
+	// Protect calls.
+	Arena *Arena
 }
+
+// Layout and Precision values for ProtectOptions.
+const (
+	// LayoutColumnar is the cache-blocked column-major kernel; the
+	// default.
+	LayoutColumnar = "columnar"
+	// LayoutRows is the original row-major kernel.
+	LayoutRows = "rows"
+	// PrecisionFloat64 is full-precision arithmetic; the default.
+	PrecisionFloat64 = "float64"
+	// PrecisionFloat32 is the opt-in approximate single-precision kernel.
+	PrecisionFloat32 = "float32"
+)
 
 // Secret is the frozen inversion state of a protection run: the rotation
 // key plus the normalization kind and parameters. It is structurally the
@@ -207,6 +246,32 @@ func (e *Engine) Protect(data *matrix.Dense, opts ProtectOptions) (*ProtectResul
 // noise even for small batches; with no trace in ctx the cost is two
 // context lookups. The output is bit-for-bit identical to Protect.
 func (e *Engine) ProtectCtx(ctx context.Context, data *matrix.Dense, opts ProtectOptions) (*ProtectResult, error) {
+	pl, err := e.planProtect(data, opts)
+	if err != nil {
+		return nil, err
+	}
+	if pl.layout == LayoutColumnar {
+		return e.protectColumnar(ctx, data, opts, pl)
+	}
+	return e.protectRows(ctx, data, opts, pl)
+}
+
+// protectPlan is the validated, defaulted prologue state shared by the
+// row-major and columnar protect paths.
+type protectPlan struct {
+	m, n       int
+	method     string
+	pairs      []core.Pair
+	thresholds []core.PST
+	gridStep   float64
+	rng        *rand.Rand
+	layout     string
+	precision  string
+}
+
+// planProtect validates options and resolves every default, without
+// consuming any angle randomness beyond seeding the source.
+func (e *Engine) planProtect(data *matrix.Dense, opts ProtectOptions) (*protectPlan, error) {
 	m, n := data.Dims()
 	if m < 2 {
 		return nil, fmt.Errorf("%w: need at least 2 rows, got %d", core.ErrBadInput, m)
@@ -217,6 +282,23 @@ func (e *Engine) ProtectCtx(ctx context.Context, data *matrix.Dense, opts Protec
 	method := opts.Normalization
 	if method == "" {
 		method = NormZScore
+	}
+	layout := opts.Layout
+	if layout == "" {
+		layout = LayoutColumnar
+	}
+	if layout != LayoutColumnar && layout != LayoutRows {
+		return nil, fmt.Errorf("%w: unknown layout %q", core.ErrBadInput, opts.Layout)
+	}
+	precision := opts.Precision
+	if precision == "" {
+		precision = PrecisionFloat64
+	}
+	if precision != PrecisionFloat64 && precision != PrecisionFloat32 {
+		return nil, fmt.Errorf("%w: unknown precision %q", core.ErrBadInput, opts.Precision)
+	}
+	if precision == PrecisionFloat32 && layout != LayoutColumnar {
+		return nil, fmt.Errorf("%w: the float32 kernel requires the columnar layout", core.ErrBadInput)
 	}
 	pairs := opts.Pairs
 	if pairs == nil {
@@ -247,46 +329,66 @@ func (e *Engine) ProtectCtx(ctx context.Context, data *matrix.Dense, opts Protec
 		}
 		rng = rand.New(rand.NewSource(seed))
 	}
+	return &protectPlan{
+		m: m, n: n, method: method, pairs: pairs, thresholds: thresholds,
+		gridStep: gridStep, rng: rng, layout: layout, precision: precision,
+	}, nil
+}
 
-	res := &ProtectResult{Normalization: method, Columns: n}
+// pickPairAngle runs the per-pair Step 2 policy shared by both layouts:
+// security range, fixed-angle PST check or random draw, and the report.
+// It consumes pl.rng exactly like core.Transform would.
+func pickPairAngle(pl *protectPlan, opts ProtectOptions, k int, curve *core.VarianceCurve) (float64, core.PairReport, error) {
+	p := pl.pairs[k]
+	ivs, err := curve.SecurityRange(pl.thresholds[k], pl.gridStep)
+	if err != nil {
+		return 0, core.PairReport{}, fmt.Errorf("pair %d (%d,%d): %w", k, p.I, p.J, err)
+	}
+	var theta float64
+	if opts.FixedAngles != nil {
+		theta = rotate.NormalizeDegrees(opts.FixedAngles[k])
+		if curve.Margin(theta, pl.thresholds[k]) < 0 {
+			return 0, core.PairReport{}, fmt.Errorf("pair %d (%d,%d): fixed angle %.4f° violates PST (%g,%g): %w",
+				k, p.I, p.J, theta, pl.thresholds[k].Rho1, pl.thresholds[k].Rho2, core.ErrEmptySecurityRange)
+		}
+	} else {
+		theta = core.PickAngle(ivs, pl.rng)
+	}
+	varI, varJ := curve.At(theta)
+	return theta, core.PairReport{
+		Pair: p, PST: pl.thresholds[k], SecurityRange: ivs,
+		ThetaDeg: theta, VarI: varI, VarJ: varJ,
+	}, nil
+}
+
+// protectRows is the original row-major pipeline.
+func (e *Engine) protectRows(ctx context.Context, data *matrix.Dense, opts ProtectOptions, pl *protectPlan) (*ProtectResult, error) {
+	res := &ProtectResult{Normalization: pl.method, Columns: pl.n}
 	ctx, normSpan := obs.Start(ctx, "engine.normalize")
-	normSpan.Set("rows", m)
-	out, err := e.normalize(data, method, res)
+	normSpan.Set("rows", pl.m)
+	out := opts.Arena.release(pl.m, pl.n)
+	err := e.normalize(data, out, pl.method, res)
 	normSpan.End()
 	if err != nil {
 		return nil, err
 	}
 	res.Released = out
 	_, rotSpan := obs.Start(ctx, "engine.rotate")
-	rotSpan.Set("pairs", len(pairs))
+	rotSpan.Set("pairs", len(pl.pairs))
 	defer rotSpan.End()
-	res.Key = core.Key{Pairs: append([]core.Pair(nil), pairs...), AnglesDeg: make([]float64, len(pairs))}
-	for k, p := range pairs {
+	res.Key = core.Key{Pairs: append([]core.Pair(nil), pl.pairs...), AnglesDeg: make([]float64, len(pl.pairs))}
+	for k, p := range pl.pairs {
 		curve, err := e.pairCurve(out, p, opts.Denominator)
 		if err != nil {
 			return nil, fmt.Errorf("pair %d: %w", k, err)
 		}
-		ivs, err := curve.SecurityRange(thresholds[k], gridStep)
+		theta, report, err := pickPairAngle(pl, opts, k, curve)
 		if err != nil {
-			return nil, fmt.Errorf("pair %d (%d,%d): %w", k, p.I, p.J, err)
+			return nil, err
 		}
-		var theta float64
-		if opts.FixedAngles != nil {
-			theta = rotate.NormalizeDegrees(opts.FixedAngles[k])
-			if curve.Margin(theta, thresholds[k]) < 0 {
-				return nil, fmt.Errorf("pair %d (%d,%d): fixed angle %.4f° violates PST (%g,%g): %w",
-					k, p.I, p.J, theta, thresholds[k].Rho1, thresholds[k].Rho2, core.ErrEmptySecurityRange)
-			}
-		} else {
-			theta = core.PickAngle(ivs, rng)
-		}
-		varI, varJ := curve.At(theta)
 		e.rotatePair(out, p, theta)
 		res.Key.AnglesDeg[k] = theta
-		res.Reports = append(res.Reports, core.PairReport{
-			Pair: p, PST: thresholds[k], SecurityRange: ivs,
-			ThetaDeg: theta, VarI: varI, VarJ: varJ,
-		})
+		res.Reports = append(res.Reports, report)
 	}
 	return res, nil
 }
@@ -323,28 +425,22 @@ func (e *Engine) Recover(released *matrix.Dense, s Secret) (*matrix.Dense, error
 }
 
 // normalize fits Step 1 on data with blocked parallel reductions and writes
-// the normalized copy into a fresh matrix (fusing fit-apply with the clone
-// core.Transform would otherwise need). It records the fitted parameters
-// in res.
-func (e *Engine) normalize(data *matrix.Dense, method string, res *ProtectResult) (*matrix.Dense, error) {
-	m, n := data.Dims()
-	out := matrix.NewDense(m, n, nil)
+// the normalized copy into out (arena- or caller-supplied, fusing fit-apply
+// with the clone core.Transform would otherwise need). It records the
+// fitted parameters in res.
+func (e *Engine) normalize(data, out *matrix.Dense, method string, res *ProtectResult) error {
+	m := data.Rows()
 	switch method {
 	case NormNone:
 		finite := e.copyAndCheck(data, out)
 		if !finite {
-			return nil, fmt.Errorf("%w: data contains NaN or Inf", core.ErrBadInput)
+			return fmt.Errorf("%w: data contains NaN or Inf", core.ErrBadInput)
 		}
-		return out, nil
+		return nil
 	case NormZScore:
-		means, stds, err := e.columnMeansStds(data, stats.Sample)
+		means, stds, err := e.fitZScore(data)
 		if err != nil {
-			return nil, err
-		}
-		for j, s := range stds {
-			if s == 0 {
-				return nil, fmt.Errorf("%w: column %d has zero variance", core.ErrBadInput, j)
-			}
+			return err
 		}
 		e.forBlocks(m, func(lo, hi int) {
 			for r := lo; r < hi; r++ {
@@ -355,16 +451,11 @@ func (e *Engine) normalize(data *matrix.Dense, method string, res *ProtectResult
 			}
 		})
 		res.ParamsA, res.ParamsB = means, stds
-		return out, nil
+		return nil
 	case NormMinMax:
-		mins, maxs, err := e.columnMinsMaxs(data)
+		mins, maxs, err := e.fitMinMax(data)
 		if err != nil {
-			return nil, err
-		}
-		for j := range mins {
-			if mins[j] == maxs[j] {
-				return nil, fmt.Errorf("%w: column %d is constant", core.ErrBadInput, j)
-			}
+			return err
 		}
 		e.forBlocks(m, func(lo, hi int) {
 			for r := lo; r < hi; r++ {
@@ -375,10 +466,40 @@ func (e *Engine) normalize(data *matrix.Dense, method string, res *ProtectResult
 			}
 		})
 		res.ParamsA, res.ParamsB = mins, maxs
-		return out, nil
+		return nil
 	default:
-		return nil, fmt.Errorf("%w: unknown normalization %q", core.ErrBadInput, method)
+		return fmt.Errorf("%w: unknown normalization %q", core.ErrBadInput, method)
 	}
+}
+
+// fitZScore computes per-column means/stds and rejects zero-variance
+// columns; shared by the row and columnar normalize steps.
+func (e *Engine) fitZScore(data *matrix.Dense) (means, stds []float64, err error) {
+	means, stds, err = e.columnMeansStds(data, stats.Sample)
+	if err != nil {
+		return nil, nil, err
+	}
+	for j, s := range stds {
+		if s == 0 {
+			return nil, nil, fmt.Errorf("%w: column %d has zero variance", core.ErrBadInput, j)
+		}
+	}
+	return means, stds, nil
+}
+
+// fitMinMax computes per-column mins/maxs and rejects constant columns;
+// shared by the row and columnar normalize steps.
+func (e *Engine) fitMinMax(data *matrix.Dense) (mins, maxs []float64, err error) {
+	mins, maxs, err = e.columnMinsMaxs(data)
+	if err != nil {
+		return nil, nil, err
+	}
+	for j := range mins {
+		if mins[j] == maxs[j] {
+			return nil, nil, fmt.Errorf("%w: column %d is constant", core.ErrBadInput, j)
+		}
+	}
+	return mins, maxs, nil
 }
 
 // normalizeRow applies the frozen Step 1 parameters to one row in place.

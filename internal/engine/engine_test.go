@@ -109,8 +109,8 @@ func TestMatchesCoreRandomAngles(t *testing.T) {
 func TestZScorePipelineMatchesNorm(t *testing.T) {
 	data := randData(4000, 5, 4)
 	res := &ProtectResult{}
-	got, err := New(4, 777).normalize(data, NormZScore, res)
-	if err != nil {
+	got := matrix.NewDense(data.Rows(), data.Cols(), nil)
+	if err := New(4, 777).normalize(data, got, NormZScore, res); err != nil {
 		t.Fatal(err)
 	}
 	z := &norm.ZScore{Denominator: stats.Sample}

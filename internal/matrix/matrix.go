@@ -133,6 +133,13 @@ func (m *Dense) RawRow(i int) []float64 {
 	return m.data[i*m.cols : (i+1)*m.cols]
 }
 
+// Raw returns the row-major backing slice, aliasing the matrix storage
+// (len == Rows()*Cols()). Mutating it mutates the matrix. It exists for
+// bulk code paths — columnar kernels and the binary wire codec — that
+// stream the whole matrix without per-row slicing; prefer RawRow/Row
+// everywhere else.
+func (m *Dense) Raw() []float64 { return m.data }
+
 // Col returns a copy of column j.
 func (m *Dense) Col(j int) []float64 {
 	if j < 0 || j >= m.cols {

@@ -26,8 +26,20 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
+
+	"ppclust/internal/codec"
+)
+
+// Wire format values for Client.Wire.
+const (
+	// WireBinary is the framed binary row-batch format
+	// (application/x-ppclust-rows) — the default.
+	WireBinary = codec.FormatName
+	// WireCSV forces text CSV for structured-row calls.
+	WireCSV = "csv"
 )
 
 // TraceHeader is the request-ID header the daemon adopts and reflects:
@@ -69,6 +81,17 @@ type Client struct {
 	// the request context cancels the wait.
 	RetryBackoff    time.Duration
 	RetryMaxBackoff time.Duration
+	// Wire selects the row wire format for the structured-row calls
+	// (UploadDataset, Contribute, DownloadDatasetRows). Empty or
+	// WireBinary sends the framed binary row-batch format; against a
+	// daemon that predates it (400 unknown-format) the client falls
+	// back to CSV once and remembers, so negotiation is transparent.
+	// WireCSV forces CSV from the first request.
+	Wire string
+
+	// wireCSV remembers a failed binary negotiation so later calls skip
+	// straight to CSV without re-probing.
+	wireCSV atomic.Bool
 
 	// ringTable, when loaded by UseRing, routes owner-scoped requests
 	// straight to the owner's home node.
@@ -231,17 +254,78 @@ func (c *Client) JoinFederation(ctx context.Context, id string) (*Federation, er
 	return &out, nil
 }
 
-// Contribute uploads the owner's horizontal partition as CSV rows. The
-// daemon protects the rows under the federation's shared transform and
-// stores only the protected release; when the owner is the coordinator
-// and the federation is still open, this contribution fits and freezes
-// the shared key.
+// Contribute uploads the owner's horizontal partition. The daemon
+// protects the rows under the federation's shared transform and stores
+// only the protected release; when the owner is the coordinator and the
+// federation is still open, this contribution fits and freezes the
+// shared key. Rows travel as framed binary batches unless Wire forces
+// CSV (or a binary-unaware daemon already forced the fallback).
 func (c *Client) Contribute(ctx context.Context, id string, columns []string, rows [][]float64) (*Federation, error) {
+	if c.useBinary() {
+		out, err := c.contributeBinary(ctx, id, columns, rows)
+		if err == nil || !wireUnsupported(err) {
+			return out, err
+		}
+		c.wireCSV.Store(true)
+	}
 	buf, err := renderCSV(columns, rows)
 	if err != nil {
 		return nil, err
 	}
 	return c.ContributeCSV(ctx, id, buf)
+}
+
+func (c *Client) contributeBinary(ctx context.Context, id string, columns []string, rows [][]float64) (*Federation, error) {
+	buf, err := renderBinary(columns, rows)
+	if err != nil {
+		return nil, err
+	}
+	req, err := c.newRequest(ctx, http.MethodPost, "/v1/federations/"+id+"/contribute?format="+WireBinary, buf)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", codec.ContentType)
+	var out Federation
+	if err := c.exec(req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// useBinary reports whether the next structured-row call should attempt
+// the binary wire format.
+func (c *Client) useBinary() bool {
+	return c.Wire != WireCSV && !c.wireCSV.Load()
+}
+
+// wireUnsupported recognizes the crisp 400 a binary-unaware daemon gives
+// the explicit format=binary query — the only error that should flip the
+// client to its CSV fallback.
+func wireUnsupported(err error) bool {
+	var ae *APIError
+	return errors.As(err, &ae) && ae.Status == http.StatusBadRequest &&
+		strings.Contains(ae.Message, "unknown format")
+}
+
+// renderBinary frames a header plus numeric rows as binary row batches.
+func renderBinary(columns []string, rows [][]float64) (*bytes.Buffer, error) {
+	var buf bytes.Buffer
+	w := codec.NewWriter(&buf)
+	if err := w.WriteHeader(columns, false); err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		if len(row) != len(columns) {
+			return nil, fmt.Errorf("ppclient: row has %d values, schema has %d columns", len(row), len(columns))
+		}
+		if err := w.WriteRow(row); err != nil {
+			return nil, err
+		}
+	}
+	if err := w.Close(); err != nil {
+		return nil, err
+	}
+	return &buf, nil
 }
 
 // renderCSV writes a header row of column names and numeric rows.
@@ -356,6 +440,83 @@ func (c *Client) DownloadDataset(ctx context.Context, name string) (string, erro
 		return "", err
 	}
 	return string(raw), nil
+}
+
+// DownloadDatasetRows fetches one of the owner's stored datasets decoded
+// into column names and numeric rows. It asks for the framed binary
+// format — no float↔text conversion on either side — and falls back to
+// CSV transparently against a daemon that predates it (honoring Wire,
+// like the upload paths).
+func (c *Client) DownloadDatasetRows(ctx context.Context, name string) ([]string, [][]float64, error) {
+	if c.useBinary() {
+		cols, rows, err := c.downloadRowsBinary(ctx, name)
+		if err == nil || !wireUnsupported(err) {
+			return cols, rows, err
+		}
+		c.wireCSV.Store(true)
+	}
+	raw, err := c.DownloadDataset(ctx, name)
+	if err != nil {
+		return nil, nil, err
+	}
+	return parseCSVRows(strings.NewReader(raw))
+}
+
+func (c *Client) downloadRowsBinary(ctx context.Context, name string) ([]string, [][]float64, error) {
+	req, err := c.newRequest(ctx, http.MethodGet,
+		"/v1/datasets/"+url.PathEscape(name)+"/rows?format="+WireBinary, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	req.Header.Set("Accept", codec.ContentType)
+	raw, err := c.do(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	rd := codec.NewReader(bytes.NewReader(raw))
+	var rows [][]float64
+	for {
+		row, err := rd.Read()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return nil, nil, fmt.Errorf("ppclient: decoding binary rows: %w", err)
+		}
+		rows = append(rows, row)
+	}
+	return rd.Names(), rows, nil
+}
+
+// parseCSVRows decodes a header row of names plus numeric records.
+func parseCSVRows(r io.Reader) ([]string, [][]float64, error) {
+	cr := csv.NewReader(r)
+	cr.TrimLeadingSpace = true
+	var names []string
+	var rows [][]float64
+	for {
+		rec, err := cr.Read()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		if names == nil {
+			names = rec
+			continue
+		}
+		row := make([]float64, len(rec))
+		for j, field := range rec {
+			v, err := strconv.ParseFloat(strings.TrimSpace(field), 64)
+			if err != nil {
+				return nil, nil, fmt.Errorf("ppclient: row %d field %d: %w", len(rows), j, err)
+			}
+			row[j] = v
+		}
+		rows = append(rows, row)
+	}
+	return names, rows, nil
 }
 
 func (c *Client) httpClient() *http.Client {
@@ -609,13 +770,40 @@ type DatasetMeta struct {
 
 // UploadDataset uploads rows as the owner's named dataset. The first
 // upload for an unknown owner claims the owner name; the minted token is
-// captured into c.Token.
+// captured into c.Token. Rows travel as framed binary batches unless
+// Wire forces CSV (or a binary-unaware daemon already forced the
+// fallback).
 func (c *Client) UploadDataset(ctx context.Context, name string, columns []string, rows [][]float64) (*DatasetMeta, error) {
+	if c.useBinary() {
+		out, err := c.uploadDatasetBinary(ctx, name, columns, rows)
+		if err == nil || !wireUnsupported(err) {
+			return out, err
+		}
+		c.wireCSV.Store(true)
+	}
 	buf, err := renderCSV(columns, rows)
 	if err != nil {
 		return nil, err
 	}
 	return c.UploadDatasetCSV(ctx, name, buf, false)
+}
+
+func (c *Client) uploadDatasetBinary(ctx context.Context, name string, columns []string, rows [][]float64) (*DatasetMeta, error) {
+	buf, err := renderBinary(columns, rows)
+	if err != nil {
+		return nil, err
+	}
+	path := "/v1/datasets?name=" + url.QueryEscape(name) + "&format=" + WireBinary
+	req, err := c.newRequest(ctx, http.MethodPost, path, buf)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", codec.ContentType)
+	var out DatasetMeta
+	if err := c.exec(req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
 }
 
 // UploadDatasetCSV uploads a dataset already rendered as CSV (header row

@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"ppclust/internal/codec"
 	"strings"
 	"sync"
 	"testing"
@@ -296,5 +297,122 @@ func TestNoRetryUnrewindableBody(t *testing.T) {
 	defer mu.Unlock()
 	if calls != 1 {
 		t.Fatalf("calls = %d, want 1 (no retry of a consumed stream)", calls)
+	}
+}
+
+// TestWireNegotiationBinary checks that the structured-row calls speak
+// the framed binary format by default: uploads carry the binary
+// Content-Type with a decodable framed body, and DownloadDatasetRows
+// decodes a framed response.
+func TestWireNegotiationBinary(t *testing.T) {
+	ctx := context.Background()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.Method + " " + r.URL.Path {
+		case "POST /v1/datasets":
+			if r.URL.Query().Get("format") != "binary" || r.Header.Get("Content-Type") != codec.ContentType {
+				t.Errorf("upload format=%q content-type=%q", r.URL.Query().Get("format"), r.Header.Get("Content-Type"))
+			}
+			rd := codec.NewReader(r.Body)
+			rows := 0
+			for {
+				if _, err := rd.Read(); err != nil {
+					if !errors.Is(err, io.EOF) {
+						t.Errorf("decoding upload: %v", err)
+					}
+					break
+				}
+				rows++
+			}
+			if names := rd.Names(); len(names) != 2 || names[0] != "a" || rows != 3 {
+				t.Errorf("decoded names=%v rows=%d", rd.Names(), rows)
+			}
+			w.WriteHeader(http.StatusCreated)
+			fmt.Fprintf(w, `{"owner":"alice","name":"d","rows":%d,"cols":2}`, rows)
+		case "GET /v1/datasets/d/rows":
+			if r.URL.Query().Get("format") != "binary" {
+				t.Errorf("download format = %q", r.URL.Query().Get("format"))
+			}
+			w.Header().Set("Content-Type", codec.ContentType)
+			cw := codec.NewWriter(w)
+			cw.WriteHeader([]string{"a", "b"}, false)
+			cw.WriteRow([]float64{1.5, -2})
+			cw.WriteRow([]float64{3, 4})
+			if err := cw.Close(); err != nil {
+				t.Error(err)
+			}
+		default:
+			t.Errorf("unexpected call %s %s", r.Method, r.URL.Path)
+			w.WriteHeader(http.StatusNotFound)
+		}
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, "alice")
+	meta, err := c.UploadDataset(ctx, "d", []string{"a", "b"}, [][]float64{{1, 2}, {3, 4}, {5, 6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Rows != 3 {
+		t.Fatalf("meta = %+v", meta)
+	}
+	names, rows, err := c.DownloadDatasetRows(ctx, "d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 || len(rows) != 2 || rows[0][0] != 1.5 || rows[1][1] != 4 {
+		t.Fatalf("names=%v rows=%v", names, rows)
+	}
+}
+
+// TestWireNegotiationFallback drives the client against a daemon that
+// predates the binary format: the first binary attempt gets the crisp
+// unknown-format 400, the client retries as CSV transparently, and — the
+// sticky part — the next call goes straight to CSV without re-probing.
+func TestWireNegotiationFallback(t *testing.T) {
+	ctx := context.Background()
+	binaryProbes, csvUploads := 0, 0
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost || r.URL.Path != "/v1/datasets" {
+			t.Errorf("unexpected call %s %s", r.Method, r.URL.Path)
+			w.WriteHeader(http.StatusNotFound)
+			return
+		}
+		if r.URL.Query().Get("format") == "binary" {
+			binaryProbes++
+			w.WriteHeader(http.StatusBadRequest)
+			w.Write([]byte(`{"error":{"code":"invalid","message":"unknown format \"binary\" (want csv or ndjson)"}}`))
+			return
+		}
+		if ct := r.Header.Get("Content-Type"); ct != "text/csv" {
+			t.Errorf("fallback content-type = %q", ct)
+		}
+		body, _ := io.ReadAll(r.Body)
+		if !strings.HasPrefix(string(body), "a,b\n") {
+			t.Errorf("fallback body = %q", body)
+		}
+		csvUploads++
+		w.WriteHeader(http.StatusCreated)
+		w.Write([]byte(`{"owner":"alice","name":"d","rows":1,"cols":2}`))
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, "alice")
+	for i := 0; i < 2; i++ {
+		if _, err := c.UploadDataset(ctx, "d", []string{"a", "b"}, [][]float64{{1, 2}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if binaryProbes != 1 || csvUploads != 2 {
+		t.Fatalf("binary probes = %d (want 1), csv uploads = %d (want 2)", binaryProbes, csvUploads)
+	}
+
+	// Wire=csv skips the probe entirely.
+	c2 := New(ts.URL, "alice")
+	c2.Wire = WireCSV
+	if _, err := c2.UploadDataset(ctx, "d", []string{"a", "b"}, [][]float64{{1, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if binaryProbes != 1 {
+		t.Fatalf("Wire=csv still probed binary (%d probes)", binaryProbes)
 	}
 }
